@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the entropy engine (§6.3 ablation):
+//! naive group-by entropy vs the PLI-cache oracle, with and without block
+//! precomputation, plus raw partition intersection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maimon::entropy::{EntropyConfig, EntropyOracle, NaiveEntropyOracle, Pli, PliEntropyOracle};
+use maimon::relation::AttrSet;
+use maimon_datasets::dataset_by_name;
+use std::hint::black_box;
+
+fn entropy_workload(c: &mut Criterion) {
+    // A moderate synthetic dataset: Adult shape at 5 % scale (~1.6k rows, 15 cols).
+    let rel = dataset_by_name("Adult").unwrap().generate(0.05);
+    let subsets: Vec<AttrSet> = AttrSet::full(rel.arity())
+        .subsets()
+        .filter(|s| s.len() >= 2 && s.len() <= 3)
+        .collect();
+
+    let mut group = c.benchmark_group("entropy_oracle");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("naive_groupby", subsets.len()), |b| {
+        b.iter(|| {
+            let mut oracle = NaiveEntropyOracle::new(&rel);
+            let sum: f64 = subsets.iter().map(|&s| oracle.entropy(s)).sum();
+            black_box(sum)
+        })
+    });
+    group.bench_function(BenchmarkId::new("pli_no_precompute", subsets.len()), |b| {
+        b.iter(|| {
+            let mut oracle = PliEntropyOracle::new(&rel, EntropyConfig::no_precompute());
+            let sum: f64 = subsets.iter().map(|&s| oracle.entropy(s)).sum();
+            black_box(sum)
+        })
+    });
+    group.bench_function(BenchmarkId::new("pli_block_l5", subsets.len()), |b| {
+        b.iter(|| {
+            let mut oracle = PliEntropyOracle::new(
+                &rel,
+                EntropyConfig { block_size: Some(5), max_cached_plis: 50_000 },
+            );
+            let sum: f64 = subsets.iter().map(|&s| oracle.entropy(s)).sum();
+            black_box(sum)
+        })
+    });
+    group.bench_function(BenchmarkId::new("pli_block_l10", subsets.len()), |b| {
+        b.iter(|| {
+            let mut oracle = PliEntropyOracle::new(&rel, EntropyConfig::default());
+            let sum: f64 = subsets.iter().map(|&s| oracle.entropy(s)).sum();
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn partition_intersection(c: &mut Criterion) {
+    let rel = dataset_by_name("Adult").unwrap().generate(0.1);
+    let a = Pli::from_column(&rel, 0);
+    let b = Pli::from_column(&rel, 3);
+    let mut group = c.benchmark_group("pli_intersection");
+    group.sample_size(20);
+    group.bench_function("two_columns", |bencher| {
+        bencher.iter(|| black_box(a.intersect(&b)))
+    });
+    group.bench_function("from_attrs_direct", |bencher| {
+        let attrs: AttrSet = [0usize, 3].into_iter().collect();
+        bencher.iter(|| black_box(Pli::from_attrs(&rel, attrs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, entropy_workload, partition_intersection);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the combinatorial substrates: minimal
+//! transversal enumeration, maximal-independent-set enumeration, schema
+//! synthesis from MVD sets, and acyclic join-size counting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maimon::hypergraph::{maximal_independent_sets, minimal_transversals, Graph};
+use maimon::relation::{acyclic_join_size, AttrSet};
+use maimon::{build_acyclic_schema, incompatibility_graph, JoinTree};
+use maimon_datasets::{nursery_with_rows, running_example_with_red_tuple};
+use std::hint::black_box;
+
+fn transversals(c: &mut Criterion) {
+    // A hypergraph shaped like a mid-run separator family: 12 edges over 20 vertices.
+    let edges: Vec<u64> = (0..12u64)
+        .map(|i| ((0b1011u64) << (i % 16)) & ((1 << 20) - 1))
+        .filter(|&e| e != 0)
+        .collect();
+    let universe = (1u64 << 20) - 1;
+    let mut group = c.benchmark_group("hypergraph");
+    group.sample_size(20);
+    group.bench_function("minimal_transversals_12x20", |b| {
+        b.iter(|| black_box(minimal_transversals(&edges, universe)))
+    });
+
+    // MIS enumeration on a sparse 40-vertex incompatibility-like graph.
+    let mut graph = Graph::new(40);
+    for i in 0..40usize {
+        graph.add_edge(i, (i * 7 + 3) % 40);
+        graph.add_edge(i, (i * 11 + 5) % 40);
+    }
+    group.bench_function("maximal_independent_sets_40", |b| {
+        b.iter(|| black_box(maximal_independent_sets(&graph, Some(200)).len()))
+    });
+    group.finish();
+}
+
+fn schema_synthesis(c: &mut Criterion) {
+    // Build the support of a 8-bag join tree and re-synthesize the schema.
+    let bags: Vec<AttrSet> = (0..8usize)
+        .map(|i| [i, i + 1, 16].into_iter().collect())
+        .collect();
+    let edges: Vec<(usize, usize)> = (1..8).map(|i| (i - 1, i)).collect();
+    let tree = JoinTree::new(bags, edges).unwrap();
+    let support = tree.support();
+    let universe = tree.all_attrs();
+    let mut group = c.benchmark_group("schema_synthesis");
+    group.sample_size(30);
+    group.bench_function("incompatibility_graph", |b| {
+        b.iter(|| black_box(incompatibility_graph(&support).edge_count()))
+    });
+    group.bench_function("build_acyclic_schema", |b| {
+        b.iter(|| black_box(build_acyclic_schema(universe, &support).n_relations()))
+    });
+    group.finish();
+}
+
+fn join_counting(c: &mut Criterion) {
+    let running = running_example_with_red_tuple();
+    let running_schema = maimon::AcyclicSchema::new(vec![
+        [0usize, 1, 3].into_iter().collect(),
+        [0usize, 2, 3].into_iter().collect(),
+        [1usize, 3, 4].into_iter().collect(),
+        [0usize, 5].into_iter().collect(),
+    ])
+    .unwrap();
+    let running_tree = running_schema.join_tree().unwrap();
+
+    let nursery = nursery_with_rows(4000);
+    let nursery_schema = maimon::AcyclicSchema::new(
+        (0..9).map(AttrSet::singleton).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let nursery_tree = nursery_schema.join_tree().unwrap();
+
+    let mut group = c.benchmark_group("acyclic_join_size");
+    group.sample_size(20);
+    group.bench_function("running_example", |b| {
+        b.iter(|| black_box(acyclic_join_size(&running, &running_tree.to_spec()).unwrap()))
+    });
+    group.bench_function("nursery_fully_decomposed", |b| {
+        b.iter(|| black_box(acyclic_join_size(&nursery, &nursery_tree.to_spec()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, transversals, schema_synthesis, join_counting);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the mining algorithms: the
+//! getFullMVDs / getFullMVDsOpt ablation (§6.2.1 / appendix §12.3), minimal
+//! separator mining, and the end-to-end pipeline on the running example and a
+//! small catalog dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maimon::entropy::PliEntropyOracle;
+use maimon::{get_full_mvds, mine_min_seps, Maimon, MaimonConfig, MiningLimits};
+use maimon_datasets::{dataset_by_name, running_example_with_red_tuple};
+use std::hint::black_box;
+
+fn full_mvd_ablation(c: &mut Criterion) {
+    let rel = dataset_by_name("Echocardiogram").unwrap().generate(1.0);
+    let rel = rel.column_prefix(10).unwrap();
+    let key = maimon::relation::AttrSet::singleton(0);
+    let pair = (1usize, 2usize);
+    let epsilon = 0.2;
+
+    let mut group = c.benchmark_group("get_full_mvds");
+    group.sample_size(10);
+    group.bench_function("plain_fig6", |b| {
+        b.iter(|| {
+            let mut oracle = PliEntropyOracle::with_defaults(&rel);
+            black_box(get_full_mvds(&mut oracle, key, epsilon, pair, None, Some(50_000), false))
+        })
+    });
+    group.bench_function("optimized_fig17", |b| {
+        b.iter(|| {
+            let mut oracle = PliEntropyOracle::with_defaults(&rel);
+            black_box(get_full_mvds(&mut oracle, key, epsilon, pair, None, Some(50_000), true))
+        })
+    });
+    group.finish();
+}
+
+fn minimal_separators(c: &mut Criterion) {
+    let rel = dataset_by_name("Bridges").unwrap().generate(1.0).column_prefix(9).unwrap();
+    let limits = MiningLimits::default();
+    let mut group = c.benchmark_group("mine_min_seps");
+    group.sample_size(10);
+    for epsilon in [0.0, 0.1] {
+        group.bench_function(format!("bridges_eps_{epsilon}"), |b| {
+            b.iter(|| {
+                let mut oracle = PliEntropyOracle::with_defaults(&rel);
+                let mut total = 0usize;
+                for a in 0..rel.arity() {
+                    for bb in a + 1..rel.arity() {
+                        total += mine_min_seps(&mut oracle, epsilon, (a, bb), &limits, true)
+                            .separators
+                            .len();
+                    }
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let running = running_example_with_red_tuple();
+    let bridges = dataset_by_name("Bridges").unwrap().generate(1.0).column_prefix(8).unwrap();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("running_example_eps_0.2", |b| {
+        b.iter(|| {
+            let result = Maimon::new(&running, MaimonConfig::with_epsilon(0.2))
+                .unwrap()
+                .run()
+                .unwrap();
+            black_box(result.schemas.len())
+        })
+    });
+    group.bench_function("bridges8_eps_0.1", |b| {
+        let config = MaimonConfig {
+            epsilon: 0.1,
+            limits: MiningLimits::small(),
+            max_schemas: Some(100),
+            ..MaimonConfig::default()
+        };
+        b.iter(|| {
+            let result = Maimon::new(&bridges, config).unwrap().run().unwrap();
+            black_box(result.schemas.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, full_mvd_ablation, minimal_separators, end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! **Figure 13** — row scalability: time to mine all minimal separators as a
+//! function of the number of rows (10 % … 100 % of the dataset), for
+//! ε ∈ {0, 0.01, 0.1}, on the Image, Four Square (Spots) and Ditag Feature
+//! shapes. The paper finds the runtime grows mostly linearly in the row count
+//! while the number of minimal separators stays roughly constant.
+//!
+//! Run with: `cargo run -p maimon-bench --release --bin fig13_row_scalability`
+
+use bench_support::{harness_options, mining_config, secs};
+use maimon::entropy::PliEntropyOracle;
+use maimon::{mine_min_seps, Maimon};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+fn main() {
+    let options = harness_options();
+    println!("# Figure 13 — minimal-separator mining time vs #rows");
+    println!(
+        "# scale = {} of the original row counts, budget = {:?}, column cap = {}",
+        options.scale, options.budget, options.max_columns
+    );
+    let epsilons = [0.0, 0.01, 0.1];
+    let fractions = [0.1, 0.25, 0.5, 0.75, 1.0];
+
+    for name in ["Image", "Four Square (Spots)", "Ditag Feature"] {
+        let spec = maimon_datasets::dataset_by_name(name).expect("dataset in catalog");
+        let full = spec.generate(options.scale);
+        let full = if full.arity() > options.max_columns {
+            full.column_prefix(options.max_columns).expect("cap >= 2")
+        } else {
+            full
+        };
+        println!("\n## {} ({} rows at this scale, {} cols)", name, full.n_rows(), full.arity());
+        println!(
+            "{:>8} {:>8} {:>10} {:>10} {:>12}",
+            "rows", "eps", "seps", "time[s]", "truncated"
+        );
+        for &fraction in &fractions {
+            let rel = full.head(((full.n_rows() as f64) * fraction).round() as usize);
+            for &epsilon in &epsilons {
+                let config = mining_config(epsilon, &options);
+                let mut oracle = PliEntropyOracle::new(&rel, config.entropy);
+                let started = Instant::now();
+                let mut distinct: BTreeSet<_> = BTreeSet::new();
+                let mut truncated = false;
+                'pairs: for a in 0..rel.arity() {
+                    for b in a + 1..rel.arity() {
+                        if started.elapsed() > options.budget {
+                            truncated = true;
+                            break 'pairs;
+                        }
+                        let result = mine_min_seps(&mut oracle, epsilon, (a, b), &config.limits, true);
+                        truncated |= result.truncated;
+                        distinct.extend(result.separators);
+                    }
+                }
+                println!(
+                    "{:>8} {:>8} {:>10} {:>10} {:>12}",
+                    rel.n_rows(),
+                    epsilon,
+                    distinct.len(),
+                    secs(started.elapsed()),
+                    truncated
+                );
+                // Keep the facade exercised too (smoke check that end-to-end
+                // mining works on the smallest fraction without panicking).
+                if fraction <= 0.1 && epsilon == 0.0 {
+                    let _ = Maimon::new(&rel, config).map(|m| m.mine_mvds());
+                }
+            }
+        }
+    }
+    println!("# Expected shape: time grows roughly linearly with rows; separator counts stay flat.");
+}

@@ -1,0 +1,91 @@
+//! **Figure 15** — quality of the approximate schemas: per threshold ε, the
+//! number of schemes enumerated within the time budget, the maximum number of
+//! relations, the minimum width and the minimum intersection width, on eight
+//! datasets (Image, Abalone, Adult, BreastCancer, Bridges, Echocardiogram,
+//! FD_Reduced_15, Hepatitis).
+//!
+//! Run with: `cargo run -p maimon-bench --release --bin fig15_quality`
+
+use bench_support::{harness_options, mining_config};
+use maimon::Maimon;
+use maimon_datasets::dataset_by_name;
+
+const DATASETS: [&str; 8] = [
+    "Image",
+    "Abalone",
+    "Adult",
+    "Breast-Cancer",
+    "Bridges",
+    "Echocardiogram",
+    "FD_Reduced_15",
+    "Hepatitis",
+];
+
+fn main() {
+    let options = harness_options();
+    println!("# Figure 15 — schema quality vs threshold");
+    println!(
+        "# scale = {}, per-threshold budget = {:?} (paper: 30 min), column cap = {}",
+        options.scale, options.budget, options.max_columns
+    );
+    let thresholds = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
+
+    for name in DATASETS {
+        let spec = dataset_by_name(name).expect("dataset in catalog");
+        let rel = {
+            let full = spec.generate(options.scale.max(0.05));
+            if full.arity() > options.max_columns {
+                full.column_prefix(options.max_columns).expect("cap >= 2")
+            } else {
+                full
+            }
+        };
+        println!("\n## {} ({} rows × {} cols at this scale)", name, rel.n_rows(), rel.arity());
+        println!(
+            "{:>8} {:>10} {:>12} {:>10} {:>10}",
+            "eps", "#schemes", "#relations", "width", "intWidth"
+        );
+        let mut last_relations = 0usize;
+        for &epsilon in &thresholds {
+            let config = mining_config(epsilon, &options);
+            let result = match Maimon::new(&rel, config).and_then(|m| m.run()) {
+                Ok(r) => r,
+                Err(error) => {
+                    println!("{:>8} skipped: {}", epsilon, error);
+                    continue;
+                }
+            };
+            let max_relations = result
+                .schemas
+                .iter()
+                .map(|s| s.discovered.schema.n_relations())
+                .max()
+                .unwrap_or(1);
+            let min_width = result
+                .schemas
+                .iter()
+                .map(|s| s.discovered.schema.width())
+                .min()
+                .unwrap_or(rel.arity());
+            let min_int_width = result
+                .schemas
+                .iter()
+                .map(|s| s.discovered.schema.intersection_width())
+                .min()
+                .unwrap_or(0);
+            println!(
+                "{:>8} {:>10} {:>12} {:>10} {:>10}",
+                epsilon,
+                result.schemas.len(),
+                max_relations,
+                min_width,
+                min_int_width
+            );
+            last_relations = last_relations.max(max_relations);
+        }
+        println!(
+            "#   expected shape: #relations grows and width shrinks as ε increases (best #relations here: {})",
+            last_relations
+        );
+    }
+}

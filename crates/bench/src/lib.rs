@@ -1,0 +1,136 @@
+//! Shared support code for the experiment harness binaries.
+//!
+//! Every binary in this crate regenerates one table or figure of the paper's
+//! evaluation (see DESIGN.md §4 for the full index). Because the original
+//! experiments ran for hours on server hardware against multi-million-row
+//! datasets, each harness accepts environment variables that scale the run:
+//!
+//! * `MAIMON_SCALE` — fraction of the original row count to generate
+//!   (default `0.002`, i.e. a few thousand rows for the largest datasets).
+//! * `MAIMON_BUDGET_SECS` — per-configuration time budget in seconds
+//!   (default `15`; the paper used 5 hours for Table 2 and 30 minutes for
+//!   §8.4).
+//! * `MAIMON_MAX_COLS` — column cap applied to the widest datasets
+//!   (default `14`; the paper itself reports timeouts beyond ~30 columns).
+//!
+//! Set `MAIMON_SCALE=1 MAIMON_BUDGET_SECS=18000 MAIMON_MAX_COLS=64` to run at
+//! the paper's full scale.
+
+use maimon::{MaimonConfig, MiningLimits};
+use std::time::Duration;
+
+/// Scaling knobs shared by all harness binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessOptions {
+    /// Row-count scale factor relative to the original datasets.
+    pub scale: f64,
+    /// Per-configuration time budget.
+    pub budget: Duration,
+    /// Maximum number of columns considered per dataset.
+    pub max_columns: usize,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            scale: 0.002,
+            budget: Duration::from_secs(15),
+            max_columns: 14,
+        }
+    }
+}
+
+/// Reads the harness options from the environment (see crate docs).
+pub fn harness_options() -> HarnessOptions {
+    let default = HarnessOptions::default();
+    let parse_f64 = |name: &str, fallback: f64| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(fallback)
+    };
+    let parse_usize = |name: &str, fallback: usize| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(fallback)
+    };
+    HarnessOptions {
+        scale: parse_f64("MAIMON_SCALE", default.scale).clamp(1e-6, 1.0),
+        budget: Duration::from_secs_f64(
+            parse_f64("MAIMON_BUDGET_SECS", default.budget.as_secs_f64()).max(1.0),
+        ),
+        max_columns: parse_usize("MAIMON_MAX_COLS", default.max_columns).clamp(2, 64),
+    }
+}
+
+/// Builds the mining configuration used by the harness binaries: the given ε,
+/// the pairwise-consistency optimization on, and limits derived from the
+/// harness time budget.
+pub fn mining_config(epsilon: f64, options: &HarnessOptions) -> MaimonConfig {
+    MaimonConfig {
+        epsilon,
+        limits: MiningLimits {
+            max_full_mvds_per_separator: Some(256),
+            max_separators_per_pair: Some(256),
+            max_lattice_nodes: Some(50_000),
+            time_budget: Some(options.budget),
+        },
+        max_schemas: Some(2_000),
+        ..MaimonConfig::default()
+    }
+}
+
+/// Formats a duration as seconds with two decimals (the unit the paper's
+/// tables use).
+pub fn secs(duration: Duration) -> String {
+    format!("{:.2}", duration.as_secs_f64())
+}
+
+/// Prints a Markdown-style separator row for a table with the given column
+/// widths.
+pub fn print_rule(widths: &[usize]) {
+    let line: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|{}|", line.join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let options = HarnessOptions::default();
+        assert!(options.scale > 0.0 && options.scale <= 1.0);
+        assert!(options.budget >= Duration::from_secs(1));
+        assert!(options.max_columns >= 2);
+    }
+
+    #[test]
+    fn env_parsing_clamps_values() {
+        std::env::set_var("MAIMON_SCALE", "7.5");
+        std::env::set_var("MAIMON_BUDGET_SECS", "0");
+        std::env::set_var("MAIMON_MAX_COLS", "1000");
+        let options = harness_options();
+        assert!(options.scale <= 1.0);
+        assert!(options.budget >= Duration::from_secs(1));
+        assert!(options.max_columns <= 64);
+        std::env::remove_var("MAIMON_SCALE");
+        std::env::remove_var("MAIMON_BUDGET_SECS");
+        std::env::remove_var("MAIMON_MAX_COLS");
+    }
+
+    #[test]
+    fn mining_config_uses_the_budget() {
+        let options = HarnessOptions { budget: Duration::from_secs(3), ..HarnessOptions::default() };
+        let config = mining_config(0.1, &options);
+        assert_eq!(config.epsilon, 0.1);
+        assert_eq!(config.limits.time_budget, Some(Duration::from_secs(3)));
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn secs_formats_two_decimals() {
+        assert_eq!(secs(Duration::from_millis(1530)), "1.53");
+    }
+}

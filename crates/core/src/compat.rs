@@ -1,0 +1,197 @@
+//! MVD compatibility (Definition 7.1) and the incompatibility graph.
+//!
+//! The key insight of §7 is a *pairwise* characterization of which ε-MVDs can
+//! coexist in the support of a single join tree: two MVDs are compatible if
+//! some pair of dependents witnesses both the split-free condition and the
+//! mutual-splitting condition of Def. 7.1. Theorem 7.2 shows the support of
+//! any join tree is pairwise compatible, so `ASMiner` only needs to enumerate
+//! maximal independent sets of the *incompatibility* graph built here.
+
+use crate::mvd::Mvd;
+use hypergraph::Graph;
+
+/// `true` if `phi` and `psi` are compatible per Definition 7.1: there are
+/// dependents `Aᵢ ∈ dep(phi)` and `Bⱼ ∈ dep(psi)` such that
+///
+/// 1. `key(psi) ⊆ key(phi) ∪ Aᵢ` and `key(phi) ⊆ key(psi) ∪ Bⱼ`
+///    (the pair is *split-free*), and
+/// 2. `key(phi) ∪ Aᵢ` intersects at least two distinct dependents of `psi`,
+///    and `key(psi) ∪ Bⱼ` intersects at least two distinct dependents of
+///    `phi`.
+pub fn compatible(phi: &Mvd, psi: &Mvd) -> bool {
+    let x = phi.key();
+    let y = psi.key();
+    for &a_i in phi.dependents() {
+        let xa = x.union(a_i);
+        if !y.is_subset_of(xa) {
+            continue;
+        }
+        // Condition 2, first half: X ∪ Aᵢ is split by psi.
+        let split_by_psi = psi
+            .dependents()
+            .iter()
+            .filter(|&&b| xa.intersects(b))
+            .count()
+            >= 2;
+        if !split_by_psi {
+            continue;
+        }
+        for &b_j in psi.dependents() {
+            let yb = y.union(b_j);
+            if !x.is_subset_of(yb) {
+                continue;
+            }
+            // Condition 2, second half: Y ∪ Bⱼ is split by phi.
+            let split_by_phi = phi
+                .dependents()
+                .iter()
+                .filter(|&&a| yb.intersects(a))
+                .count()
+                >= 2;
+            if split_by_phi {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// `true` if the MVDs are incompatible (`phi ♯ psi`).
+pub fn incompatible(phi: &Mvd, psi: &Mvd) -> bool {
+    !compatible(phi, psi)
+}
+
+/// `true` if every pair of distinct MVDs in the slice is compatible.
+pub fn pairwise_compatible(mvds: &[Mvd]) -> bool {
+    for (i, phi) in mvds.iter().enumerate() {
+        for psi in &mvds[i + 1..] {
+            if incompatible(phi, psi) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Builds the incompatibility graph `G(M_ε, E)` of Eq. (15): one vertex per
+/// MVD, one edge per incompatible pair. Maximal independent sets of this
+/// graph are exactly the maximal pairwise-compatible subsets.
+pub fn incompatibility_graph(mvds: &[Mvd]) -> Graph {
+    let mut graph = Graph::new(mvds.len());
+    for i in 0..mvds.len() {
+        for j in i + 1..mvds.len() {
+            if incompatible(&mvds[i], &mvds[j]) {
+                graph.add_edge(i, j);
+            }
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join_tree::JoinTree;
+    use relation::AttrSet;
+
+    fn attrs(v: &[usize]) -> AttrSet {
+        v.iter().copied().collect()
+    }
+
+    /// The support of the running example's join tree (Example 3.2):
+    /// BD ↠ E|ACF, AD ↠ CF|BE, A ↠ F|BCDE over Ω = {A..F} = {0..5}.
+    fn running_example_support() -> Vec<Mvd> {
+        vec![
+            Mvd::standard(attrs(&[1, 3]), attrs(&[4]), attrs(&[0, 2, 5])).unwrap(),
+            Mvd::standard(attrs(&[0, 3]), attrs(&[2, 5]), attrs(&[1, 4])).unwrap(),
+            Mvd::standard(attrs(&[0]), attrs(&[5]), attrs(&[1, 2, 3, 4])).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn join_tree_support_is_pairwise_compatible() {
+        // Theorem 7.2 on the running example.
+        let support = running_example_support();
+        assert!(pairwise_compatible(&support));
+        for phi in &support {
+            for psi in &support {
+                if phi != psi {
+                    assert!(compatible(phi, psi), "{:?} vs {:?}", phi, psi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        let support = running_example_support();
+        for phi in &support {
+            for psi in &support {
+                assert_eq!(compatible(phi, psi), compatible(psi, phi));
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_mvds_are_incompatible() {
+        // Over Ω = {A,B,C,D}: A ↠ B|CD and B ↠ A|CD cannot be in the support
+        // of one join tree (the classic non-conflict-free pair).
+        let phi = Mvd::standard(attrs(&[0]), attrs(&[1]), attrs(&[2, 3])).unwrap();
+        let psi = Mvd::standard(attrs(&[1]), attrs(&[0]), attrs(&[2, 3])).unwrap();
+        assert!(incompatible(&phi, &psi));
+        assert!(!pairwise_compatible(&[phi, psi]));
+    }
+
+    #[test]
+    fn same_key_mvds_from_a_path_tree_are_compatible() {
+        // Bags {XA, XB, XC} in a path give support X ↠ A|BC and X ↠ AB|C
+        // (with X=0, A=1, B=2, C=3); these must be compatible.
+        let phi = Mvd::standard(attrs(&[0]), attrs(&[1]), attrs(&[2, 3])).unwrap();
+        let psi = Mvd::standard(attrs(&[0]), attrs(&[1, 2]), attrs(&[3])).unwrap();
+        assert!(compatible(&phi, &psi));
+    }
+
+    #[test]
+    fn supports_of_random_join_trees_are_pairwise_compatible() {
+        // Build a few join trees by hand and check Theorem 7.2 for each.
+        let trees = vec![
+            JoinTree::new(
+                vec![attrs(&[0, 1, 3]), attrs(&[0, 2, 3]), attrs(&[1, 3, 4]), attrs(&[0, 5])],
+                vec![(3, 1), (1, 0), (0, 2)],
+            )
+            .unwrap(),
+            JoinTree::new(
+                vec![attrs(&[0, 1]), attrs(&[1, 2]), attrs(&[2, 3]), attrs(&[3, 4])],
+                vec![(0, 1), (1, 2), (2, 3)],
+            )
+            .unwrap(),
+            JoinTree::new(
+                vec![attrs(&[0, 1, 2]), attrs(&[2, 3]), attrs(&[2, 4]), attrs(&[0, 5])],
+                vec![(0, 1), (0, 2), (0, 3)],
+            )
+            .unwrap(),
+        ];
+        for tree in trees {
+            let support = tree.support();
+            assert!(
+                pairwise_compatible(&support),
+                "support of {:?} not pairwise compatible",
+                tree
+            );
+        }
+    }
+
+    #[test]
+    fn incompatibility_graph_structure() {
+        let phi = Mvd::standard(attrs(&[0]), attrs(&[1]), attrs(&[2, 3])).unwrap();
+        let psi = Mvd::standard(attrs(&[1]), attrs(&[0]), attrs(&[2, 3])).unwrap();
+        let chi = Mvd::standard(attrs(&[0]), attrs(&[1, 2]), attrs(&[3])).unwrap();
+        let graph = incompatibility_graph(&[phi.clone(), psi.clone(), chi.clone()]);
+        assert_eq!(graph.n(), 3);
+        // phi ♯ psi, phi ∥ chi (compatible).
+        assert!(graph.has_edge(0, 1));
+        assert!(!graph.has_edge(0, 2));
+        let empty = incompatibility_graph(&[]);
+        assert_eq!(empty.n(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Configuration for the mining pipeline.
+
+use crate::error::MaimonError;
+use entropy::EntropyConfig;
+use std::time::Duration;
+
+/// Resource limits applied while mining. The paper's experiments bound every
+/// phase by wall-clock time (5 hours for full-MVD mining in Table 2, 30
+/// minutes per threshold in §8.4 and §14.1); count limits are additionally
+/// exposed so unit tests and benchmarks stay fast and deterministic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MiningLimits {
+    /// Maximum number of full MVDs returned per minimal separator (the
+    /// parameter `K` of `getFullMVDs`); `None` means unlimited.
+    pub max_full_mvds_per_separator: Option<usize>,
+    /// Maximum number of minimal separators mined per attribute pair.
+    pub max_separators_per_pair: Option<usize>,
+    /// Cap on lattice nodes explored by a single `getFullMVDs` invocation
+    /// (a defense against the worst-case Stirling-number blowup of §6.2.1).
+    pub max_lattice_nodes: Option<usize>,
+    /// Wall-clock budget for an entire mining phase.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for MiningLimits {
+    fn default() -> Self {
+        MiningLimits {
+            max_full_mvds_per_separator: None,
+            max_separators_per_pair: None,
+            max_lattice_nodes: Some(200_000),
+            time_budget: None,
+        }
+    }
+}
+
+impl MiningLimits {
+    /// Limits suitable for unit tests: small caps everywhere.
+    pub fn small() -> Self {
+        MiningLimits {
+            max_full_mvds_per_separator: Some(64),
+            max_separators_per_pair: Some(64),
+            max_lattice_nodes: Some(20_000),
+            time_budget: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Top-level configuration of a Maimon run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MaimonConfig {
+    /// Approximation threshold ε: MVDs and schemas with `J ≤ ε` are accepted.
+    pub epsilon: f64,
+    /// Configuration of the PLI entropy engine (§6.3).
+    pub entropy: EntropyConfig,
+    /// Use the pairwise-consistency pruning of appendix §12.3
+    /// (`getFullMVDsOpt`) instead of the plain `getFullMVDs` of Fig. 6.
+    pub use_pairwise_consistency_optimization: bool,
+    /// Verify that every reported MVD is *full* (no strict refinement also
+    /// ε-holds) with an exhaustive post-check. Exponential in the dependent
+    /// sizes; intended for tests and small relations.
+    pub verify_fullness: bool,
+    /// Resource limits for the MVD-mining phase.
+    pub limits: MiningLimits,
+    /// Maximum number of acyclic schemas enumerated by `ASMiner`.
+    pub max_schemas: Option<usize>,
+}
+
+impl Default for MaimonConfig {
+    fn default() -> Self {
+        MaimonConfig {
+            epsilon: 0.0,
+            entropy: EntropyConfig::default(),
+            use_pairwise_consistency_optimization: true,
+            verify_fullness: false,
+            limits: MiningLimits::default(),
+            max_schemas: Some(10_000),
+        }
+    }
+}
+
+impl MaimonConfig {
+    /// Convenience constructor: default configuration with the given ε.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        MaimonConfig {
+            epsilon,
+            ..MaimonConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns an error if ε is negative, NaN or infinite, or a limit is zero.
+    pub fn validate(&self) -> Result<(), MaimonError> {
+        if !self.epsilon.is_finite() || self.epsilon < 0.0 {
+            return Err(MaimonError::InvalidEpsilon(self.epsilon));
+        }
+        if self.limits.max_full_mvds_per_separator == Some(0)
+            || self.limits.max_separators_per_pair == Some(0)
+            || self.limits.max_lattice_nodes == Some(0)
+            || self.max_schemas == Some(0)
+        {
+            return Err(MaimonError::InvalidConfig(
+                "count limits must be at least 1 when present".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(MaimonConfig::default().validate().is_ok());
+        assert!(MaimonConfig::with_epsilon(0.25).validate().is_ok());
+        assert_eq!(MaimonConfig::with_epsilon(0.25).epsilon, 0.25);
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        assert!(MaimonConfig::with_epsilon(-0.1).validate().is_err());
+        assert!(MaimonConfig::with_epsilon(f64::NAN).validate().is_err());
+        assert!(MaimonConfig::with_epsilon(f64::INFINITY).validate().is_err());
+    }
+
+    #[test]
+    fn zero_limits_rejected() {
+        let mut config = MaimonConfig::default();
+        config.max_schemas = Some(0);
+        assert!(config.validate().is_err());
+        let mut config = MaimonConfig::default();
+        config.limits.max_lattice_nodes = Some(0);
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn small_limits_are_all_bounded() {
+        let limits = MiningLimits::small();
+        assert!(limits.max_full_mvds_per_separator.is_some());
+        assert!(limits.max_separators_per_pair.is_some());
+        assert!(limits.max_lattice_nodes.is_some());
+        assert!(limits.time_budget.is_some());
+    }
+}

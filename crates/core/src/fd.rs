@@ -1,0 +1,207 @@
+//! Approximate functional dependency discovery on the entropy oracle.
+//!
+//! FDs are the degenerate special case of the dependencies Maimon mines: the
+//! FD `X → A` holds exactly iff `H(A | X) = 0`, and we call it an ε-FD when
+//! `H(A | X) ≤ ε` — the same information-theoretic style of approximation the
+//! paper applies to MVDs (§1 relates Maimon to the TANE/Pyro line of
+//! approximate FD discovery). This module is an extension of the paper used
+//! by tests and examples; it reuses the same oracle and therefore the same
+//! PLI cache, so discovering FDs alongside MVDs is nearly free.
+
+use crate::measure::within_epsilon;
+use entropy::EntropyOracle;
+use relation::{AttrSet, Schema};
+
+/// An approximate functional dependency `lhs → rhs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// Determinant attribute set.
+    pub lhs: AttrSet,
+    /// Determined attribute.
+    pub rhs: usize,
+}
+
+impl Fd {
+    /// Renders the FD with attribute names, e.g. `AB → C`.
+    pub fn display(&self, schema: &Schema) -> String {
+        format!("{} → {}", schema.label(self.lhs), schema.name(self.rhs))
+    }
+}
+
+/// Result of an FD-mining run.
+#[derive(Clone, Debug, Default)]
+pub struct FdMiningResult {
+    /// Minimal ε-FDs found, sorted.
+    pub fds: Vec<Fd>,
+    /// Number of candidate left-hand sides whose conditional entropy was
+    /// evaluated.
+    pub candidates_tested: usize,
+}
+
+/// Mines the minimal ε-FDs `X → A` of the oracle's relation with
+/// `|X| ≤ max_lhs_size`, using a levelwise search: once an LHS determines
+/// `A`, none of its supersets is reported (they are implied).
+pub fn mine_fds<O: EntropyOracle + ?Sized>(
+    oracle: &mut O,
+    epsilon: f64,
+    max_lhs_size: usize,
+) -> FdMiningResult {
+    let mut result = FdMiningResult::default();
+    let n = oracle.arity();
+    let universe = oracle.all_attrs();
+    for rhs in 0..n {
+        let rhs_set = AttrSet::singleton(rhs);
+        let others = universe.without(rhs);
+        // Constant column: the empty LHS already determines it.
+        result.candidates_tested += 1;
+        if within_epsilon(oracle.entropy(rhs_set), epsilon) {
+            result.fds.push(Fd {
+                lhs: AttrSet::empty(),
+                rhs,
+            });
+            continue;
+        }
+        let mut minimal: Vec<AttrSet> = Vec::new();
+        let mut level: Vec<AttrSet> = others.iter().map(AttrSet::singleton).collect();
+        let mut size = 1usize;
+        while !level.is_empty() && size <= max_lhs_size {
+            let mut next_seeds: Vec<AttrSet> = Vec::new();
+            for &lhs in &level {
+                // Prune supersets of an already-minimal LHS.
+                if minimal.iter().any(|&m| m.is_subset_of(lhs)) {
+                    continue;
+                }
+                result.candidates_tested += 1;
+                if within_epsilon(oracle.conditional_entropy(rhs_set, lhs), epsilon) {
+                    minimal.push(lhs);
+                } else {
+                    next_seeds.push(lhs);
+                }
+            }
+            // Build the next level: extend every failing LHS by one attribute
+            // larger than its maximum (avoiding duplicates).
+            let mut next: Vec<AttrSet> = Vec::new();
+            for &lhs in &next_seeds {
+                let start = lhs.max_attr().map(|m| m + 1).unwrap_or(0);
+                for attr in others.iter().filter(|&a| a >= start) {
+                    if !lhs.contains(attr) {
+                        next.push(lhs.with(attr));
+                    }
+                }
+            }
+            next.sort();
+            next.dedup();
+            level = next;
+            size += 1;
+        }
+        for lhs in minimal {
+            result.fds.push(Fd { lhs, rhs });
+        }
+    }
+    result.fds.sort();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entropy::NaiveEntropyOracle;
+    use relation::{Relation, Schema};
+
+    fn running_example() -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();
+        Relation::from_rows(
+            schema,
+            &[
+                vec!["a1", "b1", "c1", "d1", "e1", "f1"],
+                vec!["a2", "b2", "c1", "d1", "e2", "f2"],
+                vec!["a2", "b2", "c2", "d2", "e3", "f2"],
+                vec!["a1", "b2", "c1", "d2", "e3", "f1"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn attrs(v: &[usize]) -> AttrSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn exact_fds_of_running_example() {
+        let rel = running_example();
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let result = mine_fds(&mut o, 0.0, 3);
+        // A → F and F → A hold exactly (the AF projection is a bijection).
+        assert!(result.fds.contains(&Fd { lhs: attrs(&[0]), rhs: 5 }));
+        assert!(result.fds.contains(&Fd { lhs: attrs(&[5]), rhs: 0 }));
+        // B alone does not determine A (b2 maps to both a1 and a2).
+        assert!(!result.fds.contains(&Fd { lhs: attrs(&[1]), rhs: 0 }));
+        assert!(result.candidates_tested > 0);
+    }
+
+    #[test]
+    fn reported_fds_hold_and_are_minimal() {
+        let rel = running_example();
+        let mut o = NaiveEntropyOracle::new(&rel);
+        for epsilon in [0.0, 0.2] {
+            let result = mine_fds(&mut o, epsilon, 4);
+            for fd in &result.fds {
+                let rhs = AttrSet::singleton(fd.rhs);
+                assert!(within_epsilon(o.conditional_entropy(rhs, fd.lhs), epsilon));
+                assert!(!fd.lhs.contains(fd.rhs));
+                // Minimality: no strict subset is also an ε-FD.
+                for attr in fd.lhs.iter() {
+                    let smaller = fd.lhs.without(attr);
+                    assert!(
+                        !within_epsilon(o.conditional_entropy(rhs, smaller), epsilon),
+                        "ε={}: {:?} is not minimal",
+                        epsilon,
+                        fd
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_column_determined_by_empty_lhs() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let rel = Relation::from_rows(schema, &[vec!["x", "1"], vec!["x", "2"]]).unwrap();
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let result = mine_fds(&mut o, 0.0, 2);
+        assert!(result.fds.contains(&Fd { lhs: AttrSet::empty(), rhs: 0 }));
+    }
+
+    #[test]
+    fn epsilon_relaxation_finds_at_least_as_many_dependencies() {
+        let rel = running_example();
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let tight = mine_fds(&mut o, 0.0, 3);
+        let loose = mine_fds(&mut o, 0.5, 3);
+        // Every exactly-determined RHS is still (approximately) determined.
+        for fd in &tight.fds {
+            assert!(
+                loose.fds.iter().any(|l| l.rhs == fd.rhs && l.lhs.is_subset_of(fd.lhs)),
+                "{:?} lost when relaxing ε",
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn max_lhs_size_limits_search() {
+        let rel = running_example();
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let result = mine_fds(&mut o, 0.0, 1);
+        for fd in &result.fds {
+            assert!(fd.lhs.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn fd_display_uses_names() {
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let fd = Fd { lhs: attrs(&[0, 1]), rhs: 2 };
+        assert_eq!(fd.display(&schema), "AB → C");
+    }
+}

@@ -1,0 +1,428 @@
+//! Discovering full ε-MVDs with a fixed key (`getFullMVDs`, §6.2).
+//!
+//! Given a key `S` and a pair of attributes `(A, B)` that must end up in
+//! different dependents, the search starts from the most refined MVD
+//! `S ↠ X₁ | X₂ | … | X_k` (every non-key attribute its own dependent) and
+//! repeatedly merges two dependents. Merging can only decrease the J-measure
+//! (Prop. 5.2), so the first nodes reached with `J ≤ ε` are the most refined
+//! ε-MVDs reachable along that path — the *full* MVDs the rest of the system
+//! needs.
+//!
+//! Two versions are provided, matching the paper:
+//!
+//! * [`get_full_mvds`] with `use_optimization = false` is the plain DFS of
+//!   Fig. 6.
+//! * with `use_optimization = true` it is `getFullMVDsOpt` (appendix Fig. 17):
+//!   before a node is expanded it is replaced by its *pairwise-consistent*
+//!   closure (Fig. 16) — any two dependents with `I(Cᵢ; Cⱼ | S) > ε` can be
+//!   merged immediately, because Eq. (7) shows no refinement keeping them
+//!   apart can ever reach `J ≤ ε`.
+//!
+//! Both versions memoize visited dependent-partitions, which the pseudo-code
+//! leaves implicit but is required to avoid re-exploring the exponentially
+//! many merge orders that lead to the same partition.
+
+use crate::measure::{j_partition, within_epsilon};
+use crate::mvd::Mvd;
+use entropy::EntropyOracle;
+use relation::AttrSet;
+use std::collections::HashSet;
+
+/// Outcome of a [`get_full_mvds`] search.
+#[derive(Clone, Debug, Default)]
+pub struct FullMvdSearch {
+    /// The full ε-MVDs found (at most `K` when a limit was given).
+    pub mvds: Vec<Mvd>,
+    /// Number of lattice nodes whose J-measure was evaluated.
+    pub nodes_explored: usize,
+    /// `true` if the search stopped because of the node limit rather than
+    /// exhausting the (pruned) lattice.
+    pub truncated: bool,
+}
+
+/// Canonical representation of a dependent partition (sorted blocks), used as
+/// the visited-set key.
+fn canonical(blocks: &[AttrSet]) -> Vec<AttrSet> {
+    let mut sorted = blocks.to_vec();
+    sorted.sort();
+    sorted
+}
+
+/// Repeatedly merges pairwise-inconsistent dependents (Fig. 16): while some
+/// pair of blocks has `I(Cᵢ; Cⱼ | key) > ε`, merge it. Returns `None` if the
+/// merging ends up putting `a` and `b` in the same block, in which case no
+/// ε-MVD separating them exists below this node.
+fn pairwise_consistent<O: EntropyOracle + ?Sized>(
+    oracle: &mut O,
+    key: AttrSet,
+    blocks: &[AttrSet],
+    epsilon: f64,
+    pair: (usize, usize),
+) -> Option<Vec<AttrSet>> {
+    let mut blocks = blocks.to_vec();
+    loop {
+        if blocks.len() < 2 {
+            return None;
+        }
+        let block_of_a = blocks.iter().position(|c| c.contains(pair.0));
+        let block_of_b = blocks.iter().position(|c| c.contains(pair.1));
+        match (block_of_a, block_of_b) {
+            (Some(i), Some(j)) if i != j => {}
+            _ => return None,
+        }
+        let mut merged_any = false;
+        'search: for i in 0..blocks.len() {
+            for j in i + 1..blocks.len() {
+                let mi = oracle.mutual_information(blocks[i], blocks[j], key);
+                if !within_epsilon(mi, epsilon) {
+                    let merged = blocks[i].union(blocks[j]);
+                    blocks.swap_remove(j);
+                    blocks.swap_remove(i);
+                    blocks.push(merged);
+                    merged_any = true;
+                    break 'search;
+                }
+            }
+        }
+        if !merged_any {
+            // Pairwise consistent; re-check the separation once more.
+            let block_of_a = blocks.iter().position(|c| c.contains(pair.0));
+            let block_of_b = blocks.iter().position(|c| c.contains(pair.1));
+            return match (block_of_a, block_of_b) {
+                (Some(i), Some(j)) if i != j => Some(blocks),
+                _ => None,
+            };
+        }
+    }
+}
+
+/// Mines full ε-MVDs with key `key` in which `pair.0` and `pair.1` fall in
+/// distinct dependents.
+///
+/// * `limit` (`K` in the paper) caps the number of MVDs returned; `None`
+///   returns every full MVD found.
+/// * `node_limit` caps the number of lattice nodes evaluated; when hit the
+///   result is marked `truncated`.
+/// * `use_optimization` toggles the pairwise-consistency pruning (Fig. 17).
+pub fn get_full_mvds<O: EntropyOracle + ?Sized>(
+    oracle: &mut O,
+    key: AttrSet,
+    epsilon: f64,
+    pair: (usize, usize),
+    limit: Option<usize>,
+    node_limit: Option<usize>,
+    use_optimization: bool,
+) -> FullMvdSearch {
+    let mut result = FullMvdSearch::default();
+    let universe = oracle.all_attrs();
+    let key = key.intersect(universe);
+    let (a, b) = pair;
+    let rest = universe.difference(key);
+    if !rest.contains(a) || !rest.contains(b) || a == b {
+        return result;
+    }
+
+    // ϕ₀ = key ↠ X₁ | … | X_k with singleton dependents.
+    let initial: Vec<AttrSet> = rest.iter().map(AttrSet::singleton).collect();
+    if initial.len() < 2 {
+        return result;
+    }
+    let start = if use_optimization {
+        match pairwise_consistent(oracle, key, &initial, epsilon, pair) {
+            Some(blocks) => blocks,
+            None => return result,
+        }
+    } else {
+        initial
+    };
+
+    let mut stack: Vec<Vec<AttrSet>> = vec![canonical(&start)];
+    let mut visited: HashSet<Vec<AttrSet>> = HashSet::new();
+    visited.insert(canonical(&start));
+
+    while let Some(blocks) = stack.pop() {
+        if let Some(k) = limit {
+            if result.mvds.len() >= k {
+                break;
+            }
+        }
+        if let Some(max_nodes) = node_limit {
+            if result.nodes_explored >= max_nodes {
+                result.truncated = true;
+                break;
+            }
+        }
+        result.nodes_explored += 1;
+        let j = j_partition(oracle, key, &blocks);
+        if within_epsilon(j, epsilon) {
+            if let Ok(mvd) = Mvd::new(key, blocks.clone()) {
+                result.mvds.push(mvd);
+            }
+            continue;
+        }
+        // Expand neighbors: merge any two blocks, except the block containing
+        // `a` with the block containing `b` (they must stay separated).
+        let block_of_a = blocks.iter().position(|c| c.contains(a));
+        let block_of_b = blocks.iter().position(|c| c.contains(b));
+        let (ia, ib) = match (block_of_a, block_of_b) {
+            (Some(i), Some(j)) => (i, j),
+            _ => continue,
+        };
+        for i in 0..blocks.len() {
+            for j in i + 1..blocks.len() {
+                if (i == ia && j == ib) || (i == ib && j == ia) {
+                    continue;
+                }
+                let mut merged: Vec<AttrSet> = blocks
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != i && k != j)
+                    .map(|(_, &c)| c)
+                    .collect();
+                merged.push(blocks[i].union(blocks[j]));
+                let next = if use_optimization {
+                    match pairwise_consistent(oracle, key, &merged, epsilon, pair) {
+                        Some(blocks) => blocks,
+                        None => continue,
+                    }
+                } else {
+                    merged
+                };
+                let canon = canonical(&next);
+                if visited.insert(canon.clone()) {
+                    stack.push(canon);
+                }
+            }
+        }
+    }
+    // Keep only the *full* MVDs: drop any result strictly refined by another
+    // result. Together with the completeness of the traversal (every full
+    // ε-MVD with this key separating the pair is reached), this makes the
+    // output exactly `FullMVD_ε(R, key, A, B)` when no limit truncated the
+    // search.
+    let kept: Vec<Mvd> = result
+        .mvds
+        .iter()
+        .filter(|phi| {
+            !result
+                .mvds
+                .iter()
+                .any(|psi| psi != *phi && psi.strictly_refines(phi))
+        })
+        .cloned()
+        .collect();
+    result.mvds = kept;
+    result.mvds.sort();
+    result.mvds.dedup();
+    result
+}
+
+/// Convenience wrapper answering "is `key` an ε-separator of `pair`?" —
+/// i.e. does at least one ε-MVD with this key separate the pair (Def. 5.5)?
+/// Implemented as `getFullMVDs(key, ε, pair, K = 1)` preceded by the cheap
+/// necessary condition `I(A; B | key) ≤ ε` from Prop. 5.1.
+pub fn is_separator<O: EntropyOracle + ?Sized>(
+    oracle: &mut O,
+    key: AttrSet,
+    epsilon: f64,
+    pair: (usize, usize),
+    node_limit: Option<usize>,
+    use_optimization: bool,
+) -> bool {
+    let universe = oracle.all_attrs();
+    let key = key.intersect(universe);
+    let (a, b) = pair;
+    if key.contains(a) || key.contains(b) || a == b || !universe.contains(a) || !universe.contains(b)
+    {
+        return false;
+    }
+    let quick = oracle.mutual_information(AttrSet::singleton(a), AttrSet::singleton(b), key);
+    if !within_epsilon(quick, epsilon) {
+        return false;
+    }
+    !get_full_mvds(oracle, key, epsilon, pair, Some(1), node_limit, use_optimization)
+        .mvds
+        .is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{is_full_mvd, j_mvd, mvd_holds};
+    use entropy::NaiveEntropyOracle;
+    use relation::{Relation, Schema};
+
+    fn running_example(with_red_tuple: bool) -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();
+        let mut rows = vec![
+            vec!["a1", "b1", "c1", "d1", "e1", "f1"],
+            vec!["a2", "b2", "c1", "d1", "e2", "f2"],
+            vec!["a2", "b2", "c2", "d2", "e3", "f2"],
+            vec!["a1", "b2", "c1", "d2", "e3", "f1"],
+        ];
+        if with_red_tuple {
+            rows.push(vec!["a1", "b2", "c1", "d2", "e2", "f1"]);
+        }
+        Relation::from_rows(schema, &rows).unwrap()
+    }
+
+    fn attrs(v: &[usize]) -> AttrSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn finds_exact_full_mvd_for_key_a() {
+        // In the running example A ↠ F | BCDE holds exactly; key A separates
+        // F (attr 5) from B (attr 1).
+        let rel = running_example(false);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        for opt in [false, true] {
+            let found = get_full_mvds(&mut o, attrs(&[0]), 0.0, (5, 1), None, None, opt);
+            assert!(!found.mvds.is_empty(), "opt={}", opt);
+            for mvd in &found.mvds {
+                assert!(mvd_holds(&mut o, mvd, 0.0));
+                assert!(mvd.separates(5, 1));
+                assert_eq!(mvd.key(), attrs(&[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn plain_and_optimized_agree_on_found_mvds() {
+        let rel = running_example(true);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        for epsilon in [0.0, 0.25, 0.5, 1.0] {
+            for (key, pair) in [
+                (attrs(&[0]), (5usize, 1usize)),
+                (attrs(&[0, 3]), (2, 1)),
+                (attrs(&[1, 3]), (4, 0)),
+            ] {
+                let plain =
+                    get_full_mvds(&mut o, key, epsilon, pair, None, None, false);
+                let optimized =
+                    get_full_mvds(&mut o, key, epsilon, pair, None, None, true);
+                let mut a = plain.mvds.clone();
+                let mut b = optimized.mvds.clone();
+                a.sort();
+                a.dedup();
+                b.sort();
+                b.dedup();
+                assert_eq!(a, b, "ε={} key={:?} pair={:?}", epsilon, key, pair);
+            }
+        }
+    }
+
+    #[test]
+    fn optimization_explores_no_more_nodes() {
+        let rel = running_example(true);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let plain = get_full_mvds(&mut o, attrs(&[0]), 0.1, (5, 1), None, None, false);
+        let optimized = get_full_mvds(&mut o, attrs(&[0]), 0.1, (5, 1), None, None, true);
+        assert!(optimized.nodes_explored <= plain.nodes_explored);
+    }
+
+    #[test]
+    fn results_are_full_mvds() {
+        let rel = running_example(true);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        for epsilon in [0.0, 0.3, 0.7] {
+            let found = get_full_mvds(&mut o, attrs(&[0]), epsilon, (5, 1), None, None, true);
+            for mvd in &found.mvds {
+                assert!(
+                    is_full_mvd(&mut o, mvd, epsilon),
+                    "ε={}: {:?} (J={}) is not full",
+                    epsilon,
+                    mvd,
+                    j_mvd(&mut o, mvd)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn limit_k_caps_output() {
+        let rel = running_example(true);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let found = get_full_mvds(&mut o, attrs(&[0]), 2.0, (5, 1), Some(1), None, false);
+        assert_eq!(found.mvds.len(), 1);
+    }
+
+    #[test]
+    fn node_limit_truncates() {
+        let rel = running_example(true);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let found = get_full_mvds(&mut o, attrs(&[0]), 0.0, (5, 1), None, Some(1), false);
+        assert!(found.truncated || found.nodes_explored <= 1);
+    }
+
+    #[test]
+    fn invalid_pairs_return_empty() {
+        let rel = running_example(false);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        // Pair attribute inside the key.
+        let found = get_full_mvds(&mut o, attrs(&[0]), 0.0, (0, 1), None, None, true);
+        assert!(found.mvds.is_empty());
+        // Identical pair.
+        let found = get_full_mvds(&mut o, attrs(&[0]), 0.0, (1, 1), None, None, true);
+        assert!(found.mvds.is_empty());
+        // Pair out of range.
+        let found = get_full_mvds(&mut o, attrs(&[0]), 0.0, (1, 60), None, None, true);
+        assert!(found.mvds.is_empty());
+    }
+
+    #[test]
+    fn two_tuple_example_with_epsilon_one() {
+        // §5.2's example: with ε = 1 and key X, the three coarse MVDs hold but
+        // the fully refined one does not. Mining with pair (A, B) must return
+        // full MVDs separating A and B with J ≤ 1.
+        let schema = Schema::new(["X", "A", "B", "C"]).unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            &[vec!["0", "0", "0", "0"], vec!["0", "1", "1", "1"]],
+        )
+        .unwrap();
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let found = get_full_mvds(&mut o, attrs(&[0]), 1.0, (1, 2), None, None, true);
+        assert!(!found.mvds.is_empty());
+        for mvd in &found.mvds {
+            assert!(mvd.separates(1, 2));
+            assert!(mvd_holds(&mut o, mvd, 1.0));
+            // None of them can be the fully refined X ↠ A|B|C (J = 2 > 1).
+            assert!(mvd.arity() == 2);
+        }
+    }
+
+    #[test]
+    fn separator_check_matches_definition() {
+        let rel = running_example(false);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        // A is a separator of (F, B): A ↠ F | BCDE holds.
+        assert!(is_separator(&mut o, attrs(&[0]), 0.0, (5, 1), None, true));
+        // B is not a separator of (A, F) at ε = 0 (F depends on A, not B).
+        assert!(!is_separator(&mut o, attrs(&[1]), 0.0, (0, 5), None, true));
+        // A set containing one of the pair attributes is never a separator.
+        assert!(!is_separator(&mut o, attrs(&[0, 5]), 0.0, (5, 1), None, true));
+        // The empty key can be a separator when the pair is independent;
+        // here A and F are perfectly correlated so it is not.
+        assert!(!is_separator(&mut o, AttrSet::empty(), 0.0, (0, 5), None, true));
+    }
+
+    #[test]
+    fn empty_key_separator_on_independent_attributes() {
+        // Build a relation where A and B are independent: the empty set
+        // separates them (MVD ∅ ↠ A | B ... holds).
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            &[
+                vec!["0", "0"],
+                vec!["0", "1"],
+                vec!["1", "0"],
+                vec!["1", "1"],
+            ],
+        )
+        .unwrap();
+        let mut o = NaiveEntropyOracle::new(&rel);
+        assert!(is_separator(&mut o, AttrSet::empty(), 0.0, (0, 1), None, true));
+    }
+}

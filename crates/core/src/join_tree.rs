@@ -1,0 +1,500 @@
+//! Join trees and acyclicity tests.
+//!
+//! A schema `S = {Ω₁, …, Ω_m}` is *acyclic* iff it admits a join tree: a tree
+//! with one bag per relation satisfying the running intersection property
+//! (Def. 3.1). Join trees matter twice in Maimon: the J-measure of a schema
+//! is defined over any of its join trees (Eq. 6, and Lee's theorem says the
+//! value does not depend on which one), and each edge of a join tree
+//! contributes one MVD to the schema's *support* (§3.1).
+//!
+//! Construction uses the classical maximum-weight spanning tree
+//! characterization (a schema is acyclic iff a maximum spanning tree of its
+//! intersection graph, weighted by `|Ωᵢ ∩ Ωⱼ|`, is a join tree); the GYO
+//! reduction is provided as an independent acyclicity test used for
+//! cross-checking.
+
+use crate::error::MaimonError;
+use crate::mvd::Mvd;
+use relation::{AttrSet, JoinTreeSpec, Schema};
+
+/// A join tree: bags (one per relation of the schema) plus undirected edges
+/// forming a tree that satisfies the running intersection property.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinTree {
+    bags: Vec<AttrSet>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl JoinTree {
+    /// Creates a join tree after validating the tree shape and the running
+    /// intersection property.
+    ///
+    /// # Errors
+    /// Returns an error if the edges do not form a tree over the bags or the
+    /// running intersection property fails.
+    pub fn new(bags: Vec<AttrSet>, edges: Vec<(usize, usize)>) -> Result<Self, MaimonError> {
+        if bags.is_empty() {
+            return Err(MaimonError::InvalidSchema("join tree with no bags".into()));
+        }
+        if edges.len() + 1 != bags.len() {
+            return Err(MaimonError::InvalidSchema(format!(
+                "{} bags need {} edges, got {}",
+                bags.len(),
+                bags.len() - 1,
+                edges.len()
+            )));
+        }
+        for &(u, v) in &edges {
+            if u >= bags.len() || v >= bags.len() || u == v {
+                return Err(MaimonError::InvalidSchema(format!(
+                    "edge ({}, {}) invalid for {} bags",
+                    u,
+                    v,
+                    bags.len()
+                )));
+            }
+        }
+        let tree = JoinTree { bags, edges };
+        if !tree.is_connected() {
+            return Err(MaimonError::InvalidSchema("join tree is not connected".into()));
+        }
+        if !tree.has_running_intersection_property() {
+            return Err(MaimonError::InvalidSchema(
+                "running intersection property violated".into(),
+            ));
+        }
+        Ok(tree)
+    }
+
+    /// Attempts to build a join tree for a set of bags using the
+    /// maximum-weight spanning tree construction. Returns `None` when the
+    /// schema is not acyclic.
+    pub fn from_bags(bags: &[AttrSet]) -> Option<JoinTree> {
+        if bags.is_empty() {
+            return None;
+        }
+        if bags.len() == 1 {
+            return Some(JoinTree {
+                bags: bags.to_vec(),
+                edges: Vec::new(),
+            });
+        }
+        // Prim's algorithm on the complete graph with weight |Ωᵢ ∩ Ωⱼ|.
+        let n = bags.len();
+        let mut in_tree = vec![false; n];
+        let mut best_weight = vec![usize::MAX; n];
+        let mut best_parent = vec![usize::MAX; n];
+        let mut edges = Vec::with_capacity(n - 1);
+        in_tree[0] = true;
+        for v in 1..n {
+            best_weight[v] = bags[0].intersect(bags[v]).len();
+            best_parent[v] = 0;
+        }
+        for _ in 1..n {
+            // Pick the not-yet-included bag with the largest connection weight.
+            let mut pick = usize::MAX;
+            let mut pick_weight = 0usize;
+            let mut found = false;
+            for v in 0..n {
+                if !in_tree[v] && (!found || best_weight[v] > pick_weight) {
+                    pick = v;
+                    pick_weight = best_weight[v];
+                    found = true;
+                }
+            }
+            let v = pick;
+            in_tree[v] = true;
+            edges.push((best_parent[v], v));
+            for u in 0..n {
+                if !in_tree[u] {
+                    let w = bags[v].intersect(bags[u]).len();
+                    if w > best_weight[u] || best_weight[u] == usize::MAX {
+                        best_weight[u] = w;
+                        best_parent[u] = v;
+                    }
+                }
+            }
+        }
+        let tree = JoinTree {
+            bags: bags.to_vec(),
+            edges,
+        };
+        if tree.has_running_intersection_property() {
+            Some(tree)
+        } else {
+            None
+        }
+    }
+
+    /// The bags of the tree.
+    #[inline]
+    pub fn bags(&self) -> &[AttrSet] {
+        &self.bags
+    }
+
+    /// The edges of the tree.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Union of all bags: the signature `χ(T)`.
+    pub fn all_attrs(&self) -> AttrSet {
+        self.bags.iter().fold(AttrSet::empty(), |a, &b| a.union(b))
+    }
+
+    /// The separators, one per edge: `χ(u) ∩ χ(v)`.
+    pub fn separators(&self) -> Vec<AttrSet> {
+        self.edges
+            .iter()
+            .map(|&(u, v)| self.bags[u].intersect(self.bags[v]))
+            .collect()
+    }
+
+    /// The support `MVD(T)`: the MVD `χ(u)∩χ(v) ↠ χ(T_u)∖sep | χ(T_v)∖sep`
+    /// associated with each edge (§3.1). Edges whose MVD would be degenerate
+    /// (one side empty) are skipped; this only happens when one subtree's
+    /// attributes are completely contained in the separator.
+    pub fn support(&self) -> Vec<Mvd> {
+        let mut result = Vec::new();
+        for (edge_index, &(u, v)) in self.edges.iter().enumerate() {
+            let sep = self.bags[u].intersect(self.bags[v]);
+            let side_u = self.component_attrs(edge_index, u);
+            let side_v = self.component_attrs(edge_index, v);
+            let dep_u = side_u.difference(sep);
+            let dep_v = side_v.difference(sep);
+            if dep_u.is_empty() || dep_v.is_empty() {
+                continue;
+            }
+            if let Ok(mvd) = Mvd::standard(sep, dep_u, dep_v) {
+                result.push(mvd);
+            }
+        }
+        result
+    }
+
+    /// Converts to the [`JoinTreeSpec`] consumed by the relational substrate's
+    /// join-size counting.
+    pub fn to_spec(&self) -> JoinTreeSpec {
+        JoinTreeSpec {
+            bags: self.bags.clone(),
+            edges: self.edges.clone(),
+        }
+    }
+
+    /// Renders the tree edges with the attribute names of `schema`, e.g.
+    /// `ABD —AD— ACD`.
+    pub fn display(&self, schema: &Schema) -> String {
+        if self.edges.is_empty() {
+            return schema.label(self.bags[0]);
+        }
+        self.edges
+            .iter()
+            .map(|&(u, v)| {
+                format!(
+                    "{} —{}— {}",
+                    schema.label(self.bags[u]),
+                    schema.label(self.bags[u].intersect(self.bags[v])),
+                    schema.label(self.bags[v])
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Attributes of the connected component containing `start` after the
+    /// edge with index `removed_edge` is deleted.
+    fn component_attrs(&self, removed_edge: usize, start: usize) -> AttrSet {
+        let mut adjacency = vec![Vec::new(); self.bags.len()];
+        for (i, &(u, v)) in self.edges.iter().enumerate() {
+            if i == removed_edge {
+                continue;
+            }
+            adjacency[u].push(v);
+            adjacency[v].push(u);
+        }
+        let mut visited = vec![false; self.bags.len()];
+        let mut stack = vec![start];
+        visited[start] = true;
+        let mut attrs = AttrSet::empty();
+        while let Some(node) = stack.pop() {
+            attrs = attrs.union(self.bags[node]);
+            for &next in &adjacency[node] {
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        attrs
+    }
+
+    fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adjacency = vec![Vec::new(); self.bags.len()];
+        for &(u, v) in &self.edges {
+            adjacency[u].push(v);
+            adjacency[v].push(u);
+        }
+        adjacency
+    }
+
+    fn is_connected(&self) -> bool {
+        let adjacency = self.adjacency();
+        let mut visited = vec![false; self.bags.len()];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        let mut count = 1;
+        while let Some(node) = stack.pop() {
+            for &next in &adjacency[node] {
+                if !visited[next] {
+                    visited[next] = true;
+                    count += 1;
+                    stack.push(next);
+                }
+            }
+        }
+        count == self.bags.len()
+    }
+
+    /// Checks the running intersection property: for every attribute, the
+    /// bags containing it induce a connected subtree.
+    pub fn has_running_intersection_property(&self) -> bool {
+        let adjacency = self.adjacency();
+        for attr in self.all_attrs().iter() {
+            let members: Vec<usize> = (0..self.bags.len())
+                .filter(|&i| self.bags[i].contains(attr))
+                .collect();
+            if members.len() <= 1 {
+                continue;
+            }
+            // BFS within the induced subgraph.
+            let mut visited = vec![false; self.bags.len()];
+            let mut stack = vec![members[0]];
+            visited[members[0]] = true;
+            let mut reached = 1;
+            while let Some(node) = stack.pop() {
+                for &next in &adjacency[node] {
+                    if !visited[next] && self.bags[next].contains(attr) {
+                        visited[next] = true;
+                        reached += 1;
+                        stack.push(next);
+                    }
+                }
+            }
+            if reached != members.len() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// GYO (Graham–Yu–Özsoyoğlu) reduction: returns `true` iff the hypergraph
+/// given by `bags` is acyclic. Used as an independent cross-check of
+/// [`JoinTree::from_bags`].
+pub fn is_acyclic_gyo(bags: &[AttrSet]) -> bool {
+    if bags.is_empty() {
+        return true;
+    }
+    let mut bags: Vec<AttrSet> = bags.to_vec();
+    loop {
+        let mut changed = false;
+
+        // Rule 1: delete attributes that appear in exactly one bag.
+        let all: Vec<usize> = bags
+            .iter()
+            .fold(AttrSet::empty(), |a, &b| a.union(b))
+            .to_vec();
+        for attr in all {
+            let holders: Vec<usize> = bags
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.contains(attr))
+                .map(|(i, _)| i)
+                .collect();
+            if holders.len() == 1 {
+                bags[holders[0]] = bags[holders[0]].without(attr);
+                changed = true;
+            }
+        }
+
+        // Rule 2: delete bags that are empty or contained in another bag.
+        let mut keep: Vec<AttrSet> = Vec::with_capacity(bags.len());
+        for (i, &bag) in bags.iter().enumerate() {
+            let subsumed = bag.is_empty()
+                || bags
+                    .iter()
+                    .enumerate()
+                    .any(|(j, &other)| i != j && bag.is_subset_of(other) && (bag != other || j < i));
+            if subsumed {
+                changed = true;
+            } else {
+                keep.push(bag);
+            }
+        }
+        bags = keep;
+
+        if bags.len() <= 1 {
+            return true;
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(v: &[usize]) -> AttrSet {
+        v.iter().copied().collect()
+    }
+
+    /// Bags of the running example's join tree (Fig. 2):
+    /// ABD(0), ACD(1), BDE(2), AF(3) with ABD in the middle.
+    fn running_example_bags() -> Vec<AttrSet> {
+        vec![
+            attrs(&[0, 1, 3]), // ABD
+            attrs(&[0, 2, 3]), // ACD
+            attrs(&[1, 3, 4]), // BDE
+            attrs(&[0, 5]),    // AF
+        ]
+    }
+
+    #[test]
+    fn new_validates_structure() {
+        let bags = running_example_bags();
+        let tree = JoinTree::new(bags.clone(), vec![(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(tree.bags().len(), 4);
+        assert_eq!(tree.all_attrs(), AttrSet::full(6));
+        // Wrong edge count.
+        assert!(JoinTree::new(bags.clone(), vec![(0, 1)]).is_err());
+        // Self loop.
+        assert!(JoinTree::new(bags.clone(), vec![(0, 0), (0, 2), (0, 3)]).is_err());
+        // Disconnected (duplicate edge).
+        assert!(JoinTree::new(bags.clone(), vec![(0, 1), (0, 1), (0, 3)]).is_err());
+        assert!(JoinTree::new(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn running_intersection_property_detects_bad_trees() {
+        // Putting BDE adjacent to AF forces attribute B/D to be disconnected.
+        let bags = running_example_bags();
+        let bad = JoinTree::new(bags, vec![(0, 1), (3, 2), (0, 3)]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn from_bags_recovers_running_example_tree() {
+        let bags = running_example_bags();
+        let tree = JoinTree::from_bags(&bags).expect("running example is acyclic");
+        assert!(tree.has_running_intersection_property());
+        assert_eq!(tree.edges().len(), 3);
+        assert_eq!(tree.all_attrs(), AttrSet::full(6));
+    }
+
+    #[test]
+    fn from_bags_rejects_cyclic_schema() {
+        // The classic cyclic triangle {AB, BC, CA}.
+        let bags = vec![attrs(&[0, 1]), attrs(&[1, 2]), attrs(&[2, 0])];
+        assert!(JoinTree::from_bags(&bags).is_none());
+        assert!(!is_acyclic_gyo(&bags));
+    }
+
+    #[test]
+    fn gyo_accepts_acyclic_schemas() {
+        assert!(is_acyclic_gyo(&running_example_bags()));
+        assert!(is_acyclic_gyo(&[attrs(&[0, 1, 2])]));
+        assert!(is_acyclic_gyo(&[]));
+        // A path schema.
+        assert!(is_acyclic_gyo(&[attrs(&[0, 1]), attrs(&[1, 2]), attrs(&[2, 3])]));
+    }
+
+    #[test]
+    fn gyo_and_mst_agree_on_assorted_schemas() {
+        let cases: Vec<Vec<AttrSet>> = vec![
+            running_example_bags(),
+            vec![attrs(&[0, 1]), attrs(&[1, 2]), attrs(&[2, 0])],
+            vec![attrs(&[0, 1, 2]), attrs(&[1, 2, 3]), attrs(&[2, 3, 0])],
+            vec![attrs(&[0, 1]), attrs(&[2, 3])],
+            vec![attrs(&[0, 1, 2]), attrs(&[2, 3]), attrs(&[3, 4]), attrs(&[2, 5])],
+            vec![
+                attrs(&[0, 1, 2, 3]),
+                attrs(&[0, 1, 4]),
+                attrs(&[2, 3, 5]),
+                attrs(&[4, 6]),
+            ],
+        ];
+        for bags in cases {
+            let mst = JoinTree::from_bags(&bags).is_some();
+            let gyo = is_acyclic_gyo(&bags);
+            assert_eq!(mst, gyo, "disagreement on {:?}", bags);
+        }
+    }
+
+    #[test]
+    fn support_of_running_example_matches_paper() {
+        // The paper's join tree (Fig. 2) is the path AF —A— ACD —AD— ABD —BD— BDE,
+        // whose support is MVD(T) = {BD ↠ E|ACF, AD ↠ CF|BE, A ↠ F|BCDE}
+        // (Example 3.2).
+        let bags = running_example_bags();
+        let tree = JoinTree::new(bags, vec![(3, 1), (1, 0), (0, 2)]).unwrap();
+        let support = tree.support();
+        assert_eq!(support.len(), 3);
+        let expected = [
+            Mvd::standard(attrs(&[0, 3]), attrs(&[2, 5]), attrs(&[1, 4])).unwrap(), // AD ↠ CF|BE
+            Mvd::standard(attrs(&[1, 3]), attrs(&[4]), attrs(&[0, 2, 5])).unwrap(), // BD ↠ E|ACF
+            Mvd::standard(attrs(&[0]), attrs(&[5]), attrs(&[1, 2, 3, 4])).unwrap(), // A ↠ F|BCDE
+        ];
+        for mvd in &expected {
+            assert!(support.contains(mvd), "missing {:?}", mvd);
+        }
+    }
+
+    #[test]
+    fn support_depends_on_the_tree_but_separators_do_not() {
+        // The star centered at ABD is another valid join tree for the same
+        // schema; its separators are the same, but the dependents of the AD
+        // edge differ (C | BEF instead of CF | BE).
+        let bags = running_example_bags();
+        let star = JoinTree::new(bags, vec![(0, 1), (0, 2), (0, 3)]).unwrap();
+        let seps = star.separators();
+        assert!(seps.contains(&attrs(&[0, 3]))); // AD
+        assert!(seps.contains(&attrs(&[1, 3]))); // BD
+        assert!(seps.contains(&attrs(&[0]))); // A
+        let support = star.support();
+        let ad_edge = Mvd::standard(attrs(&[0, 3]), attrs(&[2]), attrs(&[1, 4, 5])).unwrap(); // AD ↠ C|BEF
+        assert!(support.contains(&ad_edge));
+    }
+
+    #[test]
+    fn single_bag_tree() {
+        let tree = JoinTree::from_bags(&[attrs(&[0, 1, 2])]).unwrap();
+        assert!(tree.edges().is_empty());
+        assert!(tree.support().is_empty());
+        assert!(tree.separators().is_empty());
+        let spec = tree.to_spec();
+        assert_eq!(spec.bags.len(), 1);
+    }
+
+    #[test]
+    fn disconnected_attribute_sets_still_form_a_join_tree() {
+        // {AB, CD}: acyclic (the join is a cross product), with an empty separator.
+        let bags = vec![attrs(&[0, 1]), attrs(&[2, 3])];
+        let tree = JoinTree::from_bags(&bags).unwrap();
+        assert_eq!(tree.edges().len(), 1);
+        assert_eq!(tree.separators()[0], AttrSet::empty());
+        assert!(is_acyclic_gyo(&bags));
+    }
+
+    #[test]
+    fn display_renders_edges() {
+        let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();
+        let bags = running_example_bags();
+        let tree = JoinTree::new(bags, vec![(0, 1), (0, 2), (0, 3)]).unwrap();
+        let text = tree.display(&schema);
+        assert!(text.contains("ABD"));
+        assert!(text.contains("—AD—"));
+    }
+}

@@ -1,0 +1,85 @@
+//! # Maimon — Mining Approximate Acyclic Schemes from Relations
+//!
+//! A from-scratch Rust implementation of the Maimon system (Kenig, Mundra,
+//! Prasad, Salimi, Suciu — SIGMOD 2020): discovery of approximate multivalued
+//! dependencies (MVDs) and approximate acyclic schemas from a single relation
+//! instance, with an information-theoretic notion of approximation.
+//!
+//! ## Pipeline
+//!
+//! 1. **Entropy oracle** (`maimon-entropy`): every algorithm interacts with
+//!    the data only through the empirical entropy `H(X)` of attribute sets,
+//!    computed with the PLI-cache engine of §6.3.
+//! 2. **MVD mining** ([`mine_mvds`], §6): for every attribute pair, find the
+//!    minimal separators ([`mine_min_seps`]) and the full ε-MVDs keyed by
+//!    them ([`get_full_mvds`]); their union is `M_ε`.
+//! 3. **Schema enumeration** ([`mine_schemas`], §7): enumerate maximal sets
+//!    of pairwise-[`compatible`] MVDs (maximal independent sets of the
+//!    incompatibility graph) and synthesize an acyclic schema from each with
+//!    [`build_acyclic_schema`].
+//! 4. **Quality** ([`evaluate_schema`], §8): storage savings, spurious-tuple
+//!    rate, width, intersection width, pareto front.
+//!
+//! The [`Maimon`] facade runs the whole pipeline:
+//!
+//! ```
+//! use maimon::{Maimon, MaimonConfig};
+//! use relation::{Relation, Schema};
+//!
+//! let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();
+//! let rel = Relation::from_rows(schema, &[
+//!     vec!["a1", "b1", "c1", "d1", "e1", "f1"],
+//!     vec!["a2", "b2", "c1", "d1", "e2", "f2"],
+//!     vec!["a2", "b2", "c2", "d2", "e3", "f2"],
+//!     vec!["a1", "b2", "c1", "d2", "e3", "f1"],
+//! ]).unwrap();
+//!
+//! let result = Maimon::new(&rel, MaimonConfig::with_epsilon(0.0)).unwrap().run().unwrap();
+//! // The relation decomposes exactly into {ABD, ACD, BDE, AF} (Fig. 1 of the paper).
+//! assert!(result.schemas.iter().any(|s| {
+//!     s.discovered.schema.n_relations() == 4 && s.quality.spurious_tuples_pct == 0.0
+//! }));
+//! ```
+
+#![warn(missing_docs)]
+
+mod asminer;
+mod compat;
+mod config;
+mod error;
+mod fd;
+mod full_mvd;
+mod join_tree;
+mod maimon;
+mod measure;
+mod miner;
+mod minsep;
+mod mvd;
+mod quality;
+mod schema;
+
+pub use asminer::{build_acyclic_schema, mine_schemas, DiscoveredSchema, SchemaMiningResult};
+pub use compat::{compatible, incompatibility_graph, incompatible, pairwise_compatible};
+pub use config::{MaimonConfig, MiningLimits};
+pub use error::MaimonError;
+pub use fd::{mine_fds, Fd, FdMiningResult};
+pub use full_mvd::{get_full_mvds, is_separator, FullMvdSearch};
+pub use join_tree::{is_acyclic_gyo, JoinTree};
+pub use maimon::{Maimon, MaimonResult, RankedSchema};
+pub use measure::{
+    is_full_mvd, j_join_tree, j_mvd, j_partition, j_schema, mvd_holds, schema_holds,
+    within_epsilon, EPSILON_TOLERANCE,
+};
+pub use miner::{mine_mvds, MiningStats, MvdMiningResult};
+pub use minsep::{mine_min_seps, minimal_separators_bruteforce, reduce_min_sep, MinSepResult};
+pub use mvd::Mvd;
+pub use quality::{
+    evaluate_schema, pareto_front, spurious_tuples_pct, storage_savings_pct, SchemaQuality,
+};
+pub use schema::AcyclicSchema;
+
+// Re-export the substrate crates so downstream users (examples, benches,
+// integration tests) only need to depend on `maimon`.
+pub use entropy;
+pub use hypergraph;
+pub use relation;

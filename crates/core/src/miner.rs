@@ -1,0 +1,251 @@
+//! `MVDMiner` (Fig. 3): the first phase of Maimon.
+//!
+//! For every unordered pair of attributes `(A, B)` the miner computes the
+//! minimal `A,B`-separators (§6.1) and, for each minimal separator `X`, the
+//! full ε-MVDs with key `X` separating the pair (§6.2). The union over all
+//! pairs is the set `M_ε` of Eq. (11), from which every ε-MVD of the relation
+//! can be derived by Shannon inequalities (Theorem 5.7) and from which the
+//! second phase (`ASMiner`, §7) builds acyclic schemas.
+
+use crate::config::MaimonConfig;
+use crate::full_mvd::get_full_mvds;
+use crate::measure::is_full_mvd;
+use crate::minsep::mine_min_seps;
+use crate::mvd::Mvd;
+use entropy::{EntropyOracle, OracleStats};
+use relation::AttrSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// Statistics of one `MVDMiner` run.
+#[derive(Clone, Debug, Default)]
+pub struct MiningStats {
+    /// Attribute pairs examined.
+    pub pairs_processed: usize,
+    /// Total minimal separators found across all pairs.
+    pub separators_found: usize,
+    /// Candidate transversals tested while mining separators.
+    pub transversals_tested: usize,
+    /// Lattice nodes evaluated by `getFullMVDs` across all calls.
+    pub lattice_nodes_explored: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// `true` if the time budget or a count limit stopped the run early.
+    pub truncated: bool,
+    /// Entropy-oracle counters at the end of the run.
+    pub oracle: OracleStats,
+}
+
+/// The result of the MVD-mining phase: the set `M_ε`, the minimal separators
+/// per attribute pair, and run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MvdMiningResult {
+    /// All discovered full ε-MVDs with minimal-separator keys (deduplicated).
+    pub mvds: Vec<Mvd>,
+    /// Minimal separators per attribute pair `(a, b)` with `a < b`.
+    pub separators: BTreeMap<(usize, usize), Vec<AttrSet>>,
+    /// Run statistics.
+    pub stats: MiningStats,
+}
+
+impl MvdMiningResult {
+    /// The distinct minimal separators across all pairs.
+    pub fn distinct_separators(&self) -> Vec<AttrSet> {
+        let set: BTreeSet<AttrSet> = self
+            .separators
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Number of discovered MVDs.
+    pub fn mvd_count(&self) -> usize {
+        self.mvds.len()
+    }
+}
+
+/// Runs `MVDMiner` over every attribute pair of the oracle's relation.
+pub fn mine_mvds<O: EntropyOracle + ?Sized>(oracle: &mut O, config: &MaimonConfig) -> MvdMiningResult {
+    let started = Instant::now();
+    let mut result = MvdMiningResult::default();
+    let n = oracle.arity();
+    let epsilon = config.epsilon;
+    let limits = config.limits;
+    let use_opt = config.use_pairwise_consistency_optimization;
+    let mut seen: BTreeSet<Mvd> = BTreeSet::new();
+
+    'pairs: for a in 0..n {
+        for b in a + 1..n {
+            if let Some(budget) = limits.time_budget {
+                if started.elapsed() > budget {
+                    result.stats.truncated = true;
+                    break 'pairs;
+                }
+            }
+            result.stats.pairs_processed += 1;
+            let seps = mine_min_seps(oracle, epsilon, (a, b), &limits, use_opt);
+            result.stats.transversals_tested += seps.transversals_tested;
+            result.stats.truncated |= seps.truncated;
+            if seps.separators.is_empty() {
+                continue;
+            }
+            result.stats.separators_found += seps.separators.len();
+            for &sep in &seps.separators {
+                let search = get_full_mvds(
+                    oracle,
+                    sep,
+                    epsilon,
+                    (a, b),
+                    limits.max_full_mvds_per_separator,
+                    limits.max_lattice_nodes,
+                    use_opt,
+                );
+                result.stats.lattice_nodes_explored += search.nodes_explored;
+                result.stats.truncated |= search.truncated;
+                for mvd in search.mvds {
+                    if config.verify_fullness && !is_full_mvd(oracle, &mvd, epsilon) {
+                        continue;
+                    }
+                    seen.insert(mvd);
+                }
+            }
+            result.separators.insert((a, b), seps.separators);
+        }
+    }
+
+    result.mvds = seen.into_iter().collect();
+    result.stats.elapsed = started.elapsed();
+    result.stats.oracle = oracle.stats();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::mvd_holds;
+    use entropy::{NaiveEntropyOracle, PliEntropyOracle};
+    use relation::{Relation, Schema};
+
+    fn running_example(with_red_tuple: bool) -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();
+        let mut rows = vec![
+            vec!["a1", "b1", "c1", "d1", "e1", "f1"],
+            vec!["a2", "b2", "c1", "d1", "e2", "f2"],
+            vec!["a2", "b2", "c2", "d2", "e3", "f2"],
+            vec!["a1", "b2", "c1", "d2", "e3", "f1"],
+        ];
+        if with_red_tuple {
+            rows.push(vec!["a1", "b2", "c1", "d2", "e2", "f1"]);
+        }
+        Relation::from_rows(schema, &rows).unwrap()
+    }
+
+    fn attrs(v: &[usize]) -> AttrSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn exact_mining_on_running_example_recovers_the_support_mvds() {
+        let rel = running_example(false);
+        let s = rel.schema().clone();
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let config = MaimonConfig::with_epsilon(0.0);
+        let result = mine_mvds(&mut o, &config);
+        assert!(!result.mvds.is_empty());
+        assert_eq!(result.stats.pairs_processed, 15);
+        // Every discovered MVD holds exactly.
+        for mvd in &result.mvds {
+            assert!(mvd_holds(&mut o, mvd, 0.0), "{} does not hold", mvd.display(&s));
+        }
+        // The separator keys of the paper's join tree must be among the keys:
+        // A (for F vs the rest), AD, and BD.
+        let keys: BTreeSet<AttrSet> = result.mvds.iter().map(|m| m.key()).collect();
+        assert!(keys.contains(&attrs(&[0])), "missing key A, got {:?}", keys);
+        assert!(keys.contains(&attrs(&[0, 3])), "missing key AD, got {:?}", keys);
+        assert!(keys.contains(&attrs(&[1, 3])), "missing key BD, got {:?}", keys);
+    }
+
+    #[test]
+    fn naive_and_pli_oracles_produce_identical_results() {
+        let rel = running_example(true);
+        let config = MaimonConfig::with_epsilon(0.1);
+        let mut naive = NaiveEntropyOracle::new(&rel);
+        let result_naive = mine_mvds(&mut naive, &config);
+        let mut pli = PliEntropyOracle::with_defaults(&rel);
+        let result_pli = mine_mvds(&mut pli, &config);
+        assert_eq!(result_naive.mvds, result_pli.mvds);
+        assert_eq!(result_naive.separators, result_pli.separators);
+    }
+
+    #[test]
+    fn larger_epsilon_never_loses_separators_on_running_example() {
+        // Larger ε makes more sets separators, so the number of *distinct
+        // minimal separators* can change, but every pair separable at ε=0 is
+        // still separable at ε=0.3.
+        let rel = running_example(true);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let tight = mine_mvds(&mut o, &MaimonConfig::with_epsilon(0.0));
+        let loose = mine_mvds(&mut o, &MaimonConfig::with_epsilon(0.3));
+        for pair in tight.separators.keys() {
+            assert!(
+                loose.separators.contains_key(pair),
+                "pair {:?} separable at ε=0 but not at ε=0.3",
+                pair
+            );
+        }
+    }
+
+    #[test]
+    fn discovered_mvds_all_hold_and_have_minimal_separator_keys() {
+        let rel = running_example(true);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let config = MaimonConfig::with_epsilon(0.25);
+        let result = mine_mvds(&mut o, &config);
+        let distinct = result.distinct_separators();
+        for mvd in &result.mvds {
+            assert!(mvd_holds(&mut o, mvd, 0.25));
+            assert!(
+                distinct.contains(&mvd.key()),
+                "key {:?} is not a discovered minimal separator",
+                mvd.key()
+            );
+        }
+        assert_eq!(result.mvd_count(), result.mvds.len());
+    }
+
+    #[test]
+    fn verify_fullness_filter_only_removes_non_full_mvds() {
+        let rel = running_example(true);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let mut config = MaimonConfig::with_epsilon(0.3);
+        let plain = mine_mvds(&mut o, &config);
+        config.verify_fullness = true;
+        let verified = mine_mvds(&mut o, &config);
+        assert!(verified.mvds.len() <= plain.mvds.len());
+        for mvd in &verified.mvds {
+            assert!(plain.mvds.contains(mvd));
+        }
+    }
+
+    #[test]
+    fn time_budget_of_zero_truncates_immediately() {
+        let rel = running_example(false);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let mut config = MaimonConfig::with_epsilon(0.0);
+        config.limits.time_budget = Some(Duration::from_secs(0));
+        let result = mine_mvds(&mut o, &config);
+        assert!(result.stats.truncated);
+        assert!(result.stats.pairs_processed <= 1);
+    }
+
+    #[test]
+    fn stats_capture_oracle_counters() {
+        let rel = running_example(false);
+        let mut o = NaiveEntropyOracle::new(&rel);
+        let result = mine_mvds(&mut o, &MaimonConfig::with_epsilon(0.0));
+        assert!(result.stats.oracle.calls > 0);
+        assert!(result.stats.elapsed >= Duration::from_secs(0));
+        assert!(result.stats.separators_found >= result.separators.len());
+    }
+}

@@ -1,0 +1,366 @@
+//! Multivalued dependencies (MVDs) and their refinement lattice.
+//!
+//! The paper works with *generalized* MVDs `X ↠ Y₁ | Y₂ | … | Y_m` (m ≥ 2)
+//! whose dependents partition `Ω ∖ X` (§3.1). Standard (two-dependent) MVDs
+//! are the special case `m = 2`. The mining algorithms move through the
+//! lattice of such partitions: refining (splitting dependents) can only
+//! increase the J-measure (Prop. 5.2), merging dependents can only decrease
+//! it, and the *join* `ϕ ∨ ψ` of two MVDs with the same key is their coarsest
+//! common refinement (§5.2, Lemma 5.4).
+
+use crate::error::MaimonError;
+use relation::{AttrSet, Schema};
+
+/// A generalized multivalued dependency `key ↠ D₁ | D₂ | … | D_m`.
+///
+/// Invariants maintained by the constructors:
+/// * the key and all dependents are pairwise disjoint,
+/// * every dependent is non-empty,
+/// * there are at least two dependents,
+/// * dependents are stored sorted, so structurally equal MVDs compare equal
+///   and hash identically.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Mvd {
+    key: AttrSet,
+    dependents: Vec<AttrSet>,
+}
+
+impl Mvd {
+    /// Creates an MVD, validating and canonicalizing the components.
+    ///
+    /// # Errors
+    /// Returns an error if fewer than two dependents are given, any dependent
+    /// is empty, or the key/dependents are not pairwise disjoint.
+    pub fn new(key: AttrSet, mut dependents: Vec<AttrSet>) -> Result<Self, MaimonError> {
+        if dependents.len() < 2 {
+            return Err(MaimonError::InvalidMvd(format!(
+                "an MVD needs at least two dependents, got {}",
+                dependents.len()
+            )));
+        }
+        let mut seen = key;
+        for dep in &dependents {
+            if dep.is_empty() {
+                return Err(MaimonError::InvalidMvd("empty dependent".into()));
+            }
+            if dep.intersects(seen) {
+                return Err(MaimonError::InvalidMvd(format!(
+                    "dependent {:?} overlaps the key or another dependent",
+                    dep
+                )));
+            }
+            seen = seen.union(*dep);
+        }
+        dependents.sort();
+        Ok(Mvd { key, dependents })
+    }
+
+    /// Creates the standard MVD `key ↠ y | z`.
+    ///
+    /// # Errors
+    /// Same conditions as [`Mvd::new`].
+    pub fn standard(key: AttrSet, y: AttrSet, z: AttrSet) -> Result<Self, MaimonError> {
+        Mvd::new(key, vec![y, z])
+    }
+
+    /// Creates the most refined MVD with key `key` over the signature
+    /// `universe`: every attribute of `universe ∖ key` is its own dependent.
+    ///
+    /// # Errors
+    /// Returns an error if fewer than two attributes remain outside the key.
+    pub fn finest(key: AttrSet, universe: AttrSet) -> Result<Self, MaimonError> {
+        let rest = universe.difference(key);
+        let dependents: Vec<AttrSet> = rest.iter().map(AttrSet::singleton).collect();
+        Mvd::new(key, dependents)
+    }
+
+    /// The MVD's key `X`.
+    #[inline]
+    pub fn key(&self) -> AttrSet {
+        self.key
+    }
+
+    /// The dependents `{D₁, …, D_m}` in canonical (sorted) order.
+    #[inline]
+    pub fn dependents(&self) -> &[AttrSet] {
+        &self.dependents
+    }
+
+    /// Number of dependents `m`.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.dependents.len()
+    }
+
+    /// `true` if this is a standard MVD (exactly two dependents).
+    #[inline]
+    pub fn is_standard(&self) -> bool {
+        self.dependents.len() == 2
+    }
+
+    /// Union of the key and all dependents: the signature the MVD talks about.
+    pub fn attributes(&self) -> AttrSet {
+        self.dependents
+            .iter()
+            .fold(self.key, |acc, &d| acc.union(d))
+    }
+
+    /// The acyclic schema represented by this MVD: `{X D₁, X D₂, …, X D_m}`.
+    pub fn schema_bags(&self) -> Vec<AttrSet> {
+        self.dependents.iter().map(|&d| self.key.union(d)).collect()
+    }
+
+    /// Index of the dependent containing `attr`, if any.
+    pub fn dependent_containing(&self, attr: usize) -> Option<usize> {
+        self.dependents.iter().position(|d| d.contains(attr))
+    }
+
+    /// `true` if `a` and `b` occur in two *different* dependents (the MVD
+    /// "separates" them, Def. 5.5).
+    pub fn separates(&self, a: usize, b: usize) -> bool {
+        match (self.dependent_containing(a), self.dependent_containing(b)) {
+            (Some(i), Some(j)) => i != j,
+            _ => false,
+        }
+    }
+
+    /// `true` if `self ⪰ other`: same key, and every dependent of `self` is
+    /// contained in some dependent of `other` (§5.2).
+    pub fn refines(&self, other: &Mvd) -> bool {
+        if self.key != other.key {
+            return false;
+        }
+        self.dependents
+            .iter()
+            .all(|d| other.dependents.iter().any(|o| d.is_subset_of(*o)))
+    }
+
+    /// `true` if `self ≻ other`: refines it and is not equal to it.
+    pub fn strictly_refines(&self, other: &Mvd) -> bool {
+        self != other && self.refines(other)
+    }
+
+    /// Merges dependents `i` and `j` (the `merge_{ij}` operator of §6.2 used
+    /// to walk from finer to coarser MVDs).
+    ///
+    /// # Panics
+    /// Panics if `i == j` or either index is out of range.
+    pub fn merge(&self, i: usize, j: usize) -> Mvd {
+        assert!(i != j && i < self.dependents.len() && j < self.dependents.len());
+        let merged = self.dependents[i].union(self.dependents[j]);
+        let mut dependents: Vec<AttrSet> = self
+            .dependents
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != i && k != j)
+            .map(|(_, &d)| d)
+            .collect();
+        dependents.push(merged);
+        dependents.sort();
+        Mvd {
+            key: self.key,
+            dependents,
+        }
+    }
+
+    /// The join `self ∨ other` (§5.2): the MVD whose dependents are all
+    /// non-empty pairwise intersections `Dᵢ ∩ Eⱼ`. Both inputs must have the
+    /// same key and the same attribute universe.
+    ///
+    /// # Errors
+    /// Returns an error if the keys differ, the universes differ, or the
+    /// result would not be a valid MVD (fewer than two dependents).
+    pub fn join(&self, other: &Mvd) -> Result<Mvd, MaimonError> {
+        if self.key != other.key {
+            return Err(MaimonError::InvalidMvd(
+                "cannot join MVDs with different keys".into(),
+            ));
+        }
+        if self.attributes() != other.attributes() {
+            return Err(MaimonError::InvalidMvd(
+                "cannot join MVDs over different attribute universes".into(),
+            ));
+        }
+        let mut dependents = Vec::new();
+        for &d in &self.dependents {
+            for &e in &other.dependents {
+                let cell = d.intersect(e);
+                if !cell.is_empty() {
+                    dependents.push(cell);
+                }
+            }
+        }
+        Mvd::new(self.key, dependents)
+    }
+
+    /// Coarsens this MVD to the standard MVD that keeps dependent `i` intact
+    /// and merges all the others, i.e. `X ↠ Dᵢ | (rest)`. Returns `None` if
+    /// there are only two dependents and `i` is out of range.
+    pub fn split_around(&self, i: usize) -> Option<Mvd> {
+        if i >= self.dependents.len() {
+            return None;
+        }
+        let rest = self
+            .dependents
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != i)
+            .fold(AttrSet::empty(), |acc, (_, &d)| acc.union(d));
+        Mvd::standard(self.key, self.dependents[i], rest).ok()
+    }
+
+    /// Renders the MVD with the attribute names of `schema`, e.g.
+    /// `AD ↠ CF | BE`.
+    pub fn display(&self, schema: &Schema) -> String {
+        let deps: Vec<String> = self.dependents.iter().map(|&d| schema.label(d)).collect();
+        format!("{} ↠ {}", schema.label(self.key), deps.join(" | "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(v: &[usize]) -> AttrSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn new_validates_and_canonicalizes() {
+        let mvd = Mvd::new(attrs(&[0]), vec![attrs(&[3]), attrs(&[1, 2])]).unwrap();
+        assert_eq!(mvd.key(), attrs(&[0]));
+        // Dependents stored sorted regardless of construction order.
+        assert_eq!(mvd.dependents(), &[attrs(&[1, 2]), attrs(&[3])]);
+        assert_eq!(mvd.arity(), 2);
+        assert!(mvd.is_standard());
+        assert_eq!(mvd.attributes(), attrs(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn canonical_order_makes_equal_mvds_equal() {
+        let a = Mvd::new(attrs(&[0]), vec![attrs(&[1]), attrs(&[2, 3])]).unwrap();
+        let b = Mvd::new(attrs(&[0]), vec![attrs(&[2, 3]), attrs(&[1])]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_mvds_rejected() {
+        // Single dependent.
+        assert!(Mvd::new(attrs(&[0]), vec![attrs(&[1])]).is_err());
+        // Empty dependent.
+        assert!(Mvd::new(attrs(&[0]), vec![attrs(&[1]), AttrSet::empty()]).is_err());
+        // Dependent overlapping the key.
+        assert!(Mvd::new(attrs(&[0]), vec![attrs(&[0, 1]), attrs(&[2])]).is_err());
+        // Overlapping dependents.
+        assert!(Mvd::new(attrs(&[0]), vec![attrs(&[1, 2]), attrs(&[2, 3])]).is_err());
+    }
+
+    #[test]
+    fn finest_splits_into_singletons() {
+        let mvd = Mvd::finest(attrs(&[1]), AttrSet::full(5)).unwrap();
+        assert_eq!(mvd.arity(), 4);
+        assert!(mvd.dependents().iter().all(|d| d.len() == 1));
+        assert!(Mvd::finest(attrs(&[0, 1, 2, 3]), AttrSet::full(5)).is_err());
+    }
+
+    #[test]
+    fn separates_and_dependent_containing() {
+        let mvd = Mvd::new(attrs(&[0]), vec![attrs(&[1, 2]), attrs(&[3]), attrs(&[4])]).unwrap();
+        assert!(mvd.separates(1, 3));
+        assert!(mvd.separates(3, 4));
+        assert!(!mvd.separates(1, 2));
+        assert!(!mvd.separates(0, 1)); // key attribute is in no dependent
+        assert_eq!(mvd.dependent_containing(4), Some(mvd.dependents().iter().position(|d| d.contains(4)).unwrap()));
+        assert_eq!(mvd.dependent_containing(0), None);
+    }
+
+    #[test]
+    fn refinement_relation() {
+        // X ↠ A | B | C refines X ↠ AB | C (paper example).
+        let fine = Mvd::new(attrs(&[0]), vec![attrs(&[1]), attrs(&[2]), attrs(&[3])]).unwrap();
+        let coarse = Mvd::new(attrs(&[0]), vec![attrs(&[1, 2]), attrs(&[3])]).unwrap();
+        assert!(fine.refines(&coarse));
+        assert!(fine.strictly_refines(&coarse));
+        assert!(!coarse.refines(&fine));
+        assert!(fine.refines(&fine));
+        assert!(!fine.strictly_refines(&fine));
+        // Different key: no refinement.
+        let other_key = Mvd::new(attrs(&[1]), vec![attrs(&[0, 2]), attrs(&[3])]).unwrap();
+        assert!(!fine.refines(&other_key));
+    }
+
+    #[test]
+    fn merge_combines_two_dependents() {
+        let fine = Mvd::new(attrs(&[0]), vec![attrs(&[1]), attrs(&[2]), attrs(&[3])]).unwrap();
+        let merged = fine.merge(0, 2);
+        assert_eq!(merged.arity(), 2);
+        assert!(fine.refines(&merged));
+        assert!(merged.dependents().contains(&attrs(&[1, 3])));
+        assert!(merged.dependents().contains(&attrs(&[2])));
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_same_index_panics() {
+        let fine = Mvd::new(attrs(&[0]), vec![attrs(&[1]), attrs(&[2]), attrs(&[3])]).unwrap();
+        let _ = fine.merge(1, 1);
+    }
+
+    #[test]
+    fn join_is_coarsest_common_refinement() {
+        // ϕ = X ↠ AB | C, ψ = X ↠ A | BC over Ω = {X, A, B, C}.
+        let phi = Mvd::new(attrs(&[0]), vec![attrs(&[1, 2]), attrs(&[3])]).unwrap();
+        let psi = Mvd::new(attrs(&[0]), vec![attrs(&[1]), attrs(&[2, 3])]).unwrap();
+        let join = phi.join(&psi).unwrap();
+        assert_eq!(join.arity(), 3);
+        assert!(join.refines(&phi));
+        assert!(join.refines(&psi));
+        // ϕ ∨ ψ = X ↠ A | B | C.
+        let expected =
+            Mvd::new(attrs(&[0]), vec![attrs(&[1]), attrs(&[2]), attrs(&[3])]).unwrap();
+        assert_eq!(join, expected);
+        // Joining with itself is the identity.
+        assert_eq!(phi.join(&phi).unwrap(), phi);
+    }
+
+    #[test]
+    fn join_rejects_mismatched_inputs() {
+        let phi = Mvd::new(attrs(&[0]), vec![attrs(&[1, 2]), attrs(&[3])]).unwrap();
+        let other_key = Mvd::new(attrs(&[1]), vec![attrs(&[0, 2]), attrs(&[3])]).unwrap();
+        assert!(phi.join(&other_key).is_err());
+        let other_universe = Mvd::new(attrs(&[0]), vec![attrs(&[1]), attrs(&[2])]).unwrap();
+        assert!(phi.join(&other_universe).is_err());
+    }
+
+    #[test]
+    fn schema_bags_prepend_key() {
+        let mvd = Mvd::new(attrs(&[0, 4]), vec![attrs(&[1]), attrs(&[2, 3])]).unwrap();
+        let bags = mvd.schema_bags();
+        assert_eq!(bags.len(), 2);
+        assert!(bags.contains(&attrs(&[0, 1, 4])));
+        assert!(bags.contains(&attrs(&[0, 2, 3, 4])));
+    }
+
+    #[test]
+    fn split_around_produces_standard_mvd() {
+        let mvd = Mvd::new(attrs(&[0]), vec![attrs(&[1]), attrs(&[2]), attrs(&[3])]).unwrap();
+        let s = mvd.split_around(0).unwrap();
+        assert!(s.is_standard());
+        assert!(mvd.refines(&s));
+        assert!(mvd.split_around(5).is_none());
+    }
+
+    #[test]
+    fn display_uses_schema_names() {
+        let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();
+        let mvd = Mvd::new(
+            schema.attrs(["A", "D"]).unwrap(),
+            vec![schema.attrs(["C", "F"]).unwrap(), schema.attrs(["B", "E"]).unwrap()],
+        )
+        .unwrap();
+        let text = mvd.display(&schema);
+        assert!(text.starts_with("AD ↠ "));
+        assert!(text.contains("CF"));
+        assert!(text.contains("BE"));
+    }
+}

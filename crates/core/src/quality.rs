@@ -1,0 +1,272 @@
+//! Schema quality metrics (§8.1, §8.2, §8.4).
+//!
+//! For every discovered schema the paper reports:
+//!
+//! * **S — storage savings**: one minus the ratio between the number of cells
+//!   of the decomposed instance (`Σᵢ |R[Ωᵢ]|·|Ωᵢ|`) and of the original
+//!   instance (`|R|·|Ω|`), as a percentage.
+//! * **E — spurious tuples**: `(|⋈ᵢ R[Ωᵢ]| − |R|) / |R|` as a percentage,
+//!   computed without materializing the join (Yannakakis-style counting in
+//!   the relational substrate).
+//! * structural measures: number of relations, width, intersection width.
+//!
+//! The pareto front over (S, E) is what Fig. 10/11 highlight for Nursery.
+
+use crate::error::MaimonError;
+use crate::schema::AcyclicSchema;
+use relation::{acyclic_join_size, Relation};
+
+/// Quality metrics of one schema against one relation instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SchemaQuality {
+    /// Number of relations in the schema.
+    pub n_relations: usize,
+    /// Largest relation (attribute count).
+    pub width: usize,
+    /// Largest pairwise bag intersection.
+    pub intersection_width: usize,
+    /// Storage savings S as a percentage in `[−∞, 100)`. Positive values mean
+    /// the decomposition stores fewer cells than the original relation.
+    pub storage_savings_pct: f64,
+    /// Spurious tuples E as a percentage (0 for exact decompositions).
+    pub spurious_tuples_pct: f64,
+    /// Cells of the original relation.
+    pub original_cells: u128,
+    /// Cells of the decomposed instance.
+    pub decomposed_cells: u128,
+    /// Size of the re-joined instance `|⋈ᵢ R[Ωᵢ]|`.
+    pub join_size: u128,
+}
+
+/// Storage savings S (percent) of decomposing `rel` by `schema`.
+///
+/// # Errors
+/// Returns an error if a projection is invalid for the relation.
+pub fn storage_savings_pct(rel: &Relation, schema: &AcyclicSchema) -> Result<f64, MaimonError> {
+    let original = (rel.distinct_count(rel.schema().all_attrs())? * rel.arity()) as u128;
+    let mut decomposed: u128 = 0;
+    for &bag in schema.bags() {
+        let count = rel.distinct_count(bag)? as u128;
+        decomposed += count * bag.len() as u128;
+    }
+    if original == 0 {
+        return Ok(0.0);
+    }
+    Ok(100.0 * (1.0 - decomposed as f64 / original as f64))
+}
+
+/// Spurious-tuple percentage E of decomposing `rel` by `schema`.
+///
+/// # Errors
+/// Returns an error if the schema is cyclic or a projection is invalid.
+pub fn spurious_tuples_pct(rel: &Relation, schema: &AcyclicSchema) -> Result<f64, MaimonError> {
+    let tree = schema
+        .join_tree()
+        .ok_or_else(|| MaimonError::InvalidSchema("cyclic schema has no join tree".into()))?;
+    let join_size = acyclic_join_size(rel, &tree.to_spec())?;
+    let original = rel.distinct_count(rel.schema().all_attrs())? as u128;
+    if original == 0 {
+        return Ok(0.0);
+    }
+    Ok(100.0 * (join_size.saturating_sub(original)) as f64 / original as f64)
+}
+
+/// Computes the full quality report for one schema.
+///
+/// # Errors
+/// Returns an error if the schema is cyclic, does not cover the relation's
+/// signature, or a projection fails.
+pub fn evaluate_schema(rel: &Relation, schema: &AcyclicSchema) -> Result<SchemaQuality, MaimonError> {
+    if !schema.covers(rel.schema().all_attrs()) {
+        return Err(MaimonError::InvalidSchema(
+            "schema does not cover the relation signature".into(),
+        ));
+    }
+    let tree = schema
+        .join_tree()
+        .ok_or_else(|| MaimonError::InvalidSchema("cyclic schema has no join tree".into()))?;
+    let original_distinct = rel.distinct_count(rel.schema().all_attrs())? as u128;
+    let original_cells = original_distinct * rel.arity() as u128;
+    let mut decomposed_cells: u128 = 0;
+    for &bag in schema.bags() {
+        let count = rel.distinct_count(bag)? as u128;
+        decomposed_cells += count * bag.len() as u128;
+    }
+    let join_size = acyclic_join_size(rel, &tree.to_spec())?;
+    let storage_savings_pct = if original_cells == 0 {
+        0.0
+    } else {
+        100.0 * (1.0 - decomposed_cells as f64 / original_cells as f64)
+    };
+    let spurious_tuples_pct = if original_distinct == 0 {
+        0.0
+    } else {
+        100.0 * join_size.saturating_sub(original_distinct) as f64 / original_distinct as f64
+    };
+    Ok(SchemaQuality {
+        n_relations: schema.n_relations(),
+        width: schema.width(),
+        intersection_width: schema.intersection_width(),
+        storage_savings_pct,
+        spurious_tuples_pct,
+        original_cells,
+        decomposed_cells,
+        join_size,
+    })
+}
+
+/// Indices of the pareto-optimal points among `(savings, spurious)` pairs:
+/// a point is pareto-optimal if no other point has at least as much savings
+/// *and* at most as many spurious tuples, with one inequality strict.
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, &(savings, spurious)) in points.iter().enumerate() {
+        for (j, &(other_savings, other_spurious)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let dominates = other_savings >= savings
+                && other_spurious <= spurious
+                && (other_savings > savings || other_spurious < spurious);
+            if dominates {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{AttrSet, Relation, Schema};
+
+    fn attrs(v: &[usize]) -> AttrSet {
+        v.iter().copied().collect()
+    }
+
+    fn running_example(with_red_tuple: bool) -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();
+        let mut rows = vec![
+            vec!["a1", "b1", "c1", "d1", "e1", "f1"],
+            vec!["a2", "b2", "c1", "d1", "e2", "f2"],
+            vec!["a2", "b2", "c2", "d2", "e3", "f2"],
+            vec!["a1", "b2", "c1", "d2", "e3", "f1"],
+        ];
+        if with_red_tuple {
+            rows.push(vec!["a1", "b2", "c1", "d2", "e2", "f1"]);
+        }
+        Relation::from_rows(schema, &rows).unwrap()
+    }
+
+    fn paper_schema() -> AcyclicSchema {
+        AcyclicSchema::new(vec![
+            attrs(&[0, 1, 3]),
+            attrs(&[0, 2, 3]),
+            attrs(&[1, 3, 4]),
+            attrs(&[0, 5]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_decomposition_has_zero_spurious_tuples() {
+        let rel = running_example(false);
+        let q = evaluate_schema(&rel, &paper_schema()).unwrap();
+        assert_eq!(q.spurious_tuples_pct, 0.0);
+        assert_eq!(q.join_size, 4);
+        assert_eq!(q.n_relations, 4);
+        assert_eq!(q.width, 3);
+        assert_eq!(q.intersection_width, 2);
+        assert_eq!(q.original_cells, 24);
+        // Decomposed: ABD has 4 tuples ×3, ACD 4×3, BDE 3×3, AF 2×2 = 37 cells.
+        assert_eq!(q.decomposed_cells, 37);
+        assert!(q.storage_savings_pct < 0.0, "tiny example actually grows");
+    }
+
+    #[test]
+    fn red_tuple_produces_twenty_percent_spurious() {
+        // 5 real tuples, 1 spurious tuple in the re-join (Fig. 1): E = 20 %.
+        let rel = running_example(true);
+        let q = evaluate_schema(&rel, &paper_schema()).unwrap();
+        assert_eq!(q.join_size, 6);
+        assert!((q.spurious_tuples_pct - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_schema_has_no_savings_and_no_spurious_tuples() {
+        let rel = running_example(true);
+        let schema = AcyclicSchema::trivial(AttrSet::full(6)).unwrap();
+        let q = evaluate_schema(&rel, &schema).unwrap();
+        assert_eq!(q.spurious_tuples_pct, 0.0);
+        assert!((q.storage_savings_pct - 0.0).abs() < 1e-9);
+        assert_eq!(q.n_relations, 1);
+    }
+
+    #[test]
+    fn fully_decomposed_schema_maximizes_savings_and_spurious_tuples() {
+        // One relation per attribute: savings are large on dense data, at the
+        // price of a cross-product worth of spurious tuples (Nursery §8.1).
+        let schema_obj = Schema::new(["A", "B", "C"]).unwrap();
+        let mut rows = Vec::new();
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    // Leave one combination out so the decomposition is lossy.
+                    if (a, b, c) != (2, 2, 2) {
+                        rows.push(vec![a.to_string(), b.to_string(), c.to_string()]);
+                    }
+                }
+            }
+        }
+        let rel = Relation::from_rows(schema_obj, &rows).unwrap();
+        let schema = AcyclicSchema::new(vec![attrs(&[0]), attrs(&[1]), attrs(&[2])]).unwrap();
+        let q = evaluate_schema(&rel, &schema).unwrap();
+        assert_eq!(q.join_size, 27);
+        assert!((q.spurious_tuples_pct - 100.0 / 26.0).abs() < 1e-9);
+        // 26·3 = 78 cells originally, 9 cells decomposed.
+        assert_eq!(q.original_cells, 78);
+        assert_eq!(q.decomposed_cells, 9);
+        assert!(q.storage_savings_pct > 80.0);
+    }
+
+    #[test]
+    fn schema_not_covering_signature_is_rejected() {
+        let rel = running_example(false);
+        let schema = AcyclicSchema::new(vec![attrs(&[0, 1])]).unwrap();
+        assert!(evaluate_schema(&rel, &schema).is_err());
+    }
+
+    #[test]
+    fn cyclic_schema_is_rejected() {
+        let schema_obj = Schema::new(["A", "B", "C"]).unwrap();
+        let rel = Relation::from_rows(schema_obj, &[vec!["1", "2", "3"]]).unwrap();
+        let cyclic =
+            AcyclicSchema::new(vec![attrs(&[0, 1]), attrs(&[1, 2]), attrs(&[2, 0])]).unwrap();
+        assert!(spurious_tuples_pct(&rel, &cyclic).is_err());
+        assert!(evaluate_schema(&rel, &cyclic).is_err());
+    }
+
+    #[test]
+    fn standalone_metrics_match_evaluate() {
+        let rel = running_example(true);
+        let schema = paper_schema();
+        let q = evaluate_schema(&rel, &schema).unwrap();
+        assert!((storage_savings_pct(&rel, &schema).unwrap() - q.storage_savings_pct).abs() < 1e-9);
+        assert!((spurious_tuples_pct(&rel, &schema).unwrap() - q.spurious_tuples_pct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_front_keeps_non_dominated_points() {
+        // (savings, spurious): point 1 dominates point 0; points 1, 2 are on
+        // the front; point 3 is dominated by 2.
+        let points = [(10.0, 5.0), (20.0, 5.0), (30.0, 8.0), (25.0, 9.0)];
+        let front = pareto_front(&points);
+        assert_eq!(front, vec![1, 2]);
+        // Duplicates are all kept (neither strictly dominates the other).
+        let duplicated = [(10.0, 5.0), (10.0, 5.0)];
+        assert_eq!(pareto_front(&duplicated), vec![0, 1]);
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

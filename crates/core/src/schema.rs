@@ -1,0 +1,219 @@
+//! Acyclic schemas (decompositions).
+//!
+//! A schema is a set of relations (bags of attributes) covering the
+//! signature, with no bag contained in another (§3.1). Maimon's output is a
+//! stream of such schemas, each annotated with its J-measure and quality
+//! metrics; the structural type lives here, the metrics in
+//! [`crate::quality`].
+
+use crate::error::MaimonError;
+use crate::join_tree::{is_acyclic_gyo, JoinTree};
+use relation::{AttrSet, Schema};
+
+/// A decomposition `S = {Ω₁, …, Ω_m}` of a relation signature.
+///
+/// Construction removes duplicate bags and bags contained in other bags (so
+/// the antichain property of §3.1 always holds), and stores the bags sorted,
+/// giving a canonical form with structural equality.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AcyclicSchema {
+    bags: Vec<AttrSet>,
+}
+
+impl AcyclicSchema {
+    /// Creates a schema from bags, dropping duplicates and subsumed bags.
+    ///
+    /// # Errors
+    /// Returns an error if no non-empty bag remains.
+    pub fn new(bags: Vec<AttrSet>) -> Result<Self, MaimonError> {
+        let mut kept: Vec<AttrSet> = Vec::with_capacity(bags.len());
+        for &bag in &bags {
+            if bag.is_empty() {
+                continue;
+            }
+            if bags
+                .iter()
+                .any(|&other| other != bag && bag.is_subset_of(other))
+            {
+                continue;
+            }
+            if !kept.contains(&bag) {
+                kept.push(bag);
+            }
+        }
+        if kept.is_empty() {
+            return Err(MaimonError::InvalidSchema("schema has no non-empty bags".into()));
+        }
+        kept.sort();
+        Ok(AcyclicSchema { bags: kept })
+    }
+
+    /// The trivial schema `{Ω}` (no decomposition).
+    pub fn trivial(universe: AttrSet) -> Result<Self, MaimonError> {
+        AcyclicSchema::new(vec![universe])
+    }
+
+    /// The relations (bags) of the schema, in canonical order.
+    #[inline]
+    pub fn bags(&self) -> &[AttrSet] {
+        &self.bags
+    }
+
+    /// Number of relations `m`.
+    #[inline]
+    pub fn n_relations(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Union of all bags.
+    pub fn all_attrs(&self) -> AttrSet {
+        self.bags.iter().fold(AttrSet::empty(), |a, &b| a.union(b))
+    }
+
+    /// `true` if the schema covers the given signature.
+    pub fn covers(&self, universe: AttrSet) -> bool {
+        universe.is_subset_of(self.all_attrs())
+    }
+
+    /// Width: the number of attributes of the widest relation (§8.4; this is
+    /// the treewidth plus one).
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.len()).max().unwrap_or(0)
+    }
+
+    /// Intersection width: the largest `|Ωᵢ ∩ Ωⱼ|` over pairs of distinct
+    /// relations (§8.4).
+    pub fn intersection_width(&self) -> usize {
+        let mut best = 0;
+        for (i, &a) in self.bags.iter().enumerate() {
+            for &b in &self.bags[i + 1..] {
+                best = best.max(a.intersect(b).len());
+            }
+        }
+        best
+    }
+
+    /// `true` if this schema is acyclic (admits a join tree).
+    pub fn is_acyclic(&self) -> bool {
+        is_acyclic_gyo(&self.bags)
+    }
+
+    /// Builds a join tree for this schema, or `None` if it is cyclic.
+    pub fn join_tree(&self) -> Option<JoinTree> {
+        JoinTree::from_bags(&self.bags)
+    }
+
+    /// Total number of cells `Σᵢ |R[Ωᵢ]| · |Ωᵢ|` the decomposed instance
+    /// would occupy, given the distinct-count of each projection. The paper's
+    /// savings metric S compares this against `|R| · |Ω|` (§8.1).
+    pub fn decomposed_cells<F>(&self, mut projection_count: F) -> u128
+    where
+        F: FnMut(AttrSet) -> u128,
+    {
+        self.bags
+            .iter()
+            .map(|&b| projection_count(b) * b.len() as u128)
+            .sum()
+    }
+
+    /// Renders the schema with attribute names, e.g. `{ABD, ACD, BDE, AF}`.
+    pub fn display(&self, schema: &Schema) -> String {
+        let parts: Vec<String> = self.bags.iter().map(|&b| schema.label(b)).collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(v: &[usize]) -> AttrSet {
+        v.iter().copied().collect()
+    }
+
+    fn running_example_schema() -> AcyclicSchema {
+        AcyclicSchema::new(vec![
+            attrs(&[0, 1, 3]), // ABD
+            attrs(&[0, 2, 3]), // ACD
+            attrs(&[1, 3, 4]), // BDE
+            attrs(&[0, 5]),    // AF
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_canonicalizes() {
+        let a = AcyclicSchema::new(vec![attrs(&[0, 1]), attrs(&[1, 2])]).unwrap();
+        let b = AcyclicSchema::new(vec![attrs(&[1, 2]), attrs(&[0, 1]), attrs(&[1, 2])]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.n_relations(), 2);
+    }
+
+    #[test]
+    fn subsumed_bags_are_dropped() {
+        let s = AcyclicSchema::new(vec![attrs(&[0, 1, 2]), attrs(&[0, 1]), attrs(&[3])]).unwrap();
+        assert_eq!(s.n_relations(), 2);
+        assert!(s.bags().contains(&attrs(&[0, 1, 2])));
+        assert!(s.bags().contains(&attrs(&[3])));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(AcyclicSchema::new(vec![]).is_err());
+        assert!(AcyclicSchema::new(vec![AttrSet::empty()]).is_err());
+    }
+
+    #[test]
+    fn trivial_schema() {
+        let s = AcyclicSchema::trivial(AttrSet::full(4)).unwrap();
+        assert_eq!(s.n_relations(), 1);
+        assert_eq!(s.width(), 4);
+        assert_eq!(s.intersection_width(), 0);
+        assert!(s.is_acyclic());
+    }
+
+    #[test]
+    fn running_example_metrics() {
+        let s = running_example_schema();
+        assert_eq!(s.n_relations(), 4);
+        assert_eq!(s.width(), 3);
+        assert_eq!(s.intersection_width(), 2); // AD and BD
+        assert!(s.covers(AttrSet::full(6)));
+        assert!(!s.covers(AttrSet::full(7)));
+        assert!(s.is_acyclic());
+        let tree = s.join_tree().unwrap();
+        assert_eq!(tree.bags().len(), 4);
+    }
+
+    #[test]
+    fn cyclic_schema_detected() {
+        let s = AcyclicSchema::new(vec![attrs(&[0, 1]), attrs(&[1, 2]), attrs(&[2, 0])]).unwrap();
+        assert!(!s.is_acyclic());
+        assert!(s.join_tree().is_none());
+    }
+
+    #[test]
+    fn decomposed_cells_sums_projections() {
+        let s = AcyclicSchema::new(vec![attrs(&[0, 1]), attrs(&[1, 2, 3])]).unwrap();
+        // Pretend every projection has 10 distinct tuples.
+        let cells = s.decomposed_cells(|_| 10);
+        assert_eq!(cells, 10 * 2 + 10 * 3);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let names = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();
+        let s = running_example_schema();
+        let text = s.display(&names);
+        assert!(text.contains("ABD"));
+        assert!(text.contains("AF"));
+        assert!(text.starts_with('{') && text.ends_with('}'));
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let a = running_example_schema();
+        let b = running_example_schema();
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,135 @@
+//! The catalog of benchmark datasets used in the paper's evaluation (Table 2),
+//! regenerated synthetically at the same row/column dimensions.
+//!
+//! Each entry records the dataset name and shape reported in Table 2 plus the
+//! planted-schema parameters used to synthesize a stand-in relation (see
+//! [`crate::synthetic`]). The harness binaries in `maimon-bench` accept a
+//! `scale` factor so the same catalog can drive both quick CI-sized runs and
+//! full-size reproductions.
+
+use crate::synthetic::{planted_acyclic_relation, SyntheticSpec};
+use relation::Relation;
+
+/// One benchmark dataset of Table 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name as printed in Table 2.
+    pub name: &'static str,
+    /// Number of columns in the original dataset.
+    pub columns: usize,
+    /// Number of rows in the original dataset.
+    pub rows: usize,
+    /// Hub (separator) attribute count of the planted schema.
+    pub hub_attrs: usize,
+    /// Number of planted dependent groups.
+    pub blocks: usize,
+    /// Noise fraction used by the generator.
+    pub noise: f64,
+}
+
+impl DatasetSpec {
+    /// Builds the synthetic stand-in relation at a row scale in `(0, 1]`
+    /// (1.0 = the full Table 2 row count). Columns are never scaled; use
+    /// [`Relation::column_prefix`] for the column-scalability experiments.
+    pub fn generate(&self, scale: f64) -> Relation {
+        let rows = ((self.rows as f64 * scale).round() as usize).max(16);
+        let spec = SyntheticSpec {
+            rows,
+            columns: self.columns,
+            hub_attrs: self.hub_attrs,
+            blocks: self.blocks,
+            hub_domain: 64.min(rows as u32 / 4).max(2),
+            variants_per_hub: 3,
+            group_domain: 12,
+            noise: self.noise,
+            seed: fxhash(self.name),
+        };
+        planted_acyclic_relation(&spec).expect("catalog specs are valid by construction")
+    }
+}
+
+/// Stable tiny hash so each dataset gets a distinct deterministic seed.
+fn fxhash(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |acc, b| {
+        (acc ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// The 20 datasets of Table 2 with their published dimensions.
+pub fn metanome_catalog() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec { name: "Ditag Feature", columns: 13, rows: 3_960_124, hub_attrs: 2, blocks: 3, noise: 0.02 },
+        DatasetSpec { name: "Four Square (Spots)", columns: 15, rows: 973_516, hub_attrs: 2, blocks: 4, noise: 0.02 },
+        DatasetSpec { name: "Image", columns: 12, rows: 777_676, hub_attrs: 2, blocks: 3, noise: 0.02 },
+        DatasetSpec { name: "FD_Reduced_30", columns: 30, rows: 250_000, hub_attrs: 3, blocks: 6, noise: 0.05 },
+        DatasetSpec { name: "FD_Reduced_15", columns: 15, rows: 250_000, hub_attrs: 2, blocks: 4, noise: 0.05 },
+        DatasetSpec { name: "Census", columns: 42, rows: 199_524, hub_attrs: 3, blocks: 8, noise: 0.05 },
+        DatasetSpec { name: "SG_Bioentry", columns: 7, rows: 184_292, hub_attrs: 1, blocks: 2, noise: 0.01 },
+        DatasetSpec { name: "Atom Sites", columns: 26, rows: 160_000, hub_attrs: 3, blocks: 5, noise: 0.03 },
+        DatasetSpec { name: "Classification", columns: 12, rows: 70_859, hub_attrs: 2, blocks: 3, noise: 0.02 },
+        DatasetSpec { name: "Adult", columns: 15, rows: 32_561, hub_attrs: 2, blocks: 4, noise: 0.03 },
+        DatasetSpec { name: "Entity Source", columns: 33, rows: 26_139, hub_attrs: 3, blocks: 6, noise: 0.04 },
+        DatasetSpec { name: "Reflns", columns: 27, rows: 24_769, hub_attrs: 3, blocks: 5, noise: 0.04 },
+        DatasetSpec { name: "Letter", columns: 17, rows: 20_000, hub_attrs: 2, blocks: 4, noise: 0.03 },
+        DatasetSpec { name: "School Results", columns: 27, rows: 14_384, hub_attrs: 3, blocks: 5, noise: 0.04 },
+        DatasetSpec { name: "Voter State", columns: 45, rows: 10_000, hub_attrs: 3, blocks: 9, noise: 0.04 },
+        DatasetSpec { name: "Abalone", columns: 9, rows: 4_177, hub_attrs: 1, blocks: 3, noise: 0.02 },
+        DatasetSpec { name: "Breast-Cancer", columns: 11, rows: 699, hub_attrs: 1, blocks: 3, noise: 0.02 },
+        DatasetSpec { name: "Hepatitis", columns: 20, rows: 155, hub_attrs: 2, blocks: 4, noise: 0.02 },
+        DatasetSpec { name: "Echocardiogram", columns: 13, rows: 132, hub_attrs: 1, blocks: 3, noise: 0.02 },
+        DatasetSpec { name: "Bridges", columns: 13, rows: 108, hub_attrs: 1, blocks: 3, noise: 0.02 },
+    ]
+}
+
+/// Looks up a catalog entry by (case-insensitive) name.
+pub fn dataset_by_name(name: &str) -> Option<DatasetSpec> {
+    metanome_catalog()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table_2_dimensions() {
+        let catalog = metanome_catalog();
+        assert_eq!(catalog.len(), 20);
+        let census = dataset_by_name("census").unwrap();
+        assert_eq!(census.columns, 42);
+        assert_eq!(census.rows, 199_524);
+        let bridges = dataset_by_name("Bridges").unwrap();
+        assert_eq!(bridges.rows, 108);
+        assert!(dataset_by_name("not a dataset").is_none());
+    }
+
+    #[test]
+    fn every_entry_has_a_consistent_planted_shape() {
+        for spec in metanome_catalog() {
+            assert!(spec.hub_attrs < spec.columns, "{}", spec.name);
+            assert!(spec.blocks <= spec.columns - spec.hub_attrs, "{}", spec.name);
+            assert!(spec.columns <= 64);
+        }
+    }
+
+    #[test]
+    fn generation_at_small_scale_matches_requested_rows() {
+        let abalone = dataset_by_name("Abalone").unwrap();
+        let rel = abalone.generate(0.1);
+        assert_eq!(rel.arity(), 9);
+        assert_eq!(rel.n_rows(), 418);
+        // Tiny datasets are clamped to at least 16 rows.
+        let bridges = dataset_by_name("Bridges").unwrap();
+        assert_eq!(bridges.generate(0.01).n_rows(), 16);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_dataset() {
+        let spec = dataset_by_name("Breast-Cancer").unwrap();
+        let a = spec.generate(1.0);
+        let b = spec.generate(1.0);
+        assert!(a.equal_as_sets(&b));
+        assert_eq!(a.n_rows(), 699);
+    }
+}

@@ -1,0 +1,151 @@
+//! A synthetic regeneration of the UCI Nursery dataset (§8.1).
+//!
+//! The real Nursery data is the full Cartesian product of eight categorical
+//! input attributes (domain sizes 3·5·4·4·3·2·3·3 = 12 960 tuples) plus a
+//! class attribute derived from the inputs by the original ranking rules. We
+//! do not ship the UCI file; instead we regenerate a relation with exactly
+//! the same structural properties the paper's use case exploits:
+//!
+//! * 12 960 tuples, 9 attributes named `A` … `I`, 116 640 cells;
+//! * attributes `A`–`H` enumerate the full Cartesian product of the
+//!   documented domain sizes, so the data is *dense*;
+//! * attribute `I` (the class) is a deterministic function of the inputs with
+//!   five values, so `H(I | A…H) = 0` and no exact decomposition separates it
+//!   perfectly from all inputs;
+//! * like the original, the relation admits no non-trivial exact acyclic
+//!   decomposition, but increasingly rich approximate ones as ε grows.
+
+use relation::{Relation, Schema};
+
+/// Domain sizes of the eight Nursery input attributes (parents, has_nurs,
+/// form, children, housing, finance, social, health).
+pub const NURSERY_INPUT_DOMAINS: [u32; 8] = [3, 5, 4, 4, 3, 2, 3, 3];
+
+/// Number of tuples of the full Nursery relation.
+pub const NURSERY_ROWS: usize = 12_960;
+
+/// Deterministic rule assigning the class attribute `I` from the eight input
+/// values, mimicking the flavor of the original ranking rules (health
+/// dominates, then parents/has_nurs, then finance/social): returns a value in
+/// `0..5`.
+fn classify(values: &[u32; 8]) -> u32 {
+    let [parents, has_nurs, _form, children, housing, finance, social, health] = *values;
+    if health == 0 {
+        return 0; // not recommended
+    }
+    let mut score: i32 = 0;
+    score += match parents {
+        0 => 2,
+        1 => 1,
+        _ => 0,
+    };
+    score += match has_nurs {
+        0 => 2,
+        1 => 1,
+        _ => 0,
+    };
+    score += if finance == 0 { 1 } else { 0 };
+    score += if social != 2 { 1 } else { 0 };
+    score += if housing == 0 { 1 } else { 0 };
+    score += if children <= 1 { 1 } else { 0 };
+    score += if health == 2 { 2 } else { 0 };
+    match score {
+        0..=2 => 1,
+        3..=4 => 2,
+        5..=6 => 3,
+        _ => 4,
+    }
+}
+
+/// Generates the synthetic Nursery relation: the Cartesian product of the
+/// eight input domains plus the derived class attribute.
+pub fn nursery() -> Relation {
+    nursery_with_rows(NURSERY_ROWS)
+}
+
+/// Generates a prefix of the Nursery relation with at most `max_rows` tuples
+/// (in lexicographic order of the input attributes). Useful to keep unit
+/// tests and CI-sized experiments fast while preserving the dataset's
+/// character.
+pub fn nursery_with_rows(max_rows: usize) -> Relation {
+    let schema =
+        Schema::new(["A", "B", "C", "D", "E", "F", "G", "H", "I"]).expect("static schema is valid");
+    let total: usize = NURSERY_INPUT_DOMAINS.iter().map(|&d| d as usize).product();
+    let rows = total.min(max_rows);
+    let mut columns: Vec<Vec<u32>> = vec![Vec::with_capacity(rows); 9];
+    for idx in 0..rows {
+        let mut rest = idx;
+        let mut values = [0u32; 8];
+        for (c, &d) in NURSERY_INPUT_DOMAINS.iter().enumerate().rev() {
+            values[c] = (rest % d as usize) as u32;
+            rest /= d as usize;
+        }
+        for (c, &v) in values.iter().enumerate() {
+            columns[c].push(v);
+        }
+        columns[8].push(classify(&values));
+    }
+    Relation::from_code_columns(schema, columns).expect("generated columns match the schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::AttrSet;
+
+    #[test]
+    fn full_nursery_has_the_documented_shape() {
+        let rel = nursery();
+        assert_eq!(rel.n_rows(), 12_960);
+        assert_eq!(rel.arity(), 9);
+        assert_eq!(rel.cells(), 116_640);
+        for (c, &d) in NURSERY_INPUT_DOMAINS.iter().enumerate() {
+            assert_eq!(rel.column_cardinality(c), d as usize, "column {}", c);
+        }
+        // The class attribute takes all five values.
+        assert_eq!(rel.column_cardinality(8), 5);
+    }
+
+    #[test]
+    fn all_tuples_are_distinct_and_inputs_are_a_key() {
+        let rel = nursery();
+        let inputs: AttrSet = (0..8).collect();
+        assert_eq!(rel.distinct_count(inputs).unwrap(), 12_960);
+        assert_eq!(rel.distinct_count(AttrSet::full(9)).unwrap(), 12_960);
+    }
+
+    #[test]
+    fn class_is_a_function_of_the_inputs() {
+        let rel = nursery_with_rows(2000);
+        let inputs: AttrSet = (0..8).collect();
+        let all = AttrSet::full(9);
+        assert_eq!(
+            rel.distinct_count(inputs).unwrap(),
+            rel.distinct_count(all).unwrap()
+        );
+    }
+
+    #[test]
+    fn class_depends_on_more_than_one_attribute() {
+        // The rule must not collapse to a single input attribute, otherwise
+        // the use case would be trivial.
+        let rel = nursery_with_rows(4000);
+        for input in 0..8usize {
+            let pair: AttrSet = [input, 8].into_iter().collect();
+            let single = AttrSet::singleton(input);
+            assert!(
+                rel.distinct_count(pair).unwrap() > rel.distinct_count(single).unwrap(),
+                "class collapses onto attribute {}",
+                input
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_generation_truncates() {
+        let rel = nursery_with_rows(100);
+        assert_eq!(rel.n_rows(), 100);
+        let rel = nursery_with_rows(10_000_000);
+        assert_eq!(rel.n_rows(), 12_960);
+    }
+}

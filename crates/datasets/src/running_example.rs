@@ -1,0 +1,61 @@
+//! The paper's running example (Figure 1).
+
+use relation::{Relation, Schema};
+
+/// The 4-tuple relation of Figure 1, which decomposes exactly into
+/// `{ABD, ACD, BDE, AF}`.
+pub fn running_example() -> Relation {
+    build(false)
+}
+
+/// The 5-tuple variant with the "red" tuple added (§2), which breaks the
+/// exact decomposition and introduces one spurious tuple in the re-join.
+pub fn running_example_with_red_tuple() -> Relation {
+    build(true)
+}
+
+fn build(with_red_tuple: bool) -> Relation {
+    let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).expect("static schema is valid");
+    let mut rows = vec![
+        vec!["a1", "b1", "c1", "d1", "e1", "f1"],
+        vec!["a2", "b2", "c1", "d1", "e2", "f2"],
+        vec!["a2", "b2", "c2", "d2", "e3", "f2"],
+        vec!["a1", "b2", "c1", "d2", "e3", "f1"],
+    ];
+    if with_red_tuple {
+        rows.push(vec!["a1", "b2", "c1", "d2", "e2", "f1"]);
+    }
+    Relation::from_rows(schema, &rows).expect("static rows match the schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{acyclic_join_size, JoinTreeSpec};
+
+    #[test]
+    fn shapes_match_the_paper() {
+        let base = running_example();
+        assert_eq!(base.n_rows(), 4);
+        assert_eq!(base.arity(), 6);
+        let red = running_example_with_red_tuple();
+        assert_eq!(red.n_rows(), 5);
+    }
+
+    #[test]
+    fn decomposition_is_exact_without_the_red_tuple_only() {
+        let schema = running_example().schema().clone();
+        let bags = vec![
+            schema.attrs(["A", "B", "D"]).unwrap(),
+            schema.attrs(["A", "C", "D"]).unwrap(),
+            schema.attrs(["B", "D", "E"]).unwrap(),
+            schema.attrs(["A", "F"]).unwrap(),
+        ];
+        let spec = JoinTreeSpec::new(bags, vec![(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(acyclic_join_size(&running_example(), &spec).unwrap(), 4);
+        assert_eq!(
+            acyclic_join_size(&running_example_with_red_tuple(), &spec).unwrap(),
+            6
+        );
+    }
+}

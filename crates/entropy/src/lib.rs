@@ -1,0 +1,25 @@
+//! Empirical entropy engine for the Maimon reproduction.
+//!
+//! Maimon's mining algorithms interact with the data exclusively through an
+//! entropy oracle `getEntropy_R(X)` (paper §6.3). This crate provides:
+//!
+//! * [`Pli`] — stripped partitions (position list indices) with native
+//!   intersection, the Rust equivalent of the paper's `CNT`/`TID` tables.
+//! * [`EntropyOracle`] — the oracle trait, with derived conditional entropy
+//!   and conditional mutual information.
+//! * [`NaiveEntropyOracle`] — full-scan reference implementation.
+//! * [`PliEntropyOracle`] — the §6.3 engine: cached partitions, singleton
+//!   pruning, and block precomputation controlled by [`EntropyConfig`].
+//!
+//! All entropies are reported in bits (log base 2), matching the paper's
+//! `H(ABCDEF) = log 4 = 2` example.
+
+#![warn(missing_docs)]
+
+mod oracle;
+mod partition;
+mod pli;
+
+pub use oracle::{entropy_from_group_sizes, EntropyOracle, NaiveEntropyOracle, OracleStats};
+pub use partition::Pli;
+pub use pli::{EntropyConfig, PliEntropyOracle};

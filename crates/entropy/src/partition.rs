@@ -1,0 +1,291 @@
+//! Stripped partitions (position list indices).
+//!
+//! A *stripped partition* over an attribute set `X` groups the tuple
+//! identifiers of a relation by their `X`-value and discards groups of size
+//! one. This is the PLI structure of TANE/HyFD that §6.3 of the paper adapts:
+//! singleton groups contribute `1·log 1 = 0` to the entropy sum of Eq. (5),
+//! so dropping them loses nothing, and as attribute sets grow the partitions
+//! shrink rapidly, which is what makes repeated entropy computation feasible.
+//!
+//! The paper materializes the same structure as `CNT`/`TID` tables in the H2
+//! in-memory database and intersects them with SQL joins; here the
+//! intersection is a native two-pass probe (`Pli::intersect`).
+
+use relation::{AttrSet, Relation};
+
+/// A stripped partition: clusters of row indices, each of size ≥ 2, grouping
+/// rows with equal values on some attribute set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pli {
+    clusters: Vec<Vec<u32>>,
+    n_rows: usize,
+}
+
+impl Pli {
+    /// Builds the stripped partition of a single attribute directly from its
+    /// dictionary codes.
+    pub fn from_column(rel: &Relation, attr: usize) -> Pli {
+        let codes = rel.column_codes(attr);
+        let cardinality = rel.column_cardinality(attr);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cardinality];
+        for (row, &code) in codes.iter().enumerate() {
+            buckets[code as usize].push(row as u32);
+        }
+        let clusters: Vec<Vec<u32>> = buckets.into_iter().filter(|b| b.len() >= 2).collect();
+        Pli {
+            clusters,
+            n_rows: rel.n_rows(),
+        }
+    }
+
+    /// Builds the stripped partition of an arbitrary attribute set by hashing
+    /// the grouping key of every row. Used as the reference implementation and
+    /// as a fallback when no cached partition is available.
+    pub fn from_attrs(rel: &Relation, attrs: AttrSet) -> Pli {
+        use std::collections::HashMap;
+        let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::with_capacity(rel.n_rows());
+        for row in 0..rel.n_rows() {
+            groups.entry(rel.key(row, attrs)).or_default().push(row as u32);
+        }
+        let mut clusters: Vec<Vec<u32>> =
+            groups.into_values().filter(|g| g.len() >= 2).collect();
+        // Deterministic order helps testing and reproducibility.
+        clusters.sort();
+        Pli {
+            clusters,
+            n_rows: rel.n_rows(),
+        }
+    }
+
+    /// The trivial partition of the empty attribute set: one cluster holding
+    /// every row (or none if the relation is smaller than two rows).
+    pub fn trivial(n_rows: usize) -> Pli {
+        let clusters = if n_rows >= 2 {
+            vec![(0..n_rows as u32).collect()]
+        } else {
+            Vec::new()
+        };
+        Pli { clusters, n_rows }
+    }
+
+    /// Number of rows of the underlying relation.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The clusters (each of size ≥ 2).
+    #[inline]
+    pub fn clusters(&self) -> &[Vec<u32>] {
+        &self.clusters
+    }
+
+    /// Number of non-singleton clusters.
+    #[inline]
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total number of rows covered by non-singleton clusters; everything else
+    /// is a singleton in the partition.
+    #[inline]
+    pub fn covered_rows(&self) -> usize {
+        self.clusters.iter().map(|c| c.len()).sum()
+    }
+
+    /// Number of distinct values (clusters plus implicit singletons).
+    #[inline]
+    pub fn distinct_values(&self) -> usize {
+        self.clusters.len() + (self.n_rows - self.covered_rows())
+    }
+
+    /// Entropy (in bits) of the empirical distribution grouped by this
+    /// partition's attribute set, per Eq. (5) of the paper:
+    /// `H = log₂ N − (1/N) · Σ_groups |g|·log₂|g|`, where singleton groups
+    /// contribute zero and are therefore absent from the stripped partition.
+    pub fn entropy(&self) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let n = self.n_rows as f64;
+        let sum: f64 = self
+            .clusters
+            .iter()
+            .map(|c| {
+                let s = c.len() as f64;
+                s * s.log2()
+            })
+            .sum();
+        n.log2() - sum / n
+    }
+
+    /// Intersects this partition with another (computing the partition of
+    /// `X ∪ Y` from the partitions of `X` and `Y`), using the standard
+    /// probe-table algorithm: rows that are singletons in either input are
+    /// singletons in the output and can be skipped.
+    pub fn intersect(&self, other: &Pli) -> Pli {
+        assert_eq!(
+            self.n_rows, other.n_rows,
+            "cannot intersect partitions over different relations"
+        );
+        // probe[row] = cluster index of `row` in self, or NONE if singleton.
+        const NONE: u32 = u32::MAX;
+        let mut probe = vec![NONE; self.n_rows];
+        for (ci, cluster) in self.clusters.iter().enumerate() {
+            for &row in cluster {
+                probe[row as usize] = ci as u32;
+            }
+        }
+        let mut clusters = Vec::new();
+        let mut partial: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        for cluster in &other.clusters {
+            partial.clear();
+            for &row in cluster {
+                let key = probe[row as usize];
+                if key != NONE {
+                    partial.entry(key).or_default().push(row);
+                }
+            }
+            for (_, group) in partial.drain() {
+                if group.len() >= 2 {
+                    clusters.push(group);
+                }
+            }
+        }
+        clusters.sort();
+        Pli {
+            clusters,
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Memory footprint proxy: total number of row ids stored.
+    pub fn size(&self) -> usize {
+        self.covered_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Relation, Schema};
+
+    fn sample() -> Relation {
+        // Matches Figure 7 of the paper (the getEntropy example).
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        Relation::from_rows(
+            schema,
+            &[
+                vec!["a1", "b2", "c3"],
+                vec!["a2", "b1", "c1"],
+                vec!["a2", "b2", "c2"],
+                vec!["a3", "b3", "c3"],
+                vec!["a3", "b3", "c4"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_column_partitions_match_figure_7() {
+        let rel = sample();
+        let a = Pli::from_column(&rel, 0);
+        // A: a2 -> {t2,t3}, a3 -> {t4,t5}; a1 is a singleton.
+        assert_eq!(a.cluster_count(), 2);
+        assert_eq!(a.covered_rows(), 4);
+        assert_eq!(a.distinct_values(), 3);
+        let c = Pli::from_column(&rel, 2);
+        // C: c3 -> {t1,t4}; the rest are singletons.
+        assert_eq!(c.cluster_count(), 1);
+        assert_eq!(c.distinct_values(), 4);
+    }
+
+    #[test]
+    fn from_attrs_matches_from_column_for_singletons() {
+        let rel = sample();
+        for attr in 0..3 {
+            let a = Pli::from_column(&rel, attr);
+            let b = Pli::from_attrs(&rel, AttrSet::singleton(attr));
+            assert_eq!(a.entropy(), b.entropy());
+            assert_eq!(a.cluster_count(), b.cluster_count());
+        }
+    }
+
+    #[test]
+    fn intersection_matches_direct_computation() {
+        let rel = sample();
+        let a = Pli::from_column(&rel, 0);
+        let b = Pli::from_column(&rel, 1);
+        let ab = a.intersect(&b);
+        let direct = Pli::from_attrs(&rel, [0usize, 1].into_iter().collect());
+        assert_eq!(ab.entropy(), direct.entropy());
+        assert_eq!(ab.cluster_count(), direct.cluster_count());
+        // Figure 7: AB has a single non-singleton cluster {t4, t5}.
+        assert_eq!(ab.cluster_count(), 1);
+        assert_eq!(ab.clusters()[0], vec![3, 4]);
+    }
+
+    #[test]
+    fn intersection_is_commutative() {
+        let rel = sample();
+        let a = Pli::from_column(&rel, 0);
+        let c = Pli::from_column(&rel, 2);
+        let ac = a.intersect(&c);
+        let ca = c.intersect(&a);
+        assert_eq!(ac.entropy(), ca.entropy());
+        assert_eq!(ac.cluster_count(), ca.cluster_count());
+    }
+
+    #[test]
+    fn trivial_partition_entropy_is_zero() {
+        let p = Pli::trivial(10);
+        assert_eq!(p.cluster_count(), 1);
+        assert!(p.entropy().abs() < 1e-12);
+        let small = Pli::trivial(1);
+        assert_eq!(small.cluster_count(), 0);
+        assert_eq!(small.entropy(), 0.0);
+        let empty = Pli::trivial(0);
+        assert_eq!(empty.entropy(), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_key_attribute_set_is_log_n() {
+        let rel = sample();
+        // ABC together identify every tuple: entropy = log2(5).
+        let p = Pli::from_attrs(&rel, AttrSet::full(3));
+        assert!((p.entropy() - (5f64).log2()).abs() < 1e-12);
+        assert_eq!(p.cluster_count(), 0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_two_groups_is_one_bit() {
+        let schema = Schema::new(["X"]).unwrap();
+        let rel = Relation::from_rows(schema, &[vec!["0"], vec!["0"], vec!["1"], vec!["1"]]).unwrap();
+        let p = Pli::from_column(&rel, 0);
+        assert!((p.entropy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersect_with_trivial_is_identity_on_entropy() {
+        let rel = sample();
+        let a = Pli::from_column(&rel, 0);
+        let t = Pli::trivial(rel.n_rows());
+        let both = a.intersect(&t);
+        assert_eq!(both.entropy(), a.entropy());
+    }
+
+    #[test]
+    #[should_panic(expected = "different relations")]
+    fn intersecting_mismatched_sizes_panics() {
+        let a = Pli::trivial(3);
+        let b = Pli::trivial(4);
+        let _ = a.intersect(&b);
+    }
+
+    #[test]
+    fn size_reports_covered_rows() {
+        let rel = sample();
+        let a = Pli::from_column(&rel, 0);
+        assert_eq!(a.size(), 4);
+    }
+}

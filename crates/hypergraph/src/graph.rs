@@ -1,0 +1,145 @@
+//! A small undirected graph type used for the MVD (in)compatibility graph.
+
+use std::collections::BTreeSet;
+
+/// Undirected simple graph over vertices `0..n`, stored as an adjacency
+/// matrix (the compatibility graphs of §7 have one vertex per discovered full
+/// MVD, typically well under a few thousand vertices).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<bool>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            adj: vec![false; n * n],
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are ignored.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        if u == v {
+            return;
+        }
+        self.adj[u * self.n + v] = true;
+        self.adj[v * self.n + u] = true;
+    }
+
+    /// `true` if `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.adj[u * self.n + v]
+    }
+
+    /// Neighbors of `u`, in ascending order.
+    pub fn neighbors(&self, u: usize) -> Vec<usize> {
+        (0..self.n).filter(|&v| self.has_edge(u, v)).collect()
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        (0..self.n).filter(|&v| self.has_edge(u, v)).count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        (0..self.n)
+            .map(|u| (u + 1..self.n).filter(|&v| self.has_edge(u, v)).count())
+            .sum()
+    }
+
+    /// `true` if the vertex set `s` is independent (no two members adjacent).
+    pub fn is_independent_set(&self, s: &[usize]) -> bool {
+        for (i, &u) in s.iter().enumerate() {
+            for &v in &s[i + 1..] {
+                if self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` if `s` is a *maximal* independent set (independent, and every
+    /// other vertex is adjacent to some member).
+    pub fn is_maximal_independent_set(&self, s: &[usize]) -> bool {
+        if !self.is_independent_set(s) {
+            return false;
+        }
+        let members: BTreeSet<usize> = s.iter().copied().collect();
+        (0..self.n).all(|v| {
+            members.contains(&v) || s.iter().any(|&u| self.has_edge(u, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(3);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_independent_set(&[0, 1, 2]));
+        assert!(g.is_maximal_independent_set(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn add_edge_and_query() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.neighbors(2), vec![0, 3]);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn independence_checks() {
+        // Path 0 - 1 - 2.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(g.is_independent_set(&[0, 2]));
+        assert!(!g.is_independent_set(&[0, 1]));
+        assert!(g.is_maximal_independent_set(&[0, 2]));
+        assert!(g.is_maximal_independent_set(&[1]));
+        assert!(!g.is_maximal_independent_set(&[0])); // 2 could be added
+        assert!(g.is_independent_set(&[]));
+        assert!(!g.is_maximal_independent_set(&[]));
+    }
+}

@@ -1,0 +1,27 @@
+//! Hypergraph substrate for the Maimon reproduction.
+//!
+//! Two enumeration problems from the combinatorics literature power Maimon's
+//! mining algorithms, and this crate implements both from scratch:
+//!
+//! * **Minimal hypergraph transversals** ([`minimal_transversals`]) — used by
+//!   `MineMinSeps` (paper §6.1, Theorem 6.1) to jump from the minimal
+//!   separators discovered so far to a candidate region where a new one must
+//!   lie.
+//! * **Maximal independent sets** ([`maximal_independent_sets`],
+//!   [`for_each_maximal_independent_set`]) — used by `ASMiner` (paper §7) to
+//!   enumerate maximal sets of pairwise-compatible MVDs.
+//!
+//! Vertices are plain `usize` indices (graphs) or bits of a `u64`
+//! (hypergraphs); translation to attribute sets happens in the `maimon` crate.
+
+#![warn(missing_docs)]
+
+mod graph;
+mod mis;
+mod transversal;
+
+pub use graph::Graph;
+pub use mis::{for_each_maximal_independent_set, maximal_independent_sets, Control};
+pub use transversal::{
+    is_minimal_transversal, is_subset, is_transversal, minimal_transversals, minimize, VertexSet,
+};

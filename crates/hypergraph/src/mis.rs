@@ -1,0 +1,236 @@
+//! Maximal independent set enumeration.
+//!
+//! §7 of the paper reduces acyclic-schema enumeration to enumerating the
+//! maximal independent sets of the MVD *incompatibility* graph, citing the
+//! polynomial-delay algorithms of Johnson–Papadimitriou–Yannakakis and
+//! Cohen–Kimelfeld–Sagiv. We enumerate the same family with a Bron–Kerbosch
+//! traversal (with pivoting) over the complement relation — maximal
+//! independent sets of `G` are exactly maximal cliques of the complement of
+//! `G` — driven through a visitor so callers can stop early (the paper's
+//! experiments cap enumeration with a time budget; our harness caps by count
+//! and/or wall clock).
+
+use crate::graph::Graph;
+
+/// What the visitor wants the enumeration to do after receiving a set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Keep enumerating.
+    Continue,
+    /// Stop the whole enumeration.
+    Stop,
+}
+
+/// Enumerates all maximal independent sets of `g`, invoking `visit` for each
+/// (vertices in ascending order). Enumeration stops early if the visitor
+/// returns [`Control::Stop`]. Returns the number of sets visited.
+pub fn for_each_maximal_independent_set<F>(g: &Graph, mut visit: F) -> usize
+where
+    F: FnMut(&[usize]) -> Control,
+{
+    let n = g.n();
+    if n == 0 {
+        // The empty set is the unique (vacuously maximal) independent set.
+        let _ = visit(&[]);
+        return 1;
+    }
+    // Bron–Kerbosch over the complement graph: "adjacent" below means
+    // non-adjacent in g (and distinct).
+    let compl_adjacent = |u: usize, v: usize| u != v && !g.has_edge(u, v);
+
+    struct State<'a, F> {
+        g: &'a Graph,
+        visit: &'a mut F,
+        count: usize,
+        stopped: bool,
+    }
+
+    fn recurse<F>(
+        state: &mut State<'_, F>,
+        r: &mut Vec<usize>,
+        mut p: Vec<usize>,
+        mut x: Vec<usize>,
+        compl_adjacent: &dyn Fn(usize, usize) -> bool,
+    ) where
+        F: FnMut(&[usize]) -> Control,
+    {
+        if state.stopped {
+            return;
+        }
+        if p.is_empty() && x.is_empty() {
+            let mut sorted = r.clone();
+            sorted.sort_unstable();
+            state.count += 1;
+            if (state.visit)(&sorted) == Control::Stop {
+                state.stopped = true;
+            }
+            return;
+        }
+        // Pivot: vertex of P ∪ X with most complement-neighbors in P.
+        let pivot = p
+            .iter()
+            .chain(x.iter())
+            .copied()
+            .max_by_key(|&u| p.iter().filter(|&&v| compl_adjacent(u, v)).count())
+            .expect("P ∪ X is non-empty here");
+        let candidates: Vec<usize> = p
+            .iter()
+            .copied()
+            .filter(|&v| !compl_adjacent(pivot, v))
+            .collect();
+        for v in candidates {
+            if state.stopped {
+                return;
+            }
+            let new_p: Vec<usize> = p.iter().copied().filter(|&u| compl_adjacent(v, u)).collect();
+            let new_x: Vec<usize> = x.iter().copied().filter(|&u| compl_adjacent(v, u)).collect();
+            r.push(v);
+            recurse(state, r, new_p, new_x, compl_adjacent);
+            r.pop();
+            p.retain(|&u| u != v);
+            x.push(v);
+        }
+    }
+
+    let mut state = State {
+        g,
+        visit: &mut visit,
+        count: 0,
+        stopped: false,
+    };
+    let _ = &state.g; // field retained for symmetry/debugging
+    let mut r = Vec::new();
+    let p: Vec<usize> = (0..n).collect();
+    recurse(&mut state, &mut r, p, Vec::new(), &compl_adjacent);
+    state.count
+}
+
+/// Collects at most `limit` maximal independent sets (all of them if `limit`
+/// is `None`).
+pub fn maximal_independent_sets(g: &Graph, limit: Option<usize>) -> Vec<Vec<usize>> {
+    let mut result = Vec::new();
+    for_each_maximal_independent_set(g, |s| {
+        result.push(s.to_vec());
+        match limit {
+            Some(l) if result.len() >= l => Control::Stop,
+            _ => Control::Continue,
+        }
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sets_sorted(mut sets: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+        for s in &mut sets {
+            s.sort_unstable();
+        }
+        sets.sort();
+        sets
+    }
+
+    #[test]
+    fn empty_graph_single_mis_of_all_vertices() {
+        let g = Graph::new(4);
+        let sets = maximal_independent_sets(&g, None);
+        assert_eq!(sets_sorted(sets), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Graph::new(0);
+        let sets = maximal_independent_sets(&g, None);
+        assert_eq!(sets, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn complete_graph_mis_are_singletons() {
+        let mut g = Graph::new(4);
+        for u in 0..4 {
+            for v in u + 1..4 {
+                g.add_edge(u, v);
+            }
+        }
+        let sets = sets_sorted(maximal_independent_sets(&g, None));
+        assert_eq!(sets, vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn path_graph_mis() {
+        // Path 0-1-2-3: MIS are {0,2}, {0,3}, {1,3}.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let sets = sets_sorted(maximal_independent_sets(&g, None));
+        assert_eq!(sets, vec![vec![0, 2], vec![0, 3], vec![1, 3]]);
+    }
+
+    #[test]
+    fn cycle_graph_mis() {
+        // 5-cycle has exactly 5 maximal independent sets, each of size 2.
+        let mut g = Graph::new(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+        }
+        let sets = maximal_independent_sets(&g, None);
+        assert_eq!(sets.len(), 5);
+        for s in &sets {
+            assert_eq!(s.len(), 2);
+            assert!(g.is_maximal_independent_set(s));
+        }
+    }
+
+    #[test]
+    fn every_output_is_a_maximal_independent_set() {
+        // A slightly irregular graph.
+        let mut g = Graph::new(7);
+        for &(u, v) in &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (3, 6)] {
+            g.add_edge(u, v);
+        }
+        let sets = maximal_independent_sets(&g, None);
+        assert!(!sets.is_empty());
+        for s in &sets {
+            assert!(g.is_maximal_independent_set(s), "{:?} not maximal", s);
+        }
+        // No duplicates.
+        let unique = sets_sorted(sets.clone());
+        let mut dedup = unique.clone();
+        dedup.dedup();
+        assert_eq!(unique.len(), dedup.len());
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force_count() {
+        // Brute force over all subsets for a random-ish 8-vertex graph.
+        let mut g = Graph::new(8);
+        for &(u, v) in &[(0, 3), (1, 4), (2, 5), (3, 6), (4, 7), (0, 7), (2, 6), (1, 5), (3, 4)] {
+            g.add_edge(u, v);
+        }
+        let mut brute = 0usize;
+        for mask in 0u32..(1 << 8) {
+            let s: Vec<usize> = (0..8).filter(|&i| mask >> i & 1 == 1).collect();
+            if g.is_maximal_independent_set(&s) {
+                brute += 1;
+            }
+        }
+        let sets = maximal_independent_sets(&g, None);
+        assert_eq!(sets.len(), brute);
+    }
+
+    #[test]
+    fn limit_stops_enumeration_early() {
+        let g = Graph::new(6); // no edges: exactly one MIS anyway
+        assert_eq!(maximal_independent_sets(&g, Some(1)).len(), 1);
+        let mut g = Graph::new(6);
+        for i in 0..5 {
+            g.add_edge(i, i + 1);
+        }
+        let limited = maximal_independent_sets(&g, Some(2));
+        assert_eq!(limited.len(), 2);
+        let visited = for_each_maximal_independent_set(&g, |_| Control::Stop);
+        assert_eq!(visited, 1);
+    }
+}

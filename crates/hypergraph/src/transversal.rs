@@ -1,0 +1,223 @@
+//! Minimal transversal (minimal hitting set) enumeration.
+//!
+//! Theorem 6.1 of the paper reduces the discovery of a *new* minimal
+//! `A,B`-separator to finding a minimal transversal `D` of the complements of
+//! the separators found so far. The paper cites the Fredman–Khachiyan
+//! quasi-polynomial algorithm as the theoretically best enumerator; for the
+//! hypergraph sizes arising in the evaluation (tens to a few thousand edges
+//! over ≤ 45 vertices) the classical Berge multiplication with explicit
+//! minimization is simpler and fast enough, and produces exactly the same set
+//! of minimal transversals, which is all `MineMinSeps` relies on.
+
+use std::collections::HashSet;
+
+/// A set of vertices out of a ground set of at most 64 elements, encoded as a
+/// bitmask (bit `i` = vertex `i`). This mirrors `relation::AttrSet` but keeps
+/// this crate free of the relational substrate: callers translate.
+pub type VertexSet = u64;
+
+/// Returns `true` if `a ⊆ b` as bitmasks.
+#[inline]
+pub fn is_subset(a: VertexSet, b: VertexSet) -> bool {
+    a & !b == 0
+}
+
+/// Removes the non-minimal sets (proper supersets of another member) from a
+/// collection of vertex sets. Order of the survivors is unspecified.
+pub fn minimize(sets: &mut Vec<VertexSet>) {
+    sets.sort_by_key(|s| s.count_ones());
+    sets.dedup();
+    let mut result: Vec<VertexSet> = Vec::with_capacity(sets.len());
+    'outer: for &s in sets.iter() {
+        for &kept in &result {
+            if is_subset(kept, s) {
+                continue 'outer;
+            }
+        }
+        result.push(s);
+    }
+    *sets = result;
+}
+
+/// Computes **all minimal transversals** of the hypergraph whose hyperedges
+/// are `edges`, over the ground set `universe`.
+///
+/// A transversal is a set `D ⊆ universe` with `D ∩ E ≠ ∅` for every edge `E`;
+/// it is minimal if no proper subset is also a transversal.
+///
+/// Special cases: with no edges the only minimal transversal is the empty
+/// set; if some edge has no vertex inside `universe`, no transversal exists
+/// and the result is empty.
+pub fn minimal_transversals(edges: &[VertexSet], universe: VertexSet) -> Vec<VertexSet> {
+    let mut edges: Vec<VertexSet> = edges.iter().map(|&e| e & universe).collect();
+    if edges.iter().any(|&e| e == 0) {
+        return Vec::new();
+    }
+    // Processing edges in increasing cardinality keeps intermediate results small.
+    edges.sort_by_key(|e| e.count_ones());
+    minimize(&mut edges);
+
+    let mut transversals: Vec<VertexSet> = vec![0];
+    for &edge in &edges {
+        let mut next: Vec<VertexSet> = Vec::new();
+        let mut seen: HashSet<VertexSet> = HashSet::new();
+        for &t in &transversals {
+            if t & edge != 0 {
+                // Already hits the new edge.
+                if seen.insert(t) {
+                    next.push(t);
+                }
+            } else {
+                // Extend by every vertex of the new edge.
+                let mut bits = edge;
+                while bits != 0 {
+                    let v = bits & bits.wrapping_neg();
+                    bits ^= v;
+                    let extended = t | v;
+                    if seen.insert(extended) {
+                        next.push(extended);
+                    }
+                }
+            }
+        }
+        minimize(&mut next);
+        transversals = next;
+    }
+    transversals
+}
+
+/// Checks whether `candidate` is a transversal of `edges` (restricted to
+/// `universe`).
+pub fn is_transversal(candidate: VertexSet, edges: &[VertexSet], universe: VertexSet) -> bool {
+    edges.iter().all(|&e| {
+        let e = e & universe;
+        e == 0 || candidate & e != 0
+    })
+}
+
+/// Checks whether `candidate` is a *minimal* transversal of `edges`.
+pub fn is_minimal_transversal(candidate: VertexSet, edges: &[VertexSet], universe: VertexSet) -> bool {
+    if !is_transversal(candidate, edges, universe) {
+        return false;
+    }
+    let mut bits = candidate;
+    while bits != 0 {
+        let v = bits & bits.wrapping_neg();
+        bits ^= v;
+        if is_transversal(candidate & !v, edges, universe) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<VertexSet>) -> Vec<VertexSet> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn no_edges_yields_empty_transversal() {
+        assert_eq!(minimal_transversals(&[], 0b1111), vec![0]);
+    }
+
+    #[test]
+    fn empty_edge_yields_no_transversal() {
+        assert!(minimal_transversals(&[0b0], 0b1111).is_empty());
+        // An edge entirely outside the universe behaves like an empty edge.
+        assert!(minimal_transversals(&[0b1000], 0b0111).is_empty());
+    }
+
+    #[test]
+    fn single_edge_transversals_are_its_singletons() {
+        let t = sorted(minimal_transversals(&[0b1010], 0b1111));
+        assert_eq!(t, vec![0b0010, 0b1000]);
+    }
+
+    #[test]
+    fn disjoint_edges_give_cartesian_product() {
+        // Edges {0,1} and {2,3}: minimal transversals are all pairs {a, b}
+        // with a in the first edge and b in the second.
+        let t = sorted(minimal_transversals(&[0b0011, 0b1100], 0b1111));
+        assert_eq!(t, vec![0b0101, 0b0110, 0b1001, 0b1010]);
+    }
+
+    #[test]
+    fn overlapping_edges_prefer_shared_vertex() {
+        // Edges {0,1} and {1,2}: vertex 1 alone hits both; {0,2} also minimal.
+        let t = sorted(minimal_transversals(&[0b011, 0b110], 0b111));
+        assert_eq!(t, vec![0b010, 0b101]);
+    }
+
+    #[test]
+    fn triangle_hypergraph() {
+        // Edges {0,1}, {1,2}, {0,2}: minimal transversals are all pairs.
+        let t = sorted(minimal_transversals(&[0b011, 0b110, 0b101], 0b111));
+        assert_eq!(t, vec![0b011, 0b101, 0b110]);
+    }
+
+    #[test]
+    fn duplicate_and_superset_edges_are_ignored() {
+        let a = minimal_transversals(&[0b011, 0b011, 0b0111], 0b111);
+        let b = minimal_transversals(&[0b011], 0b111);
+        assert_eq!(sorted(a), sorted(b));
+    }
+
+    #[test]
+    fn all_outputs_are_minimal_transversals() {
+        let edges = [0b01101, 0b10011, 0b00110, 0b11000];
+        let universe = 0b11111;
+        let result = minimal_transversals(&edges, universe);
+        assert!(!result.is_empty());
+        for &t in &result {
+            assert!(is_minimal_transversal(t, &edges, universe), "{:b} not minimal", t);
+        }
+        // And they are pairwise incomparable.
+        for &a in &result {
+            for &b in &result {
+                if a != b {
+                    assert!(!is_subset(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_cross_check_on_random_hypergraphs() {
+        // Exhaustively verify against brute force on small universes.
+        let cases: Vec<Vec<VertexSet>> = vec![
+            vec![0b00111, 0b11100, 0b01010],
+            vec![0b10001, 0b01110],
+            vec![0b11111],
+            vec![0b00011, 0b00101, 0b01001, 0b10001],
+        ];
+        let universe: VertexSet = 0b11111;
+        for edges in cases {
+            let fast = sorted(minimal_transversals(&edges, universe));
+            let mut brute: Vec<VertexSet> = (0..=universe)
+                .filter(|&c| is_minimal_transversal(c, &edges, universe))
+                .collect();
+            brute.sort();
+            assert_eq!(fast, brute, "mismatch for edges {:?}", edges);
+        }
+    }
+
+    #[test]
+    fn minimize_removes_supersets_and_duplicates() {
+        let mut sets = vec![0b111, 0b011, 0b011, 0b100];
+        minimize(&mut sets);
+        assert_eq!(sorted(sets), vec![0b011, 0b100]);
+    }
+
+    #[test]
+    fn is_transversal_checks_every_edge() {
+        let edges = [0b011, 0b110];
+        assert!(is_transversal(0b010, &edges, 0b111));
+        assert!(!is_transversal(0b001, &edges, 0b111));
+        assert!(is_transversal(0b101, &edges, 0b111));
+    }
+}

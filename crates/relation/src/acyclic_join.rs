@@ -1,0 +1,361 @@
+//! Counting the size of an acyclic join without materializing it.
+//!
+//! The paper's quality metric `E` (§8.1, §8.2) is the fraction of *spurious*
+//! tuples produced when a relation is decomposed into an acyclic schema and
+//! then re-joined: `E = (|⋈ᵢ R[Ωᵢ]| − |R|) / |R|`. On dense datasets such as
+//! Nursery the re-join can be orders of magnitude larger than the input (the
+//! paper reports E = 400 % for the fully decomposed schema), so we never
+//! materialize it. Instead we exploit acyclicity: rooting the join tree and
+//! passing count messages from the leaves to the root (the counting variant
+//! of Yannakakis' algorithm) yields the exact join cardinality in time
+//! polynomial in the size of the projections.
+
+use crate::attrset::AttrSet;
+use crate::error::RelationError;
+use crate::relation::Relation;
+use std::collections::HashMap;
+
+/// A rooted join-tree specification: one bag of attributes per node and one
+/// `(child, parent)`-agnostic undirected edge per link. The structure must be
+/// a tree (connected, `bags.len() - 1` edges) whose bags satisfy the running
+/// intersection property for the count to equal the true join size; the
+/// validation here checks the tree-ness, while the running intersection
+/// property is guaranteed by construction in `maimon::join_tree`.
+#[derive(Clone, Debug)]
+pub struct JoinTreeSpec {
+    /// Attribute set of each node.
+    pub bags: Vec<AttrSet>,
+    /// Undirected edges between node indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl JoinTreeSpec {
+    /// Creates a spec and validates that it forms a tree over its nodes.
+    ///
+    /// # Errors
+    /// Returns an error if there are no bags, an edge index is out of range,
+    /// the edge count is not `bags.len() - 1`, or the edges do not connect all
+    /// nodes.
+    pub fn new(bags: Vec<AttrSet>, edges: Vec<(usize, usize)>) -> Result<Self, RelationError> {
+        if bags.is_empty() {
+            return Err(RelationError::InvalidJoinTree("no bags".into()));
+        }
+        if edges.len() + 1 != bags.len() {
+            return Err(RelationError::InvalidJoinTree(format!(
+                "{} bags require {} edges, got {}",
+                bags.len(),
+                bags.len() - 1,
+                edges.len()
+            )));
+        }
+        for &(u, v) in &edges {
+            if u >= bags.len() || v >= bags.len() || u == v {
+                return Err(RelationError::InvalidJoinTree(format!(
+                    "edge ({}, {}) out of range for {} bags",
+                    u,
+                    v,
+                    bags.len()
+                )));
+            }
+        }
+        let spec = JoinTreeSpec { bags, edges };
+        if !spec.is_connected() {
+            return Err(RelationError::InvalidJoinTree("edges do not form a connected tree".into()));
+        }
+        Ok(spec)
+    }
+
+    /// Union of all bags.
+    pub fn all_attrs(&self) -> AttrSet {
+        self.bags
+            .iter()
+            .fold(AttrSet::empty(), |acc, &b| acc.union(b))
+    }
+
+    fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.bags.len()];
+        for &(u, v) in &self.edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        adj
+    }
+
+    fn is_connected(&self) -> bool {
+        let adj = self.adjacency();
+        let mut visited = vec![false; self.bags.len()];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.bags.len()
+    }
+}
+
+/// Computes `|R[Ω₁] ⋈ … ⋈ R[Ω_m]|` for the bags of `spec` by bottom-up count
+/// propagation over the join tree.
+///
+/// # Errors
+/// Returns an error if any bag is empty or out of range for the relation.
+pub fn acyclic_join_size(rel: &Relation, spec: &JoinTreeSpec) -> Result<u128, RelationError> {
+    // Distinct projection of each bag, stored as key -> count (initially 1).
+    let mut tables: Vec<HashMap<Vec<u32>, u128>> = Vec::with_capacity(spec.bags.len());
+    for &bag in &spec.bags {
+        if bag.is_empty() || !bag.is_subset_of(rel.schema().all_attrs()) {
+            return Err(RelationError::AttributeOutOfRange {
+                attrs: bag,
+                arity: rel.arity(),
+            });
+        }
+        let mut table: HashMap<Vec<u32>, u128> = HashMap::new();
+        for r in 0..rel.n_rows() {
+            table.insert(rel.key(r, bag), 1);
+        }
+        tables.push(table);
+    }
+    if rel.n_rows() == 0 {
+        return Ok(0);
+    }
+
+    // Root the tree at node 0 and compute a post-order traversal.
+    let adj = spec.adjacency();
+    let n = spec.bags.len();
+    let mut parent = vec![usize::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![0usize];
+    let mut visited = vec![false; n];
+    visited[0] = true;
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &v in &adj[u] {
+            if !visited[v] {
+                visited[v] = true;
+                parent[v] = u;
+                stack.push(v);
+            }
+        }
+    }
+
+    // Process children before parents (reverse pre-order works for trees).
+    for &u in order.iter().rev() {
+        if u == 0 {
+            continue;
+        }
+        let p = parent[u];
+        let sep = spec.bags[u].intersect(spec.bags[p]);
+        // Positions of separator attributes inside the child's bag key.
+        let child_attrs: Vec<usize> = spec.bags[u].to_vec();
+        let sep_positions_child: Vec<usize> = child_attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| sep.contains(a))
+            .map(|(i, _)| i)
+            .collect();
+        // Aggregate the child's counts by separator value.
+        let mut message: HashMap<Vec<u32>, u128> = HashMap::new();
+        for (key, &count) in &tables[u] {
+            let sep_key: Vec<u32> = sep_positions_child.iter().map(|&i| key[i]).collect();
+            *message.entry(sep_key).or_insert(0) += count;
+        }
+        // Multiply into the parent's table.
+        let parent_attrs: Vec<usize> = spec.bags[p].to_vec();
+        let sep_positions_parent: Vec<usize> = parent_attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| sep.contains(a))
+            .map(|(i, _)| i)
+            .collect();
+        let parent_table = std::mem::take(&mut tables[p]);
+        let mut new_parent: HashMap<Vec<u32>, u128> = HashMap::with_capacity(parent_table.len());
+        for (key, count) in parent_table {
+            let sep_key: Vec<u32> = sep_positions_parent.iter().map(|&i| key[i]).collect();
+            if let Some(&m) = message.get(&sep_key) {
+                new_parent.insert(key, count.saturating_mul(m));
+            }
+            // Parent tuples with no matching child tuple contribute nothing.
+        }
+        tables[p] = new_parent;
+    }
+
+    Ok(tables[0].values().copied().sum())
+}
+
+/// Number of spurious tuples introduced by decomposing `rel` according to
+/// `spec`: `|⋈ᵢ R[Ωᵢ]| − |distinct(R)|`. Always non-negative when the bags
+/// cover the schema (the join of projections is a superset of the relation).
+///
+/// # Errors
+/// Returns an error if the join-size computation fails.
+pub fn spurious_tuple_count(rel: &Relation, spec: &JoinTreeSpec) -> Result<u128, RelationError> {
+    let join_size = acyclic_join_size(rel, spec)?;
+    let original = rel.distinct_count(rel.schema().all_attrs())? as u128;
+    Ok(join_size.saturating_sub(original))
+}
+
+/// `true` if the relation exactly satisfies the acyclic join dependency given
+/// by `spec` (no spurious tuples and no lost tuples), i.e. `R = ⋈ᵢ R[Ωᵢ]`.
+///
+/// # Errors
+/// Returns an error if the join-size computation fails.
+pub fn satisfies_join_dependency(rel: &Relation, spec: &JoinTreeSpec) -> Result<bool, RelationError> {
+    if !spec.all_attrs().is_superset_of(rel.schema().all_attrs()) {
+        return Ok(false);
+    }
+    let join_size = acyclic_join_size(rel, spec)?;
+    let original = rel.distinct_count(rel.schema().all_attrs())? as u128;
+    // The join of projections always contains every original tuple, so
+    // equality of sizes implies equality of sets.
+    Ok(join_size == original)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::natural_join_all;
+    use crate::schema::Schema;
+
+    fn running_example(with_red_tuple: bool) -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();
+        let mut rows = vec![
+            vec!["a1", "b1", "c1", "d1", "e1", "f1"],
+            vec!["a2", "b2", "c1", "d1", "e2", "f2"],
+            vec!["a2", "b2", "c2", "d2", "e3", "f2"],
+            vec!["a1", "b2", "c1", "d2", "e3", "f1"],
+        ];
+        if with_red_tuple {
+            rows.push(vec!["a1", "b2", "c1", "d2", "e2", "f1"]);
+        }
+        Relation::from_rows(schema, &rows).unwrap()
+    }
+
+    fn running_example_spec(rel: &Relation) -> JoinTreeSpec {
+        let s = rel.schema();
+        JoinTreeSpec::new(
+            vec![
+                s.attrs(["A", "B", "D"]).unwrap(),
+                s.attrs(["A", "C", "D"]).unwrap(),
+                s.attrs(["B", "D", "E"]).unwrap(),
+                s.attrs(["A", "F"]).unwrap(),
+            ],
+            vec![(0, 1), (0, 2), (0, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spec_validation() {
+        let bags = vec![AttrSet::full(2), AttrSet::singleton(1)];
+        assert!(JoinTreeSpec::new(bags.clone(), vec![(0, 1)]).is_ok());
+        assert!(JoinTreeSpec::new(bags.clone(), vec![]).is_err());
+        assert!(JoinTreeSpec::new(bags.clone(), vec![(0, 5)]).is_err());
+        assert!(JoinTreeSpec::new(bags, vec![(0, 0)]).is_err());
+        assert!(JoinTreeSpec::new(vec![], vec![]).is_err());
+        // Disconnected: 3 nodes, edges (0,1) and (0,1) duplicated leaves 2 unreachable.
+        let bags3 = vec![AttrSet::singleton(0), AttrSet::singleton(1), AttrSet::singleton(2)];
+        assert!(JoinTreeSpec::new(bags3, vec![(0, 1), (0, 1)]).is_err());
+    }
+
+    #[test]
+    fn exact_decomposition_of_running_example() {
+        let rel = running_example(false);
+        let spec = running_example_spec(&rel);
+        assert_eq!(acyclic_join_size(&rel, &spec).unwrap(), 4);
+        assert_eq!(spurious_tuple_count(&rel, &spec).unwrap(), 0);
+        assert!(satisfies_join_dependency(&rel, &spec).unwrap());
+    }
+
+    #[test]
+    fn red_tuple_breaks_decomposition_with_one_spurious_tuple() {
+        let rel = running_example(true);
+        let spec = running_example_spec(&rel);
+        assert_eq!(acyclic_join_size(&rel, &spec).unwrap(), 6);
+        assert_eq!(spurious_tuple_count(&rel, &spec).unwrap(), 1);
+        assert!(!satisfies_join_dependency(&rel, &spec).unwrap());
+    }
+
+    #[test]
+    fn counting_agrees_with_materialized_join() {
+        let rel = running_example(true);
+        let spec = running_example_spec(&rel);
+        let projections: Vec<Relation> = spec
+            .bags
+            .iter()
+            .map(|&b| rel.project_distinct(b).unwrap())
+            .collect();
+        let joined = natural_join_all(&projections).unwrap();
+        assert_eq!(
+            acyclic_join_size(&rel, &spec).unwrap(),
+            joined.n_rows() as u128
+        );
+    }
+
+    #[test]
+    fn single_bag_schema_has_no_spurious_tuples() {
+        let rel = running_example(true);
+        let spec = JoinTreeSpec::new(vec![rel.schema().all_attrs()], vec![]).unwrap();
+        assert_eq!(acyclic_join_size(&rel, &spec).unwrap(), 5);
+        assert_eq!(spurious_tuple_count(&rel, &spec).unwrap(), 0);
+        assert!(satisfies_join_dependency(&rel, &spec).unwrap());
+    }
+
+    #[test]
+    fn fully_decomposed_schema_counts_cross_product() {
+        // Decomposing each attribute into its own relation produces the cross
+        // product of the active domains (joined via empty separators).
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            &[vec!["a1", "b1"], vec!["a1", "b2"], vec!["a2", "b1"]],
+        )
+        .unwrap();
+        let spec = JoinTreeSpec::new(
+            vec![AttrSet::singleton(0), AttrSet::singleton(1)],
+            vec![(0, 1)],
+        )
+        .unwrap();
+        assert_eq!(acyclic_join_size(&rel, &spec).unwrap(), 4);
+        assert_eq!(spurious_tuple_count(&rel, &spec).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_relation_joins_to_zero() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let rel = Relation::empty(schema);
+        let spec = JoinTreeSpec::new(
+            vec![AttrSet::singleton(0), AttrSet::singleton(1)],
+            vec![(0, 1)],
+        )
+        .unwrap();
+        assert_eq!(acyclic_join_size(&rel, &spec).unwrap(), 0);
+    }
+
+    #[test]
+    fn bag_not_covering_schema_fails_dependency_check() {
+        let rel = running_example(false);
+        let s = rel.schema();
+        let spec = JoinTreeSpec::new(
+            vec![s.attrs(["A", "B"]).unwrap(), s.attrs(["B", "C"]).unwrap()],
+            vec![(0, 1)],
+        )
+        .unwrap();
+        assert!(!satisfies_join_dependency(&rel, &spec).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_bag_rejected() {
+        let rel = running_example(false);
+        let spec = JoinTreeSpec {
+            bags: vec![AttrSet::singleton(60), rel.schema().all_attrs()],
+            edges: vec![(0, 1)],
+        };
+        assert!(acyclic_join_size(&rel, &spec).is_err());
+    }
+}

@@ -1,0 +1,449 @@
+//! Attribute sets represented as 64-bit bitsets.
+//!
+//! The Maimon algorithms manipulate sets of attributes constantly: keys and
+//! dependents of MVDs, bags and separators of join trees, candidate minimal
+//! separators, arguments to the entropy oracle. All of these are subsets of a
+//! fixed relation signature `Ω` with at most [`AttrSet::MAX_ATTRS`]
+//! attributes, so we represent them as a single `u64` bitmask. This keeps set
+//! algebra branch-free and makes attribute sets `Copy`, hashable and totally
+//! ordered, which the caching layers rely on.
+
+use std::fmt;
+
+/// A set of attribute indices, each in `0..AttrSet::MAX_ATTRS`.
+///
+/// Attribute `i` corresponds to bit `i`. The empty set is the default value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// Maximum number of attributes supported by the bitset representation.
+    ///
+    /// The paper evaluates relations with up to 45 columns (Table 2), well
+    /// within this bound.
+    pub const MAX_ATTRS: usize = 64;
+
+    /// The empty attribute set.
+    #[inline]
+    pub const fn empty() -> Self {
+        AttrSet(0)
+    }
+
+    /// The full signature `{0, 1, ..., n-1}`.
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_ATTRS`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(
+            n <= Self::MAX_ATTRS,
+            "AttrSet supports at most {} attributes, got {}",
+            Self::MAX_ATTRS,
+            n
+        );
+        if n == Self::MAX_ATTRS {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << n) - 1)
+        }
+    }
+
+    /// The singleton set `{attr}`.
+    ///
+    /// # Panics
+    /// Panics if `attr >= MAX_ATTRS`.
+    #[inline]
+    pub fn singleton(attr: usize) -> Self {
+        assert!(attr < Self::MAX_ATTRS, "attribute index {} out of range", attr);
+        AttrSet(1u64 << attr)
+    }
+
+    /// Builds a set from raw bits. Mostly useful in tests.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        AttrSet(bits)
+    }
+
+    /// Raw bit representation.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` if the set contains no attributes.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` if `attr` is a member of the set.
+    #[inline]
+    pub const fn contains(self, attr: usize) -> bool {
+        attr < Self::MAX_ATTRS && (self.0 >> attr) & 1 == 1
+    }
+
+    /// Returns a copy with `attr` inserted.
+    #[inline]
+    pub fn with(self, attr: usize) -> Self {
+        assert!(attr < Self::MAX_ATTRS, "attribute index {} out of range", attr);
+        AttrSet(self.0 | (1u64 << attr))
+    }
+
+    /// Returns a copy with `attr` removed.
+    #[inline]
+    pub fn without(self, attr: usize) -> Self {
+        assert!(attr < Self::MAX_ATTRS, "attribute index {} out of range", attr);
+        AttrSet(self.0 & !(1u64 << attr))
+    }
+
+    /// Inserts `attr` in place.
+    #[inline]
+    pub fn insert(&mut self, attr: usize) {
+        *self = self.with(attr);
+    }
+
+    /// Removes `attr` in place.
+    #[inline]
+    pub fn remove(&mut self, attr: usize) {
+        *self = self.without(attr);
+    }
+
+    /// Set union `self ∪ other`.
+    #[inline]
+    pub const fn union(self, other: Self) -> Self {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Set intersection `self ∩ other`.
+    #[inline]
+    pub const fn intersect(self, other: Self) -> Self {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self ∖ other`.
+    #[inline]
+    pub const fn difference(self, other: Self) -> Self {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// Complement with respect to a universe set.
+    #[inline]
+    pub const fn complement_in(self, universe: Self) -> Self {
+        AttrSet(universe.0 & !self.0)
+    }
+
+    /// `true` if `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset_of(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// `true` if `self ⊇ other`.
+    #[inline]
+    pub const fn is_superset_of(self, other: Self) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// `true` if `self ⊊ other`.
+    #[inline]
+    pub fn is_strict_subset_of(self, other: Self) -> bool {
+        self != other && self.is_subset_of(other)
+    }
+
+    /// `true` if the two sets share no attribute.
+    #[inline]
+    pub const fn is_disjoint(self, other: Self) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// `true` if the two sets share at least one attribute.
+    #[inline]
+    pub const fn intersects(self, other: Self) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Smallest attribute index in the set, if any.
+    #[inline]
+    pub fn min_attr(self) -> Option<usize> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Largest attribute index in the set, if any.
+    #[inline]
+    pub fn max_attr(self) -> Option<usize> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(63 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// Iterates over the attribute indices in ascending order.
+    #[inline]
+    pub fn iter(self) -> AttrIter {
+        AttrIter { bits: self.0 }
+    }
+
+    /// Collects the member indices into a vector, in ascending order.
+    pub fn to_vec(self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Enumerates every subset of `self` (including the empty set and `self`
+    /// itself). The number of subsets is `2^len`, so this is only appropriate
+    /// for small sets (as used by the entropy block-precomputation of §6.3).
+    pub fn subsets(self) -> SubsetIter {
+        SubsetIter {
+            universe: self.0,
+            current: 0,
+            done: false,
+        }
+    }
+}
+
+impl FromIterator<usize> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut set = AttrSet::empty();
+        for attr in iter {
+            set.insert(attr);
+        }
+        set
+    }
+}
+
+impl IntoIterator for AttrSet {
+    type Item = usize;
+    type IntoIter = AttrIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, attr) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", attr)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Iterator over the attribute indices of an [`AttrSet`].
+#[derive(Clone, Debug)]
+pub struct AttrIter {
+    bits: u64,
+}
+
+impl Iterator for AttrIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            None
+        } else {
+            let attr = self.bits.trailing_zeros() as usize;
+            self.bits &= self.bits - 1;
+            Some(attr)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrIter {}
+
+/// Iterator over all subsets of a set, produced by the standard
+/// `next = (current - universe) & universe` trick.
+#[derive(Clone, Debug)]
+pub struct SubsetIter {
+    universe: u64,
+    current: u64,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = AttrSet;
+
+    fn next(&mut self) -> Option<AttrSet> {
+        if self.done {
+            return None;
+        }
+        let result = AttrSet(self.current);
+        if self.current == self.universe {
+            self.done = true;
+        } else {
+            self.current = (self.current.wrapping_sub(self.universe)) & self.universe;
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = AttrSet::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.to_vec(), Vec::<usize>::new());
+        assert_eq!(s.min_attr(), None);
+        assert_eq!(s.max_attr(), None);
+    }
+
+    #[test]
+    fn full_set_contains_exactly_prefix() {
+        let s = AttrSet::full(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.to_vec(), vec![0, 1, 2, 3, 4]);
+        assert!(!s.contains(5));
+        assert!(s.contains(4));
+    }
+
+    #[test]
+    fn full_set_with_max_attrs() {
+        let s = AttrSet::full(64);
+        assert_eq!(s.len(), 64);
+        assert!(s.contains(63));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn full_set_beyond_max_panics() {
+        let _ = AttrSet::full(65);
+    }
+
+    #[test]
+    fn insert_and_remove_roundtrip() {
+        let mut s = AttrSet::empty();
+        s.insert(3);
+        s.insert(7);
+        s.insert(3);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3));
+        assert!(s.contains(7));
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 1);
+        s.remove(3); // removing twice is a no-op
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a: AttrSet = [0, 1, 2].into_iter().collect();
+        let b: AttrSet = [2, 3].into_iter().collect();
+        assert_eq!(a.union(b).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(a.intersect(b).to_vec(), vec![2]);
+        assert_eq!(a.difference(b).to_vec(), vec![0, 1]);
+        assert_eq!(b.difference(a).to_vec(), vec![3]);
+    }
+
+    #[test]
+    fn complement_in_universe() {
+        let u = AttrSet::full(6);
+        let a: AttrSet = [1, 4].into_iter().collect();
+        assert_eq!(a.complement_in(u).to_vec(), vec![0, 2, 3, 5]);
+        assert_eq!(AttrSet::empty().complement_in(u), u);
+        assert_eq!(u.complement_in(u), AttrSet::empty());
+    }
+
+    #[test]
+    fn subset_and_disjoint_predicates() {
+        let a: AttrSet = [1, 2].into_iter().collect();
+        let b: AttrSet = [1, 2, 5].into_iter().collect();
+        let c: AttrSet = [0, 3].into_iter().collect();
+        assert!(a.is_subset_of(b));
+        assert!(a.is_strict_subset_of(b));
+        assert!(!b.is_subset_of(a));
+        assert!(b.is_superset_of(a));
+        assert!(a.is_subset_of(a));
+        assert!(!a.is_strict_subset_of(a));
+        assert!(a.is_disjoint(c));
+        assert!(!a.is_disjoint(b));
+        assert!(a.intersects(b));
+        assert!(!a.intersects(c));
+    }
+
+    #[test]
+    fn min_and_max_attr() {
+        let a: AttrSet = [5, 9, 17].into_iter().collect();
+        assert_eq!(a.min_attr(), Some(5));
+        assert_eq!(a.max_attr(), Some(17));
+        assert_eq!(AttrSet::singleton(63).max_attr(), Some(63));
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_exact() {
+        let a: AttrSet = [9, 1, 33].into_iter().collect();
+        let v = a.to_vec();
+        assert_eq!(v, vec![1, 9, 33]);
+        assert_eq!(a.iter().len(), 3);
+    }
+
+    #[test]
+    fn subsets_enumerates_power_set() {
+        let a: AttrSet = [0, 2, 4].into_iter().collect();
+        let subsets: Vec<AttrSet> = a.subsets().collect();
+        assert_eq!(subsets.len(), 8);
+        assert!(subsets.contains(&AttrSet::empty()));
+        assert!(subsets.contains(&a));
+        // All enumerated sets must be subsets of `a`, and all distinct.
+        for s in &subsets {
+            assert!(s.is_subset_of(a));
+        }
+        let mut sorted = subsets.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn subsets_of_empty_set() {
+        let subsets: Vec<AttrSet> = AttrSet::empty().subsets().collect();
+        assert_eq!(subsets, vec![AttrSet::empty()]);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let a: AttrSet = [0, 3].into_iter().collect();
+        assert_eq!(format!("{:?}", a), "{0,3}");
+        assert_eq!(format!("{}", AttrSet::empty()), "{}");
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_with_bits() {
+        let a = AttrSet::singleton(1);
+        let b = AttrSet::singleton(2);
+        assert!(a < b);
+        let mut v = vec![b, a, AttrSet::empty()];
+        v.sort();
+        assert_eq!(v[0], AttrSet::empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Minimal CSV reader/writer for loading profiling datasets.
+//!
+//! The Metanome benchmark files the paper uses are plain comma- or
+//! semicolon-separated text with optional double-quoted fields. We implement
+//! just enough of RFC 4180 to round-trip such files without pulling in an
+//! external dependency: quoted fields, embedded separators, doubled quotes,
+//! and both `\n` and `\r\n` line endings.
+
+use crate::error::RelationError;
+use crate::relation::{Relation, RelationBuilder};
+use crate::schema::Schema;
+
+/// Options controlling CSV parsing.
+#[derive(Clone, Copy, Debug)]
+pub struct CsvOptions {
+    /// Field separator (`,` by default; the Metanome files also use `;`).
+    pub delimiter: char,
+    /// If `true`, the first record provides the attribute names; otherwise
+    /// attributes are named `col0`, `col1`, ….
+    pub has_header: bool,
+    /// If `true`, duplicate rows are removed after loading (the paper treats
+    /// relations as sets of tuples).
+    pub dedup: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+            dedup: true,
+        }
+    }
+}
+
+/// Splits CSV text into records of fields.
+fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, RelationError> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(RelationError::Csv {
+                            line,
+                            message: "quote in the middle of an unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                '\r' => {
+                    // Swallow the CR of a CRLF pair; a lone CR is ignored too.
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                c if c == delimiter => {
+                    record.push(std::mem::take(&mut field));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelationError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    // Drop completely empty trailing records (e.g. produced by a final newline).
+    records.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    Ok(records)
+}
+
+/// Parses CSV text into a [`Relation`].
+///
+/// # Errors
+/// Returns an error on malformed quoting, inconsistent record arity, or an
+/// empty input.
+pub fn relation_from_csv(text: &str, options: CsvOptions) -> Result<Relation, RelationError> {
+    let records = parse_records(text, options.delimiter)?;
+    if records.is_empty() {
+        return Err(RelationError::Csv {
+            line: 1,
+            message: "no records in input".into(),
+        });
+    }
+    let (header, data_start) = if options.has_header {
+        (records[0].clone(), 1)
+    } else {
+        (
+            (0..records[0].len()).map(|i| format!("col{}", i)).collect(),
+            0,
+        )
+    };
+    let schema = Schema::new(header)?;
+    let mut builder = RelationBuilder::new(schema);
+    for (i, record) in records.iter().enumerate().skip(data_start) {
+        let arity = builder.schema().arity();
+        if record.len() != arity {
+            return Err(RelationError::Csv {
+                line: i + 1,
+                message: format!("record has {} fields, expected {}", record.len(), arity),
+            });
+        }
+        builder.push_row(record.iter().map(|s| s.as_str()))?;
+    }
+    let rel = builder.finish();
+    Ok(if options.dedup { rel.distinct() } else { rel })
+}
+
+/// Serializes a relation to CSV text with a header row. Fields containing the
+/// delimiter, quotes or newlines are quoted.
+pub fn relation_to_csv(rel: &Relation, delimiter: char) -> String {
+    let escape = |s: &str| -> String {
+        if s.contains(delimiter) || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = String::new();
+    let names: Vec<String> = rel.schema().names().iter().map(|n| escape(n)).collect();
+    out.push_str(&names.join(&delimiter.to_string()));
+    out.push('\n');
+    for r in 0..rel.n_rows() {
+        let row: Vec<String> = rel.row(r).into_iter().map(escape).collect();
+        out.push_str(&row.join(&delimiter.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_csv_with_header() {
+        let text = "A,B,C\n1,2,3\n4,5,6\n";
+        let rel = relation_from_csv(text, CsvOptions::default()).unwrap();
+        assert_eq!(rel.arity(), 3);
+        assert_eq!(rel.n_rows(), 2);
+        assert_eq!(rel.schema().names(), &["A".to_string(), "B".into(), "C".into()]);
+        assert_eq!(rel.value(1, 2), "6");
+    }
+
+    #[test]
+    fn parse_without_header_names_columns() {
+        let text = "1,2\n3,4\n";
+        let rel = relation_from_csv(
+            text,
+            CsvOptions { has_header: false, ..CsvOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(rel.schema().names(), &["col0".to_string(), "col1".into()]);
+        assert_eq!(rel.n_rows(), 2);
+    }
+
+    #[test]
+    fn parse_quoted_fields_and_escaped_quotes() {
+        let text = "A,B\n\"hello, world\",\"say \"\"hi\"\"\"\nplain,value\n";
+        let rel = relation_from_csv(text, CsvOptions::default()).unwrap();
+        assert_eq!(rel.value(0, 0), "hello, world");
+        assert_eq!(rel.value(0, 1), "say \"hi\"");
+        assert_eq!(rel.value(1, 0), "plain");
+    }
+
+    #[test]
+    fn parse_semicolon_delimiter_and_crlf() {
+        let text = "A;B\r\nx;y\r\n";
+        let rel = relation_from_csv(
+            text,
+            CsvOptions { delimiter: ';', ..CsvOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(rel.n_rows(), 1);
+        assert_eq!(rel.value(0, 1), "y");
+    }
+
+    #[test]
+    fn dedup_option_removes_duplicates() {
+        let text = "A,B\n1,2\n1,2\n3,4\n";
+        let with_dedup = relation_from_csv(text, CsvOptions::default()).unwrap();
+        assert_eq!(with_dedup.n_rows(), 2);
+        let without = relation_from_csv(
+            text,
+            CsvOptions { dedup: false, ..CsvOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(without.n_rows(), 3);
+    }
+
+    #[test]
+    fn inconsistent_arity_reports_line() {
+        let text = "A,B\n1,2\n1\n";
+        let err = relation_from_csv(text, CsvOptions::default()).unwrap_err();
+        match err {
+            RelationError::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let text = "A\n\"oops\n";
+        assert!(matches!(
+            relation_from_csv(text, CsvOptions::default()),
+            Err(RelationError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(relation_from_csv("", CsvOptions::default()).is_err());
+        assert!(relation_from_csv("\n\n", CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_tuples() {
+        let text = "A,B\nhello,\"with,comma\"\nx,\"quote\"\"y\"\n";
+        let rel = relation_from_csv(text, CsvOptions::default()).unwrap();
+        let out = relation_to_csv(&rel, ',');
+        let rel2 = relation_from_csv(&out, CsvOptions::default()).unwrap();
+        assert!(rel.equal_as_sets(&rel2));
+    }
+
+    #[test]
+    fn missing_final_newline_still_parses_last_record() {
+        let text = "A,B\n1,2";
+        let rel = relation_from_csv(text, CsvOptions::default()).unwrap();
+        assert_eq!(rel.n_rows(), 1);
+    }
+}

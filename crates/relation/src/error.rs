@@ -1,0 +1,105 @@
+//! Error type for the relational substrate.
+
+use crate::attrset::AttrSet;
+use std::fmt;
+
+/// Errors produced by schema construction, relation building, projection,
+/// joins and CSV ingest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationError {
+    /// A schema must contain at least one attribute.
+    EmptySchema,
+    /// The bitset representation bounds the number of attributes.
+    TooManyAttributes {
+        /// Number of attributes requested.
+        got: usize,
+        /// Maximum number supported.
+        max: usize,
+    },
+    /// Attribute names within a schema must be distinct.
+    DuplicateAttribute(String),
+    /// A name was used that does not appear in the schema.
+    UnknownAttribute(String),
+    /// An attribute set refers to indices outside the schema.
+    AttributeOutOfRange {
+        /// The offending attribute set.
+        attrs: AttrSet,
+        /// Arity of the schema it was used against.
+        arity: usize,
+    },
+    /// A row had the wrong number of values for the schema.
+    ArityMismatch {
+        /// Arity expected by the schema.
+        expected: usize,
+        /// Arity actually provided.
+        got: usize,
+    },
+    /// CSV input was malformed.
+    Csv {
+        /// 1-based line number of the problem.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Two relations were combined in a way that requires identical schemas.
+    SchemaMismatch {
+        /// Rendering of the left schema.
+        left: String,
+        /// Rendering of the right schema.
+        right: String,
+    },
+    /// A join-tree specification was not a tree or did not cover the schema.
+    InvalidJoinTree(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::EmptySchema => write!(f, "schema must have at least one attribute"),
+            RelationError::TooManyAttributes { got, max } => {
+                write!(f, "schema has {} attributes, maximum supported is {}", got, max)
+            }
+            RelationError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name: {}", name)
+            }
+            RelationError::UnknownAttribute(name) => write!(f, "unknown attribute: {}", name),
+            RelationError::AttributeOutOfRange { attrs, arity } => write!(
+                f,
+                "attribute set {:?} out of range for schema of arity {}",
+                attrs, arity
+            ),
+            RelationError::ArityMismatch { expected, got } => {
+                write!(f, "row has {} values but schema has {} attributes", got, expected)
+            }
+            RelationError::Csv { line, message } => write!(f, "CSV error on line {}: {}", line, message),
+            RelationError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch: {} vs {}", left, right)
+            }
+            RelationError::InvalidJoinTree(msg) => write!(f, "invalid join tree: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_facts() {
+        let e = RelationError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("2"));
+        assert!(e.to_string().contains("3"));
+        let e = RelationError::UnknownAttribute("foo".into());
+        assert!(e.to_string().contains("foo"));
+        let e = RelationError::Csv { line: 7, message: "bad quote".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&RelationError::EmptySchema);
+    }
+}

@@ -1,0 +1,198 @@
+//! Random relation generators used for testing and micro-benchmarks.
+//!
+//! These produce relations with *independent* columns (no planted MVD
+//! structure); the planted-schema generators that emulate the Metanome
+//! evaluation datasets live in the `maimon-datasets` crate, built on top of
+//! these primitives.
+
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a relation whose columns are drawn independently and uniformly
+/// from `0..domain_sizes[c]` for each column `c`, named `A`, `B`, ….
+///
+/// # Errors
+/// Returns an error if `domain_sizes` is empty, too long for the bitset
+/// representation, or contains a zero.
+pub fn random_uniform_relation(
+    rows: usize,
+    domain_sizes: &[u32],
+    seed: u64,
+) -> Result<Relation, RelationError> {
+    if domain_sizes.iter().any(|&d| d == 0) {
+        return Err(RelationError::Csv {
+            line: 0,
+            message: "domain sizes must be positive".into(),
+        });
+    }
+    let schema = Schema::with_arity(domain_sizes.len())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let columns: Vec<Vec<u32>> = domain_sizes
+        .iter()
+        .map(|&d| (0..rows).map(|_| rng.gen_range(0..d)).collect())
+        .collect();
+    Relation::from_code_columns(schema, columns)
+}
+
+/// Generates a relation where column `c+1` is a deterministic function of
+/// column `c` with probability `1 - noise`, and uniform noise otherwise.
+/// Useful for producing relations with strong (approximate) functional
+/// dependencies; every FD chain is also a trivial source of MVDs.
+///
+/// # Errors
+/// Returns an error if fewer than two columns are requested or the shape is
+/// otherwise invalid.
+pub fn random_fd_chain_relation(
+    rows: usize,
+    columns: usize,
+    domain: u32,
+    noise: f64,
+    seed: u64,
+) -> Result<Relation, RelationError> {
+    if columns < 2 {
+        return Err(RelationError::Csv {
+            line: 0,
+            message: "FD-chain generator needs at least two columns".into(),
+        });
+    }
+    if domain == 0 {
+        return Err(RelationError::Csv {
+            line: 0,
+            message: "domain must be positive".into(),
+        });
+    }
+    let schema = Schema::with_arity(columns)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols: Vec<Vec<u32>> = vec![Vec::with_capacity(rows); columns];
+    for _ in 0..rows {
+        let mut prev = rng.gen_range(0..domain);
+        cols[0].push(prev);
+        for col in cols.iter_mut().skip(1) {
+            let value = if rng.gen_bool(noise) {
+                rng.gen_range(0..domain)
+            } else {
+                // A fixed "hash" of the previous value keeps the FD deterministic.
+                prev.wrapping_mul(2654435761) % domain
+            };
+            col.push(value);
+            prev = value;
+        }
+    }
+    Relation::from_code_columns(schema, cols)
+}
+
+/// Generates the full Cartesian product of the given domain sizes (one row per
+/// combination). The Nursery dataset used in §8.1 has exactly this shape.
+///
+/// # Errors
+/// Returns an error if the shape is invalid or the product exceeds
+/// `max_rows` (a guard against accidental explosion).
+pub fn cartesian_product_relation(
+    domain_sizes: &[u32],
+    max_rows: usize,
+) -> Result<Relation, RelationError> {
+    if domain_sizes.is_empty() || domain_sizes.iter().any(|&d| d == 0) {
+        return Err(RelationError::Csv {
+            line: 0,
+            message: "domain sizes must be non-empty and positive".into(),
+        });
+    }
+    let total: usize = domain_sizes.iter().map(|&d| d as usize).product();
+    if total > max_rows {
+        return Err(RelationError::Csv {
+            line: 0,
+            message: format!("Cartesian product has {} rows, exceeding the cap of {}", total, max_rows),
+        });
+    }
+    let schema = Schema::with_arity(domain_sizes.len())?;
+    let mut columns: Vec<Vec<u32>> = vec![Vec::with_capacity(total); domain_sizes.len()];
+    for idx in 0..total {
+        let mut rest = idx;
+        for (c, &d) in domain_sizes.iter().enumerate().rev() {
+            columns[c].push((rest % d as usize) as u32);
+            rest /= d as usize;
+        }
+    }
+    Relation::from_code_columns(schema, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrset::AttrSet;
+
+    #[test]
+    fn uniform_relation_has_requested_shape() {
+        let rel = random_uniform_relation(100, &[4, 7, 2], 42).unwrap();
+        assert_eq!(rel.n_rows(), 100);
+        assert_eq!(rel.arity(), 3);
+        assert!(rel.column_cardinality(0) <= 4);
+        assert!(rel.column_cardinality(1) <= 7);
+        assert!(rel.column_cardinality(2) <= 2);
+    }
+
+    #[test]
+    fn uniform_relation_is_deterministic_per_seed() {
+        let a = random_uniform_relation(50, &[5, 5], 7).unwrap();
+        let b = random_uniform_relation(50, &[5, 5], 7).unwrap();
+        let c = random_uniform_relation(50, &[5, 5], 8).unwrap();
+        assert!(a.equal_as_sets(&b));
+        // Different seeds should (overwhelmingly likely) differ.
+        assert!(!a.equal_as_sets(&c));
+    }
+
+    #[test]
+    fn uniform_relation_rejects_zero_domain() {
+        assert!(random_uniform_relation(10, &[3, 0], 1).is_err());
+    }
+
+    #[test]
+    fn fd_chain_without_noise_has_functional_dependencies() {
+        let rel = random_fd_chain_relation(500, 4, 16, 0.0, 3).unwrap();
+        // With zero noise, column c+1 is a function of column c: grouping by
+        // column c, every group has exactly one distinct value in column c+1.
+        for c in 0..3 {
+            let pair: AttrSet = [c, c + 1].into_iter().collect();
+            let lhs = AttrSet::singleton(c);
+            assert_eq!(
+                rel.distinct_count(pair).unwrap(),
+                rel.distinct_count(lhs).unwrap(),
+                "column {} should determine column {}",
+                c,
+                c + 1
+            );
+        }
+    }
+
+    #[test]
+    fn fd_chain_with_noise_breaks_dependencies() {
+        let rel = random_fd_chain_relation(2000, 3, 8, 0.5, 3).unwrap();
+        let pair: AttrSet = [0usize, 1].into_iter().collect();
+        let lhs = AttrSet::singleton(0);
+        assert!(rel.distinct_count(pair).unwrap() > rel.distinct_count(lhs).unwrap());
+    }
+
+    #[test]
+    fn fd_chain_validates_arguments() {
+        assert!(random_fd_chain_relation(10, 1, 4, 0.0, 1).is_err());
+        assert!(random_fd_chain_relation(10, 3, 0, 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn cartesian_product_enumerates_all_combinations() {
+        let rel = cartesian_product_relation(&[2, 3, 2], 100).unwrap();
+        assert_eq!(rel.n_rows(), 12);
+        // All rows are distinct.
+        assert_eq!(rel.distinct_count(AttrSet::full(3)).unwrap(), 12);
+        assert_eq!(rel.column_cardinality(1), 3);
+    }
+
+    #[test]
+    fn cartesian_product_respects_cap() {
+        assert!(cartesian_product_relation(&[100, 100, 100], 1000).is_err());
+        assert!(cartesian_product_relation(&[], 10).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Natural joins over dictionary-encoded relations.
+//!
+//! Joins are only needed for *validating* decompositions (counting spurious
+//! tuples on small inputs and in tests); the mining algorithms themselves
+//! never join. Values are compared as strings because two projections of the
+//! same relation may have been re-encoded with different dictionaries.
+
+use crate::error::RelationError;
+use crate::relation::{Relation, RelationBuilder};
+use crate::schema::Schema;
+use std::collections::HashMap;
+
+/// Computes the natural join `left ⋈ right`, joining on all attribute names
+/// the two schemas share (a cross product if they share none).
+///
+/// The output schema is the left schema followed by the right-only
+/// attributes, and the output is deduplicated (set semantics, matching the
+/// paper's use of joins over projections).
+///
+/// # Errors
+/// Returns an error if the combined schema would be invalid.
+pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation, RelationError> {
+    let left_names = left.schema().names();
+    let right_names = right.schema().names();
+
+    // Shared attributes, as (left index, right index) pairs.
+    let mut shared: Vec<(usize, usize)> = Vec::new();
+    for (li, name) in left_names.iter().enumerate() {
+        if let Some(ri) = right.schema().index_of(name) {
+            shared.push((li, ri));
+        }
+    }
+    let right_only: Vec<usize> = (0..right.arity())
+        .filter(|ri| !shared.iter().any(|&(_, r)| r == *ri))
+        .collect();
+
+    let mut out_names: Vec<String> = left_names.to_vec();
+    out_names.extend(right_only.iter().map(|&ri| right_names[ri].clone()));
+    let out_schema = Schema::new(out_names)?;
+    let mut builder = RelationBuilder::new(out_schema);
+
+    // Hash the right side on the shared-attribute values.
+    let mut index: HashMap<Vec<&str>, Vec<usize>> = HashMap::with_capacity(right.n_rows());
+    for r in 0..right.n_rows() {
+        let key: Vec<&str> = shared.iter().map(|&(_, ri)| right.value(r, ri)).collect();
+        index.entry(key).or_default().push(r);
+    }
+
+    let mut seen: HashMap<Vec<String>, ()> = HashMap::new();
+    for l in 0..left.n_rows() {
+        let key: Vec<&str> = shared.iter().map(|&(li, _)| left.value(l, li)).collect();
+        if let Some(matches) = index.get(&key) {
+            for &r in matches {
+                let mut row: Vec<String> = (0..left.arity())
+                    .map(|c| left.value(l, c).to_string())
+                    .collect();
+                row.extend(right_only.iter().map(|&ri| right.value(r, ri).to_string()));
+                if seen.insert(row.clone(), ()).is_none() {
+                    builder.push_row(row.iter().map(|s| s.as_str()))?;
+                }
+            }
+        }
+    }
+    Ok(builder.finish())
+}
+
+/// Joins a sequence of relations left to right with [`natural_join`].
+///
+/// # Errors
+/// Returns an error if `relations` is empty or any pairwise join fails.
+pub fn natural_join_all(relations: &[Relation]) -> Result<Relation, RelationError> {
+    let mut iter = relations.iter();
+    let first = iter
+        .next()
+        .ok_or(RelationError::InvalidJoinTree("empty relation list".into()))?;
+    let mut acc = first.distinct();
+    for rel in iter {
+        acc = natural_join(&acc, rel)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrset::AttrSet;
+
+    fn rel(names: &[&str], rows: &[&[&str]]) -> Relation {
+        let schema = Schema::new(names.iter().copied()).unwrap();
+        let rows: Vec<Vec<&str>> = rows.iter().map(|r| r.to_vec()).collect();
+        Relation::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn join_on_single_shared_attribute() {
+        let r = rel(&["A", "B"], &[&["a1", "b1"], &["a2", "b2"]]);
+        let s = rel(&["B", "C"], &[&["b1", "c1"], &["b1", "c2"], &["b3", "c3"]]);
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j.schema().names(), &["A".to_string(), "B".into(), "C".into()]);
+        assert_eq!(j.n_rows(), 2);
+        let expected = rel(&["A", "B", "C"], &[&["a1", "b1", "c1"], &["a1", "b1", "c2"]]);
+        assert!(j.equal_as_sets(&expected));
+    }
+
+    #[test]
+    fn join_with_no_shared_attributes_is_cross_product() {
+        let r = rel(&["A"], &[&["a1"], &["a2"]]);
+        let s = rel(&["B"], &[&["b1"], &["b2"], &["b3"]]);
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j.n_rows(), 6);
+    }
+
+    #[test]
+    fn join_with_identical_schema_is_set_intersection() {
+        let r = rel(&["A", "B"], &[&["a1", "b1"], &["a2", "b2"]]);
+        let s = rel(&["A", "B"], &[&["a2", "b2"], &["a3", "b3"]]);
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j.n_rows(), 1);
+        assert_eq!(j.row(0), vec!["a2", "b2"]);
+    }
+
+    #[test]
+    fn join_deduplicates_output() {
+        // Left side has duplicate rows; output must still be a set.
+        let r = rel(&["A", "B"], &[&["a1", "b1"], &["a1", "b1"]]);
+        let s = rel(&["B", "C"], &[&["b1", "c1"]]);
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j.n_rows(), 1);
+    }
+
+    #[test]
+    fn join_all_reconstructs_running_example() {
+        // Figure 1 of the paper: the 4-tuple relation R decomposes exactly
+        // into ABD ⋈ ACD ⋈ BDE ⋈ AF.
+        let r = rel(
+            &["A", "B", "C", "D", "E", "F"],
+            &[
+                &["a1", "b1", "c1", "d1", "e1", "f1"],
+                &["a2", "b2", "c1", "d1", "e2", "f2"],
+                &["a2", "b2", "c2", "d2", "e3", "f2"],
+                &["a1", "b2", "c1", "d2", "e3", "f1"],
+            ],
+        );
+        let schema = r.schema();
+        let bags = [
+            schema.attrs(["A", "B", "D"]).unwrap(),
+            schema.attrs(["A", "C", "D"]).unwrap(),
+            schema.attrs(["B", "D", "E"]).unwrap(),
+            schema.attrs(["A", "F"]).unwrap(),
+        ];
+        let projections: Vec<Relation> =
+            bags.iter().map(|&b| r.project_distinct(b).unwrap()).collect();
+        let joined = natural_join_all(&projections).unwrap();
+        assert_eq!(joined.n_rows(), 4);
+        // The joined schema is a permutation of the original attributes;
+        // compare projections instead of raw equality.
+        assert_eq!(joined.arity(), 6);
+        let all = AttrSet::full(6);
+        assert_eq!(joined.distinct_count(all).unwrap(), 4);
+    }
+
+    #[test]
+    fn join_all_with_red_tuple_produces_spurious_tuple() {
+        // Adding the 5th (red) tuple of Figure 1 produces exactly one
+        // spurious tuple in the join of the projections.
+        let r = rel(
+            &["A", "B", "C", "D", "E", "F"],
+            &[
+                &["a1", "b1", "c1", "d1", "e1", "f1"],
+                &["a2", "b2", "c1", "d1", "e2", "f2"],
+                &["a2", "b2", "c2", "d2", "e3", "f2"],
+                &["a1", "b2", "c1", "d2", "e3", "f1"],
+                &["a1", "b2", "c1", "d2", "e2", "f1"],
+            ],
+        );
+        let schema = r.schema();
+        let bags = [
+            schema.attrs(["A", "B", "D"]).unwrap(),
+            schema.attrs(["A", "C", "D"]).unwrap(),
+            schema.attrs(["B", "D", "E"]).unwrap(),
+            schema.attrs(["A", "F"]).unwrap(),
+        ];
+        let projections: Vec<Relation> =
+            bags.iter().map(|&b| r.project_distinct(b).unwrap()).collect();
+        let joined = natural_join_all(&projections).unwrap();
+        assert_eq!(joined.n_rows(), 6); // 5 original + 1 spurious
+    }
+
+    #[test]
+    fn join_all_rejects_empty_input() {
+        assert!(natural_join_all(&[]).is_err());
+    }
+}

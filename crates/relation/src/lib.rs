@@ -1,0 +1,43 @@
+//! Relational substrate for the Maimon reproduction.
+//!
+//! This crate provides everything the schema-mining algorithms need from a
+//! relational engine, implemented from scratch:
+//!
+//! * [`AttrSet`] — attribute sets as 64-bit bitsets, the universal currency of
+//!   the mining algorithms.
+//! * [`Schema`] / [`Relation`] — dictionary-encoded, columnar, in-memory
+//!   relation instances with projection, selection, deduplication and
+//!   grouping.
+//! * [`natural_join`] / [`natural_join_all`] — materialized joins used to
+//!   validate decompositions on small inputs.
+//! * [`acyclic_join_size`] / [`spurious_tuple_count`] — Yannakakis-style count
+//!   propagation over a join tree, used to measure the paper's spurious-tuple
+//!   metric `E` without materializing the (possibly huge) re-join.
+//! * [`relation_from_csv`] — a small RFC-4180-ish CSV reader for loading
+//!   profiling datasets.
+//! * Random relation generators used by tests, benchmarks and the synthetic
+//!   Metanome-shaped datasets.
+
+#![warn(missing_docs)]
+
+mod acyclic_join;
+mod attrset;
+mod csv;
+mod error;
+mod generator;
+mod join;
+mod relation;
+mod schema;
+
+pub use acyclic_join::{
+    acyclic_join_size, satisfies_join_dependency, spurious_tuple_count, JoinTreeSpec,
+};
+pub use attrset::{AttrIter, AttrSet, SubsetIter};
+pub use csv::{relation_from_csv, relation_to_csv, CsvOptions};
+pub use error::RelationError;
+pub use generator::{
+    cartesian_product_relation, random_fd_chain_relation, random_uniform_relation,
+};
+pub use join::{natural_join, natural_join_all};
+pub use relation::{Relation, RelationBuilder};
+pub use schema::Schema;

@@ -1,0 +1,624 @@
+//! In-memory, dictionary-encoded, columnar relations.
+//!
+//! Maimon only ever needs categorical comparisons of values (grouping,
+//! counting, joining); it never interprets them numerically. Every column is
+//! therefore stored as a dictionary of distinct strings plus a dense `u32`
+//! code per row, which makes the grouping performed by the entropy engine and
+//! the projections performed by the quality metrics cheap.
+
+use crate::attrset::AttrSet;
+use crate::error::RelationError;
+use crate::schema::Schema;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A single dictionary-encoded column.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Column {
+    /// Distinct values; `codes[r]` indexes into this.
+    pub(crate) dict: Vec<String>,
+    /// Per-row dictionary codes.
+    pub(crate) codes: Vec<u32>,
+}
+
+impl Column {
+    fn distinct_count(&self) -> usize {
+        self.dict.len()
+    }
+}
+
+/// An in-memory relation instance `R` over a [`Schema`].
+///
+/// Rows are not deduplicated automatically; use [`Relation::distinct`] when
+/// set semantics are required (the paper's relations are sets of tuples, and
+/// the dataset constructors in `maimon-datasets` deduplicate on load).
+#[derive(Clone)]
+pub struct Relation {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Relation {
+    /// Creates an empty relation over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        let arity = schema.arity();
+        Relation {
+            schema,
+            columns: vec![Column::default(); arity],
+            n_rows: 0,
+        }
+    }
+
+    /// Builds a relation from string rows.
+    ///
+    /// # Errors
+    /// Returns an error if any row's arity differs from the schema's.
+    pub fn from_rows<S: AsRef<str>>(
+        schema: Schema,
+        rows: &[Vec<S>],
+    ) -> Result<Self, RelationError> {
+        let mut builder = RelationBuilder::new(schema);
+        for row in rows {
+            builder.push_row(row.iter().map(|s| s.as_ref()))?;
+        }
+        Ok(builder.finish())
+    }
+
+    /// Builds a relation directly from per-column integer codes; value `v` of
+    /// column `c` is rendered as the string `v`. This is the fast path used by
+    /// the synthetic dataset generators.
+    ///
+    /// # Errors
+    /// Returns an error if the column count does not match the schema or the
+    /// columns have unequal lengths.
+    pub fn from_code_columns(schema: Schema, columns: Vec<Vec<u32>>) -> Result<Self, RelationError> {
+        if columns.len() != schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: schema.arity(),
+                got: columns.len(),
+            });
+        }
+        let n_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        if columns.iter().any(|c| c.len() != n_rows) {
+            return Err(RelationError::ArityMismatch {
+                expected: n_rows,
+                got: columns.iter().map(|c| c.len()).max().unwrap_or(0),
+            });
+        }
+        let mut cols = Vec::with_capacity(columns.len());
+        for raw in columns {
+            // Re-encode into a dense dictionary so codes are contiguous.
+            let mut remap: HashMap<u32, u32> = HashMap::new();
+            let mut dict = Vec::new();
+            let mut codes = Vec::with_capacity(raw.len());
+            for v in raw {
+                let code = *remap.entry(v).or_insert_with(|| {
+                    dict.push(v.to_string());
+                    (dict.len() - 1) as u32
+                });
+                codes.push(code);
+            }
+            cols.push(Column { dict, codes });
+        }
+        Ok(Relation {
+            schema,
+            columns: cols,
+            n_rows,
+        })
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows (with duplicates, if any).
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// `true` if the relation has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Total number of cells, `n_rows × arity`; the storage measure used for
+    /// the paper's savings metric `S` (§8.1).
+    #[inline]
+    pub fn cells(&self) -> usize {
+        self.n_rows * self.arity()
+    }
+
+    /// The string value at row `r`, column `c`.
+    ///
+    /// # Panics
+    /// Panics if `r` or `c` is out of range.
+    #[inline]
+    pub fn value(&self, r: usize, c: usize) -> &str {
+        let col = &self.columns[c];
+        &col.dict[col.codes[r] as usize]
+    }
+
+    /// The dictionary code at row `r`, column `c`.
+    #[inline]
+    pub fn code(&self, r: usize, c: usize) -> u32 {
+        self.columns[c].codes[r]
+    }
+
+    /// The per-row dictionary codes of column `c`.
+    #[inline]
+    pub fn column_codes(&self, c: usize) -> &[u32] {
+        &self.columns[c].codes
+    }
+
+    /// Number of distinct values in column `c`.
+    #[inline]
+    pub fn column_cardinality(&self, c: usize) -> usize {
+        self.columns[c].distinct_count()
+    }
+
+    /// Materializes row `r` as strings.
+    pub fn row(&self, r: usize) -> Vec<&str> {
+        (0..self.arity()).map(|c| self.value(r, c)).collect()
+    }
+
+    /// The code-vector of row `r` restricted to `attrs` (ascending attribute
+    /// order). This is the grouping key used throughout the entropy engine.
+    pub fn key(&self, r: usize, attrs: AttrSet) -> Vec<u32> {
+        attrs.iter().map(|c| self.code(r, c)).collect()
+    }
+
+    /// Number of distinct tuples in the projection `R[attrs]`.
+    ///
+    /// # Errors
+    /// Returns an error if `attrs` is empty or out of range.
+    pub fn distinct_count(&self, attrs: AttrSet) -> Result<usize, RelationError> {
+        self.validate_attrs(attrs)?;
+        let mut seen: HashMap<Vec<u32>, ()> = HashMap::with_capacity(self.n_rows);
+        for r in 0..self.n_rows {
+            seen.insert(self.key(r, attrs), ());
+        }
+        Ok(seen.len())
+    }
+
+    /// Groups rows by their `attrs` key and returns the multiset of group
+    /// sizes. The entropy of the empirical distribution only depends on these
+    /// counts (Eq. 5 of the paper).
+    pub fn group_sizes(&self, attrs: AttrSet) -> Result<Vec<usize>, RelationError> {
+        self.validate_attrs(attrs)?;
+        let mut groups: HashMap<Vec<u32>, usize> = HashMap::with_capacity(self.n_rows);
+        for r in 0..self.n_rows {
+            *groups.entry(self.key(r, attrs)).or_insert(0) += 1;
+        }
+        Ok(groups.into_values().collect())
+    }
+
+    /// Projects onto `attrs`, keeping duplicates.
+    ///
+    /// # Errors
+    /// Returns an error if `attrs` is empty or out of range.
+    pub fn project(&self, attrs: AttrSet) -> Result<Relation, RelationError> {
+        self.validate_attrs(attrs)?;
+        let schema = self.schema.project(attrs)?;
+        let columns: Vec<Column> = attrs.iter().map(|c| self.columns[c].clone()).collect();
+        Ok(Relation {
+            schema,
+            columns,
+            n_rows: self.n_rows,
+        })
+    }
+
+    /// Projects onto `attrs` and removes duplicate rows; this is the paper's
+    /// `R[Y]` (projections in relational algebra are sets).
+    pub fn project_distinct(&self, attrs: AttrSet) -> Result<Relation, RelationError> {
+        let projected = self.project(attrs)?;
+        Ok(projected.distinct())
+    }
+
+    /// Returns a copy with duplicate rows removed (first occurrence kept).
+    pub fn distinct(&self) -> Relation {
+        let all = self.schema.all_attrs();
+        let mut seen: HashMap<Vec<u32>, ()> = HashMap::with_capacity(self.n_rows);
+        let mut keep = Vec::new();
+        for r in 0..self.n_rows {
+            if seen.insert(self.key(r, all), ()).is_none() {
+                keep.push(r);
+            }
+        }
+        self.select_rows(&keep)
+    }
+
+    /// Returns a copy containing only the rows at the given indices, in order.
+    pub fn select_rows(&self, rows: &[usize]) -> Relation {
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for col in &self.columns {
+            // Rebuild a dense dictionary restricted to the selected rows.
+            let mut remap: HashMap<u32, u32> = HashMap::new();
+            let mut dict = Vec::new();
+            let mut codes = Vec::with_capacity(rows.len());
+            for &r in rows {
+                let old = col.codes[r];
+                let code = *remap.entry(old).or_insert_with(|| {
+                    dict.push(col.dict[old as usize].clone());
+                    (dict.len() - 1) as u32
+                });
+                codes.push(code);
+            }
+            columns.push(Column { dict, codes });
+        }
+        Relation {
+            schema: self.schema.clone(),
+            columns,
+            n_rows: rows.len(),
+        }
+    }
+
+    /// Returns a copy with only the first `n` rows (or all rows if `n`
+    /// exceeds the row count). Used by the row-scalability experiments.
+    pub fn head(&self, n: usize) -> Relation {
+        let n = n.min(self.n_rows);
+        let rows: Vec<usize> = (0..n).collect();
+        self.select_rows(&rows)
+    }
+
+    /// Restricts the relation to the first `k` columns (a prefix of the
+    /// schema). Used by the column-scalability experiments.
+    ///
+    /// # Errors
+    /// Returns an error if `k` is zero or exceeds the arity.
+    pub fn column_prefix(&self, k: usize) -> Result<Relation, RelationError> {
+        if k == 0 || k > self.arity() {
+            return Err(RelationError::AttributeOutOfRange {
+                attrs: AttrSet::full(k.min(AttrSet::MAX_ATTRS)),
+                arity: self.arity(),
+            });
+        }
+        self.project(AttrSet::full(k))
+    }
+
+    /// `true` if the two relations have the same schema and the same *set* of
+    /// tuples (duplicates and row order ignored). Values are compared as
+    /// strings, so relations built through different paths compare equal.
+    pub fn equal_as_sets(&self, other: &Relation) -> bool {
+        if self.schema != other.schema {
+            return false;
+        }
+        let to_set = |rel: &Relation| {
+            let mut set: HashMap<Vec<String>, ()> = HashMap::with_capacity(rel.n_rows);
+            for r in 0..rel.n_rows {
+                set.insert(rel.row(r).into_iter().map(|s| s.to_string()).collect(), ());
+            }
+            set
+        };
+        to_set(self) == to_set(other)
+    }
+
+    /// Appends a row of string values.
+    ///
+    /// # Errors
+    /// Returns an error if the row arity differs from the schema's.
+    pub fn push_row<S: AsRef<str>, I: IntoIterator<Item = S>>(
+        &mut self,
+        row: I,
+    ) -> Result<(), RelationError> {
+        let values: Vec<String> = row.into_iter().map(|s| s.as_ref().to_string()).collect();
+        if values.len() != self.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.arity(),
+                got: values.len(),
+            });
+        }
+        for (c, v) in values.into_iter().enumerate() {
+            let col = &mut self.columns[c];
+            let code = match col.dict.iter().position(|d| *d == v) {
+                Some(i) => i as u32,
+                None => {
+                    col.dict.push(v);
+                    (col.dict.len() - 1) as u32
+                }
+            };
+            col.codes.push(code);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    fn validate_attrs(&self, attrs: AttrSet) -> Result<(), RelationError> {
+        if attrs.is_empty() || !attrs.is_subset_of(self.schema.all_attrs()) {
+            return Err(RelationError::AttributeOutOfRange {
+                attrs,
+                arity: self.arity(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Relation[{}] ({} rows)", self.schema, self.n_rows)?;
+        let limit = 10.min(self.n_rows);
+        for r in 0..limit {
+            writeln!(f, "  {}", self.row(r).join(", "))?;
+        }
+        if self.n_rows > limit {
+            writeln!(f, "  ... ({} more rows)", self.n_rows - limit)?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Relation`], with hash-based dictionary encoding
+/// (the `push_row` method on `Relation` itself does a linear dictionary scan
+/// and is only meant for tiny hand-written relations).
+pub struct RelationBuilder {
+    schema: Schema,
+    dict_maps: Vec<HashMap<String, u32>>,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl RelationBuilder {
+    /// Creates a builder for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let arity = schema.arity();
+        RelationBuilder {
+            schema,
+            dict_maps: vec![HashMap::new(); arity],
+            columns: vec![Column::default(); arity],
+            n_rows: 0,
+        }
+    }
+
+    /// Appends one row of string values.
+    ///
+    /// # Errors
+    /// Returns an error if the row arity differs from the schema's.
+    pub fn push_row<S: AsRef<str>, I: IntoIterator<Item = S>>(
+        &mut self,
+        row: I,
+    ) -> Result<(), RelationError> {
+        let values: Vec<String> = row.into_iter().map(|s| s.as_ref().to_string()).collect();
+        if values.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: values.len(),
+            });
+        }
+        for (c, v) in values.into_iter().enumerate() {
+            let col = &mut self.columns[c];
+            let dict = &mut self.dict_maps[c];
+            let code = match dict.get(&v) {
+                Some(&code) => code,
+                None => {
+                    let code = col.dict.len() as u32;
+                    col.dict.push(v.clone());
+                    dict.insert(v, code);
+                    code
+                }
+            };
+            col.codes.push(code);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The schema the builder was created with.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Finalizes the relation.
+    pub fn finish(self) -> Relation {
+        Relation {
+            schema: self.schema,
+            columns: self.columns,
+            n_rows: self.n_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc_relation() -> Relation {
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        Relation::from_rows(
+            schema,
+            &[
+                vec!["a1", "b1", "c1"],
+                vec!["a1", "b2", "c1"],
+                vec!["a2", "b1", "c2"],
+                vec!["a2", "b1", "c2"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_rows_basic_accessors() {
+        let r = abc_relation();
+        assert_eq!(r.n_rows(), 4);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.cells(), 12);
+        assert_eq!(r.value(0, 0), "a1");
+        assert_eq!(r.value(2, 2), "c2");
+        assert_eq!(r.row(1), vec!["a1", "b2", "c1"]);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let err = Relation::from_rows(schema, &[vec!["x"]]);
+        assert!(matches!(err, Err(RelationError::ArityMismatch { expected: 2, got: 1 })));
+    }
+
+    #[test]
+    fn dictionary_encoding_shares_codes() {
+        let r = abc_relation();
+        assert_eq!(r.code(0, 0), r.code(1, 0)); // both a1
+        assert_ne!(r.code(0, 0), r.code(2, 0)); // a1 vs a2
+        assert_eq!(r.column_cardinality(0), 2);
+        assert_eq!(r.column_cardinality(1), 2);
+        assert_eq!(r.column_cardinality(2), 2);
+    }
+
+    #[test]
+    fn from_code_columns_matches_strings() {
+        let schema = Schema::new(["X", "Y"]).unwrap();
+        let r = Relation::from_code_columns(schema, vec![vec![7, 7, 3], vec![1, 2, 1]]).unwrap();
+        assert_eq!(r.n_rows(), 3);
+        assert_eq!(r.value(0, 0), "7");
+        assert_eq!(r.value(2, 0), "3");
+        assert_eq!(r.column_cardinality(0), 2);
+    }
+
+    #[test]
+    fn from_code_columns_validates_shape() {
+        let schema = Schema::new(["X", "Y"]).unwrap();
+        assert!(Relation::from_code_columns(schema.clone(), vec![vec![1, 2]]).is_err());
+        assert!(Relation::from_code_columns(schema, vec![vec![1, 2], vec![1]]).is_err());
+    }
+
+    #[test]
+    fn distinct_count_and_group_sizes() {
+        let r = abc_relation();
+        let a = AttrSet::singleton(0);
+        assert_eq!(r.distinct_count(a).unwrap(), 2);
+        let mut sizes = r.group_sizes(a).unwrap();
+        sizes.sort();
+        assert_eq!(sizes, vec![2, 2]);
+        let abc = AttrSet::full(3);
+        assert_eq!(r.distinct_count(abc).unwrap(), 3);
+        let mut sizes = r.group_sizes(abc).unwrap();
+        sizes.sort();
+        assert_eq!(sizes, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn empty_attrs_rejected() {
+        let r = abc_relation();
+        assert!(r.distinct_count(AttrSet::empty()).is_err());
+        assert!(r.project(AttrSet::empty()).is_err());
+        assert!(r.project(AttrSet::singleton(10)).is_err());
+    }
+
+    #[test]
+    fn project_keeps_duplicates_project_distinct_removes_them() {
+        let r = abc_relation();
+        let bc = AttrSet::from_iter([1usize, 2]);
+        let p = r.project(bc).unwrap();
+        assert_eq!(p.n_rows(), 4);
+        assert_eq!(p.schema().names(), &["B".to_string(), "C".to_string()]);
+        let pd = r.project_distinct(bc).unwrap();
+        assert_eq!(pd.n_rows(), 3);
+    }
+
+    #[test]
+    fn distinct_removes_duplicate_rows() {
+        let r = abc_relation();
+        let d = r.distinct();
+        assert_eq!(d.n_rows(), 3);
+        assert!(d.equal_as_sets(&r));
+    }
+
+    #[test]
+    fn equal_as_sets_ignores_order_and_duplicates() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let r1 = Relation::from_rows(schema.clone(), &[vec!["x", "1"], vec!["y", "2"]]).unwrap();
+        let r2 = Relation::from_rows(
+            schema.clone(),
+            &[vec!["y", "2"], vec!["x", "1"], vec!["x", "1"]],
+        )
+        .unwrap();
+        assert!(r1.equal_as_sets(&r2));
+        let r3 = Relation::from_rows(schema, &[vec!["x", "1"]]).unwrap();
+        assert!(!r1.equal_as_sets(&r3));
+    }
+
+    #[test]
+    fn equal_as_sets_requires_same_schema() {
+        let r1 = Relation::from_rows(Schema::new(["A"]).unwrap(), &[vec!["x"]]).unwrap();
+        let r2 = Relation::from_rows(Schema::new(["B"]).unwrap(), &[vec!["x"]]).unwrap();
+        assert!(!r1.equal_as_sets(&r2));
+    }
+
+    #[test]
+    fn head_and_column_prefix() {
+        let r = abc_relation();
+        assert_eq!(r.head(2).n_rows(), 2);
+        assert_eq!(r.head(100).n_rows(), 4);
+        let p = r.column_prefix(2).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.schema().names(), &["A".to_string(), "B".to_string()]);
+        assert!(r.column_prefix(0).is_err());
+        assert!(r.column_prefix(4).is_err());
+    }
+
+    #[test]
+    fn select_rows_rebuilds_dictionaries() {
+        let r = abc_relation();
+        let s = r.select_rows(&[2, 3]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.column_cardinality(0), 1); // only a2 remains
+        assert_eq!(s.value(0, 0), "a2");
+    }
+
+    #[test]
+    fn push_row_on_relation() {
+        let mut r = Relation::empty(Schema::new(["A", "B"]).unwrap());
+        assert!(r.is_empty());
+        r.push_row(["x", "1"]).unwrap();
+        r.push_row(["x", "2"]).unwrap();
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.column_cardinality(0), 1);
+        assert!(r.push_row(["only-one"]).is_err());
+    }
+
+    #[test]
+    fn builder_matches_from_rows() {
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let mut b = RelationBuilder::new(schema.clone());
+        for row in [["a1", "b1", "c1"], ["a1", "b2", "c1"], ["a2", "b1", "c2"], ["a2", "b1", "c2"]] {
+            b.push_row(row).unwrap();
+        }
+        assert_eq!(b.n_rows(), 4);
+        let r = b.finish();
+        assert!(r.equal_as_sets(&abc_relation()));
+    }
+
+    #[test]
+    fn key_restricts_to_attrs_in_order() {
+        let r = abc_relation();
+        let ac = AttrSet::from_iter([0usize, 2]);
+        let k = r.key(0, ac);
+        assert_eq!(k.len(), 2);
+        assert_eq!(k[0], r.code(0, 0));
+        assert_eq!(k[1], r.code(0, 2));
+    }
+
+    #[test]
+    fn debug_output_mentions_schema_and_rows() {
+        let r = abc_relation();
+        let s = format!("{:?}", r);
+        assert!(s.contains("A,B,C"));
+        assert!(s.contains("4 rows"));
+    }
+}

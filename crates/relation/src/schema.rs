@@ -1,0 +1,245 @@
+//! Relation signatures: ordered lists of named attributes.
+
+use crate::attrset::AttrSet;
+use crate::error::RelationError;
+use std::fmt;
+use std::sync::Arc;
+
+/// A relation signature `Ω`: an ordered list of distinct attribute names.
+///
+/// Attribute *indices* (positions in this list) are what the rest of the
+/// system manipulates, via [`AttrSet`]; the schema is the only place where
+/// names live. Schemas are cheap to clone (`Arc` internally) because every
+/// projected relation carries one.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    names: Arc<Vec<String>>,
+}
+
+impl Schema {
+    /// Creates a schema from attribute names.
+    ///
+    /// # Errors
+    /// Returns an error if there are no attributes, more than
+    /// [`AttrSet::MAX_ATTRS`], or duplicate names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Result<Self, RelationError> {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.is_empty() {
+            return Err(RelationError::EmptySchema);
+        }
+        if names.len() > AttrSet::MAX_ATTRS {
+            return Err(RelationError::TooManyAttributes {
+                got: names.len(),
+                max: AttrSet::MAX_ATTRS,
+            });
+        }
+        for (i, n) in names.iter().enumerate() {
+            if names[..i].iter().any(|m| m == n) {
+                return Err(RelationError::DuplicateAttribute(n.clone()));
+            }
+        }
+        Ok(Schema {
+            names: Arc::new(names),
+        })
+    }
+
+    /// Convenience constructor producing single-letter names `A`, `B`, `C`, …
+    /// like the paper's running example; beyond 26 attributes the names are
+    /// `X26`, `X27`, ….
+    pub fn with_arity(n: usize) -> Result<Self, RelationError> {
+        let names: Vec<String> = (0..n)
+            .map(|i| {
+                if i < 26 {
+                    ((b'A' + i as u8) as char).to_string()
+                } else {
+                    format!("X{}", i)
+                }
+            })
+            .collect();
+        Schema::new(names)
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    /// All attribute names in order.
+    #[inline]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Name of attribute `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Index of the attribute with the given name, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The full signature as an attribute set `{0, …, arity-1}`.
+    #[inline]
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::full(self.arity())
+    }
+
+    /// Resolves a list of attribute names to an attribute set.
+    ///
+    /// # Errors
+    /// Returns an error naming the first unknown attribute.
+    pub fn attrs<S: AsRef<str>, I: IntoIterator<Item = S>>(
+        &self,
+        names: I,
+    ) -> Result<AttrSet, RelationError> {
+        let mut set = AttrSet::empty();
+        for name in names {
+            let name = name.as_ref();
+            match self.index_of(name) {
+                Some(i) => set.insert(i),
+                None => return Err(RelationError::UnknownAttribute(name.to_string())),
+            }
+        }
+        Ok(set)
+    }
+
+    /// Renders an attribute set using this schema's names, e.g. `ABD` when all
+    /// names are single letters or `[age,income]` otherwise.
+    pub fn label(&self, attrs: AttrSet) -> String {
+        let parts: Vec<&str> = attrs
+            .iter()
+            .filter(|&i| i < self.arity())
+            .map(|i| self.name(i))
+            .collect();
+        if parts.iter().all(|p| p.chars().count() == 1) {
+            parts.concat()
+        } else {
+            format!("[{}]", parts.join(","))
+        }
+    }
+
+    /// Builds the sub-schema for a projection onto `attrs` (attributes keep
+    /// their relative order).
+    pub fn project(&self, attrs: AttrSet) -> Result<Schema, RelationError> {
+        if !attrs.is_subset_of(self.all_attrs()) {
+            return Err(RelationError::AttributeOutOfRange {
+                attrs,
+                arity: self.arity(),
+            });
+        }
+        if attrs.is_empty() {
+            return Err(RelationError::EmptySchema);
+        }
+        Schema::new(attrs.iter().map(|i| self.names[i].clone()))
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema({})", self.names.join(","))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.names.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_schema_and_lookup() {
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.name(1), "B");
+        assert_eq!(s.index_of("C"), Some(2));
+        assert_eq!(s.index_of("Z"), None);
+        assert_eq!(s.all_attrs(), AttrSet::full(3));
+    }
+
+    #[test]
+    fn with_arity_generates_letter_names() {
+        let s = Schema::with_arity(28).unwrap();
+        assert_eq!(s.name(0), "A");
+        assert_eq!(s.name(25), "Z");
+        assert_eq!(s.name(26), "X26");
+        assert_eq!(s.arity(), 28);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(matches!(
+            Schema::new(["A", "B", "A"]),
+            Err(RelationError::DuplicateAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(matches!(
+            Schema::new(Vec::<String>::new()),
+            Err(RelationError::EmptySchema)
+        ));
+    }
+
+    #[test]
+    fn too_many_attributes_rejected() {
+        let names: Vec<String> = (0..65).map(|i| format!("c{}", i)).collect();
+        assert!(matches!(
+            Schema::new(names),
+            Err(RelationError::TooManyAttributes { .. })
+        ));
+    }
+
+    #[test]
+    fn attrs_resolves_names() {
+        let s = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let set = s.attrs(["B", "D"]).unwrap();
+        assert_eq!(set.to_vec(), vec![1, 3]);
+        assert!(matches!(
+            s.attrs(["B", "Q"]),
+            Err(RelationError::UnknownAttribute(name)) if name == "Q"
+        ));
+    }
+
+    #[test]
+    fn label_concatenates_single_letter_names() {
+        let s = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let set = s.attrs(["A", "C", "D"]).unwrap();
+        assert_eq!(s.label(set), "ACD");
+        assert_eq!(s.label(AttrSet::empty()), "");
+    }
+
+    #[test]
+    fn label_brackets_long_names() {
+        let s = Schema::new(["age", "income"]).unwrap();
+        assert_eq!(s.label(s.all_attrs()), "[age,income]");
+    }
+
+    #[test]
+    fn project_preserves_order_and_validates() {
+        let s = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let sub = s.project(s.attrs(["D", "B"]).unwrap()).unwrap();
+        assert_eq!(sub.names(), &["B".to_string(), "D".to_string()]);
+        let out_of_range = AttrSet::singleton(10);
+        assert!(s.project(out_of_range).is_err());
+        assert!(s.project(AttrSet::empty()).is_err());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Schema::new(["A", "B"]).unwrap();
+        assert_eq!(format!("{}", s), "A,B");
+        assert_eq!(format!("{:?}", s), "Schema(A,B)");
+    }
+}

@@ -1,0 +1,99 @@
+//! Profile a synthetic Metanome-shaped dataset end to end: mine minimal
+//! separators, full MVDs and schemas at a few thresholds and report the
+//! structural quality measures of §8.4 (number of relations, width,
+//! intersection width).
+//!
+//! Run with:
+//! `cargo run -p maimon --release --example synthetic_profiling [dataset] [scale]`
+//! where `dataset` is a Table 2 name (default "Abalone") and `scale` a row
+//! fraction in (0, 1] (default 0.05).
+
+use maimon::{Maimon, MaimonConfig, MiningLimits};
+use maimon_datasets::{dataset_by_name, metanome_catalog};
+use std::time::{Duration, Instant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Abalone".to_string());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.05);
+    let spec = dataset_by_name(&name).ok_or_else(|| {
+        format!(
+            "unknown dataset {:?}; available: {}",
+            name,
+            metanome_catalog()
+                .iter()
+                .map(|d| d.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    let rel = spec.generate(scale);
+    println!(
+        "Dataset {} (synthetic stand-in): {} rows × {} columns (scale {})",
+        spec.name,
+        rel.n_rows(),
+        rel.arity(),
+        scale
+    );
+
+    println!(
+        "\n{:<7} {:>8} {:>8} {:>9} {:>7} {:>6} {:>9} {:>10}",
+        "ε", "seps", "MVDs", "schemas", "max m", "width", "intWidth", "time"
+    );
+    for &epsilon in &[0.0, 0.01, 0.1, 0.3] {
+        let mut config = MaimonConfig::with_epsilon(epsilon);
+        config.limits = MiningLimits {
+            time_budget: Some(Duration::from_secs(30)),
+            max_separators_per_pair: Some(16),
+            max_full_mvds_per_separator: Some(16),
+            max_lattice_nodes: Some(20_000),
+        };
+        config.max_schemas = Some(100);
+        let started = Instant::now();
+        let maimon = Maimon::new(&rel, config)?;
+        let result = maimon.run()?;
+        let max_relations = result
+            .schemas
+            .iter()
+            .map(|s| s.discovered.schema.n_relations())
+            .max()
+            .unwrap_or(1);
+        let min_width = result
+            .schemas
+            .iter()
+            .map(|s| s.discovered.schema.width())
+            .min()
+            .unwrap_or(rel.arity());
+        let min_int_width = result
+            .schemas
+            .iter()
+            .map(|s| s.discovered.schema.intersection_width())
+            .min()
+            .unwrap_or(0);
+        println!(
+            "{:<7} {:>8} {:>8} {:>9} {:>7} {:>6} {:>9} {:>9.2?}",
+            epsilon,
+            result.mvds.distinct_separators().len(),
+            result.mvds.mvds.len(),
+            result.schemas.len(),
+            max_relations,
+            min_width,
+            min_int_width,
+            started.elapsed()
+        );
+    }
+
+    println!("\nApproximate FDs (ε = 0.05, LHS ≤ 2 attributes):");
+    let maimon = Maimon::new(&rel, MaimonConfig::with_epsilon(0.05))?;
+    let fds = maimon.mine_fds(2);
+    for fd in fds.fds.iter().take(15) {
+        println!("  {}", fd.display(rel.schema()));
+    }
+    if fds.fds.len() > 15 {
+        println!("  … and {} more", fds.fds.len() - 15);
+    }
+    Ok(())
+}

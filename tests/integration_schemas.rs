@@ -1,0 +1,187 @@
+//! Integration tests of schema synthesis and quality evaluation across the
+//! core and relation crates: join trees, BuildAcyclicSchema, Yannakakis-style
+//! spurious-tuple counting and the savings metric.
+
+use maimon::relation::{
+    acyclic_join_size, natural_join_all, AttrSet, Relation, Schema,
+};
+use maimon::{
+    build_acyclic_schema, evaluate_schema, is_acyclic_gyo, pairwise_compatible, AcyclicSchema,
+    JoinTree, Mvd,
+};
+use maimon_datasets::{nursery_with_rows, running_example_with_red_tuple, SyntheticSpec};
+
+fn attrs(v: &[usize]) -> AttrSet {
+    v.iter().copied().collect()
+}
+
+#[test]
+fn join_tree_support_round_trips_through_build_acyclic_schema() {
+    // For several acyclic schemas: take a join tree, extract its support,
+    // rebuild a schema from the support, and verify the rebuilt schema equals
+    // the original (Theorem 7.4's MVD(T) = Q direction for non-redundant Q).
+    let cases: Vec<Vec<AttrSet>> = vec![
+        vec![attrs(&[0, 1, 3]), attrs(&[0, 2, 3]), attrs(&[1, 3, 4]), attrs(&[0, 5])],
+        vec![attrs(&[0, 1]), attrs(&[1, 2]), attrs(&[2, 3]), attrs(&[3, 4])],
+        vec![attrs(&[0, 1, 2]), attrs(&[2, 3]), attrs(&[2, 4]), attrs(&[0, 5])],
+        vec![attrs(&[0, 1]), attrs(&[2, 3])],
+    ];
+    for bags in cases {
+        let original = AcyclicSchema::new(bags.clone()).unwrap();
+        let tree = original.join_tree().expect("case is acyclic");
+        let support = tree.support();
+        assert!(pairwise_compatible(&support));
+        let universe = original.all_attrs();
+        let rebuilt = build_acyclic_schema(universe, &support);
+        assert_eq!(rebuilt, original, "round trip failed for {:?}", bags);
+    }
+}
+
+#[test]
+fn build_acyclic_schema_outputs_are_acyclic_for_arbitrary_compatible_sets() {
+    // Take compatible subsets of a bigger support and verify acyclicity via
+    // both GYO and the MST join-tree construction.
+    let tree = JoinTree::new(
+        vec![
+            attrs(&[0, 1, 2]),
+            attrs(&[2, 3, 4]),
+            attrs(&[4, 5]),
+            attrs(&[2, 6]),
+            attrs(&[0, 7]),
+        ],
+        vec![(0, 1), (1, 2), (1, 3), (0, 4)],
+    )
+    .unwrap();
+    let support = tree.support();
+    let universe = tree.all_attrs();
+    // All subsets of the support are pairwise compatible.
+    for mask in 0u32..(1 << support.len()) {
+        let subset: Vec<Mvd> = support
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, m)| m.clone())
+            .collect();
+        let schema = build_acyclic_schema(universe, &subset);
+        assert!(schema.is_acyclic());
+        assert!(is_acyclic_gyo(schema.bags()));
+        assert!(schema.covers(universe));
+    }
+}
+
+#[test]
+fn spurious_tuple_counting_matches_materialized_joins() {
+    // On the red-tuple running example and a small synthetic relation, the
+    // Yannakakis-style count must agree with actually materializing the join.
+    let mut relations: Vec<Relation> = vec![running_example_with_red_tuple()];
+    let spec = SyntheticSpec {
+        rows: 300,
+        columns: 6,
+        hub_attrs: 1,
+        blocks: 2,
+        hub_domain: 5,
+        variants_per_hub: 2,
+        group_domain: 4,
+        noise: 0.1,
+        seed: 5,
+    };
+    relations.push(maimon_datasets::planted_acyclic_relation(&spec).unwrap());
+
+    for rel in &relations {
+        let n = rel.arity();
+        let candidates = vec![
+            AcyclicSchema::new(vec![attrs(&[0, 1, 2]), AttrSet::full(n).difference(attrs(&[1, 2]))])
+                .unwrap(),
+            AcyclicSchema::new(vec![
+                attrs(&[0, 1]),
+                attrs(&[1, 2, 3]),
+                AttrSet::full(n).difference(attrs(&[0, 2])),
+            ])
+            .unwrap(),
+        ];
+        for schema in candidates {
+            if !schema.covers(AttrSet::full(n)) || !schema.is_acyclic() {
+                continue;
+            }
+            let tree = schema.join_tree().unwrap();
+            let counted = acyclic_join_size(rel, &tree.to_spec()).unwrap();
+            let projections: Vec<Relation> = schema
+                .bags()
+                .iter()
+                .map(|&b| rel.project_distinct(b).unwrap())
+                .collect();
+            let materialized = natural_join_all(&projections).unwrap();
+            assert_eq!(
+                counted,
+                materialized.n_rows() as u128,
+                "count mismatch for schema {:?}",
+                schema
+            );
+        }
+    }
+}
+
+#[test]
+fn nursery_fully_decomposed_schema_matches_the_papers_arithmetic() {
+    // §8.1: decomposing Nursery into one relation per attribute yields 32
+    // cells (the sum of the domain sizes plus 5 class values) and a spurious
+    // tuple rate of 400 %.
+    let rel = nursery_with_rows(usize::MAX);
+    let schema =
+        AcyclicSchema::new((0..9).map(AttrSet::singleton).collect::<Vec<_>>()).unwrap();
+    let quality = evaluate_schema(&rel, &schema).unwrap();
+    assert_eq!(quality.decomposed_cells, 32);
+    assert_eq!(quality.original_cells, 116_640);
+    assert!((quality.storage_savings_pct - 99.9725).abs() < 0.01);
+    // Join size = product of domain sizes × 5 classes = 12960 × 5 = 64800,
+    // giving (64800 − 12960) / 12960 = 400 % spurious tuples.
+    assert_eq!(quality.join_size, 64_800);
+    assert!((quality.spurious_tuples_pct - 400.0).abs() < 1e-9);
+}
+
+#[test]
+fn schema_width_and_intersection_width_behave_monotonically() {
+    // Splitting a relation can only reduce (or keep) the width, and the
+    // intersection width is bounded by the width.
+    let schema_full = AcyclicSchema::trivial(AttrSet::full(8)).unwrap();
+    let schema_split = AcyclicSchema::new(vec![attrs(&[0, 1, 2, 3, 4]), attrs(&[0, 5, 6, 7])]).unwrap();
+    let schema_finer = AcyclicSchema::new(vec![
+        attrs(&[0, 1, 2]),
+        attrs(&[0, 3, 4]),
+        attrs(&[0, 5, 6, 7]),
+    ])
+    .unwrap();
+    assert!(schema_split.width() <= schema_full.width());
+    assert!(schema_finer.width() <= schema_split.width());
+    for schema in [&schema_full, &schema_split, &schema_finer] {
+        assert!(schema.intersection_width() <= schema.width());
+    }
+}
+
+#[test]
+fn join_tree_j_is_independent_of_the_chosen_tree() {
+    // Lee's theorem: J(S) is the same for every join tree of S. Build two
+    // different join trees for the running-example schema and compare.
+    use maimon::entropy::NaiveEntropyOracle;
+    use maimon::j_join_tree;
+    let rel = running_example_with_red_tuple();
+    let bags = vec![attrs(&[0, 1, 3]), attrs(&[0, 2, 3]), attrs(&[1, 3, 4]), attrs(&[0, 5])];
+    let path = JoinTree::new(bags.clone(), vec![(3, 1), (1, 0), (0, 2)]).unwrap();
+    let star = JoinTree::new(bags, vec![(0, 1), (0, 2), (0, 3)]).unwrap();
+    let mut oracle = NaiveEntropyOracle::new(&rel);
+    let j_path = j_join_tree(&mut oracle, &path);
+    let j_star = j_join_tree(&mut oracle, &star);
+    assert!((j_path - j_star).abs() < 1e-9, "{} vs {}", j_path, j_star);
+}
+
+#[test]
+fn schema_construction_rejects_and_normalizes_edge_cases() {
+    // Duplicates and subsumed bags are normalized away; the canonical forms
+    // of logically equal schemas compare equal even across construction paths.
+    let a = AcyclicSchema::new(vec![attrs(&[0, 1]), attrs(&[1, 2]), attrs(&[1])]).unwrap();
+    let b = AcyclicSchema::new(vec![attrs(&[1, 2]), attrs(&[0, 1])]).unwrap();
+    assert_eq!(a, b);
+    assert!(AcyclicSchema::new(vec![]).is_err());
+    let schema_names = Schema::new(["A", "B", "C"]).unwrap();
+    assert_eq!(b.display(&schema_names), "{AB, BC}");
+}
