@@ -11,10 +11,8 @@ use std::hint::black_box;
 fn entropy_workload(c: &mut Criterion) {
     // A moderate synthetic dataset: Adult shape at 5 % scale (~1.6k rows, 15 cols).
     let rel = dataset_by_name("Adult").unwrap().generate(0.05);
-    let subsets: Vec<AttrSet> = AttrSet::full(rel.arity())
-        .subsets()
-        .filter(|s| s.len() >= 2 && s.len() <= 3)
-        .collect();
+    let subsets: Vec<AttrSet> =
+        AttrSet::full(rel.arity()).subsets().filter(|s| s.len() >= 2 && s.len() <= 3).collect();
 
     let mut group = c.benchmark_group("entropy_oracle");
     group.sample_size(10);
@@ -58,9 +56,7 @@ fn partition_intersection(c: &mut Criterion) {
     let b = Pli::from_column(&rel, 3);
     let mut group = c.benchmark_group("pli_intersection");
     group.sample_size(20);
-    group.bench_function("two_columns", |bencher| {
-        bencher.iter(|| black_box(a.intersect(&b)))
-    });
+    group.bench_function("two_columns", |bencher| bencher.iter(|| black_box(a.intersect(&b))));
     group.bench_function("from_attrs_direct", |bencher| {
         let attrs: AttrSet = [0usize, 3].into_iter().collect();
         bencher.iter(|| black_box(Pli::from_attrs(&rel, attrs)))

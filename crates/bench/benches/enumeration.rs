@@ -36,9 +36,7 @@ fn transversals(c: &mut Criterion) {
 
 fn schema_synthesis(c: &mut Criterion) {
     // Build the support of a 8-bag join tree and re-synthesize the schema.
-    let bags: Vec<AttrSet> = (0..8usize)
-        .map(|i| [i, i + 1, 16].into_iter().collect())
-        .collect();
+    let bags: Vec<AttrSet> = (0..8usize).map(|i| [i, i + 1, 16].into_iter().collect()).collect();
     let edges: Vec<(usize, usize)> = (1..8).map(|i| (i - 1, i)).collect();
     let tree = JoinTree::new(bags, edges).unwrap();
     let support = tree.support();
@@ -66,10 +64,8 @@ fn join_counting(c: &mut Criterion) {
     let running_tree = running_schema.join_tree().unwrap();
 
     let nursery = nursery_with_rows(4000);
-    let nursery_schema = maimon::AcyclicSchema::new(
-        (0..9).map(AttrSet::singleton).collect::<Vec<_>>(),
-    )
-    .unwrap();
+    let nursery_schema =
+        maimon::AcyclicSchema::new((0..9).map(AttrSet::singleton).collect::<Vec<_>>()).unwrap();
     let nursery_tree = nursery_schema.join_tree().unwrap();
 
     let mut group = c.benchmark_group("acyclic_join_size");

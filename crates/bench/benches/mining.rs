@@ -64,10 +64,8 @@ fn end_to_end(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("running_example_eps_0.2", |b| {
         b.iter(|| {
-            let result = Maimon::new(&running, MaimonConfig::with_epsilon(0.2))
-                .unwrap()
-                .run()
-                .unwrap();
+            let result =
+                Maimon::new(&running, MaimonConfig::with_epsilon(0.2)).unwrap().run().unwrap();
             black_box(result.schemas.len())
         })
     });

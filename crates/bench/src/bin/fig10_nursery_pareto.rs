@@ -47,15 +47,15 @@ fn main() {
     }
 
     println!("# total schemes discovered across thresholds: {}", rows_out.len());
-    println!(
-        "{:<6} {:>8} {:>8} {:>8} {:>4}  schema",
-        "eps", "J", "S(%)", "E(%)", "m"
-    );
+    println!("{:<6} {:>8} {:>8} {:>8} {:>4}  schema", "eps", "J", "S(%)", "E(%)", "m");
     let mut front = pareto_front(&points);
     front.sort_by(|&a, &b| rows_out[a].1.partial_cmp(&rows_out[b].1).unwrap());
     for &i in &front {
         let (eps, j, s, e, m, ref schema) = rows_out[i];
         println!("{:<6} {:>8.3} {:>8.1} {:>8.2} {:>4}  {}", eps, j, s, e, m, schema);
     }
-    println!("# ({} pareto-optimal schemes; the paper reports 10 of 415 at full scale)", front.len());
+    println!(
+        "# ({} pareto-optimal schemes; the paper reports 10 of 415 at full scale)",
+        front.len()
+    );
 }

@@ -9,9 +9,9 @@
 //! Run with: `cargo run -p maimon-bench --release --bin fig12_accuracy`
 
 use bench_support::{harness_options, mining_config};
+use maimon::relation::Relation;
 use maimon::Maimon;
 use maimon_datasets::{dataset_by_name, nursery_with_rows};
-use maimon::relation::Relation;
 
 fn quantile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -50,12 +50,7 @@ fn main() {
 
     for name in ["Breast-Cancer", "Bridges", "Nursery", "Echocardiogram"] {
         let rel = dataset(name, &options);
-        println!(
-            "\n## {} ({} rows × {} cols)",
-            name,
-            rel.n_rows(),
-            rel.arity()
-        );
+        println!("\n## {} ({} rows × {} cols)", name, rel.n_rows(), rel.arity());
         // Collect (J, spurious %) for every schema discovered at any threshold.
         let mut samples: Vec<(f64, f64)> = Vec::new();
         for &epsilon in &thresholds {
@@ -84,11 +79,8 @@ fn main() {
         let mut monotone = true;
         for window in buckets.windows(2) {
             let (low, high) = (window[0], window[1]);
-            let mut values: Vec<f64> = samples
-                .iter()
-                .filter(|&&(j, _)| j >= low && j < high)
-                .map(|&(_, e)| e)
-                .collect();
+            let mut values: Vec<f64> =
+                samples.iter().filter(|&&(j, _)| j >= low && j < high).map(|&(_, e)| e).collect();
             if values.is_empty() {
                 continue;
             }

@@ -31,10 +31,7 @@ fn main() {
             full
         };
         println!("\n## {} ({} rows at this scale, {} cols)", name, full.n_rows(), full.arity());
-        println!(
-            "{:>8} {:>8} {:>10} {:>10} {:>12}",
-            "rows", "eps", "seps", "time[s]", "truncated"
-        );
+        println!("{:>8} {:>8} {:>10} {:>10} {:>12}", "rows", "eps", "seps", "time[s]", "truncated");
         for &fraction in &fractions {
             let rel = full.head(((full.n_rows() as f64) * fraction).round() as usize);
             for &epsilon in &epsilons {
@@ -49,7 +46,8 @@ fn main() {
                             truncated = true;
                             break 'pairs;
                         }
-                        let result = mine_min_seps(&mut oracle, epsilon, (a, b), &config.limits, true);
+                        let result =
+                            mine_min_seps(&mut oracle, epsilon, (a, b), &config.limits, true);
                         truncated |= result.truncated;
                         distinct.extend(result.separators);
                     }
@@ -70,5 +68,7 @@ fn main() {
             }
         }
     }
-    println!("# Expected shape: time grows roughly linearly with rows; separator counts stay flat.");
+    println!(
+        "# Expected shape: time grows roughly linearly with rows; separator counts stay flat."
+    );
 }

@@ -30,10 +30,7 @@ fn main() {
             full.n_rows(),
             spec.columns
         );
-        println!(
-            "{:>8} {:>8} {:>10} {:>10} {:>12}",
-            "cols", "eps", "seps", "time[s]", "timed out"
-        );
+        println!("{:>8} {:>8} {:>10} {:>10} {:>12}", "cols", "eps", "seps", "time[s]", "timed out");
         // Column fractions of the (capped) schema, mirroring the paper's 10 %–100 % sweep.
         let max_cols = full.arity().min(options.max_columns);
         let mut column_counts: Vec<usize> = [0.25, 0.5, 0.75, 1.0]

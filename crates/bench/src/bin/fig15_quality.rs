@@ -55,12 +55,8 @@ fn main() {
                     continue;
                 }
             };
-            let max_relations = result
-                .schemas
-                .iter()
-                .map(|s| s.discovered.schema.n_relations())
-                .max()
-                .unwrap_or(1);
+            let max_relations =
+                result.schemas.iter().map(|s| s.discovered.schema.n_relations()).max().unwrap_or(1);
             let min_width = result
                 .schemas
                 .iter()

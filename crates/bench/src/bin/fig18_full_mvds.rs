@@ -59,10 +59,8 @@ fn main() {
                     }
                 }
             }
-            let distinct_seps: BTreeSet<_> = separators
-                .iter()
-                .flat_map(|(_, seps)| seps.iter().copied())
-                .collect();
+            let distinct_seps: BTreeSet<_> =
+                separators.iter().flat_map(|(_, seps)| seps.iter().copied()).collect();
 
             // Phase B (timed): full MVDs from the separators.
             let started = Instant::now();
@@ -95,6 +93,8 @@ fn main() {
             );
         }
     }
-    println!("# Expected shape: at ε = 0 #full MVDs ≈ #minimal separators; the gap widens as ε grows,");
+    println!(
+        "# Expected shape: at ε = 0 #full MVDs ≈ #minimal separators; the gap widens as ε grows,"
+    );
     println!("# with generation rates of tens of full MVDs per second (paper: ~55/s for ε > 0.1).");
 }

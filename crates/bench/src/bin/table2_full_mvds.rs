@@ -37,18 +37,21 @@ fn main() {
         let maimon = match Maimon::new(&rel, config) {
             Ok(m) => m,
             Err(error) => {
-                println!("{:<22} {:>6} {:>9} {:>12} {:>10}", spec.name, rel.arity(), rel.n_rows(), "-", format!("error: {error}"));
+                println!(
+                    "{:<22} {:>6} {:>9} {:>12} {:>10}",
+                    spec.name,
+                    rel.arity(),
+                    rel.n_rows(),
+                    "-",
+                    format!("error: {error}")
+                );
                 continue;
             }
         };
         let started = Instant::now();
         let result = maimon.mine_mvds();
         let elapsed = started.elapsed();
-        let runtime = if result.stats.truncated {
-            "TL".to_string()
-        } else {
-            secs(elapsed)
-        };
+        let runtime = if result.stats.truncated { "TL".to_string() } else { secs(elapsed) };
         let mvds = if result.stats.truncated && result.mvds.is_empty() {
             "NA".to_string()
         } else {

@@ -32,11 +32,7 @@ pub struct HarnessOptions {
 
 impl Default for HarnessOptions {
     fn default() -> Self {
-        HarnessOptions {
-            scale: 0.002,
-            budget: Duration::from_secs(15),
-            max_columns: 14,
-        }
+        HarnessOptions { scale: 0.002, budget: Duration::from_secs(15), max_columns: 14 }
     }
 }
 
@@ -44,16 +40,10 @@ impl Default for HarnessOptions {
 pub fn harness_options() -> HarnessOptions {
     let default = HarnessOptions::default();
     let parse_f64 = |name: &str, fallback: f64| {
-        std::env::var(name)
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .unwrap_or(fallback)
+        std::env::var(name).ok().and_then(|v| v.parse::<f64>().ok()).unwrap_or(fallback)
     };
     let parse_usize = |name: &str, fallback: usize| {
-        std::env::var(name)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(fallback)
+        std::env::var(name).ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(fallback)
     };
     HarnessOptions {
         scale: parse_f64("MAIMON_SCALE", default.scale).clamp(1e-6, 1.0),
@@ -122,7 +112,8 @@ mod tests {
 
     #[test]
     fn mining_config_uses_the_budget() {
-        let options = HarnessOptions { budget: Duration::from_secs(3), ..HarnessOptions::default() };
+        let options =
+            HarnessOptions { budget: Duration::from_secs(3), ..HarnessOptions::default() };
         let config = mining_config(0.1, &options);
         assert_eq!(config.epsilon, 0.1);
         assert_eq!(config.limits.time_budget, Some(Duration::from_secs(3)));

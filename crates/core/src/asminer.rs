@@ -106,11 +106,7 @@ pub fn mine_schemas<O: EntropyOracle + ?Sized>(
         // No MVDs: the only schema is the trivial one.
         if let Ok(schema) = AcyclicSchema::trivial(universe) {
             let j = j_schema(oracle, &schema);
-            result.schemas.push(DiscoveredSchema {
-                schema,
-                mvds: Vec::new(),
-                j,
-            });
+            result.schemas.push(DiscoveredSchema { schema, mvds: Vec::new(), j });
         }
         return result;
     }
@@ -127,11 +123,7 @@ pub fn mine_schemas<O: EntropyOracle + ?Sized>(
         let schema = build_acyclic_schema(universe, &selected);
         if seen.insert(schema.clone()) {
             let j = j_schema(oracle, &schema);
-            schemas.push(DiscoveredSchema {
-                schema,
-                mvds: selected,
-                j,
-            });
+            schemas.push(DiscoveredSchema { schema, mvds: selected, j });
         }
         if let Some(max) = config.max_schemas {
             if schemas.len() >= max {
@@ -254,11 +246,7 @@ mod tests {
         }
         // The finest schema found should decompose into at least 4 relations
         // and have J = 0 (the exact decomposition of Fig. 1 or a refinement).
-        let best = result
-            .schemas
-            .iter()
-            .max_by_key(|d| d.schema.n_relations())
-            .unwrap();
+        let best = result.schemas.iter().max_by_key(|d| d.schema.n_relations()).unwrap();
         assert!(best.schema.n_relations() >= 4, "{:?}", best.schema);
         assert!(within_epsilon(best.j.unwrap(), 0.0));
     }

@@ -27,12 +27,7 @@ pub fn compatible(phi: &Mvd, psi: &Mvd) -> bool {
             continue;
         }
         // Condition 2, first half: X ∪ Aᵢ is split by psi.
-        let split_by_psi = psi
-            .dependents()
-            .iter()
-            .filter(|&&b| xa.intersects(b))
-            .count()
-            >= 2;
+        let split_by_psi = psi.dependents().iter().filter(|&&b| xa.intersects(b)).count() >= 2;
         if !split_by_psi {
             continue;
         }
@@ -42,12 +37,7 @@ pub fn compatible(phi: &Mvd, psi: &Mvd) -> bool {
                 continue;
             }
             // Condition 2, second half: Y ∪ Bⱼ is split by phi.
-            let split_by_phi = phi
-                .dependents()
-                .iter()
-                .filter(|&&a| yb.intersects(a))
-                .count()
-                >= 2;
+            let split_by_phi = phi.dependents().iter().filter(|&&a| yb.intersects(a)).count() >= 2;
             if split_by_phi {
                 return true;
             }
@@ -173,11 +163,7 @@ mod tests {
         ];
         for tree in trees {
             let support = tree.support();
-            assert!(
-                pairwise_compatible(&support),
-                "support of {:?} not pairwise compatible",
-                tree
-            );
+            assert!(pairwise_compatible(&support), "support of {:?} not pairwise compatible", tree);
         }
     }
 

@@ -81,10 +81,7 @@ impl Default for MaimonConfig {
 impl MaimonConfig {
     /// Convenience constructor: default configuration with the given ε.
     pub fn with_epsilon(epsilon: f64) -> Self {
-        MaimonConfig {
-            epsilon,
-            ..MaimonConfig::default()
-        }
+        MaimonConfig { epsilon, ..MaimonConfig::default() }
     }
 
     /// Validates the configuration.
@@ -128,8 +125,7 @@ mod tests {
 
     #[test]
     fn zero_limits_rejected() {
-        let mut config = MaimonConfig::default();
-        config.max_schemas = Some(0);
+        let config = MaimonConfig { max_schemas: Some(0), ..MaimonConfig::default() };
         assert!(config.validate().is_err());
         let mut config = MaimonConfig::default();
         config.limits.max_lattice_nodes = Some(0);

@@ -41,20 +41,16 @@ impl fmt::Display for MaimonError {
             MaimonError::Relation(e) => write!(f, "relation error: {}", e),
             MaimonError::InvalidMvd(msg) => write!(f, "invalid MVD: {}", msg),
             MaimonError::InvalidSchema(msg) => write!(f, "invalid schema: {}", msg),
-            MaimonError::InvalidAttributePair { a, b, arity } => write!(
-                f,
-                "invalid attribute pair ({}, {}) for relation of arity {}",
-                a, b, arity
-            ),
+            MaimonError::InvalidAttributePair { a, b, arity } => {
+                write!(f, "invalid attribute pair ({}, {}) for relation of arity {}", a, b, arity)
+            }
             MaimonError::InvalidEpsilon(eps) => {
                 write!(f, "epsilon must be finite and non-negative, got {}", eps)
             }
             MaimonError::InvalidConfig(msg) => write!(f, "invalid configuration: {}", msg),
-            MaimonError::AttributeOutOfRange { attrs, arity } => write!(
-                f,
-                "attribute set {:?} out of range for relation of arity {}",
-                attrs, arity
-            ),
+            MaimonError::AttributeOutOfRange { attrs, arity } => {
+                write!(f, "attribute set {:?} out of range for relation of arity {}", attrs, arity)
+            }
         }
     }
 }

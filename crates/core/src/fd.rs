@@ -55,10 +55,7 @@ pub fn mine_fds<O: EntropyOracle + ?Sized>(
         // Constant column: the empty LHS already determines it.
         result.candidates_tested += 1;
         if within_epsilon(oracle.entropy(rhs_set), epsilon) {
-            result.fds.push(Fd {
-                lhs: AttrSet::empty(),
-                rhs,
-            });
+            result.fds.push(Fd { lhs: AttrSet::empty(), rhs });
             continue;
         }
         let mut minimal: Vec<AttrSet> = Vec::new();

@@ -203,12 +203,7 @@ pub fn get_full_mvds<O: EntropyOracle + ?Sized>(
     let kept: Vec<Mvd> = result
         .mvds
         .iter()
-        .filter(|phi| {
-            !result
-                .mvds
-                .iter()
-                .any(|psi| psi != *phi && psi.strictly_refines(phi))
-        })
+        .filter(|phi| !result.mvds.iter().any(|psi| psi != *phi && psi.strictly_refines(phi)))
         .cloned()
         .collect();
     result.mvds = kept;
@@ -232,7 +227,11 @@ pub fn is_separator<O: EntropyOracle + ?Sized>(
     let universe = oracle.all_attrs();
     let key = key.intersect(universe);
     let (a, b) = pair;
-    if key.contains(a) || key.contains(b) || a == b || !universe.contains(a) || !universe.contains(b)
+    if key.contains(a)
+        || key.contains(b)
+        || a == b
+        || !universe.contains(a)
+        || !universe.contains(b)
     {
         return false;
     }
@@ -297,10 +296,8 @@ mod tests {
                 (attrs(&[0, 3]), (2, 1)),
                 (attrs(&[1, 3]), (4, 0)),
             ] {
-                let plain =
-                    get_full_mvds(&mut o, key, epsilon, pair, None, None, false);
-                let optimized =
-                    get_full_mvds(&mut o, key, epsilon, pair, None, None, true);
+                let plain = get_full_mvds(&mut o, key, epsilon, pair, None, None, false);
+                let optimized = get_full_mvds(&mut o, key, epsilon, pair, None, None, true);
                 let mut a = plain.mvds.clone();
                 let mut b = optimized.mvds.clone();
                 a.sort();
@@ -376,11 +373,9 @@ mod tests {
         // the fully refined one does not. Mining with pair (A, B) must return
         // full MVDs separating A and B with J ≤ 1.
         let schema = Schema::new(["X", "A", "B", "C"]).unwrap();
-        let rel = Relation::from_rows(
-            schema,
-            &[vec!["0", "0", "0", "0"], vec!["0", "1", "1", "1"]],
-        )
-        .unwrap();
+        let rel =
+            Relation::from_rows(schema, &[vec!["0", "0", "0", "0"], vec!["0", "1", "1", "1"]])
+                .unwrap();
         let mut o = NaiveEntropyOracle::new(&rel);
         let found = get_full_mvds(&mut o, attrs(&[0]), 1.0, (1, 2), None, None, true);
         assert!(!found.mvds.is_empty());
@@ -414,12 +409,7 @@ mod tests {
         let schema = Schema::new(["A", "B"]).unwrap();
         let rel = Relation::from_rows(
             schema,
-            &[
-                vec!["0", "0"],
-                vec!["0", "1"],
-                vec!["1", "0"],
-                vec!["1", "1"],
-            ],
+            &[vec!["0", "0"], vec!["0", "1"], vec!["1", "0"], vec!["1", "1"]],
         )
         .unwrap();
         let mut o = NaiveEntropyOracle::new(&rel);

@@ -74,10 +74,7 @@ impl JoinTree {
             return None;
         }
         if bags.len() == 1 {
-            return Some(JoinTree {
-                bags: bags.to_vec(),
-                edges: Vec::new(),
-            });
+            return Some(JoinTree { bags: bags.to_vec(), edges: Vec::new() });
         }
         // Prim's algorithm on the complete graph with weight |Ωᵢ ∩ Ωⱼ|.
         let n = bags.len();
@@ -115,10 +112,7 @@ impl JoinTree {
                 }
             }
         }
-        let tree = JoinTree {
-            bags: bags.to_vec(),
-            edges,
-        };
+        let tree = JoinTree { bags: bags.to_vec(), edges };
         if tree.has_running_intersection_property() {
             Some(tree)
         } else {
@@ -145,10 +139,7 @@ impl JoinTree {
 
     /// The separators, one per edge: `χ(u) ∩ χ(v)`.
     pub fn separators(&self) -> Vec<AttrSet> {
-        self.edges
-            .iter()
-            .map(|&(u, v)| self.bags[u].intersect(self.bags[v]))
-            .collect()
+        self.edges.iter().map(|&(u, v)| self.bags[u].intersect(self.bags[v])).collect()
     }
 
     /// The support `MVD(T)`: the MVD `χ(u)∩χ(v) ↠ χ(T_u)∖sep | χ(T_v)∖sep`
@@ -176,10 +167,7 @@ impl JoinTree {
     /// Converts to the [`JoinTreeSpec`] consumed by the relational substrate's
     /// join-size counting.
     pub fn to_spec(&self) -> JoinTreeSpec {
-        JoinTreeSpec {
-            bags: self.bags.clone(),
-            edges: self.edges.clone(),
-        }
+        JoinTreeSpec { bags: self.bags.clone(), edges: self.edges.clone() }
     }
 
     /// Renders the tree edges with the attribute names of `schema`, e.g.
@@ -261,9 +249,8 @@ impl JoinTree {
     pub fn has_running_intersection_property(&self) -> bool {
         let adjacency = self.adjacency();
         for attr in self.all_attrs().iter() {
-            let members: Vec<usize> = (0..self.bags.len())
-                .filter(|&i| self.bags[i].contains(attr))
-                .collect();
+            let members: Vec<usize> =
+                (0..self.bags.len()).filter(|&i| self.bags[i].contains(attr)).collect();
             if members.len() <= 1 {
                 continue;
             }
@@ -301,17 +288,10 @@ pub fn is_acyclic_gyo(bags: &[AttrSet]) -> bool {
         let mut changed = false;
 
         // Rule 1: delete attributes that appear in exactly one bag.
-        let all: Vec<usize> = bags
-            .iter()
-            .fold(AttrSet::empty(), |a, &b| a.union(b))
-            .to_vec();
+        let all: Vec<usize> = bags.iter().fold(AttrSet::empty(), |a, &b| a.union(b)).to_vec();
         for attr in all {
-            let holders: Vec<usize> = bags
-                .iter()
-                .enumerate()
-                .filter(|(_, b)| b.contains(attr))
-                .map(|(i, _)| i)
-                .collect();
+            let holders: Vec<usize> =
+                bags.iter().enumerate().filter(|(_, b)| b.contains(attr)).map(|(i, _)| i).collect();
             if holders.len() == 1 {
                 bags[holders[0]] = bags[holders[0]].without(attr);
                 changed = true;
@@ -322,10 +302,9 @@ pub fn is_acyclic_gyo(bags: &[AttrSet]) -> bool {
         let mut keep: Vec<AttrSet> = Vec::with_capacity(bags.len());
         for (i, &bag) in bags.iter().enumerate() {
             let subsumed = bag.is_empty()
-                || bags
-                    .iter()
-                    .enumerate()
-                    .any(|(j, &other)| i != j && bag.is_subset_of(other) && (bag != other || j < i));
+                || bags.iter().enumerate().any(|(j, &other)| {
+                    i != j && bag.is_subset_of(other) && (bag != other || j < i)
+                });
             if subsumed {
                 changed = true;
             } else {
@@ -419,12 +398,7 @@ mod tests {
             vec![attrs(&[0, 1, 2]), attrs(&[1, 2, 3]), attrs(&[2, 3, 0])],
             vec![attrs(&[0, 1]), attrs(&[2, 3])],
             vec![attrs(&[0, 1, 2]), attrs(&[2, 3]), attrs(&[3, 4]), attrs(&[2, 5])],
-            vec![
-                attrs(&[0, 1, 2, 3]),
-                attrs(&[0, 1, 4]),
-                attrs(&[2, 3, 5]),
-                attrs(&[4, 6]),
-            ],
+            vec![attrs(&[0, 1, 2, 3]), attrs(&[0, 1, 4]), attrs(&[2, 3, 5]), attrs(&[4, 6])],
         ];
         for bags in cases {
             let mst = JoinTree::from_bags(&bags).is_some();

@@ -106,12 +106,7 @@ impl<'a> Maimon<'a> {
     /// set.
     pub fn mine_schemas(&self, mvds: &MvdMiningResult) -> SchemaMiningResult {
         let mut oracle = self.oracle();
-        mine_schemas(
-            &mut oracle,
-            self.relation.schema().all_attrs(),
-            &mvds.mvds,
-            &self.config,
-        )
+        mine_schemas(&mut oracle, self.relation.schema().all_attrs(), &mvds.mvds, &self.config)
     }
 
     /// Mines approximate functional dependencies with the same oracle
@@ -129,12 +124,8 @@ impl<'a> Maimon<'a> {
     pub fn run(&self) -> Result<MaimonResult, MaimonError> {
         let mut oracle = self.oracle();
         let mvds = mine_mvds(&mut oracle, &self.config);
-        let schemas_raw = mine_schemas(
-            &mut oracle,
-            self.relation.schema().all_attrs(),
-            &mvds.mvds,
-            &self.config,
-        );
+        let schemas_raw =
+            mine_schemas(&mut oracle, self.relation.schema().all_attrs(), &mvds.mvds, &self.config);
         let mut schemas = Vec::with_capacity(schemas_raw.schemas.len());
         for discovered in schemas_raw.schemas {
             let quality = evaluate_schema(self.relation, &discovered.schema)?;
@@ -189,10 +180,9 @@ mod tests {
         assert!(!result.truncated);
         assert!(!result.mvds.mvds.is_empty());
         // Some discovered schema has at least 4 relations and zero spurious tuples.
-        let exact = result
-            .schemas
-            .iter()
-            .find(|s| s.discovered.schema.n_relations() >= 4 && s.quality.spurious_tuples_pct == 0.0);
+        let exact = result.schemas.iter().find(|s| {
+            s.discovered.schema.n_relations() >= 4 && s.quality.spurious_tuples_pct == 0.0
+        });
         assert!(exact.is_some(), "schemas: {:?}", result.schemas.len());
         // The pareto front is non-empty and within bounds.
         assert!(!result.pareto.is_empty());
@@ -206,20 +196,12 @@ mod tests {
         let rel = running_example(true);
         // At ε = 0 the paper's 4-relation schema is not reachable…
         let strict = Maimon::new(&rel, MaimonConfig::with_epsilon(0.0)).unwrap().run().unwrap();
-        let best_strict = strict
-            .schemas
-            .iter()
-            .map(|s| s.discovered.schema.n_relations())
-            .max()
-            .unwrap_or(1);
+        let best_strict =
+            strict.schemas.iter().map(|s| s.discovered.schema.n_relations()).max().unwrap_or(1);
         // …but at a generous ε it is.
         let relaxed = Maimon::new(&rel, MaimonConfig::with_epsilon(0.5)).unwrap().run().unwrap();
-        let best_relaxed = relaxed
-            .schemas
-            .iter()
-            .map(|s| s.discovered.schema.n_relations())
-            .max()
-            .unwrap_or(1);
+        let best_relaxed =
+            relaxed.schemas.iter().map(|s| s.discovered.schema.n_relations()).max().unwrap_or(1);
         assert!(
             best_relaxed >= best_strict,
             "relaxing ε must not reduce the best decomposition ({} vs {})",

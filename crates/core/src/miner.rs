@@ -51,11 +51,8 @@ pub struct MvdMiningResult {
 impl MvdMiningResult {
     /// The distinct minimal separators across all pairs.
     pub fn distinct_separators(&self) -> Vec<AttrSet> {
-        let set: BTreeSet<AttrSet> = self
-            .separators
-            .values()
-            .flat_map(|v| v.iter().copied())
-            .collect();
+        let set: BTreeSet<AttrSet> =
+            self.separators.values().flat_map(|v| v.iter().copied()).collect();
         set.into_iter().collect()
     }
 
@@ -66,7 +63,10 @@ impl MvdMiningResult {
 }
 
 /// Runs `MVDMiner` over every attribute pair of the oracle's relation.
-pub fn mine_mvds<O: EntropyOracle + ?Sized>(oracle: &mut O, config: &MaimonConfig) -> MvdMiningResult {
+pub fn mine_mvds<O: EntropyOracle + ?Sized>(
+    oracle: &mut O,
+    config: &MaimonConfig,
+) -> MvdMiningResult {
     let started = Instant::now();
     let mut result = MvdMiningResult::default();
     let n = oracle.arity();

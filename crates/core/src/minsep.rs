@@ -82,14 +82,7 @@ pub fn mine_min_seps<O: EntropyOracle + ?Sized>(
     let started = Instant::now();
 
     // Line 3: the largest candidate separator must work, otherwise none does.
-    if !is_separator(
-        oracle,
-        ground,
-        epsilon,
-        pair,
-        limits.max_lattice_nodes,
-        use_optimization,
-    ) {
+    if !is_separator(oracle, ground, epsilon, pair, limits.max_lattice_nodes, use_optimization) {
         return result;
     }
     let first = reduce_min_sep(oracle, epsilon, ground, pair, limits, use_optimization);
@@ -242,11 +235,7 @@ mod tests {
         // Build a 2-tuple relation where A = F and nothing else varies: then
         // I(A;F|∅) = 1 > 0 and no separator exists.
         let schema = Schema::new(["A", "B", "F"]).unwrap();
-        let rel = Relation::from_rows(
-            schema,
-            &[vec!["0", "x", "0"], vec!["1", "x", "1"]],
-        )
-        .unwrap();
+        let rel = Relation::from_rows(schema, &[vec!["0", "x", "0"], vec!["1", "x", "1"]]).unwrap();
         let mut o = NaiveEntropyOracle::new(&rel);
         let limits = MiningLimits::default();
         let mined = mine_min_seps(&mut o, 0.0, (0, 2), &limits, true);
@@ -270,10 +259,7 @@ mod tests {
     fn separator_limit_truncates() {
         let rel = running_example(true);
         let mut o = NaiveEntropyOracle::new(&rel);
-        let limits = MiningLimits {
-            max_separators_per_pair: Some(1),
-            ..MiningLimits::default()
-        };
+        let limits = MiningLimits { max_separators_per_pair: Some(1), ..MiningLimits::default() };
         let mined = mine_min_seps(&mut o, 0.5, (2, 4), &limits, true);
         assert!(mined.separators.len() <= 1);
     }

@@ -100,9 +100,7 @@ impl Mvd {
 
     /// Union of the key and all dependents: the signature the MVD talks about.
     pub fn attributes(&self) -> AttrSet {
-        self.dependents
-            .iter()
-            .fold(self.key, |acc, &d| acc.union(d))
+        self.dependents.iter().fold(self.key, |acc, &d| acc.union(d))
     }
 
     /// The acyclic schema represented by this MVD: `{X D₁, X D₂, …, X D_m}`.
@@ -130,9 +128,7 @@ impl Mvd {
         if self.key != other.key {
             return false;
         }
-        self.dependents
-            .iter()
-            .all(|d| other.dependents.iter().any(|o| d.is_subset_of(*o)))
+        self.dependents.iter().all(|d| other.dependents.iter().any(|o| d.is_subset_of(*o)))
     }
 
     /// `true` if `self ≻ other`: refines it and is not equal to it.
@@ -157,10 +153,7 @@ impl Mvd {
             .collect();
         dependents.push(merged);
         dependents.sort();
-        Mvd {
-            key: self.key,
-            dependents,
-        }
+        Mvd { key: self.key, dependents }
     }
 
     /// The join `self ∨ other` (§5.2): the MVD whose dependents are all
@@ -172,9 +165,7 @@ impl Mvd {
     /// result would not be a valid MVD (fewer than two dependents).
     pub fn join(&self, other: &Mvd) -> Result<Mvd, MaimonError> {
         if self.key != other.key {
-            return Err(MaimonError::InvalidMvd(
-                "cannot join MVDs with different keys".into(),
-            ));
+            return Err(MaimonError::InvalidMvd("cannot join MVDs with different keys".into()));
         }
         if self.attributes() != other.attributes() {
             return Err(MaimonError::InvalidMvd(
@@ -270,7 +261,10 @@ mod tests {
         assert!(mvd.separates(3, 4));
         assert!(!mvd.separates(1, 2));
         assert!(!mvd.separates(0, 1)); // key attribute is in no dependent
-        assert_eq!(mvd.dependent_containing(4), Some(mvd.dependents().iter().position(|d| d.contains(4)).unwrap()));
+        assert_eq!(
+            mvd.dependent_containing(4),
+            Some(mvd.dependents().iter().position(|d| d.contains(4)).unwrap())
+        );
         assert_eq!(mvd.dependent_containing(0), None);
     }
 
@@ -316,8 +310,7 @@ mod tests {
         assert!(join.refines(&phi));
         assert!(join.refines(&psi));
         // ϕ ∨ ψ = X ↠ A | B | C.
-        let expected =
-            Mvd::new(attrs(&[0]), vec![attrs(&[1]), attrs(&[2]), attrs(&[3])]).unwrap();
+        let expected = Mvd::new(attrs(&[0]), vec![attrs(&[1]), attrs(&[2]), attrs(&[3])]).unwrap();
         assert_eq!(join, expected);
         // Joining with itself is the identity.
         assert_eq!(phi.join(&phi).unwrap(), phi);

@@ -76,7 +76,10 @@ pub fn spurious_tuples_pct(rel: &Relation, schema: &AcyclicSchema) -> Result<f64
 /// # Errors
 /// Returns an error if the schema is cyclic, does not cover the relation's
 /// signature, or a projection fails.
-pub fn evaluate_schema(rel: &Relation, schema: &AcyclicSchema) -> Result<SchemaQuality, MaimonError> {
+pub fn evaluate_schema(
+    rel: &Relation,
+    schema: &AcyclicSchema,
+) -> Result<SchemaQuality, MaimonError> {
     if !schema.covers(rel.schema().all_attrs()) {
         return Err(MaimonError::InvalidSchema(
             "schema does not cover the relation signature".into(),

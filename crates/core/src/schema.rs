@@ -31,10 +31,7 @@ impl AcyclicSchema {
             if bag.is_empty() {
                 continue;
             }
-            if bags
-                .iter()
-                .any(|&other| other != bag && bag.is_subset_of(other))
-            {
+            if bags.iter().any(|&other| other != bag && bag.is_subset_of(other)) {
                 continue;
             }
             if !kept.contains(&bag) {
@@ -110,10 +107,7 @@ impl AcyclicSchema {
     where
         F: FnMut(AttrSet) -> u128,
     {
-        self.bags
-            .iter()
-            .map(|&b| projection_count(b) * b.len() as u128)
-            .sum()
+        self.bags.iter().map(|&b| projection_count(b) * b.len() as u128).sum()
     }
 
     /// Renders the schema with attribute names, e.g. `{ABD, ACD, BDE, AF}`.

@@ -50,42 +50,178 @@ impl DatasetSpec {
 
 /// Stable tiny hash so each dataset gets a distinct deterministic seed.
 fn fxhash(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |acc, b| {
-        (acc ^ b as u64).wrapping_mul(0x100000001b3)
-    })
+    name.bytes().fold(0xcbf29ce484222325u64, |acc, b| (acc ^ b as u64).wrapping_mul(0x100000001b3))
 }
 
 /// The 20 datasets of Table 2 with their published dimensions.
 pub fn metanome_catalog() -> Vec<DatasetSpec> {
     vec![
-        DatasetSpec { name: "Ditag Feature", columns: 13, rows: 3_960_124, hub_attrs: 2, blocks: 3, noise: 0.02 },
-        DatasetSpec { name: "Four Square (Spots)", columns: 15, rows: 973_516, hub_attrs: 2, blocks: 4, noise: 0.02 },
-        DatasetSpec { name: "Image", columns: 12, rows: 777_676, hub_attrs: 2, blocks: 3, noise: 0.02 },
-        DatasetSpec { name: "FD_Reduced_30", columns: 30, rows: 250_000, hub_attrs: 3, blocks: 6, noise: 0.05 },
-        DatasetSpec { name: "FD_Reduced_15", columns: 15, rows: 250_000, hub_attrs: 2, blocks: 4, noise: 0.05 },
-        DatasetSpec { name: "Census", columns: 42, rows: 199_524, hub_attrs: 3, blocks: 8, noise: 0.05 },
-        DatasetSpec { name: "SG_Bioentry", columns: 7, rows: 184_292, hub_attrs: 1, blocks: 2, noise: 0.01 },
-        DatasetSpec { name: "Atom Sites", columns: 26, rows: 160_000, hub_attrs: 3, blocks: 5, noise: 0.03 },
-        DatasetSpec { name: "Classification", columns: 12, rows: 70_859, hub_attrs: 2, blocks: 3, noise: 0.02 },
-        DatasetSpec { name: "Adult", columns: 15, rows: 32_561, hub_attrs: 2, blocks: 4, noise: 0.03 },
-        DatasetSpec { name: "Entity Source", columns: 33, rows: 26_139, hub_attrs: 3, blocks: 6, noise: 0.04 },
-        DatasetSpec { name: "Reflns", columns: 27, rows: 24_769, hub_attrs: 3, blocks: 5, noise: 0.04 },
-        DatasetSpec { name: "Letter", columns: 17, rows: 20_000, hub_attrs: 2, blocks: 4, noise: 0.03 },
-        DatasetSpec { name: "School Results", columns: 27, rows: 14_384, hub_attrs: 3, blocks: 5, noise: 0.04 },
-        DatasetSpec { name: "Voter State", columns: 45, rows: 10_000, hub_attrs: 3, blocks: 9, noise: 0.04 },
-        DatasetSpec { name: "Abalone", columns: 9, rows: 4_177, hub_attrs: 1, blocks: 3, noise: 0.02 },
-        DatasetSpec { name: "Breast-Cancer", columns: 11, rows: 699, hub_attrs: 1, blocks: 3, noise: 0.02 },
-        DatasetSpec { name: "Hepatitis", columns: 20, rows: 155, hub_attrs: 2, blocks: 4, noise: 0.02 },
-        DatasetSpec { name: "Echocardiogram", columns: 13, rows: 132, hub_attrs: 1, blocks: 3, noise: 0.02 },
-        DatasetSpec { name: "Bridges", columns: 13, rows: 108, hub_attrs: 1, blocks: 3, noise: 0.02 },
+        DatasetSpec {
+            name: "Ditag Feature",
+            columns: 13,
+            rows: 3_960_124,
+            hub_attrs: 2,
+            blocks: 3,
+            noise: 0.02,
+        },
+        DatasetSpec {
+            name: "Four Square (Spots)",
+            columns: 15,
+            rows: 973_516,
+            hub_attrs: 2,
+            blocks: 4,
+            noise: 0.02,
+        },
+        DatasetSpec {
+            name: "Image",
+            columns: 12,
+            rows: 777_676,
+            hub_attrs: 2,
+            blocks: 3,
+            noise: 0.02,
+        },
+        DatasetSpec {
+            name: "FD_Reduced_30",
+            columns: 30,
+            rows: 250_000,
+            hub_attrs: 3,
+            blocks: 6,
+            noise: 0.05,
+        },
+        DatasetSpec {
+            name: "FD_Reduced_15",
+            columns: 15,
+            rows: 250_000,
+            hub_attrs: 2,
+            blocks: 4,
+            noise: 0.05,
+        },
+        DatasetSpec {
+            name: "Census",
+            columns: 42,
+            rows: 199_524,
+            hub_attrs: 3,
+            blocks: 8,
+            noise: 0.05,
+        },
+        DatasetSpec {
+            name: "SG_Bioentry",
+            columns: 7,
+            rows: 184_292,
+            hub_attrs: 1,
+            blocks: 2,
+            noise: 0.01,
+        },
+        DatasetSpec {
+            name: "Atom Sites",
+            columns: 26,
+            rows: 160_000,
+            hub_attrs: 3,
+            blocks: 5,
+            noise: 0.03,
+        },
+        DatasetSpec {
+            name: "Classification",
+            columns: 12,
+            rows: 70_859,
+            hub_attrs: 2,
+            blocks: 3,
+            noise: 0.02,
+        },
+        DatasetSpec {
+            name: "Adult",
+            columns: 15,
+            rows: 32_561,
+            hub_attrs: 2,
+            blocks: 4,
+            noise: 0.03,
+        },
+        DatasetSpec {
+            name: "Entity Source",
+            columns: 33,
+            rows: 26_139,
+            hub_attrs: 3,
+            blocks: 6,
+            noise: 0.04,
+        },
+        DatasetSpec {
+            name: "Reflns",
+            columns: 27,
+            rows: 24_769,
+            hub_attrs: 3,
+            blocks: 5,
+            noise: 0.04,
+        },
+        DatasetSpec {
+            name: "Letter",
+            columns: 17,
+            rows: 20_000,
+            hub_attrs: 2,
+            blocks: 4,
+            noise: 0.03,
+        },
+        DatasetSpec {
+            name: "School Results",
+            columns: 27,
+            rows: 14_384,
+            hub_attrs: 3,
+            blocks: 5,
+            noise: 0.04,
+        },
+        DatasetSpec {
+            name: "Voter State",
+            columns: 45,
+            rows: 10_000,
+            hub_attrs: 3,
+            blocks: 9,
+            noise: 0.04,
+        },
+        DatasetSpec {
+            name: "Abalone",
+            columns: 9,
+            rows: 4_177,
+            hub_attrs: 1,
+            blocks: 3,
+            noise: 0.02,
+        },
+        DatasetSpec {
+            name: "Breast-Cancer",
+            columns: 11,
+            rows: 699,
+            hub_attrs: 1,
+            blocks: 3,
+            noise: 0.02,
+        },
+        DatasetSpec {
+            name: "Hepatitis",
+            columns: 20,
+            rows: 155,
+            hub_attrs: 2,
+            blocks: 4,
+            noise: 0.02,
+        },
+        DatasetSpec {
+            name: "Echocardiogram",
+            columns: 13,
+            rows: 132,
+            hub_attrs: 1,
+            blocks: 3,
+            noise: 0.02,
+        },
+        DatasetSpec {
+            name: "Bridges",
+            columns: 13,
+            rows: 108,
+            hub_attrs: 1,
+            blocks: 3,
+            noise: 0.02,
+        },
     ]
 }
 
 /// Looks up a catalog entry by (case-insensitive) name.
 pub fn dataset_by_name(name: &str) -> Option<DatasetSpec> {
-    metanome_catalog()
-        .into_iter()
-        .find(|d| d.name.eq_ignore_ascii_case(name))
+    metanome_catalog().into_iter().find(|d| d.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -72,7 +72,7 @@ pub fn nursery_with_rows(max_rows: usize) -> Relation {
         Schema::new(["A", "B", "C", "D", "E", "F", "G", "H", "I"]).expect("static schema is valid");
     let total: usize = NURSERY_INPUT_DOMAINS.iter().map(|&d| d as usize).product();
     let rows = total.min(max_rows);
-    let mut columns: Vec<Vec<u32>> = vec![Vec::with_capacity(rows); 9];
+    let mut columns: Vec<Vec<u32>> = (0..9).map(|_| Vec::with_capacity(rows)).collect();
     for idx in 0..rows {
         let mut rest = idx;
         let mut values = [0u32; 8];
@@ -119,10 +119,7 @@ mod tests {
         let rel = nursery_with_rows(2000);
         let inputs: AttrSet = (0..8).collect();
         let all = AttrSet::full(9);
-        assert_eq!(
-            rel.distinct_count(inputs).unwrap(),
-            rel.distinct_count(all).unwrap()
-        );
+        assert_eq!(rel.distinct_count(inputs).unwrap(), rel.distinct_count(all).unwrap());
     }
 
     #[test]

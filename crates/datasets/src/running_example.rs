@@ -53,9 +53,6 @@ mod tests {
         ];
         let spec = JoinTreeSpec::new(bags, vec![(0, 1), (0, 2), (0, 3)]).unwrap();
         assert_eq!(acyclic_join_size(&running_example(), &spec).unwrap(), 4);
-        assert_eq!(
-            acyclic_join_size(&running_example_with_red_tuple(), &spec).unwrap(),
-            6
-        );
+        assert_eq!(acyclic_join_size(&running_example_with_red_tuple(), &spec).unwrap(), 6);
     }
 }

@@ -105,19 +105,13 @@ impl SyntheticSpec {
     pub fn planted_groups(&self) -> Vec<AttrSet> {
         let dependents: Vec<usize> = (self.hub_attrs..self.columns).collect();
         let per_block = dependents.len().div_ceil(self.blocks);
-        dependents
-            .chunks(per_block)
-            .map(|chunk| chunk.iter().copied().collect())
-            .collect()
+        dependents.chunks(per_block).map(|chunk| chunk.iter().copied().collect()).collect()
     }
 
     /// The planted acyclic schema `{K ∪ G₁, …, K ∪ G_b}`.
     pub fn planted_bags(&self) -> Vec<AttrSet> {
         let hub = self.hub_set();
-        self.planted_groups()
-            .into_iter()
-            .map(|g| g.union(hub))
-            .collect()
+        self.planted_groups().into_iter().map(|g| g.union(hub)).collect()
     }
 }
 
@@ -140,7 +134,9 @@ pub fn planted_acyclic_relation(spec: &SyntheticSpec) -> Result<Relation, Relati
         // Hub attributes: derive each attribute's value deterministically from
         // the hub value so the hub columns are perfectly correlated with it.
         for (offset, column) in columns.iter_mut().enumerate().take(spec.hub_attrs) {
-            column.push(hub_value.wrapping_mul(31).wrapping_add(offset as u32) % spec.hub_domain.max(1));
+            column.push(
+                hub_value.wrapping_mul(31).wrapping_add(offset as u32) % spec.hub_domain.max(1),
+            );
         }
         for (g, group) in groups.iter().enumerate() {
             let noisy = rng.gen_bool(spec.noise);
@@ -150,14 +146,10 @@ pub fn planted_acyclic_relation(spec: &SyntheticSpec) -> Result<Relation, Relati
                 let group_len = group.len();
                 let group_domain = spec.group_domain;
                 let variants_per_hub = spec.variants_per_hub;
-                let pool = variants[g].entry(hub_value).or_insert_with(Vec::new);
+                let pool = variants[g].entry(hub_value).or_default();
                 if pool.is_empty() {
                     for _ in 0..variants_per_hub {
-                        pool.push(
-                            (0..group_len)
-                                .map(|_| rng.gen_range(0..group_domain))
-                                .collect(),
-                        );
+                        pool.push((0..group_len).map(|_| rng.gen_range(0..group_domain)).collect());
                     }
                 }
                 pool[rng.gen_range(0..pool.len())].clone()
@@ -194,7 +186,8 @@ mod tests {
 
     #[test]
     fn planted_bags_cover_all_attributes_and_share_the_hub() {
-        let spec = SyntheticSpec { columns: 11, hub_attrs: 3, blocks: 4, ..SyntheticSpec::default() };
+        let spec =
+            SyntheticSpec { columns: 11, hub_attrs: 3, blocks: 4, ..SyntheticSpec::default() };
         let bags = spec.planted_bags();
         assert_eq!(bags.len(), 4);
         let union = bags.iter().fold(AttrSet::empty(), |a, &b| a.union(b));
@@ -211,12 +204,21 @@ mod tests {
             .validate()
             .is_err());
         assert!(SyntheticSpec { blocks: 0, ..SyntheticSpec::default() }.validate().is_err());
-        assert!(SyntheticSpec { blocks: 20, columns: 10, hub_attrs: 2, ..SyntheticSpec::default() }
-            .validate()
-            .is_err());
+        assert!(SyntheticSpec {
+            blocks: 20,
+            columns: 10,
+            hub_attrs: 2,
+            ..SyntheticSpec::default()
+        }
+        .validate()
+        .is_err());
         assert!(SyntheticSpec { noise: 1.5, ..SyntheticSpec::default() }.validate().is_err());
         assert!(SyntheticSpec { group_domain: 0, ..SyntheticSpec::default() }.validate().is_err());
-        assert!(planted_acyclic_relation(&SyntheticSpec { columns: 1, ..SyntheticSpec::default() }).is_err());
+        assert!(planted_acyclic_relation(&SyntheticSpec {
+            columns: 1,
+            ..SyntheticSpec::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -239,16 +241,19 @@ mod tests {
         // The planted decomposition produces far fewer spurious tuples than a
         // decomposition ignoring the hub.
         let bags = spec.planted_bags();
-        let spec_tree = relation::JoinTreeSpec::new(
-            bags.clone(),
-            (1..bags.len()).map(|i| (0, i)).collect(),
-        )
-        .unwrap();
+        let spec_tree =
+            relation::JoinTreeSpec::new(bags.clone(), (1..bags.len()).map(|i| (0, i)).collect())
+                .unwrap();
         let planted_join = acyclic_join_size(&rel, &spec_tree).unwrap();
         let distinct = rel.distinct_count(AttrSet::full(8)).unwrap() as u128;
         // Sanity: the planted join is lossless-ish (< 3x blowup) while the
         // hub-free decomposition explodes.
-        assert!(planted_join < distinct * 3, "planted join {} vs distinct {}", planted_join, distinct);
+        assert!(
+            planted_join < distinct * 3,
+            "planted join {} vs distinct {}",
+            planted_join,
+            distinct
+        );
     }
 
     #[test]

@@ -98,11 +98,7 @@ pub struct NaiveEntropyOracle<'a> {
 impl<'a> NaiveEntropyOracle<'a> {
     /// Creates an oracle over the given relation.
     pub fn new(rel: &'a Relation) -> Self {
-        NaiveEntropyOracle {
-            rel,
-            cache: HashMap::new(),
-            stats: OracleStats::default(),
-        }
+        NaiveEntropyOracle { rel, cache: HashMap::new(), stats: OracleStats::default() }
     }
 
     /// The underlying relation.
@@ -123,10 +119,7 @@ impl EntropyOracle for NaiveEntropyOracle<'_> {
             return h;
         }
         self.stats.full_scans += 1;
-        let sizes = self
-            .rel
-            .group_sizes(attrs)
-            .expect("attribute set validated against schema");
+        let sizes = self.rel.group_sizes(attrs).expect("attribute set validated against schema");
         let h = entropy_from_group_sizes(&sizes, self.rel.n_rows());
         self.cache.insert(attrs, h);
         h
@@ -198,7 +191,9 @@ mod tests {
             let set = s.attrs(names.iter().copied()).unwrap();
             o.entropy(set)
         };
-        let j = h(&mut o, &["A", "F"]) + h(&mut o, &["A", "C", "D"]) + h(&mut o, &["A", "B", "D"])
+        let j = h(&mut o, &["A", "F"])
+            + h(&mut o, &["A", "C", "D"])
+            + h(&mut o, &["A", "B", "D"])
             + h(&mut o, &["B", "D", "E"])
             - h(&mut o, &["A"])
             - h(&mut o, &["A", "D"])

@@ -32,10 +32,7 @@ impl Pli {
             buckets[code as usize].push(row as u32);
         }
         let clusters: Vec<Vec<u32>> = buckets.into_iter().filter(|b| b.len() >= 2).collect();
-        Pli {
-            clusters,
-            n_rows: rel.n_rows(),
-        }
+        Pli { clusters, n_rows: rel.n_rows() }
     }
 
     /// Builds the stripped partition of an arbitrary attribute set by hashing
@@ -47,24 +44,16 @@ impl Pli {
         for row in 0..rel.n_rows() {
             groups.entry(rel.key(row, attrs)).or_default().push(row as u32);
         }
-        let mut clusters: Vec<Vec<u32>> =
-            groups.into_values().filter(|g| g.len() >= 2).collect();
+        let mut clusters: Vec<Vec<u32>> = groups.into_values().filter(|g| g.len() >= 2).collect();
         // Deterministic order helps testing and reproducibility.
         clusters.sort();
-        Pli {
-            clusters,
-            n_rows: rel.n_rows(),
-        }
+        Pli { clusters, n_rows: rel.n_rows() }
     }
 
     /// The trivial partition of the empty attribute set: one cluster holding
     /// every row (or none if the relation is smaller than two rows).
     pub fn trivial(n_rows: usize) -> Pli {
-        let clusters = if n_rows >= 2 {
-            vec![(0..n_rows as u32).collect()]
-        } else {
-            Vec::new()
-        };
+        let clusters = if n_rows >= 2 { vec![(0..n_rows as u32).collect()] } else { Vec::new() };
         Pli { clusters, n_rows }
     }
 
@@ -137,7 +126,8 @@ impl Pli {
             }
         }
         let mut clusters = Vec::new();
-        let mut partial: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        let mut partial: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
         for cluster in &other.clusters {
             partial.clear();
             for &row in cluster {
@@ -153,10 +143,7 @@ impl Pli {
             }
         }
         clusters.sort();
-        Pli {
-            clusters,
-            n_rows: self.n_rows,
-        }
+        Pli { clusters, n_rows: self.n_rows }
     }
 
     /// Memory footprint proxy: total number of row ids stored.
@@ -260,7 +247,8 @@ mod tests {
     #[test]
     fn entropy_of_uniform_two_groups_is_one_bit() {
         let schema = Schema::new(["X"]).unwrap();
-        let rel = Relation::from_rows(schema, &[vec!["0"], vec!["0"], vec!["1"], vec!["1"]]).unwrap();
+        let rel =
+            Relation::from_rows(schema, &[vec!["0"], vec!["0"], vec!["1"], vec!["1"]]).unwrap();
         let p = Pli::from_column(&rel, 0);
         assert!((p.entropy() - 1.0).abs() < 1e-12);
     }

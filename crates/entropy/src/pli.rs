@@ -40,10 +40,7 @@ pub struct EntropyConfig {
 
 impl Default for EntropyConfig {
     fn default() -> Self {
-        EntropyConfig {
-            block_size: Some(10),
-            max_cached_plis: 50_000,
-        }
+        EntropyConfig { block_size: Some(10), max_cached_plis: 50_000 }
     }
 }
 
@@ -52,10 +49,7 @@ impl EntropyConfig {
     /// caching beyond single attributes; every request is assembled from
     /// single-attribute partitions. Used as an ablation baseline.
     pub fn no_precompute() -> Self {
-        EntropyConfig {
-            block_size: None,
-            max_cached_plis: 0,
-        }
+        EntropyConfig { block_size: None, max_cached_plis: 0 }
     }
 }
 
@@ -117,7 +111,8 @@ impl<'a> PliEntropyOracle<'a> {
             let block_attrs: AttrSet = (start..end).collect();
             // Enumerate subsets in increasing size so that each subset can be
             // derived from an already-cached subset plus one single attribute.
-            let mut subsets: Vec<AttrSet> = block_attrs.subsets().filter(|s| s.len() >= 2).collect();
+            let mut subsets: Vec<AttrSet> =
+                block_attrs.subsets().filter(|s| s.len() >= 2).collect();
             subsets.sort_by_key(|s| s.len());
             for subset in subsets {
                 if self.pli_cache.len() >= self.config.max_cached_plis {
@@ -318,7 +313,8 @@ mod tests {
     #[test]
     fn cache_hit_counting() {
         let rel = running_example();
-        let mut pli = PliEntropyOracle::new(&rel, EntropyConfig { block_size: None, max_cached_plis: 1000 });
+        let mut pli =
+            PliEntropyOracle::new(&rel, EntropyConfig { block_size: None, max_cached_plis: 1000 });
         let x = rel.schema().attrs(["A", "B", "C"]).unwrap();
         pli.entropy(x);
         let stats1 = pli.stats();
@@ -351,7 +347,10 @@ mod tests {
     #[test]
     fn block_precompute_populates_cache() {
         let rel = random_uniform_relation(100, &[3, 3, 3, 3], 5).unwrap();
-        let pli = PliEntropyOracle::new(&rel, EntropyConfig { block_size: Some(4), max_cached_plis: 1000 });
+        let pli = PliEntropyOracle::new(
+            &rel,
+            EntropyConfig { block_size: Some(4), max_cached_plis: 1000 },
+        );
         // All subsets of {0,1,2,3} with size >= 2: C(4,2)+C(4,3)+C(4,4) = 11.
         assert_eq!(pli.cached_pli_count(), 11);
         assert_eq!(pli.cached_entropy_count(), 11);
@@ -360,7 +359,8 @@ mod tests {
     #[test]
     fn block_precompute_respects_budget() {
         let rel = random_uniform_relation(100, &[3, 3, 3, 3, 3, 3], 5).unwrap();
-        let pli = PliEntropyOracle::new(&rel, EntropyConfig { block_size: Some(6), max_cached_plis: 5 });
+        let pli =
+            PliEntropyOracle::new(&rel, EntropyConfig { block_size: Some(6), max_cached_plis: 5 });
         assert!(pli.cached_pli_count() <= 5);
     }
 
@@ -372,6 +372,64 @@ mod tests {
         let x = rel.schema().attrs(["A", "C", "D", "F"]).unwrap();
         assert!((naive.entropy(x) - pli.entropy(x)).abs() < 1e-10);
         assert_eq!(pli.cached_pli_count(), 0);
+    }
+
+    #[test]
+    fn empty_relation_has_zero_entropy_everywhere() {
+        // Zero rows is a legal relation; every entropy must be 0 (not NaN)
+        // for both engines, with and without precomputation.
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let rel = Relation::from_code_columns(schema, vec![vec![], vec![], vec![]]).unwrap();
+        assert_eq!(rel.n_rows(), 0);
+        let mut naive = NaiveEntropyOracle::new(&rel);
+        for config in [EntropyConfig::default(), EntropyConfig::no_precompute()] {
+            let mut pli = PliEntropyOracle::new(&rel, config);
+            for attrs in AttrSet::full(3).subsets() {
+                let h = pli.entropy(attrs);
+                assert_eq!(h, 0.0, "H({attrs:?}) must be 0 on an empty relation, got {h}");
+                assert_eq!(naive.entropy(attrs), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_attribute_relation() {
+        // Arity 1 exercises the degenerate block decomposition (one block,
+        // no composite subsets to precompute).
+        let schema = Schema::new(["A"]).unwrap();
+        let rel = Relation::from_code_columns(schema, vec![vec![0, 0, 1, 1, 1, 2]]).unwrap();
+        let mut naive = NaiveEntropyOracle::new(&rel);
+        let mut pli = PliEntropyOracle::with_defaults(&rel);
+        assert_eq!(pli.cached_pli_count(), 0, "no composite subsets exist at arity 1");
+        let h = pli.entropy(AttrSet::singleton(0));
+        // Groups [2, 3, 1] of 6 rows: H = log₂6 − (2·log₂2 + 3·log₂3)/6.
+        let expected = 6f64.log2() - (2.0 + 3.0 * 3f64.log2()) / 6.0;
+        assert!((h - expected).abs() < 1e-12);
+        assert!((naive.entropy(AttrSet::singleton(0)) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_rows_lower_the_full_entropy() {
+        // Five rows, two of them identical: H(Ω) = (3/5)·log₂5 + (2/5)·log₂(5/2)
+        // rather than log₂5. Duplicates are where stripped-partition
+        // bookkeeping (singleton dropping) typically goes wrong.
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            &[vec!["x", "1"], vec!["x", "1"], vec!["y", "1"], vec!["y", "2"], vec!["z", "2"]],
+        )
+        .unwrap();
+        let full = AttrSet::full(2);
+        let expected = (3.0 / 5.0) * 5f64.log2() + (2.0 / 5.0) * (5f64 / 2.0).log2();
+        let mut naive = NaiveEntropyOracle::new(&rel);
+        let mut pli = PliEntropyOracle::with_defaults(&rel);
+        assert!((naive.entropy(full) - expected).abs() < 1e-12);
+        assert!((pli.entropy(full) - expected).abs() < 1e-12);
+        // An all-duplicate relation carries no information at all.
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let constant = Relation::from_rows(schema, &vec![vec!["c", "c"]; 4]).unwrap();
+        let mut pli = PliEntropyOracle::with_defaults(&constant);
+        assert_eq!(pli.entropy(AttrSet::full(2)), 0.0);
     }
 
     #[test]

@@ -14,10 +14,7 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `n` isolated vertices.
     pub fn new(n: usize) -> Self {
-        Graph {
-            n,
-            adj: vec![false; n * n],
-        }
+        Graph { n, adj: vec![false; n * n] }
     }
 
     /// Number of vertices.
@@ -57,9 +54,7 @@ impl Graph {
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        (0..self.n)
-            .map(|u| (u + 1..self.n).filter(|&v| self.has_edge(u, v)).count())
-            .sum()
+        (0..self.n).map(|u| (u + 1..self.n).filter(|&v| self.has_edge(u, v)).count()).sum()
     }
 
     /// `true` if the vertex set `s` is independent (no two members adjacent).
@@ -81,9 +76,7 @@ impl Graph {
             return false;
         }
         let members: BTreeSet<usize> = s.iter().copied().collect();
-        (0..self.n).all(|v| {
-            members.contains(&v) || s.iter().any(|&u| self.has_edge(u, v))
-        })
+        (0..self.n).all(|v| members.contains(&v) || s.iter().any(|&u| self.has_edge(u, v)))
     }
 }
 

@@ -73,11 +73,8 @@ where
             .copied()
             .max_by_key(|&u| p.iter().filter(|&&v| compl_adjacent(u, v)).count())
             .expect("P ∪ X is non-empty here");
-        let candidates: Vec<usize> = p
-            .iter()
-            .copied()
-            .filter(|&v| !compl_adjacent(pivot, v))
-            .collect();
+        let candidates: Vec<usize> =
+            p.iter().copied().filter(|&v| !compl_adjacent(pivot, v)).collect();
         for v in candidates {
             if state.stopped {
                 return;
@@ -92,12 +89,7 @@ where
         }
     }
 
-    let mut state = State {
-        g,
-        visit: &mut visit,
-        count: 0,
-        stopped: false,
-    };
+    let mut state = State { g, visit: &mut visit, count: 0, stopped: false };
     let _ = &state.g; // field retained for symmetry/debugging
     let mut r = Vec::new();
     let p: Vec<usize> = (0..n).collect();

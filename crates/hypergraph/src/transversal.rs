@@ -50,7 +50,7 @@ pub fn minimize(sets: &mut Vec<VertexSet>) {
 /// and the result is empty.
 pub fn minimal_transversals(edges: &[VertexSet], universe: VertexSet) -> Vec<VertexSet> {
     let mut edges: Vec<VertexSet> = edges.iter().map(|&e| e & universe).collect();
-    if edges.iter().any(|&e| e == 0) {
+    if edges.contains(&0) {
         return Vec::new();
     }
     // Processing edges in increasing cardinality keeps intermediate results small.
@@ -96,7 +96,11 @@ pub fn is_transversal(candidate: VertexSet, edges: &[VertexSet], universe: Verte
 }
 
 /// Checks whether `candidate` is a *minimal* transversal of `edges`.
-pub fn is_minimal_transversal(candidate: VertexSet, edges: &[VertexSet], universe: VertexSet) -> bool {
+pub fn is_minimal_transversal(
+    candidate: VertexSet,
+    edges: &[VertexSet],
+    universe: VertexSet,
+) -> bool {
     if !is_transversal(candidate, edges, universe) {
         return false;
     }
@@ -198,9 +202,8 @@ mod tests {
         let universe: VertexSet = 0b11111;
         for edges in cases {
             let fast = sorted(minimal_transversals(&edges, universe));
-            let mut brute: Vec<VertexSet> = (0..=universe)
-                .filter(|&c| is_minimal_transversal(c, &edges, universe))
-                .collect();
+            let mut brute: Vec<VertexSet> =
+                (0..=universe).filter(|&c| is_minimal_transversal(c, &edges, universe)).collect();
             brute.sort();
             assert_eq!(fast, brute, "mismatch for edges {:?}", edges);
         }
@@ -219,5 +222,65 @@ mod tests {
         assert!(is_transversal(0b010, &edges, 0b111));
         assert!(!is_transversal(0b001, &edges, 0b111));
         assert!(is_transversal(0b101, &edges, 0b111));
+    }
+
+    #[test]
+    fn minimize_handles_empty_and_singleton_inputs() {
+        let mut empty: Vec<VertexSet> = Vec::new();
+        minimize(&mut empty);
+        assert!(empty.is_empty());
+
+        let mut single = vec![0b101];
+        minimize(&mut single);
+        assert_eq!(single, vec![0b101]);
+
+        // The empty set dominates everything else.
+        let mut with_zero = vec![0b0, 0b101, 0b1];
+        minimize(&mut with_zero);
+        assert_eq!(with_zero, vec![0b0]);
+    }
+
+    #[test]
+    fn single_vertex_universe() {
+        // One vertex, one edge over it: the vertex is the only transversal.
+        assert_eq!(minimal_transversals(&[0b1], 0b1), vec![0b1]);
+        // No edges: the empty set, regardless of universe size.
+        assert_eq!(minimal_transversals(&[], 0b1), vec![0b0]);
+        // The edge vanishes when clipped to a disjoint universe.
+        assert!(minimal_transversals(&[0b10], 0b1).is_empty());
+    }
+
+    #[test]
+    fn edges_are_clipped_to_the_universe() {
+        // Edge {0,1,3} over universe {0,1}: only the in-universe part counts,
+        // so the result matches the edge {0,1}.
+        let clipped = sorted(minimal_transversals(&[0b1011], 0b0011));
+        let direct = sorted(minimal_transversals(&[0b0011], 0b0011));
+        assert_eq!(clipped, direct);
+        assert_eq!(clipped, vec![0b0001, 0b0010]);
+    }
+
+    #[test]
+    fn empty_candidate_is_minimal_only_without_edges() {
+        assert!(is_minimal_transversal(0b0, &[], 0b111));
+        assert!(!is_minimal_transversal(0b0, &[0b001], 0b111));
+        // A non-minimal transversal is rejected.
+        assert!(!is_minimal_transversal(0b011, &[0b001], 0b111));
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_duplicate_transversals() {
+        let edges = [0b011, 0b011, 0b011];
+        let result = sorted(minimal_transversals(&edges, 0b111));
+        assert_eq!(result, vec![0b001, 0b010]);
+    }
+
+    #[test]
+    fn is_subset_bit_laws() {
+        assert!(is_subset(0b0, 0b0));
+        assert!(is_subset(0b0, 0b101));
+        assert!(is_subset(0b101, 0b101));
+        assert!(!is_subset(0b101, 0b001));
+        assert!(!is_subset(0b010, 0b101));
     }
 }

@@ -60,16 +60,16 @@ impl JoinTreeSpec {
         }
         let spec = JoinTreeSpec { bags, edges };
         if !spec.is_connected() {
-            return Err(RelationError::InvalidJoinTree("edges do not form a connected tree".into()));
+            return Err(RelationError::InvalidJoinTree(
+                "edges do not form a connected tree".into(),
+            ));
         }
         Ok(spec)
     }
 
     /// Union of all bags.
     pub fn all_attrs(&self) -> AttrSet {
-        self.bags
-            .iter()
-            .fold(AttrSet::empty(), |acc, &b| acc.union(b))
+        self.bags.iter().fold(AttrSet::empty(), |acc, &b| acc.union(b))
     }
 
     fn adjacency(&self) -> Vec<Vec<usize>> {
@@ -110,10 +110,7 @@ pub fn acyclic_join_size(rel: &Relation, spec: &JoinTreeSpec) -> Result<u128, Re
     let mut tables: Vec<HashMap<Vec<u32>, u128>> = Vec::with_capacity(spec.bags.len());
     for &bag in &spec.bags {
         if bag.is_empty() || !bag.is_subset_of(rel.schema().all_attrs()) {
-            return Err(RelationError::AttributeOutOfRange {
-                attrs: bag,
-                arity: rel.arity(),
-            });
+            return Err(RelationError::AttributeOutOfRange { attrs: bag, arity: rel.arity() });
         }
         let mut table: HashMap<Vec<u32>, u128> = HashMap::new();
         for r in 0..rel.n_rows() {
@@ -205,7 +202,10 @@ pub fn spurious_tuple_count(rel: &Relation, spec: &JoinTreeSpec) -> Result<u128,
 ///
 /// # Errors
 /// Returns an error if the join-size computation fails.
-pub fn satisfies_join_dependency(rel: &Relation, spec: &JoinTreeSpec) -> Result<bool, RelationError> {
+pub fn satisfies_join_dependency(
+    rel: &Relation,
+    spec: &JoinTreeSpec,
+) -> Result<bool, RelationError> {
     if !spec.all_attrs().is_superset_of(rel.schema().all_attrs()) {
         return Ok(false);
     }
@@ -285,16 +285,10 @@ mod tests {
     fn counting_agrees_with_materialized_join() {
         let rel = running_example(true);
         let spec = running_example_spec(&rel);
-        let projections: Vec<Relation> = spec
-            .bags
-            .iter()
-            .map(|&b| rel.project_distinct(b).unwrap())
-            .collect();
+        let projections: Vec<Relation> =
+            spec.bags.iter().map(|&b| rel.project_distinct(b).unwrap()).collect();
         let joined = natural_join_all(&projections).unwrap();
-        assert_eq!(
-            acyclic_join_size(&rel, &spec).unwrap(),
-            joined.n_rows() as u128
-        );
+        assert_eq!(acyclic_join_size(&rel, &spec).unwrap(), joined.n_rows() as u128);
     }
 
     #[test]
@@ -311,16 +305,12 @@ mod tests {
         // Decomposing each attribute into its own relation produces the cross
         // product of the active domains (joined via empty separators).
         let schema = Schema::new(["A", "B"]).unwrap();
-        let rel = Relation::from_rows(
-            schema,
-            &[vec!["a1", "b1"], vec!["a1", "b2"], vec!["a2", "b1"]],
-        )
-        .unwrap();
-        let spec = JoinTreeSpec::new(
-            vec![AttrSet::singleton(0), AttrSet::singleton(1)],
-            vec![(0, 1)],
-        )
-        .unwrap();
+        let rel =
+            Relation::from_rows(schema, &[vec!["a1", "b1"], vec!["a1", "b2"], vec!["a2", "b1"]])
+                .unwrap();
+        let spec =
+            JoinTreeSpec::new(vec![AttrSet::singleton(0), AttrSet::singleton(1)], vec![(0, 1)])
+                .unwrap();
         assert_eq!(acyclic_join_size(&rel, &spec).unwrap(), 4);
         assert_eq!(spurious_tuple_count(&rel, &spec).unwrap(), 1);
     }
@@ -329,11 +319,9 @@ mod tests {
     fn empty_relation_joins_to_zero() {
         let schema = Schema::new(["A", "B"]).unwrap();
         let rel = Relation::empty(schema);
-        let spec = JoinTreeSpec::new(
-            vec![AttrSet::singleton(0), AttrSet::singleton(1)],
-            vec![(0, 1)],
-        )
-        .unwrap();
+        let spec =
+            JoinTreeSpec::new(vec![AttrSet::singleton(0), AttrSet::singleton(1)], vec![(0, 1)])
+                .unwrap();
         assert_eq!(acyclic_join_size(&rel, &spec).unwrap(), 0);
     }
 

@@ -203,11 +203,7 @@ impl AttrSet {
     /// itself). The number of subsets is `2^len`, so this is only appropriate
     /// for small sets (as used by the entropy block-precomputation of §6.3).
     pub fn subsets(self) -> SubsetIter {
-        SubsetIter {
-            universe: self.0,
-            current: 0,
-            done: false,
-        }
+        SubsetIter { universe: self.0, current: 0, done: false }
     }
 }
 
@@ -442,7 +438,7 @@ mod tests {
         let a = AttrSet::singleton(1);
         let b = AttrSet::singleton(2);
         assert!(a < b);
-        let mut v = vec![b, a, AttrSet::empty()];
+        let mut v = [b, a, AttrSet::empty()];
         v.sort();
         assert_eq!(v[0], AttrSet::empty());
     }

@@ -25,11 +25,7 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        CsvOptions {
-            delimiter: ',',
-            has_header: true,
-            dedup: true,
-        }
+        CsvOptions { delimiter: ',', has_header: true, dedup: true }
     }
 }
 
@@ -86,10 +82,7 @@ fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, Relati
         }
     }
     if in_quotes {
-        return Err(RelationError::Csv {
-            line,
-            message: "unterminated quoted field".into(),
-        });
+        return Err(RelationError::Csv { line, message: "unterminated quoted field".into() });
     }
     if !field.is_empty() || !record.is_empty() {
         record.push(field);
@@ -108,18 +101,12 @@ fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, Relati
 pub fn relation_from_csv(text: &str, options: CsvOptions) -> Result<Relation, RelationError> {
     let records = parse_records(text, options.delimiter)?;
     if records.is_empty() {
-        return Err(RelationError::Csv {
-            line: 1,
-            message: "no records in input".into(),
-        });
+        return Err(RelationError::Csv { line: 1, message: "no records in input".into() });
     }
     let (header, data_start) = if options.has_header {
         (records[0].clone(), 1)
     } else {
-        (
-            (0..records[0].len()).map(|i| format!("col{}", i)).collect(),
-            0,
-        )
+        ((0..records[0].len()).map(|i| format!("col{}", i)).collect(), 0)
     };
     let schema = Schema::new(header)?;
     let mut builder = RelationBuilder::new(schema);
@@ -176,11 +163,9 @@ mod tests {
     #[test]
     fn parse_without_header_names_columns() {
         let text = "1,2\n3,4\n";
-        let rel = relation_from_csv(
-            text,
-            CsvOptions { has_header: false, ..CsvOptions::default() },
-        )
-        .unwrap();
+        let rel =
+            relation_from_csv(text, CsvOptions { has_header: false, ..CsvOptions::default() })
+                .unwrap();
         assert_eq!(rel.schema().names(), &["col0".to_string(), "col1".into()]);
         assert_eq!(rel.n_rows(), 2);
     }
@@ -197,11 +182,8 @@ mod tests {
     #[test]
     fn parse_semicolon_delimiter_and_crlf() {
         let text = "A;B\r\nx;y\r\n";
-        let rel = relation_from_csv(
-            text,
-            CsvOptions { delimiter: ';', ..CsvOptions::default() },
-        )
-        .unwrap();
+        let rel = relation_from_csv(text, CsvOptions { delimiter: ';', ..CsvOptions::default() })
+            .unwrap();
         assert_eq!(rel.n_rows(), 1);
         assert_eq!(rel.value(0, 1), "y");
     }
@@ -211,11 +193,8 @@ mod tests {
         let text = "A,B\n1,2\n1,2\n3,4\n";
         let with_dedup = relation_from_csv(text, CsvOptions::default()).unwrap();
         assert_eq!(with_dedup.n_rows(), 2);
-        let without = relation_from_csv(
-            text,
-            CsvOptions { dedup: false, ..CsvOptions::default() },
-        )
-        .unwrap();
+        let without =
+            relation_from_csv(text, CsvOptions { dedup: false, ..CsvOptions::default() }).unwrap();
         assert_eq!(without.n_rows(), 3);
     }
 

@@ -63,15 +63,15 @@ impl fmt::Display for RelationError {
                 write!(f, "duplicate attribute name: {}", name)
             }
             RelationError::UnknownAttribute(name) => write!(f, "unknown attribute: {}", name),
-            RelationError::AttributeOutOfRange { attrs, arity } => write!(
-                f,
-                "attribute set {:?} out of range for schema of arity {}",
-                attrs, arity
-            ),
+            RelationError::AttributeOutOfRange { attrs, arity } => {
+                write!(f, "attribute set {:?} out of range for schema of arity {}", attrs, arity)
+            }
             RelationError::ArityMismatch { expected, got } => {
                 write!(f, "row has {} values but schema has {} attributes", got, expected)
             }
-            RelationError::Csv { line, message } => write!(f, "CSV error on line {}: {}", line, message),
+            RelationError::Csv { line, message } => {
+                write!(f, "CSV error on line {}: {}", line, message)
+            }
             RelationError::SchemaMismatch { left, right } => {
                 write!(f, "schema mismatch: {} vs {}", left, right)
             }

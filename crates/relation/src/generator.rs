@@ -22,7 +22,7 @@ pub fn random_uniform_relation(
     domain_sizes: &[u32],
     seed: u64,
 ) -> Result<Relation, RelationError> {
-    if domain_sizes.iter().any(|&d| d == 0) {
+    if domain_sizes.contains(&0) {
         return Err(RelationError::Csv {
             line: 0,
             message: "domain sizes must be positive".into(),
@@ -30,10 +30,8 @@ pub fn random_uniform_relation(
     }
     let schema = Schema::with_arity(domain_sizes.len())?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let columns: Vec<Vec<u32>> = domain_sizes
-        .iter()
-        .map(|&d| (0..rows).map(|_| rng.gen_range(0..d)).collect())
-        .collect();
+    let columns: Vec<Vec<u32>> =
+        domain_sizes.iter().map(|&d| (0..rows).map(|_| rng.gen_range(0..d)).collect()).collect();
     Relation::from_code_columns(schema, columns)
 }
 
@@ -59,10 +57,7 @@ pub fn random_fd_chain_relation(
         });
     }
     if domain == 0 {
-        return Err(RelationError::Csv {
-            line: 0,
-            message: "domain must be positive".into(),
-        });
+        return Err(RelationError::Csv { line: 0, message: "domain must be positive".into() });
     }
     let schema = Schema::with_arity(columns)?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -94,7 +89,7 @@ pub fn cartesian_product_relation(
     domain_sizes: &[u32],
     max_rows: usize,
 ) -> Result<Relation, RelationError> {
-    if domain_sizes.is_empty() || domain_sizes.iter().any(|&d| d == 0) {
+    if domain_sizes.is_empty() || domain_sizes.contains(&0) {
         return Err(RelationError::Csv {
             line: 0,
             message: "domain sizes must be non-empty and positive".into(),
@@ -104,7 +99,10 @@ pub fn cartesian_product_relation(
     if total > max_rows {
         return Err(RelationError::Csv {
             line: 0,
-            message: format!("Cartesian product has {} rows, exceeding the cap of {}", total, max_rows),
+            message: format!(
+                "Cartesian product has {} rows, exceeding the cap of {}",
+                total, max_rows
+            ),
         });
     }
     let schema = Schema::with_arity(domain_sizes.len())?;

@@ -30,9 +30,8 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation, Relat
             shared.push((li, ri));
         }
     }
-    let right_only: Vec<usize> = (0..right.arity())
-        .filter(|ri| !shared.iter().any(|&(_, r)| r == *ri))
-        .collect();
+    let right_only: Vec<usize> =
+        (0..right.arity()).filter(|ri| !shared.iter().any(|&(_, r)| r == *ri)).collect();
 
     let mut out_names: Vec<String> = left_names.to_vec();
     out_names.extend(right_only.iter().map(|&ri| right_names[ri].clone()));
@@ -51,9 +50,8 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation, Relat
         let key: Vec<&str> = shared.iter().map(|&(li, _)| left.value(l, li)).collect();
         if let Some(matches) = index.get(&key) {
             for &r in matches {
-                let mut row: Vec<String> = (0..left.arity())
-                    .map(|c| left.value(l, c).to_string())
-                    .collect();
+                let mut row: Vec<String> =
+                    (0..left.arity()).map(|c| left.value(l, c).to_string()).collect();
                 row.extend(right_only.iter().map(|&ri| right.value(r, ri).to_string()));
                 if seen.insert(row.clone(), ()).is_none() {
                     builder.push_row(row.iter().map(|s| s.as_str()))?;
@@ -70,9 +68,7 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation, Relat
 /// Returns an error if `relations` is empty or any pairwise join fails.
 pub fn natural_join_all(relations: &[Relation]) -> Result<Relation, RelationError> {
     let mut iter = relations.iter();
-    let first = iter
-        .next()
-        .ok_or(RelationError::InvalidJoinTree("empty relation list".into()))?;
+    let first = iter.next().ok_or(RelationError::InvalidJoinTree("empty relation list".into()))?;
     let mut acc = first.distinct();
     for rel in iter {
         acc = natural_join(&acc, rel)?;

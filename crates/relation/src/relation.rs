@@ -43,11 +43,7 @@ impl Relation {
     /// Creates an empty relation over `schema`.
     pub fn empty(schema: Schema) -> Self {
         let arity = schema.arity();
-        Relation {
-            schema,
-            columns: vec![Column::default(); arity],
-            n_rows: 0,
-        }
+        Relation { schema, columns: vec![Column::default(); arity], n_rows: 0 }
     }
 
     /// Builds a relation from string rows.
@@ -72,7 +68,10 @@ impl Relation {
     /// # Errors
     /// Returns an error if the column count does not match the schema or the
     /// columns have unequal lengths.
-    pub fn from_code_columns(schema: Schema, columns: Vec<Vec<u32>>) -> Result<Self, RelationError> {
+    pub fn from_code_columns(
+        schema: Schema,
+        columns: Vec<Vec<u32>>,
+    ) -> Result<Self, RelationError> {
         if columns.len() != schema.arity() {
             return Err(RelationError::ArityMismatch {
                 expected: schema.arity(),
@@ -101,11 +100,7 @@ impl Relation {
             }
             cols.push(Column { dict, codes });
         }
-        Ok(Relation {
-            schema,
-            columns: cols,
-            n_rows,
-        })
+        Ok(Relation { schema, columns: cols, n_rows })
     }
 
     /// The relation's schema.
@@ -211,11 +206,7 @@ impl Relation {
         self.validate_attrs(attrs)?;
         let schema = self.schema.project(attrs)?;
         let columns: Vec<Column> = attrs.iter().map(|c| self.columns[c].clone()).collect();
-        Ok(Relation {
-            schema,
-            columns,
-            n_rows: self.n_rows,
-        })
+        Ok(Relation { schema, columns, n_rows: self.n_rows })
     }
 
     /// Projects onto `attrs` and removes duplicate rows; this is the paper's
@@ -256,11 +247,7 @@ impl Relation {
             }
             columns.push(Column { dict, codes });
         }
-        Relation {
-            schema: self.schema.clone(),
-            columns,
-            n_rows: rows.len(),
-        }
+        Relation { schema: self.schema.clone(), columns, n_rows: rows.len() }
     }
 
     /// Returns a copy with only the first `n` rows (or all rows if `n`
@@ -313,10 +300,7 @@ impl Relation {
     ) -> Result<(), RelationError> {
         let values: Vec<String> = row.into_iter().map(|s| s.as_ref().to_string()).collect();
         if values.len() != self.arity() {
-            return Err(RelationError::ArityMismatch {
-                expected: self.arity(),
-                got: values.len(),
-            });
+            return Err(RelationError::ArityMismatch { expected: self.arity(), got: values.len() });
         }
         for (c, v) in values.into_iter().enumerate() {
             let col = &mut self.columns[c];
@@ -335,10 +319,7 @@ impl Relation {
 
     fn validate_attrs(&self, attrs: AttrSet) -> Result<(), RelationError> {
         if attrs.is_empty() || !attrs.is_subset_of(self.schema.all_attrs()) {
-            return Err(RelationError::AttributeOutOfRange {
-                attrs,
-                arity: self.arity(),
-            });
+            return Err(RelationError::AttributeOutOfRange { attrs, arity: self.arity() });
         }
         Ok(())
     }
@@ -425,11 +406,7 @@ impl RelationBuilder {
 
     /// Finalizes the relation.
     pub fn finish(self) -> Relation {
-        Relation {
-            schema: self.schema,
-            columns: self.columns,
-            n_rows: self.n_rows,
-        }
+        Relation { schema: self.schema, columns: self.columns, n_rows: self.n_rows }
     }
 }
 
@@ -543,11 +520,9 @@ mod tests {
     fn equal_as_sets_ignores_order_and_duplicates() {
         let schema = Schema::new(["A", "B"]).unwrap();
         let r1 = Relation::from_rows(schema.clone(), &[vec!["x", "1"], vec!["y", "2"]]).unwrap();
-        let r2 = Relation::from_rows(
-            schema.clone(),
-            &[vec!["y", "2"], vec!["x", "1"], vec!["x", "1"]],
-        )
-        .unwrap();
+        let r2 =
+            Relation::from_rows(schema.clone(), &[vec!["y", "2"], vec!["x", "1"], vec!["x", "1"]])
+                .unwrap();
         assert!(r1.equal_as_sets(&r2));
         let r3 = Relation::from_rows(schema, &[vec!["x", "1"]]).unwrap();
         assert!(!r1.equal_as_sets(&r3));
@@ -596,7 +571,8 @@ mod tests {
     fn builder_matches_from_rows() {
         let schema = Schema::new(["A", "B", "C"]).unwrap();
         let mut b = RelationBuilder::new(schema.clone());
-        for row in [["a1", "b1", "c1"], ["a1", "b2", "c1"], ["a2", "b1", "c2"], ["a2", "b1", "c2"]] {
+        for row in [["a1", "b1", "c1"], ["a1", "b2", "c1"], ["a2", "b1", "c2"], ["a2", "b1", "c2"]]
+        {
             b.push_row(row).unwrap();
         }
         assert_eq!(b.n_rows(), 4);

@@ -22,7 +22,9 @@ impl Schema {
     /// # Errors
     /// Returns an error if there are no attributes, more than
     /// [`AttrSet::MAX_ATTRS`], or duplicate names.
-    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Result<Self, RelationError> {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(
+        names: I,
+    ) -> Result<Self, RelationError> {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
         if names.is_empty() {
             return Err(RelationError::EmptySchema);
@@ -38,24 +40,23 @@ impl Schema {
                 return Err(RelationError::DuplicateAttribute(n.clone()));
             }
         }
-        Ok(Schema {
-            names: Arc::new(names),
-        })
+        Ok(Schema { names: Arc::new(names) })
     }
 
     /// Convenience constructor producing single-letter names `A`, `B`, `C`, …
     /// like the paper's running example; beyond 26 attributes the names are
     /// `X26`, `X27`, ….
     pub fn with_arity(n: usize) -> Result<Self, RelationError> {
-        let names: Vec<String> = (0..n)
-            .map(|i| {
-                if i < 26 {
-                    ((b'A' + i as u8) as char).to_string()
-                } else {
-                    format!("X{}", i)
-                }
-            })
-            .collect();
+        let names: Vec<String> =
+            (0..n)
+                .map(|i| {
+                    if i < 26 {
+                        ((b'A' + i as u8) as char).to_string()
+                    } else {
+                        format!("X{}", i)
+                    }
+                })
+                .collect();
         Schema::new(names)
     }
 
@@ -113,11 +114,8 @@ impl Schema {
     /// Renders an attribute set using this schema's names, e.g. `ABD` when all
     /// names are single letters or `[age,income]` otherwise.
     pub fn label(&self, attrs: AttrSet) -> String {
-        let parts: Vec<&str> = attrs
-            .iter()
-            .filter(|&i| i < self.arity())
-            .map(|i| self.name(i))
-            .collect();
+        let parts: Vec<&str> =
+            attrs.iter().filter(|&i| i < self.arity()).map(|i| self.name(i)).collect();
         if parts.iter().all(|p| p.chars().count() == 1) {
             parts.concat()
         } else {
@@ -129,10 +127,7 @@ impl Schema {
     /// their relative order).
     pub fn project(&self, attrs: AttrSet) -> Result<Schema, RelationError> {
         if !attrs.is_subset_of(self.all_attrs()) {
-            return Err(RelationError::AttributeOutOfRange {
-                attrs,
-                arity: self.arity(),
-            });
+            return Err(RelationError::AttributeOutOfRange { attrs, arity: self.arity() });
         }
         if attrs.is_empty() {
             return Err(RelationError::EmptySchema);
@@ -178,27 +173,18 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        assert!(matches!(
-            Schema::new(["A", "B", "A"]),
-            Err(RelationError::DuplicateAttribute(_))
-        ));
+        assert!(matches!(Schema::new(["A", "B", "A"]), Err(RelationError::DuplicateAttribute(_))));
     }
 
     #[test]
     fn empty_schema_rejected() {
-        assert!(matches!(
-            Schema::new(Vec::<String>::new()),
-            Err(RelationError::EmptySchema)
-        ));
+        assert!(matches!(Schema::new(Vec::<String>::new()), Err(RelationError::EmptySchema)));
     }
 
     #[test]
     fn too_many_attributes_rejected() {
         let names: Vec<String> = (0..65).map(|i| format!("c{}", i)).collect();
-        assert!(matches!(
-            Schema::new(names),
-            Err(RelationError::TooManyAttributes { .. })
-        ));
+        assert!(matches!(Schema::new(names), Err(RelationError::TooManyAttributes { .. })));
     }
 
     #[test]

@@ -16,7 +16,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schema = rel.schema().clone();
     let mut oracle = NaiveEntropyOracle::new(&rel);
     println!("Entropies of the running example (with the red tuple):");
-    for names in [vec!["A"], vec!["B", "D"], vec!["B", "D", "E"], vec!["A", "B", "C", "D", "E", "F"]] {
+    for names in
+        [vec!["A"], vec!["B", "D"], vec!["B", "D", "E"], vec!["A", "B", "C", "D", "E", "F"]]
+    {
         let attrs = schema.attrs(names.iter().copied())?;
         println!("  H({}) = {:.4} bits", schema.label(attrs), oracle.entropy(attrs));
     }
@@ -37,10 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rel.n_rows(),
         rel.arity()
     );
-    let subsets: Vec<AttrSet> = AttrSet::full(rel.arity())
-        .subsets()
-        .filter(|s| s.len() == 3)
-        .collect();
+    let subsets: Vec<AttrSet> =
+        AttrSet::full(rel.arity()).subsets().filter(|s| s.len() == 3).collect();
 
     let start = Instant::now();
     let mut naive = NaiveEntropyOracle::new(&rel);

@@ -12,11 +12,7 @@ use maimon_datasets::nursery_with_rows;
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rows: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(3_000);
+    let rows: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(3_000);
     let rel = nursery_with_rows(rows);
     println!(
         "Nursery use case: {} rows, {} columns, {} cells",
@@ -29,10 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut all_rows = Vec::new();
     for &epsilon in &[0.0, 0.05, 0.1, 0.2, 0.3, 0.5] {
         let mut config = MaimonConfig::with_epsilon(epsilon);
-        config.limits = MiningLimits {
-            time_budget: Some(Duration::from_secs(20)),
-            ..MiningLimits::small()
-        };
+        config.limits =
+            MiningLimits { time_budget: Some(Duration::from_secs(20)), ..MiningLimits::small() };
         config.max_schemas = Some(200);
         let result = Maimon::new(&rel, config)?.run()?;
         println!(
@@ -43,10 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if result.truncated { " (truncated)" } else { "" }
         );
         for schema in &result.schemas {
-            all_points.push((
-                schema.quality.storage_savings_pct,
-                schema.quality.spurious_tuples_pct,
-            ));
+            all_points
+                .push((schema.quality.storage_savings_pct, schema.quality.spurious_tuples_pct));
             all_rows.push((
                 epsilon,
                 schema.discovered.j.unwrap_or(f64::NAN),
@@ -63,7 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (epsilon, j, quality, ref display) = all_rows[i];
         println!(
             "{:<6} {:>8.3} {:>9.1} {:>9.1} {:>4}  {}",
-            epsilon, j, quality.storage_savings_pct, quality.spurious_tuples_pct, quality.n_relations, display
+            epsilon,
+            j,
+            quality.storage_savings_pct,
+            quality.spurious_tuples_pct,
+            quality.n_relations,
+            display
         );
     }
     println!("\n({} schemas total, {} on the pareto front)", all_points.len(), front.len());

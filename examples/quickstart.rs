@@ -41,11 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n--- With the red tuple added ({} rows) ---", noisy.n_rows());
     for epsilon in [0.0, 0.2] {
         let result = Maimon::new(&noisy, MaimonConfig::with_epsilon(epsilon))?.run()?;
-        let best = result
-            .schemas
-            .iter()
-            .max_by_key(|s| s.discovered.schema.n_relations())
-            .unwrap();
+        let best = result.schemas.iter().max_by_key(|s| s.discovered.schema.n_relations()).unwrap();
         println!(
             "ε = {:<4}  schemas = {:<3}  best = {} (m = {}, J = {:.3}, E = {:.1}%)",
             epsilon,

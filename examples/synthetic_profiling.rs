@@ -14,20 +14,12 @@ use std::time::{Duration, Instant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "Abalone".to_string());
-    let scale: f64 = std::env::args()
-        .nth(2)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(0.05);
+    let scale: f64 = std::env::args().nth(2).map(|s| s.parse()).transpose()?.unwrap_or(0.05);
     let spec = dataset_by_name(&name).ok_or_else(|| {
         format!(
             "unknown dataset {:?}; available: {}",
             name,
-            metanome_catalog()
-                .iter()
-                .map(|d| d.name)
-                .collect::<Vec<_>>()
-                .join(", ")
+            metanome_catalog().iter().map(|d| d.name).collect::<Vec<_>>().join(", ")
         )
     })?;
     let rel = spec.generate(scale);
@@ -55,18 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let started = Instant::now();
         let maimon = Maimon::new(&rel, config)?;
         let result = maimon.run()?;
-        let max_relations = result
-            .schemas
-            .iter()
-            .map(|s| s.discovered.schema.n_relations())
-            .max()
-            .unwrap_or(1);
-        let min_width = result
-            .schemas
-            .iter()
-            .map(|s| s.discovered.schema.width())
-            .min()
-            .unwrap_or(rel.arity());
+        let max_relations =
+            result.schemas.iter().map(|s| s.discovered.schema.n_relations()).max().unwrap_or(1);
+        let min_width =
+            result.schemas.iter().map(|s| s.discovered.schema.width()).min().unwrap_or(rel.arity());
         let min_int_width = result
             .schemas
             .iter()

@@ -13,10 +13,8 @@ fn oracles_agree_on_every_subset_of_a_catalog_dataset() {
     let mut naive = NaiveEntropyOracle::new(&rel);
     let mut default_pli = PliEntropyOracle::with_defaults(&rel);
     let mut no_precompute = PliEntropyOracle::new(&rel, EntropyConfig::no_precompute());
-    let mut small_blocks = PliEntropyOracle::new(
-        &rel,
-        EntropyConfig { block_size: Some(3), max_cached_plis: 10_000 },
-    );
+    let mut small_blocks =
+        PliEntropyOracle::new(&rel, EntropyConfig { block_size: Some(3), max_cached_plis: 10_000 });
     for attrs in AttrSet::full(rel.arity()).subsets().filter(|s| s.len() <= 3) {
         let expected = naive.entropy(attrs);
         for (name, oracle) in [

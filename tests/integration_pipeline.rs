@@ -15,10 +15,7 @@ use std::time::Duration;
 #[test]
 fn exact_pipeline_recovers_the_figure_1_decomposition() {
     let rel = running_example();
-    let result = Maimon::new(&rel, MaimonConfig::with_epsilon(0.0))
-        .unwrap()
-        .run()
-        .unwrap();
+    let result = Maimon::new(&rel, MaimonConfig::with_epsilon(0.0)).unwrap().run().unwrap();
 
     // Phase 1: the support MVDs of the paper's join tree are all discovered.
     let schema = rel.schema();
@@ -56,12 +53,7 @@ fn approximate_pipeline_tolerates_the_red_tuple() {
     let relaxed = Maimon::new(&rel, MaimonConfig::with_epsilon(0.2)).unwrap().run().unwrap();
 
     let best = |result: &maimon::MaimonResult| {
-        result
-            .schemas
-            .iter()
-            .map(|s| s.discovered.schema.n_relations())
-            .max()
-            .unwrap_or(1)
+        result.schemas.iter().map(|s| s.discovered.schema.n_relations()).max().unwrap_or(1)
     };
     assert!(best(&relaxed) >= best(&strict));
     assert!(best(&relaxed) >= 4, "ε = 0.2 should recover the 4-relation schema");
@@ -101,10 +93,8 @@ fn nursery_exact_run_finds_no_nontrivial_decomposition() {
     // that the class attribute is determined by (and only by) all inputs.
     let rel = nursery_with_rows(2000);
     let mut config = MaimonConfig::with_epsilon(0.0);
-    config.limits = MiningLimits {
-        time_budget: Some(Duration::from_secs(30)),
-        ..MiningLimits::small()
-    };
+    config.limits =
+        MiningLimits { time_budget: Some(Duration::from_secs(30)), ..MiningLimits::small() };
     let result = Maimon::new(&rel, config).unwrap().run().unwrap();
     for ranked in &result.schemas {
         assert_eq!(
@@ -118,20 +108,15 @@ fn nursery_exact_run_finds_no_nontrivial_decomposition() {
 fn nursery_approximate_run_decomposes_and_saves_storage() {
     let rel = nursery_with_rows(2000);
     let mut config = MaimonConfig::with_epsilon(0.3);
-    config.limits = MiningLimits {
-        time_budget: Some(Duration::from_secs(30)),
-        ..MiningLimits::small()
-    };
+    config.limits =
+        MiningLimits { time_budget: Some(Duration::from_secs(30)), ..MiningLimits::small() };
     config.max_schemas = Some(50);
     let result = Maimon::new(&rel, config).unwrap().run().unwrap();
     let best = result
         .schemas
         .iter()
         .max_by(|a, b| {
-            a.quality
-                .storage_savings_pct
-                .partial_cmp(&b.quality.storage_savings_pct)
-                .unwrap()
+            a.quality.storage_savings_pct.partial_cmp(&b.quality.storage_savings_pct).unwrap()
         })
         .expect("some schema is always discovered");
     assert!(
@@ -165,21 +150,12 @@ fn planted_schema_is_recovered_from_synthetic_data() {
     assert!(planted_j < 0.6, "planted schema J = {}", planted_j);
 
     let mut config = MaimonConfig::with_epsilon(planted_j.max(0.05));
-    config.limits = MiningLimits {
-        time_budget: Some(Duration::from_secs(30)),
-        ..MiningLimits::small()
-    };
+    config.limits =
+        MiningLimits { time_budget: Some(Duration::from_secs(30)), ..MiningLimits::small() };
     let result = Maimon::new(&rel, config).unwrap().run().unwrap();
-    let best_relations = result
-        .schemas
-        .iter()
-        .map(|s| s.discovered.schema.n_relations())
-        .max()
-        .unwrap_or(1);
-    assert!(
-        best_relations >= 2,
-        "mining at ε ≥ J(planted) must decompose the relation"
-    );
+    let best_relations =
+        result.schemas.iter().map(|s| s.discovered.schema.n_relations()).max().unwrap_or(1);
+    assert!(best_relations >= 2, "mining at ε ≥ J(planted) must decompose the relation");
     assert!(schema_holds(&mut oracle, &planted, planted_j + 1e-6));
 }
 
@@ -191,10 +167,8 @@ fn catalog_dataset_end_to_end_smoke() {
     let rel = dataset.generate(1.0).column_prefix(9).unwrap();
     assert_eq!(rel.n_rows(), 108);
     let mut config = MaimonConfig::with_epsilon(0.1);
-    config.limits = MiningLimits {
-        time_budget: Some(Duration::from_secs(30)),
-        ..MiningLimits::small()
-    };
+    config.limits =
+        MiningLimits { time_budget: Some(Duration::from_secs(30)), ..MiningLimits::small() };
     config.max_schemas = Some(25);
     let result = Maimon::new(&rel, config).unwrap().run().unwrap();
     for ranked in &result.schemas {
@@ -216,10 +190,7 @@ fn oracle_choice_does_not_change_mining_output() {
     let rel = dataset.generate(1.0).column_prefix(8).unwrap();
     let config = MaimonConfig {
         epsilon: 0.05,
-        limits: MiningLimits {
-            time_budget: None,
-            ..MiningLimits::small()
-        },
+        limits: MiningLimits { time_budget: None, ..MiningLimits::small() },
         ..MaimonConfig::default()
     };
     let mut naive = NaiveEntropyOracle::new(&rel);

@@ -2,9 +2,7 @@
 //! core and relation crates: join trees, BuildAcyclicSchema, Yannakakis-style
 //! spurious-tuple counting and the savings metric.
 
-use maimon::relation::{
-    acyclic_join_size, natural_join_all, AttrSet, Relation, Schema,
-};
+use maimon::relation::{acyclic_join_size, natural_join_all, AttrSet, Relation, Schema};
 use maimon::{
     build_acyclic_schema, evaluate_schema, is_acyclic_gyo, pairwise_compatible, AcyclicSchema,
     JoinTree, Mvd,
@@ -42,13 +40,7 @@ fn build_acyclic_schema_outputs_are_acyclic_for_arbitrary_compatible_sets() {
     // Take compatible subsets of a bigger support and verify acyclicity via
     // both GYO and the MST join-tree construction.
     let tree = JoinTree::new(
-        vec![
-            attrs(&[0, 1, 2]),
-            attrs(&[2, 3, 4]),
-            attrs(&[4, 5]),
-            attrs(&[2, 6]),
-            attrs(&[0, 7]),
-        ],
+        vec![attrs(&[0, 1, 2]), attrs(&[2, 3, 4]), attrs(&[4, 5]), attrs(&[2, 6]), attrs(&[0, 7])],
         vec![(0, 1), (1, 2), (1, 3), (0, 4)],
     )
     .unwrap();
@@ -90,8 +82,11 @@ fn spurious_tuple_counting_matches_materialized_joins() {
     for rel in &relations {
         let n = rel.arity();
         let candidates = vec![
-            AcyclicSchema::new(vec![attrs(&[0, 1, 2]), AttrSet::full(n).difference(attrs(&[1, 2]))])
-                .unwrap(),
+            AcyclicSchema::new(vec![
+                attrs(&[0, 1, 2]),
+                AttrSet::full(n).difference(attrs(&[1, 2])),
+            ])
+            .unwrap(),
             AcyclicSchema::new(vec![
                 attrs(&[0, 1]),
                 attrs(&[1, 2, 3]),
@@ -105,11 +100,8 @@ fn spurious_tuple_counting_matches_materialized_joins() {
             }
             let tree = schema.join_tree().unwrap();
             let counted = acyclic_join_size(rel, &tree.to_spec()).unwrap();
-            let projections: Vec<Relation> = schema
-                .bags()
-                .iter()
-                .map(|&b| rel.project_distinct(b).unwrap())
-                .collect();
+            let projections: Vec<Relation> =
+                schema.bags().iter().map(|&b| rel.project_distinct(b).unwrap()).collect();
             let materialized = natural_join_all(&projections).unwrap();
             assert_eq!(
                 counted,
@@ -127,8 +119,7 @@ fn nursery_fully_decomposed_schema_matches_the_papers_arithmetic() {
     // cells (the sum of the domain sizes plus 5 class values) and a spurious
     // tuple rate of 400 %.
     let rel = nursery_with_rows(usize::MAX);
-    let schema =
-        AcyclicSchema::new((0..9).map(AttrSet::singleton).collect::<Vec<_>>()).unwrap();
+    let schema = AcyclicSchema::new((0..9).map(AttrSet::singleton).collect::<Vec<_>>()).unwrap();
     let quality = evaluate_schema(&rel, &schema).unwrap();
     assert_eq!(quality.decomposed_cells, 32);
     assert_eq!(quality.original_cells, 116_640);
@@ -144,13 +135,11 @@ fn schema_width_and_intersection_width_behave_monotonically() {
     // Splitting a relation can only reduce (or keep) the width, and the
     // intersection width is bounded by the width.
     let schema_full = AcyclicSchema::trivial(AttrSet::full(8)).unwrap();
-    let schema_split = AcyclicSchema::new(vec![attrs(&[0, 1, 2, 3, 4]), attrs(&[0, 5, 6, 7])]).unwrap();
-    let schema_finer = AcyclicSchema::new(vec![
-        attrs(&[0, 1, 2]),
-        attrs(&[0, 3, 4]),
-        attrs(&[0, 5, 6, 7]),
-    ])
-    .unwrap();
+    let schema_split =
+        AcyclicSchema::new(vec![attrs(&[0, 1, 2, 3, 4]), attrs(&[0, 5, 6, 7])]).unwrap();
+    let schema_finer =
+        AcyclicSchema::new(vec![attrs(&[0, 1, 2]), attrs(&[0, 3, 4]), attrs(&[0, 5, 6, 7])])
+            .unwrap();
     assert!(schema_split.width() <= schema_full.width());
     assert!(schema_finer.width() <= schema_split.width());
     for schema in [&schema_full, &schema_split, &schema_finer] {

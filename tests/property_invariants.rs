@@ -12,8 +12,8 @@
 //! * AttrSet algebra sanity.
 
 use maimon::entropy::{EntropyOracle, NaiveEntropyOracle, PliEntropyOracle};
-use maimon::relation::{acyclic_join_size, AttrSet, Relation, Schema};
-use maimon::{j_join_tree, j_mvd, AcyclicSchema, Mvd};
+use maimon::relation::{acyclic_join_size, natural_join_all, AttrSet, Relation, Schema};
+use maimon::{j_join_tree, j_mvd, AcyclicSchema, Maimon, MaimonConfig, MiningLimits, Mvd};
 use proptest::prelude::*;
 
 /// Strategy: a random small relation with `cols` columns (2–6), 5–60 rows and
@@ -217,6 +217,59 @@ proptest! {
         let exact = join_size == rel.n_rows() as u128;
         prop_assert_eq!(j.abs() < 1e-9, exact,
             "J = {} but join size {} vs {} rows", j, join_size, rel.n_rows());
+    }
+
+    #[test]
+    fn mined_schema_join_never_loses_tuples(
+        rel in relation_strategy(),
+        eps_millis in 0usize..=300,
+    ) {
+        // Decomposition is always *lossless upward*: for every schema Maimon
+        // mines (at any ε), the join of the relation's projections onto the
+        // schema's bags contains every original tuple. Approximation may add
+        // spurious tuples; it must never drop one.
+        let epsilon = eps_millis as f64 / 1000.0;
+        let config = MaimonConfig {
+            epsilon,
+            limits: MiningLimits::small(),
+            max_schemas: Some(8),
+            ..MaimonConfig::default()
+        };
+        let result = Maimon::new(&rel, config).unwrap().run().unwrap();
+        let distinct = rel.distinct();
+        for ranked in result.schemas.iter().take(4) {
+            let schema = &ranked.discovered.schema;
+            prop_assert!(schema.covers(AttrSet::full(rel.arity())));
+            let projections: Vec<Relation> = schema
+                .bags()
+                .iter()
+                .map(|&bag| rel.project_distinct(bag).unwrap())
+                .collect();
+            let joined = natural_join_all(&projections).unwrap();
+            // Containment: appending the original tuples to the join must not
+            // create any new distinct tuple. The join's column order can
+            // differ from the relation's, so translate each row by name.
+            let order: Vec<usize> = joined
+                .schema()
+                .names()
+                .iter()
+                .map(|name| distinct.schema().index_of(name).unwrap())
+                .collect();
+            let joined_distinct = joined.distinct();
+            let before = joined_distinct.n_rows();
+            let mut extended = joined_distinct.clone();
+            for r in 0..distinct.n_rows() {
+                let row = distinct.row(r);
+                let reordered: Vec<&str> = order.iter().map(|&c| row[c]).collect();
+                extended.push_row(reordered).unwrap();
+            }
+            let after = extended.distinct().n_rows();
+            prop_assert_eq!(
+                before, after,
+                "schema with {} bags lost {} original tuples (ε = {})",
+                schema.n_relations(), after - before, epsilon
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! re-implements the subset of criterion's API the workspace benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`] and [`Bencher::iter`].
+//!
+//! Measurement is deliberately simple — warm up briefly, then run timed
+//! batches until a per-benchmark wall-clock budget is spent — but the output
+//! is machine readable: one line per benchmark on stdout,
+//!
+//! ```text
+//! bench: <group>/<name> mean_ns=<f64> iters=<u64> samples=<u32>
+//! ```
+//!
+//! so baselines can be captured by piping the run (see `BENCH_baseline.json`).
+//! Supported CLI flags: `--quick` (shrink the time budget ~10x) and
+//! `--measurement-time <secs>`; everything else (`--bench`, filters) is
+//! accepted and ignored so `cargo bench` invocations keep working.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of a single benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> Self {
+        id.id
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Filled in by [`Bencher::iter`]: (total elapsed, total iterations).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly until the measurement budget is spent and
+    /// records mean wall-clock time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one untimed call (JIT-free Rust, so this mostly touches caches).
+        std_black_box(routine());
+        let budget = self.measurement_time;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std_black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (recorded in the output; the shim's
+    /// timing loop is budget-driven rather than sample-driven).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher =
+            Bencher { measurement_time: self.criterion.measurement_time, result: None };
+        f(&mut bencher);
+        match bencher.result {
+            Some((elapsed, iters)) => {
+                let mean_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+                println!(
+                    "bench: {}/{} mean_ns={:.1} iters={} samples={}",
+                    self.name, id.id, mean_ns, iters, self.sample_size
+                );
+            }
+            None => println!("bench: {}/{} skipped (no iter() call)", self.name, id.id),
+        }
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness state (shim of `criterion::Criterion`).
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Applies the subset of criterion CLI flags the shim understands.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => self.measurement_time = Duration::from_millis(30),
+                "--measurement-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self.measurement_time = Duration::from_secs_f64(secs.max(0.001));
+                    }
+                }
+                _ => {} // --bench, filters, --save-baseline …: accepted, ignored.
+            }
+        }
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.benchmark_group(name.to_string()).bench_function("bench", f);
+        self
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

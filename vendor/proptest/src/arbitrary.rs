@@ -1,0 +1,53 @@
+//! Canonical strategies per type (shim of `proptest::arbitrary`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+/// Types with a canonical strategy, reachable through [`crate::any`].
+pub trait Arbitrary {
+    /// The canonical strategy type for `Self`.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for a primitive integer or `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim(std::marker::PhantomData)
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline shim for the `proptest` property-testing crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! re-implements the subset of proptest's API the workspace's property suites
+//! use: the [`Strategy`] trait with [`Strategy::prop_map`], range / tuple /
+//! [`collection::vec`] strategies, [`arbitrary::Arbitrary`] via [`any`], the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, and the
+//! `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from the real crate, chosen for simplicity:
+//!
+//! * **No shrinking.** A failing case reports its case number and seed; rerun
+//!   with that seed to reproduce (cases derive deterministically from the
+//!   test-name hash unless `PROPTEST_SEED` overrides it).
+//! * Case count comes from `Config::cases` (default 256, or the
+//!   `PROPTEST_CASES` environment variable).
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Returns the canonical strategy for `T` (shim of `proptest::arbitrary::any`).
+pub fn any<T: arbitrary::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fails the current test case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Declares property tests (shim of `proptest::proptest!`).
+///
+/// Each `fn name(pat in strategy, ...) { body }` becomes a `#[test]` that
+/// samples its strategies `Config::cases` times with a deterministic RNG and
+/// runs the body; `prop_assert*` failures abort with the case number and seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($bound:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let base_seed = $crate::test_runner::base_seed(stringify!($name));
+                let cases = $crate::test_runner::case_count(config.cases);
+                let mut rejected = 0u32;
+                for case in 0..cases {
+                    let seed = base_seed.wrapping_add(case as u64);
+                    let mut runner_rng = $crate::test_runner::rng_for_seed(seed);
+                    $(let $bound =
+                        $crate::strategy::Strategy::generate(&($strat), &mut runner_rng);)+
+                    let outcome = (move ||
+                        -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(e) if e.is_rejection() => rejected += 1,
+                        ::std::result::Result::Err(e) => panic!(
+                            "proptest case {}/{} (seed {:#x}) failed: {}",
+                            case + 1, cases, seed, e
+                        ),
+                    }
+                }
+                assert!(
+                    rejected < cases,
+                    "proptest rejected all {} cases via prop_assume!",
+                    cases
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}

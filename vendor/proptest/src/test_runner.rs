@@ -1,0 +1,89 @@
+//! Test-case execution support (shim of `proptest::test_runner`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Per-test configuration (shim of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Kept for API parity; the shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property was falsified.
+    Fail(String),
+    /// The inputs failed a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a falsification error.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Creates a rejection (skipped case).
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+
+    /// True when the case was rejected rather than falsified.
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, TestCaseError::Reject(_))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Derives the deterministic base seed for a property: an FNV-1a hash of the
+/// test name, overridable via the `PROPTEST_SEED` environment variable.
+pub fn base_seed(test_name: &str) -> u64 {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        // Failure messages print seeds as `{:#x}`, so accept both that form
+        // (hex, `0x`-prefixed) and plain decimal.
+        let seed = seed.trim();
+        let parsed = match seed.strip_prefix("0x").or_else(|| seed.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => seed.parse::<u64>(),
+        };
+        match parsed {
+            Ok(value) => return value,
+            Err(_) => panic!("PROPTEST_SEED {seed:?} is not a decimal or 0x-prefixed hex u64"),
+        }
+    }
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Resolves the effective case count (`PROPTEST_CASES` overrides the config).
+pub fn case_count(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(configured).max(1)
+}
+
+/// Builds the RNG for one case seed.
+pub fn rng_for_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
