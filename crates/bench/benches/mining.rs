@@ -20,14 +20,14 @@ fn full_mvd_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("plain_fig6", |b| {
         b.iter(|| {
-            let mut oracle = PliEntropyOracle::with_defaults(&rel);
-            black_box(get_full_mvds(&mut oracle, key, epsilon, pair, None, Some(50_000), false))
+            let oracle = PliEntropyOracle::with_defaults(&rel);
+            black_box(get_full_mvds(&oracle, key, epsilon, pair, None, Some(50_000), false))
         })
     });
     group.bench_function("optimized_fig17", |b| {
         b.iter(|| {
-            let mut oracle = PliEntropyOracle::with_defaults(&rel);
-            black_box(get_full_mvds(&mut oracle, key, epsilon, pair, None, Some(50_000), true))
+            let oracle = PliEntropyOracle::with_defaults(&rel);
+            black_box(get_full_mvds(&oracle, key, epsilon, pair, None, Some(50_000), true))
         })
     });
     group.finish();
@@ -41,11 +41,11 @@ fn minimal_separators(c: &mut Criterion) {
     for epsilon in [0.0, 0.1] {
         group.bench_function(format!("bridges_eps_{epsilon}"), |b| {
             b.iter(|| {
-                let mut oracle = PliEntropyOracle::with_defaults(&rel);
+                let oracle = PliEntropyOracle::with_defaults(&rel);
                 let mut total = 0usize;
                 for a in 0..rel.arity() {
                     for bb in a + 1..rel.arity() {
-                        total += mine_min_seps(&mut oracle, epsilon, (a, bb), &limits, true)
+                        total += mine_min_seps(&oracle, epsilon, (a, bb), &limits, true)
                             .separators
                             .len();
                     }
@@ -64,23 +64,36 @@ fn end_to_end(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("running_example_eps_0.2", |b| {
         b.iter(|| {
-            let result =
-                Maimon::new(&running, MaimonConfig::with_epsilon(0.2)).unwrap().run().unwrap();
+            let result = Maimon::new(&running, MaimonConfig::with_epsilon_and_threads(0.2, 1))
+                .unwrap()
+                .run()
+                .unwrap();
             black_box(result.schemas.len())
         })
     });
-    group.bench_function("bridges8_eps_0.1", |b| {
-        let config = MaimonConfig {
-            epsilon: 0.1,
-            limits: MiningLimits::small(),
-            max_schemas: Some(100),
-            ..MaimonConfig::default()
+    // The pair fan-out ablation: the same pipeline pinned to 1, 2 and 4
+    // workers. The equivalence suite proves all three produce the same
+    // schemas, so any delta here is pure wall-clock.
+    for threads in [1usize, 2, 4] {
+        let id = if threads == 1 {
+            "bridges8_eps_0.1".to_string()
+        } else {
+            format!("bridges8_eps_0.1_par{threads}")
         };
-        b.iter(|| {
-            let result = Maimon::new(&bridges, config).unwrap().run().unwrap();
-            black_box(result.schemas.len())
-        })
-    });
+        group.bench_function(id, |b| {
+            let config = MaimonConfig {
+                epsilon: 0.1,
+                limits: MiningLimits::small(),
+                max_schemas: Some(100),
+                threads: Some(threads),
+                ..MaimonConfig::default()
+            };
+            b.iter(|| {
+                let result = Maimon::new(&bridges, config).unwrap().run().unwrap();
+                black_box(result.schemas.len())
+            })
+        });
+    }
     group.finish();
 }
 

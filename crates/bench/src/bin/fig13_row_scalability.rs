@@ -6,18 +6,20 @@
 //!
 //! Run with: `cargo run -p maimon-bench --release --bin fig13_row_scalability`
 
-use bench_support::{harness_options, mining_config, secs};
+use bench_support::{harness_options, mining_config, secs, sweep_min_seps};
 use maimon::entropy::PliEntropyOracle;
-use maimon::{mine_min_seps, Maimon};
-use std::collections::BTreeSet;
+use maimon::Maimon;
 use std::time::Instant;
 
 fn main() {
     let options = harness_options();
     println!("# Figure 13 — minimal-separator mining time vs #rows");
     println!(
-        "# scale = {} of the original row counts, budget = {:?}, column cap = {}",
-        options.scale, options.budget, options.max_columns
+        "# scale = {} of the original row counts, budget = {:?}, column cap = {}, threads = {}",
+        options.scale,
+        options.budget,
+        options.max_columns,
+        maimon::MaimonConfig::default().effective_threads()
     );
     let epsilons = [0.0, 0.01, 0.1];
     let fractions = [0.1, 0.25, 0.5, 0.75, 1.0];
@@ -36,29 +38,16 @@ fn main() {
             let rel = full.head(((full.n_rows() as f64) * fraction).round() as usize);
             for &epsilon in &epsilons {
                 let config = mining_config(epsilon, &options);
-                let mut oracle = PliEntropyOracle::new(&rel, config.entropy);
+                let oracle = PliEntropyOracle::new(&rel, config.entropy);
                 let started = Instant::now();
-                let mut distinct: BTreeSet<_> = BTreeSet::new();
-                let mut truncated = false;
-                'pairs: for a in 0..rel.arity() {
-                    for b in a + 1..rel.arity() {
-                        if started.elapsed() > options.budget {
-                            truncated = true;
-                            break 'pairs;
-                        }
-                        let result =
-                            mine_min_seps(&mut oracle, epsilon, (a, b), &config.limits, true);
-                        truncated |= result.truncated;
-                        distinct.extend(result.separators);
-                    }
-                }
+                let sweep = sweep_min_seps(&oracle, epsilon, &config, options.budget);
                 println!(
                     "{:>8} {:>8} {:>10} {:>10} {:>12}",
                     rel.n_rows(),
                     epsilon,
-                    distinct.len(),
+                    sweep.distinct().len(),
                     secs(started.elapsed()),
-                    truncated
+                    sweep.truncated
                 );
                 // Keep the facade exercised too (smoke check that end-to-end
                 // mining works on the smallest fraction without panicking).

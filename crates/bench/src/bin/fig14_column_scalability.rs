@@ -6,18 +6,19 @@
 //!
 //! Run with: `cargo run -p maimon-bench --release --bin fig14_column_scalability`
 
-use bench_support::{harness_options, mining_config, secs};
+use bench_support::{harness_options, mining_config, secs, sweep_min_seps};
 use maimon::entropy::PliEntropyOracle;
-use maimon::mine_min_seps;
-use std::collections::BTreeSet;
 use std::time::Instant;
 
 fn main() {
     let options = harness_options();
     println!("# Figure 14 — minimal separators and runtime vs #columns");
     println!(
-        "# scale = {}, per-configuration budget = {:?} (paper: 5 h), column cap = {}",
-        options.scale, options.budget, options.max_columns
+        "# scale = {}, per-configuration budget = {:?} (paper: 5 h), column cap = {}, threads = {}",
+        options.scale,
+        options.budget,
+        options.max_columns,
+        maimon::MaimonConfig::default().effective_threads()
     );
     let epsilons = [0.0, 0.01, 0.1];
 
@@ -43,29 +44,16 @@ fn main() {
             let rel = full.column_prefix(cols).expect("prefix within arity");
             for &epsilon in &epsilons {
                 let config = mining_config(epsilon, &options);
-                let mut oracle = PliEntropyOracle::new(&rel, config.entropy);
+                let oracle = PliEntropyOracle::new(&rel, config.entropy);
                 let started = Instant::now();
-                let mut distinct: BTreeSet<_> = BTreeSet::new();
-                let mut timed_out = false;
-                'pairs: for a in 0..rel.arity() {
-                    for b in a + 1..rel.arity() {
-                        if started.elapsed() > options.budget {
-                            timed_out = true;
-                            break 'pairs;
-                        }
-                        let result =
-                            mine_min_seps(&mut oracle, epsilon, (a, b), &config.limits, true);
-                        timed_out |= result.truncated;
-                        distinct.extend(result.separators);
-                    }
-                }
+                let sweep = sweep_min_seps(&oracle, epsilon, &config, options.budget);
                 println!(
                     "{:>8} {:>8} {:>10} {:>10} {:>12}",
                     cols,
                     epsilon,
-                    distinct.len(),
+                    sweep.distinct().len(),
                     secs(started.elapsed()),
-                    timed_out
+                    sweep.truncated
                 );
             }
         }

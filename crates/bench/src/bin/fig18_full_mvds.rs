@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run -p maimon-bench --release --bin fig18_full_mvds`
 
-use bench_support::{harness_options, mining_config, secs};
+use bench_support::{harness_options, mining_config, secs, sweep_min_seps};
 use maimon::entropy::PliEntropyOracle;
-use maimon::{get_full_mvds, mine_min_seps};
+use maimon::get_full_mvds;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -43,38 +43,27 @@ fn main() {
         );
         for &epsilon in &thresholds {
             let config = mining_config(epsilon, &options);
-            let mut oracle = PliEntropyOracle::new(&rel, config.entropy);
+            let oracle = PliEntropyOracle::new(&rel, config.entropy);
 
-            // Phase A (not timed, as in the paper): minimal separators per pair.
-            let mut separators: Vec<((usize, usize), BTreeSet<_>)> = Vec::new();
-            let phase_a_started = Instant::now();
-            'pairs: for a in 0..rel.arity() {
-                for b in a + 1..rel.arity() {
-                    if phase_a_started.elapsed() > options.budget {
-                        break 'pairs;
-                    }
-                    let result = mine_min_seps(&mut oracle, epsilon, (a, b), &config.limits, true);
-                    if !result.separators.is_empty() {
-                        separators.push(((a, b), result.separators.into_iter().collect()));
-                    }
-                }
-            }
-            let distinct_seps: BTreeSet<_> =
-                separators.iter().flat_map(|(_, seps)| seps.iter().copied()).collect();
+            // Phase A (not timed, as in the paper): minimal separators per
+            // pair, fanned out over the shared oracle.
+            let sweep = sweep_min_seps(&oracle, epsilon, &config, options.budget);
+            let distinct_seps = sweep.distinct();
 
             // Phase B (timed): full MVDs from the separators.
             let started = Instant::now();
             let mut full_mvds: BTreeSet<_> = BTreeSet::new();
-            'full: for (pair, seps) in &separators {
-                for &sep in seps {
+            'full: for pair_seps in &sweep.per_pair {
+                let pair = pair_seps.pair;
+                for &sep in &pair_seps.separators {
                     if started.elapsed() > options.budget {
                         break 'full;
                     }
                     let found = get_full_mvds(
-                        &mut oracle,
+                        &oracle,
                         sep,
                         epsilon,
-                        *pair,
+                        pair,
                         config.limits.max_full_mvds_per_separator,
                         config.limits.max_lattice_nodes,
                         true,

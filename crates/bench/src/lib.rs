@@ -12,11 +12,17 @@
 //!   §8.4).
 //! * `MAIMON_MAX_COLS` — column cap applied to the widest datasets
 //!   (default `14`; the paper itself reports timeouts beyond ~30 columns).
+//! * `MAIMON_THREADS` — worker count for the pair fan-out (default: the
+//!   machine's available parallelism; `1` forces the sequential path). The
+//!   mined results are identical for every setting — see
+//!   `tests/parallel_equivalence.rs` — only wall-clock time changes.
 //!
 //! Set `MAIMON_SCALE=1 MAIMON_BUDGET_SECS=18000 MAIMON_MAX_COLS=64` to run at
 //! the paper's full scale.
 
-use maimon::{MaimonConfig, MiningLimits};
+use maimon::entropy::EntropyOracle;
+use maimon::relation::AttrSet;
+use maimon::{fan_out_pairs, mine_min_seps, MaimonConfig, MiningLimits};
 use std::time::Duration;
 
 /// Scaling knobs shared by all harness binaries.
@@ -71,6 +77,60 @@ pub fn mining_config(epsilon: f64, options: &HarnessOptions) -> MaimonConfig {
     }
 }
 
+/// Minimal separators of one attribute pair, as produced by a sweep worker.
+#[derive(Clone, Debug)]
+pub struct PairSeparators {
+    /// The attribute pair `(a, b)` with `a < b`.
+    pub pair: (usize, usize),
+    /// Its minimal separators (sorted, as `mine_min_seps` returns them).
+    pub separators: Vec<AttrSet>,
+}
+
+/// Result of [`sweep_min_seps`].
+#[derive(Clone, Debug, Default)]
+pub struct MinSepSweep {
+    /// Per-pair separators in canonical pair order (pairs with none omitted).
+    pub per_pair: Vec<PairSeparators>,
+    /// `true` if the budget or a count limit stopped the sweep early.
+    pub truncated: bool,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl MinSepSweep {
+    /// The distinct separators across all pairs.
+    pub fn distinct(&self) -> std::collections::BTreeSet<AttrSet> {
+        self.per_pair.iter().flat_map(|p| p.separators.iter().copied()).collect()
+    }
+}
+
+/// Mines the minimal separators of every attribute pair on a worker pool
+/// sharing `oracle` — the separator-only workload Figures 13/14/18 measure.
+/// Built on `maimon::fan_out_pairs`, so outcomes are merged in pair order
+/// and (for a fixed thread count, without a budget hit) deterministic.
+pub fn sweep_min_seps<O: EntropyOracle + ?Sized>(
+    oracle: &O,
+    epsilon: f64,
+    config: &MaimonConfig,
+    budget: Duration,
+) -> MinSepSweep {
+    let n = oracle.arity();
+    let pair_count = n.saturating_sub(1) * n / 2;
+    let threads = config.effective_threads().min(pair_count).max(1);
+    let (outcomes, budget_hit) = fan_out_pairs(n, threads, Some(budget), |pair, _index| {
+        let result = mine_min_seps(oracle, epsilon, pair, &config.limits, true);
+        (PairSeparators { pair, separators: result.separators }, result.truncated)
+    });
+    let mut sweep = MinSepSweep { threads, truncated: budget_hit, ..MinSepSweep::default() };
+    for (pair_seps, truncated) in outcomes {
+        sweep.truncated |= truncated;
+        if !pair_seps.separators.is_empty() {
+            sweep.per_pair.push(pair_seps);
+        }
+    }
+    sweep
+}
+
 /// Formats a duration as seconds with two decimals (the unit the paper's
 /// tables use).
 pub fn secs(duration: Duration) -> String {
@@ -123,5 +183,36 @@ mod tests {
     #[test]
     fn secs_formats_two_decimals() {
         assert_eq!(secs(Duration::from_millis(1530)), "1.53");
+    }
+
+    #[test]
+    fn sweep_matches_the_sequential_pair_loop() {
+        use maimon::entropy::PliEntropyOracle;
+        let rel = maimon_datasets::running_example_with_red_tuple();
+        let sequential_config = MaimonConfig::with_epsilon_and_threads(0.1, 1);
+        let oracle = PliEntropyOracle::new(&rel, sequential_config.entropy);
+        let mut expected = Vec::new();
+        for a in 0..rel.arity() {
+            for b in a + 1..rel.arity() {
+                let seps =
+                    mine_min_seps(&oracle, 0.1, (a, b), &sequential_config.limits, true).separators;
+                if !seps.is_empty() {
+                    expected.push(((a, b), seps));
+                }
+            }
+        }
+        for threads in [1usize, 4] {
+            let config = MaimonConfig::with_epsilon_and_threads(0.1, threads);
+            let oracle = PliEntropyOracle::new(&rel, config.entropy);
+            let sweep = sweep_min_seps(&oracle, 0.1, &config, Duration::from_secs(60));
+            assert!(!sweep.truncated);
+            let got: Vec<((usize, usize), Vec<AttrSet>)> =
+                sweep.per_pair.iter().map(|p| (p.pair, p.separators.clone())).collect();
+            assert_eq!(got, expected, "threads={threads}");
+            assert_eq!(
+                sweep.distinct(),
+                expected.iter().flat_map(|(_, s)| s.iter().copied()).collect()
+            );
+        }
     }
 }

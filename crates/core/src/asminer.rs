@@ -96,7 +96,7 @@ pub fn build_acyclic_schema(universe: AttrSet, mvds: &[Mvd]) -> AcyclicSchema {
 /// schema); enumeration stops at `config.max_schemas` or when the time budget
 /// of `config.limits` is exhausted.
 pub fn mine_schemas<O: EntropyOracle + ?Sized>(
-    oracle: &mut O,
+    oracle: &O,
     universe: AttrSet,
     mvds: &[Mvd],
     config: &MaimonConfig,
@@ -233,10 +233,10 @@ mod tests {
     #[test]
     fn asminer_on_exact_running_example_reaches_the_paper_schema() {
         let rel = running_example(false);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let config = MaimonConfig::with_epsilon(0.0);
-        let mvds = mine_mvds(&mut o, &config).mvds;
-        let result = mine_schemas(&mut o, AttrSet::full(6), &mvds, &config);
+        let mvds = mine_mvds(&o, &config).mvds;
+        let result = mine_schemas(&o, AttrSet::full(6), &mvds, &config);
         assert!(!result.schemas.is_empty());
         // All reported schemas are acyclic, cover Ω, and have a J-measure.
         for discovered in &result.schemas {
@@ -254,9 +254,9 @@ mod tests {
     #[test]
     fn asminer_with_no_mvds_returns_trivial_schema() {
         let rel = running_example(true);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let config = MaimonConfig::with_epsilon(0.0);
-        let result = mine_schemas(&mut o, AttrSet::full(6), &[], &config);
+        let result = mine_schemas(&o, AttrSet::full(6), &[], &config);
         assert_eq!(result.schemas.len(), 1);
         assert_eq!(result.schemas[0].schema.n_relations(), 1);
         assert!(within_epsilon(result.schemas[0].j.unwrap(), 0.0));
@@ -265,24 +265,24 @@ mod tests {
     #[test]
     fn max_schemas_limit_truncates() {
         let rel = running_example(true);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let mut config = MaimonConfig::with_epsilon(0.5);
-        let mvds = mine_mvds(&mut o, &config).mvds;
+        let mvds = mine_mvds(&o, &config).mvds;
         if mvds.is_empty() {
             return; // nothing to enumerate; other tests cover this case
         }
         config.max_schemas = Some(1);
-        let result = mine_schemas(&mut o, AttrSet::full(6), &mvds, &config);
+        let result = mine_schemas(&o, AttrSet::full(6), &mvds, &config);
         assert_eq!(result.schemas.len(), 1);
     }
 
     #[test]
     fn schemas_are_deduplicated() {
         let rel = running_example(false);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let config = MaimonConfig::with_epsilon(0.0);
-        let mvds = mine_mvds(&mut o, &config).mvds;
-        let result = mine_schemas(&mut o, AttrSet::full(6), &mvds, &config);
+        let mvds = mine_mvds(&o, &config).mvds;
+        let result = mine_schemas(&o, AttrSet::full(6), &mvds, &config);
         let mut seen = BTreeSet::new();
         for d in &result.schemas {
             assert!(seen.insert(d.schema.clone()), "duplicate schema {:?}", d.schema);

@@ -63,6 +63,16 @@ pub struct MaimonConfig {
     pub limits: MiningLimits,
     /// Maximum number of acyclic schemas enumerated by `ASMiner`.
     pub max_schemas: Option<usize>,
+    /// Worker threads for the MVD-mining fan-out over attribute pairs.
+    ///
+    /// `Some(1)` forces the sequential path (the pre-parallel behavior);
+    /// `Some(t)` uses exactly `t` workers; `None` (the default) resolves at
+    /// run time to the `MAIMON_THREADS` environment variable if set, and the
+    /// machine's available parallelism otherwise. Whatever the count, the
+    /// mined `M_ε`, separator map and mining statistics are identical to the
+    /// sequential run's (see `tests/parallel_equivalence.rs`); only
+    /// wall-clock time and the oracle's `intersections` counter may differ.
+    pub threads: Option<usize>,
 }
 
 impl Default for MaimonConfig {
@@ -74,6 +84,7 @@ impl Default for MaimonConfig {
             verify_fullness: false,
             limits: MiningLimits::default(),
             max_schemas: Some(10_000),
+            threads: None,
         }
     }
 }
@@ -82,6 +93,28 @@ impl MaimonConfig {
     /// Convenience constructor: default configuration with the given ε.
     pub fn with_epsilon(epsilon: f64) -> Self {
         MaimonConfig { epsilon, ..MaimonConfig::default() }
+    }
+
+    /// Convenience constructor: the given ε and a fixed worker count.
+    pub fn with_epsilon_and_threads(epsilon: f64, threads: usize) -> Self {
+        MaimonConfig { epsilon, threads: Some(threads), ..MaimonConfig::default() }
+    }
+
+    /// Resolves [`Self::threads`] to a concrete worker count (≥ 1): an
+    /// explicit setting wins, then the `MAIMON_THREADS` environment variable,
+    /// then [`std::thread::available_parallelism`].
+    pub fn effective_threads(&self) -> usize {
+        if let Some(threads) = self.threads {
+            return threads.max(1);
+        }
+        if let Some(threads) =
+            std::env::var("MAIMON_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            if threads >= 1 {
+                return threads;
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     }
 
     /// Validates the configuration.
@@ -99,6 +132,11 @@ impl MaimonConfig {
         {
             return Err(MaimonError::InvalidConfig(
                 "count limits must be at least 1 when present".into(),
+            ));
+        }
+        if self.threads == Some(0) {
+            return Err(MaimonError::InvalidConfig(
+                "thread count must be at least 1 when present".into(),
             ));
         }
         Ok(())
@@ -130,6 +168,17 @@ mod tests {
         let mut config = MaimonConfig::default();
         config.limits.max_lattice_nodes = Some(0);
         assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn zero_threads_rejected_and_explicit_threads_resolve() {
+        let config = MaimonConfig { threads: Some(0), ..MaimonConfig::default() };
+        assert!(config.validate().is_err());
+        let config = MaimonConfig::with_epsilon_and_threads(0.1, 4);
+        assert!(config.validate().is_ok());
+        assert_eq!(config.effective_threads(), 4);
+        // The auto setting always resolves to at least one worker.
+        assert!(MaimonConfig::default().effective_threads() >= 1);
     }
 
     #[test]

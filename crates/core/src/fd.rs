@@ -42,7 +42,7 @@ pub struct FdMiningResult {
 /// `|X| ≤ max_lhs_size`, using a levelwise search: once an LHS determines
 /// `A`, none of its supersets is reported (they are implied).
 pub fn mine_fds<O: EntropyOracle + ?Sized>(
-    oracle: &mut O,
+    oracle: &O,
     epsilon: f64,
     max_lhs_size: usize,
 ) -> FdMiningResult {
@@ -126,8 +126,8 @@ mod tests {
     #[test]
     fn exact_fds_of_running_example() {
         let rel = running_example();
-        let mut o = NaiveEntropyOracle::new(&rel);
-        let result = mine_fds(&mut o, 0.0, 3);
+        let o = NaiveEntropyOracle::new(&rel);
+        let result = mine_fds(&o, 0.0, 3);
         // A → F and F → A hold exactly (the AF projection is a bijection).
         assert!(result.fds.contains(&Fd { lhs: attrs(&[0]), rhs: 5 }));
         assert!(result.fds.contains(&Fd { lhs: attrs(&[5]), rhs: 0 }));
@@ -139,9 +139,9 @@ mod tests {
     #[test]
     fn reported_fds_hold_and_are_minimal() {
         let rel = running_example();
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         for epsilon in [0.0, 0.2] {
-            let result = mine_fds(&mut o, epsilon, 4);
+            let result = mine_fds(&o, epsilon, 4);
             for fd in &result.fds {
                 let rhs = AttrSet::singleton(fd.rhs);
                 assert!(within_epsilon(o.conditional_entropy(rhs, fd.lhs), epsilon));
@@ -164,17 +164,17 @@ mod tests {
     fn constant_column_determined_by_empty_lhs() {
         let schema = Schema::new(["A", "B"]).unwrap();
         let rel = Relation::from_rows(schema, &[vec!["x", "1"], vec!["x", "2"]]).unwrap();
-        let mut o = NaiveEntropyOracle::new(&rel);
-        let result = mine_fds(&mut o, 0.0, 2);
+        let o = NaiveEntropyOracle::new(&rel);
+        let result = mine_fds(&o, 0.0, 2);
         assert!(result.fds.contains(&Fd { lhs: AttrSet::empty(), rhs: 0 }));
     }
 
     #[test]
     fn epsilon_relaxation_finds_at_least_as_many_dependencies() {
         let rel = running_example();
-        let mut o = NaiveEntropyOracle::new(&rel);
-        let tight = mine_fds(&mut o, 0.0, 3);
-        let loose = mine_fds(&mut o, 0.5, 3);
+        let o = NaiveEntropyOracle::new(&rel);
+        let tight = mine_fds(&o, 0.0, 3);
+        let loose = mine_fds(&o, 0.5, 3);
         // Every exactly-determined RHS is still (approximately) determined.
         for fd in &tight.fds {
             assert!(
@@ -188,8 +188,8 @@ mod tests {
     #[test]
     fn max_lhs_size_limits_search() {
         let rel = running_example();
-        let mut o = NaiveEntropyOracle::new(&rel);
-        let result = mine_fds(&mut o, 0.0, 1);
+        let o = NaiveEntropyOracle::new(&rel);
+        let result = mine_fds(&o, 0.0, 1);
         for fd in &result.fds {
             assert!(fd.lhs.len() <= 1);
         }

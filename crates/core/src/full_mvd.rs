@@ -53,7 +53,7 @@ fn canonical(blocks: &[AttrSet]) -> Vec<AttrSet> {
 /// merging ends up putting `a` and `b` in the same block, in which case no
 /// ε-MVD separating them exists below this node.
 fn pairwise_consistent<O: EntropyOracle + ?Sized>(
-    oracle: &mut O,
+    oracle: &O,
     key: AttrSet,
     blocks: &[AttrSet],
     epsilon: f64,
@@ -105,7 +105,7 @@ fn pairwise_consistent<O: EntropyOracle + ?Sized>(
 ///   result is marked `truncated`.
 /// * `use_optimization` toggles the pairwise-consistency pruning (Fig. 17).
 pub fn get_full_mvds<O: EntropyOracle + ?Sized>(
-    oracle: &mut O,
+    oracle: &O,
     key: AttrSet,
     epsilon: f64,
     pair: (usize, usize),
@@ -217,7 +217,7 @@ pub fn get_full_mvds<O: EntropyOracle + ?Sized>(
 /// Implemented as `getFullMVDs(key, ε, pair, K = 1)` preceded by the cheap
 /// necessary condition `I(A; B | key) ≤ ε` from Prop. 5.1.
 pub fn is_separator<O: EntropyOracle + ?Sized>(
-    oracle: &mut O,
+    oracle: &O,
     key: AttrSet,
     epsilon: f64,
     pair: (usize, usize),
@@ -274,12 +274,12 @@ mod tests {
         // In the running example A ↠ F | BCDE holds exactly; key A separates
         // F (attr 5) from B (attr 1).
         let rel = running_example(false);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         for opt in [false, true] {
-            let found = get_full_mvds(&mut o, attrs(&[0]), 0.0, (5, 1), None, None, opt);
+            let found = get_full_mvds(&o, attrs(&[0]), 0.0, (5, 1), None, None, opt);
             assert!(!found.mvds.is_empty(), "opt={}", opt);
             for mvd in &found.mvds {
-                assert!(mvd_holds(&mut o, mvd, 0.0));
+                assert!(mvd_holds(&o, mvd, 0.0));
                 assert!(mvd.separates(5, 1));
                 assert_eq!(mvd.key(), attrs(&[0]));
             }
@@ -289,15 +289,15 @@ mod tests {
     #[test]
     fn plain_and_optimized_agree_on_found_mvds() {
         let rel = running_example(true);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         for epsilon in [0.0, 0.25, 0.5, 1.0] {
             for (key, pair) in [
                 (attrs(&[0]), (5usize, 1usize)),
                 (attrs(&[0, 3]), (2, 1)),
                 (attrs(&[1, 3]), (4, 0)),
             ] {
-                let plain = get_full_mvds(&mut o, key, epsilon, pair, None, None, false);
-                let optimized = get_full_mvds(&mut o, key, epsilon, pair, None, None, true);
+                let plain = get_full_mvds(&o, key, epsilon, pair, None, None, false);
+                let optimized = get_full_mvds(&o, key, epsilon, pair, None, None, true);
                 let mut a = plain.mvds.clone();
                 let mut b = optimized.mvds.clone();
                 a.sort();
@@ -312,25 +312,25 @@ mod tests {
     #[test]
     fn optimization_explores_no_more_nodes() {
         let rel = running_example(true);
-        let mut o = NaiveEntropyOracle::new(&rel);
-        let plain = get_full_mvds(&mut o, attrs(&[0]), 0.1, (5, 1), None, None, false);
-        let optimized = get_full_mvds(&mut o, attrs(&[0]), 0.1, (5, 1), None, None, true);
+        let o = NaiveEntropyOracle::new(&rel);
+        let plain = get_full_mvds(&o, attrs(&[0]), 0.1, (5, 1), None, None, false);
+        let optimized = get_full_mvds(&o, attrs(&[0]), 0.1, (5, 1), None, None, true);
         assert!(optimized.nodes_explored <= plain.nodes_explored);
     }
 
     #[test]
     fn results_are_full_mvds() {
         let rel = running_example(true);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         for epsilon in [0.0, 0.3, 0.7] {
-            let found = get_full_mvds(&mut o, attrs(&[0]), epsilon, (5, 1), None, None, true);
+            let found = get_full_mvds(&o, attrs(&[0]), epsilon, (5, 1), None, None, true);
             for mvd in &found.mvds {
                 assert!(
-                    is_full_mvd(&mut o, mvd, epsilon),
+                    is_full_mvd(&o, mvd, epsilon),
                     "ε={}: {:?} (J={}) is not full",
                     epsilon,
                     mvd,
-                    j_mvd(&mut o, mvd)
+                    j_mvd(&o, mvd)
                 );
             }
         }
@@ -339,31 +339,31 @@ mod tests {
     #[test]
     fn limit_k_caps_output() {
         let rel = running_example(true);
-        let mut o = NaiveEntropyOracle::new(&rel);
-        let found = get_full_mvds(&mut o, attrs(&[0]), 2.0, (5, 1), Some(1), None, false);
+        let o = NaiveEntropyOracle::new(&rel);
+        let found = get_full_mvds(&o, attrs(&[0]), 2.0, (5, 1), Some(1), None, false);
         assert_eq!(found.mvds.len(), 1);
     }
 
     #[test]
     fn node_limit_truncates() {
         let rel = running_example(true);
-        let mut o = NaiveEntropyOracle::new(&rel);
-        let found = get_full_mvds(&mut o, attrs(&[0]), 0.0, (5, 1), None, Some(1), false);
+        let o = NaiveEntropyOracle::new(&rel);
+        let found = get_full_mvds(&o, attrs(&[0]), 0.0, (5, 1), None, Some(1), false);
         assert!(found.truncated || found.nodes_explored <= 1);
     }
 
     #[test]
     fn invalid_pairs_return_empty() {
         let rel = running_example(false);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         // Pair attribute inside the key.
-        let found = get_full_mvds(&mut o, attrs(&[0]), 0.0, (0, 1), None, None, true);
+        let found = get_full_mvds(&o, attrs(&[0]), 0.0, (0, 1), None, None, true);
         assert!(found.mvds.is_empty());
         // Identical pair.
-        let found = get_full_mvds(&mut o, attrs(&[0]), 0.0, (1, 1), None, None, true);
+        let found = get_full_mvds(&o, attrs(&[0]), 0.0, (1, 1), None, None, true);
         assert!(found.mvds.is_empty());
         // Pair out of range.
-        let found = get_full_mvds(&mut o, attrs(&[0]), 0.0, (1, 60), None, None, true);
+        let found = get_full_mvds(&o, attrs(&[0]), 0.0, (1, 60), None, None, true);
         assert!(found.mvds.is_empty());
     }
 
@@ -376,12 +376,12 @@ mod tests {
         let rel =
             Relation::from_rows(schema, &[vec!["0", "0", "0", "0"], vec!["0", "1", "1", "1"]])
                 .unwrap();
-        let mut o = NaiveEntropyOracle::new(&rel);
-        let found = get_full_mvds(&mut o, attrs(&[0]), 1.0, (1, 2), None, None, true);
+        let o = NaiveEntropyOracle::new(&rel);
+        let found = get_full_mvds(&o, attrs(&[0]), 1.0, (1, 2), None, None, true);
         assert!(!found.mvds.is_empty());
         for mvd in &found.mvds {
             assert!(mvd.separates(1, 2));
-            assert!(mvd_holds(&mut o, mvd, 1.0));
+            assert!(mvd_holds(&o, mvd, 1.0));
             // None of them can be the fully refined X ↠ A|B|C (J = 2 > 1).
             assert!(mvd.arity() == 2);
         }
@@ -390,16 +390,16 @@ mod tests {
     #[test]
     fn separator_check_matches_definition() {
         let rel = running_example(false);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         // A is a separator of (F, B): A ↠ F | BCDE holds.
-        assert!(is_separator(&mut o, attrs(&[0]), 0.0, (5, 1), None, true));
+        assert!(is_separator(&o, attrs(&[0]), 0.0, (5, 1), None, true));
         // B is not a separator of (A, F) at ε = 0 (F depends on A, not B).
-        assert!(!is_separator(&mut o, attrs(&[1]), 0.0, (0, 5), None, true));
+        assert!(!is_separator(&o, attrs(&[1]), 0.0, (0, 5), None, true));
         // A set containing one of the pair attributes is never a separator.
-        assert!(!is_separator(&mut o, attrs(&[0, 5]), 0.0, (5, 1), None, true));
+        assert!(!is_separator(&o, attrs(&[0, 5]), 0.0, (5, 1), None, true));
         // The empty key can be a separator when the pair is independent;
         // here A and F are perfectly correlated so it is not.
-        assert!(!is_separator(&mut o, AttrSet::empty(), 0.0, (0, 5), None, true));
+        assert!(!is_separator(&o, AttrSet::empty(), 0.0, (0, 5), None, true));
     }
 
     #[test]
@@ -412,7 +412,7 @@ mod tests {
             &[vec!["0", "0"], vec!["0", "1"], vec!["1", "0"], vec!["1", "1"]],
         )
         .unwrap();
-        let mut o = NaiveEntropyOracle::new(&rel);
-        assert!(is_separator(&mut o, AttrSet::empty(), 0.0, (0, 1), None, true));
+        let o = NaiveEntropyOracle::new(&rel);
+        assert!(is_separator(&o, AttrSet::empty(), 0.0, (0, 1), None, true));
     }
 }

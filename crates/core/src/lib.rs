@@ -12,7 +12,9 @@
 //!    computed with the PLI-cache engine of §6.3.
 //! 2. **MVD mining** ([`mine_mvds`], §6): for every attribute pair, find the
 //!    minimal separators ([`mine_min_seps`]) and the full ε-MVDs keyed by
-//!    them ([`get_full_mvds`]); their union is `M_ε`.
+//!    them ([`get_full_mvds`]); their union is `M_ε`. Pairs are mined on a
+//!    worker pool sharing one oracle (`MaimonConfig::threads`; results are
+//!    identical for every thread count).
 //! 3. **Schema enumeration** ([`mine_schemas`], §7): enumerate maximal sets
 //!    of pairwise-[`compatible`] MVDs (maximal independent sets of the
 //!    incompatibility graph) and synthesize an acyclic schema from each with
@@ -70,7 +72,7 @@ pub use measure::{
     is_full_mvd, j_join_tree, j_mvd, j_partition, j_schema, mvd_holds, schema_holds,
     within_epsilon, EPSILON_TOLERANCE,
 };
-pub use miner::{mine_mvds, MiningStats, MvdMiningResult};
+pub use miner::{fan_out_pairs, mine_mvds, MiningStats, MvdMiningResult};
 pub use minsep::{mine_min_seps, minimal_separators_bruteforce, reduce_min_sep, MinSepResult};
 pub use mvd::Mvd;
 pub use quality::{

@@ -98,22 +98,22 @@ impl<'a> Maimon<'a> {
 
     /// Phase one only: mine the full ε-MVDs with minimal-separator keys.
     pub fn mine_mvds(&self) -> MvdMiningResult {
-        let mut oracle = self.oracle();
-        mine_mvds(&mut oracle, &self.config)
+        let oracle = self.oracle();
+        mine_mvds(&oracle, &self.config)
     }
 
     /// Phase two only: enumerate schemas supported by an already-mined MVD
     /// set.
     pub fn mine_schemas(&self, mvds: &MvdMiningResult) -> SchemaMiningResult {
-        let mut oracle = self.oracle();
-        mine_schemas(&mut oracle, self.relation.schema().all_attrs(), &mvds.mvds, &self.config)
+        let oracle = self.oracle();
+        mine_schemas(&oracle, self.relation.schema().all_attrs(), &mvds.mvds, &self.config)
     }
 
     /// Mines approximate functional dependencies with the same oracle
     /// (extension; see [`crate::fd`]).
     pub fn mine_fds(&self, max_lhs_size: usize) -> FdMiningResult {
-        let mut oracle = self.oracle();
-        mine_fds(&mut oracle, self.config.epsilon, max_lhs_size)
+        let oracle = self.oracle();
+        mine_fds(&oracle, self.config.epsilon, max_lhs_size)
     }
 
     /// Runs both phases and evaluates every discovered schema.
@@ -122,10 +122,10 @@ impl<'a> Maimon<'a> {
     /// Returns an error if a quality evaluation fails (which would indicate a
     /// bug in schema synthesis, e.g. a schema not covering the signature).
     pub fn run(&self) -> Result<MaimonResult, MaimonError> {
-        let mut oracle = self.oracle();
-        let mvds = mine_mvds(&mut oracle, &self.config);
+        let oracle = self.oracle();
+        let mvds = mine_mvds(&oracle, &self.config);
         let schemas_raw =
-            mine_schemas(&mut oracle, self.relation.schema().all_attrs(), &mvds.mvds, &self.config);
+            mine_schemas(&oracle, self.relation.schema().all_attrs(), &mvds.mvds, &self.config);
         let mut schemas = Vec::with_capacity(schemas_raw.schemas.len());
         for discovered in schemas_raw.schemas {
             let quality = evaluate_schema(self.relation, &discovered.schema)?;
@@ -148,7 +148,7 @@ impl<'a> Maimon<'a> {
     /// relation's empirical distribution (useful for exploration and
     /// examples).
     pub fn entropy(&self, attrs: relation::AttrSet) -> f64 {
-        let mut oracle = self.oracle();
+        let oracle = self.oracle();
         oracle.entropy(attrs)
     }
 }

@@ -6,6 +6,15 @@
 //! pairs is the set `M_ε` of Eq. (11), from which every ε-MVD of the relation
 //! can be derived by Shannon inequalities (Theorem 5.7) and from which the
 //! second phase (`ASMiner`, §7) builds acyclic schemas.
+//!
+//! The pairs are mutually independent given the entropy oracle — the paper's
+//! scalability experiments (Fig. 13/14) are embarrassingly parallel over
+//! them — so this phase fans out over a `std::thread::scope` worker pool
+//! sharing one `&self` oracle. Workers claim pairs from an atomic cursor and
+//! the per-pair outcomes are merged *in pair order*, which together with the
+//! oracle's compute-once caches makes the result (MVD set, separator map and
+//! statistics) identical to the sequential run's for every thread count; see
+//! `tests/parallel_equivalence.rs` for the lock-down suite.
 
 use crate::config::MaimonConfig;
 use crate::full_mvd::get_full_mvds;
@@ -15,6 +24,7 @@ use crate::mvd::Mvd;
 use entropy::{EntropyOracle, OracleStats};
 use relation::AttrSet;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Statistics of one `MVDMiner` run.
@@ -32,6 +42,8 @@ pub struct MiningStats {
     pub elapsed: Duration,
     /// `true` if the time budget or a count limit stopped the run early.
     pub truncated: bool,
+    /// Worker threads used by the pair fan-out (1 = sequential path).
+    pub threads: usize,
     /// Entropy-oracle counters at the end of the run.
     pub oracle: OracleStats,
 }
@@ -62,56 +74,155 @@ impl MvdMiningResult {
     }
 }
 
-/// Runs `MVDMiner` over every attribute pair of the oracle's relation.
-pub fn mine_mvds<O: EntropyOracle + ?Sized>(
-    oracle: &mut O,
+/// Everything the sequential loop would have accumulated for one pair,
+/// produced by a worker and merged deterministically afterwards.
+struct PairOutcome {
+    pair: (usize, usize),
+    separators: Vec<AttrSet>,
+    transversals_tested: usize,
+    lattice_nodes_explored: usize,
+    truncated: bool,
+    mvds: Vec<Mvd>,
+}
+
+/// Mines one attribute pair: minimal separators, then the full ε-MVDs keyed
+/// by each separator. Pure function of the oracle's (deterministic) answers.
+fn mine_pair<O: EntropyOracle + ?Sized>(
+    oracle: &O,
     config: &MaimonConfig,
-) -> MvdMiningResult {
-    let started = Instant::now();
-    let mut result = MvdMiningResult::default();
-    let n = oracle.arity();
+    pair: (usize, usize),
+) -> PairOutcome {
     let epsilon = config.epsilon;
     let limits = config.limits;
     let use_opt = config.use_pairwise_consistency_optimization;
-    let mut seen: BTreeSet<Mvd> = BTreeSet::new();
-
-    'pairs: for a in 0..n {
-        for b in a + 1..n {
-            if let Some(budget) = limits.time_budget {
-                if started.elapsed() > budget {
-                    result.stats.truncated = true;
-                    break 'pairs;
-                }
-            }
-            result.stats.pairs_processed += 1;
-            let seps = mine_min_seps(oracle, epsilon, (a, b), &limits, use_opt);
-            result.stats.transversals_tested += seps.transversals_tested;
-            result.stats.truncated |= seps.truncated;
-            if seps.separators.is_empty() {
+    let seps = mine_min_seps(oracle, epsilon, pair, &limits, use_opt);
+    let mut outcome = PairOutcome {
+        pair,
+        transversals_tested: seps.transversals_tested,
+        lattice_nodes_explored: 0,
+        truncated: seps.truncated,
+        mvds: Vec::new(),
+        separators: seps.separators,
+    };
+    for &sep in &outcome.separators {
+        let search = get_full_mvds(
+            oracle,
+            sep,
+            epsilon,
+            pair,
+            limits.max_full_mvds_per_separator,
+            limits.max_lattice_nodes,
+            use_opt,
+        );
+        outcome.lattice_nodes_explored += search.nodes_explored;
+        outcome.truncated |= search.truncated;
+        for mvd in search.mvds {
+            if config.verify_fullness && !is_full_mvd(oracle, &mvd, epsilon) {
                 continue;
             }
-            result.stats.separators_found += seps.separators.len();
-            for &sep in &seps.separators {
-                let search = get_full_mvds(
-                    oracle,
-                    sep,
-                    epsilon,
-                    (a, b),
-                    limits.max_full_mvds_per_separator,
-                    limits.max_lattice_nodes,
-                    use_opt,
-                );
-                result.stats.lattice_nodes_explored += search.nodes_explored;
-                result.stats.truncated |= search.truncated;
-                for mvd in search.mvds {
-                    if config.verify_fullness && !is_full_mvd(oracle, &mvd, epsilon) {
-                        continue;
-                    }
-                    seen.insert(mvd);
-                }
-            }
-            result.separators.insert((a, b), seps.separators);
+            outcome.mvds.push(mvd);
         }
+    }
+    outcome
+}
+
+/// Fans `work` out over every canonical attribute pair `(a, b)` with
+/// `a < b < n`: pairs are claimed from an atomic cursor by `threads` scoped
+/// workers (a plain in-order loop when `threads <= 1`, avoiding any spawn),
+/// each invocation receives the pair and its index in the canonical
+/// enumeration, and the outcomes are returned sorted by that index — so the
+/// caller's merge is order-identical to a sequential loop.
+///
+/// The returned flag is `true` iff the time budget stopped the fan-out
+/// before every pair was processed; a budget that expires only after the
+/// last pair completes does *not* truncate, on either path.
+pub fn fan_out_pairs<T, F>(
+    n: usize,
+    threads: usize,
+    budget: Option<Duration>,
+    work: F,
+) -> (Vec<T>, bool)
+where
+    T: Send,
+    F: Fn((usize, usize), usize) -> T + Sync,
+{
+    let pairs: Vec<(usize, usize)> = (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).collect();
+    let started = Instant::now();
+    let over_budget = move || budget.is_some_and(|b| started.elapsed() > b);
+
+    let mut outcomes: Vec<(usize, T)> = if threads <= 1 {
+        let mut outcomes = Vec::with_capacity(pairs.len());
+        for (index, &pair) in pairs.iter().enumerate() {
+            if over_budget() {
+                break;
+            }
+            outcomes.push((index, work(pair, index)));
+        }
+        outcomes
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            if over_budget() {
+                                break;
+                            }
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            if index >= pairs.len() {
+                                break;
+                            }
+                            local.push((index, work(pairs[index], index)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|worker| worker.join().expect("pair fan-out worker panicked"))
+                .collect()
+        })
+    };
+    outcomes.sort_by_key(|(index, _)| *index);
+
+    let truncated = outcomes.len() < pairs.len();
+    (outcomes.into_iter().map(|(_, outcome)| outcome).collect(), truncated)
+}
+
+/// Runs `MVDMiner` over every attribute pair of the oracle's relation,
+/// fanning out over `config.effective_threads()` workers (1 = the sequential
+/// path) and merging the per-pair outcomes deterministically.
+pub fn mine_mvds<O: EntropyOracle + ?Sized>(oracle: &O, config: &MaimonConfig) -> MvdMiningResult {
+    let started = Instant::now();
+    let mut result = MvdMiningResult::default();
+    let n = oracle.arity();
+    let pair_count = n.saturating_sub(1) * n / 2;
+    let threads = config.effective_threads().min(pair_count).max(1);
+    result.stats.threads = threads;
+
+    let (outcomes, budget_hit) =
+        fan_out_pairs(n, threads, config.limits.time_budget, |pair, _index| {
+            mine_pair(oracle, config, pair)
+        });
+    result.stats.truncated |= budget_hit;
+
+    // Deterministic merge in pair order — the same accumulation the
+    // sequential loop performs inline.
+    let mut seen: BTreeSet<Mvd> = BTreeSet::new();
+    for outcome in outcomes {
+        result.stats.pairs_processed += 1;
+        result.stats.transversals_tested += outcome.transversals_tested;
+        result.stats.lattice_nodes_explored += outcome.lattice_nodes_explored;
+        result.stats.truncated |= outcome.truncated;
+        seen.extend(outcome.mvds);
+        if outcome.separators.is_empty() {
+            continue;
+        }
+        result.stats.separators_found += outcome.separators.len();
+        result.separators.insert(outcome.pair, outcome.separators);
     }
 
     result.mvds = seen.into_iter().collect();
@@ -149,14 +260,14 @@ mod tests {
     fn exact_mining_on_running_example_recovers_the_support_mvds() {
         let rel = running_example(false);
         let s = rel.schema().clone();
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let config = MaimonConfig::with_epsilon(0.0);
-        let result = mine_mvds(&mut o, &config);
+        let result = mine_mvds(&o, &config);
         assert!(!result.mvds.is_empty());
         assert_eq!(result.stats.pairs_processed, 15);
         // Every discovered MVD holds exactly.
         for mvd in &result.mvds {
-            assert!(mvd_holds(&mut o, mvd, 0.0), "{} does not hold", mvd.display(&s));
+            assert!(mvd_holds(&o, mvd, 0.0), "{} does not hold", mvd.display(&s));
         }
         // The separator keys of the paper's join tree must be among the keys:
         // A (for F vs the rest), AD, and BD.
@@ -170,12 +281,71 @@ mod tests {
     fn naive_and_pli_oracles_produce_identical_results() {
         let rel = running_example(true);
         let config = MaimonConfig::with_epsilon(0.1);
-        let mut naive = NaiveEntropyOracle::new(&rel);
-        let result_naive = mine_mvds(&mut naive, &config);
-        let mut pli = PliEntropyOracle::with_defaults(&rel);
-        let result_pli = mine_mvds(&mut pli, &config);
+        let naive = NaiveEntropyOracle::new(&rel);
+        let result_naive = mine_mvds(&naive, &config);
+        let pli = PliEntropyOracle::with_defaults(&rel);
+        let result_pli = mine_mvds(&pli, &config);
         assert_eq!(result_naive.mvds, result_pli.mvds);
         assert_eq!(result_naive.separators, result_pli.separators);
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_are_identical() {
+        // The core determinism guarantee in miniature (the full matrix runs
+        // in tests/parallel_equivalence.rs): every thread count yields the
+        // same M_ε, separator map and mining counters.
+        let rel = running_example(true);
+        let baseline = {
+            let oracle = PliEntropyOracle::with_defaults(&rel);
+            mine_mvds(&oracle, &MaimonConfig::with_epsilon_and_threads(0.1, 1))
+        };
+        assert_eq!(baseline.stats.threads, 1);
+        for threads in [2usize, 4, 8] {
+            let oracle = PliEntropyOracle::with_defaults(&rel);
+            let config = MaimonConfig::with_epsilon_and_threads(0.1, threads);
+            let parallel = mine_mvds(&oracle, &config);
+            assert_eq!(parallel.mvds, baseline.mvds, "threads={threads}");
+            assert_eq!(parallel.separators, baseline.separators, "threads={threads}");
+            assert_eq!(parallel.stats.pairs_processed, baseline.stats.pairs_processed);
+            assert_eq!(parallel.stats.separators_found, baseline.stats.separators_found);
+            assert_eq!(parallel.stats.transversals_tested, baseline.stats.transversals_tested);
+            assert_eq!(
+                parallel.stats.lattice_nodes_explored,
+                baseline.stats.lattice_nodes_explored
+            );
+            assert!(parallel.stats.threads <= threads);
+        }
+    }
+
+    #[test]
+    fn parallel_oracle_stats_match_sequential_exactly() {
+        // Compute-once caching makes the deterministic oracle counters
+        // (calls, cache hits, full scans) independent of the thread count;
+        // the naive oracle has no interleaving-dependent counter at all, so
+        // its whole stats struct must match.
+        let rel = running_example(true);
+        let config_seq = MaimonConfig::with_epsilon_and_threads(0.2, 1);
+        let sequential = {
+            let oracle = NaiveEntropyOracle::new(&rel);
+            mine_mvds(&oracle, &config_seq).stats.oracle
+        };
+        for threads in [2usize, 4] {
+            let oracle = NaiveEntropyOracle::new(&rel);
+            let config = MaimonConfig::with_epsilon_and_threads(0.2, threads);
+            let parallel = mine_mvds(&oracle, &config).stats.oracle;
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        // The PLI oracle: everything except the opportunistic prefix-cache
+        // `intersections` counter is deterministic.
+        let pli_seq = {
+            let oracle = PliEntropyOracle::with_defaults(&rel);
+            mine_mvds(&oracle, &config_seq).stats.oracle
+        };
+        let oracle = PliEntropyOracle::with_defaults(&rel);
+        let pli_par = mine_mvds(&oracle, &MaimonConfig::with_epsilon_and_threads(0.2, 4));
+        assert_eq!(pli_par.stats.oracle.calls, pli_seq.calls);
+        assert_eq!(pli_par.stats.oracle.cache_hits, pli_seq.cache_hits);
+        assert_eq!(pli_par.stats.oracle.full_scans, pli_seq.full_scans);
     }
 
     #[test]
@@ -184,9 +354,9 @@ mod tests {
         // minimal separators* can change, but every pair separable at ε=0 is
         // still separable at ε=0.3.
         let rel = running_example(true);
-        let mut o = NaiveEntropyOracle::new(&rel);
-        let tight = mine_mvds(&mut o, &MaimonConfig::with_epsilon(0.0));
-        let loose = mine_mvds(&mut o, &MaimonConfig::with_epsilon(0.3));
+        let o = NaiveEntropyOracle::new(&rel);
+        let tight = mine_mvds(&o, &MaimonConfig::with_epsilon(0.0));
+        let loose = mine_mvds(&o, &MaimonConfig::with_epsilon(0.3));
         for pair in tight.separators.keys() {
             assert!(
                 loose.separators.contains_key(pair),
@@ -199,12 +369,12 @@ mod tests {
     #[test]
     fn discovered_mvds_all_hold_and_have_minimal_separator_keys() {
         let rel = running_example(true);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let config = MaimonConfig::with_epsilon(0.25);
-        let result = mine_mvds(&mut o, &config);
+        let result = mine_mvds(&o, &config);
         let distinct = result.distinct_separators();
         for mvd in &result.mvds {
-            assert!(mvd_holds(&mut o, mvd, 0.25));
+            assert!(mvd_holds(&o, mvd, 0.25));
             assert!(
                 distinct.contains(&mvd.key()),
                 "key {:?} is not a discovered minimal separator",
@@ -217,11 +387,11 @@ mod tests {
     #[test]
     fn verify_fullness_filter_only_removes_non_full_mvds() {
         let rel = running_example(true);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let mut config = MaimonConfig::with_epsilon(0.3);
-        let plain = mine_mvds(&mut o, &config);
+        let plain = mine_mvds(&o, &config);
         config.verify_fullness = true;
-        let verified = mine_mvds(&mut o, &config);
+        let verified = mine_mvds(&o, &config);
         assert!(verified.mvds.len() <= plain.mvds.len());
         for mvd in &verified.mvds {
             assert!(plain.mvds.contains(mvd));
@@ -231,21 +401,24 @@ mod tests {
     #[test]
     fn time_budget_of_zero_truncates_immediately() {
         let rel = running_example(false);
-        let mut o = NaiveEntropyOracle::new(&rel);
-        let mut config = MaimonConfig::with_epsilon(0.0);
-        config.limits.time_budget = Some(Duration::from_secs(0));
-        let result = mine_mvds(&mut o, &config);
-        assert!(result.stats.truncated);
-        assert!(result.stats.pairs_processed <= 1);
+        let o = NaiveEntropyOracle::new(&rel);
+        for threads in [1usize, 4] {
+            let mut config = MaimonConfig::with_epsilon_and_threads(0.0, threads);
+            config.limits.time_budget = Some(Duration::from_secs(0));
+            let result = mine_mvds(&o, &config);
+            assert!(result.stats.truncated);
+            assert!(result.stats.pairs_processed <= threads);
+        }
     }
 
     #[test]
     fn stats_capture_oracle_counters() {
         let rel = running_example(false);
-        let mut o = NaiveEntropyOracle::new(&rel);
-        let result = mine_mvds(&mut o, &MaimonConfig::with_epsilon(0.0));
+        let o = NaiveEntropyOracle::new(&rel);
+        let result = mine_mvds(&o, &MaimonConfig::with_epsilon(0.0));
         assert!(result.stats.oracle.calls > 0);
         assert!(result.stats.elapsed >= Duration::from_secs(0));
         assert!(result.stats.separators_found >= result.separators.len());
+        assert!(result.stats.threads >= 1);
     }
 }

@@ -37,7 +37,7 @@ pub struct MinSepResult {
 /// attributes in ascending index order while the remainder still separates
 /// the pair, producing a *minimal* separator contained in `start`.
 pub fn reduce_min_sep<O: EntropyOracle + ?Sized>(
-    oracle: &mut O,
+    oracle: &O,
     epsilon: f64,
     start: AttrSet,
     pair: (usize, usize),
@@ -66,7 +66,7 @@ pub fn reduce_min_sep<O: EntropyOracle + ?Sized>(
 /// Returns an empty result when even the largest candidate `Ω ∖ {A,B}` does
 /// not separate the pair (equivalently `I(A; B | Ω∖{A,B}) > ε`).
 pub fn mine_min_seps<O: EntropyOracle + ?Sized>(
-    oracle: &mut O,
+    oracle: &O,
     epsilon: f64,
     pair: (usize, usize),
     limits: &MiningLimits,
@@ -142,7 +142,7 @@ pub fn mine_min_seps<O: EntropyOracle + ?Sized>(
 /// minimal separators. Exponential; used only in tests to validate
 /// [`mine_min_seps`].
 pub fn minimal_separators_bruteforce<O: EntropyOracle + ?Sized>(
-    oracle: &mut O,
+    oracle: &O,
     epsilon: f64,
     pair: (usize, usize),
     use_optimization: bool,
@@ -182,16 +182,16 @@ mod tests {
     #[test]
     fn reduce_min_sep_returns_subset_that_separates() {
         let rel = running_example(false);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let limits = MiningLimits::default();
         // Start from Ω \ {F, B} and reduce for the pair (F=5, B=1).
         let start = AttrSet::full(6).without(5).without(1);
-        let minimal = reduce_min_sep(&mut o, 0.0, start, (5, 1), &limits, true);
+        let minimal = reduce_min_sep(&o, 0.0, start, (5, 1), &limits, true);
         assert!(minimal.is_subset_of(start));
-        assert!(is_separator(&mut o, minimal, 0.0, (5, 1), None, true));
+        assert!(is_separator(&o, minimal, 0.0, (5, 1), None, true));
         // Minimality: removing any attribute breaks separation.
         for attr in minimal.iter() {
-            assert!(!is_separator(&mut o, minimal.without(attr), 0.0, (5, 1), None, true));
+            assert!(!is_separator(&o, minimal.without(attr), 0.0, (5, 1), None, true));
         }
     }
 
@@ -201,10 +201,10 @@ mod tests {
         let limits = MiningLimits::default();
         let pairs = [(5usize, 1usize), (2, 1), (4, 0), (0, 5), (2, 4)];
         for &pair in &pairs {
-            let mut o1 = NaiveEntropyOracle::new(&rel);
-            let mined = mine_min_seps(&mut o1, 0.0, pair, &limits, true);
-            let mut o2 = NaiveEntropyOracle::new(&rel);
-            let brute = minimal_separators_bruteforce(&mut o2, 0.0, pair, true);
+            let o1 = NaiveEntropyOracle::new(&rel);
+            let mined = mine_min_seps(&o1, 0.0, pair, &limits, true);
+            let o2 = NaiveEntropyOracle::new(&rel);
+            let brute = minimal_separators_bruteforce(&o2, 0.0, pair, true);
             assert_eq!(mined.separators, brute, "pair {:?}", pair);
             assert!(!mined.truncated);
         }
@@ -216,10 +216,10 @@ mod tests {
         let limits = MiningLimits::default();
         for epsilon in [0.0, 0.2, 0.5] {
             for &pair in &[(5usize, 1usize), (2, 4)] {
-                let mut o1 = NaiveEntropyOracle::new(&rel);
-                let mined = mine_min_seps(&mut o1, epsilon, pair, &limits, true);
-                let mut o2 = NaiveEntropyOracle::new(&rel);
-                let brute = minimal_separators_bruteforce(&mut o2, epsilon, pair, true);
+                let o1 = NaiveEntropyOracle::new(&rel);
+                let mined = mine_min_seps(&o1, epsilon, pair, &limits, true);
+                let o2 = NaiveEntropyOracle::new(&rel);
+                let brute = minimal_separators_bruteforce(&o2, epsilon, pair, true);
                 assert_eq!(mined.separators, brute, "ε={} pair {:?}", epsilon, pair);
             }
         }
@@ -236,40 +236,40 @@ mod tests {
         // I(A;F|∅) = 1 > 0 and no separator exists.
         let schema = Schema::new(["A", "B", "F"]).unwrap();
         let rel = Relation::from_rows(schema, &[vec!["0", "x", "0"], vec!["1", "x", "1"]]).unwrap();
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let limits = MiningLimits::default();
-        let mined = mine_min_seps(&mut o, 0.0, (0, 2), &limits, true);
+        let mined = mine_min_seps(&o, 0.0, (0, 2), &limits, true);
         assert!(mined.separators.is_empty());
         // With a large enough ε the pair becomes separable (J ≤ ε tolerates
         // the 1 bit of shared information).
-        let mined = mine_min_seps(&mut o, 1.0, (0, 2), &limits, true);
+        let mined = mine_min_seps(&o, 1.0, (0, 2), &limits, true);
         assert!(!mined.separators.is_empty());
     }
 
     #[test]
     fn invalid_pairs_yield_empty_results() {
         let rel = running_example(false);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let limits = MiningLimits::default();
-        assert!(mine_min_seps(&mut o, 0.0, (1, 1), &limits, true).separators.is_empty());
-        assert!(mine_min_seps(&mut o, 0.0, (1, 60), &limits, true).separators.is_empty());
+        assert!(mine_min_seps(&o, 0.0, (1, 1), &limits, true).separators.is_empty());
+        assert!(mine_min_seps(&o, 0.0, (1, 60), &limits, true).separators.is_empty());
     }
 
     #[test]
     fn separator_limit_truncates() {
         let rel = running_example(true);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let limits = MiningLimits { max_separators_per_pair: Some(1), ..MiningLimits::default() };
-        let mined = mine_min_seps(&mut o, 0.5, (2, 4), &limits, true);
+        let mined = mine_min_seps(&o, 0.5, (2, 4), &limits, true);
         assert!(mined.separators.len() <= 1);
     }
 
     #[test]
     fn separators_exclude_the_pair_itself() {
         let rel = running_example(false);
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let limits = MiningLimits::default();
-        let mined = mine_min_seps(&mut o, 0.0, (5, 1), &limits, true);
+        let mined = mine_min_seps(&o, 0.0, (5, 1), &limits, true);
         for sep in &mined.separators {
             assert!(!sep.contains(5));
             assert!(!sep.contains(1));
@@ -281,10 +281,10 @@ mod tests {
         let rel = running_example(true);
         let limits = MiningLimits::default();
         for &pair in &[(5usize, 1usize), (2, 4)] {
-            let mut o1 = NaiveEntropyOracle::new(&rel);
-            let with_opt = mine_min_seps(&mut o1, 0.3, pair, &limits, true);
-            let mut o2 = NaiveEntropyOracle::new(&rel);
-            let without_opt = mine_min_seps(&mut o2, 0.3, pair, &limits, false);
+            let o1 = NaiveEntropyOracle::new(&rel);
+            let with_opt = mine_min_seps(&o1, 0.3, pair, &limits, true);
+            let o2 = NaiveEntropyOracle::new(&rel);
+            let without_opt = mine_min_seps(&o2, 0.3, pair, &limits, false);
             assert_eq!(with_opt.separators, without_opt.separators);
         }
     }

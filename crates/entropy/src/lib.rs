@@ -6,7 +6,10 @@
 //! * [`Pli`] — stripped partitions (position list indices) with native
 //!   intersection, the Rust equivalent of the paper's `CNT`/`TID` tables.
 //! * [`EntropyOracle`] — the oracle trait, with derived conditional entropy
-//!   and conditional mutual information.
+//!   and conditional mutual information. The oracle is *shared*: `entropy`
+//!   takes `&self` and implementations are `Sync`, so one oracle serves all
+//!   of the parallel miner's worker threads through sharded compute-once
+//!   caches and [`AtomicOracleStats`] counters.
 //! * [`NaiveEntropyOracle`] — full-scan reference implementation.
 //! * [`PliEntropyOracle`] — the §6.3 engine: cached partitions, singleton
 //!   pruning, and block precomputation controlled by [`EntropyConfig`].
@@ -16,10 +19,12 @@
 
 #![warn(missing_docs)]
 
+mod concurrent;
 mod oracle;
 mod partition;
 mod pli;
 
+pub use concurrent::AtomicOracleStats;
 pub use oracle::{entropy_from_group_sizes, EntropyOracle, NaiveEntropyOracle, OracleStats};
 pub use partition::Pli;
 pub use pli::{EntropyConfig, PliEntropyOracle};

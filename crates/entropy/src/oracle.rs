@@ -6,12 +6,26 @@
 //! implementations are the naive full-scan group-by ([`NaiveEntropyOracle`])
 //! and the PLI-cache engine of §6.3 (`PliEntropyOracle` in
 //! [`crate::pli`]).
+//!
+//! Since the parallel-mining refactor the oracle is *shared*: `entropy` takes
+//! `&self` and implementations are required to be [`Sync`], so one oracle
+//! (and one cache) can serve every mining worker thread concurrently. Caches
+//! use the sharded compute-once structures of [`crate::concurrent`], which
+//! keep the work counters identical to a sequential run.
 
+use crate::concurrent::{AtomicOracleStats, ShardedCache};
 use relation::{AttrSet, Relation};
-use std::collections::HashMap;
 
 /// Statistics accumulated by an entropy oracle, used by the scalability
 /// experiments and the ablation benchmarks.
+///
+/// Under concurrency the counters are exact (atomic increments, nothing
+/// lost). `calls`, `cache_hits` and `full_scans` are furthermore
+/// *deterministic* — identical to a sequential run over the same workload —
+/// because the caches compute each attribute set exactly once.
+/// `intersections` of the PLI oracle may vary with thread interleaving: it
+/// depends on which intermediate partition prefixes happened to be cached
+/// first (an opportunistic optimization, not a semantic one).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct OracleStats {
     /// Number of `entropy()` calls made.
@@ -26,11 +40,15 @@ pub struct OracleStats {
 
 /// Oracle for the empirical entropy `H(X)` (in bits) of attribute sets of a
 /// fixed relation instance.
-pub trait EntropyOracle {
+///
+/// The `Sync` bound is what allows `mine_mvds` to fan attribute pairs out
+/// over a worker pool sharing a single oracle; implementations use interior
+/// mutability for their caches.
+pub trait EntropyOracle: Sync {
     /// Entropy of the empirical (uniform-over-tuples) distribution projected
     /// onto `attrs`. `H(∅) = 0` and `H(Ω) = log₂ N` when all tuples are
     /// distinct.
-    fn entropy(&mut self, attrs: AttrSet) -> f64;
+    fn entropy(&self, attrs: AttrSet) -> f64;
 
     /// Number of tuples of the underlying relation.
     fn n_rows(&self) -> usize;
@@ -47,7 +65,7 @@ pub trait EntropyOracle {
     }
 
     /// Conditional entropy `H(Y | X) = H(XY) − H(X)`.
-    fn conditional_entropy(&mut self, y: AttrSet, x: AttrSet) -> f64 {
+    fn conditional_entropy(&self, y: AttrSet, x: AttrSet) -> f64 {
         self.entropy(x.union(y)) - self.entropy(x)
     }
 
@@ -55,7 +73,7 @@ pub trait EntropyOracle {
     /// `I(Y ; Z | X) = H(XY) + H(XZ) − H(XYZ) − H(X)` (Eq. 2). Clamped at
     /// zero to absorb floating-point noise (it is non-negative for empirical
     /// distributions by submodularity).
-    fn mutual_information(&mut self, y: AttrSet, z: AttrSet, x: AttrSet) -> f64 {
+    fn mutual_information(&self, y: AttrSet, z: AttrSet, x: AttrSet) -> f64 {
         let v = self.entropy(x.union(y)) + self.entropy(x.union(z))
             - self.entropy(x.union(y).union(z))
             - self.entropy(x);
@@ -91,14 +109,14 @@ pub fn entropy_from_group_sizes(group_sizes: &[usize], n_rows: usize) -> f64 {
 /// baseline in the entropy ablation benchmark.
 pub struct NaiveEntropyOracle<'a> {
     rel: &'a Relation,
-    cache: HashMap<AttrSet, f64>,
-    stats: OracleStats,
+    cache: ShardedCache<f64>,
+    stats: AtomicOracleStats,
 }
 
 impl<'a> NaiveEntropyOracle<'a> {
     /// Creates an oracle over the given relation.
     pub fn new(rel: &'a Relation) -> Self {
-        NaiveEntropyOracle { rel, cache: HashMap::new(), stats: OracleStats::default() }
+        NaiveEntropyOracle { rel, cache: ShardedCache::new(), stats: AtomicOracleStats::default() }
     }
 
     /// The underlying relation.
@@ -108,20 +126,24 @@ impl<'a> NaiveEntropyOracle<'a> {
 }
 
 impl EntropyOracle for NaiveEntropyOracle<'_> {
-    fn entropy(&mut self, attrs: AttrSet) -> f64 {
-        self.stats.calls += 1;
+    fn entropy(&self, attrs: AttrSet) -> f64 {
+        self.stats.record_call();
         let attrs = attrs.intersect(self.all_attrs());
         if attrs.is_empty() {
+            self.stats.record_trivial_call();
             return 0.0;
         }
-        if let Some(&h) = self.cache.get(&attrs) {
-            self.stats.cache_hits += 1;
-            return h;
-        }
-        self.stats.full_scans += 1;
-        let sizes = self.rel.group_sizes(attrs).expect("attribute set validated against schema");
-        let h = entropy_from_group_sizes(&sizes, self.rel.n_rows());
-        self.cache.insert(attrs, h);
+        let (h, _) = self.cache.get_or_insert_with(attrs, || {
+            self.stats.record_miss();
+            self.stats.record_full_scan();
+            let mut sizes =
+                self.rel.group_sizes(attrs).expect("attribute set validated against schema");
+            // The group-by hands back sizes in hash-map order; sorting fixes
+            // the floating-point summation order so H(X) is bit-identical
+            // across runs, oracles and thread interleavings.
+            sizes.sort_unstable();
+            entropy_from_group_sizes(&sizes, self.rel.n_rows())
+        });
         h
     }
 
@@ -134,7 +156,7 @@ impl EntropyOracle for NaiveEntropyOracle<'_> {
     }
 
     fn stats(&self) -> OracleStats {
-        self.stats
+        self.stats.snapshot()
     }
 }
 
@@ -160,14 +182,14 @@ mod tests {
     #[test]
     fn entropy_of_empty_set_is_zero() {
         let rel = running_example();
-        let mut oracle = NaiveEntropyOracle::new(&rel);
+        let oracle = NaiveEntropyOracle::new(&rel);
         assert_eq!(oracle.entropy(AttrSet::empty()), 0.0);
     }
 
     #[test]
     fn entropy_of_all_attrs_is_log_n() {
         let rel = running_example();
-        let mut oracle = NaiveEntropyOracle::new(&rel);
+        let oracle = NaiveEntropyOracle::new(&rel);
         let h = oracle.entropy(AttrSet::full(6));
         assert!((h - 2.0).abs() < 1e-12, "H(ABCDEF) = log2 4 = 2, got {}", h);
     }
@@ -176,7 +198,7 @@ mod tests {
     fn entropy_of_bde_matches_paper_example_3_4() {
         // Example 3.4: the marginals of BDE are 1/4, 1/4, 1/2 so H(BDE) = 3/2.
         let rel = running_example();
-        let mut oracle = NaiveEntropyOracle::new(&rel);
+        let oracle = NaiveEntropyOracle::new(&rel);
         let bde = rel.schema().attrs(["B", "D", "E"]).unwrap();
         assert!((oracle.entropy(bde) - 1.5).abs() < 1e-12);
     }
@@ -186,19 +208,19 @@ mod tests {
         // Example 3.4: J(T) = H(AF)+H(ACD)+H(ABD)+H(BDE)−H(A)−H(AD)−H(BD)−H(ABCDEF) = 0.
         let rel = running_example();
         let s = rel.schema().clone();
-        let mut o = NaiveEntropyOracle::new(&rel);
-        let h = |o: &mut NaiveEntropyOracle, names: &[&str]| {
+        let o = NaiveEntropyOracle::new(&rel);
+        let h = |o: &NaiveEntropyOracle, names: &[&str]| {
             let set = s.attrs(names.iter().copied()).unwrap();
             o.entropy(set)
         };
-        let j = h(&mut o, &["A", "F"])
-            + h(&mut o, &["A", "C", "D"])
-            + h(&mut o, &["A", "B", "D"])
-            + h(&mut o, &["B", "D", "E"])
-            - h(&mut o, &["A"])
-            - h(&mut o, &["A", "D"])
-            - h(&mut o, &["B", "D"])
-            - h(&mut o, &["A", "B", "C", "D", "E", "F"]);
+        let j = h(&o, &["A", "F"])
+            + h(&o, &["A", "C", "D"])
+            + h(&o, &["A", "B", "D"])
+            + h(&o, &["B", "D", "E"])
+            - h(&o, &["A"])
+            - h(&o, &["A", "D"])
+            - h(&o, &["B", "D"])
+            - h(&o, &["A", "B", "C", "D", "E", "F"]);
         assert!(j.abs() < 1e-12, "running example decomposes exactly, J = {}", j);
     }
 
@@ -206,7 +228,7 @@ mod tests {
     fn conditional_entropy_and_mutual_information() {
         let rel = running_example();
         let s = rel.schema().clone();
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let a = s.attrs(["A"]).unwrap();
         let f = s.attrs(["F"]).unwrap();
         // A determines F in the running example, so H(F|A) = 0.
@@ -219,7 +241,7 @@ mod tests {
     #[test]
     fn mutual_information_is_nonnegative_and_clamped() {
         let rel = running_example();
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         for y in 0..6usize {
             for z in 0..6usize {
                 if y == z {
@@ -238,7 +260,7 @@ mod tests {
     #[test]
     fn monotonicity_of_entropy() {
         let rel = running_example();
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let small = rel.schema().attrs(["B"]).unwrap();
         let large = rel.schema().attrs(["B", "E"]).unwrap();
         assert!(o.entropy(large) >= o.entropy(small) - 1e-12);
@@ -247,7 +269,7 @@ mod tests {
     #[test]
     fn cache_hits_are_counted() {
         let rel = running_example();
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let x = rel.schema().attrs(["A", "B"]).unwrap();
         o.entropy(x);
         o.entropy(x);
@@ -261,9 +283,38 @@ mod tests {
     #[test]
     fn out_of_range_attrs_are_clipped_to_schema() {
         let rel = running_example();
-        let mut o = NaiveEntropyOracle::new(&rel);
+        let o = NaiveEntropyOracle::new(&rel);
         let out = AttrSet::singleton(40);
         assert_eq!(o.entropy(out), 0.0);
+    }
+
+    #[test]
+    fn shared_oracle_is_consistent_across_threads() {
+        // Many threads hammering the same oracle: every answer must match the
+        // value a fresh single-threaded oracle computes, and compute-once
+        // caching must leave exactly one full scan per distinct attribute set.
+        let rel = running_example();
+        let shared = NaiveEntropyOracle::new(&rel);
+        let reference = NaiveEntropyOracle::new(&rel);
+        let subsets: Vec<AttrSet> = AttrSet::full(6).subsets().filter(|s| !s.is_empty()).collect();
+        let expected: Vec<f64> = subsets.iter().map(|&s| reference.entropy(s)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let (shared, subsets, expected) = (&shared, &subsets, &expected);
+                scope.spawn(move || {
+                    for i in 0..subsets.len() {
+                        // Each thread walks the subsets in a different rotation
+                        // so workloads overlap but are not lock-step.
+                        let idx = (i + t * 17) % subsets.len();
+                        assert_eq!(shared.entropy(subsets[idx]), expected[idx]);
+                    }
+                });
+            }
+        });
+        let stats = shared.stats();
+        assert_eq!(stats.calls, 4 * subsets.len() as u64);
+        assert_eq!(stats.full_scans, subsets.len() as u64);
+        assert_eq!(stats.cache_hits, stats.calls - stats.full_scans);
     }
 
     #[test]

@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Part 1: entropies of the running example, matching Example 3.4.
     let rel = running_example_with_red_tuple();
     let schema = rel.schema().clone();
-    let mut oracle = NaiveEntropyOracle::new(&rel);
+    let oracle = NaiveEntropyOracle::new(&rel);
     println!("Entropies of the running example (with the red tuple):");
     for names in
         [vec!["A"], vec!["B", "D"], vec!["B", "D", "E"], vec!["A", "B", "C", "D", "E", "F"]]
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         schema.attrs(["A", "C", "F"])?,
     )
     .expect("valid MVD");
-    println!("  J(BD ↠ E|ACF) = {:.4} bits (broken by the red tuple)\n", j_mvd(&mut oracle, &mvd));
+    println!("  J(BD ↠ E|ACF) = {:.4} bits (broken by the red tuple)\n", j_mvd(&oracle, &mvd));
 
     // Part 2: naive vs PLI oracle on a larger synthetic dataset.
     let dataset = dataset_by_name("Adult").expect("Adult is in the catalog");
@@ -43,12 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AttrSet::full(rel.arity()).subsets().filter(|s| s.len() == 3).collect();
 
     let start = Instant::now();
-    let mut naive = NaiveEntropyOracle::new(&rel);
+    let naive = NaiveEntropyOracle::new(&rel);
     let naive_sum: f64 = subsets.iter().map(|&s| naive.entropy(s)).sum();
     let naive_time = start.elapsed();
 
     let start = Instant::now();
-    let mut pli = PliEntropyOracle::new(&rel, EntropyConfig::default());
+    let pli = PliEntropyOracle::new(&rel, EntropyConfig::default());
     let pli_sum: f64 = subsets.iter().map(|&s| pli.entropy(s)).sum();
     let pli_time = start.elapsed();
 

@@ -1,0 +1,170 @@
+//! Concurrency stress tests for the shared (`&self`) entropy oracle.
+//!
+//! Worker threads hammer a single `PliEntropyOracle` with heavily overlapping
+//! attribute-set workloads; every returned `H(X)` must equal the value a
+//! fresh single-threaded `NaiveEntropyOracle` computes, and the compute-once
+//! cache accounting must balance exactly (each distinct set materialized
+//! once, every other call a cache hit). A proptest property repeats the check
+//! on randomly generated relations so the guarantee is not tied to one
+//! dataset shape.
+
+use maimon::entropy::{EntropyConfig, EntropyOracle, NaiveEntropyOracle, PliEntropyOracle};
+use maimon::relation::{random_uniform_relation, AttrSet, Relation, Schema};
+use proptest::prelude::*;
+use std::thread;
+
+/// Number of hammering threads; chosen above the equivalence suite's maximum
+/// so shard contention is exercised harder than the miner ever does.
+const HAMMER_THREADS: usize = 8;
+
+/// All non-empty subsets of the relation's signature.
+fn all_subsets(rel: &Relation) -> Vec<AttrSet> {
+    AttrSet::full(rel.arity()).subsets().filter(|s| !s.is_empty()).collect()
+}
+
+/// Hammers `oracle` from `HAMMER_THREADS` threads, each walking the subsets
+/// in a different stride so the workloads overlap without being lock-step,
+/// and returns the largest deviation from `expected` that any thread saw.
+fn hammer(oracle: &PliEntropyOracle, subsets: &[AttrSet], expected: &[f64], rounds: usize) -> f64 {
+    let worst: Vec<f64> = thread::scope(|scope| {
+        let workers: Vec<_> = (0..HAMMER_THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut worst: f64 = 0.0;
+                    let k = subsets.len();
+                    for i in 0..k * rounds {
+                        // Stride 2t+1 is odd, hence coprime with any power of
+                        // two and nearly so with k: threads visit the same
+                        // sets in clashing orders.
+                        let idx = (i * (2 * t + 1) + t) % k;
+                        let h = oracle.entropy(subsets[idx]);
+                        worst = worst.max((h - expected[idx]).abs());
+                    }
+                    worst
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("hammer thread panicked")).collect()
+    });
+    worst.into_iter().fold(0.0, f64::max)
+}
+
+#[test]
+fn hammered_shared_pli_oracle_matches_the_naive_reference() {
+    let rel = random_uniform_relation(400, &[4, 3, 5, 2, 6, 3, 2, 4], 7).unwrap();
+    let reference = NaiveEntropyOracle::new(&rel);
+    let subsets = all_subsets(&rel);
+    let expected: Vec<f64> = subsets.iter().map(|&s| reference.entropy(s)).collect();
+
+    for config in [
+        EntropyConfig::default(),
+        EntropyConfig { block_size: Some(3), max_cached_plis: 10_000 },
+        EntropyConfig::no_precompute(),
+    ] {
+        let oracle = PliEntropyOracle::new(&rel, config);
+        let precomputed_entropies = oracle.cached_entropy_count();
+        let worst = hammer(&oracle, &subsets, &expected, 2);
+        assert!(
+            worst < 1e-9,
+            "shared PLI oracle diverged from the naive reference by {worst} under {config:?}"
+        );
+
+        // Exact accounting: every call is counted, every distinct set is
+        // materialized exactly once (compute-once), everything else hits.
+        let stats = oracle.stats();
+        assert_eq!(stats.calls, (HAMMER_THREADS * subsets.len() * 2) as u64);
+        // Precomputed sets are themselves members of the workload, so after
+        // the stampede the cache holds exactly one entry per subset.
+        assert_eq!(oracle.cached_entropy_count(), subsets.len(), "config {config:?}");
+        let runtime_misses = (subsets.len() - precomputed_entropies) as u64;
+        assert_eq!(stats.cache_hits, stats.calls - runtime_misses, "config {config:?}");
+    }
+}
+
+#[test]
+fn hammered_oracle_with_tight_pli_budget_stays_correct() {
+    // A partition budget far below the workload forces the bounded-insert
+    // path and the full-scan fallback concurrently; answers must not change.
+    let rel = random_uniform_relation(300, &[3, 4, 2, 5, 3, 2], 23).unwrap();
+    let reference = NaiveEntropyOracle::new(&rel);
+    let subsets = all_subsets(&rel);
+    let expected: Vec<f64> = subsets.iter().map(|&s| reference.entropy(s)).collect();
+    let oracle =
+        PliEntropyOracle::new(&rel, EntropyConfig { block_size: Some(6), max_cached_plis: 4 });
+    let worst = hammer(&oracle, &subsets, &expected, 3);
+    assert!(worst < 1e-9, "budgeted shared oracle diverged by {worst}");
+    assert!(oracle.cached_pli_count() <= 4, "partition budget must hold under concurrency");
+}
+
+#[test]
+fn hammered_naive_oracle_is_consistent_too() {
+    // The reference oracle itself is shared by the miner's workers when tests
+    // cross-check results, so it gets the same treatment.
+    let schema = Schema::new(["A", "B", "C", "D", "E"]).unwrap();
+    let rel = random_uniform_relation(250, &[3, 3, 4, 2, 5], 41).unwrap();
+    assert_eq!(rel.arity(), schema.arity());
+    let shared = NaiveEntropyOracle::new(&rel);
+    let reference = NaiveEntropyOracle::new(&rel);
+    let subsets = all_subsets(&rel);
+    let expected: Vec<f64> = subsets.iter().map(|&s| reference.entropy(s)).collect();
+    thread::scope(|scope| {
+        for t in 0..HAMMER_THREADS {
+            let (shared, subsets, expected) = (&shared, &subsets, &expected);
+            scope.spawn(move || {
+                for i in 0..subsets.len() * 2 {
+                    let idx = (i * (2 * t + 1) + t) % subsets.len();
+                    // Bit-identical: the naive oracle sorts group sizes, so
+                    // H(X) does not depend on which thread materialized it.
+                    assert_eq!(shared.entropy(subsets[idx]), expected[idx]);
+                }
+            });
+        }
+    });
+    let stats = shared.stats();
+    assert_eq!(stats.full_scans, subsets.len() as u64);
+    assert_eq!(stats.cache_hits, stats.calls - stats.full_scans);
+}
+
+/// Strategy: a random small relation (2–6 columns, 5–60 rows, small domains)
+/// — the same shape the core property suite uses.
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    (2usize..=6, 5usize..=60, 1u64..10_000).prop_map(|(cols, rows, seed)| {
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let schema = Schema::with_arity(cols).unwrap();
+        let columns: Vec<Vec<u32>> = (0..cols)
+            .map(|c| {
+                let domain = 1 + (c as u32 % 4);
+                (0..rows).map(|_| (next() % (domain as u64 + 1)) as u32).collect()
+            })
+            .collect();
+        Relation::from_code_columns(schema, columns).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn concurrent_queries_agree_with_naive_on_generated_relations(
+        rel in relation_strategy(),
+    ) {
+        let reference = NaiveEntropyOracle::new(&rel);
+        let subsets = all_subsets(&rel);
+        let expected: Vec<f64> = subsets.iter().map(|&s| reference.entropy(s)).collect();
+        let oracle = PliEntropyOracle::with_defaults(&rel);
+        let worst = hammer(&oracle, &subsets, &expected, 2);
+        prop_assert!(
+            worst < 1e-9,
+            "shared oracle diverged by {} on a generated relation ({} cols, {} rows)",
+            worst, rel.arity(), rel.n_rows()
+        );
+        let stats = oracle.stats();
+        prop_assert_eq!(stats.calls, (HAMMER_THREADS * subsets.len() * 2) as u64);
+    }
+}

@@ -83,8 +83,8 @@ fn fig1_exact_pipeline_recovers_abd_acd_bde_af() {
 
     // The recovered schema is an exact decomposition: J = 0 and the join of
     // its projections reproduces R tuple-for-tuple (Lee's theorem both ways).
-    let mut oracle = NaiveEntropyOracle::new(&rel);
-    let j = j_schema(&mut oracle, &schema).unwrap();
+    let oracle = NaiveEntropyOracle::new(&rel);
+    let j = j_schema(&oracle, &schema).unwrap();
     assert!(j.abs() <= EPSILON_TOLERANCE, "Fig. 1 schema must have J = 0, got {j}");
     let tree = schema.join_tree().unwrap();
     assert!(maimon::relation::satisfies_join_dependency(&rel, &tree.to_spec()).unwrap());
@@ -99,7 +99,7 @@ fn fig1_exact_pipeline_recovers_abd_acd_bde_af() {
         let j = ranked.discovered.j.expect("BuildAcyclicSchema never yields cyclic schemas");
         assert!(j.abs() <= EPSILON_TOLERANCE, "ε=0 mining emitted an inexact schema");
         assert_eq!(ranked.quality.spurious_tuples_pct, 0.0);
-        assert!(schema_holds(&mut oracle, &ranked.discovered.schema, 0.0));
+        assert!(schema_holds(&oracle, &ranked.discovered.schema, 0.0));
     }
 }
 
@@ -107,11 +107,11 @@ fn fig1_exact_pipeline_recovers_abd_acd_bde_af() {
 fn fig1_schema_stops_holding_once_the_red_tuple_is_added() {
     let rel = running_example_with_red_tuple();
     let schema = AcyclicSchema::new(fig1_bags()).unwrap();
-    let mut oracle = NaiveEntropyOracle::new(&rel);
-    assert!(!schema_holds(&mut oracle, &schema, 0.0));
+    let oracle = NaiveEntropyOracle::new(&rel);
+    assert!(!schema_holds(&oracle, &schema, 0.0));
     // …but it ε-holds once ε exceeds its J-measure (§2: "for ε ≥ 0.151 …").
-    let j = j_schema(&mut oracle, &schema).unwrap();
-    assert!(schema_holds(&mut oracle, &schema, j + 1e-6));
+    let j = j_schema(&oracle, &schema).unwrap();
+    assert!(schema_holds(&oracle, &schema, j + 1e-6));
 }
 
 // ---------------------------------------------------------------------------
@@ -132,8 +132,8 @@ fn j_mvd_matches_hand_computed_entropies_on_the_exact_example() {
     let s = rel.schema().clone();
 
     for oracle in [
-        &mut NaiveEntropyOracle::new(&rel) as &mut dyn EntropyOracle,
-        &mut PliEntropyOracle::with_defaults(&rel) as &mut dyn EntropyOracle,
+        &NaiveEntropyOracle::new(&rel) as &dyn EntropyOracle,
+        &PliEntropyOracle::with_defaults(&rel) as &dyn EntropyOracle,
     ] {
         assert!((oracle.entropy(s.attrs(["A"]).unwrap()) - 1.0).abs() < 1e-12);
         assert!((oracle.entropy(s.attrs(["A", "F"]).unwrap()) - 1.0).abs() < 1e-12);
@@ -183,8 +183,8 @@ fn j_mvd_matches_hand_computed_entropies_with_the_red_tuple() {
     .unwrap();
 
     for oracle in [
-        &mut NaiveEntropyOracle::new(&rel) as &mut dyn EntropyOracle,
-        &mut PliEntropyOracle::with_defaults(&rel) as &mut dyn EntropyOracle,
+        &NaiveEntropyOracle::new(&rel) as &dyn EntropyOracle,
+        &PliEntropyOracle::with_defaults(&rel) as &dyn EntropyOracle,
     ] {
         assert!((j_mvd(oracle, &bd_e) - expected_j).abs() < 1e-12);
 
@@ -214,16 +214,16 @@ fn j_schema_matches_hand_computed_value_on_both_instances() {
     // J(S) must equal J(BD ↠ E|ACF) computed in the previous test.
     let exact = running_example();
     let schema = AcyclicSchema::new(fig1_bags()).unwrap();
-    let mut oracle = NaiveEntropyOracle::new(&exact);
-    assert!(j_schema(&mut oracle, &schema).unwrap().abs() < 1e-12);
+    let oracle = NaiveEntropyOracle::new(&exact);
+    assert!(j_schema(&oracle, &schema).unwrap().abs() < 1e-12);
 
     let red = running_example_with_red_tuple();
     let expected_j = h(&[1, 1, 2, 1]) + h(&[1, 1, 1, 2]) - h(&[1, 1, 3]) - (5f64).log2();
-    let mut naive = NaiveEntropyOracle::new(&red);
-    let j_naive = j_schema(&mut naive, &schema).unwrap();
+    let naive = NaiveEntropyOracle::new(&red);
+    let j_naive = j_schema(&naive, &schema).unwrap();
     assert!((j_naive - expected_j).abs() < 1e-9, "J = {j_naive}, expected {expected_j}");
-    let mut pli = PliEntropyOracle::with_defaults(&red);
-    let j_pli = j_schema(&mut pli, &schema).unwrap();
+    let pli = PliEntropyOracle::with_defaults(&red);
+    let j_pli = j_schema(&pli, &schema).unwrap();
     assert!((j_pli - expected_j).abs() < 1e-9);
 }
 
@@ -248,11 +248,10 @@ fn mined_minimal_separators_agree_with_bruteforce() {
         for epsilon in [0.0, 0.1] {
             for a in 0..n {
                 for b in a + 1..n {
-                    let mut oracle = PliEntropyOracle::with_defaults(rel);
-                    let mined = mine_min_seps(&mut oracle, epsilon, (a, b), &limits, true);
+                    let oracle = PliEntropyOracle::with_defaults(rel);
+                    let mined = mine_min_seps(&oracle, epsilon, (a, b), &limits, true);
                     assert!(!mined.truncated, "unlimited run must not truncate");
-                    let reference =
-                        minimal_separators_bruteforce(&mut oracle, epsilon, (a, b), true);
+                    let reference = minimal_separators_bruteforce(&oracle, epsilon, (a, b), true);
                     assert_eq!(
                         mined.separators,
                         reference,
@@ -281,8 +280,8 @@ fn pli_and_naive_oracles_agree_on_every_catalog_dataset() {
         let rel = spec.generate(0.001);
         let rel = if rel.arity() > 8 { rel.column_prefix(8).unwrap() } else { rel };
 
-        let mut naive = NaiveEntropyOracle::new(&rel);
-        let mut pli = PliEntropyOracle::with_defaults(&rel);
+        let naive = NaiveEntropyOracle::new(&rel);
+        let pli = PliEntropyOracle::with_defaults(&rel);
         let full = AttrSet::full(rel.arity());
         for subset in full.subsets() {
             if subset.len() > 3 && subset != full {
@@ -324,8 +323,8 @@ fn running_example_datasets_match_the_paper_figure() {
         ],
     )
     .unwrap();
-    let mut lhs = NaiveEntropyOracle::new(&exact);
-    let mut rhs = NaiveEntropyOracle::new(&by_hand);
+    let lhs = NaiveEntropyOracle::new(&exact);
+    let rhs = NaiveEntropyOracle::new(&by_hand);
     for subset in AttrSet::full(6).subsets() {
         assert!((lhs.entropy(subset) - rhs.entropy(subset)).abs() < 1e-12);
     }

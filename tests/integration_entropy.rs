@@ -10,17 +10,17 @@ use maimon_datasets::{dataset_by_name, nursery_with_rows, running_example};
 #[test]
 fn oracles_agree_on_every_subset_of_a_catalog_dataset() {
     let rel = dataset_by_name("Abalone").unwrap().generate(0.05);
-    let mut naive = NaiveEntropyOracle::new(&rel);
-    let mut default_pli = PliEntropyOracle::with_defaults(&rel);
-    let mut no_precompute = PliEntropyOracle::new(&rel, EntropyConfig::no_precompute());
-    let mut small_blocks =
+    let naive = NaiveEntropyOracle::new(&rel);
+    let default_pli = PliEntropyOracle::with_defaults(&rel);
+    let no_precompute = PliEntropyOracle::new(&rel, EntropyConfig::no_precompute());
+    let small_blocks =
         PliEntropyOracle::new(&rel, EntropyConfig { block_size: Some(3), max_cached_plis: 10_000 });
     for attrs in AttrSet::full(rel.arity()).subsets().filter(|s| s.len() <= 3) {
         let expected = naive.entropy(attrs);
         for (name, oracle) in [
-            ("default", &mut default_pli as &mut dyn EntropyOracle),
-            ("no_precompute", &mut no_precompute),
-            ("small_blocks", &mut small_blocks),
+            ("default", &default_pli as &dyn EntropyOracle),
+            ("no_precompute", &no_precompute),
+            ("small_blocks", &small_blocks),
         ] {
             let got = oracle.entropy(attrs);
             assert!(
@@ -40,7 +40,7 @@ fn shannon_inequalities_hold_empirically_on_nursery() {
     // Monotonicity, submodularity and non-negativity of conditional mutual
     // information on real-ish data exercise the full entropy stack.
     let rel = nursery_with_rows(1500);
-    let mut oracle = PliEntropyOracle::with_defaults(&rel);
+    let oracle = PliEntropyOracle::with_defaults(&rel);
     let n = rel.arity();
     let sets: Vec<AttrSet> = vec![
         AttrSet::singleton(0),
@@ -71,7 +71,7 @@ fn shannon_inequalities_hold_empirically_on_nursery() {
 fn chain_rule_identity_holds() {
     // I(B; CD | A) = I(B; C | A) + I(B; D | AC)  (Eq. 4).
     let rel = nursery_with_rows(1000);
-    let mut oracle = PliEntropyOracle::with_defaults(&rel);
+    let oracle = PliEntropyOracle::with_defaults(&rel);
     let a = AttrSet::singleton(0);
     let b = AttrSet::singleton(1);
     let c = AttrSet::singleton(2);
@@ -95,9 +95,9 @@ fn csv_round_trip_preserves_entropies_and_j_measures() {
         schema.attrs(["B", "E"]).unwrap(),
     )
     .unwrap();
-    let mut original_oracle = NaiveEntropyOracle::new(&rel);
-    let mut parsed_oracle = NaiveEntropyOracle::new(&parsed);
-    assert!((j_mvd(&mut original_oracle, &mvd) - j_mvd(&mut parsed_oracle, &mvd)).abs() < 1e-12);
+    let original_oracle = NaiveEntropyOracle::new(&rel);
+    let parsed_oracle = NaiveEntropyOracle::new(&parsed);
+    assert!((j_mvd(&original_oracle, &mvd) - j_mvd(&parsed_oracle, &mvd)).abs() < 1e-12);
     for attrs in AttrSet::full(6).subsets() {
         assert!(
             (original_oracle.entropy(attrs) - parsed_oracle.entropy(attrs)).abs() < 1e-12,
@@ -117,10 +117,10 @@ fn pli_cache_reuse_reduces_work_between_phases() {
         limits: maimon::MiningLimits::small(),
         ..maimon::MaimonConfig::default()
     };
-    let mut oracle = PliEntropyOracle::with_defaults(&rel);
-    let mvds = maimon::mine_mvds(&mut oracle, &config);
+    let oracle = PliEntropyOracle::with_defaults(&rel);
+    let mvds = maimon::mine_mvds(&oracle, &config);
     let after_phase_one = oracle.stats();
-    let _ = maimon::mine_schemas(&mut oracle, AttrSet::full(rel.arity()), &mvds.mvds, &config);
+    let _ = maimon::mine_schemas(&oracle, AttrSet::full(rel.arity()), &mvds.mvds, &config);
     let after_phase_two = oracle.stats();
     assert!(after_phase_two.calls > after_phase_one.calls);
     let new_intersections = after_phase_two.intersections - after_phase_one.intersections;
@@ -137,7 +137,7 @@ fn entropy_of_keys_and_constants() {
     // column would have H = 0; the class has strictly positive entropy below
     // that of the key.
     let rel = nursery_with_rows(4096);
-    let mut oracle = PliEntropyOracle::with_defaults(&rel);
+    let oracle = PliEntropyOracle::with_defaults(&rel);
     let inputs: AttrSet = (0..8).collect();
     let h_inputs = oracle.entropy(inputs);
     assert!((h_inputs - (rel.n_rows() as f64).log2()).abs() < 1e-9);

@@ -59,10 +59,10 @@ fn approximate_pipeline_tolerates_the_red_tuple() {
     assert!(best(&relaxed) >= 4, "ε = 0.2 should recover the 4-relation schema");
 
     // Every schema reported at ε has J within (m−1)·ε as per Corollary 5.2.
-    let mut oracle = NaiveEntropyOracle::new(&rel);
+    let oracle = NaiveEntropyOracle::new(&rel);
     for ranked in &relaxed.schemas {
         let m = ranked.discovered.schema.n_relations() as f64;
-        let j = j_schema(&mut oracle, &ranked.discovered.schema).unwrap();
+        let j = j_schema(&oracle, &ranked.discovered.schema).unwrap();
         assert!(
             within_epsilon(j, 0.2 * (m - 1.0).max(1.0)),
             "schema {} has J = {} above (m-1)ε",
@@ -78,11 +78,11 @@ fn discovered_mvds_hold_under_both_oracles() {
     let config = MaimonConfig::with_epsilon(0.15);
     let result = Maimon::new(&rel, config).unwrap().mine_mvds();
     assert!(!result.mvds.is_empty());
-    let mut naive = NaiveEntropyOracle::new(&rel);
-    let mut pli = PliEntropyOracle::with_defaults(&rel);
+    let naive = NaiveEntropyOracle::new(&rel);
+    let pli = PliEntropyOracle::with_defaults(&rel);
     for mvd in &result.mvds {
-        assert!(mvd_holds(&mut naive, mvd, 0.15));
-        assert!(mvd_holds(&mut pli, mvd, 0.15));
+        assert!(mvd_holds(&naive, mvd, 0.15));
+        assert!(mvd_holds(&pli, mvd, 0.15));
     }
 }
 
@@ -144,8 +144,8 @@ fn planted_schema_is_recovered_from_synthetic_data() {
     };
     let rel = maimon_datasets::planted_acyclic_relation(&spec).unwrap();
     let planted = maimon::AcyclicSchema::new(spec.planted_bags()).unwrap();
-    let mut oracle = PliEntropyOracle::with_defaults(&rel);
-    let planted_j = j_schema(&mut oracle, &planted).unwrap();
+    let oracle = PliEntropyOracle::with_defaults(&rel);
+    let planted_j = j_schema(&oracle, &planted).unwrap();
     // The planted schema holds approximately by construction.
     assert!(planted_j < 0.6, "planted schema J = {}", planted_j);
 
@@ -156,7 +156,7 @@ fn planted_schema_is_recovered_from_synthetic_data() {
     let best_relations =
         result.schemas.iter().map(|s| s.discovered.schema.n_relations()).max().unwrap_or(1);
     assert!(best_relations >= 2, "mining at ε ≥ J(planted) must decompose the relation");
-    assert!(schema_holds(&mut oracle, &planted, planted_j + 1e-6));
+    assert!(schema_holds(&oracle, &planted, planted_j + 1e-6));
 }
 
 #[test]
@@ -193,10 +193,10 @@ fn oracle_choice_does_not_change_mining_output() {
         limits: MiningLimits { time_budget: None, ..MiningLimits::small() },
         ..MaimonConfig::default()
     };
-    let mut naive = NaiveEntropyOracle::new(&rel);
-    let from_naive = maimon::mine_mvds(&mut naive, &config);
-    let mut pli = PliEntropyOracle::with_defaults(&rel);
-    let from_pli = maimon::mine_mvds(&mut pli, &config);
+    let naive = NaiveEntropyOracle::new(&rel);
+    let from_naive = maimon::mine_mvds(&naive, &config);
+    let pli = PliEntropyOracle::with_defaults(&rel);
+    let from_pli = maimon::mine_mvds(&pli, &config);
     assert_eq!(from_naive.mvds, from_pli.mvds);
     assert_eq!(from_naive.separators, from_pli.separators);
     // The PLI oracle should do far fewer full scans.

@@ -157,9 +157,9 @@ fn join_tree_j_is_independent_of_the_chosen_tree() {
     let bags = vec![attrs(&[0, 1, 3]), attrs(&[0, 2, 3]), attrs(&[1, 3, 4]), attrs(&[0, 5])];
     let path = JoinTree::new(bags.clone(), vec![(3, 1), (1, 0), (0, 2)]).unwrap();
     let star = JoinTree::new(bags, vec![(0, 1), (0, 2), (0, 3)]).unwrap();
-    let mut oracle = NaiveEntropyOracle::new(&rel);
-    let j_path = j_join_tree(&mut oracle, &path);
-    let j_star = j_join_tree(&mut oracle, &star);
+    let oracle = NaiveEntropyOracle::new(&rel);
+    let j_path = j_join_tree(&oracle, &path);
+    let j_star = j_join_tree(&oracle, &star);
     assert!((j_path - j_star).abs() < 1e-9, "{} vs {}", j_path, j_star);
 }
 

@@ -83,8 +83,8 @@ proptest! {
 
     #[test]
     fn naive_and_pli_entropies_agree(rel in relation_strategy()) {
-        let mut naive = NaiveEntropyOracle::new(&rel);
-        let mut pli = PliEntropyOracle::with_defaults(&rel);
+        let naive = NaiveEntropyOracle::new(&rel);
+        let pli = PliEntropyOracle::with_defaults(&rel);
         for attrs in AttrSet::full(rel.arity()).subsets() {
             let a = naive.entropy(attrs);
             let b = pli.entropy(attrs);
@@ -94,7 +94,7 @@ proptest! {
 
     #[test]
     fn entropy_is_monotone_and_bounded(rel in relation_strategy()) {
-        let mut oracle = NaiveEntropyOracle::new(&rel);
+        let oracle = NaiveEntropyOracle::new(&rel);
         let full = AttrSet::full(rel.arity());
         let log_n = (rel.n_rows() as f64).log2();
         for attrs in full.subsets() {
@@ -114,7 +114,7 @@ proptest! {
         seed in 0usize..1000,
     ) {
         let n = rel.arity();
-        let mut oracle = NaiveEntropyOracle::new(&rel);
+        let oracle = NaiveEntropyOracle::new(&rel);
         // Derive a (Y, Z, X) split from the seed.
         let y = AttrSet::singleton(seed % n);
         let z = AttrSet::singleton((seed / n) % n);
@@ -140,13 +140,13 @@ proptest! {
             Ok(m) => m,
             Err(_) => return Ok(()),
         };
-        let mut oracle = NaiveEntropyOracle::new(&rel);
-        let j_fine = j_mvd(&mut oracle, &fine);
+        let oracle = NaiveEntropyOracle::new(&rel);
+        let j_fine = j_mvd(&oracle, &fine);
         for i in 0..fine.arity() {
             for j in i + 1..fine.arity() {
                 let coarse = fine.merge(i, j);
                 if coarse.arity() < 2 { continue; }
-                let j_coarse = j_mvd(&mut oracle, &coarse);
+                let j_coarse = j_mvd(&oracle, &coarse);
                 prop_assert!(j_fine + 1e-9 >= j_coarse,
                     "merge increased J: fine {} coarse {}", j_fine, j_coarse);
             }
@@ -166,10 +166,10 @@ proptest! {
         let psi = Mvd::standard(key, AttrSet::singleton(rest[n - 1]),
             rest[..n - 1].iter().copied().collect()).unwrap();
         let join = phi.join(&psi).unwrap();
-        let mut oracle = NaiveEntropyOracle::new(&rel);
-        let j_phi = j_mvd(&mut oracle, &phi);
-        let j_psi = j_mvd(&mut oracle, &psi);
-        let j_join = j_mvd(&mut oracle, &join);
+        let oracle = NaiveEntropyOracle::new(&rel);
+        let j_phi = j_mvd(&oracle, &phi);
+        let j_psi = j_mvd(&oracle, &psi);
+        let j_join = j_mvd(&oracle, &join);
         let m = phi.arity() as f64;
         let k = psi.arity() as f64;
         prop_assert!(j_join <= j_phi + m * j_psi + 1e-9);
@@ -188,11 +188,11 @@ proptest! {
         let right: AttrSet = (mid..n).collect();
         let schema = AcyclicSchema::new(vec![left, right]).unwrap();
         let tree = schema.join_tree().unwrap();
-        let mut oracle = NaiveEntropyOracle::new(&rel);
-        let j_tree = j_join_tree(&mut oracle, &tree);
+        let oracle = NaiveEntropyOracle::new(&rel);
+        let j_tree = j_join_tree(&oracle, &tree);
         let support = tree.support();
         if support.is_empty() { return Ok(()); }
-        let js: Vec<f64> = support.iter().map(|m| j_mvd(&mut oracle, m)).collect();
+        let js: Vec<f64> = support.iter().map(|m| j_mvd(&oracle, m)).collect();
         let max = js.iter().cloned().fold(0.0, f64::max);
         let sum: f64 = js.iter().sum();
         prop_assert!(max <= j_tree + 1e-9);
@@ -211,8 +211,8 @@ proptest! {
         let right: AttrSet = (mid..n).collect();
         let schema = AcyclicSchema::new(vec![left, right]).unwrap();
         let tree = schema.join_tree().unwrap();
-        let mut oracle = NaiveEntropyOracle::new(&rel);
-        let j = j_join_tree(&mut oracle, &tree);
+        let oracle = NaiveEntropyOracle::new(&rel);
+        let j = j_join_tree(&oracle, &tree);
         let join_size = acyclic_join_size(&rel, &tree.to_spec()).unwrap();
         let exact = join_size == rel.n_rows() as u128;
         prop_assert_eq!(j.abs() < 1e-9, exact,
