@@ -33,6 +33,10 @@ pub enum MaimonError {
         /// Arity of the relation.
         arity: usize,
     },
+    /// The decomposed store failed, or its counts disagreed with the
+    /// counting-based quality metrics (which would indicate a bug in one of
+    /// the two independent implementations).
+    Store(String),
 }
 
 impl fmt::Display for MaimonError {
@@ -51,6 +55,7 @@ impl fmt::Display for MaimonError {
             MaimonError::AttributeOutOfRange { attrs, arity } => {
                 write!(f, "attribute set {:?} out of range for relation of arity {}", attrs, arity)
             }
+            MaimonError::Store(msg) => write!(f, "decomposed store: {}", msg),
         }
     }
 }
@@ -67,6 +72,15 @@ impl std::error::Error for MaimonError {
 impl From<RelationError> for MaimonError {
     fn from(e: RelationError) -> Self {
         MaimonError::Relation(e)
+    }
+}
+
+impl From<decompose::DecomposeError> for MaimonError {
+    fn from(e: decompose::DecomposeError) -> Self {
+        match e {
+            decompose::DecomposeError::Relation(r) => MaimonError::Relation(r),
+            other => MaimonError::Store(other.to_string()),
+        }
     }
 }
 

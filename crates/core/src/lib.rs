@@ -21,6 +21,11 @@
 //!    [`build_acyclic_schema`].
 //! 4. **Quality** ([`evaluate_schema`], §8): storage savings, spurious-tuple
 //!    rate, width, intersection width, pareto front.
+//! 5. **Decomposed store** ([`AcyclicSchema::decompose`], §8.1): materialize
+//!    the per-bag projections, run the Yannakakis full reducer, stream the
+//!    reconstruction and answer selection/projection queries without ever
+//!    re-joining (`decompose` crate; [`evaluate_schema_checked`] cross-checks
+//!    the store's exact counts against the counting-based metrics).
 //!
 //! The [`Maimon`] facade runs the whole pipeline:
 //!
@@ -76,12 +81,14 @@ pub use miner::{fan_out_pairs, mine_mvds, MiningStats, MvdMiningResult};
 pub use minsep::{mine_min_seps, minimal_separators_bruteforce, reduce_min_sep, MinSepResult};
 pub use mvd::Mvd;
 pub use quality::{
-    evaluate_schema, pareto_front, spurious_tuples_pct, storage_savings_pct, SchemaQuality,
+    evaluate_schema, evaluate_schema_checked, pareto_front, spurious_tuples_pct,
+    storage_savings_pct, SchemaQuality,
 };
 pub use schema::AcyclicSchema;
 
 // Re-export the substrate crates so downstream users (examples, benches,
 // integration tests) only need to depend on `maimon`.
+pub use decompose;
 pub use entropy;
 pub use hypergraph;
 pub use relation;

@@ -110,7 +110,7 @@ impl<'a> Maimon<'a> {
     }
 
     /// Mines approximate functional dependencies with the same oracle
-    /// (extension; see [`crate::fd`]).
+    /// (extension; see [`crate::mine_fds`]).
     pub fn mine_fds(&self, max_lhs_size: usize) -> FdMiningResult {
         let oracle = self.oracle();
         mine_fds(&oracle, self.config.epsilon, max_lhs_size)

@@ -118,6 +118,57 @@ pub fn evaluate_schema(
     })
 }
 
+/// Computes the quality report *and* cross-checks it against the decomposed
+/// store: the store's exact per-bag cell counts must reproduce
+/// `decomposed_cells` (and therefore `storage_savings_pct` bit-for-bit), and
+/// its count-propagation over the materialized bag tables must reproduce
+/// `join_size`. The counting path (`acyclic_join_size` on the raw relation)
+/// and the store path are independent implementations, so agreement here is
+/// a strong end-to-end invariant; disagreement returns
+/// [`MaimonError::Store`].
+///
+/// # Errors
+/// Returns an error if [`evaluate_schema`] fails, the store cannot be built,
+/// or the two implementations disagree.
+pub fn evaluate_schema_checked(
+    rel: &Relation,
+    schema: &AcyclicSchema,
+) -> Result<SchemaQuality, MaimonError> {
+    let quality = evaluate_schema(rel, schema)?;
+    let store = schema.decompose(rel)?;
+    if store.total_cells() != quality.decomposed_cells {
+        return Err(MaimonError::Store(format!(
+            "store holds {} cells but the projection counts give {}",
+            store.total_cells(),
+            quality.decomposed_cells
+        )));
+    }
+    if store.original_cells() != quality.original_cells {
+        return Err(MaimonError::Store(format!(
+            "store records {} original cells but the relation has {}",
+            store.original_cells(),
+            quality.original_cells
+        )));
+    }
+    let store_join = store.reconstruction_count();
+    if store_join != quality.join_size {
+        return Err(MaimonError::Store(format!(
+            "store reconstruction has {} tuples but acyclic_join_size counted {}",
+            store_join, quality.join_size
+        )));
+    }
+    // Same integers + same formula ⇒ the store's savings must be identical
+    // (not merely close) to the quality metric's.
+    if store.storage_savings_pct() != quality.storage_savings_pct {
+        return Err(MaimonError::Store(format!(
+            "store savings {} % != quality savings {} %",
+            store.storage_savings_pct(),
+            quality.storage_savings_pct
+        )));
+    }
+    Ok(quality)
+}
+
 /// Indices of the pareto-optimal points among `(savings, spurious)` pairs:
 /// a point is pareto-optimal if no other point has at least as much savings
 /// *and* at most as many spurious tuples, with one inequality strict.
@@ -258,6 +309,22 @@ mod tests {
         let q = evaluate_schema(&rel, &schema).unwrap();
         assert!((storage_savings_pct(&rel, &schema).unwrap() - q.storage_savings_pct).abs() < 1e-9);
         assert!((spurious_tuples_pct(&rel, &schema).unwrap() - q.spurious_tuples_pct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checked_evaluation_agrees_with_the_store() {
+        for rel in [running_example(false), running_example(true)] {
+            let plain = evaluate_schema(&rel, &paper_schema()).unwrap();
+            let checked = evaluate_schema_checked(&rel, &paper_schema()).unwrap();
+            assert_eq!(plain, checked);
+        }
+        // The trivial and fully-decomposed schemas exercise the single-bag
+        // and empty-separator store paths.
+        let rel = running_example(true);
+        let trivial = AcyclicSchema::trivial(AttrSet::full(6)).unwrap();
+        evaluate_schema_checked(&rel, &trivial).unwrap();
+        let shredded = AcyclicSchema::new((0..6).map(AttrSet::singleton).collect()).unwrap();
+        evaluate_schema_checked(&rel, &shredded).unwrap();
     }
 
     #[test]

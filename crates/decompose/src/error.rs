@@ -1,0 +1,66 @@
+//! Error type for the decomposed-store subsystem.
+
+use relation::RelationError;
+use std::fmt;
+
+/// Errors produced by store construction, reduction, reconstruction and
+/// query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecomposeError {
+    /// An error bubbled up from the relational substrate.
+    Relation(RelationError),
+    /// A query referenced attributes or values outside the store.
+    InvalidQuery(String),
+    /// A relation handed to the store did not match the store's signature.
+    SchemaMismatch {
+        /// Rendering of the store's schema.
+        store: String,
+        /// Rendering of the relation's schema.
+        relation: String,
+    },
+}
+
+impl fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecomposeError::Relation(e) => write!(f, "relation error: {}", e),
+            DecomposeError::InvalidQuery(msg) => write!(f, "invalid query: {}", msg),
+            DecomposeError::SchemaMismatch { store, relation } => {
+                write!(f, "schema mismatch: store has {}, relation has {}", store, relation)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecomposeError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for DecomposeError {
+    fn from(e: RelationError) -> Self {
+        DecomposeError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let inner = RelationError::EmptySchema;
+        let wrapped = DecomposeError::from(inner.clone());
+        assert_eq!(wrapped, DecomposeError::Relation(inner));
+        assert!(std::error::Error::source(&wrapped).is_some());
+        let q = DecomposeError::InvalidQuery("empty projection".into());
+        assert!(q.to_string().contains("empty projection"));
+        assert!(std::error::Error::source(&q).is_none());
+        let m = DecomposeError::SchemaMismatch { store: "A,B".into(), relation: "A,C".into() };
+        assert!(m.to_string().contains("A,C"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # Decomposed store — materializing and serving mined acyclic schemas
+//!
+//! The mining pipeline (`maimon`) discovers approximate acyclic schemas; this
+//! crate is what you *do* with one (§8.1 of the paper): decompose the
+//! instance into one deduplicated projection per bag, account for the exact
+//! storage cells saved, and answer queries against the decomposition without
+//! ever materializing the re-join.
+//!
+//! * [`DecomposedInstance`] — the store: per-bag code-backed projections
+//!   sharing the original relation's dictionaries, plus the join tree.
+//! * [`DecomposedInstance::full_reduce`] — Yannakakis' full reducer
+//!   (bottom-up/top-down semijoin passes) removing every dangling tuple.
+//! * [`DecomposedInstance::reconstruct`] / [`JoinIter`] — streaming
+//!   enumeration of the acyclic join `⋈ᵢ R[Ωᵢ]`;
+//!   [`DecomposedInstance::spurious_rows`] diffs it against the original,
+//!   and [`DecomposedInstance::reconstruction_count`] counts it without
+//!   enumeration.
+//! * [`Query`] / [`DecomposedInstance::execute`] — selection + projection
+//!   queries answered by predicate pushdown, full reduction and a join of
+//!   the minimal covering subtree; [`flat_scan`] is the row-by-row reference
+//!   evaluator the integration suites compare against.
+//!
+//! The crate deliberately depends only on the relational substrate: it
+//! consumes a [`relation::JoinTreeSpec`] (which `maimon::JoinTree::to_spec`
+//! produces), so the store can be built from any join tree with the running
+//! intersection property. The mining layer wires it up as
+//! `AcyclicSchema::decompose`.
+
+#![warn(missing_docs)]
+
+mod error;
+mod query;
+mod reconstruct;
+mod store;
+mod yannakakis;
+
+pub use error::DecomposeError;
+pub use query::{flat_scan, Query, Selection};
+pub use reconstruct::{JoinIter, SpuriousIter};
+pub use store::{BagProjection, DecomposedInstance};
+pub use yannakakis::ReducerStats;

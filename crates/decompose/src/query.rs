@@ -1,0 +1,348 @@
+//! Selection + projection queries answered directly from the store.
+//!
+//! This is the serving-side payoff of mining an acyclic schema: a query
+//! `π_Y σ_{A=v, …}(⋈ᵢ R[Ωᵢ])` never touches the reconstruction. The executor
+//!
+//! 1. pushes every equality predicate down to each bag containing its
+//!    attribute (codes, not strings, after one dictionary lookup),
+//! 2. runs the Yannakakis full reducer on the filtered store, making every
+//!    surviving tuple globally consistent, and
+//! 3. joins only the minimal subtree of the join tree whose bags cover the
+//!    projection — by global consistency this equals the projection of the
+//!    full join (Yannakakis 1981) — deduplicating on the fly.
+//!
+//! [`flat_scan`] is the reference evaluator: the same query answered by
+//! filtering a materialized relation row by row. The two must agree on the
+//! store's reconstruction; the integration suites enforce exactly that.
+
+use crate::error::DecomposeError;
+use crate::reconstruct::JoinIter;
+use crate::store::{rooted_order_of, DecomposedInstance};
+use relation::{AttrSet, Relation, RelationBuilder};
+use std::collections::HashSet;
+
+/// An equality predicate `attr = value`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Selection {
+    /// Attribute index (in the original signature).
+    pub attr: usize,
+    /// Required string value.
+    pub value: String,
+}
+
+/// A selection + projection query over the decomposed store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// Conjunctive equality predicates (may be empty).
+    pub selections: Vec<Selection>,
+    /// Output attributes (must be non-empty and stored).
+    pub projection: AttrSet,
+}
+
+impl Query {
+    /// A pure projection query.
+    pub fn project(projection: AttrSet) -> Self {
+        Query { selections: Vec::new(), projection }
+    }
+
+    /// Adds an equality predicate (builder style).
+    pub fn select_eq(mut self, attr: usize, value: impl Into<String>) -> Self {
+        self.selections.push(Selection { attr, value: value.into() });
+        self
+    }
+
+    fn validate(&self, stored: AttrSet) -> Result<(), DecomposeError> {
+        if self.projection.is_empty() {
+            return Err(DecomposeError::InvalidQuery("empty projection".into()));
+        }
+        if !self.projection.is_subset_of(stored) {
+            return Err(DecomposeError::InvalidQuery(format!(
+                "projection {:?} not covered by the stored attributes {:?}",
+                self.projection, stored
+            )));
+        }
+        for s in &self.selections {
+            if !stored.contains(s.attr) {
+                return Err(DecomposeError::InvalidQuery(format!(
+                    "selection on attribute {} outside the stored attributes",
+                    s.attr
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl DecomposedInstance {
+    /// Answers `q` from the store alone (predicate pushdown → full reduction
+    /// → join of the minimal covering subtree). Returns the deduplicated
+    /// result over the projected schema.
+    ///
+    /// # Errors
+    /// Returns an error if the query references attributes outside the store.
+    pub fn execute(&self, q: &Query) -> Result<Relation, DecomposeError> {
+        q.validate(self.stored_attrs())?;
+        let out_schema = self.schema().project(q.projection)?;
+
+        // Translate predicates to codes; an unknown value means an empty
+        // answer (the value occurs nowhere in the instance).
+        let mut coded: Vec<(usize, u32)> = Vec::with_capacity(q.selections.len());
+        for s in &q.selections {
+            match self.code_of(s.attr, &s.value) {
+                Some(code) => coded.push((s.attr, code)),
+                None => return Ok(Relation::empty(out_schema)),
+            }
+        }
+
+        // Projection-only queries skip the reducer: every publicly obtainable
+        // store is already globally consistent (bag tuples of a built store
+        // are witnessed by original rows; reduced stores are consistent by
+        // construction), so the covering subtree can be joined as-is.
+        let reduced_storage;
+        let source: &DecomposedInstance = if coded.is_empty() {
+            self
+        } else {
+            // Push selections down to every bag containing the attribute and
+            // seed the full reducer with the resulting keep-mask.
+            let keep: Vec<Vec<bool>> = self
+                .bags()
+                .iter()
+                .map(|bag| {
+                    let local: Vec<(usize, u32)> = coded
+                        .iter()
+                        .filter(|&&(attr, _)| bag.attrs().contains(attr))
+                        .map(|&(attr, code)| (bag.positions_of(AttrSet::singleton(attr))[0], code))
+                        .collect();
+                    bag.tuples().map(|t| local.iter().all(|&(pos, code)| t[pos] == code)).collect()
+                })
+                .collect();
+            reduced_storage = self.full_reduce_from(keep).0;
+            &reduced_storage
+        };
+
+        // Minimal connected subtree covering the projection.
+        let nodes = covering_subtree(source, q.projection);
+        let iter = JoinIter::over_subtree(source, &nodes);
+        let slots: Vec<usize> = iter
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| q.projection.contains(a))
+            .map(|(slot, _)| slot)
+            .collect();
+        let out_attrs: Vec<usize> = q.projection.to_vec();
+
+        let mut builder = RelationBuilder::new(out_schema);
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        for codes in iter {
+            let projected: Vec<u32> = slots.iter().map(|&s| codes[s]).collect();
+            if seen.insert(projected.clone()) {
+                let row: Vec<&str> =
+                    out_attrs.iter().zip(&projected).map(|(&a, &c)| self.value(a, c)).collect();
+                builder.push_row(row)?;
+            }
+        }
+        Ok(builder.finish())
+    }
+}
+
+/// The node set of a small connected subtree whose bags cover `projection`:
+/// greedily pick bags until every projected attribute is covered (so a
+/// single-bag projection joins exactly one bag, however many bags share the
+/// attribute), then connect the picks through the tree (for trees the union
+/// of pairwise paths is exactly the Steiner tree of the picked nodes). Any
+/// covering connected subtree is a valid answer source once the store is
+/// globally consistent.
+fn covering_subtree(store: &DecomposedInstance, projection: AttrSet) -> Vec<usize> {
+    let mut needed = vec![false; store.n_bags()];
+    let mut uncovered = projection.intersect(store.stored_attrs());
+    while !uncovered.is_empty() {
+        // Pick the (first) bag covering the most still-uncovered attributes.
+        let mut best = 0;
+        let mut best_gain = 0;
+        for (i, bag) in store.bags().iter().enumerate() {
+            let gain = bag.attrs().intersect(uncovered).len();
+            if gain > best_gain {
+                best = i;
+                best_gain = gain;
+            }
+        }
+        needed[best] = true;
+        uncovered = uncovered.difference(store.bags()[best].attrs());
+    }
+    let root = needed.iter().position(|&n| n).unwrap_or(0);
+    let (order, parent) = rooted_order_of(&store.adjacency(), root, store.n_bags());
+    let mut keep = needed;
+    // Children before parents: a node is kept if any child is kept.
+    for &u in order.iter().rev() {
+        if u != root && keep[u] {
+            keep[parent[u]] = true;
+        }
+    }
+    // Return in pre-order so the subtree iterator can root at the first node.
+    order.into_iter().filter(|&u| keep[u]).collect()
+}
+
+/// Reference evaluator: answers `q` by scanning a materialized relation
+/// (typically [`DecomposedInstance::reconstruct_relation`]) row by row,
+/// filtering on string equality, projecting and deduplicating.
+///
+/// Attribute indices refer to the scanned relation's own schema. Comparing
+/// against [`DecomposedInstance::execute`] therefore requires a store whose
+/// bags cover the full signature (every store built through
+/// `AcyclicSchema::decompose` does), so that the reconstruction preserves
+/// the original attribute numbering.
+///
+/// # Errors
+/// Returns an error if the query references attributes outside the relation.
+pub fn flat_scan(rel: &Relation, q: &Query) -> Result<Relation, DecomposeError> {
+    q.validate(rel.schema().all_attrs())?;
+    let out_schema = rel.schema().project(q.projection)?;
+    let out_attrs: Vec<usize> = q.projection.to_vec();
+    let mut builder = RelationBuilder::new(out_schema);
+    let mut seen: HashSet<Vec<String>> = HashSet::new();
+    for r in 0..rel.n_rows() {
+        if q.selections.iter().any(|s| rel.value(r, s.attr) != s.value) {
+            continue;
+        }
+        let row: Vec<String> = out_attrs.iter().map(|&a| rel.value(r, a).to_string()).collect();
+        if seen.insert(row.clone()) {
+            builder.push_row(row.iter().map(|s| s.as_str()))?;
+        }
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{JoinTreeSpec, Schema};
+
+    fn attrs(v: &[usize]) -> AttrSet {
+        v.iter().copied().collect()
+    }
+
+    fn running_example(with_red_tuple: bool) -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();
+        let mut rows = vec![
+            vec!["a1", "b1", "c1", "d1", "e1", "f1"],
+            vec!["a2", "b2", "c1", "d1", "e2", "f2"],
+            vec!["a2", "b2", "c2", "d2", "e3", "f2"],
+            vec!["a1", "b2", "c1", "d2", "e3", "f1"],
+        ];
+        if with_red_tuple {
+            rows.push(vec!["a1", "b2", "c1", "d2", "e2", "f1"]);
+        }
+        Relation::from_rows(schema, &rows).unwrap()
+    }
+
+    fn store(with_red_tuple: bool) -> (Relation, DecomposedInstance) {
+        let rel = running_example(with_red_tuple);
+        let spec = JoinTreeSpec::new(
+            vec![attrs(&[0, 1, 3]), attrs(&[0, 2, 3]), attrs(&[1, 3, 4]), attrs(&[0, 5])],
+            vec![(0, 1), (0, 2), (0, 3)],
+        )
+        .unwrap();
+        let store = DecomposedInstance::build(&rel, &spec).unwrap();
+        (rel, store)
+    }
+
+    fn assert_matches_flat_scan(s: &DecomposedInstance, q: &Query) {
+        let recon = s.reconstruct_relation().unwrap();
+        let via_store = s.execute(q).unwrap();
+        let via_scan = flat_scan(&recon, q).unwrap();
+        assert!(
+            via_store.equal_as_sets(&via_scan),
+            "store answer {:?} differs from flat scan {:?} for {:?}",
+            via_store,
+            via_scan,
+            q
+        );
+    }
+
+    #[test]
+    fn projection_only_queries_match_flat_scan() {
+        let (_, s) = store(true);
+        for projection in
+            [attrs(&[0]), attrs(&[5]), attrs(&[0, 5]), attrs(&[2, 4]), attrs(&[0, 1, 2, 3, 4, 5])]
+        {
+            assert_matches_flat_scan(&s, &Query::project(projection));
+        }
+    }
+
+    #[test]
+    fn selection_queries_match_flat_scan() {
+        let (_, s) = store(true);
+        let cases = [
+            Query::project(attrs(&[1, 4])).select_eq(0, "a1"),
+            Query::project(attrs(&[0, 2, 5])).select_eq(3, "d2"),
+            Query::project(attrs(&[5])).select_eq(0, "a2").select_eq(4, "e2"),
+            Query::project(attrs(&[0])).select_eq(0, "a1"),
+        ];
+        for q in &cases {
+            assert_matches_flat_scan(&s, q);
+        }
+    }
+
+    #[test]
+    fn unknown_value_yields_empty_answer() {
+        let (_, s) = store(false);
+        let q = Query::project(attrs(&[0, 1])).select_eq(2, "no-such-value");
+        let out = s.execute(&q).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.schema().names(), &["A".to_string(), "B".into()]);
+    }
+
+    #[test]
+    fn contradictory_selections_yield_empty_answer() {
+        let (_, s) = store(false);
+        let q = Query::project(attrs(&[1])).select_eq(0, "a1").select_eq(5, "f2");
+        let out = s.execute(&q).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn selection_on_attr_outside_projection_subtree_still_applies() {
+        // Projecting F (bag AF) while selecting on E (bag BDE): the reducer
+        // must propagate the E predicate across the tree before the subtree
+        // join runs.
+        let (_, s) = store(false);
+        let q = Query::project(attrs(&[5])).select_eq(4, "e1");
+        let out = s.execute(&q).unwrap();
+        assert_eq!(out.n_rows(), 1);
+        assert_eq!(out.value(0, 0), "f1");
+        assert_matches_flat_scan(&s, &q);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let (_, s) = store(false);
+        assert!(s.execute(&Query::project(AttrSet::empty())).is_err());
+        assert!(s.execute(&Query::project(attrs(&[40]))).is_err());
+        assert!(s.execute(&Query::project(attrs(&[0])).select_eq(40, "x")).is_err());
+        let rel = running_example(false);
+        assert!(flat_scan(&rel, &Query::project(AttrSet::empty())).is_err());
+    }
+
+    #[test]
+    fn covering_subtree_is_minimal_for_leaf_projections() {
+        let (_, s) = store(false);
+        // F lives only in bag 3 (AF): the subtree is that single bag.
+        assert_eq!(covering_subtree(&s, attrs(&[5])), vec![3]);
+        // E lives only in bag 2 (BDE).
+        assert_eq!(covering_subtree(&s, attrs(&[4])), vec![2]);
+        // A lives in three bags; the greedy cover still picks exactly one.
+        assert_eq!(covering_subtree(&s, attrs(&[0])).len(), 1);
+        // E and F need the path BDE — ABD — AF.
+        let nodes = covering_subtree(&s, attrs(&[4, 5]));
+        assert_eq!(nodes.len(), 3);
+        assert!(nodes.contains(&0) && nodes.contains(&2) && nodes.contains(&3));
+    }
+
+    #[test]
+    fn query_results_are_deduplicated() {
+        let (_, s) = store(true);
+        let out = s.execute(&Query::project(attrs(&[3]))).unwrap();
+        assert_eq!(out.n_rows(), 2); // d1, d2
+    }
+}

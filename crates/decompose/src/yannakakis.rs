@@ -1,0 +1,254 @@
+//! The Yannakakis full reducer: two semijoin passes over the join tree.
+//!
+//! A bag tuple is *dangling* when it joins with no tuple of some neighbouring
+//! bag and therefore contributes nothing to the acyclic join. Yannakakis'
+//! classical full reducer removes every dangling tuple with `2(m−1)`
+//! semijoins: a bottom-up pass (`parent ⋉ child` for every edge, children
+//! first) followed by a top-down pass (`child ⋉ parent`, parents first).
+//! After the two passes the store is *globally consistent*: every remaining
+//! tuple extends to at least one full join result, which is what makes the
+//! streaming reconstruction output-sensitive and lets the query executor
+//! answer projections from a subtree only.
+
+use crate::store::DecomposedInstance;
+use std::collections::HashSet;
+
+/// Counters describing one full-reduction run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReducerStats {
+    /// Semijoins performed (`2(m−1)` for an `m`-bag tree).
+    pub semijoins: usize,
+    /// Tuples removed by the bottom-up (`parent ⋉ child`) pass.
+    pub bottom_up_removed: usize,
+    /// Tuples removed by the top-down (`child ⋉ parent`) pass.
+    pub top_down_removed: usize,
+}
+
+impl ReducerStats {
+    /// Total tuples removed by both passes.
+    pub fn removed(&self) -> usize {
+        self.bottom_up_removed + self.top_down_removed
+    }
+}
+
+/// One semijoin `left ⋉ right` on the separator: unset `keep_left[i]` for
+/// every kept left tuple whose separator key has no kept match in `right`.
+/// Returns the number of tuples removed.
+fn semijoin(
+    store: &DecomposedInstance,
+    left: usize,
+    right: usize,
+    keep: &mut [Vec<bool>],
+) -> usize {
+    let sep = store.bags()[left].attrs().intersect(store.bags()[right].attrs());
+    let left_pos = store.bags()[left].positions_of(sep);
+    let right_pos = store.bags()[right].positions_of(sep);
+    let right_bag = &store.bags()[right];
+    let mut right_keys: HashSet<Vec<u32>> = HashSet::with_capacity(right_bag.n_tuples());
+    for (i, t) in right_bag.tuples().enumerate() {
+        if keep[right][i] {
+            right_keys.insert(right_pos.iter().map(|&p| t[p]).collect());
+        }
+    }
+    let mut removed = 0;
+    let left_bag = &store.bags()[left];
+    for (i, t) in left_bag.tuples().enumerate() {
+        if !keep[left][i] {
+            continue;
+        }
+        let key: Vec<u32> = left_pos.iter().map(|&p| t[p]).collect();
+        if !right_keys.contains(&key) {
+            keep[left][i] = false;
+            removed += 1;
+        }
+    }
+    removed
+}
+
+impl DecomposedInstance {
+    /// Runs the full reducer and returns the reduced store (every surviving
+    /// tuple participates in at least one tuple of the acyclic join) together
+    /// with the pass statistics. The input store is left untouched.
+    pub fn full_reduce(&self) -> (DecomposedInstance, ReducerStats) {
+        let keep: Vec<Vec<bool>> = self.bags().iter().map(|b| vec![true; b.n_tuples()]).collect();
+        self.full_reduce_from(keep)
+    }
+
+    /// The full reducer seeded with an initial keep-mask (the query
+    /// executor's predicate pushdown), so filtering and reduction share one
+    /// pass instead of materializing an intermediate store.
+    pub(crate) fn full_reduce_from(
+        &self,
+        mut keep: Vec<Vec<bool>>,
+    ) -> (DecomposedInstance, ReducerStats) {
+        let mut stats = ReducerStats::default();
+        if self.n_bags() <= 1 {
+            return (self.with_kept(&keep), stats);
+        }
+        let (order, parent) = self.rooted_order();
+        // Bottom-up: children before parents (reverse pre-order).
+        for &u in order.iter().rev() {
+            if u == order[0] {
+                continue;
+            }
+            stats.bottom_up_removed += semijoin(self, parent[u], u, &mut keep);
+            stats.semijoins += 1;
+        }
+        // Top-down: parents before children (pre-order).
+        for &u in order.iter() {
+            if u == order[0] {
+                continue;
+            }
+            stats.top_down_removed += semijoin(self, u, parent[u], &mut keep);
+            stats.semijoins += 1;
+        }
+        (self.with_kept(&keep), stats)
+    }
+
+    /// `true` if no bag contains a dangling tuple (i.e. [`full_reduce`]
+    /// would remove nothing). Runs the semijoin passes over keep-masks only
+    /// — no filtered bags are materialized — and stops at the first removal.
+    ///
+    /// [`full_reduce`]: DecomposedInstance::full_reduce
+    pub fn is_fully_reduced(&self) -> bool {
+        if self.n_bags() <= 1 {
+            return true;
+        }
+        let (order, parent) = self.rooted_order();
+        let mut keep: Vec<Vec<bool>> =
+            self.bags().iter().map(|b| vec![true; b.n_tuples()]).collect();
+        for &u in order.iter().rev() {
+            if u != order[0] && semijoin(self, parent[u], u, &mut keep) > 0 {
+                return false;
+            }
+        }
+        for &u in order.iter() {
+            if u != order[0] && semijoin(self, u, parent[u], &mut keep) > 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{AttrSet, JoinTreeSpec, Relation, Schema};
+
+    fn attrs(v: &[usize]) -> AttrSet {
+        v.iter().copied().collect()
+    }
+
+    /// A three-bag path AB — BC — CD with a dangling tuple at each end.
+    fn path_store() -> DecomposedInstance {
+        let schema = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            &[
+                vec!["a1", "b1", "c1", "d1"],
+                vec!["a2", "b2", "c2", "d2"],
+                // b3 never reaches C/D consistently; c9 never reaches B.
+                vec!["a3", "b3", "c9", "d9"],
+            ],
+        )
+        .unwrap();
+        let spec = JoinTreeSpec::new(
+            vec![attrs(&[0, 1]), attrs(&[1, 2]), attrs(&[2, 3])],
+            vec![(0, 1), (1, 2)],
+        )
+        .unwrap();
+        DecomposedInstance::build(&rel, &spec).unwrap()
+    }
+
+    #[test]
+    fn exact_instance_is_already_reduced() {
+        let store = path_store();
+        // Every projection tuple came from a real row, so nothing dangles.
+        let (reduced, stats) = store.full_reduce();
+        assert_eq!(stats.removed(), 0);
+        assert_eq!(stats.semijoins, 4);
+        for (b, r) in store.bags().iter().zip(reduced.bags()) {
+            assert_eq!(b, r);
+        }
+        assert!(store.is_fully_reduced());
+    }
+
+    #[test]
+    fn dangling_tuples_are_removed() {
+        // Manufacture danglers by filtering one bag: drop every BC tuple with
+        // b3/c9, leaving the AB tuple (a3,b3) and CD tuple (c9,d9) dangling.
+        let store = path_store();
+        let keep: Vec<Vec<bool>> = store
+            .bags()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                (0..b.n_tuples())
+                    .map(|t| {
+                        if i != 1 {
+                            return true;
+                        }
+                        let rel = store.bag_relation(1).unwrap();
+                        rel.value(t, 0) != "b3"
+                    })
+                    .collect()
+            })
+            .collect();
+        let filtered = store.with_kept(&keep);
+        assert!(!filtered.is_fully_reduced());
+        let (reduced, stats) = filtered.full_reduce();
+        assert_eq!(stats.removed(), 2);
+        assert_eq!(reduced.bags()[0].n_tuples(), 2);
+        assert_eq!(reduced.bags()[1].n_tuples(), 2);
+        assert_eq!(reduced.bags()[2].n_tuples(), 2);
+        // Reduction is idempotent.
+        let (again, stats2) = reduced.full_reduce();
+        assert_eq!(stats2.removed(), 0);
+        for (b, r) in reduced.bags().iter().zip(again.bags()) {
+            assert_eq!(b, r);
+        }
+    }
+
+    #[test]
+    fn one_empty_bag_empties_the_whole_store() {
+        let store = path_store();
+        let mut keep: Vec<Vec<bool>> =
+            store.bags().iter().map(|b| vec![true; b.n_tuples()]).collect();
+        keep[2] = vec![false; store.bags()[2].n_tuples()];
+        let filtered = store.with_kept(&keep);
+        let (reduced, _) = filtered.full_reduce();
+        for bag in reduced.bags() {
+            assert_eq!(bag.n_tuples(), 0);
+        }
+    }
+
+    #[test]
+    fn single_bag_store_reduces_to_itself() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let rel = Relation::from_rows(schema, &[vec!["x", "y"]]).unwrap();
+        let spec = JoinTreeSpec::new(vec![attrs(&[0, 1])], vec![]).unwrap();
+        let store = DecomposedInstance::build(&rel, &spec).unwrap();
+        let (reduced, stats) = store.full_reduce();
+        assert_eq!(stats, ReducerStats::default());
+        assert_eq!(reduced.bags()[0].n_tuples(), 1);
+    }
+
+    #[test]
+    fn empty_separator_semijoin_keeps_everything_when_both_sides_nonempty() {
+        // {AB, CD}: the separator is empty; as long as both bags are
+        // non-empty nothing dangles (the join is a cross product).
+        let schema = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            &[vec!["a1", "b1", "c1", "d1"], vec!["a2", "b2", "c2", "d2"]],
+        )
+        .unwrap();
+        let spec = JoinTreeSpec::new(vec![attrs(&[0, 1]), attrs(&[2, 3])], vec![(0, 1)]).unwrap();
+        let store = DecomposedInstance::build(&rel, &spec).unwrap();
+        let (reduced, stats) = store.full_reduce();
+        assert_eq!(stats.removed(), 0);
+        assert_eq!(reduced.bags()[0].n_tuples(), 2);
+        assert_eq!(reduced.bags()[1].n_tuples(), 2);
+    }
+}

@@ -35,6 +35,9 @@ fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, Relati
     let mut field = String::new();
     let mut record: Vec<String> = Vec::new();
     let mut in_quotes = false;
+    // A record consisting of one empty unquoted field is a blank line and is
+    // skipped; a quoted empty field (`""`) is a real single-field record.
+    let mut saw_quote = false;
     let mut line = 1usize;
     let mut chars = text.chars().peekable();
 
@@ -65,13 +68,21 @@ fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, Relati
                         });
                     }
                     in_quotes = true;
+                    saw_quote = true;
                 }
                 '\r' => {
-                    // Swallow the CR of a CRLF pair; a lone CR is ignored too.
+                    // Swallow the CR of a CRLF pair; a lone CR is ignored too
+                    // (the writer quotes any field containing a CR).
                 }
                 '\n' => {
                     record.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut record));
+                    let blank = record.len() == 1 && record[0].is_empty() && !saw_quote;
+                    if blank {
+                        record.clear();
+                    } else {
+                        records.push(std::mem::take(&mut record));
+                    }
+                    saw_quote = false;
                     line += 1;
                 }
                 c if c == delimiter => {
@@ -84,12 +95,10 @@ fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, Relati
     if in_quotes {
         return Err(RelationError::Csv { line, message: "unterminated quoted field".into() });
     }
-    if !field.is_empty() || !record.is_empty() {
+    if !field.is_empty() || !record.is_empty() || saw_quote {
         record.push(field);
         records.push(record);
     }
-    // Drop completely empty trailing records (e.g. produced by a final newline).
-    records.retain(|r| !(r.len() == 1 && r[0].is_empty()));
     Ok(records)
 }
 
@@ -125,10 +134,18 @@ pub fn relation_from_csv(text: &str, options: CsvOptions) -> Result<Relation, Re
 }
 
 /// Serializes a relation to CSV text with a header row. Fields containing the
-/// delimiter, quotes or newlines are quoted.
+/// delimiter, quotes, newlines or carriage returns are quoted (an unquoted CR
+/// would be swallowed by the reader's CRLF handling), and empty fields are
+/// written as `""` so a single empty field is never mistaken for a blank
+/// line on the way back in.
 pub fn relation_to_csv(rel: &Relation, delimiter: char) -> String {
     let escape = |s: &str| -> String {
-        if s.contains(delimiter) || s.contains('"') || s.contains('\n') {
+        if s.is_empty()
+            || s.contains(delimiter)
+            || s.contains('"')
+            || s.contains('\n')
+            || s.contains('\r')
+        {
             format!("\"{}\"", s.replace('"', "\"\""))
         } else {
             s.to_string()
@@ -237,5 +254,87 @@ mod tests {
         let text = "A,B\n1,2";
         let rel = relation_from_csv(text, CsvOptions::default()).unwrap();
         assert_eq!(rel.n_rows(), 1);
+    }
+
+    fn roundtrip(rows: &[Vec<&str>], delimiter: char) {
+        let names: Vec<String> = (0..rows[0].len()).map(|i| format!("c{}", i)).collect();
+        let rel = Relation::from_rows(Schema::new(names).unwrap(), rows).unwrap();
+        let text = relation_to_csv(&rel, delimiter);
+        let back = relation_from_csv(
+            &text,
+            CsvOptions { delimiter, dedup: false, ..CsvOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(back.n_rows(), rel.n_rows(), "row count changed:\n{}", text);
+        assert!(back.equal_as_sets(&rel), "tuples changed:\n{}", text);
+    }
+
+    #[test]
+    fn writer_quotes_fields_containing_the_delimiter_and_quotes() {
+        let rel = Relation::from_rows(
+            Schema::new(["A", "B"]).unwrap(),
+            &[vec!["with,comma", "say \"hi\""]],
+        )
+        .unwrap();
+        let text = relation_to_csv(&rel, ',');
+        assert!(text.contains("\"with,comma\""));
+        assert!(text.contains("\"say \"\"hi\"\"\""));
+        roundtrip(&[vec!["with,comma", "say \"hi\""]], ',');
+    }
+
+    #[test]
+    fn writer_quotes_embedded_newlines_and_carriage_returns() {
+        // An unquoted CR would be swallowed by the reader's CRLF handling, so
+        // the writer must quote it.
+        let rows = vec![vec!["line1\nline2", "a\rb"], vec!["\r\n", "plain"]];
+        let rel = Relation::from_rows(Schema::new(["A", "B"]).unwrap(), &rows).unwrap();
+        let text = relation_to_csv(&rel, ',');
+        assert!(text.contains("\"a\rb\""));
+        assert!(text.contains("\"line1\nline2\""));
+        roundtrip(&rows, ',');
+    }
+
+    #[test]
+    fn writer_quotes_empty_fields_so_blank_lines_stay_distinct() {
+        // A single-column relation holding an empty string must not collapse
+        // into a blank (skipped) line.
+        roundtrip(&[vec![""], vec!["x"]], ',');
+        roundtrip(&[vec!["", ""], vec!["a", ""]], ',');
+        let rel = Relation::from_rows(Schema::new(["A"]).unwrap(), &[vec![""]]).unwrap();
+        let text = relation_to_csv(&rel, ',');
+        assert_eq!(text, "A\n\"\"\n");
+    }
+
+    #[test]
+    fn writer_respects_alternate_delimiters() {
+        // Under ';' a comma needs no quoting but a semicolon does.
+        let rows = vec![vec!["a,b", "c;d"]];
+        let rel = Relation::from_rows(Schema::new(["A", "B"]).unwrap(), &rows).unwrap();
+        let text = relation_to_csv(&rel, ';');
+        assert!(text.contains("a,b"));
+        assert!(!text.contains("\"a,b\""));
+        assert!(text.contains("\"c;d\""));
+        roundtrip(&rows, ';');
+    }
+
+    #[test]
+    fn writer_escapes_header_names() {
+        let rel =
+            Relation::from_rows(Schema::new(["name, first", "plain"]).unwrap(), &[vec!["x", "y"]])
+                .unwrap();
+        let text = relation_to_csv(&rel, ',');
+        let back = relation_from_csv(&text, CsvOptions::default()).unwrap();
+        assert_eq!(back.schema().names(), rel.schema().names());
+        assert!(back.equal_as_sets(&rel));
+    }
+
+    #[test]
+    fn writer_preserves_duplicates_for_non_dedup_readers() {
+        let rows = vec![vec!["a", "b"], vec!["a", "b"], vec!["c", "d"]];
+        let rel = Relation::from_rows(Schema::new(["A", "B"]).unwrap(), &rows).unwrap();
+        let text = relation_to_csv(&rel, ',');
+        let back =
+            relation_from_csv(&text, CsvOptions { dedup: false, ..CsvOptions::default() }).unwrap();
+        assert_eq!(back.n_rows(), 3);
     }
 }

@@ -162,6 +162,13 @@ impl Relation {
         self.columns[c].distinct_count()
     }
 
+    /// The dictionary of column `c`: its distinct values, indexed by code
+    /// (i.e. `column_values(c)[code(r, c)] == value(r, c)`).
+    #[inline]
+    pub fn column_values(&self, c: usize) -> &[String] {
+        &self.columns[c].dict
+    }
+
     /// Materializes row `r` as strings.
     pub fn row(&self, r: usize) -> Vec<&str> {
         (0..self.arity()).map(|c| self.value(r, c)).collect()
@@ -455,6 +462,18 @@ mod tests {
         assert_eq!(r.column_cardinality(0), 2);
         assert_eq!(r.column_cardinality(1), 2);
         assert_eq!(r.column_cardinality(2), 2);
+    }
+
+    #[test]
+    fn column_values_index_by_code() {
+        let r = abc_relation();
+        for c in 0..r.arity() {
+            let dict = r.column_values(c);
+            assert_eq!(dict.len(), r.column_cardinality(c));
+            for row in 0..r.n_rows() {
+                assert_eq!(dict[r.code(row, c) as usize], r.value(row, c));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! CSV writer/reader round-trip fuzz.
+//!
+//! The writer (`relation_to_csv`) must emit text the reader
+//! (`relation_from_csv`) parses back to the identical relation, for any cell
+//! content: embedded delimiters, double quotes (doubled on the way out),
+//! embedded newlines and carriage returns, empty fields, and both `\n` and
+//! `\r\n` record endings. Cells are drawn from an alphabet deliberately
+//! stacked with the characters the quoting rules exist for.
+
+use maimon::relation::{relation_from_csv, relation_to_csv, CsvOptions, Relation, Schema};
+use proptest::prelude::*;
+
+/// Characters the escaping logic has to get right, plus a few benign ones.
+const ALPHABET: &[char] = &['a', 'B', '7', ' ', ',', ';', '"', '\n', '\r', '\t'];
+
+/// Strategy: one cell of 0–6 alphabet characters.
+fn cell() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..ALPHABET.len(), 0..6)
+        .prop_map(|indices| indices.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+/// Strategy: a relation with 1–4 columns and 0–10 rows of adversarial cells.
+fn relation() -> impl Strategy<Value = Relation> {
+    (1usize..=4, proptest::collection::vec(cell(), 0..40)).prop_map(|(arity, cells)| {
+        let names: Vec<String> = (0..arity).map(|i| format!("c{}", i)).collect();
+        let schema = Schema::new(names).unwrap();
+        let rows: Vec<Vec<String>> =
+            cells.chunks_exact(arity).map(|chunk| chunk.to_vec()).collect();
+        Relation::from_rows(schema, &rows).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip_preserves_rows_comma(rel in relation()) {
+        let text = relation_to_csv(&rel, ',');
+        let back = relation_from_csv(
+            &text,
+            CsvOptions { dedup: false, ..CsvOptions::default() },
+        ).expect("writer output must parse");
+        prop_assert_eq!(back.n_rows(), rel.n_rows(), "csv was:\n{}", text);
+        prop_assert!(back.equal_as_sets(&rel), "csv was:\n{}", text);
+        prop_assert_eq!(back.schema().names(), rel.schema().names());
+    }
+
+    #[test]
+    fn roundtrip_preserves_rows_semicolon(rel in relation()) {
+        let text = relation_to_csv(&rel, ';');
+        let back = relation_from_csv(
+            &text,
+            CsvOptions { delimiter: ';', dedup: false, ..CsvOptions::default() },
+        ).expect("writer output must parse");
+        prop_assert_eq!(back.n_rows(), rel.n_rows(), "csv was:\n{}", text);
+        prop_assert!(back.equal_as_sets(&rel), "csv was:\n{}", text);
+    }
+
+    #[test]
+    fn roundtrip_with_dedup_matches_distinct(rel in relation()) {
+        let text = relation_to_csv(&rel, ',');
+        let back = relation_from_csv(&text, CsvOptions::default())
+            .expect("writer output must parse");
+        let distinct = rel.distinct();
+        prop_assert_eq!(back.n_rows(), distinct.n_rows());
+        prop_assert!(back.equal_as_sets(&distinct));
+    }
+
+    #[test]
+    fn crlf_endings_parse_like_lf(rel in relation()) {
+        // Rewriting every record terminator as CRLF must not change the
+        // parsed relation: the writer already quotes embedded CRs, so every
+        // remaining `\n` in the text is a record ending.
+        let text = relation_to_csv(&rel, ',');
+        let mut crlf = String::with_capacity(text.len() + rel.n_rows());
+        let mut in_quotes = false;
+        for c in text.chars() {
+            match c {
+                '"' => { in_quotes = !in_quotes; crlf.push(c); }
+                '\n' if !in_quotes => crlf.push_str("\r\n"),
+                _ => crlf.push(c),
+            }
+        }
+        let back = relation_from_csv(
+            &crlf,
+            CsvOptions { dedup: false, ..CsvOptions::default() },
+        ).expect("CRLF output must parse");
+        prop_assert_eq!(back.n_rows(), rel.n_rows(), "csv was:\n{}", crlf);
+        prop_assert!(back.equal_as_sets(&rel), "csv was:\n{}", crlf);
+    }
+}

@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::ops::Range;
 
-/// Length specification accepted by [`vec`] (shim of `SizeRange`).
+/// Length specification accepted by [`vec()`] (shim of `SizeRange`).
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     min: usize,

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this vendored crate
 //! re-implements the subset of proptest's API the workspace's property suites
-//! use: the [`Strategy`] trait with [`Strategy::prop_map`], range / tuple /
+//! use: the [`Strategy`](strategy::Strategy) trait with [`prop_map`](strategy::Strategy::prop_map), range / tuple /
 //! [`collection::vec`] strategies, [`arbitrary::Arbitrary`] via [`any`], the
 //! [`proptest!`] macro with `#![proptest_config(..)]`, and the
 //! `prop_assert*` / [`prop_assume!`] macros.
