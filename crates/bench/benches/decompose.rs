@@ -15,15 +15,18 @@ use std::time::Duration;
 /// tuples among those that actually save storage (falling back to the best
 /// saver, then to the trivial schema, so the bench never panics).
 fn mined_nursery_schema(rel: &Relation) -> AcyclicSchema {
-    let config = MaimonConfig {
-        epsilon: 0.1,
-        limits: MiningLimits {
-            time_budget: Some(Duration::from_secs(20)),
-            ..MiningLimits::small()
-        },
-        max_schemas: Some(200),
-        ..MaimonConfig::default()
-    };
+    let config = MaimonConfig::builder()
+        .epsilon(0.1)
+        .limits(
+            MiningLimits::small()
+                .to_builder()
+                .time_budget(Some(Duration::from_secs(20)))
+                .build()
+                .unwrap(),
+        )
+        .max_schemas(Some(200))
+        .build()
+        .unwrap();
     let result = Maimon::new(rel, config).expect("nursery is valid").run().expect("run succeeds");
     let mut candidates: Vec<_> =
         result.schemas.iter().filter(|s| s.quality.storage_savings_pct > 0.0).collect();

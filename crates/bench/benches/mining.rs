@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use maimon::entropy::PliEntropyOracle;
-use maimon::{get_full_mvds, mine_min_seps, Maimon, MaimonConfig, MiningLimits};
+use maimon::{
+    get_full_mvds, mine_min_seps, Maimon, MaimonConfig, MaimonSession, MiningLimits, RunControl,
+};
 use maimon_datasets::{dataset_by_name, running_example_with_red_tuple};
 use std::hint::black_box;
 
@@ -21,13 +23,31 @@ fn full_mvd_ablation(c: &mut Criterion) {
     group.bench_function("plain_fig6", |b| {
         b.iter(|| {
             let oracle = PliEntropyOracle::with_defaults(&rel);
-            black_box(get_full_mvds(&oracle, key, epsilon, pair, None, Some(50_000), false))
+            black_box(get_full_mvds(
+                &oracle,
+                key,
+                epsilon,
+                pair,
+                None,
+                Some(50_000),
+                false,
+                &RunControl::NONE,
+            ))
         })
     });
     group.bench_function("optimized_fig17", |b| {
         b.iter(|| {
             let oracle = PliEntropyOracle::with_defaults(&rel);
-            black_box(get_full_mvds(&oracle, key, epsilon, pair, None, Some(50_000), true))
+            black_box(get_full_mvds(
+                &oracle,
+                key,
+                epsilon,
+                pair,
+                None,
+                Some(50_000),
+                true,
+                &RunControl::NONE,
+            ))
         })
     });
     group.finish();
@@ -45,9 +65,16 @@ fn minimal_separators(c: &mut Criterion) {
                 let mut total = 0usize;
                 for a in 0..rel.arity() {
                     for bb in a + 1..rel.arity() {
-                        total += mine_min_seps(&oracle, epsilon, (a, bb), &limits, true)
-                            .separators
-                            .len();
+                        total += mine_min_seps(
+                            &oracle,
+                            epsilon,
+                            (a, bb),
+                            &limits,
+                            true,
+                            &RunControl::NONE,
+                        )
+                        .separators
+                        .len();
                     }
                 }
                 black_box(total)
@@ -81,13 +108,13 @@ fn end_to_end(c: &mut Criterion) {
             format!("bridges8_eps_0.1_par{threads}")
         };
         group.bench_function(id, |b| {
-            let config = MaimonConfig {
-                epsilon: 0.1,
-                limits: MiningLimits::small(),
-                max_schemas: Some(100),
-                threads: Some(threads),
-                ..MaimonConfig::default()
-            };
+            let config = MaimonConfig::builder()
+                .epsilon(0.1)
+                .limits(MiningLimits::small())
+                .max_schemas(Some(100))
+                .threads(Some(threads))
+                .build()
+                .unwrap();
             b.iter(|| {
                 let result = Maimon::new(&bridges, config).unwrap().run().unwrap();
                 black_box(result.schemas.len())
@@ -97,5 +124,68 @@ fn end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, full_mvd_ablation, minimal_separators, end_to_end);
+/// The ε-sweep ablation the session API exists for: mining four thresholds
+/// on bridges8 with a fresh `Maimon` (and thus a fresh PLI oracle) per ε,
+/// versus one `MaimonSession` sharing a single oracle across the sweep. The
+/// session is constructed inside the timed closure, so the leg measures one
+/// oracle build + four minings against four builds + four minings;
+/// `tests/session_equivalence.rs` proves the outputs are bit-identical.
+fn session_sweep(c: &mut Criterion) {
+    let bridges = dataset_by_name("Bridges").unwrap().generate(1.0).column_prefix(8).unwrap();
+    let thresholds = [0.0f64, 0.05, 0.1, 0.2];
+    let config = MaimonConfig::builder()
+        .limits(MiningLimits::small().to_builder().time_budget(None).build().unwrap())
+        .max_schemas(Some(100))
+        .threads(Some(1))
+        .build()
+        .unwrap();
+
+    let mut group = c.benchmark_group("session_sweep");
+    group.sample_size(10);
+    group.bench_function("bridges8_fresh_per_eps", |b| {
+        b.iter(|| {
+            let mut schemas = 0usize;
+            for &epsilon in &thresholds {
+                let cfg = config.to_builder().epsilon(epsilon).build().unwrap();
+                let result = Maimon::new(&bridges, cfg).unwrap().run().unwrap();
+                schemas += result.schemas.len();
+            }
+            black_box(schemas)
+        })
+    });
+    group.bench_function("bridges8_shared_session", |b| {
+        b.iter(|| {
+            let session = MaimonSession::new(&bridges, config).unwrap();
+            let sweep = session.epsilon_sweep(thresholds.iter().copied()).unwrap();
+            black_box(sweep.iter().map(|p| p.result.schemas.len()).sum::<usize>())
+        })
+    });
+
+    // The same ablation on Nursery at 1500 rows × 9 columns — more rows make
+    // every recomputed entropy (what the fresh path pays per ε) costlier, so
+    // the sweep advantage grows with data size.
+    let nursery = maimon_datasets::nursery_with_rows(1500);
+    let nursery_thresholds = [0.0f64, 0.05, 0.1, 0.2, 0.3, 0.5];
+    group.bench_function("nursery1500_fresh_per_eps", |b| {
+        b.iter(|| {
+            let mut schemas = 0usize;
+            for &epsilon in &nursery_thresholds {
+                let cfg = config.to_builder().epsilon(epsilon).build().unwrap();
+                let result = Maimon::new(&nursery, cfg).unwrap().run().unwrap();
+                schemas += result.schemas.len();
+            }
+            black_box(schemas)
+        })
+    });
+    group.bench_function("nursery1500_shared_session", |b| {
+        b.iter(|| {
+            let session = MaimonSession::new(&nursery, config).unwrap();
+            let sweep = session.epsilon_sweep(nursery_thresholds.iter().copied()).unwrap();
+            black_box(sweep.iter().map(|p| p.result.schemas.len()).sum::<usize>())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, full_mvd_ablation, minimal_separators, end_to_end, session_sweep);
 criterion_main!(benches);

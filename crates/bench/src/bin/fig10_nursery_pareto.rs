@@ -3,12 +3,18 @@
 //! its J-measure, storage savings S, spurious-tuple rate E and number of
 //! relations m (the paper shows ten pareto-optimal schemes out of 415).
 //!
+//! The sweep runs through one [`MaimonSession`]: a single shared PLI oracle
+//! serves all ten thresholds instead of being rebuilt per ε.
+//!
 //! Run with: `cargo run -p maimon-bench --release --bin fig10_nursery_pareto`
 //! Environment: `MAIMON_SCALE` scales the number of Nursery rows (1.0 = the
-//! full 12 960-tuple Cartesian product).
+//! full 12 960-tuple Cartesian product); `MAIMON_JSON=1` appends one
+//! machine-readable JSON line with every pareto row.
 
-use bench_support::{harness_options, mining_config};
-use maimon::{pareto_front, Maimon};
+use bench_support::{emit_json, harness_options, mining_config};
+use maimon::json::Json;
+use maimon::wire::ToJson;
+use maimon::{pareto_front, MaimonSession};
 use maimon_datasets::{nursery_with_rows, NURSERY_ROWS};
 
 fn main() {
@@ -24,24 +30,29 @@ fn main() {
     );
 
     let thresholds = [0.0, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5];
+    let session =
+        MaimonSession::new(&rel, mining_config(0.0, &options)).expect("nursery relation is valid");
+    let sweep = session
+        .epsilon_sweep(thresholds.iter().copied())
+        .expect("quality evaluation succeeds on acyclic schemas");
+
+    // (point index, schema index) back-references let the JSON emission
+    // serialize only the pareto-front rows, and only when MAIMON_JSON is on.
+    type Row = (f64, f64, f64, f64, usize, String, (usize, usize));
     let mut points: Vec<(f64, f64)> = Vec::new();
-    let mut rows_out: Vec<(f64, f64, f64, f64, usize, String)> = Vec::new();
-    for &epsilon in &thresholds {
-        let config = mining_config(epsilon, &options);
-        let result = Maimon::new(&rel, config)
-            .expect("nursery relation is valid")
-            .run()
-            .expect("quality evaluation succeeds on acyclic schemas");
-        for ranked in &result.schemas {
+    let mut rows_out: Vec<Row> = Vec::new();
+    for (pi, point) in sweep.iter().enumerate() {
+        for (si, ranked) in point.result.schemas.iter().enumerate() {
             let j = ranked.discovered.j.unwrap_or(f64::NAN);
             points.push((ranked.quality.storage_savings_pct, ranked.quality.spurious_tuples_pct));
             rows_out.push((
-                epsilon,
+                point.epsilon,
                 j,
                 ranked.quality.storage_savings_pct,
                 ranked.quality.spurious_tuples_pct,
                 ranked.quality.n_relations,
                 ranked.discovered.schema.display(rel.schema()),
+                (pi, si),
             ));
         }
     }
@@ -51,11 +62,30 @@ fn main() {
     let mut front = pareto_front(&points);
     front.sort_by(|&a, &b| rows_out[a].1.partial_cmp(&rows_out[b].1).unwrap());
     for &i in &front {
-        let (eps, j, s, e, m, ref schema) = rows_out[i];
+        let (eps, j, s, e, m, ref schema, _) = rows_out[i];
         println!("{:<6} {:>8.3} {:>8.1} {:>8.2} {:>4}  {}", eps, j, s, e, m, schema);
     }
     println!(
         "# ({} pareto-optimal schemes; the paper reports 10 of 415 at full scale)",
         front.len()
     );
+    if bench_support::json_mode() {
+        emit_json(
+            "fig10_nursery_pareto",
+            Json::object([
+                ("rows", Json::from(rel.n_rows())),
+                ("schemes_total", Json::from(rows_out.len())),
+                (
+                    "pareto",
+                    Json::array(front.iter().map(|&i| {
+                        let (pi, si) = rows_out[i].6;
+                        Json::object([
+                            ("epsilon", Json::from(rows_out[i].0)),
+                            ("ranked", sweep[pi].result.schemas[si].to_json()),
+                        ])
+                    })),
+                ),
+            ]),
+        );
+    }
 }

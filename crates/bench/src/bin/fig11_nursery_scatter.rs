@@ -3,10 +3,16 @@
 //! pareto-optimal ones are connected by a line). This harness prints the raw
 //! (S, E) series so it can be plotted directly, plus the pareto front.
 //!
+//! The twelve thresholds are swept through one [`MaimonSession`] sharing a
+//! single PLI oracle.
+//!
 //! Run with: `cargo run -p maimon-bench --release --bin fig11_nursery_scatter`
+//! Environment: `MAIMON_JSON=1` appends one machine-readable JSON line with
+//! the point series.
 
-use bench_support::{harness_options, mining_config};
-use maimon::{pareto_front, Maimon};
+use bench_support::{emit_json, harness_options, mining_config};
+use maimon::json::Json;
+use maimon::{pareto_front, MaimonSession};
 use maimon_datasets::{nursery_with_rows, NURSERY_ROWS};
 
 fn main() {
@@ -17,14 +23,13 @@ fn main() {
     println!("# rows = {}, budget per threshold = {:?}", rel.n_rows(), options.budget);
 
     let thresholds = [0.0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5];
+    let session =
+        MaimonSession::new(&rel, mining_config(0.0, &options)).expect("nursery relation is valid");
+    let sweep =
+        session.epsilon_sweep(thresholds.iter().copied()).expect("quality evaluation succeeds");
     let mut points: Vec<(f64, f64)> = Vec::new();
-    for &epsilon in &thresholds {
-        let config = mining_config(epsilon, &options);
-        let result = Maimon::new(&rel, config)
-            .expect("nursery relation is valid")
-            .run()
-            .expect("quality evaluation succeeds");
-        for ranked in &result.schemas {
+    for point in &sweep {
+        for ranked in &point.result.schemas {
             points.push((ranked.quality.storage_savings_pct, ranked.quality.spurious_tuples_pct));
         }
     }
@@ -42,4 +47,20 @@ fn main() {
     for &i in &front {
         println!("# pareto {:>10.3} {:>10.3}", points[i].1, points[i].0);
     }
+    if !bench_support::json_mode() {
+        return;
+    }
+    emit_json(
+        "fig11_nursery_scatter",
+        Json::object([
+            ("rows", Json::from(rel.n_rows())),
+            (
+                "points",
+                Json::array(points.iter().map(|&(s, e)| {
+                    Json::object([("savings_pct", Json::from(s)), ("spurious_pct", Json::from(e))])
+                })),
+            ),
+            ("pareto_indices", Json::array(front.iter().map(|&i| Json::from(i)))),
+        ]),
+    );
 }

@@ -2,15 +2,20 @@
 //! discovered acyclic scheme and its percentage of spurious tuples, shown as
 //! per-bucket quantiles on BreastCancer, Bridges, Nursery and Echocardiogram.
 //!
-//! The harness mines schemes for thresholds in [0, 0.5], buckets them by
-//! J-measure and prints the quartiles of the spurious-tuple percentage per
-//! bucket (the data behind the paper's box plots), plus the bucket sizes.
+//! The harness mines schemes for thresholds in [0, 0.5] through one
+//! [`MaimonSession`] per dataset (one shared oracle per dataset instead of
+//! one per threshold), buckets them by J-measure and prints the quartiles of
+//! the spurious-tuple percentage per bucket (the data behind the paper's box
+//! plots), plus the bucket sizes.
 //!
 //! Run with: `cargo run -p maimon-bench --release --bin fig12_accuracy`
+//! Environment: `MAIMON_JSON=1` appends one machine-readable JSON line with
+//! the per-dataset (J, E) samples.
 
-use bench_support::{harness_options, mining_config};
+use bench_support::{emit_json, harness_options, mining_config};
+use maimon::json::Json;
 use maimon::relation::Relation;
-use maimon::Maimon;
+use maimon::MaimonSession;
 use maimon_datasets::{dataset_by_name, nursery_with_rows};
 
 fn quantile(sorted: &[f64], q: f64) -> f64 {
@@ -48,14 +53,22 @@ fn main() {
     let buckets = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, f64::INFINITY];
     let thresholds = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5];
 
+    let mut json_datasets = Vec::new();
     for name in ["Breast-Cancer", "Bridges", "Nursery", "Echocardiogram"] {
         let rel = dataset(name, &options);
         println!("\n## {} ({} rows × {} cols)", name, rel.n_rows(), rel.arity());
+        // One session per dataset; every threshold reuses its oracle.
+        let session = match MaimonSession::new(&rel, mining_config(0.0, &options)) {
+            Ok(session) => session,
+            Err(error) => {
+                println!("#   skipped: {}", error);
+                continue;
+            }
+        };
         // Collect (J, spurious %) for every schema discovered at any threshold.
         let mut samples: Vec<(f64, f64)> = Vec::new();
         for &epsilon in &thresholds {
-            let config = mining_config(epsilon, &options);
-            let result = match Maimon::new(&rel, config).and_then(|m| m.run()) {
+            let result = match session.quality(epsilon) {
                 Ok(r) => r,
                 Err(error) => {
                     println!("#   skipped at ε={}: {}", epsilon, error);
@@ -110,5 +123,19 @@ fn main() {
             "#   median spurious rate is {} in J (paper reports a consistent monotone relationship)",
             if monotone { "monotone non-decreasing" } else { "NOT monotone on this scaled run" }
         );
+        if !bench_support::json_mode() {
+            continue;
+        }
+        json_datasets.push(Json::object([
+            ("dataset", Json::from(name)),
+            ("monotone_median", Json::from(monotone)),
+            (
+                "samples",
+                Json::array(samples.iter().map(|&(j, e)| {
+                    Json::object([("j", Json::from(j)), ("spurious_pct", Json::from(e))])
+                })),
+            ),
+        ]));
     }
+    emit_json("fig12_accuracy", Json::array(json_datasets));
 }

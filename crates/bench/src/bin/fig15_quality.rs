@@ -5,9 +5,14 @@
 //! FD_Reduced_15, Hepatitis).
 //!
 //! Run with: `cargo run -p maimon-bench --release --bin fig15_quality`
+//!
+//! Each dataset opens one [`MaimonSession`] and sweeps the six thresholds
+//! over its shared oracle. `MAIMON_JSON=1` appends one machine-readable JSON
+//! line with every table row.
 
-use bench_support::{harness_options, mining_config};
-use maimon::Maimon;
+use bench_support::{emit_json, harness_options, mining_config};
+use maimon::json::Json;
+use maimon::MaimonSession;
 use maimon_datasets::dataset_by_name;
 
 const DATASETS: [&str; 8] = [
@@ -30,6 +35,7 @@ fn main() {
     );
     let thresholds = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
 
+    let mut json_rows = Vec::new();
     for name in DATASETS {
         let spec = dataset_by_name(name).expect("dataset in catalog");
         let rel = {
@@ -45,10 +51,16 @@ fn main() {
             "{:>8} {:>10} {:>12} {:>10} {:>10}",
             "eps", "#schemes", "#relations", "width", "intWidth"
         );
+        let session = match MaimonSession::new(&rel, mining_config(0.0, &options)) {
+            Ok(session) => session,
+            Err(error) => {
+                println!("{:>8} skipped: {}", "-", error);
+                continue;
+            }
+        };
         let mut last_relations = 0usize;
         for &epsilon in &thresholds {
-            let config = mining_config(epsilon, &options);
-            let result = match Maimon::new(&rel, config).and_then(|m| m.run()) {
+            let result = match session.quality(epsilon) {
                 Ok(r) => r,
                 Err(error) => {
                     println!("{:>8} skipped: {}", epsilon, error);
@@ -77,6 +89,17 @@ fn main() {
                 min_width,
                 min_int_width
             );
+            if bench_support::json_mode() {
+                json_rows.push(Json::object([
+                    ("dataset", Json::from(name)),
+                    ("epsilon", Json::from(epsilon)),
+                    ("schemes", Json::from(result.schemas.len())),
+                    ("max_relations", Json::from(max_relations)),
+                    ("min_width", Json::from(min_width)),
+                    ("min_intersection_width", Json::from(min_int_width)),
+                    ("truncated", Json::from(result.truncated)),
+                ]));
+            }
             last_relations = last_relations.max(max_relations);
         }
         println!(
@@ -84,4 +107,5 @@ fn main() {
             last_relations
         );
     }
+    emit_json("fig15_quality", Json::array(json_rows));
 }

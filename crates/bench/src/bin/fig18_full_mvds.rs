@@ -11,7 +11,7 @@
 
 use bench_support::{harness_options, mining_config, secs, sweep_min_seps};
 use maimon::entropy::PliEntropyOracle;
-use maimon::get_full_mvds;
+use maimon::{get_full_mvds, RunControl};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -67,6 +67,7 @@ fn main() {
                         config.limits.max_full_mvds_per_separator,
                         config.limits.max_lattice_nodes,
                         true,
+                        &RunControl::NONE,
                     );
                     full_mvds.extend(found.mvds);
                 }

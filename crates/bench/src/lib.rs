@@ -22,7 +22,7 @@
 
 use maimon::entropy::EntropyOracle;
 use maimon::relation::AttrSet;
-use maimon::{fan_out_pairs, mine_min_seps, MaimonConfig, MiningLimits};
+use maimon::{fan_out_pairs, mine_min_seps, MaimonConfig, MiningLimits, RunControl};
 use std::time::Duration;
 
 /// Scaling knobs shared by all harness binaries.
@@ -64,17 +64,19 @@ pub fn harness_options() -> HarnessOptions {
 /// the pairwise-consistency optimization on, and limits derived from the
 /// harness time budget.
 pub fn mining_config(epsilon: f64, options: &HarnessOptions) -> MaimonConfig {
-    MaimonConfig {
-        epsilon,
-        limits: MiningLimits {
-            max_full_mvds_per_separator: Some(256),
-            max_separators_per_pair: Some(256),
-            max_lattice_nodes: Some(50_000),
-            time_budget: Some(options.budget),
-        },
-        max_schemas: Some(2_000),
-        ..MaimonConfig::default()
-    }
+    let limits = MiningLimits::builder()
+        .max_full_mvds_per_separator(Some(256))
+        .max_separators_per_pair(Some(256))
+        .max_lattice_nodes(Some(50_000))
+        .time_budget(Some(options.budget))
+        .build()
+        .expect("harness limits are nonzero");
+    MaimonConfig::builder()
+        .epsilon(epsilon)
+        .limits(limits)
+        .max_schemas(Some(2_000))
+        .build()
+        .expect("harness config is valid")
 }
 
 /// Minimal separators of one attribute pair, as produced by a sweep worker.
@@ -117,10 +119,12 @@ pub fn sweep_min_seps<O: EntropyOracle + ?Sized>(
     let n = oracle.arity();
     let pair_count = n.saturating_sub(1) * n / 2;
     let threads = config.effective_threads().min(pair_count).max(1);
-    let (outcomes, budget_hit) = fan_out_pairs(n, threads, Some(budget), |pair, _index| {
-        let result = mine_min_seps(oracle, epsilon, pair, &config.limits, true);
-        (PairSeparators { pair, separators: result.separators }, result.truncated)
-    });
+    let (outcomes, budget_hit) =
+        fan_out_pairs(n, threads, Some(budget), &RunControl::NONE, |pair, _index| {
+            let result =
+                mine_min_seps(oracle, epsilon, pair, &config.limits, true, &RunControl::NONE);
+            (PairSeparators { pair, separators: result.separators }, result.truncated)
+        });
     let mut sweep = MinSepSweep { threads, truncated: budget_hit, ..MinSepSweep::default() };
     for (pair_seps, truncated) in outcomes {
         sweep.truncated |= truncated;
@@ -129,6 +133,27 @@ pub fn sweep_min_seps<O: EntropyOracle + ?Sized>(
         }
     }
     sweep
+}
+
+/// `true` when the `MAIMON_JSON` environment variable is set: the `fig*`
+/// harness binaries then append one machine-readable JSON line per run,
+/// serialized through the stable wire layer (`maimon::wire`), so the tables
+/// can be consumed programmatically as well as read.
+pub fn json_mode() -> bool {
+    std::env::var_os("MAIMON_JSON").is_some()
+}
+
+/// Emits a machine-readable result line (`{"bin": …, "payload": …}`) when
+/// [`json_mode`] is on. The line is self-delimiting: it is the only stdout
+/// line starting with `{`, so `grep '^{'` extracts it from the human table.
+pub fn emit_json(bin: &str, payload: maimon::json::Json) {
+    if json_mode() {
+        let envelope = maimon::json::Json::object([
+            ("bin", maimon::json::Json::from(bin)),
+            ("payload", payload),
+        ]);
+        println!("{}", envelope);
+    }
 }
 
 /// Formats a duration as seconds with two decimals (the unit the paper's
@@ -194,8 +219,15 @@ mod tests {
         let mut expected = Vec::new();
         for a in 0..rel.arity() {
             for b in a + 1..rel.arity() {
-                let seps =
-                    mine_min_seps(&oracle, 0.1, (a, b), &sequential_config.limits, true).separators;
+                let seps = mine_min_seps(
+                    &oracle,
+                    0.1,
+                    (a, b),
+                    &sequential_config.limits,
+                    true,
+                    &RunControl::NONE,
+                )
+                .separators;
                 if !seps.is_empty() {
                     expected.push(((a, b), seps));
                 }

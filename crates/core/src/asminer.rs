@@ -16,6 +16,7 @@ use crate::compat::incompatibility_graph;
 use crate::config::MaimonConfig;
 use crate::measure::j_schema;
 use crate::mvd::Mvd;
+use crate::progress::{ProgressEvent, RunControl};
 use crate::schema::AcyclicSchema;
 use entropy::EntropyOracle;
 use hypergraph::{for_each_maximal_independent_set, Control};
@@ -24,7 +25,7 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// One schema produced by `ASMiner`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DiscoveredSchema {
     /// The synthesized acyclic schema.
     pub schema: AcyclicSchema,
@@ -36,7 +37,7 @@ pub struct DiscoveredSchema {
 }
 
 /// Result of the schema-enumeration phase.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SchemaMiningResult {
     /// Discovered schemas, deduplicated, in enumeration order.
     pub schemas: Vec<DiscoveredSchema>,
@@ -95,26 +96,50 @@ pub fn build_acyclic_schema(universe: AttrSet, mvds: &[Mvd]) -> AcyclicSchema {
 /// Schemas are deduplicated (different MVD sets can synthesize the same
 /// schema); enumeration stops at `config.max_schemas` or when the time budget
 /// of `config.limits` is exhausted.
+///
+/// Convenience form of [`mine_schemas_with`] without cancellation or progress
+/// plumbing.
 pub fn mine_schemas<O: EntropyOracle + ?Sized>(
     oracle: &O,
     universe: AttrSet,
     mvds: &[Mvd],
     config: &MaimonConfig,
 ) -> SchemaMiningResult {
+    mine_schemas_with(oracle, universe, mvds, config, &RunControl::NONE)
+}
+
+/// [`mine_schemas`] with cancellation, deadline and progress plumbing.
+///
+/// When `ctl` fires mid-enumeration the schemas discovered so far are
+/// returned flagged `truncated`, like the `max_schemas` / time-budget paths.
+/// [`ProgressEvent::SchemaFound`] fires once per deduplicated schema.
+pub fn mine_schemas_with<O: EntropyOracle + ?Sized>(
+    oracle: &O,
+    universe: AttrSet,
+    mvds: &[Mvd],
+    config: &MaimonConfig,
+    ctl: &RunControl<'_>,
+) -> SchemaMiningResult {
     let mut result = SchemaMiningResult::default();
+    ctl.emit(ProgressEvent::SchemaMiningStarted { mvds: mvds.len() });
     if mvds.is_empty() {
         // No MVDs: the only schema is the trivial one.
         if let Ok(schema) = AcyclicSchema::trivial(universe) {
             let j = j_schema(oracle, &schema);
             result.schemas.push(DiscoveredSchema { schema, mvds: Vec::new(), j });
+            ctl.emit(ProgressEvent::SchemaFound { discovered: 1 });
         }
+        ctl.emit(ProgressEvent::SchemaMiningFinished {
+            schemas: result.schemas.len(),
+            truncated: false,
+        });
         return result;
     }
 
     let graph = incompatibility_graph(mvds);
     let started = Instant::now();
     let mut seen: BTreeSet<AcyclicSchema> = BTreeSet::new();
-    let mut schemas = Vec::new();
+    let mut schemas: Vec<DiscoveredSchema> = Vec::new();
     let mut truncated = false;
     let mut enumerated = 0usize;
     for_each_maximal_independent_set(&graph, |independent| {
@@ -124,6 +149,7 @@ pub fn mine_schemas<O: EntropyOracle + ?Sized>(
         if seen.insert(schema.clone()) {
             let j = j_schema(oracle, &schema);
             schemas.push(DiscoveredSchema { schema, mvds: selected, j });
+            ctl.emit(ProgressEvent::SchemaFound { discovered: schemas.len() });
         }
         if let Some(max) = config.max_schemas {
             if schemas.len() >= max {
@@ -137,11 +163,19 @@ pub fn mine_schemas<O: EntropyOracle + ?Sized>(
                 return Control::Stop;
             }
         }
+        if ctl.should_stop() {
+            truncated = true;
+            return Control::Stop;
+        }
         Control::Continue
     });
     result.schemas = schemas;
     result.independent_sets_enumerated = enumerated;
     result.truncated = truncated;
+    ctl.emit(ProgressEvent::SchemaMiningFinished {
+        schemas: result.schemas.len(),
+        truncated: result.truncated,
+    });
     result
 }
 

@@ -8,7 +8,13 @@ use std::time::Duration;
 /// phase by wall-clock time (5 hours for full-MVD mining in Table 2, 30
 /// minutes per threshold in §8.4 and §14.1); count limits are additionally
 /// exposed so unit tests and benchmarks stay fast and deterministic.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`MiningLimits::builder`] (or start from [`MiningLimits::default`] /
+/// [`MiningLimits::small`] via [`MiningLimits::to_builder`]) so future limit
+/// fields are not semver breaks.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct MiningLimits {
     /// Maximum number of full MVDs returned per minimal separator (the
     /// parameter `K` of `getFullMVDs`); `None` means unlimited.
@@ -43,10 +49,98 @@ impl MiningLimits {
             time_budget: Some(Duration::from_secs(30)),
         }
     }
+
+    /// Starts a fluent builder from the default limits.
+    ///
+    /// ```
+    /// use maimon::MiningLimits;
+    /// use std::time::Duration;
+    ///
+    /// let limits = MiningLimits::builder()
+    ///     .max_separators_per_pair(Some(16))
+    ///     .time_budget(Some(Duration::from_secs(5)))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(limits.max_separators_per_pair, Some(16));
+    /// ```
+    pub fn builder() -> MiningLimitsBuilder {
+        MiningLimitsBuilder { inner: MiningLimits::default() }
+    }
+
+    /// Starts a builder seeded with these limits (e.g. to tweak one field of
+    /// [`MiningLimits::small`]).
+    pub fn to_builder(self) -> MiningLimitsBuilder {
+        MiningLimitsBuilder { inner: self }
+    }
+
+    /// Validates the limits: count limits must be at least 1 when present.
+    ///
+    /// # Errors
+    /// Returns [`MaimonError::InvalidConfig`] on a zero count limit.
+    pub fn validate(&self) -> Result<(), MaimonError> {
+        if self.max_full_mvds_per_separator == Some(0)
+            || self.max_separators_per_pair == Some(0)
+            || self.max_lattice_nodes == Some(0)
+        {
+            return Err(MaimonError::InvalidConfig(
+                "count limits must be at least 1 when present".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`MiningLimits`]; validation happens at
+/// [`MiningLimitsBuilder::build`].
+#[derive(Clone, Copy, Debug)]
+#[must_use = "builders do nothing until .build() is called"]
+pub struct MiningLimitsBuilder {
+    inner: MiningLimits,
+}
+
+impl MiningLimitsBuilder {
+    /// Caps the full MVDs returned per minimal separator (`None` = unlimited).
+    pub fn max_full_mvds_per_separator(mut self, value: Option<usize>) -> Self {
+        self.inner.max_full_mvds_per_separator = value;
+        self
+    }
+
+    /// Caps the minimal separators mined per attribute pair.
+    pub fn max_separators_per_pair(mut self, value: Option<usize>) -> Self {
+        self.inner.max_separators_per_pair = value;
+        self
+    }
+
+    /// Caps the lattice nodes explored per `getFullMVDs` invocation.
+    pub fn max_lattice_nodes(mut self, value: Option<usize>) -> Self {
+        self.inner.max_lattice_nodes = value;
+        self
+    }
+
+    /// Sets the wall-clock budget for an entire mining phase.
+    pub fn time_budget(mut self, value: Option<Duration>) -> Self {
+        self.inner.time_budget = value;
+        self
+    }
+
+    /// Validates and produces the limits.
+    ///
+    /// # Errors
+    /// Returns [`MaimonError::InvalidConfig`] on a zero count limit.
+    pub fn build(self) -> Result<MiningLimits, MaimonError> {
+        self.inner.validate()?;
+        Ok(self.inner)
+    }
 }
 
 /// Top-level configuration of a Maimon run.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`MaimonConfig::builder`] (or one of the `with_*` convenience
+/// constructors) so future knobs are not semver breaks. Fields stay public
+/// for reading and in-place mutation.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct MaimonConfig {
     /// Approximation threshold ε: MVDs and schemas with `J ≤ ε` are accepted.
     pub epsilon: f64,
@@ -100,6 +194,31 @@ impl MaimonConfig {
         MaimonConfig { epsilon, threads: Some(threads), ..MaimonConfig::default() }
     }
 
+    /// Starts a fluent builder from the default configuration. Validation
+    /// (finite non-negative ε, no zero limits, no zero thread count) happens
+    /// at [`MaimonConfigBuilder::build`].
+    ///
+    /// ```
+    /// use maimon::MaimonConfig;
+    ///
+    /// let config = MaimonConfig::builder()
+    ///     .epsilon(0.1)
+    ///     .max_schemas(Some(500))
+    ///     .threads(Some(1))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.epsilon, 0.1);
+    /// assert!(MaimonConfig::builder().epsilon(-1.0).build().is_err());
+    /// ```
+    pub fn builder() -> MaimonConfigBuilder {
+        MaimonConfigBuilder { inner: MaimonConfig::default() }
+    }
+
+    /// Starts a builder seeded with this configuration.
+    pub fn to_builder(self) -> MaimonConfigBuilder {
+        MaimonConfigBuilder { inner: self }
+    }
+
     /// Resolves [`Self::threads`] to a concrete worker count (≥ 1): an
     /// explicit setting wins, then the `MAIMON_THREADS` environment variable,
     /// then [`std::thread::available_parallelism`].
@@ -143,6 +262,69 @@ impl MaimonConfig {
     }
 }
 
+/// Fluent builder for [`MaimonConfig`]; validation happens at
+/// [`MaimonConfigBuilder::build`].
+#[derive(Clone, Copy, Debug)]
+#[must_use = "builders do nothing until .build() is called"]
+pub struct MaimonConfigBuilder {
+    inner: MaimonConfig,
+}
+
+impl MaimonConfigBuilder {
+    /// Sets the approximation threshold ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.inner.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the PLI entropy-engine configuration.
+    pub fn entropy(mut self, entropy: EntropyConfig) -> Self {
+        self.inner.entropy = entropy;
+        self
+    }
+
+    /// Toggles the pairwise-consistency pruning of appendix §12.3.
+    pub fn pairwise_consistency_optimization(mut self, enabled: bool) -> Self {
+        self.inner.use_pairwise_consistency_optimization = enabled;
+        self
+    }
+
+    /// Toggles the exhaustive fullness post-check.
+    pub fn verify_fullness(mut self, enabled: bool) -> Self {
+        self.inner.verify_fullness = enabled;
+        self
+    }
+
+    /// Sets the mining resource limits.
+    pub fn limits(mut self, limits: MiningLimits) -> Self {
+        self.inner.limits = limits;
+        self
+    }
+
+    /// Caps the number of schemas enumerated by `ASMiner`.
+    pub fn max_schemas(mut self, max_schemas: Option<usize>) -> Self {
+        self.inner.max_schemas = max_schemas;
+        self
+    }
+
+    /// Sets the worker-thread knob (see [`MaimonConfig::threads`]).
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.inner.threads = threads;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    /// Returns [`MaimonError::InvalidEpsilon`] for a negative or non-finite ε
+    /// and [`MaimonError::InvalidConfig`] for zero count limits or a zero
+    /// thread count.
+    pub fn build(self) -> Result<MaimonConfig, MaimonError> {
+        self.inner.validate()?;
+        Ok(self.inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +361,41 @@ mod tests {
         assert_eq!(config.effective_threads(), 4);
         // The auto setting always resolves to at least one worker.
         assert!(MaimonConfig::default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn builders_validate_at_build() {
+        let config = MaimonConfig::builder()
+            .epsilon(0.25)
+            .verify_fullness(true)
+            .max_schemas(Some(7))
+            .threads(Some(2))
+            .build()
+            .unwrap();
+        assert_eq!(config.epsilon, 0.25);
+        assert!(config.verify_fullness);
+        assert_eq!(config.max_schemas, Some(7));
+        assert_eq!(config.threads, Some(2));
+        // Rejections: negative ε, zero threads, zero count limits.
+        assert!(MaimonConfig::builder().epsilon(-0.5).build().is_err());
+        assert!(MaimonConfig::builder().threads(Some(0)).build().is_err());
+        assert!(MaimonConfig::builder().max_schemas(Some(0)).build().is_err());
+        assert!(MiningLimits::builder().max_lattice_nodes(Some(0)).build().is_err());
+        // Seeded builders start from the given value.
+        let limits = MiningLimits::small().to_builder().time_budget(None).build().unwrap();
+        assert_eq!(limits.time_budget, None);
+        assert_eq!(limits.max_separators_per_pair, MiningLimits::small().max_separators_per_pair);
+        let tweaked = config.to_builder().epsilon(0.5).build().unwrap();
+        assert_eq!(tweaked.epsilon, 0.5);
+        assert_eq!(tweaked.max_schemas, Some(7));
+    }
+
+    #[test]
+    fn config_builder_rejects_zero_limits_inside_limits() {
+        let zero = MiningLimits { max_full_mvds_per_separator: Some(0), ..MiningLimits::default() };
+        assert!(MaimonConfig::builder().limits(zero).build().is_err());
+        assert!(zero.validate().is_err());
+        assert!(MiningLimits::default().validate().is_ok());
     }
 
     #[test]

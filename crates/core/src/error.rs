@@ -5,7 +5,13 @@ use std::fmt;
 
 /// Errors produced by MVD construction, schema synthesis and the mining
 /// drivers.
+///
+/// The enum is `#[non_exhaustive]`: downstream `match`es need a wildcard arm,
+/// and future error conditions are not semver breaks. Cancellation is *not*
+/// an error — a fired [`crate::CancelToken`] yields a well-formed partial
+/// result flagged `truncated`.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum MaimonError {
     /// An error bubbled up from the relational substrate.
     Relation(RelationError),
@@ -37,6 +43,9 @@ pub enum MaimonError {
     /// counting-based quality metrics (which would indicate a bug in one of
     /// the two independent implementations).
     Store(String),
+    /// A serialized result could not be parsed or did not match the expected
+    /// wire shape (see [`crate::wire`]).
+    Wire(String),
 }
 
 impl fmt::Display for MaimonError {
@@ -56,6 +65,7 @@ impl fmt::Display for MaimonError {
                 write!(f, "attribute set {:?} out of range for relation of arity {}", attrs, arity)
             }
             MaimonError::Store(msg) => write!(f, "decomposed store: {}", msg),
+            MaimonError::Wire(msg) => write!(f, "wire format: {}", msg),
         }
     }
 }

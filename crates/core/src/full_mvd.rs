@@ -24,6 +24,7 @@
 
 use crate::measure::{j_partition, within_epsilon};
 use crate::mvd::Mvd;
+use crate::progress::RunControl;
 use entropy::EntropyOracle;
 use relation::AttrSet;
 use std::collections::HashSet;
@@ -104,6 +105,10 @@ fn pairwise_consistent<O: EntropyOracle + ?Sized>(
 /// * `node_limit` caps the number of lattice nodes evaluated; when hit the
 ///   result is marked `truncated`.
 /// * `use_optimization` toggles the pairwise-consistency pruning (Fig. 17).
+/// * `ctl` carries cancellation and deadline plumbing: when it fires
+///   mid-search the traversal stops at the next lattice node and the partial
+///   result is returned flagged `truncated` — the same contract as the node
+///   limit, never an error (pass [`RunControl::NONE`] to opt out).
 pub fn get_full_mvds<O: EntropyOracle + ?Sized>(
     oracle: &O,
     key: AttrSet,
@@ -112,6 +117,7 @@ pub fn get_full_mvds<O: EntropyOracle + ?Sized>(
     limit: Option<usize>,
     node_limit: Option<usize>,
     use_optimization: bool,
+    ctl: &RunControl<'_>,
 ) -> FullMvdSearch {
     let mut result = FullMvdSearch::default();
     let universe = oracle.all_attrs();
@@ -151,6 +157,10 @@ pub fn get_full_mvds<O: EntropyOracle + ?Sized>(
                 result.truncated = true;
                 break;
             }
+        }
+        if ctl.should_stop() {
+            result.truncated = true;
+            break;
         }
         result.nodes_explored += 1;
         let j = j_partition(oracle, key, &blocks);
@@ -223,6 +233,7 @@ pub fn is_separator<O: EntropyOracle + ?Sized>(
     pair: (usize, usize),
     node_limit: Option<usize>,
     use_optimization: bool,
+    ctl: &RunControl<'_>,
 ) -> bool {
     let universe = oracle.all_attrs();
     let key = key.intersect(universe);
@@ -239,7 +250,7 @@ pub fn is_separator<O: EntropyOracle + ?Sized>(
     if !within_epsilon(quick, epsilon) {
         return false;
     }
-    !get_full_mvds(oracle, key, epsilon, pair, Some(1), node_limit, use_optimization)
+    !get_full_mvds(oracle, key, epsilon, pair, Some(1), node_limit, use_optimization, ctl)
         .mvds
         .is_empty()
 }
@@ -276,7 +287,8 @@ mod tests {
         let rel = running_example(false);
         let o = NaiveEntropyOracle::new(&rel);
         for opt in [false, true] {
-            let found = get_full_mvds(&o, attrs(&[0]), 0.0, (5, 1), None, None, opt);
+            let found =
+                get_full_mvds(&o, attrs(&[0]), 0.0, (5, 1), None, None, opt, &RunControl::NONE);
             assert!(!found.mvds.is_empty(), "opt={}", opt);
             for mvd in &found.mvds {
                 assert!(mvd_holds(&o, mvd, 0.0));
@@ -296,8 +308,10 @@ mod tests {
                 (attrs(&[0, 3]), (2, 1)),
                 (attrs(&[1, 3]), (4, 0)),
             ] {
-                let plain = get_full_mvds(&o, key, epsilon, pair, None, None, false);
-                let optimized = get_full_mvds(&o, key, epsilon, pair, None, None, true);
+                let plain =
+                    get_full_mvds(&o, key, epsilon, pair, None, None, false, &RunControl::NONE);
+                let optimized =
+                    get_full_mvds(&o, key, epsilon, pair, None, None, true, &RunControl::NONE);
                 let mut a = plain.mvds.clone();
                 let mut b = optimized.mvds.clone();
                 a.sort();
@@ -313,8 +327,10 @@ mod tests {
     fn optimization_explores_no_more_nodes() {
         let rel = running_example(true);
         let o = NaiveEntropyOracle::new(&rel);
-        let plain = get_full_mvds(&o, attrs(&[0]), 0.1, (5, 1), None, None, false);
-        let optimized = get_full_mvds(&o, attrs(&[0]), 0.1, (5, 1), None, None, true);
+        let plain =
+            get_full_mvds(&o, attrs(&[0]), 0.1, (5, 1), None, None, false, &RunControl::NONE);
+        let optimized =
+            get_full_mvds(&o, attrs(&[0]), 0.1, (5, 1), None, None, true, &RunControl::NONE);
         assert!(optimized.nodes_explored <= plain.nodes_explored);
     }
 
@@ -323,7 +339,16 @@ mod tests {
         let rel = running_example(true);
         let o = NaiveEntropyOracle::new(&rel);
         for epsilon in [0.0, 0.3, 0.7] {
-            let found = get_full_mvds(&o, attrs(&[0]), epsilon, (5, 1), None, None, true);
+            let found = get_full_mvds(
+                &o,
+                attrs(&[0]),
+                epsilon,
+                (5, 1),
+                None,
+                None,
+                true,
+                &RunControl::NONE,
+            );
             for mvd in &found.mvds {
                 assert!(
                     is_full_mvd(&o, mvd, epsilon),
@@ -340,7 +365,8 @@ mod tests {
     fn limit_k_caps_output() {
         let rel = running_example(true);
         let o = NaiveEntropyOracle::new(&rel);
-        let found = get_full_mvds(&o, attrs(&[0]), 2.0, (5, 1), Some(1), None, false);
+        let found =
+            get_full_mvds(&o, attrs(&[0]), 2.0, (5, 1), Some(1), None, false, &RunControl::NONE);
         assert_eq!(found.mvds.len(), 1);
     }
 
@@ -348,7 +374,8 @@ mod tests {
     fn node_limit_truncates() {
         let rel = running_example(true);
         let o = NaiveEntropyOracle::new(&rel);
-        let found = get_full_mvds(&o, attrs(&[0]), 0.0, (5, 1), None, Some(1), false);
+        let found =
+            get_full_mvds(&o, attrs(&[0]), 0.0, (5, 1), None, Some(1), false, &RunControl::NONE);
         assert!(found.truncated || found.nodes_explored <= 1);
     }
 
@@ -357,13 +384,16 @@ mod tests {
         let rel = running_example(false);
         let o = NaiveEntropyOracle::new(&rel);
         // Pair attribute inside the key.
-        let found = get_full_mvds(&o, attrs(&[0]), 0.0, (0, 1), None, None, true);
+        let found =
+            get_full_mvds(&o, attrs(&[0]), 0.0, (0, 1), None, None, true, &RunControl::NONE);
         assert!(found.mvds.is_empty());
         // Identical pair.
-        let found = get_full_mvds(&o, attrs(&[0]), 0.0, (1, 1), None, None, true);
+        let found =
+            get_full_mvds(&o, attrs(&[0]), 0.0, (1, 1), None, None, true, &RunControl::NONE);
         assert!(found.mvds.is_empty());
         // Pair out of range.
-        let found = get_full_mvds(&o, attrs(&[0]), 0.0, (1, 60), None, None, true);
+        let found =
+            get_full_mvds(&o, attrs(&[0]), 0.0, (1, 60), None, None, true, &RunControl::NONE);
         assert!(found.mvds.is_empty());
     }
 
@@ -377,7 +407,8 @@ mod tests {
             Relation::from_rows(schema, &[vec!["0", "0", "0", "0"], vec!["0", "1", "1", "1"]])
                 .unwrap();
         let o = NaiveEntropyOracle::new(&rel);
-        let found = get_full_mvds(&o, attrs(&[0]), 1.0, (1, 2), None, None, true);
+        let found =
+            get_full_mvds(&o, attrs(&[0]), 1.0, (1, 2), None, None, true, &RunControl::NONE);
         assert!(!found.mvds.is_empty());
         for mvd in &found.mvds {
             assert!(mvd.separates(1, 2));
@@ -392,14 +423,14 @@ mod tests {
         let rel = running_example(false);
         let o = NaiveEntropyOracle::new(&rel);
         // A is a separator of (F, B): A ↠ F | BCDE holds.
-        assert!(is_separator(&o, attrs(&[0]), 0.0, (5, 1), None, true));
+        assert!(is_separator(&o, attrs(&[0]), 0.0, (5, 1), None, true, &RunControl::NONE));
         // B is not a separator of (A, F) at ε = 0 (F depends on A, not B).
-        assert!(!is_separator(&o, attrs(&[1]), 0.0, (0, 5), None, true));
+        assert!(!is_separator(&o, attrs(&[1]), 0.0, (0, 5), None, true, &RunControl::NONE));
         // A set containing one of the pair attributes is never a separator.
-        assert!(!is_separator(&o, attrs(&[0, 5]), 0.0, (5, 1), None, true));
+        assert!(!is_separator(&o, attrs(&[0, 5]), 0.0, (5, 1), None, true, &RunControl::NONE));
         // The empty key can be a separator when the pair is independent;
         // here A and F are perfectly correlated so it is not.
-        assert!(!is_separator(&o, AttrSet::empty(), 0.0, (0, 5), None, true));
+        assert!(!is_separator(&o, AttrSet::empty(), 0.0, (0, 5), None, true, &RunControl::NONE));
     }
 
     #[test]
@@ -413,6 +444,6 @@ mod tests {
         )
         .unwrap();
         let o = NaiveEntropyOracle::new(&rel);
-        assert!(is_separator(&o, AttrSet::empty(), 0.0, (0, 1), None, true));
+        assert!(is_separator(&o, AttrSet::empty(), 0.0, (0, 1), None, true, &RunControl::NONE));
     }
 }

@@ -27,7 +27,16 @@
 //!    re-joining (`decompose` crate; [`evaluate_schema_checked`] cross-checks
 //!    the store's exact counts against the counting-based metrics).
 //!
-//! The [`Maimon`] facade runs the whole pipeline:
+//! ## Session API
+//!
+//! The pipeline is exposed as staged, cached artifacts of a long-lived
+//! [`MaimonSession`] owning one shared entropy oracle:
+//! `session.mvds(ε)` → `session.schemas(ε)` → `session.quality(ε)` →
+//! `session.decompose_best(ε)`, with [`MaimonSession::epsilon_sweep`] mining
+//! many thresholds over the same oracle, [`CancelToken`] / deadlines /
+//! [`ProgressSink`] for service-grade control, and a stable JSON wire format
+//! ([`wire`]) for every result type. The one-shot [`Maimon`] facade remains
+//! as a thin compatibility shim:
 //!
 //! ```
 //! use maimon::{Maimon, MaimonConfig};
@@ -57,17 +66,23 @@ mod error;
 mod fd;
 mod full_mvd;
 mod join_tree;
+pub mod json;
 mod maimon;
 mod measure;
 mod miner;
 mod minsep;
 mod mvd;
+mod progress;
 mod quality;
 mod schema;
+mod session;
+pub mod wire;
 
-pub use asminer::{build_acyclic_schema, mine_schemas, DiscoveredSchema, SchemaMiningResult};
+pub use asminer::{
+    build_acyclic_schema, mine_schemas, mine_schemas_with, DiscoveredSchema, SchemaMiningResult,
+};
 pub use compat::{compatible, incompatibility_graph, incompatible, pairwise_compatible};
-pub use config::{MaimonConfig, MiningLimits};
+pub use config::{MaimonConfig, MaimonConfigBuilder, MiningLimits, MiningLimitsBuilder};
 pub use error::MaimonError;
 pub use fd::{mine_fds, Fd, FdMiningResult};
 pub use full_mvd::{get_full_mvds, is_separator, FullMvdSearch};
@@ -77,14 +92,16 @@ pub use measure::{
     is_full_mvd, j_join_tree, j_mvd, j_partition, j_schema, mvd_holds, schema_holds,
     within_epsilon, EPSILON_TOLERANCE,
 };
-pub use miner::{fan_out_pairs, mine_mvds, MiningStats, MvdMiningResult};
+pub use miner::{fan_out_pairs, mine_mvds, mine_mvds_with, MiningStats, MvdMiningResult};
 pub use minsep::{mine_min_seps, minimal_separators_bruteforce, reduce_min_sep, MinSepResult};
 pub use mvd::Mvd;
+pub use progress::{CancelToken, CountingSink, ProgressEvent, ProgressSink, RunControl};
 pub use quality::{
     evaluate_schema, evaluate_schema_checked, pareto_front, spurious_tuples_pct,
     storage_savings_pct, SchemaQuality,
 };
 pub use schema::AcyclicSchema;
+pub use session::{MaimonSession, SweepPoint};
 
 // Re-export the substrate crates so downstream users (examples, benches,
 // integration tests) only need to depend on `maimon`.

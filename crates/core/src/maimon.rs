@@ -6,18 +6,25 @@
 //! acyclic schemas supported by those MVDs (`ASMiner`), and each schema is
 //! returned with its measured J and its quality metrics (savings, spurious
 //! tuples, width, …).
+//!
+//! Since the session redesign the facade is a *one-shot compatibility shim*
+//! over [`crate::MaimonSession`]: each call builds a fresh session (and thus
+//! a fresh oracle) and discards it. Anything that mines more than once over
+//! the same relation — several thresholds, staged artifacts, progress or
+//! cancellation — should hold a [`crate::MaimonSession`] instead.
 
-use crate::asminer::{mine_schemas, DiscoveredSchema, SchemaMiningResult};
+use crate::asminer::{DiscoveredSchema, SchemaMiningResult};
 use crate::config::MaimonConfig;
 use crate::error::MaimonError;
-use crate::fd::{mine_fds, FdMiningResult};
-use crate::miner::{mine_mvds, MvdMiningResult};
-use crate::quality::{evaluate_schema, pareto_front, SchemaQuality};
-use entropy::{EntropyOracle, PliEntropyOracle};
+use crate::fd::FdMiningResult;
+use crate::miner::MvdMiningResult;
+use crate::quality::SchemaQuality;
+use crate::session::MaimonSession;
 use relation::Relation;
+use std::sync::Arc;
 
 /// A discovered schema together with its quality report.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RankedSchema {
     /// The schema, its MVD support and its J-measure.
     pub discovered: DiscoveredSchema,
@@ -26,7 +33,7 @@ pub struct RankedSchema {
 }
 
 /// The complete output of a Maimon run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MaimonResult {
     /// Phase-one output: the set `M_ε` plus separators and statistics.
     pub mvds: MvdMiningResult,
@@ -41,6 +48,13 @@ pub struct MaimonResult {
 
 /// The Maimon system: approximate MVD and acyclic-schema discovery for a
 /// single relation instance.
+///
+/// This is the one-shot convenience facade; it remains for compatibility and
+/// simple scripts. **Prefer [`MaimonSession`]** for anything long-lived: a
+/// session reuses one entropy oracle across thresholds and stages
+/// (`mvds` → `schemas` → `quality` → `decompose`), supports ε-sweeps,
+/// progress reporting and cancellation, and caches every artifact. Each
+/// method below builds a throwaway session internally.
 ///
 /// ```
 /// use maimon::{Maimon, MaimonConfig};
@@ -70,15 +84,8 @@ impl<'a> Maimon<'a> {
     /// Returns an error if the configuration is invalid or the relation is
     /// empty or too narrow to decompose (fewer than two attributes).
     pub fn new(relation: &'a Relation, config: MaimonConfig) -> Result<Self, MaimonError> {
-        config.validate()?;
-        if relation.arity() < 2 {
-            return Err(MaimonError::InvalidConfig(
-                "schema mining needs at least two attributes".into(),
-            ));
-        }
-        if relation.is_empty() {
-            return Err(MaimonError::InvalidConfig("relation has no tuples".into()));
-        }
+        // Same contract as the session (this facade is a shim over it).
+        MaimonSession::validate_inputs(relation, &config)?;
         Ok(Maimon { relation, config })
     }
 
@@ -92,64 +99,59 @@ impl<'a> Maimon<'a> {
         self.relation
     }
 
-    fn oracle(&self) -> PliEntropyOracle<'a> {
-        PliEntropyOracle::new(self.relation, self.config.entropy)
+    fn session(&self) -> Result<MaimonSession<'a>, MaimonError> {
+        MaimonSession::new(self.relation, self.config)
     }
 
     /// Phase one only: mine the full ε-MVDs with minimal-separator keys.
     pub fn mine_mvds(&self) -> MvdMiningResult {
-        let oracle = self.oracle();
-        mine_mvds(&oracle, &self.config)
+        let session = self.session().expect("inputs validated by Maimon::new");
+        let mined = session.mvds(self.config.epsilon).expect("epsilon validated by Maimon::new");
+        drop(session);
+        Arc::try_unwrap(mined).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Phase two only: enumerate schemas supported by an already-mined MVD
     /// set.
     pub fn mine_schemas(&self, mvds: &MvdMiningResult) -> SchemaMiningResult {
-        let oracle = self.oracle();
+        use crate::asminer::mine_schemas;
+        use entropy::PliEntropyOracle;
+        // An externally supplied MVD set cannot go through the session's
+        // staged cache (the session would re-mine stage one); run phase two
+        // directly over a fresh oracle, as the facade always has.
+        let oracle = PliEntropyOracle::new(self.relation, self.config.entropy);
         mine_schemas(&oracle, self.relation.schema().all_attrs(), &mvds.mvds, &self.config)
     }
 
     /// Mines approximate functional dependencies with the same oracle
     /// (extension; see [`crate::mine_fds`]).
     pub fn mine_fds(&self, max_lhs_size: usize) -> FdMiningResult {
-        let oracle = self.oracle();
-        mine_fds(&oracle, self.config.epsilon, max_lhs_size)
+        let session = self.session().expect("inputs validated by Maimon::new");
+        session.mine_fds(max_lhs_size)
     }
 
     /// Runs both phases and evaluates every discovered schema.
+    ///
+    /// Equivalent to `MaimonSession::new(rel, config)?.quality(config.epsilon)`
+    /// with the session discarded afterwards; hold a [`MaimonSession`] to
+    /// keep the oracle and artifacts alive across calls.
     ///
     /// # Errors
     /// Returns an error if a quality evaluation fails (which would indicate a
     /// bug in schema synthesis, e.g. a schema not covering the signature).
     pub fn run(&self) -> Result<MaimonResult, MaimonError> {
-        let oracle = self.oracle();
-        let mvds = mine_mvds(&oracle, &self.config);
-        let schemas_raw =
-            mine_schemas(&oracle, self.relation.schema().all_attrs(), &mvds.mvds, &self.config);
-        let mut schemas = Vec::with_capacity(schemas_raw.schemas.len());
-        for discovered in schemas_raw.schemas {
-            let quality = evaluate_schema(self.relation, &discovered.schema)?;
-            schemas.push(RankedSchema { discovered, quality });
-        }
-        let points: Vec<(f64, f64)> = schemas
-            .iter()
-            .map(|s| (s.quality.storage_savings_pct, s.quality.spurious_tuples_pct))
-            .collect();
-        let pareto = pareto_front(&points);
-        Ok(MaimonResult {
-            truncated: mvds.stats.truncated || schemas_raw.truncated,
-            mvds,
-            schemas,
-            pareto,
-        })
+        let session = self.session()?;
+        let result = session.quality(self.config.epsilon)?;
+        drop(session);
+        Ok(Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Convenience helper: the entropy of an attribute set under the
     /// relation's empirical distribution (useful for exploration and
     /// examples).
     pub fn entropy(&self, attrs: relation::AttrSet) -> f64 {
-        let oracle = self.oracle();
-        oracle.entropy(attrs)
+        let session = self.session().expect("inputs validated by Maimon::new");
+        session.entropy(attrs)
     }
 }
 

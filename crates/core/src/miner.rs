@@ -21,6 +21,7 @@ use crate::full_mvd::get_full_mvds;
 use crate::measure::is_full_mvd;
 use crate::minsep::mine_min_seps;
 use crate::mvd::Mvd;
+use crate::progress::{ProgressEvent, RunControl};
 use entropy::{EntropyOracle, OracleStats};
 use relation::AttrSet;
 use std::collections::{BTreeMap, BTreeSet};
@@ -28,7 +29,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Statistics of one `MVDMiner` run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MiningStats {
     /// Attribute pairs examined.
     pub pairs_processed: usize,
@@ -50,7 +51,7 @@ pub struct MiningStats {
 
 /// The result of the MVD-mining phase: the set `M_ε`, the minimal separators
 /// per attribute pair, and run statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MvdMiningResult {
     /// All discovered full ε-MVDs with minimal-separator keys (deduplicated).
     pub mvds: Vec<Mvd>,
@@ -91,11 +92,12 @@ fn mine_pair<O: EntropyOracle + ?Sized>(
     oracle: &O,
     config: &MaimonConfig,
     pair: (usize, usize),
+    ctl: &RunControl<'_>,
 ) -> PairOutcome {
     let epsilon = config.epsilon;
     let limits = config.limits;
     let use_opt = config.use_pairwise_consistency_optimization;
-    let seps = mine_min_seps(oracle, epsilon, pair, &limits, use_opt);
+    let seps = mine_min_seps(oracle, epsilon, pair, &limits, use_opt, ctl);
     let mut outcome = PairOutcome {
         pair,
         transversals_tested: seps.transversals_tested,
@@ -113,6 +115,7 @@ fn mine_pair<O: EntropyOracle + ?Sized>(
             limits.max_full_mvds_per_separator,
             limits.max_lattice_nodes,
             use_opt,
+            ctl,
         );
         outcome.lattice_nodes_explored += search.nodes_explored;
         outcome.truncated |= search.truncated;
@@ -133,13 +136,15 @@ fn mine_pair<O: EntropyOracle + ?Sized>(
 /// enumeration, and the outcomes are returned sorted by that index — so the
 /// caller's merge is order-identical to a sequential loop.
 ///
-/// The returned flag is `true` iff the time budget stopped the fan-out
-/// before every pair was processed; a budget that expires only after the
-/// last pair completes does *not* truncate, on either path.
+/// The returned flag is `true` iff the time budget (or the cancellation /
+/// deadline control) stopped the fan-out before every pair was processed; a
+/// budget that expires only after the last pair completes does *not*
+/// truncate, on either path.
 pub fn fan_out_pairs<T, F>(
     n: usize,
     threads: usize,
     budget: Option<Duration>,
+    ctl: &RunControl<'_>,
     work: F,
 ) -> (Vec<T>, bool)
 where
@@ -148,7 +153,7 @@ where
 {
     let pairs: Vec<(usize, usize)> = (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).collect();
     let started = Instant::now();
-    let over_budget = move || budget.is_some_and(|b| started.elapsed() > b);
+    let over_budget = move || budget.is_some_and(|b| started.elapsed() > b) || ctl.should_stop();
 
     let mut outcomes: Vec<(usize, T)> = if threads <= 1 {
         let mut outcomes = Vec::with_capacity(pairs.len());
@@ -195,7 +200,26 @@ where
 /// Runs `MVDMiner` over every attribute pair of the oracle's relation,
 /// fanning out over `config.effective_threads()` workers (1 = the sequential
 /// path) and merging the per-pair outcomes deterministically.
+///
+/// Convenience form of [`mine_mvds_with`] without cancellation or progress
+/// plumbing.
 pub fn mine_mvds<O: EntropyOracle + ?Sized>(oracle: &O, config: &MaimonConfig) -> MvdMiningResult {
+    mine_mvds_with(oracle, config, &RunControl::NONE)
+}
+
+/// [`mine_mvds`] with cancellation, deadline and progress plumbing.
+///
+/// When `ctl` fires mid-run the fan-out stops claiming pairs, in-flight pairs
+/// wind down at their next check, and the merged partial result is returned
+/// flagged `truncated` — the same contract as the time-budget path. Progress
+/// events ([`ProgressEvent::MvdMiningStarted`], [`ProgressEvent::PairMined`],
+/// [`ProgressEvent::MvdMiningFinished`]) fire on the attached sink; the
+/// per-pair events fire from worker threads in completion order.
+pub fn mine_mvds_with<O: EntropyOracle + ?Sized>(
+    oracle: &O,
+    config: &MaimonConfig,
+    ctl: &RunControl<'_>,
+) -> MvdMiningResult {
     let started = Instant::now();
     let mut result = MvdMiningResult::default();
     let n = oracle.arity();
@@ -203,9 +227,19 @@ pub fn mine_mvds<O: EntropyOracle + ?Sized>(oracle: &O, config: &MaimonConfig) -
     let threads = config.effective_threads().min(pair_count).max(1);
     result.stats.threads = threads;
 
+    ctl.emit(ProgressEvent::MvdMiningStarted { pairs: pair_count });
+    let done = AtomicUsize::new(0);
     let (outcomes, budget_hit) =
-        fan_out_pairs(n, threads, config.limits.time_budget, |pair, _index| {
-            mine_pair(oracle, config, pair)
+        fan_out_pairs(n, threads, config.limits.time_budget, ctl, |pair, _index| {
+            let outcome = mine_pair(oracle, config, pair, ctl);
+            ctl.emit(ProgressEvent::PairMined {
+                pair,
+                done: done.fetch_add(1, Ordering::Relaxed) + 1,
+                total: pair_count,
+                separators: outcome.separators.len(),
+                mvds: outcome.mvds.len(),
+            });
+            outcome
         });
     result.stats.truncated |= budget_hit;
 
@@ -228,6 +262,10 @@ pub fn mine_mvds<O: EntropyOracle + ?Sized>(oracle: &O, config: &MaimonConfig) -
     result.mvds = seen.into_iter().collect();
     result.stats.elapsed = started.elapsed();
     result.stats.oracle = oracle.stats();
+    ctl.emit(ProgressEvent::MvdMiningFinished {
+        mvds: result.mvds.len(),
+        truncated: result.stats.truncated,
+    });
     result
 }
 

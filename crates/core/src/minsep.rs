@@ -16,6 +16,7 @@
 
 use crate::config::MiningLimits;
 use crate::full_mvd::is_separator;
+use crate::progress::RunControl;
 use entropy::EntropyOracle;
 use hypergraph::minimal_transversals;
 use relation::AttrSet;
@@ -43,6 +44,7 @@ pub fn reduce_min_sep<O: EntropyOracle + ?Sized>(
     pair: (usize, usize),
     limits: &MiningLimits,
     use_optimization: bool,
+    ctl: &RunControl<'_>,
 ) -> AttrSet {
     let mut current = start;
     for attr in start.iter() {
@@ -54,6 +56,7 @@ pub fn reduce_min_sep<O: EntropyOracle + ?Sized>(
             pair,
             limits.max_lattice_nodes,
             use_optimization,
+            ctl,
         ) {
             current = candidate;
         }
@@ -65,12 +68,17 @@ pub fn reduce_min_sep<O: EntropyOracle + ?Sized>(
 ///
 /// Returns an empty result when even the largest candidate `Ω ∖ {A,B}` does
 /// not separate the pair (equivalently `I(A; B | Ω∖{A,B}) > ε`).
+///
+/// `ctl` carries cancellation/deadline plumbing: when it fires the search
+/// stops at the next candidate and the separators found so far are returned
+/// flagged `truncated` (pass [`RunControl::NONE`] to opt out).
 pub fn mine_min_seps<O: EntropyOracle + ?Sized>(
     oracle: &O,
     epsilon: f64,
     pair: (usize, usize),
     limits: &MiningLimits,
     use_optimization: bool,
+    ctl: &RunControl<'_>,
 ) -> MinSepResult {
     let mut result = MinSepResult::default();
     let universe = oracle.all_attrs();
@@ -82,10 +90,15 @@ pub fn mine_min_seps<O: EntropyOracle + ?Sized>(
     let started = Instant::now();
 
     // Line 3: the largest candidate separator must work, otherwise none does.
-    if !is_separator(oracle, ground, epsilon, pair, limits.max_lattice_nodes, use_optimization) {
+    if !is_separator(oracle, ground, epsilon, pair, limits.max_lattice_nodes, use_optimization, ctl)
+    {
+        // A "no" forced by cancellation/deadline firing inside the check is
+        // not a real "no separators exist" — flag it, so a cancelled run is
+        // always distinguishable from an exhaustive one.
+        result.truncated = ctl.should_stop();
         return result;
     }
-    let first = reduce_min_sep(oracle, epsilon, ground, pair, limits, use_optimization);
+    let first = reduce_min_sep(oracle, epsilon, ground, pair, limits, use_optimization, ctl);
     result.separators.push(first);
 
     let mut processed: HashSet<u64> = HashSet::new();
@@ -101,6 +114,10 @@ pub fn mine_min_seps<O: EntropyOracle + ?Sized>(
                 result.truncated = true;
                 break;
             }
+        }
+        if ctl.should_stop() {
+            result.truncated = true;
+            break;
         }
         // Enumerate the minimal transversals of the current separator family
         // and pick one we have not processed yet.
@@ -126,9 +143,10 @@ pub fn mine_min_seps<O: EntropyOracle + ?Sized>(
             pair,
             limits.max_lattice_nodes,
             use_optimization,
+            ctl,
         ) {
             let minimal =
-                reduce_min_sep(oracle, epsilon, candidate, pair, limits, use_optimization);
+                reduce_min_sep(oracle, epsilon, candidate, pair, limits, use_optimization, ctl);
             if !result.separators.contains(&minimal) {
                 result.separators.push(minimal);
             }
@@ -151,7 +169,9 @@ pub fn minimal_separators_bruteforce<O: EntropyOracle + ?Sized>(
     let ground = universe.without(pair.0).without(pair.1);
     let mut separators: Vec<AttrSet> = ground
         .subsets()
-        .filter(|&s| is_separator(oracle, s, epsilon, pair, None, use_optimization))
+        .filter(|&s| {
+            is_separator(oracle, s, epsilon, pair, None, use_optimization, &RunControl::NONE)
+        })
         .collect();
     let all = separators.clone();
     separators.retain(|&s| !all.iter().any(|&t| t != s && t.is_subset_of(s)));
@@ -186,12 +206,20 @@ mod tests {
         let limits = MiningLimits::default();
         // Start from Ω \ {F, B} and reduce for the pair (F=5, B=1).
         let start = AttrSet::full(6).without(5).without(1);
-        let minimal = reduce_min_sep(&o, 0.0, start, (5, 1), &limits, true);
+        let minimal = reduce_min_sep(&o, 0.0, start, (5, 1), &limits, true, &RunControl::NONE);
         assert!(minimal.is_subset_of(start));
-        assert!(is_separator(&o, minimal, 0.0, (5, 1), None, true));
+        assert!(is_separator(&o, minimal, 0.0, (5, 1), None, true, &RunControl::NONE));
         // Minimality: removing any attribute breaks separation.
         for attr in minimal.iter() {
-            assert!(!is_separator(&o, minimal.without(attr), 0.0, (5, 1), None, true));
+            assert!(!is_separator(
+                &o,
+                minimal.without(attr),
+                0.0,
+                (5, 1),
+                None,
+                true,
+                &RunControl::NONE
+            ));
         }
     }
 
@@ -202,7 +230,7 @@ mod tests {
         let pairs = [(5usize, 1usize), (2, 1), (4, 0), (0, 5), (2, 4)];
         for &pair in &pairs {
             let o1 = NaiveEntropyOracle::new(&rel);
-            let mined = mine_min_seps(&o1, 0.0, pair, &limits, true);
+            let mined = mine_min_seps(&o1, 0.0, pair, &limits, true, &RunControl::NONE);
             let o2 = NaiveEntropyOracle::new(&rel);
             let brute = minimal_separators_bruteforce(&o2, 0.0, pair, true);
             assert_eq!(mined.separators, brute, "pair {:?}", pair);
@@ -217,7 +245,7 @@ mod tests {
         for epsilon in [0.0, 0.2, 0.5] {
             for &pair in &[(5usize, 1usize), (2, 4)] {
                 let o1 = NaiveEntropyOracle::new(&rel);
-                let mined = mine_min_seps(&o1, epsilon, pair, &limits, true);
+                let mined = mine_min_seps(&o1, epsilon, pair, &limits, true, &RunControl::NONE);
                 let o2 = NaiveEntropyOracle::new(&rel);
                 let brute = minimal_separators_bruteforce(&o2, epsilon, pair, true);
                 assert_eq!(mined.separators, brute, "ε={} pair {:?}", epsilon, pair);
@@ -238,11 +266,11 @@ mod tests {
         let rel = Relation::from_rows(schema, &[vec!["0", "x", "0"], vec!["1", "x", "1"]]).unwrap();
         let o = NaiveEntropyOracle::new(&rel);
         let limits = MiningLimits::default();
-        let mined = mine_min_seps(&o, 0.0, (0, 2), &limits, true);
+        let mined = mine_min_seps(&o, 0.0, (0, 2), &limits, true, &RunControl::NONE);
         assert!(mined.separators.is_empty());
         // With a large enough ε the pair becomes separable (J ≤ ε tolerates
         // the 1 bit of shared information).
-        let mined = mine_min_seps(&o, 1.0, (0, 2), &limits, true);
+        let mined = mine_min_seps(&o, 1.0, (0, 2), &limits, true, &RunControl::NONE);
         assert!(!mined.separators.is_empty());
     }
 
@@ -251,8 +279,37 @@ mod tests {
         let rel = running_example(false);
         let o = NaiveEntropyOracle::new(&rel);
         let limits = MiningLimits::default();
-        assert!(mine_min_seps(&o, 0.0, (1, 1), &limits, true).separators.is_empty());
-        assert!(mine_min_seps(&o, 0.0, (1, 60), &limits, true).separators.is_empty());
+        assert!(mine_min_seps(&o, 0.0, (1, 1), &limits, true, &RunControl::NONE)
+            .separators
+            .is_empty());
+        assert!(mine_min_seps(&o, 0.0, (1, 60), &limits, true, &RunControl::NONE)
+            .separators
+            .is_empty());
+    }
+
+    #[test]
+    fn cancelled_run_is_flagged_truncated_not_empty() {
+        // A cancellation firing during the very first (ground) separator
+        // check must not masquerade as "no separators exist": the empty
+        // result carries truncated = true.
+        use crate::progress::CancelToken;
+        let rel = running_example(false);
+        let o = NaiveEntropyOracle::new(&rel);
+        let limits = MiningLimits::default();
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = RunControl::new().with_cancel(token);
+        let mined = mine_min_seps(&o, 0.0, (5, 1), &limits, true, &ctl);
+        assert!(mined.separators.is_empty());
+        assert!(mined.truncated);
+        // Whereas a genuine "no separator" outcome stays untruncated.
+        let schema = Schema::new(["A", "B", "F"]).unwrap();
+        let rigid =
+            Relation::from_rows(schema, &[vec!["0", "x", "0"], vec!["1", "x", "1"]]).unwrap();
+        let o = NaiveEntropyOracle::new(&rigid);
+        let mined = mine_min_seps(&o, 0.0, (0, 2), &limits, true, &RunControl::NONE);
+        assert!(mined.separators.is_empty());
+        assert!(!mined.truncated);
     }
 
     #[test]
@@ -260,7 +317,7 @@ mod tests {
         let rel = running_example(true);
         let o = NaiveEntropyOracle::new(&rel);
         let limits = MiningLimits { max_separators_per_pair: Some(1), ..MiningLimits::default() };
-        let mined = mine_min_seps(&o, 0.5, (2, 4), &limits, true);
+        let mined = mine_min_seps(&o, 0.5, (2, 4), &limits, true, &RunControl::NONE);
         assert!(mined.separators.len() <= 1);
     }
 
@@ -269,7 +326,7 @@ mod tests {
         let rel = running_example(false);
         let o = NaiveEntropyOracle::new(&rel);
         let limits = MiningLimits::default();
-        let mined = mine_min_seps(&o, 0.0, (5, 1), &limits, true);
+        let mined = mine_min_seps(&o, 0.0, (5, 1), &limits, true, &RunControl::NONE);
         for sep in &mined.separators {
             assert!(!sep.contains(5));
             assert!(!sep.contains(1));
@@ -282,9 +339,9 @@ mod tests {
         let limits = MiningLimits::default();
         for &pair in &[(5usize, 1usize), (2, 4)] {
             let o1 = NaiveEntropyOracle::new(&rel);
-            let with_opt = mine_min_seps(&o1, 0.3, pair, &limits, true);
+            let with_opt = mine_min_seps(&o1, 0.3, pair, &limits, true, &RunControl::NONE);
             let o2 = NaiveEntropyOracle::new(&rel);
-            let without_opt = mine_min_seps(&o2, 0.3, pair, &limits, false);
+            let without_opt = mine_min_seps(&o2, 0.3, pair, &limits, false, &RunControl::NONE);
             assert_eq!(with_opt.separators, without_opt.separators);
         }
     }

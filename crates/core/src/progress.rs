@@ -1,0 +1,353 @@
+//! Progress reporting and cooperative cancellation for long mining runs.
+//!
+//! The paper's experiments bound every phase by wall-clock time; a production
+//! service additionally needs *external* cancellation (a client disconnects,
+//! a scheduler preempts the request) and live progress so a many-minute run
+//! over a wide relation is observable. Three pieces provide that:
+//!
+//! * [`CancelToken`] — a cheap, cloneable flag shared between the caller and
+//!   the mining algorithms. Firing it makes every plumbed loop stop at its
+//!   next check and return a *well-formed partial result* flagged
+//!   `truncated`, exactly like the pre-existing time-budget path; it is never
+//!   surfaced as an error.
+//! * [`ProgressSink`] — a `Sync` callback observing [`ProgressEvent`]s
+//!   (per-pair completions during MVD mining, per-schema discoveries during
+//!   enumeration). Sinks are invoked from worker threads, so they must be
+//!   cheap and thread-safe.
+//! * [`RunControl`] — the bundle threaded through [`crate::mine_min_seps`],
+//!   [`crate::get_full_mvds`], [`crate::mine_schemas`] and the drivers: an
+//!   optional token, an optional deadline and an optional sink.
+//!   [`RunControl::NONE`] is the no-op used by the convenience entry points.
+//!
+//! ```
+//! use maimon::{CancelToken, RunControl};
+//!
+//! let token = CancelToken::new();
+//! let ctl = RunControl::new().with_cancel(token.clone());
+//! assert!(!ctl.should_stop());
+//! token.cancel();
+//! assert!(ctl.should_stop());
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cloneable cancellation flag.
+///
+/// All clones observe the same flag: firing any of them cancels every run
+/// that carries one. Cancellation is cooperative — the mining loops poll the
+/// token between units of work (lattice nodes, separator candidates,
+/// attribute pairs, enumerated schemas) and wind down returning whatever they
+/// had mined so far, marked `truncated`.
+///
+/// ```
+/// use maimon::CancelToken;
+/// let token = CancelToken::new();
+/// let handle = token.clone();
+/// assert!(!token.is_cancelled());
+/// handle.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-fired token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Fires the token. Idempotent; there is no way to un-cancel.
+    pub fn cancel(&self) {
+        self.fired.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+/// Events emitted while mining. Matched non-exhaustively by sinks — future
+/// phases may add variants without a breaking release.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ProgressEvent {
+    /// Phase one started: `pairs` attribute pairs will be examined.
+    MvdMiningStarted {
+        /// Total canonical attribute pairs to mine.
+        pairs: usize,
+    },
+    /// One attribute pair finished mining (fires from worker threads; `done`
+    /// counts completions in completion order, not pair order).
+    PairMined {
+        /// The attribute pair `(a, b)` with `a < b`.
+        pair: (usize, usize),
+        /// Pairs completed so far, including this one.
+        done: usize,
+        /// Total pairs of the run.
+        total: usize,
+        /// Minimal separators found for this pair.
+        separators: usize,
+        /// Full ε-MVDs mined for this pair (before global deduplication).
+        mvds: usize,
+    },
+    /// Phase one finished.
+    MvdMiningFinished {
+        /// Size of the deduplicated set `M_ε`.
+        mvds: usize,
+        /// `true` if a limit, deadline or cancellation truncated the phase.
+        truncated: bool,
+    },
+    /// Phase two started over a support of `mvds` MVDs.
+    SchemaMiningStarted {
+        /// Number of MVDs in the mined support `M_ε`.
+        mvds: usize,
+    },
+    /// A new (deduplicated) schema was synthesized.
+    SchemaFound {
+        /// Distinct schemas discovered so far, including this one.
+        discovered: usize,
+    },
+    /// Phase two finished.
+    SchemaMiningFinished {
+        /// Distinct schemas discovered.
+        schemas: usize,
+        /// `true` if a limit, deadline or cancellation truncated the phase.
+        truncated: bool,
+    },
+}
+
+/// Observer of [`ProgressEvent`]s. Implementations must be `Sync`: events
+/// fire from the mining worker pool.
+///
+/// ```
+/// use maimon::{ProgressEvent, ProgressSink};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// #[derive(Default)]
+/// struct PairCounter(AtomicUsize);
+/// impl ProgressSink for PairCounter {
+///     fn report(&self, event: ProgressEvent) {
+///         if let ProgressEvent::PairMined { .. } = event {
+///             self.0.fetch_add(1, Ordering::Relaxed);
+///         }
+///     }
+/// }
+/// ```
+pub trait ProgressSink: Sync {
+    /// Called once per event, possibly concurrently from several threads.
+    fn report(&self, event: ProgressEvent);
+}
+
+/// A [`ProgressSink`] that counts events per kind — handy default observer
+/// for tests, examples and smoke monitoring.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    pairs: AtomicUsize,
+    schemas: AtomicUsize,
+    phases_started: AtomicUsize,
+    phases_finished: AtomicUsize,
+}
+
+impl CountingSink {
+    /// Creates a sink with all counters at zero.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// `PairMined` events observed.
+    pub fn pairs_mined(&self) -> usize {
+        self.pairs.load(Ordering::Relaxed)
+    }
+
+    /// `SchemaFound` events observed.
+    pub fn schemas_found(&self) -> usize {
+        self.schemas.load(Ordering::Relaxed)
+    }
+
+    /// `*Started` events observed.
+    pub fn phases_started(&self) -> usize {
+        self.phases_started.load(Ordering::Relaxed)
+    }
+
+    /// `*Finished` events observed.
+    pub fn phases_finished(&self) -> usize {
+        self.phases_finished.load(Ordering::Relaxed)
+    }
+}
+
+impl ProgressSink for CountingSink {
+    fn report(&self, event: ProgressEvent) {
+        match event {
+            ProgressEvent::PairMined { .. } => {
+                self.pairs.fetch_add(1, Ordering::Relaxed);
+            }
+            ProgressEvent::SchemaFound { .. } => {
+                self.schemas.fetch_add(1, Ordering::Relaxed);
+            }
+            ProgressEvent::MvdMiningStarted { .. } | ProgressEvent::SchemaMiningStarted { .. } => {
+                self.phases_started.fetch_add(1, Ordering::Relaxed);
+            }
+            ProgressEvent::MvdMiningFinished { .. }
+            | ProgressEvent::SchemaMiningFinished { .. } => {
+                self.phases_finished.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Cancellation, deadline and progress plumbing for one mining invocation.
+///
+/// Built fluently and passed by reference down the call tree. The deadline is
+/// an *absolute* instant — unlike the per-call `MiningLimits::time_budget`,
+/// it bounds an entire multi-phase run, which is what a service boundary
+/// needs ("this request may use 2 more seconds, wherever it is").
+#[derive(Clone, Debug, Default)]
+pub struct RunControl<'a> {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+    progress: Option<&'a dyn ProgressSink>,
+}
+
+impl std::fmt::Debug for dyn ProgressSink + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dyn ProgressSink")
+    }
+}
+
+impl RunControl<'static> {
+    /// The no-op control: never cancelled, no deadline, no progress sink.
+    pub const NONE: RunControl<'static> =
+        RunControl { cancel: None, deadline: None, progress: None };
+
+    /// Creates an empty control (same as [`RunControl::NONE`], but `self`-
+    /// extensible with the `with_*` builders).
+    pub fn new() -> Self {
+        RunControl::NONE
+    }
+}
+
+impl<'a> RunControl<'a> {
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline to `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Attaches a progress sink (borrowed for the duration of the run).
+    pub fn with_progress<'b>(self, sink: &'b dyn ProgressSink) -> RunControl<'b>
+    where
+        'a: 'b,
+    {
+        RunControl { cancel: self.cancel, deadline: self.deadline, progress: Some(sink) }
+    }
+
+    /// `true` once the attached token (if any) has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// `true` if the run should wind down: cancelled or past the deadline.
+    pub fn should_stop(&self) -> bool {
+        self.is_cancelled() || self.deadline.is_some_and(|d| Instant::now() > d)
+    }
+
+    /// Reports an event to the attached sink, if any.
+    pub fn emit(&self, event: ProgressEvent) {
+        if let Some(sink) = self.progress {
+            sink.report(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_clones_share_the_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        // Idempotent.
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn none_control_never_stops() {
+        assert!(!RunControl::NONE.should_stop());
+        assert!(!RunControl::NONE.is_cancelled());
+        RunControl::NONE.emit(ProgressEvent::MvdMiningStarted { pairs: 3 });
+    }
+
+    #[test]
+    fn deadline_in_the_past_stops() {
+        let ctl = RunControl::new().with_timeout(Duration::from_secs(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(ctl.should_stop());
+        assert!(!ctl.is_cancelled(), "deadline expiry is not cancellation");
+        let generous = RunControl::new().with_timeout(Duration::from_secs(3600));
+        assert!(!generous.should_stop());
+    }
+
+    #[test]
+    fn counting_sink_tallies_events() {
+        let sink = CountingSink::new();
+        let ctl = RunControl::new().with_progress(&sink);
+        ctl.emit(ProgressEvent::MvdMiningStarted { pairs: 2 });
+        ctl.emit(ProgressEvent::PairMined {
+            pair: (0, 1),
+            done: 1,
+            total: 2,
+            separators: 1,
+            mvds: 2,
+        });
+        ctl.emit(ProgressEvent::SchemaFound { discovered: 1 });
+        ctl.emit(ProgressEvent::MvdMiningFinished { mvds: 2, truncated: false });
+        assert_eq!(sink.pairs_mined(), 1);
+        assert_eq!(sink.schemas_found(), 1);
+        assert_eq!(sink.phases_started(), 1);
+        assert_eq!(sink.phases_finished(), 1);
+    }
+
+    #[test]
+    fn sink_is_usable_from_threads() {
+        let sink = CountingSink::new();
+        let ctl = RunControl::new().with_progress(&sink);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let ctl = ctl.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        ctl.emit(ProgressEvent::PairMined {
+                            pair: (0, 1),
+                            done: i,
+                            total: 50,
+                            separators: 0,
+                            mvds: 0,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.pairs_mined(), 200);
+    }
+}

@@ -1,0 +1,613 @@
+//! The long-lived [`MaimonSession`]: staged, cached, separately-invokable
+//! pipeline artifacts over one relation and one shared entropy oracle.
+//!
+//! Every phase of Maimon interacts with the data only through the entropy
+//! oracle, and the oracle's PLI cache is *ε-independent*: the partitions and
+//! entropies computed while mining at one threshold answer the queries of
+//! every other threshold. The one-shot [`crate::Maimon`] facade could not
+//! exploit that — each `run()` rebuilt the oracle — so the ε-sweeps of the
+//! paper's Figures 10–15 paid the PLI construction and every shared entropy
+//! once *per threshold*. A session pays them once per relation:
+//!
+//! ```text
+//! MaimonSession::new(&rel, config)      // oracle built exactly once
+//!     ├─ session.mvds(ε)        → Arc<MvdMiningResult>     (stage 1, cached)
+//!     ├─ session.schemas(ε)     → Arc<SchemaMiningResult>  (stage 2, cached)
+//!     ├─ session.quality(ε)     → Arc<MaimonResult>        (stage 3, cached)
+//!     ├─ session.decompose_best(ε) → materialized DecomposedInstance
+//!     └─ session.epsilon_sweep([ε₁, ε₂, …]) → per-ε results, shared oracle
+//! ```
+//!
+//! Results are bit-identical to fresh per-ε [`crate::Maimon::run`] calls
+//! (`tests/session_equivalence.rs` locks this down across the Table 2
+//! catalog): the mining algorithms are pure functions of the oracle's
+//! answers, and the shared cache changes only *when* an entropy is computed,
+//! never its value.
+//!
+//! Sessions also carry the service-boundary plumbing: a [`CancelToken`] and
+//! an optional deadline make any stage wind down early with a well-formed
+//! result flagged `truncated`, and a [`ProgressSink`] observes per-pair and
+//! per-schema progress (see [`crate::progress`]).
+//!
+//! ```
+//! use maimon::{MaimonConfig, MaimonSession};
+//! use maimon::relation::{Relation, Schema};
+//!
+//! let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();
+//! let rel = Relation::from_rows(schema, &[
+//!     vec!["a1", "b1", "c1", "d1", "e1", "f1"],
+//!     vec!["a2", "b2", "c1", "d1", "e2", "f2"],
+//!     vec!["a2", "b2", "c2", "d2", "e3", "f2"],
+//!     vec!["a1", "b2", "c1", "d2", "e3", "f1"],
+//!     vec!["a1", "b2", "c1", "d2", "e2", "f1"],
+//! ]).unwrap();
+//! let session = MaimonSession::new(&rel, MaimonConfig::default()).unwrap();
+//! // One oracle serves every threshold of the sweep.
+//! let sweep = session.epsilon_sweep([0.0, 0.1, 0.2]).unwrap();
+//! assert_eq!(sweep.len(), 3);
+//! assert!(sweep[2].result.schemas.len() >= sweep[0].result.schemas.len());
+//! // Artifacts are cached: re-asking for a mined threshold is free.
+//! let again = session.quality(0.1).unwrap();
+//! assert!(std::sync::Arc::ptr_eq(&again, &sweep[1].result));
+//! ```
+
+use crate::asminer::{mine_schemas_with, SchemaMiningResult};
+use crate::config::MaimonConfig;
+use crate::error::MaimonError;
+use crate::fd::{mine_fds, FdMiningResult};
+use crate::maimon::{MaimonResult, RankedSchema};
+use crate::miner::{mine_mvds_with, MvdMiningResult};
+use crate::progress::{CancelToken, ProgressSink, RunControl};
+use crate::quality::{evaluate_schema, pareto_front};
+use crate::schema::AcyclicSchema;
+use crate::wire::ToJson;
+use decompose::DecomposedInstance;
+use entropy::{EntropyOracle, OracleStats, PliEntropyOracle};
+use relation::{AttrSet, Relation};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One threshold of an [`MaimonSession::epsilon_sweep`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// The threshold mined.
+    pub epsilon: f64,
+    /// The full pipeline result at this threshold (shared with the session's
+    /// artifact cache).
+    pub result: Arc<MaimonResult>,
+}
+
+impl ToJson for SweepPoint {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::object([
+            ("epsilon", crate::json::Json::from(self.epsilon)),
+            ("result", self.result.to_json()),
+        ])
+    }
+}
+
+/// Canonical cache key for a threshold (normalizes `-0.0` to `0.0`; ε is
+/// validated finite and non-negative before keying).
+fn eps_key(epsilon: f64) -> u64 {
+    (epsilon + 0.0).to_bits()
+}
+
+/// A per-threshold compute-once artifact cache: the map lock is held only to
+/// look up or create the slot, and the slot's [`OnceLock`] serializes the
+/// (potentially minutes-long) computation — concurrent callers for the same
+/// threshold block on the one in-flight computation instead of duplicating
+/// it, so mining work and progress events fire exactly once per artifact.
+type ArtifactSlot<T> = Arc<OnceLock<Result<Arc<T>, MaimonError>>>;
+
+struct ArtifactCache<T> {
+    slots: Mutex<BTreeMap<u64, ArtifactSlot<T>>>,
+}
+
+impl<T> ArtifactCache<T> {
+    fn new() -> Self {
+        ArtifactCache { slots: Mutex::new(BTreeMap::new()) }
+    }
+
+    fn get_or_compute<F>(&self, key: u64, compute: F) -> Result<Arc<T>, MaimonError>
+    where
+        F: FnOnce() -> Result<Arc<T>, MaimonError>,
+    {
+        let slot = {
+            let mut slots = self.slots.lock().expect("session cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        slot.get_or_init(compute).clone()
+    }
+
+    /// Keys whose computation has completed successfully.
+    fn ready_keys(&self) -> Vec<u64> {
+        let slots = self.slots.lock().expect("session cache poisoned");
+        slots
+            .iter()
+            .filter(|(_, slot)| matches!(slot.get(), Some(Ok(_))))
+            .map(|(&key, _)| key)
+            .collect()
+    }
+
+    fn clear(&self) {
+        self.slots.lock().expect("session cache poisoned").clear();
+    }
+}
+
+/// A reusable mining session over one relation instance.
+///
+/// Owns the (single) shared [`PliEntropyOracle`] and the per-threshold
+/// artifact caches; see the module docs above for the staging diagram. The
+/// session is `Sync` — stages may be invoked from several request threads
+/// and each artifact is still computed exactly once.
+pub struct MaimonSession<'a> {
+    relation: &'a Relation,
+    config: MaimonConfig,
+    oracle: PliEntropyOracle<'a>,
+    construction_stats: OracleStats,
+    cancel: Option<CancelToken>,
+    progress: Option<Arc<dyn ProgressSink + Send + Sync>>,
+    deadline: Option<Instant>,
+    mvd_cache: ArtifactCache<MvdMiningResult>,
+    schema_cache: ArtifactCache<SchemaMiningResult>,
+    result_cache: ArtifactCache<MaimonResult>,
+}
+
+impl<'a> MaimonSession<'a> {
+    /// Shared input validation for the session and the [`crate::Maimon`]
+    /// shim (which delegates here so the two contracts cannot drift).
+    pub(crate) fn validate_inputs(
+        relation: &Relation,
+        config: &MaimonConfig,
+    ) -> Result<(), MaimonError> {
+        config.validate()?;
+        if relation.arity() < 2 {
+            return Err(MaimonError::InvalidConfig(
+                "schema mining needs at least two attributes".into(),
+            ));
+        }
+        if relation.is_empty() {
+            return Err(MaimonError::InvalidConfig("relation has no tuples".into()));
+        }
+        Ok(())
+    }
+
+    /// Creates a session, building the shared PLI oracle exactly once.
+    ///
+    /// `config.epsilon` is only the *default* threshold (used by
+    /// [`crate::Maimon::run`] through the compatibility shim); every staged
+    /// accessor takes its threshold explicitly.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is invalid or the relation is
+    /// empty or has fewer than two attributes — the same contract as
+    /// [`crate::Maimon::new`].
+    pub fn new(relation: &'a Relation, config: MaimonConfig) -> Result<Self, MaimonError> {
+        Self::validate_inputs(relation, &config)?;
+        let oracle = PliEntropyOracle::new(relation, config.entropy);
+        let construction_stats = oracle.stats();
+        Ok(MaimonSession {
+            relation,
+            config,
+            oracle,
+            construction_stats,
+            cancel: None,
+            progress: None,
+            deadline: None,
+            mvd_cache: ArtifactCache::new(),
+            schema_cache: ArtifactCache::new(),
+            result_cache: ArtifactCache::new(),
+        })
+    }
+
+    /// Attaches a cancellation token; every subsequent stage polls it and
+    /// winds down with a `truncated` partial result once fired.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a progress sink observing [`crate::ProgressEvent`]s.
+    pub fn with_progress(mut self, sink: Arc<dyn ProgressSink + Send + Sync>) -> Self {
+        self.progress = Some(sink);
+        self
+    }
+
+    /// Sets an absolute deadline for *all* subsequent stages (complementing
+    /// the per-phase `MiningLimits::time_budget`).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The relation being profiled.
+    pub fn relation(&self) -> &Relation {
+        self.relation
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &MaimonConfig {
+        &self.config
+    }
+
+    /// Counters of the shared oracle — cumulative over everything the session
+    /// has mined so far. Right after [`MaimonSession::new`] this equals the
+    /// cost of exactly one oracle construction (the block-precompute
+    /// intersections), which is what `tests/session_equivalence.rs` uses to
+    /// prove the PLI cache is built once per sweep, not once per threshold.
+    pub fn oracle_stats(&self) -> OracleStats {
+        self.oracle.stats()
+    }
+
+    /// The oracle counters as they were at construction time (the cost of
+    /// the one-time PLI block precompute, before any mining).
+    pub fn oracle_construction_stats(&self) -> OracleStats {
+        self.construction_stats
+    }
+
+    /// The thresholds with at least one cached artifact, ascending.
+    pub fn cached_epsilons(&self) -> Vec<f64> {
+        let mut epsilons: Vec<f64> =
+            self.mvd_cache.ready_keys().into_iter().map(f64::from_bits).collect();
+        epsilons.sort_by(|a, b| a.partial_cmp(b).expect("cached thresholds are finite"));
+        epsilons
+    }
+
+    /// Drops every cached artifact (the oracle and its entropy cache are
+    /// kept — those stay valid for any threshold).
+    pub fn clear_artifacts(&self) {
+        self.mvd_cache.clear();
+        self.schema_cache.clear();
+        self.result_cache.clear();
+    }
+
+    /// Entropy of an attribute set under the relation's empirical
+    /// distribution, answered by the shared oracle.
+    pub fn entropy(&self, attrs: AttrSet) -> f64 {
+        self.oracle.entropy(attrs)
+    }
+
+    fn check_epsilon(&self, epsilon: f64) -> Result<(), MaimonError> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(MaimonError::InvalidEpsilon(epsilon));
+        }
+        Ok(())
+    }
+
+    fn config_at(&self, epsilon: f64) -> MaimonConfig {
+        MaimonConfig { epsilon, ..self.config }
+    }
+
+    fn control(&self) -> RunControl<'_> {
+        let mut ctl = RunControl::new();
+        if let Some(token) = &self.cancel {
+            ctl = ctl.with_cancel(token.clone());
+        }
+        if let Some(deadline) = self.deadline {
+            ctl = ctl.with_deadline(deadline);
+        }
+        match &self.progress {
+            Some(sink) => ctl.with_progress(sink.as_ref()),
+            None => ctl,
+        }
+    }
+
+    /// Stage one: the full ε-MVDs `M_ε` with minimal-separator keys, mined
+    /// over the shared oracle and cached per threshold.
+    ///
+    /// # Errors
+    /// Returns [`MaimonError::InvalidEpsilon`] for a negative or non-finite ε.
+    pub fn mvds(&self, epsilon: f64) -> Result<Arc<MvdMiningResult>, MaimonError> {
+        self.check_epsilon(epsilon)?;
+        self.mvd_cache.get_or_compute(eps_key(epsilon), || {
+            Ok(Arc::new(mine_mvds_with(&self.oracle, &self.config_at(epsilon), &self.control())))
+        })
+    }
+
+    /// Stage two: the acyclic schemas supported by `M_ε`, cached per
+    /// threshold; implies stage one.
+    ///
+    /// # Errors
+    /// Returns [`MaimonError::InvalidEpsilon`] for a negative or non-finite ε.
+    pub fn schemas(&self, epsilon: f64) -> Result<Arc<SchemaMiningResult>, MaimonError> {
+        self.check_epsilon(epsilon)?;
+        self.schema_cache.get_or_compute(eps_key(epsilon), || {
+            let mvds = self.mvds(epsilon)?;
+            Ok(Arc::new(mine_schemas_with(
+                &self.oracle,
+                self.relation.schema().all_attrs(),
+                &mvds.mvds,
+                &self.config_at(epsilon),
+                &self.control(),
+            )))
+        })
+    }
+
+    /// Stage three: every discovered schema evaluated against the relation
+    /// (storage savings, spurious tuples, pareto front) — the complete
+    /// pipeline artifact, cached per threshold; implies stages one and two.
+    ///
+    /// # Errors
+    /// Returns [`MaimonError::InvalidEpsilon`] for an invalid ε, or a quality
+    /// evaluation error (which would indicate a schema-synthesis bug).
+    pub fn quality(&self, epsilon: f64) -> Result<Arc<MaimonResult>, MaimonError> {
+        self.check_epsilon(epsilon)?;
+        self.result_cache.get_or_compute(eps_key(epsilon), || {
+            let mvds = self.mvds(epsilon)?;
+            let schemas_raw = self.schemas(epsilon)?;
+            let mut schemas = Vec::with_capacity(schemas_raw.schemas.len());
+            for discovered in &schemas_raw.schemas {
+                let quality = evaluate_schema(self.relation, &discovered.schema)?;
+                schemas.push(RankedSchema { discovered: discovered.clone(), quality });
+            }
+            let points: Vec<(f64, f64)> = schemas
+                .iter()
+                .map(|s| (s.quality.storage_savings_pct, s.quality.spurious_tuples_pct))
+                .collect();
+            Ok(Arc::new(MaimonResult {
+                truncated: mvds.stats.truncated || schemas_raw.truncated,
+                mvds: (*mvds).clone(),
+                pareto: pareto_front(&points),
+                schemas,
+            }))
+        })
+    }
+
+    /// Mines many thresholds over the *same* oracle, amortizing the PLI
+    /// cache across the sweep (Figures 10–15 of the paper are exactly this
+    /// workload). Thresholds already mined are served from the cache.
+    ///
+    /// # Errors
+    /// Fails on the first invalid threshold or evaluation error; completed
+    /// points are kept in the session cache either way.
+    pub fn epsilon_sweep<I>(&self, thresholds: I) -> Result<Vec<SweepPoint>, MaimonError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        thresholds
+            .into_iter()
+            .map(|epsilon| Ok(SweepPoint { epsilon, result: self.quality(epsilon)? }))
+            .collect()
+    }
+
+    /// Stage four: materialize the decomposed store for an explicit schema
+    /// (per-bag projections sharing the original dictionaries; see the
+    /// `decompose` crate).
+    ///
+    /// # Errors
+    /// Returns an error if the schema is cyclic or does not cover the
+    /// relation signature.
+    pub fn decompose_schema(
+        &self,
+        schema: &AcyclicSchema,
+    ) -> Result<DecomposedInstance, MaimonError> {
+        schema.decompose(self.relation)
+    }
+
+    /// Stage four, driven by the pipeline: mines at `epsilon`, picks the
+    /// discovered schema with the best *positive* storage savings, and
+    /// materializes its store. When no discovered schema actually saves
+    /// storage (savings can be negative on small or irreducible instances)
+    /// the trivial single-bag schema is materialized instead — its store is
+    /// never larger than the original relation.
+    ///
+    /// # Errors
+    /// Propagates mining/evaluation/store errors.
+    pub fn decompose_best(
+        &self,
+        epsilon: f64,
+    ) -> Result<(AcyclicSchema, DecomposedInstance), MaimonError> {
+        let result = self.quality(epsilon)?;
+        let schema = result
+            .schemas
+            .iter()
+            .filter(|ranked| ranked.quality.storage_savings_pct > 0.0)
+            .max_by(|a, b| {
+                a.quality
+                    .storage_savings_pct
+                    .partial_cmp(&b.quality.storage_savings_pct)
+                    .expect("savings are finite")
+            })
+            .map(|ranked| ranked.discovered.schema.clone())
+            .map_or_else(|| AcyclicSchema::trivial(self.relation.schema().all_attrs()), Ok)?;
+        let instance = self.decompose_schema(&schema)?;
+        Ok((schema, instance))
+    }
+
+    /// Mines approximate functional dependencies with the shared oracle at
+    /// the session's default ε (extension; see [`crate::mine_fds`]).
+    pub fn mine_fds(&self, max_lhs_size: usize) -> FdMiningResult {
+        mine_fds(&self.oracle, self.config.epsilon, max_lhs_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maimon::Maimon;
+    use crate::progress::CountingSink;
+    use relation::Schema;
+
+    fn running_example(with_red_tuple: bool) -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();
+        let mut rows = vec![
+            vec!["a1", "b1", "c1", "d1", "e1", "f1"],
+            vec!["a2", "b2", "c1", "d1", "e2", "f2"],
+            vec!["a2", "b2", "c2", "d2", "e3", "f2"],
+            vec!["a1", "b2", "c1", "d2", "e3", "f1"],
+        ];
+        if with_red_tuple {
+            rows.push(vec!["a1", "b2", "c1", "d2", "e2", "f1"]);
+        }
+        Relation::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn staged_artifacts_match_the_one_shot_facade() {
+        let rel = running_example(true);
+        let config = MaimonConfig::with_epsilon_and_threads(0.2, 1);
+        let session = MaimonSession::new(&rel, config).unwrap();
+        let fresh = Maimon::new(&rel, config).unwrap().run().unwrap();
+        let staged = session.quality(0.2).unwrap();
+        assert_eq!(staged.mvds.mvds, fresh.mvds.mvds);
+        assert_eq!(staged.mvds.separators, fresh.mvds.separators);
+        assert_eq!(staged.schemas, fresh.schemas);
+        assert_eq!(staged.pareto, fresh.pareto);
+        assert_eq!(staged.truncated, fresh.truncated);
+    }
+
+    #[test]
+    fn artifacts_are_cached_per_threshold() {
+        let rel = running_example(false);
+        let session = MaimonSession::new(&rel, MaimonConfig::default()).unwrap();
+        let first = session.mvds(0.0).unwrap();
+        let calls_after_first = session.oracle_stats().calls;
+        let second = session.mvds(0.0).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(
+            session.oracle_stats().calls,
+            calls_after_first,
+            "a cache hit must not touch the oracle"
+        );
+        // -0.0 and 0.0 are the same threshold.
+        assert!(Arc::ptr_eq(&first, &session.mvds(-0.0).unwrap()));
+        assert_eq!(session.cached_epsilons(), vec![0.0]);
+        session.clear_artifacts();
+        assert!(session.cached_epsilons().is_empty());
+    }
+
+    #[test]
+    fn sweep_reuses_one_oracle() {
+        let rel = running_example(true);
+        let session = MaimonSession::new(&rel, MaimonConfig::default()).unwrap();
+        let construction = session.oracle_construction_stats();
+        // One fresh oracle costs exactly this many precompute intersections;
+        // if a second oracle were built anywhere in the sweep, the session's
+        // counter would exceed the shared-oracle reference below.
+        let sweep = session.epsilon_sweep([0.0, 0.1, 0.3]).unwrap();
+        assert_eq!(sweep.len(), 3);
+        let reference = {
+            let oracle = PliEntropyOracle::new(&rel, session.config().entropy);
+            assert_eq!(oracle.stats(), construction);
+            for &eps in &[0.0, 0.1, 0.3] {
+                let config = MaimonConfig::with_epsilon_and_threads(eps, 1);
+                let mined = crate::miner::mine_mvds(&oracle, &config);
+                crate::asminer::mine_schemas(
+                    &oracle,
+                    rel.schema().all_attrs(),
+                    &mined.mvds,
+                    &config,
+                );
+            }
+            oracle.stats()
+        };
+        let stats = session.oracle_stats();
+        assert_eq!(stats.calls, reference.calls);
+        assert_eq!(stats.cache_hits, reference.cache_hits);
+        assert_eq!(stats.full_scans, reference.full_scans);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let rel = running_example(false);
+        let session = MaimonSession::new(&rel, MaimonConfig::default()).unwrap();
+        assert!(session.mvds(-0.1).is_err());
+        assert!(session.quality(f64::NAN).is_err());
+        assert!(session.epsilon_sweep([0.0, f64::INFINITY]).is_err());
+        let narrow = Relation::from_rows(Schema::new(["A"]).unwrap(), &[vec!["x"]]).unwrap();
+        assert!(MaimonSession::new(&narrow, MaimonConfig::default()).is_err());
+        let empty = Relation::empty(Schema::new(["A", "B"]).unwrap());
+        assert!(MaimonSession::new(&empty, MaimonConfig::default()).is_err());
+        assert!(MaimonSession::new(&rel, MaimonConfig::with_epsilon(-1.0)).is_err());
+    }
+
+    #[test]
+    fn progress_events_fire_through_the_session() {
+        let rel = running_example(false);
+        let sink = Arc::new(CountingSink::new());
+        let session =
+            MaimonSession::new(&rel, MaimonConfig::default()).unwrap().with_progress(sink.clone());
+        session.quality(0.0).unwrap();
+        assert_eq!(sink.pairs_mined(), 15, "6 attributes → 15 pairs");
+        assert!(sink.schemas_found() >= 1);
+        assert_eq!(sink.phases_started(), 2);
+        assert_eq!(sink.phases_finished(), 2);
+    }
+
+    #[test]
+    fn pre_fired_cancellation_yields_truncated_results_not_errors() {
+        let rel = running_example(true);
+        let token = CancelToken::new();
+        token.cancel();
+        let session = MaimonSession::new(&rel, MaimonConfig::default()).unwrap().with_cancel(token);
+        let result = session.quality(0.1).unwrap();
+        assert!(result.truncated);
+        assert!(result.mvds.mvds.is_empty());
+    }
+
+    /// A relation where decomposing by `A ↠ B | rest` genuinely saves
+    /// storage: `B` is determined by `A` (5 distinct values over 30 rows)
+    /// while `C` varies per row.
+    fn redundant_relation() -> Relation {
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let rows: Vec<Vec<String>> = (0..30)
+            .map(|i| vec![format!("a{}", i % 5), format!("b{}", (i % 5) % 3), format!("c{}", i)])
+            .collect();
+        let refs: Vec<Vec<&str>> =
+            rows.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
+        Relation::from_rows(schema, &refs).unwrap()
+    }
+
+    #[test]
+    fn decompose_stages_agree_with_quality() {
+        let rel = redundant_relation();
+        let session = MaimonSession::new(&rel, MaimonConfig::default()).unwrap();
+        let (schema, instance) = session.decompose_best(0.0).unwrap();
+        let result = session.quality(0.0).unwrap();
+        let ranked = result
+            .schemas
+            .iter()
+            .find(|s| s.discovered.schema == schema)
+            .expect("best saver is a discovered schema");
+        assert!(ranked.quality.storage_savings_pct > 0.0, "the AB/AC split saves storage");
+        assert!(schema.n_relations() >= 2);
+        assert_eq!(instance.total_cells(), ranked.quality.decomposed_cells);
+        assert_eq!(instance.reconstruction_count(), ranked.quality.join_size);
+        // An explicit schema can be decomposed too.
+        let explicit = session.decompose_schema(&schema).unwrap();
+        assert_eq!(explicit.total_cells(), instance.total_cells());
+    }
+
+    #[test]
+    fn decompose_best_falls_back_to_trivial_when_nothing_saves() {
+        // On the tiny Fig. 1 instance every decomposition *grows* the cell
+        // count, so the documented fallback kicks in: the trivial single-bag
+        // store, never larger than the original relation.
+        let rel = running_example(true);
+        let session = MaimonSession::new(&rel, MaimonConfig::default()).unwrap();
+        let result = session.quality(0.2).unwrap();
+        assert!(result.schemas.iter().all(|s| s.quality.storage_savings_pct <= 0.0));
+        let (schema, instance) = session.decompose_best(0.2).unwrap();
+        assert_eq!(schema.n_relations(), 1);
+        assert_eq!(instance.total_cells(), instance.original_cells());
+    }
+
+    #[test]
+    fn session_is_usable_from_multiple_threads() {
+        let rel = running_example(true);
+        let session = MaimonSession::new(&rel, MaimonConfig::default()).unwrap();
+        let thresholds = [0.0, 0.05, 0.1, 0.2];
+        std::thread::scope(|scope| {
+            for &eps in &thresholds {
+                let session = &session;
+                scope.spawn(move || {
+                    let a = session.quality(eps).unwrap();
+                    let b = session.quality(eps).unwrap();
+                    assert!(Arc::ptr_eq(&a, &b));
+                });
+            }
+        });
+        assert_eq!(session.cached_epsilons().len(), thresholds.len());
+    }
+}

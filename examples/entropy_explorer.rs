@@ -1,26 +1,31 @@
-//! Explore the entropy engine of §6.3: compare the naive group-by oracle with
-//! the PLI-cache oracle on a synthetic dataset and print the J-measure of a
-//! few candidate MVDs.
+//! Explore the entropy engine of §6.3: read entropies through a
+//! [`MaimonSession`]'s shared oracle, then compare the naive group-by oracle
+//! with the PLI-cache oracle on a synthetic dataset and print the J-measure
+//! of a few candidate MVDs.
 //!
-//! Run with: `cargo run -p maimon --release --example entropy_explorer`
+//! Run with: `cargo run --release --example entropy_explorer`
 
 use maimon::entropy::{EntropyConfig, EntropyOracle, NaiveEntropyOracle, PliEntropyOracle};
 use maimon::relation::AttrSet;
-use maimon::{j_mvd, Mvd};
+use maimon::{j_mvd, MaimonConfig, MaimonSession, Mvd};
 use maimon_datasets::{dataset_by_name, running_example_with_red_tuple};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Part 1: entropies of the running example, matching Example 3.4.
+    // Part 1: entropies of the running example, matching Example 3.4,
+    // answered by a session's shared oracle.
     let rel = running_example_with_red_tuple();
     let schema = rel.schema().clone();
+    let session = MaimonSession::new(&rel, MaimonConfig::default())?;
     let oracle = NaiveEntropyOracle::new(&rel);
     println!("Entropies of the running example (with the red tuple):");
     for names in
         [vec!["A"], vec!["B", "D"], vec!["B", "D", "E"], vec!["A", "B", "C", "D", "E", "F"]]
     {
         let attrs = schema.attrs(names.iter().copied())?;
-        println!("  H({}) = {:.4} bits", schema.label(attrs), oracle.entropy(attrs));
+        let h = session.entropy(attrs);
+        assert!((h - oracle.entropy(attrs)).abs() < 1e-12, "oracles agree");
+        println!("  H({}) = {:.4} bits", schema.label(attrs), h);
     }
     let mvd = Mvd::standard(
         schema.attrs(["B", "D"])?,

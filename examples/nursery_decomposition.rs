@@ -1,13 +1,15 @@
-//! The Nursery use case of §8.1: sweep the approximation threshold, collect
-//! all discovered acyclic schemas, and print the pareto front over storage
-//! savings (S) versus spurious tuples (E), as in Figures 10 and 11.
+//! The Nursery use case of §8.1: sweep the approximation threshold through
+//! one [`MaimonSession`], collect all discovered acyclic schemas, and print
+//! the pareto front over storage savings (S) versus spurious tuples (E), as
+//! in Figures 10 and 11. The sweep shares a single PLI oracle — mining six
+//! thresholds costs one oracle construction, not six.
 //!
-//! Run with: `cargo run -p maimon --release --example nursery_decomposition [rows]`
+//! Run with: `cargo run --release --example nursery_decomposition [rows]`
 //!
 //! The optional `rows` argument bounds the number of Nursery tuples (default
 //! 3000) so the example finishes quickly; pass 12960 for the full dataset.
 
-use maimon::{pareto_front, Maimon, MaimonConfig, MiningLimits};
+use maimon::{pareto_front, MaimonConfig, MaimonSession, MiningLimits};
 use maimon_datasets::nursery_with_rows;
 use std::time::Duration;
 
@@ -21,17 +23,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rel.cells()
     );
 
+    let config = MaimonConfig::builder()
+        .limits(
+            MiningLimits::small()
+                .to_builder()
+                .time_budget(Some(Duration::from_secs(20)))
+                .build()?,
+        )
+        .max_schemas(Some(200))
+        .build()?;
+    let session = MaimonSession::new(&rel, config)?;
+
     let mut all_points = Vec::new();
     let mut all_rows = Vec::new();
-    for &epsilon in &[0.0, 0.05, 0.1, 0.2, 0.3, 0.5] {
-        let mut config = MaimonConfig::with_epsilon(epsilon);
-        config.limits =
-            MiningLimits { time_budget: Some(Duration::from_secs(20)), ..MiningLimits::small() };
-        config.max_schemas = Some(200);
-        let result = Maimon::new(&rel, config)?.run()?;
+    for point in session.epsilon_sweep([0.0, 0.05, 0.1, 0.2, 0.3, 0.5])? {
+        let result = &point.result;
         println!(
             "ε = {:<5} → {} MVDs, {} schemas{}",
-            epsilon,
+            point.epsilon,
             result.mvds.mvds.len(),
             result.schemas.len(),
             if result.truncated { " (truncated)" } else { "" }
@@ -40,13 +49,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             all_points
                 .push((schema.quality.storage_savings_pct, schema.quality.spurious_tuples_pct));
             all_rows.push((
-                epsilon,
+                point.epsilon,
                 schema.discovered.j.unwrap_or(f64::NAN),
                 schema.quality,
                 schema.discovered.schema.display(rel.schema()),
             ));
         }
     }
+    let oracle = session.oracle_stats();
+    println!(
+        "(one shared oracle: {} entropy calls, {} cache hits across the whole sweep)",
+        oracle.calls, oracle.cache_hits
+    );
 
     println!("\nPareto-optimal schemas over (savings S, spurious E):");
     println!("{:<6} {:>8} {:>9} {:>9} {:>4}  schema", "ε", "J", "S (%)", "E (%)", "m");

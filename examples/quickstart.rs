@@ -1,26 +1,32 @@
 //! Quickstart: discover approximate MVDs and acyclic schemas for the paper's
-//! running example (Figure 1), with and without the noisy "red" tuple.
+//! running example (Figure 1) through the session API, with and without the
+//! noisy "red" tuple.
 //!
-//! Run with: `cargo run -p maimon --example quickstart`
+//! A [`MaimonSession`] owns one shared entropy oracle and exposes the
+//! pipeline as staged artifacts — `mvds(ε)`, `schemas(ε)`, `quality(ε)` —
+//! plus an `epsilon_sweep` that amortizes the oracle across thresholds.
+//!
+//! Run with: `cargo run --release --example quickstart`
 
-use maimon::{Maimon, MaimonConfig};
+use maimon::wire::ToJson;
+use maimon::{MaimonConfig, MaimonSession};
 use maimon_datasets::{running_example, running_example_with_red_tuple};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Maimon quickstart: the running example of Figure 1 ===\n");
 
-    // 1. Exact mining (ε = 0) on the clean 4-tuple relation.
+    // 1. Exact mining (ε = 0) on the clean 4-tuple relation, stage by stage.
     let clean = running_example();
     println!("Input relation ({} rows, {} columns):", clean.n_rows(), clean.arity());
     println!("{:?}", clean);
 
-    let maimon = Maimon::new(&clean, MaimonConfig::with_epsilon(0.0))?;
-    let result = maimon.run()?;
-
-    println!("Discovered {} full exact MVDs:", result.mvds.mvds.len());
-    for mvd in &result.mvds.mvds {
+    let session = MaimonSession::new(&clean, MaimonConfig::default())?;
+    let mvds = session.mvds(0.0)?;
+    println!("Discovered {} full exact MVDs:", mvds.mvds.len());
+    for mvd in &mvds.mvds {
         println!("  {}", mvd.display(clean.schema()));
     }
+    let result = session.quality(0.0)?; // reuses the cached MVD artifact
     println!("\nDiscovered {} acyclic schemas; the richest one:", result.schemas.len());
     let best = result
         .schemas
@@ -36,15 +42,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. The same relation with one extra (noisy) tuple no longer decomposes
-    //    exactly, but allowing a small ε recovers the same schema.
+    //    exactly, but allowing a small ε recovers the same schema. One
+    //    session sweeps both thresholds over a single oracle.
     let noisy = running_example_with_red_tuple();
     println!("\n--- With the red tuple added ({} rows) ---", noisy.n_rows());
-    for epsilon in [0.0, 0.2] {
-        let result = Maimon::new(&noisy, MaimonConfig::with_epsilon(epsilon))?.run()?;
+    let session = MaimonSession::new(&noisy, MaimonConfig::default())?;
+    for point in session.epsilon_sweep([0.0, 0.2])? {
+        let result = &point.result;
         let best = result.schemas.iter().max_by_key(|s| s.discovered.schema.n_relations()).unwrap();
         println!(
             "ε = {:<4}  schemas = {:<3}  best = {} (m = {}, J = {:.3}, E = {:.1}%)",
-            epsilon,
+            point.epsilon,
             result.schemas.len(),
             best.discovered.schema.display(noisy.schema()),
             best.discovered.schema.n_relations(),
@@ -53,5 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // 3. Results cross service boundaries as stable JSON.
+    let wire = best.to_json_string();
+    println!("\nThe richest clean schema, serialized for a service boundary:");
+    println!("{}", &wire[..wire.len().min(120)]);
     Ok(())
 }

@@ -1,14 +1,16 @@
-//! Profile a synthetic Metanome-shaped dataset end to end: mine minimal
-//! separators, full MVDs and schemas at a few thresholds and report the
-//! structural quality measures of §8.4 (number of relations, width,
-//! intersection width).
+//! Profile a synthetic Metanome-shaped dataset end to end: open one
+//! [`MaimonSession`] over the relation and sweep a few thresholds through
+//! its staged pipeline, reporting the structural quality measures of §8.4
+//! (number of relations, width, intersection width). The session shares its
+//! PLI entropy oracle across the whole sweep — the per-ε oracle rebuild of
+//! the old one-shot facade is gone.
 //!
 //! Run with:
-//! `cargo run -p maimon --release --example synthetic_profiling [dataset] [scale]`
+//! `cargo run --release --example synthetic_profiling [dataset] [scale]`
 //! where `dataset` is a Table 2 name (default "Abalone") and `scale` a row
 //! fraction in (0, 1] (default 0.05).
 
-use maimon::{Maimon, MaimonConfig, MiningLimits};
+use maimon::{MaimonConfig, MaimonSession, MiningLimits};
 use maimon_datasets::{dataset_by_name, metanome_catalog};
 use std::time::{Duration, Instant};
 
@@ -31,22 +33,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scale
     );
 
+    let config = MaimonConfig::builder()
+        .epsilon(0.05) // default ε, used by mine_fds below
+        .limits(
+            MiningLimits::builder()
+                .time_budget(Some(Duration::from_secs(30)))
+                .max_separators_per_pair(Some(16))
+                .max_full_mvds_per_separator(Some(16))
+                .max_lattice_nodes(Some(20_000))
+                .build()?,
+        )
+        .max_schemas(Some(100))
+        .build()?;
+    let session = MaimonSession::new(&rel, config)?;
+
     println!(
         "\n{:<7} {:>8} {:>8} {:>9} {:>7} {:>6} {:>9} {:>10}",
         "ε", "seps", "MVDs", "schemas", "max m", "width", "intWidth", "time"
     );
     for &epsilon in &[0.0, 0.01, 0.1, 0.3] {
-        let mut config = MaimonConfig::with_epsilon(epsilon);
-        config.limits = MiningLimits {
-            time_budget: Some(Duration::from_secs(30)),
-            max_separators_per_pair: Some(16),
-            max_full_mvds_per_separator: Some(16),
-            max_lattice_nodes: Some(20_000),
-        };
-        config.max_schemas = Some(100);
         let started = Instant::now();
-        let maimon = Maimon::new(&rel, config)?;
-        let result = maimon.run()?;
+        let result = session.quality(epsilon)?;
         let max_relations =
             result.schemas.iter().map(|s| s.discovered.schema.n_relations()).max().unwrap_or(1);
         let min_width =
@@ -69,10 +76,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             started.elapsed()
         );
     }
+    let oracle = session.oracle_stats();
+    println!(
+        "\nShared oracle after the sweep: {} calls, {} cache hits, {} intersections (built once)",
+        oracle.calls, oracle.cache_hits, oracle.intersections
+    );
 
     println!("\nApproximate FDs (ε = 0.05, LHS ≤ 2 attributes):");
-    let maimon = Maimon::new(&rel, MaimonConfig::with_epsilon(0.05))?;
-    let fds = maimon.mine_fds(2);
+    let fds = session.mine_fds(2);
     for fd in fds.fds.iter().take(15) {
         println!("  {}", fd.display(rel.schema()));
     }

@@ -21,7 +21,7 @@ use maimon::entropy::{EntropyOracle, NaiveEntropyOracle, PliEntropyOracle};
 use maimon::relation::{random_uniform_relation, AttrSet, Relation, Schema};
 use maimon::{
     j_mvd, j_schema, mine_min_seps, minimal_separators_bruteforce, schema_holds, AcyclicSchema,
-    Maimon, MaimonConfig, MiningLimits, Mvd, EPSILON_TOLERANCE,
+    Maimon, MaimonConfig, MiningLimits, Mvd, RunControl, EPSILON_TOLERANCE,
 };
 use maimon_datasets::{metanome_catalog, running_example, running_example_with_red_tuple};
 
@@ -249,7 +249,8 @@ fn mined_minimal_separators_agree_with_bruteforce() {
             for a in 0..n {
                 for b in a + 1..n {
                     let oracle = PliEntropyOracle::with_defaults(rel);
-                    let mined = mine_min_seps(&oracle, epsilon, (a, b), &limits, true);
+                    let mined =
+                        mine_min_seps(&oracle, epsilon, (a, b), &limits, true, &RunControl::NONE);
                     assert!(!mined.truncated, "unlimited run must not truncate");
                     let reference = minimal_separators_bruteforce(&oracle, epsilon, (a, b), true);
                     assert_eq!(

@@ -23,12 +23,12 @@ use maimon_datasets::{
 
 /// Mines schemas deterministically (no wall-clock budget) and returns them.
 fn mined_schemas(rel: &Relation, epsilon: f64) -> Vec<AcyclicSchema> {
-    let config = MaimonConfig {
-        epsilon,
-        limits: MiningLimits { time_budget: None, ..MiningLimits::small() },
-        max_schemas: Some(32),
-        ..MaimonConfig::default()
-    };
+    let config = MaimonConfig::builder()
+        .epsilon(epsilon)
+        .limits(MiningLimits::small().to_builder().time_budget(None).build().unwrap())
+        .max_schemas(Some(32))
+        .build()
+        .unwrap();
     let result = Maimon::new(rel, config).expect("valid relation").run().expect("mining runs");
     result.schemas.into_iter().map(|s| s.discovered.schema).collect()
 }

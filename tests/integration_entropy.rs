@@ -112,11 +112,11 @@ fn pli_cache_reuse_reduces_work_between_phases() {
     // Mining MVDs and then schemas with the same oracle reuses cached
     // entropies: the second phase must trigger almost no new intersections.
     let rel = dataset_by_name("Bridges").unwrap().generate(1.0);
-    let config = maimon::MaimonConfig {
-        epsilon: 0.05,
-        limits: maimon::MiningLimits::small(),
-        ..maimon::MaimonConfig::default()
-    };
+    let config = maimon::MaimonConfig::builder()
+        .epsilon(0.05)
+        .limits(maimon::MiningLimits::small())
+        .build()
+        .unwrap();
     let oracle = PliEntropyOracle::with_defaults(&rel);
     let mvds = maimon::mine_mvds(&oracle, &config);
     let after_phase_one = oracle.stats();

@@ -93,8 +93,11 @@ fn nursery_exact_run_finds_no_nontrivial_decomposition() {
     // that the class attribute is determined by (and only by) all inputs.
     let rel = nursery_with_rows(2000);
     let mut config = MaimonConfig::with_epsilon(0.0);
-    config.limits =
-        MiningLimits { time_budget: Some(Duration::from_secs(30)), ..MiningLimits::small() };
+    config.limits = MiningLimits::small()
+        .to_builder()
+        .time_budget(Some(Duration::from_secs(30)))
+        .build()
+        .unwrap();
     let result = Maimon::new(&rel, config).unwrap().run().unwrap();
     for ranked in &result.schemas {
         assert_eq!(
@@ -108,8 +111,11 @@ fn nursery_exact_run_finds_no_nontrivial_decomposition() {
 fn nursery_approximate_run_decomposes_and_saves_storage() {
     let rel = nursery_with_rows(2000);
     let mut config = MaimonConfig::with_epsilon(0.3);
-    config.limits =
-        MiningLimits { time_budget: Some(Duration::from_secs(30)), ..MiningLimits::small() };
+    config.limits = MiningLimits::small()
+        .to_builder()
+        .time_budget(Some(Duration::from_secs(30)))
+        .build()
+        .unwrap();
     config.max_schemas = Some(50);
     let result = Maimon::new(&rel, config).unwrap().run().unwrap();
     let best = result
@@ -150,8 +156,11 @@ fn planted_schema_is_recovered_from_synthetic_data() {
     assert!(planted_j < 0.6, "planted schema J = {}", planted_j);
 
     let mut config = MaimonConfig::with_epsilon(planted_j.max(0.05));
-    config.limits =
-        MiningLimits { time_budget: Some(Duration::from_secs(30)), ..MiningLimits::small() };
+    config.limits = MiningLimits::small()
+        .to_builder()
+        .time_budget(Some(Duration::from_secs(30)))
+        .build()
+        .unwrap();
     let result = Maimon::new(&rel, config).unwrap().run().unwrap();
     let best_relations =
         result.schemas.iter().map(|s| s.discovered.schema.n_relations()).max().unwrap_or(1);
@@ -167,8 +176,11 @@ fn catalog_dataset_end_to_end_smoke() {
     let rel = dataset.generate(1.0).column_prefix(9).unwrap();
     assert_eq!(rel.n_rows(), 108);
     let mut config = MaimonConfig::with_epsilon(0.1);
-    config.limits =
-        MiningLimits { time_budget: Some(Duration::from_secs(30)), ..MiningLimits::small() };
+    config.limits = MiningLimits::small()
+        .to_builder()
+        .time_budget(Some(Duration::from_secs(30)))
+        .build()
+        .unwrap();
     config.max_schemas = Some(25);
     let result = Maimon::new(&rel, config).unwrap().run().unwrap();
     for ranked in &result.schemas {
@@ -188,11 +200,11 @@ fn oracle_choice_does_not_change_mining_output() {
     // columns of the Echocardiogram-shaped relation).
     let dataset = dataset_by_name("Echocardiogram").unwrap();
     let rel = dataset.generate(1.0).column_prefix(8).unwrap();
-    let config = MaimonConfig {
-        epsilon: 0.05,
-        limits: MiningLimits { time_budget: None, ..MiningLimits::small() },
-        ..MaimonConfig::default()
-    };
+    let config = MaimonConfig::builder()
+        .epsilon(0.05)
+        .limits(MiningLimits::small().to_builder().time_budget(None).build().unwrap())
+        .build()
+        .unwrap();
     let naive = NaiveEntropyOracle::new(&rel);
     let from_naive = maimon::mine_mvds(&naive, &config);
     let pli = PliEntropyOracle::with_defaults(&rel);

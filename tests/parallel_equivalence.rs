@@ -24,13 +24,13 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Deterministic mining configuration: count limits only, no wall-clock
 /// budget, explicit thread count.
 fn config_with_threads(epsilon: f64, threads: usize) -> MaimonConfig {
-    MaimonConfig {
-        epsilon,
-        limits: MiningLimits { time_budget: None, ..MiningLimits::small() },
-        max_schemas: Some(64),
-        threads: Some(threads),
-        ..MaimonConfig::default()
-    }
+    MaimonConfig::builder()
+        .epsilon(epsilon)
+        .limits(MiningLimits::small().to_builder().time_budget(None).build().unwrap())
+        .max_schemas(Some(64))
+        .threads(Some(threads))
+        .build()
+        .unwrap()
 }
 
 /// One full run at a given thread count: phase one over a fresh shared
@@ -119,12 +119,12 @@ fn auto_thread_count_matches_explicit_single_thread() {
     // parallelism — whatever this machine and CI leg provide) must agree with
     // the pinned sequential run too.
     let rel = running_example_with_red_tuple();
-    let auto_config = MaimonConfig {
-        epsilon: 0.1,
-        limits: MiningLimits { time_budget: None, ..MiningLimits::small() },
-        threads: None,
-        ..MaimonConfig::default()
-    };
+    let auto_config = MaimonConfig::builder()
+        .epsilon(0.1)
+        .limits(MiningLimits::small().to_builder().time_budget(None).build().unwrap())
+        .threads(None)
+        .build()
+        .unwrap();
     let oracle = PliEntropyOracle::new(&rel, auto_config.entropy);
     let auto = mine_mvds(&oracle, &auto_config);
     let (baseline, _) = run(&rel, 0.1, 1);

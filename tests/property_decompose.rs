@@ -46,12 +46,12 @@ proptest! {
         eps_millis in 0usize..=300,
     ) {
         let epsilon = eps_millis as f64 / 1000.0;
-        let config = MaimonConfig {
-            epsilon,
-            limits: MiningLimits { time_budget: None, ..MiningLimits::small() },
-            max_schemas: Some(8),
-            ..MaimonConfig::default()
-        };
+        let config = MaimonConfig::builder()
+        .epsilon(epsilon)
+        .limits(MiningLimits::small().to_builder().time_budget(None).build().unwrap())
+        .max_schemas(Some(8))
+        .build()
+        .unwrap();
         let result = Maimon::new(&rel, config).unwrap().run().unwrap();
         let original = rel.distinct_count(rel.schema().all_attrs()).unwrap() as u128;
         for ranked in result.schemas.iter().take(4) {
@@ -89,12 +89,12 @@ proptest! {
     fn exact_mining_always_reconstructs_exactly(rel in relation_strategy()) {
         // At ε = 0 every discovered schema has J = 0, so every store must
         // reconstruct the original instance verbatim.
-        let config = MaimonConfig {
-            epsilon: 0.0,
-            limits: MiningLimits { time_budget: None, ..MiningLimits::small() },
-            max_schemas: Some(8),
-            ..MaimonConfig::default()
-        };
+        let config = MaimonConfig::builder()
+        .epsilon(0.0)
+        .limits(MiningLimits::small().to_builder().time_budget(None).build().unwrap())
+        .max_schemas(Some(8))
+        .build()
+        .unwrap();
         let result = Maimon::new(&rel, config).unwrap().run().unwrap();
         let distinct = rel.distinct();
         for ranked in result.schemas.iter().take(4) {
@@ -114,12 +114,12 @@ proptest! {
         rel in relation_strategy(),
         pick in (0usize..100, 0usize..100, 0usize..100),
     ) {
-        let config = MaimonConfig {
-            epsilon: 0.1,
-            limits: MiningLimits { time_budget: None, ..MiningLimits::small() },
-            max_schemas: Some(4),
-            ..MaimonConfig::default()
-        };
+        let config = MaimonConfig::builder()
+        .epsilon(0.1)
+        .limits(MiningLimits::small().to_builder().time_budget(None).build().unwrap())
+        .max_schemas(Some(4))
+        .build()
+        .unwrap();
         let result = Maimon::new(&rel, config).unwrap().run().unwrap();
         let n = rel.arity();
         let (p0, p1, p2) = pick;

@@ -229,12 +229,12 @@ proptest! {
         // schema's bags contains every original tuple. Approximation may add
         // spurious tuples; it must never drop one.
         let epsilon = eps_millis as f64 / 1000.0;
-        let config = MaimonConfig {
-            epsilon,
-            limits: MiningLimits::small(),
-            max_schemas: Some(8),
-            ..MaimonConfig::default()
-        };
+        let config = MaimonConfig::builder()
+            .epsilon(epsilon)
+            .limits(MiningLimits::small())
+            .max_schemas(Some(8))
+            .build()
+            .unwrap();
         let result = Maimon::new(&rel, config).unwrap().run().unwrap();
         let distinct = rel.distinct();
         for ranked in result.schemas.iter().take(4) {
