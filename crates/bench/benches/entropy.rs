@@ -1,9 +1,15 @@
 //! Criterion micro-benchmarks for the entropy engine (§6.3 ablation):
 //! naive group-by entropy vs the PLI-cache oracle, with and without block
-//! precomputation, plus raw partition intersection.
+//! precomputation, plus raw partition intersection — including the CSR
+//! engine's scratch-reuse and count-only paths and the cached-hit query
+//! cost (`entropy_oracle/csr_*`). Allocation counts have their own bench
+//! target (`alloc.rs`) so its counting global allocator cannot skew these
+//! wall-clock numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use maimon::entropy::{EntropyConfig, EntropyOracle, NaiveEntropyOracle, Pli, PliEntropyOracle};
+use maimon::entropy::{
+    EntropyConfig, EntropyOracle, IntersectScratch, NaiveEntropyOracle, Pli, PliEntropyOracle,
+};
 use maimon::relation::AttrSet;
 use maimon_datasets::dataset_by_name;
 use std::hint::black_box;
@@ -52,6 +58,18 @@ fn entropy_workload(c: &mut Criterion) {
             black_box(sum)
         })
     });
+    // The CSR steady state the mining workload actually lives in: every
+    // subset already memoized, so each query is a sharded-cache hit.
+    group.bench_function(BenchmarkId::new("csr_cached_hits", subsets.len()), |b| {
+        let oracle = PliEntropyOracle::with_defaults(&rel);
+        for &s in &subsets {
+            oracle.entropy(s);
+        }
+        b.iter(|| {
+            let sum: f64 = subsets.iter().map(|&s| oracle.entropy(s)).sum();
+            black_box(sum)
+        })
+    });
     group.finish();
 }
 
@@ -62,6 +80,18 @@ fn partition_intersection(c: &mut Criterion) {
     let mut group = c.benchmark_group("pli_intersection");
     group.sample_size(20);
     group.bench_function("two_columns", |bencher| bencher.iter(|| black_box(a.intersect(&b))));
+    // The oracle's hot path: the same intersection with a warm reusable
+    // scratch (no probe-table allocation), materializing vs count-only.
+    group.bench_function("csr_scratch_reuse", |bencher| {
+        let mut scratch = IntersectScratch::new();
+        black_box(a.intersect_with(&b, &mut scratch));
+        bencher.iter(|| black_box(a.intersect_with(&b, &mut scratch)))
+    });
+    group.bench_function("csr_count_only", |bencher| {
+        let mut scratch = IntersectScratch::new();
+        black_box(a.intersect_counts(&b, &mut scratch).entropy());
+        bencher.iter(|| black_box(a.intersect_counts(&b, &mut scratch).entropy()))
+    });
     group.bench_function("from_attrs_direct", |bencher| {
         let attrs: AttrSet = [0usize, 3].into_iter().collect();
         bencher.iter(|| black_box(Pli::from_attrs(&rel, attrs)))

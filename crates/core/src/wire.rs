@@ -189,6 +189,7 @@ impl ToJson for OracleStats {
             ("calls", Json::from(self.calls)),
             ("cache_hits", Json::from(self.cache_hits)),
             ("intersections", Json::from(self.intersections)),
+            ("count_only_intersections", Json::from(self.count_only_intersections)),
             ("full_scans", Json::from(self.full_scans)),
         ])
     }
@@ -200,6 +201,13 @@ impl FromJson for OracleStats {
             calls: u64_field(json, "calls")?,
             cache_hits: u64_field(json, "cache_hits")?,
             intersections: u64_field(json, "intersections")?,
+            // Additive field (CSR-engine PR): absent in payloads written
+            // before the count-only fast path existed, so default to 0
+            // rather than rejecting old documents.
+            count_only_intersections: match json.get("count_only_intersections") {
+                Some(_) => u64_field(json, "count_only_intersections")?,
+                None => 0,
+            },
             full_scans: u64_field(json, "full_scans")?,
         })
     }
@@ -491,8 +499,21 @@ mod tests {
         assert_eq!(Duration::from_json_str(&duration.to_json_string()).unwrap(), duration);
         assert!(Duration::from_json_str(r#"{"secs":1,"nanos":2000000000}"#).is_err());
 
-        let stats = OracleStats { calls: 10, cache_hits: 7, intersections: 3, full_scans: 1 };
+        let stats = OracleStats {
+            calls: 10,
+            cache_hits: 7,
+            intersections: 3,
+            count_only_intersections: 2,
+            full_scans: 1,
+        };
         assert_eq!(OracleStats::from_json_str(&stats.to_json_string()).unwrap(), stats);
+        // Pre-count-only documents (no `count_only_intersections` key) still
+        // parse; the counter defaults to zero.
+        let legacy = OracleStats::from_json_str(
+            r#"{"calls":10,"cache_hits":7,"intersections":3,"full_scans":1}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy, OracleStats { count_only_intersections: 0, ..stats });
     }
 
     #[test]

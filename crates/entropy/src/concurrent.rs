@@ -20,9 +20,9 @@
 //!   lose an increment under concurrency and can be snapshotted at any time.
 
 use crate::oracle::OracleStats;
-use relation::AttrSet;
+use relation::{AttrSet, FoldKeyHasher};
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::BuildHasherDefault;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -39,36 +39,13 @@ fn shard_index(attrs: AttrSet) -> usize {
     (attrs.bits().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize
 }
 
-/// Hasher for `AttrSet` keys: a single Fibonacci multiply on the 64-bit
-/// bitset. The mining hot path performs hundreds of thousands of cache
-/// lookups per run (virtually all hits), where the default SipHash costs more
-/// than the probe itself; attribute-set keys need no DoS resistance.
-#[derive(Default)]
-pub(crate) struct AttrSetHasher {
-    hash: u64,
-}
-
-impl Hasher for AttrSetHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Only reached if the key type ever stops hashing as a single u64;
-        // fold the bytes so the hasher stays correct, if slower.
-        for &b in bytes {
-            self.hash = (self.hash ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        }
-    }
-
-    #[inline]
-    fn write_u64(&mut self, value: u64) {
-        self.hash = value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-}
-
-type AttrSetMap<V> = HashMap<AttrSet, V, BuildHasherDefault<AttrSetHasher>>;
+/// `AttrSet` keys hash as a single `u64` (the bitset), so the shared
+/// Fibonacci hasher for folded keys ([`relation::FoldKeyHasher`] — one
+/// multiply instead of SipHash) serves here too. The mining hot path
+/// performs hundreds of thousands of cache lookups per run (virtually all
+/// hits), where SipHash costs more than the probe itself; attribute-set
+/// keys need no DoS resistance.
+type AttrSetMap<V> = HashMap<AttrSet, V, BuildHasherDefault<FoldKeyHasher>>;
 
 /// A concurrent `AttrSet → V` cache split into independently locked shards.
 ///
@@ -170,6 +147,7 @@ pub struct AtomicOracleStats {
     trivial_calls: AtomicU64,
     misses: AtomicU64,
     intersections: AtomicU64,
+    count_only: AtomicU64,
     full_scans: AtomicU64,
 }
 
@@ -200,6 +178,15 @@ impl AtomicOracleStats {
         self.intersections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one intersection that ran on the count-only fast path (group
+    /// sizes only, no materialized partition). Recorded *in addition to*
+    /// [`Self::record_intersection`]: `count_only_intersections` is the
+    /// subset of `intersections` that skipped materialization.
+    #[inline]
+    pub fn record_count_only(&self) {
+        self.count_only.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts one full group-by scan over the relation.
     #[inline]
     pub fn record_full_scan(&self) {
@@ -217,6 +204,7 @@ impl AtomicOracleStats {
             calls,
             cache_hits: calls.saturating_sub(trivial).saturating_sub(misses),
             intersections: self.intersections.load(Ordering::Relaxed),
+            count_only_intersections: self.count_only.load(Ordering::Relaxed),
             full_scans: self.full_scans.load(Ordering::Relaxed),
         }
     }
@@ -287,6 +275,9 @@ mod tests {
                             stats.record_trivial_call();
                         }
                         stats.record_intersection();
+                        if i % 2 == 0 {
+                            stats.record_count_only();
+                        }
                         stats.record_full_scan();
                     }
                 });
@@ -297,6 +288,7 @@ mod tests {
         // hits = calls − trivial − misses = 4000 − 40 − 400.
         assert_eq!(snapshot.cache_hits, 3560);
         assert_eq!(snapshot.intersections, 4000);
+        assert_eq!(snapshot.count_only_intersections, 2000);
         assert_eq!(snapshot.full_scans, 4000);
     }
 

@@ -3,8 +3,12 @@
 //! Maimon's mining algorithms interact with the data exclusively through an
 //! entropy oracle `getEntropy_R(X)` (paper §6.3). This crate provides:
 //!
-//! * [`Pli`] — stripped partitions (position list indices) with native
-//!   intersection, the Rust equivalent of the paper's `CNT`/`TID` tables.
+//! * [`Pli`] — stripped partitions (position list indices) in a flat CSR
+//!   arena layout, with native intersection — the Rust equivalent of the
+//!   paper's `CNT`/`TID` tables. Intersections run against a reusable,
+//!   epoch-stamped [`IntersectScratch`]; the count-only entry point
+//!   ([`Pli::intersect_counts`] → [`GroupSizes`]) evaluates Eq. (5) without
+//!   materializing the refined partition.
 //! * [`EntropyOracle`] — the oracle trait, with derived conditional entropy
 //!   and conditional mutual information. The oracle is *shared*: `entropy`
 //!   takes `&self` and implementations are `Sync`, so one oracle serves all
@@ -23,8 +27,10 @@ mod concurrent;
 mod oracle;
 mod partition;
 mod pli;
+#[cfg(feature = "track_alloc")]
+pub mod track_alloc;
 
 pub use concurrent::AtomicOracleStats;
 pub use oracle::{entropy_from_group_sizes, EntropyOracle, NaiveEntropyOracle, OracleStats};
-pub use partition::Pli;
+pub use partition::{GroupSizes, IntersectScratch, Pli};
 pub use pli::{EntropyConfig, PliEntropyOracle};

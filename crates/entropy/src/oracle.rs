@@ -23,17 +23,23 @@ use relation::{AttrSet, Relation};
 /// lost). `calls`, `cache_hits` and `full_scans` are furthermore
 /// *deterministic* — identical to a sequential run over the same workload —
 /// because the caches compute each attribute set exactly once.
-/// `intersections` of the PLI oracle may vary with thread interleaving: it
-/// depends on which intermediate partition prefixes happened to be cached
-/// first (an opportunistic optimization, not a semantic one).
+/// `intersections` and `count_only_intersections` of the PLI oracle may vary
+/// with thread interleaving: they depend on which intermediate partition
+/// prefixes happened to be cached first (an opportunistic optimization, not
+/// a semantic one).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct OracleStats {
     /// Number of `entropy()` calls made.
     pub calls: u64,
     /// Calls answered from the entropy cache.
     pub cache_hits: u64,
-    /// Partition intersections performed (PLI oracle only).
+    /// Partition intersections performed (PLI oracle only), including the
+    /// count-only ones.
     pub intersections: u64,
+    /// The subset of `intersections` answered by the count-only fast path
+    /// (`Pli::intersect_counts`): group sizes were computed for Eq. (5)
+    /// without materializing — or caching — the refined partition.
+    pub count_only_intersections: u64,
     /// Full group-by scans over the relation (naive oracle, or PLI fallback).
     pub full_scans: u64,
 }

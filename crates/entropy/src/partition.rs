@@ -1,4 +1,4 @@
-//! Stripped partitions (position list indices).
+//! Stripped partitions (position list indices) in a flat CSR layout.
 //!
 //! A *stripped partition* over an attribute set `X` groups the tuple
 //! identifiers of a relation by their `X`-value and discards groups of size
@@ -7,54 +7,170 @@
 //! so dropping them loses nothing, and as attribute sets grow the partitions
 //! shrink rapidly, which is what makes repeated entropy computation feasible.
 //!
-//! The paper materializes the same structure as `CNT`/`TID` tables in the H2
+//! # Memory layout
+//!
+//! A [`Pli`] is **two flat vectors**, not a `Vec<Vec<u32>>`:
+//!
+//! * `rows` — one `u32` arena holding every covered row id, cluster by
+//!   cluster;
+//! * `offsets` — `cluster_count() + 1` boundaries into `rows`, CSR-style:
+//!   cluster `i` is `rows[offsets[i] .. offsets[i + 1]]`.
+//!
+//! One partition therefore costs exactly two allocations however many
+//! clusters it has, the clusters are contiguous in memory (sequential scans
+//! during probing touch no pointer indirections), and `covered_rows` is
+//! `rows.len()` instead of a per-cluster sum. Cluster order is canonical —
+//! ascending by first (= smallest) row id, with rows ascending inside each
+//! cluster — which keeps the floating-point summation order of
+//! [`Pli::entropy`] identical across construction paths and runs.
+//!
+//! # Intersection and the scratch-reuse contract
+//!
+//! The paper materializes partitions as `CNT`/`TID` tables in the H2
 //! in-memory database and intersects them with SQL joins; here the
-//! intersection is a native two-pass probe (`Pli::intersect`).
+//! intersection is a native two-pass probe. All probe state lives in a
+//! caller-owned [`IntersectScratch`] whose arrays are *epoch-stamped*: a
+//! stamp array entry is valid only if it equals the current epoch, so
+//! between calls nothing is cleared — the epoch is bumped instead. A scratch
+//! reaches a steady state after the first call at a given relation size and
+//! performs **zero heap allocations** from then on; one scratch can be
+//! reused across arbitrary partitions and even across relations (it resizes
+//! on demand). Two entry points share it:
+//!
+//! * [`Pli::intersect_with`] materializes the refined partition (used when
+//!   the result is worth caching);
+//! * [`Pli::intersect_counts`] computes only the non-singleton group sizes
+//!   of the refinement ([`GroupSizes`], enough to evaluate Eq. (5)) without
+//!   writing a single TID — the §6.3 count-only fast path for partitions
+//!   that would be thrown away right after their entropy is read.
+//!
+//! [`Pli::intersect`] remains as a convenience wrapper that allocates a
+//! fresh scratch per call.
 
-use relation::{AttrSet, Relation};
+use relation::{AttrSet, FoldKeyMap, Relation};
+use std::collections::HashMap;
 
 /// A stripped partition: clusters of row indices, each of size ≥ 2, grouping
-/// rows with equal values on some attribute set.
+/// rows with equal values on some attribute set. Stored as a flat CSR arena
+/// (see the module docs for the layout and ordering invariants).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Pli {
-    clusters: Vec<Vec<u32>>,
+    /// Row-id arena: every covered row, cluster by cluster.
+    rows: Vec<u32>,
+    /// Cluster boundaries into `rows`; `offsets[0] == 0` and
+    /// `offsets.len() == cluster_count() + 1`.
+    offsets: Vec<u32>,
     n_rows: usize,
 }
 
 impl Pli {
     /// Builds the stripped partition of a single attribute directly from its
-    /// dictionary codes.
+    /// dictionary codes, via a counting pass plus a CSR scatter: two passes
+    /// over the code column and four exact-size allocations, independent of
+    /// the column's cardinality (the previous representation allocated one
+    /// bucket `Vec` per dictionary code, painful on high-cardinality columns
+    /// where almost every value is a singleton).
     pub fn from_column(rel: &Relation, attr: usize) -> Pli {
         let codes = rel.column_codes(attr);
         let cardinality = rel.column_cardinality(attr);
-        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cardinality];
-        for (row, &code) in codes.iter().enumerate() {
-            buckets[code as usize].push(row as u32);
+        let mut counts = vec![0u32; cardinality];
+        for &code in codes {
+            counts[code as usize] += 1;
         }
-        let clusters: Vec<Vec<u32>> = buckets.into_iter().filter(|b| b.len() >= 2).collect();
-        Pli { clusters, n_rows: rel.n_rows() }
+        // Directory pass: reserve an arena range per non-singleton code, in
+        // code order (= first-occurrence order, since dictionaries assign
+        // codes by first appearance — so this is ascending-first-row order).
+        let mut starts = vec![u32::MAX; cardinality];
+        let mut offsets = Vec::new();
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for (code, &count) in counts.iter().enumerate() {
+            if count >= 2 {
+                starts[code] = total;
+                total += count;
+                offsets.push(total);
+            }
+        }
+        let mut rows = vec![0u32; total as usize];
+        for (row, &code) in codes.iter().enumerate() {
+            let cursor = starts[code as usize];
+            if cursor != u32::MAX {
+                rows[cursor as usize] = row as u32;
+                starts[code as usize] = cursor + 1;
+            }
+        }
+        Pli { rows, offsets, n_rows: rel.n_rows() }
     }
 
-    /// Builds the stripped partition of an arbitrary attribute set by hashing
-    /// the grouping key of every row. Used as the reference implementation and
-    /// as a fallback when no cached partition is available.
+    /// Builds the stripped partition of an arbitrary attribute set by
+    /// grouping every row's key. When the cardinality product of `attrs`
+    /// fits in a `u64`, each row's dictionary codes are folded into a single
+    /// exact mixed-radix key ([`Relation::fold_key`]) — one integer hash per
+    /// row instead of hashing (and allocating) a per-row `Vec<u32>`; wider
+    /// sets fall back to vector keys. Used as the reference implementation
+    /// and as a fallback when no cached partition is available.
     pub fn from_attrs(rel: &Relation, attrs: AttrSet) -> Pli {
-        use std::collections::HashMap;
-        let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::with_capacity(rel.n_rows());
-        for row in 0..rel.n_rows() {
-            groups.entry(rel.key(row, attrs)).or_default().push(row as u32);
+        let n = rel.n_rows();
+        // Group ids are assigned in first-occurrence order over an ascending
+        // row scan, so groups come out ordered by their smallest row — the
+        // same canonical order every other constructor produces.
+        let mut row_gids: Vec<u32> = Vec::with_capacity(n);
+        let mut counts: Vec<u32> = Vec::new();
+        if let Some(fold) = rel.key_fold(attrs) {
+            let mut gids: FoldKeyMap<u32> =
+                FoldKeyMap::with_capacity_and_hasher(n, Default::default());
+            for r in 0..n {
+                let next = counts.len() as u32;
+                let gid = *gids.entry(rel.fold_key(r, &fold)).or_insert(next);
+                if gid == next {
+                    counts.push(0);
+                }
+                counts[gid as usize] += 1;
+                row_gids.push(gid);
+            }
+        } else {
+            let mut gids: HashMap<Vec<u32>, u32> = HashMap::with_capacity(n);
+            for r in 0..n {
+                let next = counts.len() as u32;
+                let gid = *gids.entry(rel.key(r, attrs)).or_insert(next);
+                if gid == next {
+                    counts.push(0);
+                }
+                counts[gid as usize] += 1;
+                row_gids.push(gid);
+            }
         }
-        let mut clusters: Vec<Vec<u32>> = groups.into_values().filter(|g| g.len() >= 2).collect();
-        // Deterministic order helps testing and reproducibility.
-        clusters.sort();
-        Pli { clusters, n_rows: rel.n_rows() }
+        // CSR scatter of the non-singleton groups, in group-id order.
+        let mut starts = vec![u32::MAX; counts.len()];
+        let mut offsets = Vec::new();
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for (gid, &count) in counts.iter().enumerate() {
+            if count >= 2 {
+                starts[gid] = total;
+                total += count;
+                offsets.push(total);
+            }
+        }
+        let mut rows = vec![0u32; total as usize];
+        for (r, &gid) in row_gids.iter().enumerate() {
+            let cursor = starts[gid as usize];
+            if cursor != u32::MAX {
+                rows[cursor as usize] = r as u32;
+                starts[gid as usize] = cursor + 1;
+            }
+        }
+        Pli { rows, offsets, n_rows: n }
     }
 
     /// The trivial partition of the empty attribute set: one cluster holding
     /// every row (or none if the relation is smaller than two rows).
     pub fn trivial(n_rows: usize) -> Pli {
-        let clusters = if n_rows >= 2 { vec![(0..n_rows as u32).collect()] } else { Vec::new() };
-        Pli { clusters, n_rows }
+        if n_rows >= 2 {
+            Pli { rows: (0..n_rows as u32).collect(), offsets: vec![0, n_rows as u32], n_rows }
+        } else {
+            Pli { rows: Vec::new(), offsets: vec![0], n_rows }
+        }
     }
 
     /// Number of rows of the underlying relation.
@@ -63,45 +179,57 @@ impl Pli {
         self.n_rows
     }
 
-    /// The clusters (each of size ≥ 2).
+    /// Iterates over the clusters as slices of the row arena, in canonical
+    /// (ascending-first-row) order; each cluster has size ≥ 2.
     #[inline]
-    pub fn clusters(&self) -> &[Vec<u32>] {
-        &self.clusters
+    pub fn clusters(&self) -> impl ExactSizeIterator<Item = &[u32]> + Clone + '_ {
+        self.offsets.windows(2).map(|w| &self.rows[w[0] as usize..w[1] as usize])
+    }
+
+    /// The `i`-th cluster (canonical order).
+    ///
+    /// # Panics
+    /// Panics if `i >= cluster_count()`.
+    #[inline]
+    pub fn cluster(&self, i: usize) -> &[u32] {
+        &self.rows[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Number of non-singleton clusters.
     #[inline]
     pub fn cluster_count(&self) -> usize {
-        self.clusters.len()
+        self.offsets.len() - 1
     }
 
     /// Total number of rows covered by non-singleton clusters; everything else
-    /// is a singleton in the partition.
+    /// is a singleton in the partition. `O(1)` on the CSR layout.
     #[inline]
     pub fn covered_rows(&self) -> usize {
-        self.clusters.iter().map(|c| c.len()).sum()
+        self.rows.len()
     }
 
     /// Number of distinct values (clusters plus implicit singletons).
     #[inline]
     pub fn distinct_values(&self) -> usize {
-        self.clusters.len() + (self.n_rows - self.covered_rows())
+        self.cluster_count() + (self.n_rows - self.covered_rows())
     }
 
     /// Entropy (in bits) of the empirical distribution grouped by this
     /// partition's attribute set, per Eq. (5) of the paper:
     /// `H = log₂ N − (1/N) · Σ_groups |g|·log₂|g|`, where singleton groups
     /// contribute zero and are therefore absent from the stripped partition.
+    /// Summation runs in canonical cluster order, so the value is
+    /// bit-identical however the partition was built.
     pub fn entropy(&self) -> f64 {
         if self.n_rows == 0 {
             return 0.0;
         }
         let n = self.n_rows as f64;
         let sum: f64 = self
-            .clusters
-            .iter()
-            .map(|c| {
-                let s = c.len() as f64;
+            .offsets
+            .windows(2)
+            .map(|w| {
+                let s = (w[1] - w[0]) as f64;
                 s * s.log2()
             })
             .sum();
@@ -109,46 +237,256 @@ impl Pli {
     }
 
     /// Intersects this partition with another (computing the partition of
-    /// `X ∪ Y` from the partitions of `X` and `Y`), using the standard
-    /// probe-table algorithm: rows that are singletons in either input are
-    /// singletons in the output and can be skipped.
+    /// `X ∪ Y` from the partitions of `X` and `Y`). Convenience wrapper
+    /// around [`Pli::intersect_with`] that builds a throwaway scratch; hot
+    /// paths should own an [`IntersectScratch`] and reuse it.
     pub fn intersect(&self, other: &Pli) -> Pli {
+        let mut scratch = IntersectScratch::new();
+        self.intersect_with(other, &mut scratch)
+    }
+
+    /// Stamps `scratch`'s probe table with this partition's cluster ids and
+    /// returns the epoch used. Shared prologue of the two intersection modes.
+    fn build_probe(&self, other: &Pli, scratch: &mut IntersectScratch) -> u32 {
         assert_eq!(
             self.n_rows, other.n_rows,
             "cannot intersect partitions over different relations"
         );
-        // probe[row] = cluster index of `row` in self, or NONE if singleton.
-        const NONE: u32 = u32::MAX;
-        let mut probe = vec![NONE; self.n_rows];
-        for (ci, cluster) in self.clusters.iter().enumerate() {
+        scratch.prepare(self.n_rows, self.cluster_count(), 1 + other.cluster_count() as u64);
+        let probe_epoch = scratch.next_epoch();
+        for (ci, cluster) in self.clusters().enumerate() {
             for &row in cluster {
-                probe[row as usize] = ci as u32;
+                scratch.probe_stamp[row as usize] = probe_epoch;
+                scratch.probe_cluster[row as usize] = ci as u32;
             }
         }
-        let mut clusters = Vec::new();
-        let mut partial: std::collections::HashMap<u32, Vec<u32>> =
-            std::collections::HashMap::new();
-        for cluster in &other.clusters {
-            partial.clear();
-            for &row in cluster {
-                let key = probe[row as usize];
-                if key != NONE {
-                    partial.entry(key).or_default().push(row);
+        probe_epoch
+    }
+
+    /// Intersects into a freshly materialized partition using the standard
+    /// probe-table algorithm (rows that are singletons in either input are
+    /// singletons in the output and are skipped), with all transient state
+    /// held in `scratch`. The output is the only allocation: two exact-size
+    /// vectors, filled in canonical cluster order.
+    pub fn intersect_with(&self, other: &Pli, scratch: &mut IntersectScratch) -> Pli {
+        let probe_epoch = self.build_probe(other, scratch);
+        scratch.bounds.clear();
+        scratch.stage_rows.clear();
+        for cluster in other.clusters() {
+            let cluster_epoch = scratch.tally_cluster(cluster, probe_epoch);
+            // Reserve a staging range per surviving group; demote singleton
+            // groups by resetting their stamp (0 is never a live epoch).
+            for &g in &scratch.touched {
+                let g = g as usize;
+                let count = scratch.group_count[g];
+                if count >= 2 {
+                    let start = scratch.stage_rows.len() as u32;
+                    scratch.bounds.push((scratch.group_first[g], start, count));
+                    scratch.group_cursor[g] = start;
+                    scratch.stage_rows.resize(scratch.stage_rows.len() + count as usize, 0);
+                } else {
+                    scratch.group_stamp[g] = 0;
                 }
             }
-            for (_, group) in partial.drain() {
-                if group.len() >= 2 {
-                    clusters.push(group);
+            for &row in cluster {
+                if scratch.probe_stamp[row as usize] != probe_epoch {
+                    continue;
+                }
+                let g = scratch.probe_cluster[row as usize] as usize;
+                if scratch.group_stamp[g] == cluster_epoch {
+                    scratch.stage_rows[scratch.group_cursor[g] as usize] = row;
+                    scratch.group_cursor[g] += 1;
                 }
             }
         }
-        clusters.sort();
-        Pli { clusters, n_rows: self.n_rows }
+        // Canonical order: ascending first row — the CSR equivalent of the
+        // legacy representation's lexicographic cluster sort (clusters are
+        // disjoint with ascending interiors, so first rows decide).
+        scratch.bounds.sort_unstable_by_key(|&(first, _, _)| first);
+        let mut rows = Vec::with_capacity(scratch.stage_rows.len());
+        let mut offsets = Vec::with_capacity(scratch.bounds.len() + 1);
+        offsets.push(0u32);
+        for &(_, start, len) in &scratch.bounds {
+            rows.extend_from_slice(&scratch.stage_rows[start as usize..(start + len) as usize]);
+            offsets.push(rows.len() as u32);
+        }
+        Pli { rows, offsets, n_rows: self.n_rows }
+    }
+
+    /// The §6.3 count-only fast path: computes the non-singleton group sizes
+    /// of `self ∩ other` — everything Eq. (5) needs — without materializing
+    /// any TID list. Performs **zero heap allocations** once `scratch` has
+    /// reached steady state. Sizes are reported in the canonical
+    /// (ascending-first-row) cluster order of the partition that
+    /// [`Pli::intersect_with`] would have built, so
+    /// [`GroupSizes::entropy`] is bit-identical to materializing first.
+    pub fn intersect_counts<'s>(
+        &self,
+        other: &Pli,
+        scratch: &'s mut IntersectScratch,
+    ) -> GroupSizes<'s> {
+        let probe_epoch = self.build_probe(other, scratch);
+        scratch.bounds.clear();
+        for cluster in other.clusters() {
+            scratch.tally_cluster(cluster, probe_epoch);
+            for &g in &scratch.touched {
+                let g = g as usize;
+                if scratch.group_count[g] >= 2 {
+                    scratch.bounds.push((scratch.group_first[g], scratch.group_count[g], 0));
+                }
+            }
+        }
+        scratch.bounds.sort_unstable_by_key(|&(first, _, _)| first);
+        scratch.sizes.clear();
+        scratch.sizes.extend(scratch.bounds.iter().map(|&(_, size, _)| size));
+        GroupSizes { sizes: &scratch.sizes, n_rows: self.n_rows }
     }
 
     /// Memory footprint proxy: total number of row ids stored.
     pub fn size(&self) -> usize {
         self.covered_rows()
+    }
+}
+
+/// Reusable transient state for partition intersections (probe table, group
+/// accumulators, staging arena). All per-row / per-cluster arrays are
+/// epoch-stamped — an entry is live only if its stamp equals the current
+/// epoch — so nothing is cleared between calls; the epoch is bumped instead
+/// (with a full reset on the rare `u32` wrap). After the first call at a
+/// given relation size the scratch allocates nothing, which is what makes
+/// the oracle's steady-state intersections allocation-free.
+#[derive(Debug, Default)]
+pub struct IntersectScratch {
+    epoch: u32,
+    /// Per-row: epoch stamp + cluster id of the probed (left) partition.
+    probe_stamp: Vec<u32>,
+    probe_cluster: Vec<u32>,
+    /// Per-left-cluster: epoch stamp, group size, first row and write cursor
+    /// of the refined group inside the current right-hand cluster.
+    group_stamp: Vec<u32>,
+    group_count: Vec<u32>,
+    group_first: Vec<u32>,
+    group_cursor: Vec<u32>,
+    /// Left-cluster ids seen in the current right-hand cluster.
+    touched: Vec<u32>,
+    /// Staging cluster directory: `(first_row, start, len)` per group.
+    bounds: Vec<(u32, u32, u32)>,
+    /// Staging row arena (scattered in discovery order, re-emitted sorted).
+    stage_rows: Vec<u32>,
+    /// Group sizes handed out by [`Pli::intersect_counts`].
+    sizes: Vec<u32>,
+}
+
+impl IntersectScratch {
+    /// Creates an empty scratch; arrays are sized lazily on first use.
+    pub fn new() -> Self {
+        IntersectScratch::default()
+    }
+
+    /// Grows the stamped arrays to the given dimensions and resets the epoch
+    /// counter if the upcoming `epochs_needed` bumps would wrap `u32`.
+    fn prepare(&mut self, n_rows: usize, left_clusters: usize, epochs_needed: u64) {
+        if self.probe_stamp.len() < n_rows {
+            self.probe_stamp.resize(n_rows, 0);
+            self.probe_cluster.resize(n_rows, 0);
+        }
+        if self.group_stamp.len() < left_clusters {
+            self.group_stamp.resize(left_clusters, 0);
+            self.group_count.resize(left_clusters, 0);
+            self.group_first.resize(left_clusters, 0);
+            self.group_cursor.resize(left_clusters, 0);
+        }
+        if self.epoch as u64 + epochs_needed >= u32::MAX as u64 {
+            self.probe_stamp.fill(0);
+            self.group_stamp.fill(0);
+            self.epoch = 0;
+        }
+    }
+
+    #[inline]
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The shared group-counting pass of both intersection modes: opens a
+    /// fresh epoch for `cluster` (one right-hand cluster of an intersection)
+    /// and tallies its rows by the probed left-hand cluster id, leaving
+    /// `group_count`/`group_first` filled for every id listed in `touched`.
+    /// Rows that are singletons on the left (stale probe stamp) are skipped.
+    /// Returns the cluster's epoch so callers can recognize live entries.
+    fn tally_cluster(&mut self, cluster: &[u32], probe_epoch: u32) -> u32 {
+        let cluster_epoch = self.next_epoch();
+        self.touched.clear();
+        for &row in cluster {
+            if self.probe_stamp[row as usize] != probe_epoch {
+                continue;
+            }
+            let g = self.probe_cluster[row as usize] as usize;
+            if self.group_stamp[g] != cluster_epoch {
+                self.group_stamp[g] = cluster_epoch;
+                self.group_count[g] = 1;
+                self.group_first[g] = row;
+                self.touched.push(g as u32);
+            } else {
+                self.group_count[g] += 1;
+            }
+        }
+        cluster_epoch
+    }
+}
+
+/// The non-singleton group sizes of a partition intersection, borrowed from
+/// the scratch that computed them ([`Pli::intersect_counts`]). Carries
+/// everything Eq. (5) needs; sizes are in canonical cluster order so
+/// [`GroupSizes::entropy`] matches the materialized partition bit-for-bit.
+#[derive(Debug)]
+pub struct GroupSizes<'a> {
+    sizes: &'a [u32],
+    n_rows: usize,
+}
+
+impl GroupSizes<'_> {
+    /// The group sizes (each ≥ 2), in canonical cluster order.
+    #[inline]
+    pub fn sizes(&self) -> &[u32] {
+        self.sizes
+    }
+
+    /// Number of rows of the underlying relation.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of non-singleton groups.
+    #[inline]
+    pub fn cluster_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total rows covered by non-singleton groups.
+    #[inline]
+    pub fn covered_rows(&self) -> usize {
+        self.sizes.iter().map(|&s| s as usize).sum()
+    }
+
+    /// Entropy per Eq. (5), summed in canonical cluster order — bit-identical
+    /// to [`Pli::entropy`] on the partition [`Pli::intersect_with`] builds.
+    pub fn entropy(&self) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let n = self.n_rows as f64;
+        let sum: f64 = self
+            .sizes
+            .iter()
+            .map(|&s| {
+                let s = s as f64;
+                s * s.log2()
+            })
+            .sum();
+        n.log2() - sum / n
     }
 }
 
@@ -181,6 +519,8 @@ mod tests {
         assert_eq!(a.cluster_count(), 2);
         assert_eq!(a.covered_rows(), 4);
         assert_eq!(a.distinct_values(), 3);
+        assert_eq!(a.cluster(0), &[1, 2]);
+        assert_eq!(a.cluster(1), &[3, 4]);
         let c = Pli::from_column(&rel, 2);
         // C: c3 -> {t1,t4}; the rest are singletons.
         assert_eq!(c.cluster_count(), 1);
@@ -193,9 +533,27 @@ mod tests {
         for attr in 0..3 {
             let a = Pli::from_column(&rel, attr);
             let b = Pli::from_attrs(&rel, AttrSet::singleton(attr));
+            assert_eq!(a, b, "CSR partitions must agree exactly, attr {attr}");
             assert_eq!(a.entropy(), b.entropy());
-            assert_eq!(a.cluster_count(), b.cluster_count());
         }
+    }
+
+    #[test]
+    fn from_column_on_all_distinct_column_has_no_clusters() {
+        // High-cardinality edge: every value is a singleton, so the counting
+        // pass must produce an empty arena (the old per-code bucket build
+        // allocated one Vec per row here).
+        let schema = Schema::new(["K", "V"]).unwrap();
+        let rows: Vec<Vec<String>> =
+            (0..1000).map(|i| vec![format!("k{i}"), format!("v{}", i % 3)]).collect();
+        let rel = Relation::from_rows(schema, &rows).unwrap();
+        assert_eq!(rel.column_cardinality(0), 1000);
+        let p = Pli::from_column(&rel, 0);
+        assert_eq!(p.cluster_count(), 0);
+        assert_eq!(p.covered_rows(), 0);
+        assert_eq!(p.distinct_values(), 1000);
+        assert!((p.entropy() - 1000f64.log2()).abs() < 1e-12);
+        assert_eq!(p, Pli::from_attrs(&rel, AttrSet::singleton(0)));
     }
 
     #[test]
@@ -205,11 +563,11 @@ mod tests {
         let b = Pli::from_column(&rel, 1);
         let ab = a.intersect(&b);
         let direct = Pli::from_attrs(&rel, [0usize, 1].into_iter().collect());
+        assert_eq!(ab, direct, "intersection and direct build agree exactly");
         assert_eq!(ab.entropy(), direct.entropy());
-        assert_eq!(ab.cluster_count(), direct.cluster_count());
         // Figure 7: AB has a single non-singleton cluster {t4, t5}.
         assert_eq!(ab.cluster_count(), 1);
-        assert_eq!(ab.clusters()[0], vec![3, 4]);
+        assert_eq!(ab.cluster(0), &[3, 4]);
     }
 
     #[test]
@@ -219,8 +577,67 @@ mod tests {
         let c = Pli::from_column(&rel, 2);
         let ac = a.intersect(&c);
         let ca = c.intersect(&a);
+        assert_eq!(ac, ca, "canonical cluster order makes intersection commutative");
         assert_eq!(ac.entropy(), ca.entropy());
-        assert_eq!(ac.cluster_count(), ca.cluster_count());
+    }
+
+    #[test]
+    fn count_only_matches_materialized_intersection() {
+        let rel = sample();
+        let mut scratch = IntersectScratch::new();
+        for (x, y) in [(0usize, 1usize), (0, 2), (1, 2)] {
+            let a = Pli::from_column(&rel, x);
+            let b = Pli::from_column(&rel, y);
+            let materialized = a.intersect_with(&b, &mut scratch);
+            let expected_sizes: Vec<u32> =
+                materialized.clusters().map(|c| c.len() as u32).collect();
+            let expected_entropy = materialized.entropy();
+            let counts = a.intersect_counts(&b, &mut scratch);
+            assert_eq!(counts.sizes(), expected_sizes.as_slice(), "attrs ({x},{y})");
+            assert_eq!(counts.covered_rows(), materialized.covered_rows());
+            assert_eq!(counts.cluster_count(), materialized.cluster_count());
+            assert_eq!(counts.entropy().to_bits(), expected_entropy.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_calls_and_relations_is_sound() {
+        // One scratch serving partitions of different shapes and relations
+        // must behave exactly like a fresh scratch each time.
+        let rel = sample();
+        let schema = Schema::new(["X", "Y"]).unwrap();
+        let other_rel = Relation::from_rows(
+            schema,
+            &[vec!["0", "p"], vec!["0", "p"], vec!["1", "q"], vec!["1", "p"]],
+        )
+        .unwrap();
+        let mut scratch = IntersectScratch::new();
+        for _ in 0..3 {
+            for (r, n_cols) in [(&rel, 3usize), (&other_rel, 2usize)] {
+                for x in 0..n_cols {
+                    for y in 0..n_cols {
+                        let a = Pli::from_column(r, x);
+                        let b = Pli::from_column(r, y);
+                        assert_eq!(a.intersect_with(&b, &mut scratch), a.intersect(&b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_epoch_wrap_resets_cleanly() {
+        let rel = sample();
+        let a = Pli::from_column(&rel, 0);
+        let b = Pli::from_column(&rel, 1);
+        let mut scratch = IntersectScratch::new();
+        let expected = a.intersect(&b);
+        // Poison the scratch with a near-overflow epoch; prepare() must reset
+        // the stamps rather than wrap into stale-stamp collisions.
+        scratch.epoch = u32::MAX - 2;
+        assert_eq!(a.intersect_with(&b, &mut scratch), expected);
+        assert_eq!(a.intersect_with(&b, &mut scratch), expected);
+        assert_eq!(a.intersect_counts(&b, &mut scratch).entropy(), expected.entropy());
     }
 
     #[test]
@@ -260,6 +677,8 @@ mod tests {
         let t = Pli::trivial(rel.n_rows());
         let both = a.intersect(&t);
         assert_eq!(both.entropy(), a.entropy());
+        let flipped = t.intersect(&a);
+        assert_eq!(flipped, both);
     }
 
     #[test]
@@ -275,5 +694,48 @@ mod tests {
         let rel = sample();
         let a = Pli::from_column(&rel, 0);
         assert_eq!(a.size(), 4);
+    }
+
+    #[test]
+    fn from_attrs_vector_key_fallback_matches_reference_grouping() {
+        // 12 columns of cardinality 64 defeat the u64 fold (64^12 = 2^72),
+        // forcing `from_attrs` onto the Vec<u32>-key fallback branch. Rows r
+        // and r + 64 agree on every column by construction, so the grouping
+        // is non-trivial: 64 clusters of exactly two rows.
+        let cols = 12usize;
+        let schema = Schema::with_arity(cols).unwrap();
+        let columns: Vec<Vec<u32>> = (0..cols)
+            .map(|c| (0..128u32).map(|r| (r * 7 + c as u32 * 13) % 64).collect())
+            .collect();
+        let rel = Relation::from_code_columns(schema, columns).unwrap();
+        let full = AttrSet::full(cols);
+        assert!(rel.key_fold(full).is_none(), "the fold must overflow for this test to bite");
+
+        let pli = Pli::from_attrs(&rel, full);
+        // Reference grouping: the legacy hash-map-and-sort algorithm.
+        let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        for r in 0..rel.n_rows() {
+            groups.entry(rel.key(r, full)).or_default().push(r as u32);
+        }
+        let mut expected: Vec<Vec<u32>> = groups.into_values().filter(|g| g.len() >= 2).collect();
+        expected.sort();
+        assert_eq!(expected.len(), 64);
+        assert!(expected.iter().all(|g| g.len() == 2));
+        let got: Vec<Vec<u32>> = pli.clusters().map(|c| c.to_vec()).collect();
+        assert_eq!(got, expected);
+        // A foldable sub-projection of the same relation goes down the fold
+        // path; both paths must agree where they overlap.
+        let narrow: AttrSet = [0usize, 1].into_iter().collect();
+        assert!(rel.key_fold(narrow).is_some());
+        let fold_path = Pli::from_attrs(&rel, narrow);
+        let mut narrow_groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        for r in 0..rel.n_rows() {
+            narrow_groups.entry(rel.key(r, narrow)).or_default().push(r as u32);
+        }
+        let mut narrow_expected: Vec<Vec<u32>> =
+            narrow_groups.into_values().filter(|g| g.len() >= 2).collect();
+        narrow_expected.sort();
+        let narrow_got: Vec<Vec<u32>> = fold_path.clusters().map(|c| c.to_vec()).collect();
+        assert_eq!(narrow_got, narrow_expected);
     }
 }

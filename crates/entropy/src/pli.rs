@@ -7,17 +7,33 @@
 //! values to tuple ids so that the tables of `X ∪ Y` can be derived by joining
 //! the tables of `X` and `Y` on the tuple id. Both ideas are exactly the
 //! *stripped partition* intersection of the TANE PLI cache, which is what
-//! [`crate::partition::Pli`] implements natively.
+//! [`crate::partition::Pli`] implements natively — as a flat CSR arena (see
+//! the `partition` module docs for the memory layout).
 //!
-//! This module adds the two remaining ingredients of §6.3:
+//! This module adds the remaining ingredients of §6.3:
 //!
 //! 1. **Caching**: entropies are memoized for every attribute set ever
-//!    requested; stripped partitions are memoized up to a configurable budget
-//!    so that shared prefixes are intersected only once.
+//!    requested; stripped partitions are memoized (as `Arc<Pli>`, so a cache
+//!    read shares the arena instead of copying it) up to a configurable
+//!    budget so that shared prefixes are intersected only once.
 //! 2. **Block precomputation**: the attributes are split into ⌈n/L⌉ blocks of
 //!    at most `L` attributes and the partitions of *all* subsets within a
 //!    block are precomputed; an arbitrary `X` is then assembled by
-//!    intersecting its (at most ⌈n/L⌉) per-block pieces.
+//!    intersecting its (at most ⌈n/L⌉) per-block pieces, **smallest
+//!    partition first** so the accumulator collapses as early as possible.
+//! 3. **The count-only fast path**: the paper's `CNT`-table observation that
+//!    Eq. (5) needs group *sizes*, not TID lists. The final intersection of
+//!    an assembly produces a partition nothing will ever read again — its
+//!    entropy goes straight into the entropy cache, and a future request for
+//!    the same set hits that cache rather than re-deriving the partition —
+//!    so the oracle computes it with [`Pli::intersect_counts`], which never
+//!    materializes the result. Only intermediate merges (reusable as cached
+//!    prefixes) are materialized and inserted into the partition cache.
+//!
+//! All transient intersection state lives in [`IntersectScratch`]es drawn
+//! from a small pool (at most one per concurrently-missing worker thread),
+//! so steady-state entropy queries — cache hits outright, and count-only
+//! misses once the scratches are warm — allocate nothing.
 //!
 //! The oracle is shared: every method takes `&self` and both caches are
 //! sharded compute-once maps ([`crate::concurrent`]), so a single
@@ -26,9 +42,10 @@
 
 use crate::concurrent::{AtomicOracleStats, ShardedCache};
 use crate::oracle::{EntropyOracle, OracleStats};
-use crate::partition::Pli;
+use crate::partition::{IntersectScratch, Pli};
 use relation::{AttrSet, Relation};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Configuration for [`PliEntropyOracle`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,12 +87,17 @@ impl EntropyConfig {
 /// Entropy oracle backed by cached stripped partitions (the §6.3 engine).
 pub struct PliEntropyOracle<'a> {
     rel: &'a Relation,
-    singles: Vec<Pli>,
-    pli_cache: ShardedCache<Pli>,
+    singles: Vec<Arc<Pli>>,
+    pli_cache: ShardedCache<Arc<Pli>>,
     /// Number of entries in `pli_cache`, tracked atomically so the
     /// `max_cached_plis` budget stays exact under concurrent inserts.
     pli_count: AtomicUsize,
     entropy_cache: ShardedCache<f64>,
+    /// Pool of reusable intersection scratches. Bounded by the number of
+    /// threads that ever miss the entropy cache concurrently; lock ordering:
+    /// this is a leaf lock, taken (briefly, pop/push only) while an entropy
+    /// shard may be held, never while holding a partition shard.
+    scratches: Mutex<Vec<IntersectScratch>>,
     config: EntropyConfig,
     stats: AtomicOracleStats,
 }
@@ -84,13 +106,15 @@ impl<'a> PliEntropyOracle<'a> {
     /// Creates the oracle, building single-attribute partitions and (if
     /// configured) the per-block subset precomputation.
     pub fn new(rel: &'a Relation, config: EntropyConfig) -> Self {
-        let singles: Vec<Pli> = (0..rel.arity()).map(|a| Pli::from_column(rel, a)).collect();
+        let singles: Vec<Arc<Pli>> =
+            (0..rel.arity()).map(|a| Arc::new(Pli::from_column(rel, a))).collect();
         let oracle = PliEntropyOracle {
             rel,
             singles,
             pli_cache: ShardedCache::new(),
             pli_count: AtomicUsize::new(0),
             entropy_cache: ShardedCache::new(),
+            scratches: Mutex::new(Vec::new()),
             config,
             stats: AtomicOracleStats::default(),
         };
@@ -121,10 +145,19 @@ impl<'a> PliEntropyOracle<'a> {
         self.entropy_cache.len()
     }
 
+    fn take_scratch(&self) -> IntersectScratch {
+        self.scratches.lock().expect("scratch pool poisoned").pop().unwrap_or_default()
+    }
+
+    fn return_scratch(&self, scratch: IntersectScratch) {
+        self.scratches.lock().expect("scratch pool poisoned").push(scratch);
+    }
+
     fn precompute_blocks(&self, block: usize) {
+        let mut scratch = self.take_scratch();
         let n = self.rel.arity();
         let mut start = 0;
-        while start < n {
+        'blocks: while start < n {
             let end = (start + block).min(n);
             let block_attrs: AttrSet = (start..end).collect();
             // Enumerate subsets in increasing size so that each subset can be
@@ -134,33 +167,37 @@ impl<'a> PliEntropyOracle<'a> {
             subsets.sort_by_key(|s| s.len());
             for subset in subsets {
                 if self.pli_count.load(Ordering::Relaxed) >= self.config.max_cached_plis {
-                    return;
+                    break 'blocks;
                 }
                 let last = subset.max_attr().expect("subset has at least two attributes");
                 let rest = subset.without(last);
                 let rest_pli = if rest.len() == 1 {
-                    self.singles[rest.min_attr().unwrap()].clone()
+                    Arc::clone(&self.singles[rest.min_attr().unwrap()])
                 } else {
-                    self.pli_cache.get(rest).unwrap_or_else(|| Pli::from_attrs(self.rel, rest))
+                    self.pli_cache
+                        .get(rest)
+                        .unwrap_or_else(|| Arc::new(Pli::from_attrs(self.rel, rest)))
                 };
-                let combined = rest_pli.intersect(&self.singles[last]);
+                let combined = rest_pli.intersect_with(&self.singles[last], &mut scratch);
                 self.stats.record_intersection();
                 self.entropy_cache.insert(subset, combined.entropy());
                 self.pli_cache.insert_bounded(
                     subset,
-                    combined,
+                    Arc::new(combined),
                     &self.pli_count,
                     self.config.max_cached_plis,
                 );
             }
             start = end;
         }
+        self.return_scratch(scratch);
     }
 
-    /// Looks up an already-cached partition for exactly `attrs`.
-    fn cached_pli(&self, attrs: AttrSet) -> Option<Pli> {
+    /// Looks up an already-cached partition for exactly `attrs`. The shared
+    /// `Arc` is cloned — cache reads never copy a partition arena.
+    fn cached_pli(&self, attrs: AttrSet) -> Option<Arc<Pli>> {
         if attrs.len() == 1 {
-            return Some(self.singles[attrs.min_attr().unwrap()].clone());
+            return Some(Arc::clone(&self.singles[attrs.min_attr().unwrap()]));
         }
         self.pli_cache.get(attrs)
     }
@@ -187,48 +224,72 @@ impl<'a> PliEntropyOracle<'a> {
         }
     }
 
-    /// Computes the stripped partition of `attrs`, caching intermediate
-    /// prefixes opportunistically.
-    fn compute_pli(&self, attrs: AttrSet) -> Pli {
+    /// Computes `H(attrs)` by assembling the partition of `attrs` from its
+    /// cached pieces, smallest `covered_rows` first. Intermediate merges are
+    /// materialized and cached opportunistically (they are reusable
+    /// prefixes); the **final** merge is evaluated count-only
+    /// ([`Pli::intersect_counts`]) and never cached — its entropy is about
+    /// to be memoized by the entropy cache, and a full-set partition is
+    /// never read through the partition cache again.
+    fn compute_entropy(&self, attrs: AttrSet) -> f64 {
         if let Some(p) = self.cached_pli(attrs) {
-            return p;
+            return p.entropy();
         }
-        let pieces = self.decompose(attrs);
-        let mut acc: Option<(AttrSet, Pli)> = None;
-        for piece in pieces {
-            let piece_pli = match self.cached_pli(piece) {
-                Some(p) => p,
-                None => {
-                    // A piece can miss the cache when block precomputation was
-                    // truncated by the budget; fall back to a direct scan.
-                    self.stats.record_full_scan();
-                    Pli::from_attrs(self.rel, piece)
-                }
-            };
-            acc = Some(match acc {
-                None => (piece, piece_pli),
-                Some((acc_attrs, acc_pli)) => {
-                    let merged_attrs = acc_attrs.union(piece);
-                    let merged = acc_pli.intersect(&piece_pli);
-                    self.stats.record_intersection();
-                    // Cache the intermediate prefix so future requests that
-                    // share it skip the intersection.
-                    if merged_attrs.len() >= 2 {
-                        self.pli_cache.insert_bounded(
-                            merged_attrs,
-                            merged.clone(),
-                            &self.pli_count,
-                            self.config.max_cached_plis,
-                        );
+        let mut plis: Vec<(AttrSet, Arc<Pli>)> = self
+            .decompose(attrs)
+            .into_iter()
+            .map(|piece| {
+                let pli = match self.cached_pli(piece) {
+                    Some(p) => p,
+                    None => {
+                        // A piece can miss the cache when block precomputation
+                        // was truncated by the budget; fall back to a direct
+                        // scan.
+                        self.stats.record_full_scan();
+                        Arc::new(Pli::from_attrs(self.rel, piece))
                     }
-                    (merged_attrs, merged)
-                }
-            });
+                };
+                (piece, pli)
+            })
+            .collect();
+        if plis.len() == 1 {
+            return plis[0].1.entropy();
         }
-        let (final_attrs, final_pli) =
-            acc.unwrap_or_else(|| (AttrSet::empty(), Pli::trivial(self.rel.n_rows())));
-        debug_assert_eq!(final_attrs, attrs);
-        final_pli
+        // Size-ordered multi-way assembly: intersecting the smallest
+        // partitions first shrinks the accumulator as fast as possible, so
+        // the expensive later probes scan the fewest rows. Ties break on the
+        // attribute bits to keep the sequential path fully deterministic.
+        plis.sort_by_key(|(piece, pli)| (pli.covered_rows(), piece.bits()));
+        let mut scratch = self.take_scratch();
+        let mut iter = plis.into_iter();
+        let (mut acc_attrs, mut acc) = iter.next().expect("at least two pieces");
+        let mut entropy = 0.0;
+        while let Some((piece_attrs, piece)) = iter.next() {
+            let merged_attrs = acc_attrs.union(piece_attrs);
+            self.stats.record_intersection();
+            if iter.len() == 0 {
+                // The final merge must reassemble exactly the requested set;
+                // anything else means decompose() produced bad pieces and
+                // the wrong entropy would be memoized under `attrs`.
+                debug_assert_eq!(merged_attrs, attrs);
+                self.stats.record_count_only();
+                entropy = acc.intersect_counts(&piece, &mut scratch).entropy();
+                break;
+            }
+            let merged = Arc::new(acc.intersect_with(&piece, &mut scratch));
+            // Cache the intermediate prefix so future requests for exactly
+            // this set skip the assembly.
+            self.pli_cache.insert_bounded(
+                merged_attrs,
+                Arc::clone(&merged),
+                &self.pli_count,
+                self.config.max_cached_plis,
+            );
+            acc_attrs = merged_attrs;
+            acc = merged;
+        }
+        self.return_scratch(scratch);
+        entropy
     }
 }
 
@@ -245,7 +306,7 @@ impl EntropyOracle for PliEntropyOracle<'_> {
         // materialized exactly once per run regardless of thread count.
         let (h, _) = self.entropy_cache.get_or_insert_with(attrs, || {
             self.stats.record_miss();
-            self.compute_pli(attrs).entropy()
+            self.compute_entropy(attrs)
         });
         h
     }
@@ -349,6 +410,7 @@ mod tests {
         let stats2 = pli.stats();
         assert_eq!(stats2.cache_hits, stats1.cache_hits + 1);
         assert_eq!(stats2.intersections, stats1.intersections);
+        assert_eq!(stats2.count_only_intersections, stats1.count_only_intersections);
     }
 
     #[test]
@@ -362,10 +424,11 @@ mod tests {
         let abcde: AttrSet = [0usize, 1, 2, 3, 4].into_iter().collect();
         pli.entropy(abcd);
         let after_first = pli.stats().intersections;
+        // 4 singleton pieces fold with 3 intersections, the last count-only.
         assert_eq!(after_first, 3);
-        // ABCD is cached, so ABCDE needs only one more intersection... but the
-        // singleton decomposition rebuilds from prefixes: A∪B is cached, etc.
-        // The second call must not repeat the first call's work from scratch.
+        assert_eq!(pli.stats().count_only_intersections, 1);
+        // The second call must not repeat the first call's work from scratch:
+        // the size-2 and size-3 prefixes of the first assembly are cached.
         pli.entropy(abcde);
         let after_second = pli.stats().intersections;
         assert!(after_second - after_first <= 4);
@@ -404,12 +467,16 @@ mod tests {
         // (2^5 − 5 − 1) + (2^2 − 2 − 1) = 26 + 1 = 27 intersections.
         let default = PliEntropyOracle::with_defaults(&rel);
         assert_eq!(default.stats().intersections, 27);
+        assert_eq!(default.stats().count_only_intersections, 0);
         assert_eq!(default.stats().full_scans, 0);
         assert_eq!(default.cached_pli_count(), 27);
-        // H(Ω) assembles the two per-block pieces with one more intersection.
+        // H(Ω) assembles the two per-block pieces with one more intersection
+        // — the final merge, so it runs count-only and is never cached.
         default.entropy(full);
         assert_eq!(default.stats().intersections, 28);
+        assert_eq!(default.stats().count_only_intersections, 1);
         assert_eq!(default.stats().full_scans, 0);
+        assert_eq!(default.cached_pli_count(), 27);
 
         // L = 10 covers all 7 attributes in one block: 2^7 − 7 − 1 = 120
         // precompute intersections — the front-loading that made the old
@@ -421,25 +488,30 @@ mod tests {
         assert_eq!(l10.stats().intersections, 120);
         l10.entropy(full);
         assert_eq!(l10.stats().intersections, 120);
+        assert_eq!(l10.stats().count_only_intersections, 0);
         assert_eq!(l10.stats().cache_hits, 1);
 
         // No precomputation, no composite cache: H(Ω) folds the 7 singleton
-        // partitions with 6 intersections and caches nothing.
+        // partitions with 6 intersections (the last count-only) and caches
+        // nothing.
         let bare = PliEntropyOracle::new(&rel, EntropyConfig::no_precompute());
         assert_eq!(bare.stats().intersections, 0);
         bare.entropy(full);
         assert_eq!(bare.stats().intersections, 6);
+        assert_eq!(bare.stats().count_only_intersections, 1);
         assert_eq!(bare.cached_pli_count(), 0);
 
-        // Singleton decomposition with caching: same 6 intersections, but all
-        // 6 intermediate prefixes (sizes 2..=7) are cached for reuse.
+        // Singleton decomposition with caching: same 6 intersections, and the
+        // 5 intermediate prefixes (sizes 2..=6) are cached for reuse; the
+        // final merge is count-only and stays out of the partition cache.
         let cached = PliEntropyOracle::new(
             &rel,
             EntropyConfig { block_size: None, max_cached_plis: 10_000 },
         );
         cached.entropy(full);
         assert_eq!(cached.stats().intersections, 6);
-        assert_eq!(cached.cached_pli_count(), 6);
+        assert_eq!(cached.stats().count_only_intersections, 1);
+        assert_eq!(cached.cached_pli_count(), 5);
     }
 
     #[test]
@@ -450,6 +522,18 @@ mod tests {
         let x = rel.schema().attrs(["A", "C", "D", "F"]).unwrap();
         assert!((naive.entropy(x) - pli.entropy(x)).abs() < 1e-10);
         assert_eq!(pli.cached_pli_count(), 0);
+    }
+
+    #[test]
+    fn scratch_pool_is_bounded_and_reused() {
+        let rel = running_example();
+        let pli = PliEntropyOracle::with_defaults(&rel);
+        for attrs in AttrSet::full(6).subsets().filter(|s| s.len() >= 2) {
+            pli.entropy(attrs);
+        }
+        // Single-threaded: every miss takes and returns the same scratch
+        // (plus the one used during block precomputation).
+        assert_eq!(pli.scratches.lock().unwrap().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Shared allocation-counting instrument (feature `track_alloc`).
+//!
+//! Both allocation checks in the workspace — the `alloc_free` test suite in
+//! this crate and the `alloc` bench target in `maimon-bench` — count heap
+//! activity with the same [`CountingAllocator`], defined once here so the
+//! instrument cannot drift between them. Each leaf binary still installs
+//! its *own* `#[global_allocator]` static (an allocator is per-binary by
+//! construction), which is also why the timing bench targets stay
+//! unaffected: merely compiling this module installs nothing.
+//!
+//! Allocations, zeroed allocations and reallocations are all counted;
+//! deallocations are not interesting to the zero-allocation contracts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global tally incremented by every [`CountingAllocator`] in the binary.
+pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the current allocation count.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A [`System`]-backed allocator that counts every `alloc`, `alloc_zeroed`
+/// and `realloc` into [`ALLOCATIONS`]. Install per binary with
+/// `#[global_allocator]`.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

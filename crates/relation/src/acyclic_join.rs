@@ -12,7 +12,7 @@
 
 use crate::attrset::AttrSet;
 use crate::error::RelationError;
-use crate::relation::Relation;
+use crate::relation::{FoldKeyMap, KeyFold, Relation};
 use std::collections::HashMap;
 
 /// A rooted join-tree specification: one bag of attributes per node and one
@@ -100,29 +100,8 @@ impl JoinTreeSpec {
     }
 }
 
-/// Computes `|R[Ω₁] ⋈ … ⋈ R[Ω_m]|` for the bags of `spec` by bottom-up count
-/// propagation over the join tree.
-///
-/// # Errors
-/// Returns an error if any bag is empty or out of range for the relation.
-pub fn acyclic_join_size(rel: &Relation, spec: &JoinTreeSpec) -> Result<u128, RelationError> {
-    // Distinct projection of each bag, stored as key -> count (initially 1).
-    let mut tables: Vec<HashMap<Vec<u32>, u128>> = Vec::with_capacity(spec.bags.len());
-    for &bag in &spec.bags {
-        if bag.is_empty() || !bag.is_subset_of(rel.schema().all_attrs()) {
-            return Err(RelationError::AttributeOutOfRange { attrs: bag, arity: rel.arity() });
-        }
-        let mut table: HashMap<Vec<u32>, u128> = HashMap::new();
-        for r in 0..rel.n_rows() {
-            table.insert(rel.key(r, bag), 1);
-        }
-        tables.push(table);
-    }
-    if rel.n_rows() == 0 {
-        return Ok(0);
-    }
-
-    // Root the tree at node 0 and compute a post-order traversal.
+/// Roots the tree at node 0; returns `(parent, pre_order)`.
+fn root_tree(spec: &JoinTreeSpec) -> (Vec<usize>, Vec<usize>) {
     let adj = spec.adjacency();
     let n = spec.bags.len();
     let mut parent = vec![usize::MAX; n];
@@ -140,49 +119,124 @@ pub fn acyclic_join_size(rel: &Relation, spec: &JoinTreeSpec) -> Result<u128, Re
             }
         }
     }
+    (parent, order)
+}
 
-    // Process children before parents (reverse pre-order works for trees).
+/// Computes `|R[Ω₁] ⋈ … ⋈ R[Ω_m]|` for the bags of `spec` by bottom-up count
+/// propagation over the join tree.
+///
+/// Bag keys are folded to exact mixed-radix `u64`s ([`Relation::key_fold`])
+/// whenever the cardinality product fits — separator keys are then derived
+/// arithmetically ([`KeyFold::project`]) with no per-tuple allocation; only
+/// pathologically wide bags fall back to hashed code vectors.
+///
+/// # Errors
+/// Returns an error if any bag is empty or out of range for the relation.
+pub fn acyclic_join_size(rel: &Relation, spec: &JoinTreeSpec) -> Result<u128, RelationError> {
+    for &bag in &spec.bags {
+        if bag.is_empty() || !bag.is_subset_of(rel.schema().all_attrs()) {
+            return Err(RelationError::AttributeOutOfRange { attrs: bag, arity: rel.arity() });
+        }
+    }
+    if rel.n_rows() == 0 {
+        return Ok(0);
+    }
+    let folds: Option<Vec<KeyFold>> = spec.bags.iter().map(|&b| rel.key_fold(b)).collect();
+    match folds {
+        Some(folds) => Ok(join_size_folded(rel, spec, &folds)),
+        None => Ok(join_size_vec_keys(rel, spec)),
+    }
+}
+
+/// The bottom-up Yannakakis counting pass, generic over the bag-key
+/// representation. `tables` holds each bag's distinct projection as
+/// `key -> count` (initially 1); `projector(node, sep)` returns the function
+/// mapping a `node` bag key to its key on the separator `sep`. Children are
+/// processed before parents (reverse pre-order works for trees); parent
+/// tuples with no matching child tuple contribute nothing.
+fn propagate_counts<K, S, P>(
+    spec: &JoinTreeSpec,
+    mut tables: Vec<HashMap<K, u128, S>>,
+    mut projector: impl FnMut(usize, AttrSet) -> P,
+) -> u128
+where
+    K: Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+    P: Fn(&K) -> K,
+{
+    let (parent, order) = root_tree(spec);
     for &u in order.iter().rev() {
         if u == 0 {
             continue;
         }
         let p = parent[u];
         let sep = spec.bags[u].intersect(spec.bags[p]);
-        // Positions of separator attributes inside the child's bag key.
-        let child_attrs: Vec<usize> = spec.bags[u].to_vec();
-        let sep_positions_child: Vec<usize> = child_attrs
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| sep.contains(a))
-            .map(|(i, _)| i)
-            .collect();
+        let child_to_sep = projector(u, sep);
+        let parent_to_sep = projector(p, sep);
         // Aggregate the child's counts by separator value.
-        let mut message: HashMap<Vec<u32>, u128> = HashMap::new();
+        let mut message: HashMap<K, u128, S> =
+            HashMap::with_capacity_and_hasher(tables[u].len(), S::default());
         for (key, &count) in &tables[u] {
-            let sep_key: Vec<u32> = sep_positions_child.iter().map(|&i| key[i]).collect();
-            *message.entry(sep_key).or_insert(0) += count;
+            *message.entry(child_to_sep(key)).or_insert(0) += count;
         }
         // Multiply into the parent's table.
-        let parent_attrs: Vec<usize> = spec.bags[p].to_vec();
-        let sep_positions_parent: Vec<usize> = parent_attrs
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| sep.contains(a))
-            .map(|(i, _)| i)
-            .collect();
         let parent_table = std::mem::take(&mut tables[p]);
-        let mut new_parent: HashMap<Vec<u32>, u128> = HashMap::with_capacity(parent_table.len());
+        let mut new_parent: HashMap<K, u128, S> =
+            HashMap::with_capacity_and_hasher(parent_table.len(), S::default());
         for (key, count) in parent_table {
-            let sep_key: Vec<u32> = sep_positions_parent.iter().map(|&i| key[i]).collect();
-            if let Some(&m) = message.get(&sep_key) {
+            if let Some(&m) = message.get(&parent_to_sep(&key)) {
                 new_parent.insert(key, count.saturating_mul(m));
             }
-            // Parent tuples with no matching child tuple contribute nothing.
         }
         tables[p] = new_parent;
     }
+    tables[0].values().copied().sum()
+}
 
-    Ok(tables[0].values().copied().sum())
+/// Fold-keyed counting pass: one `u64` per distinct bag tuple, separator
+/// keys computed by division rather than by building sub-vectors.
+fn join_size_folded(rel: &Relation, spec: &JoinTreeSpec, folds: &[KeyFold]) -> u128 {
+    let tables: Vec<FoldKeyMap<u128>> = folds
+        .iter()
+        .map(|fold| {
+            let mut table: FoldKeyMap<u128> =
+                FoldKeyMap::with_capacity_and_hasher(rel.n_rows(), Default::default());
+            for r in 0..rel.n_rows() {
+                table.insert(rel.fold_key(r, fold), 1);
+            }
+            table
+        })
+        .collect();
+    propagate_counts(spec, tables, |node, sep| {
+        let node_fold = folds[node].clone();
+        let sep_fold = rel.key_fold(sep).expect("a sub-fold of a foldable bag always folds");
+        move |key: &u64| node_fold.project(*key, &sep_fold)
+    })
+}
+
+/// Vector-keyed fallback for bags whose cardinality product overflows `u64`.
+fn join_size_vec_keys(rel: &Relation, spec: &JoinTreeSpec) -> u128 {
+    let tables: Vec<HashMap<Vec<u32>, u128>> = spec
+        .bags
+        .iter()
+        .map(|&bag| {
+            let mut table: HashMap<Vec<u32>, u128> = HashMap::with_capacity(rel.n_rows());
+            for r in 0..rel.n_rows() {
+                table.insert(rel.key(r, bag), 1);
+            }
+            table
+        })
+        .collect();
+    propagate_counts(spec, tables, |node, sep| {
+        // Positions of separator attributes inside the node's bag key.
+        let sep_positions: Vec<usize> = spec.bags[node]
+            .iter()
+            .enumerate()
+            .filter(|&(_, a)| sep.contains(a))
+            .map(|(i, _)| i)
+            .collect();
+        move |key: &Vec<u32>| sep_positions.iter().map(|&i| key[i]).collect()
+    })
 }
 
 /// Number of spurious tuples introduced by decomposing `rel` according to
@@ -221,6 +275,42 @@ mod tests {
     use super::*;
     use crate::join::natural_join_all;
     use crate::schema::Schema;
+
+    #[test]
+    fn folded_and_vector_counting_paths_agree() {
+        // The fold-keyed pass is the production path; the vector-keyed pass
+        // is the wide-bag fallback. They must count identically on every
+        // tree shape, including empty separators (disjoint bags).
+        let rel = running_example(true);
+        let s = rel.schema().clone();
+        let specs = [
+            running_example_spec(&rel),
+            JoinTreeSpec::new(
+                vec![s.attrs(["A", "B"]).unwrap(), s.attrs(["C", "D"]).unwrap()],
+                vec![(0, 1)],
+            )
+            .unwrap(),
+            JoinTreeSpec::new(
+                vec![
+                    s.attrs(["A", "B", "C"]).unwrap(),
+                    s.attrs(["C", "D"]).unwrap(),
+                    s.attrs(["D", "E", "F"]).unwrap(),
+                ],
+                vec![(0, 1), (1, 2)],
+            )
+            .unwrap(),
+        ];
+        for spec in &specs {
+            let folds: Vec<KeyFold> = spec.bags.iter().map(|&b| rel.key_fold(b).unwrap()).collect();
+            assert_eq!(
+                join_size_folded(&rel, spec, &folds),
+                join_size_vec_keys(&rel, spec),
+                "{:?}",
+                spec.bags
+            );
+            assert_eq!(acyclic_join_size(&rel, spec).unwrap(), join_size_vec_keys(&rel, spec));
+        }
+    }
 
     fn running_example(with_red_tuple: bool) -> Relation {
         let schema = Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap();

@@ -180,12 +180,52 @@ impl Relation {
         attrs.iter().map(|c| self.code(r, c)).collect()
     }
 
-    /// Number of distinct tuples in the projection `R[attrs]`.
+    /// Precomputes a mixed-radix folding of the `attrs` dictionary codes into
+    /// a single `u64`: column `c` with cardinality `card(c)` contributes
+    /// `code(r, c) · Π card(c')` over the preceding attributes. The encoding
+    /// is *exact* (collision-free, unlike hashing a `Vec<u32>` key), so two
+    /// rows fold to the same `u64` iff they agree on every attribute of
+    /// `attrs`. Returns `None` when the cardinality product overflows `u64`,
+    /// in which case callers fall back to vector keys.
+    pub fn key_fold(&self, attrs: AttrSet) -> Option<KeyFold> {
+        let mut factors = Vec::with_capacity(attrs.len());
+        let mut multiplier: u64 = 1;
+        for c in attrs.iter() {
+            let cardinality = self.column_cardinality(c).max(1) as u64;
+            factors.push(FoldFactor { attr: c, multiplier, cardinality });
+            multiplier = multiplier.checked_mul(cardinality)?;
+        }
+        Some(KeyFold { factors })
+    }
+
+    /// The folded `u64` grouping key of row `r` under a [`KeyFold`] built by
+    /// [`Relation::key_fold`]; the single-word counterpart of
+    /// [`Relation::key`] for the entropy engine's hot path.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range or `fold` was built for another relation.
+    #[inline]
+    pub fn fold_key(&self, r: usize, fold: &KeyFold) -> u64 {
+        fold.factors.iter().map(|f| self.columns[f.attr].codes[r] as u64 * f.multiplier).sum()
+    }
+
+    /// Number of distinct tuples in the projection `R[attrs]`. Counts folded
+    /// `u64` keys when the cardinality product of `attrs` fits
+    /// ([`Relation::key_fold`]); only pathologically wide projections fall
+    /// back to hashing per-row code vectors.
     ///
     /// # Errors
     /// Returns an error if `attrs` is empty or out of range.
     pub fn distinct_count(&self, attrs: AttrSet) -> Result<usize, RelationError> {
         self.validate_attrs(attrs)?;
+        if let Some(fold) = self.key_fold(attrs) {
+            let mut seen: FoldKeyMap<()> =
+                FoldKeyMap::with_capacity_and_hasher(self.n_rows, Default::default());
+            for r in 0..self.n_rows {
+                seen.insert(self.fold_key(r, &fold), ());
+            }
+            return Ok(seen.len());
+        }
         let mut seen: HashMap<Vec<u32>, ()> = HashMap::with_capacity(self.n_rows);
         for r in 0..self.n_rows {
             seen.insert(self.key(r, attrs), ());
@@ -195,9 +235,20 @@ impl Relation {
 
     /// Groups rows by their `attrs` key and returns the multiset of group
     /// sizes. The entropy of the empirical distribution only depends on these
-    /// counts (Eq. 5 of the paper).
+    /// counts (Eq. 5 of the paper). The multiset is returned in an
+    /// unspecified order (hash-map order); callers needing determinism sort
+    /// it, as the naive entropy oracle does. Uses folded `u64` keys when the
+    /// cardinality product of `attrs` fits.
     pub fn group_sizes(&self, attrs: AttrSet) -> Result<Vec<usize>, RelationError> {
         self.validate_attrs(attrs)?;
+        if let Some(fold) = self.key_fold(attrs) {
+            let mut groups: FoldKeyMap<usize> =
+                FoldKeyMap::with_capacity_and_hasher(self.n_rows, Default::default());
+            for r in 0..self.n_rows {
+                *groups.entry(self.fold_key(r, &fold)).or_insert(0) += 1;
+            }
+            return Ok(groups.into_values().collect());
+        }
         let mut groups: HashMap<Vec<u32>, usize> = HashMap::with_capacity(self.n_rows);
         for r in 0..self.n_rows {
             *groups.entry(self.key(r, attrs)).or_insert(0) += 1;
@@ -331,6 +382,100 @@ impl Relation {
         Ok(())
     }
 }
+
+/// One column's place in a mixed-radix fold.
+#[derive(Clone, Copy, Debug)]
+struct FoldFactor {
+    attr: usize,
+    multiplier: u64,
+    cardinality: u64,
+}
+
+/// Mixed-radix multipliers mapping a row's dictionary codes on a fixed
+/// attribute set to one exact `u64` key; built by [`Relation::key_fold`],
+/// consumed by [`Relation::fold_key`]. Because the encoding is positional,
+/// individual codes can be recovered ([`KeyFold::extract`]) and a key can be
+/// re-folded onto a sub-fold over a subset of the attributes
+/// ([`KeyFold::project`]) without touching the relation again — which is how
+/// the acyclic-join counting engine derives separator keys from bag keys.
+#[derive(Clone, Debug)]
+pub struct KeyFold {
+    /// Per-column factors in ascending attribute order.
+    factors: Vec<FoldFactor>,
+}
+
+impl KeyFold {
+    /// The attribute indices covered by this fold, ascending.
+    pub fn attrs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.factors.iter().map(|f| f.attr)
+    }
+
+    /// Recovers the dictionary code of `attr` from a folded key, or `None`
+    /// if `attr` is not part of this fold.
+    #[inline]
+    pub fn extract(&self, key: u64, attr: usize) -> Option<u32> {
+        self.factors
+            .iter()
+            .find(|f| f.attr == attr)
+            .map(|f| ((key / f.multiplier) % f.cardinality) as u32)
+    }
+
+    /// Re-folds `key` onto `sub`, a fold (for the same relation) over a
+    /// subset of this fold's attributes — e.g. projecting a join-tree bag
+    /// key onto the separator with its parent. Runs one division per
+    /// sub-fold attribute, no hashing and no allocation.
+    ///
+    /// # Panics
+    /// Panics if `sub` covers an attribute this fold does not.
+    #[inline]
+    pub fn project(&self, key: u64, sub: &KeyFold) -> u64 {
+        // Both factor lists are ascending; a two-pointer merge finds each
+        // sub attribute in one forward pass.
+        let mut mine = self.factors.iter();
+        sub.factors
+            .iter()
+            .map(|s| {
+                let f = mine
+                    .find(|f| f.attr == s.attr)
+                    .expect("sub-fold attributes must be a subset of the fold's");
+                ((key / f.multiplier) % f.cardinality) * s.multiplier
+            })
+            .sum()
+    }
+}
+
+/// Fibonacci hasher for folded `u64` keys ([`Relation::fold_key`]): one
+/// multiply instead of SipHash, which dominates the probe cost on the
+/// counting hot paths (entropy grouping, acyclic-join counting). Folded keys
+/// need no DoS resistance. Shared across the workspace so every consumer of
+/// fold keys mixes them identically.
+#[derive(Default)]
+pub struct FoldKeyHasher {
+    hash: u64,
+}
+
+impl std::hash::Hasher for FoldKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached if a key type ever stops hashing as a single u64;
+        // fold the bytes so the hasher stays correct, if slower.
+        for &b in bytes {
+            self.hash = (self.hash ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.hash = value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// `u64 → V` map keyed by folded keys with the Fibonacci hasher.
+pub type FoldKeyMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<FoldKeyHasher>>;
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -597,6 +742,38 @@ mod tests {
         assert_eq!(b.n_rows(), 4);
         let r = b.finish();
         assert!(r.equal_as_sets(&abc_relation()));
+    }
+
+    #[test]
+    fn fold_key_is_exact_and_projectable() {
+        let r = abc_relation();
+        let all = AttrSet::full(3);
+        let fold = r.key_fold(all).expect("tiny cardinalities fold");
+        // Exactness: equal fold keys iff equal code vectors.
+        for a in 0..r.n_rows() {
+            for b in 0..r.n_rows() {
+                assert_eq!(
+                    r.fold_key(a, &fold) == r.fold_key(b, &fold),
+                    r.key(a, all) == r.key(b, all),
+                    "rows {a}/{b}"
+                );
+            }
+        }
+        // Extraction recovers every code; projection matches re-folding.
+        let bc: AttrSet = [1usize, 2].into_iter().collect();
+        let sub = r.key_fold(bc).unwrap();
+        for row in 0..r.n_rows() {
+            let key = r.fold_key(row, &fold);
+            for c in 0..3 {
+                assert_eq!(fold.extract(key, c), Some(r.code(row, c)));
+            }
+            assert_eq!(fold.extract(key, 7), None);
+            assert_eq!(fold.project(key, &sub), r.fold_key(row, &sub));
+        }
+        assert_eq!(fold.attrs().collect::<Vec<_>>(), vec![0, 1, 2]);
+        // Projecting onto the empty fold collapses every key to 0.
+        let empty = r.key_fold(AttrSet::empty()).unwrap();
+        assert_eq!(fold.project(r.fold_key(0, &fold), &empty), 0);
     }
 
     #[test]

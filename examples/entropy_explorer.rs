@@ -60,8 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  naive oracle: {:>10.2?}   (checksum {:.3})", naive_time, naive_sum);
     println!("  PLI oracle:   {:>10.2?}   (checksum {:.3})", pli_time, pli_sum);
     println!(
-        "  PLI stats: {} intersections, {} cached partitions, {} cached entropies",
+        "  PLI stats: {} intersections ({} count-only), {} cached partitions, {} cached entropies",
         pli.stats().intersections,
+        pli.stats().count_only_intersections,
         pli.cached_pli_count(),
         pli.cached_entropy_count()
     );

@@ -128,12 +128,20 @@ fn golden_serializations_are_byte_stable() {
         calls: 335_000,
         cache_hits: 334_000,
         intersections: 27,
+        count_only_intersections: 9,
         full_scans: 0,
     };
     assert_eq!(
         stats.to_json_string(),
-        r#"{"calls":335000,"cache_hits":334000,"intersections":27,"full_scans":0}"#
+        r#"{"calls":335000,"cache_hits":334000,"intersections":27,"count_only_intersections":9,"full_scans":0}"#
     );
+    // The count-only counter is an *additive* v1 extension: documents written
+    // before it existed parse with the counter defaulted to zero.
+    let legacy = maimon::entropy::OracleStats::from_json_str(
+        r#"{"calls":335000,"cache_hits":334000,"intersections":27,"full_scans":0}"#,
+    )
+    .unwrap();
+    assert_eq!(legacy, maimon::entropy::OracleStats { count_only_intersections: 0, ..stats });
 }
 
 #[test]

@@ -17,6 +17,14 @@
 //! Supported CLI flags: `--quick` (shrink the time budget ~10x) and
 //! `--measurement-time <secs>`; everything else (`--bench`, filters) is
 //! accepted and ignored so `cargo bench` invocations keep working.
+//!
+//! The timing loop additionally enforces a **minimum iteration floor**
+//! (default 3, overridable via the `MAIMON_BENCH_MIN_ITERS` environment
+//! variable): a `--quick` budget of ~30 ms used to record `iters: 1` for any
+//! benchmark slower than the budget, making the reported mean a single noisy
+//! sample. The floor keeps quick runs honest — every recorded mean is the
+//! average of at least `MAIMON_BENCH_MIN_ITERS` full iterations, however
+//! slow the benchmark.
 
 #![warn(missing_docs)]
 
@@ -63,23 +71,27 @@ impl From<BenchmarkId> for String {
 /// Timing loop handle passed to benchmark closures.
 pub struct Bencher {
     measurement_time: Duration,
+    min_iters: u64,
     /// Filled in by [`Bencher::iter`]: (total elapsed, total iterations).
     result: Option<(Duration, u64)>,
 }
 
 impl Bencher {
     /// Runs `routine` repeatedly until the measurement budget is spent and
-    /// records mean wall-clock time per iteration.
+    /// records mean wall-clock time per iteration. Always performs at least
+    /// `min_iters` iterations (see the crate docs on `MAIMON_BENCH_MIN_ITERS`)
+    /// so budget-starved `--quick` runs never report a single-sample mean.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warmup: one untimed call (JIT-free Rust, so this mostly touches caches).
         std_black_box(routine());
         let budget = self.measurement_time;
+        let min_iters = self.min_iters.max(1);
         let mut iters = 0u64;
         let start = Instant::now();
         loop {
             std_black_box(routine());
             iters += 1;
-            if start.elapsed() >= budget {
+            if iters >= min_iters && start.elapsed() >= budget {
                 break;
             }
         }
@@ -109,8 +121,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher =
-            Bencher { measurement_time: self.criterion.measurement_time, result: None };
+        let mut bencher = Bencher {
+            measurement_time: self.criterion.measurement_time,
+            min_iters: self.criterion.min_iters,
+            result: None,
+        };
         f(&mut bencher);
         match bencher.result {
             Some((elapsed, iters)) => {
@@ -132,11 +147,17 @@ impl BenchmarkGroup<'_> {
 /// Top-level harness state (shim of `criterion::Criterion`).
 pub struct Criterion {
     measurement_time: Duration,
+    min_iters: u64,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { measurement_time: Duration::from_millis(300) }
+        let min_iters = std::env::var("MAIMON_BENCH_MIN_ITERS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(3)
+            .max(1);
+        Criterion { measurement_time: Duration::from_millis(300), min_iters }
     }
 }
 
