@@ -13,10 +13,14 @@ use maimon::entropy::{
 use maimon::relation::AttrSet;
 use maimon_datasets::dataset_by_name;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn entropy_workload(c: &mut Criterion) {
     // A moderate synthetic dataset: Adult shape at 5 % scale (~1.6k rows, 15 cols).
-    let rel = dataset_by_name("Adult").unwrap().generate(0.05);
+    // Hoisted into an `Arc` so the timed loops hand the oracle a shared
+    // handle: passing `&rel` would deep-clone the relation per iteration
+    // and the construction benches would measure the copy, not the oracle.
+    let rel = Arc::new(dataset_by_name("Adult").unwrap().generate(0.05));
     let subsets: Vec<AttrSet> =
         AttrSet::full(rel.arity()).subsets().filter(|s| s.len() >= 2 && s.len() <= 3).collect();
 
@@ -24,14 +28,14 @@ fn entropy_workload(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function(BenchmarkId::new("naive_groupby", subsets.len()), |b| {
         b.iter(|| {
-            let oracle = NaiveEntropyOracle::new(&rel);
+            let oracle = NaiveEntropyOracle::new(Arc::clone(&rel));
             let sum: f64 = subsets.iter().map(|&s| oracle.entropy(s)).sum();
             black_box(sum)
         })
     });
     group.bench_function(BenchmarkId::new("pli_no_precompute", subsets.len()), |b| {
         b.iter(|| {
-            let oracle = PliEntropyOracle::new(&rel, EntropyConfig::no_precompute());
+            let oracle = PliEntropyOracle::new(Arc::clone(&rel), EntropyConfig::no_precompute());
             let sum: f64 = subsets.iter().map(|&s| oracle.entropy(s)).sum();
             black_box(sum)
         })
@@ -39,7 +43,7 @@ fn entropy_workload(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("pli_block_l5", subsets.len()), |b| {
         b.iter(|| {
             let oracle = PliEntropyOracle::new(
-                &rel,
+                Arc::clone(&rel),
                 EntropyConfig { block_size: Some(5), max_cached_plis: 50_000 },
             );
             let sum: f64 = subsets.iter().map(|&s| oracle.entropy(s)).sum();
@@ -51,7 +55,7 @@ fn entropy_workload(c: &mut Criterion) {
         // is now 5 (same configuration as pli_block_l5).
         b.iter(|| {
             let oracle = PliEntropyOracle::new(
-                &rel,
+                Arc::clone(&rel),
                 EntropyConfig { block_size: Some(10), max_cached_plis: 50_000 },
             );
             let sum: f64 = subsets.iter().map(|&s| oracle.entropy(s)).sum();
@@ -61,7 +65,7 @@ fn entropy_workload(c: &mut Criterion) {
     // The CSR steady state the mining workload actually lives in: every
     // subset already memoized, so each query is a sharded-cache hit.
     group.bench_function(BenchmarkId::new("csr_cached_hits", subsets.len()), |b| {
-        let oracle = PliEntropyOracle::with_defaults(&rel);
+        let oracle = PliEntropyOracle::with_defaults(Arc::clone(&rel));
         for &s in &subsets {
             oracle.entropy(s);
         }

@@ -10,10 +10,13 @@ use maimon::{
 };
 use maimon_datasets::{dataset_by_name, running_example_with_red_tuple};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn full_mvd_ablation(c: &mut Criterion) {
+    // `Arc`-hoisted: the timed loops rebuild the oracle per iteration, and a
+    // `&rel` would deep-clone the relation inside the measurement.
     let rel = dataset_by_name("Echocardiogram").unwrap().generate(1.0);
-    let rel = rel.column_prefix(10).unwrap();
+    let rel = Arc::new(rel.column_prefix(10).unwrap());
     let key = maimon::relation::AttrSet::singleton(0);
     let pair = (1usize, 2usize);
     let epsilon = 0.2;
@@ -22,7 +25,7 @@ fn full_mvd_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("plain_fig6", |b| {
         b.iter(|| {
-            let oracle = PliEntropyOracle::with_defaults(&rel);
+            let oracle = PliEntropyOracle::with_defaults(Arc::clone(&rel));
             black_box(get_full_mvds(
                 &oracle,
                 key,
@@ -37,7 +40,7 @@ fn full_mvd_ablation(c: &mut Criterion) {
     });
     group.bench_function("optimized_fig17", |b| {
         b.iter(|| {
-            let oracle = PliEntropyOracle::with_defaults(&rel);
+            let oracle = PliEntropyOracle::with_defaults(Arc::clone(&rel));
             black_box(get_full_mvds(
                 &oracle,
                 key,
@@ -54,14 +57,14 @@ fn full_mvd_ablation(c: &mut Criterion) {
 }
 
 fn minimal_separators(c: &mut Criterion) {
-    let rel = dataset_by_name("Bridges").unwrap().generate(1.0).column_prefix(9).unwrap();
+    let rel = Arc::new(dataset_by_name("Bridges").unwrap().generate(1.0).column_prefix(9).unwrap());
     let limits = MiningLimits::default();
     let mut group = c.benchmark_group("mine_min_seps");
     group.sample_size(10);
     for epsilon in [0.0, 0.1] {
         group.bench_function(format!("bridges_eps_{epsilon}"), |b| {
             b.iter(|| {
-                let oracle = PliEntropyOracle::with_defaults(&rel);
+                let oracle = PliEntropyOracle::with_defaults(Arc::clone(&rel));
                 let mut total = 0usize;
                 for a in 0..rel.arity() {
                     for bb in a + 1..rel.arity() {

@@ -16,7 +16,12 @@
 //!   integer iff it has no fraction or exponent.
 //! * Floats are written with Rust's shortest round-trip formatting and a
 //!   forced decimal point, so `parse(write(x)) == x` bit-for-bit for every
-//!   finite `f64`. Non-finite floats serialize as `null`.
+//!   finite `f64`. Non-finite floats serialize as the strings `"NaN"`,
+//!   `"Infinity"` and `"-Infinity"` (JSON has no non-finite number tokens,
+//!   and `null` would be indistinguishable from a genuinely absent value);
+//!   [`Json::as_f64`] decodes those strings back, so non-finite floats
+//!   survive a round trip through [`crate::wire`] instead of silently
+//!   collapsing into `null`.
 //!
 //! ```
 //! use maimon::json::Json;
@@ -130,13 +135,21 @@ impl Json {
         }
     }
 
-    /// The value as an `f64` (integers convert; `null` is `NaN`, mirroring
-    /// the writer's `null` encoding of non-finite floats).
+    /// The value as an `f64`. Integers convert; the writer's string
+    /// encodings of non-finite floats (`"NaN"`, `"Infinity"`,
+    /// `"-Infinity"`) decode back. `null` is *not* a number — it returns
+    /// `None` like any other non-numeric value, so absent optional fields
+    /// are never misread as `NaN`.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Float(x) => Some(*x),
             Json::Int(i) => Some(*i as f64),
-            Json::Null => Some(f64::NAN),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "Infinity" => Some(f64::INFINITY),
+                "-Infinity" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -229,7 +242,16 @@ impl fmt::Display for Json {
             Json::Int(i) => write!(f, "{}", i),
             Json::Float(x) => {
                 if !x.is_finite() {
-                    return f.write_str("null");
+                    // Explicit string encoding: `null` would be
+                    // indistinguishable from an absent optional field on
+                    // the reader side. `as_f64` decodes these back.
+                    return if x.is_nan() {
+                        f.write_str("\"NaN\"")
+                    } else if *x > 0.0 {
+                        f.write_str("\"Infinity\"")
+                    } else {
+                        f.write_str("\"-Infinity\"")
+                    };
                 }
                 // Rust's shortest round-trip formatting; force a decimal
                 // point so the token re-parses as a float, not an integer.
@@ -522,10 +544,30 @@ mod tests {
         }
         // Whole floats keep their decimal point, so the type survives.
         assert_eq!(Json::Float(4.0).to_string(), "4.0");
-        // Non-finite floats degrade to null (JSON has no NaN/inf).
-        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
-        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
-        assert!(Json::Null.as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn non_finite_floats_get_an_explicit_encoding() {
+        // JSON has no NaN/inf tokens; they serialize as strings…
+        assert_eq!(Json::Float(f64::NAN).to_string(), "\"NaN\"");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "\"Infinity\"");
+        assert_eq!(Json::Float(f64::NEG_INFINITY).to_string(), "\"-Infinity\"");
+        // …and as_f64 decodes them back, so the value survives the wire.
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let back = Json::parse(&Json::Float(x).to_string()).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+        // Other strings are not numbers.
+        assert_eq!(Json::Str("nan".into()).as_f64(), None);
+        assert_eq!(Json::Str("Inf".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn null_is_not_a_number() {
+        // Regression: as_f64 used to map Null to Some(NaN), so a reader
+        // probing an absent optional field with as_f64 saw a NaN instead
+        // of noticing the field was missing.
+        assert_eq!(Json::Null.as_f64(), None);
     }
 
     #[test]

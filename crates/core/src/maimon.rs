@@ -72,20 +72,25 @@ pub struct MaimonResult {
 /// assert!(!result.mvds.mvds.is_empty());
 /// assert!(result.schemas.iter().any(|s| s.discovered.schema.n_relations() >= 4));
 /// ```
-pub struct Maimon<'a> {
-    relation: &'a Relation,
+pub struct Maimon {
+    relation: Arc<Relation>,
     config: MaimonConfig,
 }
 
-impl<'a> Maimon<'a> {
-    /// Creates a Maimon instance for a relation.
+impl Maimon {
+    /// Creates a Maimon instance for a relation (owned, `Arc`-shared, or
+    /// borrowed — a borrow deep-clones the data once).
     ///
     /// # Errors
     /// Returns an error if the configuration is invalid or the relation is
     /// empty or too narrow to decompose (fewer than two attributes).
-    pub fn new(relation: &'a Relation, config: MaimonConfig) -> Result<Self, MaimonError> {
+    pub fn new(
+        relation: impl Into<Arc<Relation>>,
+        config: MaimonConfig,
+    ) -> Result<Self, MaimonError> {
+        let relation = relation.into();
         // Same contract as the session (this facade is a shim over it).
-        MaimonSession::validate_inputs(relation, &config)?;
+        MaimonSession::validate_inputs(&relation, &config)?;
         Ok(Maimon { relation, config })
     }
 
@@ -96,11 +101,11 @@ impl<'a> Maimon<'a> {
 
     /// The relation being profiled.
     pub fn relation(&self) -> &Relation {
-        self.relation
+        &self.relation
     }
 
-    fn session(&self) -> Result<MaimonSession<'a>, MaimonError> {
-        MaimonSession::new(self.relation, self.config)
+    fn session(&self) -> Result<MaimonSession, MaimonError> {
+        MaimonSession::new(Arc::clone(&self.relation), self.config)
     }
 
     /// Phase one only: mine the full ε-MVDs with minimal-separator keys.
@@ -119,7 +124,7 @@ impl<'a> Maimon<'a> {
         // An externally supplied MVD set cannot go through the session's
         // staged cache (the session would re-mine stage one); run phase two
         // directly over a fresh oracle, as the facade always has.
-        let oracle = PliEntropyOracle::new(self.relation, self.config.entropy);
+        let oracle = PliEntropyOracle::new(Arc::clone(&self.relation), self.config.entropy);
         mine_schemas(&oracle, self.relation.schema().all_attrs(), &mvds.mvds, &self.config)
     }
 

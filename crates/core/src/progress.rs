@@ -29,9 +29,17 @@
 //! assert!(ctl.should_stop());
 //! ```
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How many [`RunControl::should_stop`] polls may elapse between wall-clock
+/// reads. The mining loops poll between *every* unit of work (lattice nodes,
+/// separator candidates), so an `Instant::now()` per poll shows up in
+/// profiles; one clock read per stride bounds the overshoot past a deadline
+/// to a few dozen lattice nodes while making the common (not-expired) poll a
+/// pair of atomic ops.
+const DEADLINE_POLL_STRIDE: u32 = 64;
 
 /// A cloneable cancellation flag.
 ///
@@ -200,6 +208,37 @@ impl ProgressSink for CountingSink {
     }
 }
 
+/// An absolute deadline plus the per-handle throttle state that keeps
+/// [`RunControl::should_stop`] off the wall clock (see
+/// [`DEADLINE_POLL_STRIDE`]).
+#[derive(Debug)]
+struct DeadlineState {
+    at: Instant,
+    /// Polls since the last wall-clock read.
+    polls: AtomicU32,
+    /// Latched once the deadline has been observed as passed, so later polls
+    /// stop without touching the clock again.
+    passed: AtomicBool,
+}
+
+impl DeadlineState {
+    fn new(at: Instant) -> Self {
+        DeadlineState { at, polls: AtomicU32::new(0), passed: AtomicBool::new(false) }
+    }
+}
+
+impl Clone for DeadlineState {
+    fn clone(&self) -> Self {
+        DeadlineState {
+            at: self.at,
+            // Fresh poll counter (each clone throttles independently), but
+            // an already-expired deadline stays expired.
+            polls: AtomicU32::new(0),
+            passed: AtomicBool::new(self.passed.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 /// Cancellation, deadline and progress plumbing for one mining invocation.
 ///
 /// Built fluently and passed by reference down the call tree. The deadline is
@@ -209,7 +248,7 @@ impl ProgressSink for CountingSink {
 #[derive(Clone, Debug, Default)]
 pub struct RunControl<'a> {
     cancel: Option<CancelToken>,
-    deadline: Option<Instant>,
+    deadline: Option<DeadlineState>,
     progress: Option<&'a dyn ProgressSink>,
 }
 
@@ -238,9 +277,10 @@ impl<'a> RunControl<'a> {
         self
     }
 
-    /// Sets an absolute deadline.
+    /// Sets an absolute deadline. A new deadline starts with fresh throttle
+    /// state, so it invalidates any previously latched expiry.
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
-        self.deadline = Some(deadline);
+        self.deadline = Some(DeadlineState::new(deadline));
         self
     }
 
@@ -263,8 +303,30 @@ impl<'a> RunControl<'a> {
     }
 
     /// `true` if the run should wind down: cancelled or past the deadline.
+    ///
+    /// A deadline *equal* to the current instant counts as passed, so a
+    /// control built with a deadline of "now" stops on its very first poll.
+    /// Wall-clock reads are throttled: the first poll always consults the
+    /// clock, subsequent polls only every `DEADLINE_POLL_STRIDE`-th time
+    /// (currently 64), and an observed expiry is latched so the clock is
+    /// never read again.
     pub fn should_stop(&self) -> bool {
-        self.is_cancelled() || self.deadline.is_some_and(|d| Instant::now() > d)
+        if self.is_cancelled() {
+            return true;
+        }
+        let Some(state) = &self.deadline else { return false };
+        if state.passed.load(Ordering::Relaxed) {
+            return true;
+        }
+        let polls = state.polls.fetch_add(1, Ordering::Relaxed);
+        if !polls.is_multiple_of(DEADLINE_POLL_STRIDE) {
+            return false;
+        }
+        let passed = Instant::now() >= state.at;
+        if passed {
+            state.passed.store(true, Ordering::Relaxed);
+        }
+        passed
     }
 
     /// Reports an event to the attached sink, if any.
@@ -306,6 +368,41 @@ mod tests {
         assert!(!ctl.is_cancelled(), "deadline expiry is not cancellation");
         let generous = RunControl::new().with_timeout(Duration::from_secs(3600));
         assert!(!generous.should_stop());
+    }
+
+    #[test]
+    fn deadline_of_now_stops_on_the_first_poll() {
+        // Regression: the check used `Instant::now() > deadline`, so on a
+        // coarse clock a deadline of "now" could survive its first polls.
+        let ctl = RunControl::new().with_deadline(Instant::now());
+        assert!(ctl.should_stop());
+        assert!(!ctl.is_cancelled(), "deadline expiry is not cancellation");
+    }
+
+    #[test]
+    fn deadline_clock_reads_are_throttled_and_latched() {
+        let ctl = RunControl::new().with_timeout(Duration::from_millis(5));
+        // Poll 0 always reads the clock: the deadline is still ahead.
+        assert!(!ctl.should_stop());
+        std::thread::sleep(Duration::from_millis(10));
+        // The deadline has passed, but the intermediate polls skip the
+        // clock entirely and report "keep going".
+        for _ in 1..DEADLINE_POLL_STRIDE {
+            assert!(!ctl.should_stop());
+        }
+        // The stride boundary reads the clock, notices, and latches…
+        assert!(ctl.should_stop());
+        // …so every later poll (and clones made now) stop immediately.
+        assert!(ctl.should_stop());
+        assert!(ctl.clone().should_stop());
+    }
+
+    #[test]
+    fn setting_a_new_deadline_clears_a_latched_expiry() {
+        let mut ctl = RunControl::new().with_deadline(Instant::now());
+        assert!(ctl.should_stop());
+        ctl = ctl.with_timeout(Duration::from_secs(3600));
+        assert!(!ctl.should_stop());
     }
 
     #[test]

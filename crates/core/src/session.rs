@@ -10,7 +10,7 @@
 //! once *per threshold*. A session pays them once per relation:
 //!
 //! ```text
-//! MaimonSession::new(&rel, config)      // oracle built exactly once
+//! MaimonSession::new(rel, config)       // relation owned; oracle built once
 //!     ├─ session.mvds(ε)        → Arc<MvdMiningResult>     (stage 1, cached)
 //!     ├─ session.schemas(ε)     → Arc<SchemaMiningResult>  (stage 2, cached)
 //!     ├─ session.quality(ε)     → Arc<MaimonResult>        (stage 3, cached)
@@ -29,6 +29,12 @@
 //! result flagged `truncated`, and a [`ProgressSink`] observes per-pair and
 //! per-schema progress (see [`crate::progress`]).
 //!
+//! The session *owns* its relation (`Arc<Relation>`), so it is `'static`,
+//! `Send + Sync` and cheap to [`Clone`]: handles share the oracle and the
+//! artifact caches while each carries its own cancellation/deadline/progress
+//! plumbing. That is what lets a long-lived service register one session per
+//! dataset and serve every request from clones of it.
+//!
 //! ```
 //! use maimon::{MaimonConfig, MaimonSession};
 //! use maimon::relation::{Relation, Schema};
@@ -41,7 +47,9 @@
 //!     vec!["a1", "b2", "c1", "d2", "e3", "f1"],
 //!     vec!["a1", "b2", "c1", "d2", "e2", "f1"],
 //! ]).unwrap();
-//! let session = MaimonSession::new(&rel, MaimonConfig::default()).unwrap();
+//! // The session takes the relation by value — the binding is gone, the
+//! // session lives on (pass an Arc<Relation> to keep sharing it).
+//! let session = MaimonSession::new(rel, MaimonConfig::default()).unwrap();
 //! // One oracle serves every threshold of the sweep.
 //! let sweep = session.epsilon_sweep([0.0, 0.1, 0.2]).unwrap();
 //! assert_eq!(sweep.len(), 3);
@@ -135,26 +143,39 @@ impl<T> ArtifactCache<T> {
     }
 }
 
-/// A reusable mining session over one relation instance.
-///
-/// Owns the (single) shared [`PliEntropyOracle`] and the per-threshold
-/// artifact caches; see the module docs above for the staging diagram. The
-/// session is `Sync` — stages may be invoked from several request threads
-/// and each artifact is still computed exactly once.
-pub struct MaimonSession<'a> {
-    relation: &'a Relation,
+/// Everything a session shares between its cheap-clone handles: the owned
+/// relation, the one entropy oracle, and the per-threshold artifact caches.
+struct SessionInner {
+    relation: Arc<Relation>,
     config: MaimonConfig,
-    oracle: PliEntropyOracle<'a>,
+    oracle: PliEntropyOracle,
     construction_stats: OracleStats,
-    cancel: Option<CancelToken>,
-    progress: Option<Arc<dyn ProgressSink + Send + Sync>>,
-    deadline: Option<Instant>,
     mvd_cache: ArtifactCache<MvdMiningResult>,
     schema_cache: ArtifactCache<SchemaMiningResult>,
     result_cache: ArtifactCache<MaimonResult>,
 }
 
-impl<'a> MaimonSession<'a> {
+/// A reusable mining session over one relation instance.
+///
+/// Owns its relation (`Arc<Relation>`), the (single) shared
+/// [`PliEntropyOracle`] and the per-threshold artifact caches; see the module
+/// docs above for the staging diagram. The session is a `'static`,
+/// `Send + Sync`, **cheaply clonable handle**: [`Clone`] copies an `Arc` to
+/// the shared state, so clones share the oracle and every cached artifact
+/// while each handle carries its *own* cancellation token, deadline and
+/// progress sink — exactly the shape a multi-tenant server needs (one
+/// registered session per dataset, one `session.clone().with_deadline(…)`
+/// per request). Stages may be invoked from several request threads and each
+/// artifact is still computed exactly once.
+#[derive(Clone)]
+pub struct MaimonSession {
+    inner: Arc<SessionInner>,
+    cancel: Option<CancelToken>,
+    progress: Option<Arc<dyn ProgressSink + Send + Sync>>,
+    deadline: Option<Instant>,
+}
+
+impl MaimonSession {
     /// Shared input validation for the session and the [`crate::Maimon`]
     /// shim (which delegates here so the two contracts cannot drift).
     pub(crate) fn validate_inputs(
@@ -175,6 +196,11 @@ impl<'a> MaimonSession<'a> {
 
     /// Creates a session, building the shared PLI oracle exactly once.
     ///
+    /// The relation is taken by *ownership*: pass a `Relation` to move it in,
+    /// an `Arc<Relation>` to share storage with other consumers, or a
+    /// `&Relation` to deep-clone the data once. The session is `'static`
+    /// either way — it outlives whatever binding produced the relation.
+    ///
     /// `config.epsilon` is only the *default* threshold (used by
     /// [`crate::Maimon::run`] through the compatibility shim); every staged
     /// accessor takes its threshold explicitly.
@@ -183,21 +209,27 @@ impl<'a> MaimonSession<'a> {
     /// Returns an error if the configuration is invalid or the relation is
     /// empty or has fewer than two attributes — the same contract as
     /// [`crate::Maimon::new`].
-    pub fn new(relation: &'a Relation, config: MaimonConfig) -> Result<Self, MaimonError> {
-        Self::validate_inputs(relation, &config)?;
-        let oracle = PliEntropyOracle::new(relation, config.entropy);
+    pub fn new(
+        relation: impl Into<Arc<Relation>>,
+        config: MaimonConfig,
+    ) -> Result<Self, MaimonError> {
+        let relation = relation.into();
+        Self::validate_inputs(&relation, &config)?;
+        let oracle = PliEntropyOracle::new(Arc::clone(&relation), config.entropy);
         let construction_stats = oracle.stats();
         Ok(MaimonSession {
-            relation,
-            config,
-            oracle,
-            construction_stats,
+            inner: Arc::new(SessionInner {
+                relation,
+                config,
+                oracle,
+                construction_stats,
+                mvd_cache: ArtifactCache::new(),
+                schema_cache: ArtifactCache::new(),
+                result_cache: ArtifactCache::new(),
+            }),
             cancel: None,
             progress: None,
             deadline: None,
-            mvd_cache: ArtifactCache::new(),
-            schema_cache: ArtifactCache::new(),
-            result_cache: ArtifactCache::new(),
         })
     }
 
@@ -223,12 +255,18 @@ impl<'a> MaimonSession<'a> {
 
     /// The relation being profiled.
     pub fn relation(&self) -> &Relation {
-        self.relation
+        &self.inner.relation
+    }
+
+    /// Shared handle to the relation being profiled (the same storage the
+    /// session's oracle reads).
+    pub fn relation_arc(&self) -> Arc<Relation> {
+        Arc::clone(&self.inner.relation)
     }
 
     /// The session configuration.
     pub fn config(&self) -> &MaimonConfig {
-        &self.config
+        &self.inner.config
     }
 
     /// Counters of the shared oracle — cumulative over everything the session
@@ -237,35 +275,46 @@ impl<'a> MaimonSession<'a> {
     /// intersections), which is what `tests/session_equivalence.rs` uses to
     /// prove the PLI cache is built once per sweep, not once per threshold.
     pub fn oracle_stats(&self) -> OracleStats {
-        self.oracle.stats()
+        self.inner.oracle.stats()
     }
 
     /// The oracle counters as they were at construction time (the cost of
     /// the one-time PLI block precompute, before any mining).
     pub fn oracle_construction_stats(&self) -> OracleStats {
-        self.construction_stats
+        self.inner.construction_stats
     }
 
     /// The thresholds with at least one cached artifact, ascending.
     pub fn cached_epsilons(&self) -> Vec<f64> {
         let mut epsilons: Vec<f64> =
-            self.mvd_cache.ready_keys().into_iter().map(f64::from_bits).collect();
+            self.inner.mvd_cache.ready_keys().into_iter().map(f64::from_bits).collect();
         epsilons.sort_by(|a, b| a.partial_cmp(b).expect("cached thresholds are finite"));
         epsilons
+    }
+
+    /// Number of composite partitions currently held by the shared oracle's
+    /// PLI cache (a serving-metrics counter; see `PliEntropyOracle`).
+    pub fn cached_pli_count(&self) -> usize {
+        self.inner.oracle.cached_pli_count()
+    }
+
+    /// Number of entropy values currently memoized by the shared oracle.
+    pub fn cached_entropy_count(&self) -> usize {
+        self.inner.oracle.cached_entropy_count()
     }
 
     /// Drops every cached artifact (the oracle and its entropy cache are
     /// kept — those stay valid for any threshold).
     pub fn clear_artifacts(&self) {
-        self.mvd_cache.clear();
-        self.schema_cache.clear();
-        self.result_cache.clear();
+        self.inner.mvd_cache.clear();
+        self.inner.schema_cache.clear();
+        self.inner.result_cache.clear();
     }
 
     /// Entropy of an attribute set under the relation's empirical
     /// distribution, answered by the shared oracle.
     pub fn entropy(&self, attrs: AttrSet) -> f64 {
-        self.oracle.entropy(attrs)
+        self.inner.oracle.entropy(attrs)
     }
 
     fn check_epsilon(&self, epsilon: f64) -> Result<(), MaimonError> {
@@ -276,7 +325,7 @@ impl<'a> MaimonSession<'a> {
     }
 
     fn config_at(&self, epsilon: f64) -> MaimonConfig {
-        MaimonConfig { epsilon, ..self.config }
+        MaimonConfig { epsilon, ..self.inner.config }
     }
 
     fn control(&self) -> RunControl<'_> {
@@ -300,8 +349,12 @@ impl<'a> MaimonSession<'a> {
     /// Returns [`MaimonError::InvalidEpsilon`] for a negative or non-finite ε.
     pub fn mvds(&self, epsilon: f64) -> Result<Arc<MvdMiningResult>, MaimonError> {
         self.check_epsilon(epsilon)?;
-        self.mvd_cache.get_or_compute(eps_key(epsilon), || {
-            Ok(Arc::new(mine_mvds_with(&self.oracle, &self.config_at(epsilon), &self.control())))
+        self.inner.mvd_cache.get_or_compute(eps_key(epsilon), || {
+            Ok(Arc::new(mine_mvds_with(
+                &self.inner.oracle,
+                &self.config_at(epsilon),
+                &self.control(),
+            )))
         })
     }
 
@@ -312,11 +365,11 @@ impl<'a> MaimonSession<'a> {
     /// Returns [`MaimonError::InvalidEpsilon`] for a negative or non-finite ε.
     pub fn schemas(&self, epsilon: f64) -> Result<Arc<SchemaMiningResult>, MaimonError> {
         self.check_epsilon(epsilon)?;
-        self.schema_cache.get_or_compute(eps_key(epsilon), || {
+        self.inner.schema_cache.get_or_compute(eps_key(epsilon), || {
             let mvds = self.mvds(epsilon)?;
             Ok(Arc::new(mine_schemas_with(
-                &self.oracle,
-                self.relation.schema().all_attrs(),
+                &self.inner.oracle,
+                self.inner.relation.schema().all_attrs(),
                 &mvds.mvds,
                 &self.config_at(epsilon),
                 &self.control(),
@@ -333,12 +386,12 @@ impl<'a> MaimonSession<'a> {
     /// evaluation error (which would indicate a schema-synthesis bug).
     pub fn quality(&self, epsilon: f64) -> Result<Arc<MaimonResult>, MaimonError> {
         self.check_epsilon(epsilon)?;
-        self.result_cache.get_or_compute(eps_key(epsilon), || {
+        self.inner.result_cache.get_or_compute(eps_key(epsilon), || {
             let mvds = self.mvds(epsilon)?;
             let schemas_raw = self.schemas(epsilon)?;
             let mut schemas = Vec::with_capacity(schemas_raw.schemas.len());
             for discovered in &schemas_raw.schemas {
-                let quality = evaluate_schema(self.relation, &discovered.schema)?;
+                let quality = evaluate_schema(&self.inner.relation, &discovered.schema)?;
                 schemas.push(RankedSchema { discovered: discovered.clone(), quality });
             }
             let points: Vec<(f64, f64)> = schemas
@@ -382,7 +435,7 @@ impl<'a> MaimonSession<'a> {
         &self,
         schema: &AcyclicSchema,
     ) -> Result<DecomposedInstance, MaimonError> {
-        schema.decompose(self.relation)
+        schema.decompose(&self.inner.relation)
     }
 
     /// Stage four, driven by the pipeline: mines at `epsilon`, picks the
@@ -410,7 +463,7 @@ impl<'a> MaimonSession<'a> {
                     .expect("savings are finite")
             })
             .map(|ranked| ranked.discovered.schema.clone())
-            .map_or_else(|| AcyclicSchema::trivial(self.relation.schema().all_attrs()), Ok)?;
+            .map_or_else(|| AcyclicSchema::trivial(self.inner.relation.schema().all_attrs()), Ok)?;
         let instance = self.decompose_schema(&schema)?;
         Ok((schema, instance))
     }
@@ -418,7 +471,7 @@ impl<'a> MaimonSession<'a> {
     /// Mines approximate functional dependencies with the shared oracle at
     /// the session's default ε (extension; see [`crate::mine_fds`]).
     pub fn mine_fds(&self, max_lhs_size: usize) -> FdMiningResult {
-        mine_fds(&self.oracle, self.config.epsilon, max_lhs_size)
+        mine_fds(&self.inner.oracle, self.inner.config.epsilon, max_lhs_size)
     }
 }
 

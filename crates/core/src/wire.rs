@@ -213,6 +213,26 @@ impl FromJson for OracleStats {
     }
 }
 
+impl ToJson for decompose::ReducerStats {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("semijoins", Json::from(self.semijoins)),
+            ("bottom_up_removed", Json::from(self.bottom_up_removed)),
+            ("top_down_removed", Json::from(self.top_down_removed)),
+        ])
+    }
+}
+
+impl FromJson for decompose::ReducerStats {
+    fn from_json(json: &Json) -> Result<Self, MaimonError> {
+        Ok(decompose::ReducerStats {
+            semijoins: usize_field(json, "semijoins")?,
+            bottom_up_removed: usize_field(json, "bottom_up_removed")?,
+            top_down_removed: usize_field(json, "top_down_removed")?,
+        })
+    }
+}
+
 impl ToJson for MiningStats {
     fn to_json(&self) -> Json {
         Json::object([

@@ -15,6 +15,7 @@
 
 use crate::concurrent::{AtomicOracleStats, ShardedCache};
 use relation::{AttrSet, Relation};
+use std::sync::Arc;
 
 /// Statistics accumulated by an entropy oracle, used by the scalability
 /// experiments and the ablation benchmarks.
@@ -113,25 +114,40 @@ pub fn entropy_from_group_sizes(group_sizes: &[usize], n_rows: usize) -> f64 {
 /// relation (cached per attribute set). This is what Maimon would do without
 /// the §6.3 engine; it is used for correctness cross-checks and as the
 /// baseline in the entropy ablation benchmark.
-pub struct NaiveEntropyOracle<'a> {
-    rel: &'a Relation,
+///
+/// The oracle *owns* its relation (`Arc<Relation>`), so it is `'static` and
+/// can outlive the binding that built it. Passing `&Relation` still works and
+/// deep-clones the data once (see the `From<&Relation> for Arc<Relation>`
+/// impl in the relation crate); pass an `Arc` to share storage.
+pub struct NaiveEntropyOracle {
+    rel: Arc<Relation>,
     cache: ShardedCache<f64>,
     stats: AtomicOracleStats,
 }
 
-impl<'a> NaiveEntropyOracle<'a> {
-    /// Creates an oracle over the given relation.
-    pub fn new(rel: &'a Relation) -> Self {
-        NaiveEntropyOracle { rel, cache: ShardedCache::new(), stats: AtomicOracleStats::default() }
+impl NaiveEntropyOracle {
+    /// Creates an oracle over the given relation (owned, `Arc`-shared, or
+    /// borrowed — a borrow is deep-cloned once).
+    pub fn new(rel: impl Into<Arc<Relation>>) -> Self {
+        NaiveEntropyOracle {
+            rel: rel.into(),
+            cache: ShardedCache::new(),
+            stats: AtomicOracleStats::default(),
+        }
     }
 
     /// The underlying relation.
     pub fn relation(&self) -> &Relation {
-        self.rel
+        &self.rel
+    }
+
+    /// Shared handle to the underlying relation.
+    pub fn relation_arc(&self) -> Arc<Relation> {
+        Arc::clone(&self.rel)
     }
 }
 
-impl EntropyOracle for NaiveEntropyOracle<'_> {
+impl EntropyOracle for NaiveEntropyOracle {
     fn entropy(&self, attrs: AttrSet) -> f64 {
         self.stats.record_call();
         let attrs = attrs.intersect(self.all_attrs());

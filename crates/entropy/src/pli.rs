@@ -85,8 +85,14 @@ impl EntropyConfig {
 }
 
 /// Entropy oracle backed by cached stripped partitions (the §6.3 engine).
-pub struct PliEntropyOracle<'a> {
-    rel: &'a Relation,
+///
+/// The oracle *owns* its relation as an `Arc<Relation>`, so it is `'static`
+/// and `Send + Sync`: a long-lived session (or server) can hold it after the
+/// binding that loaded the relation is gone. `&Relation` arguments still
+/// work — they deep-clone the data once at construction — while `Relation` /
+/// `Arc<Relation>` arguments move or share storage.
+pub struct PliEntropyOracle {
+    rel: Arc<Relation>,
     singles: Vec<Arc<Pli>>,
     pli_cache: ShardedCache<Arc<Pli>>,
     /// Number of entries in `pli_cache`, tracked atomically so the
@@ -102,12 +108,13 @@ pub struct PliEntropyOracle<'a> {
     stats: AtomicOracleStats,
 }
 
-impl<'a> PliEntropyOracle<'a> {
+impl PliEntropyOracle {
     /// Creates the oracle, building single-attribute partitions and (if
     /// configured) the per-block subset precomputation.
-    pub fn new(rel: &'a Relation, config: EntropyConfig) -> Self {
+    pub fn new(rel: impl Into<Arc<Relation>>, config: EntropyConfig) -> Self {
+        let rel = rel.into();
         let singles: Vec<Arc<Pli>> =
-            (0..rel.arity()).map(|a| Arc::new(Pli::from_column(rel, a))).collect();
+            (0..rel.arity()).map(|a| Arc::new(Pli::from_column(&rel, a))).collect();
         let oracle = PliEntropyOracle {
             rel,
             singles,
@@ -125,13 +132,18 @@ impl<'a> PliEntropyOracle<'a> {
     }
 
     /// Creates the oracle with the default configuration.
-    pub fn with_defaults(rel: &'a Relation) -> Self {
+    pub fn with_defaults(rel: impl Into<Arc<Relation>>) -> Self {
         Self::new(rel, EntropyConfig::default())
     }
 
     /// The underlying relation.
     pub fn relation(&self) -> &Relation {
-        self.rel
+        &self.rel
+    }
+
+    /// Shared handle to the underlying relation.
+    pub fn relation_arc(&self) -> Arc<Relation> {
+        Arc::clone(&self.rel)
     }
 
     /// Number of composite partitions currently cached (excluding the
@@ -176,7 +188,7 @@ impl<'a> PliEntropyOracle<'a> {
                 } else {
                     self.pli_cache
                         .get(rest)
-                        .unwrap_or_else(|| Arc::new(Pli::from_attrs(self.rel, rest)))
+                        .unwrap_or_else(|| Arc::new(Pli::from_attrs(&self.rel, rest)))
                 };
                 let combined = rest_pli.intersect_with(&self.singles[last], &mut scratch);
                 self.stats.record_intersection();
@@ -246,7 +258,7 @@ impl<'a> PliEntropyOracle<'a> {
                         // was truncated by the budget; fall back to a direct
                         // scan.
                         self.stats.record_full_scan();
-                        Arc::new(Pli::from_attrs(self.rel, piece))
+                        Arc::new(Pli::from_attrs(&self.rel, piece))
                     }
                 };
                 (piece, pli)
@@ -293,7 +305,7 @@ impl<'a> PliEntropyOracle<'a> {
     }
 }
 
-impl EntropyOracle for PliEntropyOracle<'_> {
+impl EntropyOracle for PliEntropyOracle {
     fn entropy(&self, attrs: AttrSet) -> f64 {
         self.stats.record_call();
         let attrs = attrs.intersect(self.all_attrs());

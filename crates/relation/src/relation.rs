@@ -383,6 +383,20 @@ impl Relation {
     }
 }
 
+/// Deep-clones the relation into shared ownership.
+///
+/// The entropy oracles and `MaimonSession` own their relation as an
+/// `Arc<Relation>` so they can outlive the binding that built them. This
+/// conversion keeps `&Relation` call sites working: the data (dictionaries
+/// and code columns) is cloned **once** at construction. Anything long-lived
+/// or serving-shaped should construct the `Arc` itself and pass
+/// `Arc::clone(&rel)` so every consumer shares one copy.
+impl From<&Relation> for std::sync::Arc<Relation> {
+    fn from(rel: &Relation) -> std::sync::Arc<Relation> {
+        std::sync::Arc::new(rel.clone())
+    }
+}
+
 /// One column's place in a mixed-radix fold.
 #[derive(Clone, Copy, Debug)]
 struct FoldFactor {

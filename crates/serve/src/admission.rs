@@ -1,0 +1,170 @@
+//! Per-tenant admission control.
+//!
+//! Two independent bounds protect a server whose requests can each burn
+//! seconds of CPU:
+//!
+//! * a **per-tenant in-flight cap** — at most `max_in_flight_per_tenant`
+//!   mining requests of one tenant execute concurrently, so a single greedy
+//!   client cannot monopolize the worker pool; and
+//! * a **connection queue bound** — the server sheds *connections* once its
+//!   accept queue holds `max_queue_depth` pending sockets (enforced by the
+//!   server loop, counted here).
+//!
+//! Shed requests receive a well-formed `overloaded` response immediately;
+//! they are never silently dropped.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Knobs of the admission controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Concurrent mining requests allowed per tenant label.
+    pub max_in_flight_per_tenant: usize,
+    /// Pending (accepted, not yet served) connections before the server
+    /// sheds new ones.
+    pub max_queue_depth: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { max_in_flight_per_tenant: 2, max_queue_depth: 64 }
+    }
+}
+
+/// Counters exported by the server's `stats` operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Mining requests admitted past the tenant cap.
+    pub admitted: u64,
+    /// Mining requests shed because their tenant was at its in-flight cap.
+    pub shed_tenant_cap: u64,
+    /// Connections shed because the accept queue was full.
+    pub shed_queue_full: u64,
+}
+
+/// Tracks in-flight mining work per tenant and the shed counters.
+#[derive(Debug, Default)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    in_flight: Mutex<HashMap<String, usize>>,
+    admitted: AtomicU64,
+    shed_tenant: AtomicU64,
+    shed_queue: AtomicU64,
+}
+
+/// Proof of admission; releases the tenant slot on drop (including on
+/// panic/early return), so the count can never leak.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    controller: Arc<AdmissionController>,
+    tenant: String,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut in_flight = self.controller.in_flight.lock().expect("admission lock poisoned");
+        match in_flight.get_mut(&self.tenant) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                in_flight.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+impl AdmissionController {
+    /// Creates a controller with the given knobs.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionController { config, ..AdmissionController::default() }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Tries to admit one mining request for `tenant` (empty string for the
+    /// anonymous tenant). `None` means the tenant is at its cap — respond
+    /// `overloaded` and count the shed.
+    pub fn try_admit(self: &Arc<Self>, tenant: &str) -> Option<AdmissionPermit> {
+        {
+            let mut in_flight = self.in_flight.lock().expect("admission lock poisoned");
+            let slot = in_flight.entry(tenant.to_string()).or_insert(0);
+            if *slot >= self.config.max_in_flight_per_tenant {
+                drop(in_flight);
+                self.shed_tenant.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            *slot += 1;
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Some(AdmissionPermit { controller: Arc::clone(self), tenant: tenant.to_string() })
+    }
+
+    /// Records a connection shed by the server's queue bound.
+    pub fn note_queue_shed(&self) {
+        self.shed_queue.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current in-flight count for a tenant (0 when idle).
+    pub fn in_flight(&self, tenant: &str) -> usize {
+        self.in_flight.lock().expect("admission lock poisoned").get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed_tenant_cap: self.shed_tenant.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_cap_is_enforced_and_released() {
+        let ctl = Arc::new(AdmissionController::new(AdmissionConfig {
+            max_in_flight_per_tenant: 2,
+            max_queue_depth: 8,
+        }));
+        let a = ctl.try_admit("alice").expect("first slot");
+        let b = ctl.try_admit("alice").expect("second slot");
+        assert!(ctl.try_admit("alice").is_none(), "third must shed");
+        // Other tenants are unaffected by alice's saturation.
+        let c = ctl.try_admit("bob").expect("independent tenant");
+        assert_eq!(ctl.in_flight("alice"), 2);
+
+        drop(a);
+        assert_eq!(ctl.in_flight("alice"), 1);
+        let d = ctl.try_admit("alice").expect("slot released by drop");
+        drop((b, c, d));
+        assert_eq!(ctl.in_flight("alice"), 0);
+        assert_eq!(ctl.in_flight("bob"), 0);
+
+        let stats = ctl.stats();
+        assert_eq!(stats.admitted, 4);
+        assert_eq!(stats.shed_tenant_cap, 1);
+        assert_eq!(stats.shed_queue_full, 0);
+    }
+
+    #[test]
+    fn permits_release_even_on_panic() {
+        let ctl = Arc::new(AdmissionController::new(AdmissionConfig {
+            max_in_flight_per_tenant: 1,
+            max_queue_depth: 8,
+        }));
+        let ctl2 = Arc::clone(&ctl);
+        let _ = std::panic::catch_unwind(move || {
+            let _permit = ctl2.try_admit("t").unwrap();
+            panic!("worker died mid-request");
+        });
+        assert_eq!(ctl.in_flight("t"), 0, "permit must release on unwind");
+        assert!(ctl.try_admit("t").is_some());
+    }
+}

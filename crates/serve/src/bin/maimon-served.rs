@@ -1,0 +1,194 @@
+//! `maimon-served` — the Maimon mining server.
+//!
+//! Registers datasets (CSV files and/or built-in synthetic catalogs) and
+//! serves the line-delimited JSON protocol of `serve::protocol` over TCP
+//! until SIGTERM/SIGINT (or EOF on a `--once` run).
+//!
+//! ```text
+//! maimon-served [--addr 127.0.0.1:7464] [--workers 4]
+//!               [--dataset name=path.csv]... [--demo]
+//!               [--max-in-flight N] [--queue-depth N] [--epsilon E]
+//! ```
+//!
+//! `--demo` registers the paper's running example plus the `Bridges`
+//! synthetic catalog dataset, so the server is probe-able with no files at
+//! hand. On startup the bound address is printed as
+//! `maimon-served listening on ADDR` (stdout, flushed), which is what the
+//! smoke tests — and shell scripts — wait for.
+
+use maimon::relation::{relation_from_csv, CsvOptions};
+use maimon::MaimonConfig;
+use serve::{serve, AdmissionConfig, DatasetRegistry, ServerConfig};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the main loop.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod signals {
+    use super::SHUTDOWN_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: set the flag, nothing else.
+        SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs SIGTERM/SIGINT handlers (libc is already linked via std).
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    /// No signal plumbing off Unix; Ctrl-C terminates the process directly.
+    pub fn install() {}
+}
+
+struct Options {
+    addr: String,
+    workers: usize,
+    datasets: Vec<(String, String)>,
+    demo: bool,
+    epsilon: f64,
+    max_in_flight: usize,
+    queue_depth: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: maimon-served [--addr HOST:PORT] [--workers N] \
+         [--dataset name=path.csv]... [--demo] [--epsilon E] \
+         [--max-in-flight N] [--queue-depth N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        addr: "127.0.0.1:7464".to_string(),
+        workers: 4,
+        datasets: Vec::new(),
+        demo: false,
+        epsilon: 0.05,
+        max_in_flight: AdmissionConfig::default().max_in_flight_per_tenant,
+        queue_depth: AdmissionConfig::default().max_queue_depth,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => options.addr = value("--addr"),
+            "--workers" => options.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--epsilon" => options.epsilon = value("--epsilon").parse().unwrap_or_else(|_| usage()),
+            "--max-in-flight" => {
+                options.max_in_flight = value("--max-in-flight").parse().unwrap_or_else(|_| usage())
+            }
+            "--queue-depth" => {
+                options.queue_depth = value("--queue-depth").parse().unwrap_or_else(|_| usage())
+            }
+            "--dataset" => {
+                let spec = value("--dataset");
+                match spec.split_once('=') {
+                    Some((name, path)) => {
+                        options.datasets.push((name.to_string(), path.to_string()))
+                    }
+                    None => {
+                        eprintln!("--dataset expects name=path.csv, got {spec:?}");
+                        usage()
+                    }
+                }
+            }
+            "--demo" => options.demo = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    if options.datasets.is_empty() && !options.demo {
+        eprintln!("no datasets: pass --dataset name=path.csv or --demo");
+        usage()
+    }
+    options
+}
+
+fn main() {
+    let options = parse_options();
+    signals::install();
+
+    let config = MaimonConfig::with_epsilon(options.epsilon);
+    let registry = Arc::new(DatasetRegistry::new());
+    if options.demo {
+        registry
+            .register("running", maimon_datasets::running_example(), config)
+            .expect("the running example is servable");
+        let bridges = maimon_datasets::dataset_by_name("Bridges")
+            .expect("Bridges is in the catalog")
+            .generate(1.0);
+        registry.register("bridges", bridges, config).expect("Bridges is servable");
+        eprintln!("registered demo datasets: running, bridges");
+    }
+    for (name, path) in &options.datasets {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let relation = relation_from_csv(&text, CsvOptions::default()).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        });
+        let (rows, attrs) = (relation.n_rows(), relation.arity());
+        registry.register(name.clone(), relation, config).unwrap_or_else(|e| {
+            eprintln!("cannot serve {name}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("registered {name}: {rows} rows x {attrs} attrs from {path}");
+    }
+
+    let server_config = ServerConfig {
+        addr: options.addr,
+        workers: options.workers,
+        admission: AdmissionConfig {
+            max_in_flight_per_tenant: options.max_in_flight,
+            max_queue_depth: options.queue_depth,
+        },
+        ..ServerConfig::default()
+    };
+    let handle = serve(registry, server_config).unwrap_or_else(|e| {
+        eprintln!("cannot bind: {e}");
+        std::process::exit(1);
+    });
+
+    // The smoke tests (and shell scripts) wait for this exact line.
+    println!("maimon-served listening on {}", handle.local_addr());
+    std::io::stdout().flush().expect("stdout is writable");
+
+    while !SHUTDOWN_REQUESTED.load(Ordering::Relaxed) && !handle.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("maimon-served shutting down");
+    handle.shutdown();
+    println!("maimon-served stopped");
+}

@@ -1,0 +1,51 @@
+//! # maimon-serve — Maimon-as-a-service
+//!
+//! Serving layer over the owned-session core: long-lived relations live in a
+//! [`DatasetRegistry`] (one shared [`maimon::MaimonSession`] each), and a
+//! small TCP server exposes mining to concurrent clients over the stable
+//! JSON wire format of [`maimon::wire`] (`format_version` 1), one request
+//! per line.
+//!
+//! This is the use case §8 of the paper gestures at — *interactive* schema
+//! profiling: the expensive part (building the PLI entropy oracle, mining a
+//! threshold) happens once per dataset and is shared by every subsequent
+//! request, so an analyst sweeping thresholds over a warm dataset gets
+//! cache-hit latencies. The pieces:
+//!
+//! * [`DatasetRegistry`] — named relation → shared session; clones of one
+//!   session share the oracle and artifact caches while carrying their own
+//!   per-request deadline/cancellation ([`registry`]).
+//! * [`protocol`] — the line-delimited request/response JSON shapes
+//!   (`ping`, `list`, `mine`, `decompose`, `stats`).
+//! * [`AdmissionController`] — per-tenant in-flight caps and the connection
+//!   queue bound; shed requests get explicit `overloaded` responses
+//!   ([`admission`]).
+//! * [`serve`] — the accept loop + worker pool; deadlines map
+//!   onto [`maimon::RunControl`], so an expired request returns a
+//!   well-formed partial flagged `truncated`, never an error
+//!   ([`server`]).
+//!
+//! ```no_run
+//! use serve::{serve, DatasetRegistry, ServerConfig};
+//! use maimon::MaimonConfig;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(DatasetRegistry::new());
+//! registry
+//!     .register("running", maimon_datasets::running_example(), MaimonConfig::default())
+//!     .unwrap();
+//! let handle = serve(registry, ServerConfig::default()).unwrap();
+//! println!("listening on {}", handle.local_addr());
+//! // … send line-delimited JSON requests over TCP …
+//! handle.shutdown();
+//! ```
+
+pub mod admission;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats};
+pub use protocol::{error_response, ok_response, ErrorKind, Request};
+pub use registry::{DatasetRegistry, RegistryStats};
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,139 @@
+//! The dataset registry: named relations, each backed by one long-lived
+//! shared [`MaimonSession`].
+//!
+//! Registering a relation builds a session once — one PLI entropy oracle,
+//! one artifact cache — and every request for that dataset receives a cheap
+//! [`MaimonSession::clone`] of the same handle. Clones share the oracle and
+//! every mined artifact (that is the whole point of serving from owned
+//! sessions: the second request for a threshold is a cache hit), while each
+//! clone carries its own cancellation/deadline plumbing, so a per-request
+//! deadline never bleeds into another request.
+
+use maimon::relation::Relation;
+use maimon::{MaimonConfig, MaimonError, MaimonSession};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Lookup/registration counters of a [`DatasetRegistry`], exported by the
+/// server's `stats` operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Datasets currently registered.
+    pub datasets: usize,
+    /// Successful session lookups (each one handed out a session clone).
+    pub session_hits: u64,
+    /// Lookups for a name that was not registered.
+    pub session_misses: u64,
+}
+
+/// A named collection of relations, each served by one shared
+/// [`MaimonSession`].
+///
+/// Thread-safe: lookups take a read lock and clone the session handle, so
+/// concurrent requests never contend beyond the map access itself.
+#[derive(Default)]
+pub struct DatasetRegistry {
+    sessions: RwLock<HashMap<String, MaimonSession>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DatasetRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        DatasetRegistry::default()
+    }
+
+    /// Registers `relation` under `name`, building its session (and thus its
+    /// entropy oracle) eagerly so the first request pays no construction
+    /// cost. Replaces any previous dataset of the same name.
+    ///
+    /// # Errors
+    /// Returns the session constructor's error for an invalid configuration
+    /// or a relation that cannot be profiled (empty, arity < 2).
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        relation: impl Into<Arc<Relation>>,
+        config: MaimonConfig,
+    ) -> Result<(), MaimonError> {
+        let session = MaimonSession::new(relation, config)?;
+        self.sessions.write().expect("registry lock poisoned").insert(name.into(), session);
+        Ok(())
+    }
+
+    /// A shared session handle for `name`, if registered. The clone shares
+    /// the dataset's oracle and artifact caches; attach per-request deadlines
+    /// or tokens to it freely.
+    pub fn get(&self, name: &str) -> Option<MaimonSession> {
+        let found = self.sessions.read().expect("registry lock poisoned").get(name).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Registered dataset names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.sessions.read().expect("registry lock poisoned").keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.sessions.read().expect("registry lock poisoned").len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current lookup/registration counters.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            datasets: self.len(),
+            session_hits: self.hits.load(Ordering::Relaxed),
+            session_misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maimon_datasets::running_example;
+
+    #[test]
+    fn lookups_share_one_session_and_count() {
+        let registry = DatasetRegistry::new();
+        registry.register("running", running_example(), MaimonConfig::default()).unwrap();
+        assert_eq!(registry.names(), vec!["running".to_string()]);
+
+        let a = registry.get("running").unwrap();
+        let b = registry.get("running").unwrap();
+        assert!(registry.get("absent").is_none());
+
+        // Clones share the oracle: mining through one is visible to the other.
+        a.mvds(0.0).unwrap();
+        assert_eq!(b.cached_epsilons(), vec![0.0]);
+
+        let stats = registry.stats();
+        assert_eq!(stats.datasets, 1);
+        assert_eq!(stats.session_hits, 2);
+        assert_eq!(stats.session_misses, 1);
+    }
+
+    #[test]
+    fn register_rejects_unservable_relations() {
+        use maimon::relation::{Relation, Schema};
+        let registry = DatasetRegistry::new();
+        let narrow = Relation::from_rows(Schema::new(["A"]).unwrap(), &[vec!["x"]]).unwrap();
+        assert!(registry.register("narrow", narrow, MaimonConfig::default()).is_err());
+        assert!(registry.is_empty());
+    }
+}

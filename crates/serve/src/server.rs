@@ -1,0 +1,491 @@
+//! The TCP server: accept loop, bounded connection queue, worker pool and
+//! request dispatch.
+//!
+//! The shape is deliberately boring: a non-blocking accept loop feeds a
+//! bounded `VecDeque` of connections; `workers` threads pull connections and
+//! speak the line-delimited protocol of [`crate::protocol`] until the client
+//! hangs up. Every blocking point (accept, queue wait, socket read) is
+//! bounded by a short timeout and re-checks the shutdown token, so
+//! [`ServerHandle::shutdown`] converges without a wake-up connection or
+//! thread kill, and in-flight mining requests wind down through the same
+//! [`CancelToken`] — they return well-formed `truncated` partials, never
+//! broken pipes.
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats};
+use crate::protocol::{error_response, ok_response, ErrorKind, Request};
+use crate::registry::DatasetRegistry;
+use maimon::json::Json;
+use maimon::wire::{FromJson, ToJson};
+use maimon::{CancelToken, MaimonSession};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Admission-control bounds.
+    pub admission: AdmissionConfig,
+    /// Socket read timeout; also the granularity at which idle connections
+    /// notice a server shutdown.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            admission: AdmissionConfig::default(),
+            read_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Request counters, exported by the `stats` operation.
+#[derive(Debug, Default)]
+struct ServeCounters {
+    ping: AtomicU64,
+    list: AtomicU64,
+    stats: AtomicU64,
+    mine: AtomicU64,
+    decompose: AtomicU64,
+    truncated: AtomicU64,
+    errors: AtomicU64,
+    reducer_semijoins: AtomicU64,
+    reducer_bottom_up: AtomicU64,
+    reducer_top_down: AtomicU64,
+}
+
+struct Shared {
+    registry: Arc<DatasetRegistry>,
+    admission: Arc<AdmissionController>,
+    counters: ServeCounters,
+    shutdown: CancelToken,
+    read_timeout: Duration,
+}
+
+struct ConnQueue {
+    pending: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: CancelToken,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A clone of the shutdown token; firing it (e.g. from a signal handler
+    /// thread) is equivalent to calling [`ServerHandle::shutdown`] except
+    /// for the join.
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shutdown.clone()
+    }
+
+    /// `true` once the token has fired.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.is_cancelled()
+    }
+
+    /// Fires the shutdown token and joins every server thread. In-flight
+    /// mining requests observe the token and respond with `truncated`
+    /// partials before their connections close.
+    pub fn shutdown(self) {
+        self.shutdown.cancel();
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Binds and starts a server over `registry`.
+///
+/// # Errors
+/// Returns the I/O error of a failed bind.
+pub fn serve(
+    registry: Arc<DatasetRegistry>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        registry,
+        admission: Arc::new(AdmissionController::new(config.admission)),
+        counters: ServeCounters::default(),
+        shutdown: CancelToken::new(),
+        read_timeout: config.read_timeout,
+    });
+    let queue = Arc::new(ConnQueue { pending: Mutex::new(VecDeque::new()), ready: Condvar::new() });
+
+    let mut threads = Vec::with_capacity(config.workers + 1);
+    for _ in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        let queue = Arc::clone(&queue);
+        threads.push(std::thread::spawn(move || worker_loop(&shared, &queue)));
+    }
+
+    let shutdown = shared.shutdown.clone();
+    let max_queue_depth = config.admission.max_queue_depth;
+    {
+        let shared = Arc::clone(&shared);
+        let queue = Arc::clone(&queue);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(&listener, &shared, &queue, max_queue_depth);
+            // Wake every idle worker so they observe the shutdown.
+            queue.ready.notify_all();
+        }));
+    }
+
+    Ok(ServerHandle { local_addr, shutdown, threads })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    queue: &Arc<ConnQueue>,
+    max_queue_depth: usize,
+) {
+    while !shared.shutdown.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut pending = queue.pending.lock().expect("queue lock poisoned");
+                if pending.len() >= max_queue_depth {
+                    drop(pending);
+                    shared.admission.note_queue_shed();
+                    shed_connection(stream);
+                } else {
+                    pending.push_back(stream);
+                    drop(pending);
+                    queue.ready.notify_one();
+                }
+            }
+            // Non-blocking listener: nothing pending (or a transient accept
+            // error) — nap briefly and re-check the shutdown token.
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Tells an over-queue client it was shed, without occupying a worker.
+fn shed_connection(mut stream: TcpStream) {
+    let response = error_response(ErrorKind::Overloaded, "connection queue is full; retry later");
+    let _ = writeln!(stream, "{}", response);
+    let _ = stream.flush();
+    // Half-close and briefly drain: dropping the socket with unread request
+    // bytes in its receive buffer sends an RST that can discard the
+    // response before the client reads it. The drain is bounded, so a
+    // stalling client delays the accept loop at most ~500 ms.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let start = Instant::now();
+    let mut sink = [0u8; 1024];
+    while start.elapsed() < Duration::from_millis(500) {
+        match stream.read(&mut sink) {
+            Ok(0) => break, // EOF: the client saw the response; safe to drop
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, queue: &Arc<ConnQueue>) {
+    loop {
+        let stream = {
+            let mut pending = queue.pending.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(stream) = pending.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.is_cancelled() {
+                    break None;
+                }
+                let (guard, _timeout) = queue
+                    .ready
+                    .wait_timeout(pending, Duration::from_millis(100))
+                    .expect("queue lock poisoned");
+                pending = guard;
+            }
+        };
+        match stream {
+            Some(stream) => handle_connection(shared, stream),
+            None => return,
+        }
+    }
+}
+
+/// Serves one connection: line in, line out, until EOF, error or shutdown.
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let mut carry: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain complete lines out of the carry buffer first.
+        while let Some(pos) = carry.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = carry.drain(..=pos).collect();
+            line.pop(); // the newline
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let text = String::from_utf8_lossy(&line);
+            if text.trim().is_empty() {
+                continue;
+            }
+            let response = dispatch(shared, text.trim());
+            if writeln!(stream, "{}", response).and_then(|()| stream.flush()).is_err() {
+                return;
+            }
+        }
+        if shared.shutdown.is_cancelled() {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client hung up
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle: loop around and re-check the shutdown token.
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses and executes one request line, returning the response document.
+fn dispatch(shared: &Arc<Shared>, line: &str) -> Json {
+    let request = match Request::from_json_str(line) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return error_response(ErrorKind::BadRequest, e.to_string());
+        }
+    };
+    match request {
+        Request::Ping => {
+            shared.counters.ping.fetch_add(1, Ordering::Relaxed);
+            ok_response("ping", [])
+        }
+        Request::List => {
+            shared.counters.list.fetch_add(1, Ordering::Relaxed);
+            handle_list(shared)
+        }
+        Request::Stats => {
+            shared.counters.stats.fetch_add(1, Ordering::Relaxed);
+            handle_stats(shared)
+        }
+        Request::Mine { dataset, epsilon, timeout_ms, tenant } => {
+            shared.counters.mine.fetch_add(1, Ordering::Relaxed);
+            handle_mine(shared, &dataset, epsilon, timeout_ms, tenant.as_deref())
+        }
+        Request::Decompose { dataset, epsilon, timeout_ms, tenant } => {
+            shared.counters.decompose.fetch_add(1, Ordering::Relaxed);
+            handle_decompose(shared, &dataset, epsilon, timeout_ms, tenant.as_deref())
+        }
+    }
+}
+
+/// Builds the per-request session: the registry's shared handle with this
+/// request's deadline and the server's shutdown token attached. Artifact and
+/// oracle caches stay shared; the control plumbing is per-clone.
+fn request_session(
+    shared: &Arc<Shared>,
+    dataset: &str,
+    timeout_ms: Option<u64>,
+) -> Option<MaimonSession> {
+    let mut session = shared.registry.get(dataset)?.with_cancel(shared.shutdown.clone());
+    if let Some(ms) = timeout_ms {
+        session = session.with_deadline(Instant::now() + Duration::from_millis(ms));
+    }
+    Some(session)
+}
+
+fn handle_mine(
+    shared: &Arc<Shared>,
+    dataset: &str,
+    epsilon: f64,
+    timeout_ms: Option<u64>,
+    tenant: Option<&str>,
+) -> Json {
+    let Some(session) = request_session(shared, dataset, timeout_ms) else {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        return error_response(ErrorKind::NotFound, format!("unknown dataset {dataset:?}"));
+    };
+    let Some(_permit) = shared.admission.try_admit(tenant.unwrap_or_default()) else {
+        return error_response(
+            ErrorKind::Overloaded,
+            format!("tenant {:?} is at its in-flight cap", tenant.unwrap_or_default()),
+        );
+    };
+    match session.quality(epsilon) {
+        Ok(result) => {
+            if result.truncated {
+                shared.counters.truncated.fetch_add(1, Ordering::Relaxed);
+            }
+            ok_response(
+                "mine",
+                [
+                    ("dataset", Json::from(dataset)),
+                    ("epsilon", Json::from(epsilon)),
+                    ("truncated", Json::from(result.truncated)),
+                    ("result", result.to_json()),
+                ],
+            )
+        }
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(ErrorKind::Internal, e.to_string())
+        }
+    }
+}
+
+fn handle_decompose(
+    shared: &Arc<Shared>,
+    dataset: &str,
+    epsilon: f64,
+    timeout_ms: Option<u64>,
+    tenant: Option<&str>,
+) -> Json {
+    let Some(session) = request_session(shared, dataset, timeout_ms) else {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        return error_response(ErrorKind::NotFound, format!("unknown dataset {dataset:?}"));
+    };
+    let Some(_permit) = shared.admission.try_admit(tenant.unwrap_or_default()) else {
+        return error_response(
+            ErrorKind::Overloaded,
+            format!("tenant {:?} is at its in-flight cap", tenant.unwrap_or_default()),
+        );
+    };
+    match session.decompose_best(epsilon) {
+        Ok((schema, instance)) => {
+            let (_reduced, reducer) = instance.full_reduce();
+            let c = &shared.counters;
+            c.reducer_semijoins.fetch_add(reducer.semijoins as u64, Ordering::Relaxed);
+            c.reducer_bottom_up.fetch_add(reducer.bottom_up_removed as u64, Ordering::Relaxed);
+            c.reducer_top_down.fetch_add(reducer.top_down_removed as u64, Ordering::Relaxed);
+            ok_response(
+                "decompose",
+                [
+                    ("dataset", Json::from(dataset)),
+                    ("epsilon", Json::from(epsilon)),
+                    ("bags", Json::from(schema.n_relations())),
+                    ("schema", schema.to_json()),
+                    ("reducer", reducer.to_json()),
+                ],
+            )
+        }
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(ErrorKind::Internal, e.to_string())
+        }
+    }
+}
+
+fn handle_list(shared: &Arc<Shared>) -> Json {
+    let datasets: Vec<Json> = shared
+        .registry
+        .names()
+        .into_iter()
+        .filter_map(|name| {
+            let session = shared.registry.get(&name)?;
+            Some(Json::object([
+                ("name", Json::from(name.as_str())),
+                ("rows", Json::from(session.relation().n_rows())),
+                ("attrs", Json::from(session.relation().arity())),
+                ("default_epsilon", Json::from(session.config().epsilon)),
+            ]))
+        })
+        .collect();
+    ok_response("list", [("datasets", Json::Array(datasets))])
+}
+
+fn admission_stats_json(stats: AdmissionStats) -> Json {
+    Json::object([
+        ("admitted", Json::from(stats.admitted)),
+        ("shed_tenant_cap", Json::from(stats.shed_tenant_cap)),
+        ("shed_queue_full", Json::from(stats.shed_queue_full)),
+    ])
+}
+
+fn handle_stats(shared: &Arc<Shared>) -> Json {
+    let registry_stats = shared.registry.stats();
+    let c = &shared.counters;
+    let reducer = maimon::decompose::ReducerStats {
+        semijoins: c.reducer_semijoins.load(Ordering::Relaxed) as usize,
+        bottom_up_removed: c.reducer_bottom_up.load(Ordering::Relaxed) as usize,
+        top_down_removed: c.reducer_top_down.load(Ordering::Relaxed) as usize,
+    };
+    let datasets: Vec<Json> = shared
+        .registry
+        .names()
+        .into_iter()
+        .filter_map(|name| {
+            let session = shared.registry.get(&name)?;
+            Some(Json::object([
+                ("name", Json::from(name.as_str())),
+                ("oracle", session.oracle_stats().to_json()),
+                ("cached_plis", Json::from(session.cached_pli_count())),
+                ("cached_entropies", Json::from(session.cached_entropy_count())),
+                (
+                    "cached_epsilons",
+                    Json::Array(session.cached_epsilons().into_iter().map(Json::from).collect()),
+                ),
+            ]))
+        })
+        .collect();
+    ok_response(
+        "stats",
+        [
+            (
+                "registry",
+                Json::object([
+                    ("datasets", Json::from(registry_stats.datasets)),
+                    ("session_hits", Json::from(registry_stats.session_hits)),
+                    ("session_misses", Json::from(registry_stats.session_misses)),
+                ]),
+            ),
+            ("admission", admission_stats_json(shared.admission.stats())),
+            (
+                "requests",
+                Json::object([
+                    ("ping", Json::from(c.ping.load(Ordering::Relaxed))),
+                    ("list", Json::from(c.list.load(Ordering::Relaxed))),
+                    ("stats", Json::from(c.stats.load(Ordering::Relaxed))),
+                    ("mine", Json::from(c.mine.load(Ordering::Relaxed))),
+                    ("decompose", Json::from(c.decompose.load(Ordering::Relaxed))),
+                    ("truncated", Json::from(c.truncated.load(Ordering::Relaxed))),
+                    ("errors", Json::from(c.errors.load(Ordering::Relaxed))),
+                ]),
+            ),
+            ("reducer", reducer.to_json()),
+            ("datasets", Json::Array(datasets)),
+        ],
+    )
+}

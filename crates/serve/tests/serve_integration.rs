@@ -1,0 +1,247 @@
+//! End-to-end tests of the TCP serving layer: concurrent clients get
+//! bit-identical results to direct library calls, deadlines truncate
+//! rather than error, admission control sheds with explicit responses, and
+//! the `stats` counters add up to the requests actually sent.
+
+use maimon::json::Json;
+use maimon::relation::Relation;
+use maimon::wire::FromJson;
+use maimon::{decompose::ReducerStats, MaimonConfig, MaimonResult, MaimonSession};
+use maimon_datasets::{dataset_by_name, running_example};
+use serve::{serve, AdmissionConfig, DatasetRegistry, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn bridges() -> Relation {
+    dataset_by_name("Bridges").unwrap().generate(1.0).column_prefix(8).unwrap()
+}
+
+fn start_server(admission: AdmissionConfig, datasets: &[(&str, Relation)]) -> ServerHandle {
+    let registry = Arc::new(DatasetRegistry::new());
+    for (name, rel) in datasets {
+        registry.register(*name, rel.clone(), MaimonConfig::default()).unwrap();
+    }
+    let config = ServerConfig { workers: 4, admission, ..ServerConfig::default() };
+    serve(registry, config).unwrap()
+}
+
+/// One-shot request: connect, send one line, read one line.
+fn roundtrip(addr: SocketAddr, line: &str) -> Json {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    writeln!(stream, "{line}").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    Json::parse(response.trim()).unwrap_or_else(|e| panic!("bad response {response:?}: {e}"))
+}
+
+fn assert_ok(response: &Json, op: &str) {
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true), "{response}");
+    assert_eq!(response.get("op").and_then(Json::as_str), Some(op), "{response}");
+    assert_eq!(response.get("format_version").and_then(Json::as_i128), Some(1), "{response}");
+}
+
+/// Equality modulo wall-clock fields (elapsed, cumulative oracle counters) —
+/// the same idiom as the core `parallel_equivalence` suite.
+fn assert_same_mining(served: &MaimonResult, direct: &MaimonResult, label: &str) {
+    assert_eq!(served.mvds.mvds, direct.mvds.mvds, "{label}");
+    assert_eq!(served.mvds.separators, direct.mvds.separators, "{label}");
+    assert_eq!(served.schemas, direct.schemas, "{label}");
+    assert_eq!(served.pareto, direct.pareto, "{label}");
+    assert_eq!(served.truncated, direct.truncated, "{label}");
+}
+
+#[test]
+fn ping_and_list_roundtrip() {
+    let handle = start_server(AdmissionConfig::default(), &[("running", running_example())]);
+    let addr = handle.local_addr();
+
+    let pong = roundtrip(addr, r#"{"op":"ping"}"#);
+    assert_ok(&pong, "ping");
+
+    let list = roundtrip(addr, r#"{"op":"list"}"#);
+    assert_ok(&list, "list");
+    let datasets = list.get("datasets").and_then(Json::as_array).unwrap();
+    assert_eq!(datasets.len(), 1);
+    assert_eq!(datasets[0].get("name").and_then(Json::as_str), Some("running"));
+    assert_eq!(datasets[0].get("rows").and_then(Json::as_i128), Some(4));
+    assert_eq!(datasets[0].get("attrs").and_then(Json::as_i128), Some(6));
+
+    let bad = roundtrip(addr, r#"{"op":"warp"}"#);
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(bad.get("kind").and_then(Json::as_str), Some("bad_request"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_mines_match_direct_sessions_bit_for_bit() {
+    let handle = start_server(AdmissionConfig::default(), &[("bridges", bridges())]);
+    let addr = handle.local_addr();
+    let epsilons = [0.0, 0.05, 0.1];
+
+    // Six concurrent clients (each threshold requested twice) against the
+    // one shared server session.
+    let served: Vec<(f64, MaimonResult)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = epsilons
+            .iter()
+            .cycle()
+            .take(6)
+            .map(|&epsilon| {
+                scope.spawn(move || {
+                    let request = format!(
+                        r#"{{"op":"mine","dataset":"bridges","epsilon":{epsilon},"tenant":"t{epsilon}"}}"#
+                    );
+                    let response = roundtrip(addr, &request);
+                    assert_ok(&response, "mine");
+                    let result =
+                        MaimonResult::from_json(response.get("result").unwrap()).unwrap();
+                    (epsilon, result)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // The ground truth: a direct library session over the same relation and
+    // configuration.
+    let direct_session = MaimonSession::new(bridges(), MaimonConfig::default()).unwrap();
+    for (epsilon, mined) in &served {
+        let direct = direct_session.quality(*epsilon).unwrap();
+        assert_same_mining(mined, &direct, &format!("epsilon {epsilon}"));
+        assert!(!mined.truncated);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn expired_deadline_yields_truncated_partial_not_error() {
+    let handle = start_server(AdmissionConfig::default(), &[("bridges", bridges())]);
+    let addr = handle.local_addr();
+
+    let response =
+        roundtrip(addr, r#"{"op":"mine","dataset":"bridges","epsilon":0.1,"timeout_ms":0}"#);
+    assert_ok(&response, "mine");
+    assert_eq!(response.get("truncated").and_then(Json::as_bool), Some(true), "{response}");
+    // The partial is a well-formed result document, not a stub.
+    let result = MaimonResult::from_json(response.get("result").unwrap()).unwrap();
+    assert!(result.truncated);
+    handle.shutdown();
+}
+
+#[test]
+fn tenant_in_flight_cap_sheds_with_overloaded() {
+    let admission = AdmissionConfig { max_in_flight_per_tenant: 0, max_queue_depth: 64 };
+    let handle = start_server(admission, &[("running", running_example())]);
+    let addr = handle.local_addr();
+
+    let shed = roundtrip(addr, r#"{"op":"mine","dataset":"running","epsilon":0.0}"#);
+    assert_eq!(shed.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(shed.get("kind").and_then(Json::as_str), Some("overloaded"));
+
+    // Non-mining operations are not subject to the cap.
+    assert_ok(&roundtrip(addr, r#"{"op":"ping"}"#), "ping");
+
+    let stats = roundtrip(addr, r#"{"op":"stats"}"#);
+    let admission_stats = stats.get("admission").unwrap();
+    assert_eq!(admission_stats.get("shed_tenant_cap").and_then(Json::as_i128), Some(1));
+    assert_eq!(admission_stats.get("admitted").and_then(Json::as_i128), Some(0));
+    handle.shutdown();
+}
+
+#[test]
+fn full_connection_queue_sheds_with_overloaded() {
+    // A zero-depth queue sheds every connection deterministically at accept.
+    let admission = AdmissionConfig { max_in_flight_per_tenant: 2, max_queue_depth: 0 };
+    let handle = start_server(admission, &[("running", running_example())]);
+
+    let response = roundtrip(handle.local_addr(), r#"{"op":"ping"}"#);
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(response.get("kind").and_then(Json::as_str), Some("overloaded"));
+    handle.shutdown();
+}
+
+#[test]
+fn stats_counters_add_up() {
+    let handle = start_server(AdmissionConfig::default(), &[("running", running_example())]);
+    let addr = handle.local_addr();
+
+    assert_ok(&roundtrip(addr, r#"{"op":"ping"}"#), "ping");
+    assert_ok(&roundtrip(addr, r#"{"op":"ping"}"#), "ping");
+    assert_ok(&roundtrip(addr, r#"{"op":"list"}"#), "list");
+    assert_ok(&roundtrip(addr, r#"{"op":"mine","dataset":"running","epsilon":0.0}"#), "mine");
+    assert_ok(&roundtrip(addr, r#"{"op":"mine","dataset":"running","epsilon":0.1}"#), "mine");
+    let missing = roundtrip(addr, r#"{"op":"mine","dataset":"absent","epsilon":0.0}"#);
+    assert_eq!(missing.get("kind").and_then(Json::as_str), Some("not_found"));
+    let decomposed = roundtrip(addr, r#"{"op":"decompose","dataset":"running","epsilon":0.0}"#);
+    assert_ok(&decomposed, "decompose");
+    let bags = decomposed.get("bags").and_then(Json::as_i128).unwrap();
+    let reducer = ReducerStats::from_json(decomposed.get("reducer").unwrap()).unwrap();
+    // Yannakakis performs exactly 2(m−1) semijoins over an m-bag tree.
+    assert_eq!(reducer.semijoins as i128, 2 * (bags - 1));
+
+    let stats = roundtrip(addr, r#"{"op":"stats"}"#);
+    assert_ok(&stats, "stats");
+
+    let requests = stats.get("requests").unwrap();
+    let count = |key: &str| requests.get(key).and_then(Json::as_i128).unwrap();
+    assert_eq!(count("ping"), 2);
+    assert_eq!(count("list"), 1);
+    assert_eq!(count("mine"), 3, "not-found mines still count as requests");
+    assert_eq!(count("decompose"), 1);
+    assert_eq!(count("errors"), 1, "exactly the not_found mine");
+    assert_eq!(count("truncated"), 0);
+    assert_eq!(count("stats"), 1, "this very request");
+
+    // Registry lookups: 2 ok mines + 1 decompose + 1 per-dataset list probe
+    // = 4 hits; the absent dataset is the single miss. (The stats handler
+    // snapshots these counters before its own per-dataset probes.)
+    let registry = stats.get("registry").unwrap();
+    assert_eq!(registry.get("datasets").and_then(Json::as_i128), Some(1));
+    assert_eq!(registry.get("session_hits").and_then(Json::as_i128), Some(4));
+    assert_eq!(registry.get("session_misses").and_then(Json::as_i128), Some(1));
+
+    // Admission: the three dataset-bound requests that found their dataset.
+    let admission = stats.get("admission").unwrap();
+    assert_eq!(admission.get("admitted").and_then(Json::as_i128), Some(3));
+    assert_eq!(admission.get("shed_tenant_cap").and_then(Json::as_i128), Some(0));
+    assert_eq!(admission.get("shed_queue_full").and_then(Json::as_i128), Some(0));
+
+    // The server-wide reducer totals equal the one decompose we ran.
+    let total = ReducerStats::from_json(stats.get("reducer").unwrap()).unwrap();
+    assert_eq!(total, reducer);
+
+    // Per-dataset oracle counters: mining happened, so the oracle was busy.
+    let datasets = stats.get("datasets").and_then(Json::as_array).unwrap();
+    assert_eq!(datasets.len(), 1);
+    let oracle = datasets[0].get("oracle").unwrap();
+    assert!(oracle.get("calls").and_then(Json::as_i128).unwrap() > 0);
+    let cached = datasets[0].get("cached_epsilons").and_then(Json::as_array).unwrap();
+    assert_eq!(cached.len(), 2, "two thresholds were mined: {stats}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn requests_pipeline_on_one_connection_and_shutdown_converges() {
+    let handle = start_server(AdmissionConfig::default(), &[("running", running_example())]);
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // Several requests down one connection, answered in order.
+    for _ in 0..3 {
+        writeln!(stream, r#"{{"op":"ping"}}"#).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_ok(&Json::parse(line.trim()).unwrap(), "ping");
+    }
+
+    // Shutdown with the connection still open: must converge promptly, and
+    // the client then observes EOF (or a reset), not a hang.
+    handle.shutdown();
+    let mut line = String::new();
+    let eof = reader.read_line(&mut line).map(|n| n == 0).unwrap_or(true);
+    assert!(eof, "open connection must be closed by shutdown, got {line:?}");
+}

@@ -1,0 +1,85 @@
+//! Smoke test of the `maimon-served` binary: boots on a loopback port,
+//! answers mine/stats requests over TCP, and shuts down cleanly (exit 0,
+//! farewell line) on SIGTERM. Unix-only, like the signal plumbing it tests.
+#![cfg(unix)]
+
+use maimon::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn roundtrip(addr: &str, line: &str) -> Json {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    writeln!(stream, "{line}").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    Json::parse(response.trim()).unwrap_or_else(|e| panic!("bad response {response:?}: {e}"))
+}
+
+fn wait_for_exit(child: &mut Child, budget: Duration) -> Option<std::process::ExitStatus> {
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        if let Some(status) = child.try_wait().unwrap() {
+            return Some(status);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    None
+}
+
+#[test]
+fn served_binary_boots_serves_and_stops_on_sigterm() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_maimon-served"))
+        .args(["--addr", "127.0.0.1:0", "--demo"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("maimon-served spawns");
+
+    // The binary prints `maimon-served listening on ADDR` once bound.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .trim()
+        .strip_prefix("maimon-served listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    // Liveness, a real mine, and the stats counters over the live socket.
+    let pong = roundtrip(&addr, r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+
+    let mined = roundtrip(&addr, r#"{"op":"mine","dataset":"running","epsilon":0.0}"#);
+    assert_eq!(mined.get("ok").and_then(Json::as_bool), Some(true), "{mined}");
+    assert_eq!(mined.get("truncated").and_then(Json::as_bool), Some(false));
+
+    let stats = roundtrip(&addr, r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+    let requests = stats.get("requests").unwrap();
+    assert_eq!(requests.get("mine").and_then(Json::as_i128), Some(1));
+    assert_eq!(requests.get("ping").and_then(Json::as_i128), Some(1));
+    let registry = stats.get("registry").unwrap();
+    assert_eq!(registry.get("datasets").and_then(Json::as_i128), Some(2), "--demo registers two");
+
+    // SIGTERM → clean shutdown: exit code 0 and the farewell line.
+    let kill =
+        Command::new("kill").args(["-TERM", &child.id().to_string()]).status().expect("kill runs");
+    assert!(kill.success());
+
+    let status = match wait_for_exit(&mut child, Duration::from_secs(10)) {
+        Some(status) => status,
+        None => {
+            let _ = child.kill();
+            panic!("maimon-served did not exit within 10s of SIGTERM");
+        }
+    };
+    assert!(status.success(), "expected clean exit, got {status:?}");
+
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).unwrap();
+    assert!(rest.contains("maimon-served stopped"), "missing farewell, got {rest:?}");
+}

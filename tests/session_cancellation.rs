@@ -19,15 +19,15 @@ use std::time::Instant;
 
 /// Delegating oracle that fires a [`CancelToken`] after exactly
 /// `fire_after` entropy calls.
-struct FuseOracle<'a> {
-    inner: PliEntropyOracle<'a>,
+struct FuseOracle {
+    inner: PliEntropyOracle,
     calls: AtomicU64,
     fire_after: u64,
     token: CancelToken,
 }
 
-impl<'a> FuseOracle<'a> {
-    fn new(rel: &'a Relation, fire_after: u64, token: CancelToken) -> Self {
+impl FuseOracle {
+    fn new(rel: &Relation, fire_after: u64, token: CancelToken) -> Self {
         FuseOracle {
             inner: PliEntropyOracle::with_defaults(rel),
             calls: AtomicU64::new(0),
@@ -37,7 +37,7 @@ impl<'a> FuseOracle<'a> {
     }
 }
 
-impl EntropyOracle for FuseOracle<'_> {
+impl EntropyOracle for FuseOracle {
     fn entropy(&self, attrs: AttrSet) -> f64 {
         if self.calls.fetch_add(1, Ordering::Relaxed) + 1 >= self.fire_after {
             self.token.cancel();
