@@ -319,8 +319,31 @@ impl<'a> RunControl<'a> {
             return true;
         }
         let polls = state.polls.fetch_add(1, Ordering::Relaxed);
-        if !polls.is_multiple_of(DEADLINE_POLL_STRIDE) {
+        // `%` rather than `u32::is_multiple_of`: the latter needs Rust 1.87
+        // and the workspace declares an MSRV of 1.75.
+        if polls % DEADLINE_POLL_STRIDE != 0 {
             return false;
+        }
+        let passed = Instant::now() >= state.at;
+        if passed {
+            state.passed.store(true, Ordering::Relaxed);
+        }
+        passed
+    }
+
+    /// Unthrottled variant of [`RunControl::should_stop`]: every call
+    /// consults the wall clock (an observed expiry is still latched). The
+    /// stride throttle exists for the mining hot loops, which poll hundreds
+    /// of thousands of times; low-frequency poll sites — a request waiting
+    /// on another request's in-flight computation, a server control loop —
+    /// want the exact answer *now*, not up to a stride later.
+    pub fn should_stop_now(&self) -> bool {
+        if self.is_cancelled() {
+            return true;
+        }
+        let Some(state) = &self.deadline else { return false };
+        if state.passed.load(Ordering::Relaxed) {
+            return true;
         }
         let passed = Instant::now() >= state.at;
         if passed {
@@ -395,6 +418,20 @@ mod tests {
         // …so every later poll (and clones made now) stop immediately.
         assert!(ctl.should_stop());
         assert!(ctl.clone().should_stop());
+    }
+
+    #[test]
+    fn should_stop_now_skips_the_stride_throttle() {
+        let ctl = RunControl::new().with_timeout(Duration::from_millis(5));
+        assert!(!ctl.should_stop(), "poll 0: deadline still ahead");
+        std::thread::sleep(Duration::from_millis(10));
+        // Throttled polls inside the stride still say "keep going"…
+        assert!(!ctl.should_stop());
+        // …but the unthrottled check reads the clock immediately and
+        // latches, so the throttled path stops from here on too.
+        assert!(ctl.should_stop_now());
+        assert!(ctl.should_stop());
+        assert!(!RunControl::NONE.should_stop_now());
     }
 
     #[test]

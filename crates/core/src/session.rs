@@ -27,7 +27,10 @@
 //! Sessions also carry the service-boundary plumbing: a [`CancelToken`] and
 //! an optional deadline make any stage wind down early with a well-formed
 //! result flagged `truncated`, and a [`ProgressSink`] observes per-pair and
-//! per-schema progress (see [`crate::progress`]).
+//! per-schema progress (see [`crate::progress`]). Truncated partials are
+//! served to the requesting handle only — they never enter the shared
+//! artifact caches, so one request's deadline cannot poison what every
+//! other clone of the session is served (see [`ArtifactCache`]).
 //!
 //! The session *owns* its relation (`Arc<Relation>`), so it is `'static`,
 //! `Send + Sync` and cheap to [`Clone`]: handles share the oracle and the
@@ -73,8 +76,8 @@ use decompose::DecomposedInstance;
 use entropy::{EntropyOracle, OracleStats, PliEntropyOracle};
 use relation::{AttrSet, Relation};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// One threshold of an [`MaimonSession::epsilon_sweep`].
 #[derive(Clone, Debug, PartialEq)]
@@ -101,31 +104,132 @@ fn eps_key(epsilon: f64) -> u64 {
     (epsilon + 0.0).to_bits()
 }
 
-/// A per-threshold compute-once artifact cache: the map lock is held only to
-/// look up or create the slot, and the slot's [`OnceLock`] serializes the
-/// (potentially minutes-long) computation — concurrent callers for the same
-/// threshold block on the one in-flight computation instead of duplicating
-/// it, so mining work and progress events fire exactly once per artifact.
-type ArtifactSlot<T> = Arc<OnceLock<Result<Arc<T>, MaimonError>>>;
+/// How long a caller waiting on another request's in-flight computation
+/// sleeps between re-checks of its *own* [`RunControl`]. Bounds how late a
+/// waiter notices its deadline while parked on the condvar.
+const WAITER_POLL_INTERVAL: Duration = Duration::from_millis(10);
 
+/// One entry of an [`ArtifactCache`]: either a computation in flight (exactly
+/// one owning request; others wait on the cache condvar) or a completed
+/// result shared by every later request.
+enum ArtifactSlot<T> {
+    InFlight,
+    Ready(Result<Arc<T>, MaimonError>),
+}
+
+/// A per-threshold compute-once artifact cache. The map lock is held only to
+/// look up or transition a slot; an `InFlight` slot serializes the
+/// (potentially minutes-long) computation so concurrent callers for the same
+/// threshold share one run instead of duplicating it, and mining work and
+/// progress events fire once per *complete* artifact.
+///
+/// Two rules keep per-request control plumbing out of the shared state
+/// (`registry` promises "a per-request deadline never bleeds into another
+/// request"):
+///
+/// * **Truncated partials are never cached.** A computation cut short — by
+///   the requesting clone's deadline or cancel token, or a configured mining
+///   limit — returns its well-formed partial to that caller only, and the
+///   slot is vacated so the next request computes afresh. Without this, one
+///   short-timeout request would latch its partial into the shared slot and
+///   every later request at that threshold would be served the stub forever.
+/// * **Waiters honor their own deadlines.** A caller that finds a slot
+///   `InFlight` waits in bounded slices, re-checking its own [`RunControl`];
+///   if that fires before the shared computation finishes, the caller stops
+///   waiting and runs `compute` itself — with an expired control the mining
+///   loops wind down at their first poll, so this cheaply yields the private
+///   truncated partial the caller is owed instead of blocking the request
+///   (and its worker thread and admission permit) on another client's run.
 struct ArtifactCache<T> {
     slots: Mutex<BTreeMap<u64, ArtifactSlot<T>>>,
+    changed: Condvar,
+}
+
+/// Vacates an `InFlight` slot if its owner unwinds mid-compute, so waiters
+/// are not parked forever on a computation that no longer exists.
+struct InFlightGuard<'a, T> {
+    cache: &'a ArtifactCache<T>,
+    key: u64,
+    armed: bool,
+}
+
+impl<T> Drop for InFlightGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut slots = match self.cache.slots.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            slots.remove(&self.key);
+            drop(slots);
+            self.cache.changed.notify_all();
+        }
+    }
 }
 
 impl<T> ArtifactCache<T> {
     fn new() -> Self {
-        ArtifactCache { slots: Mutex::new(BTreeMap::new()) }
+        ArtifactCache { slots: Mutex::new(BTreeMap::new()), changed: Condvar::new() }
     }
 
-    fn get_or_compute<F>(&self, key: u64, compute: F) -> Result<Arc<T>, MaimonError>
+    fn get_or_compute<F>(
+        &self,
+        key: u64,
+        control: &RunControl<'_>,
+        is_truncated: impl Fn(&T) -> bool,
+        compute: F,
+    ) -> Result<Arc<T>, MaimonError>
     where
         F: FnOnce() -> Result<Arc<T>, MaimonError>,
     {
-        let slot = {
+        {
             let mut slots = self.slots.lock().expect("session cache poisoned");
-            Arc::clone(slots.entry(key).or_default())
+            loop {
+                match slots.get(&key) {
+                    Some(ArtifactSlot::Ready(result)) => return result.clone(),
+                    Some(ArtifactSlot::InFlight) => {
+                        if control.should_stop_now() {
+                            // This caller's own deadline/token fired while
+                            // another request computes: mine the private
+                            // truncated partial instead of blocking on it.
+                            drop(slots);
+                            return compute();
+                        }
+                        slots = self
+                            .changed
+                            .wait_timeout(slots, WAITER_POLL_INTERVAL)
+                            .expect("session cache poisoned")
+                            .0;
+                    }
+                    None => {
+                        slots.insert(key, ArtifactSlot::InFlight);
+                        break;
+                    }
+                }
+            }
+        }
+
+        let mut guard = InFlightGuard { cache: self, key, armed: true };
+        let result = compute();
+        let cache_it = match &result {
+            // Only complete artifacts are shared; see the type-level docs.
+            Ok(value) => !is_truncated(value),
+            // Errors are deterministic properties of the session inputs
+            // (mining itself never errors — truncation is a flagged result),
+            // so sharing them avoids re-failing per request.
+            Err(_) => true,
         };
-        slot.get_or_init(compute).clone()
+        {
+            let mut slots = self.slots.lock().expect("session cache poisoned");
+            if cache_it {
+                slots.insert(key, ArtifactSlot::Ready(result.clone()));
+            } else {
+                slots.remove(&key);
+            }
+        }
+        guard.armed = false;
+        self.changed.notify_all();
+        result
     }
 
     /// Keys whose computation has completed successfully.
@@ -133,13 +237,18 @@ impl<T> ArtifactCache<T> {
         let slots = self.slots.lock().expect("session cache poisoned");
         slots
             .iter()
-            .filter(|(_, slot)| matches!(slot.get(), Some(Ok(_))))
+            .filter(|(_, slot)| matches!(slot, ArtifactSlot::Ready(Ok(_))))
             .map(|(&key, _)| key)
             .collect()
     }
 
+    /// Drops completed artifacts. `InFlight` slots are kept — each has
+    /// exactly one owning request that will transition it when its
+    /// computation finishes (that invariant is what makes the finish path's
+    /// insert/remove sound).
     fn clear(&self) {
-        self.slots.lock().expect("session cache poisoned").clear();
+        let mut slots = self.slots.lock().expect("session cache poisoned");
+        slots.retain(|_, slot| matches!(slot, ArtifactSlot::InFlight));
     }
 }
 
@@ -349,13 +458,18 @@ impl MaimonSession {
     /// Returns [`MaimonError::InvalidEpsilon`] for a negative or non-finite ε.
     pub fn mvds(&self, epsilon: f64) -> Result<Arc<MvdMiningResult>, MaimonError> {
         self.check_epsilon(epsilon)?;
-        self.inner.mvd_cache.get_or_compute(eps_key(epsilon), || {
-            Ok(Arc::new(mine_mvds_with(
-                &self.inner.oracle,
-                &self.config_at(epsilon),
-                &self.control(),
-            )))
-        })
+        self.inner.mvd_cache.get_or_compute(
+            eps_key(epsilon),
+            &self.control(),
+            |result| result.stats.truncated,
+            || {
+                Ok(Arc::new(mine_mvds_with(
+                    &self.inner.oracle,
+                    &self.config_at(epsilon),
+                    &self.control(),
+                )))
+            },
+        )
     }
 
     /// Stage two: the acyclic schemas supported by `M_ε`, cached per
@@ -365,16 +479,27 @@ impl MaimonSession {
     /// Returns [`MaimonError::InvalidEpsilon`] for a negative or non-finite ε.
     pub fn schemas(&self, epsilon: f64) -> Result<Arc<SchemaMiningResult>, MaimonError> {
         self.check_epsilon(epsilon)?;
-        self.inner.schema_cache.get_or_compute(eps_key(epsilon), || {
-            let mvds = self.mvds(epsilon)?;
-            Ok(Arc::new(mine_schemas_with(
-                &self.inner.oracle,
-                self.inner.relation.schema().all_attrs(),
-                &mvds.mvds,
-                &self.config_at(epsilon),
-                &self.control(),
-            )))
-        })
+        self.inner.schema_cache.get_or_compute(
+            eps_key(epsilon),
+            &self.control(),
+            |result| result.truncated,
+            || {
+                let mvds = self.mvds(epsilon)?;
+                let mut schemas = mine_schemas_with(
+                    &self.inner.oracle,
+                    self.inner.relation.schema().all_attrs(),
+                    &mvds.mvds,
+                    &self.config_at(epsilon),
+                    &self.control(),
+                );
+                // A complete enumeration over a *truncated* MVD support is
+                // still a partial artifact (the missing MVDs would have
+                // yielded more schemas): flag it so it stays out of the
+                // shared cache and `quality` keeps reporting the truncation.
+                schemas.truncated |= mvds.stats.truncated;
+                Ok(Arc::new(schemas))
+            },
+        )
     }
 
     /// Stage three: every discovered schema evaluated against the relation
@@ -386,25 +511,30 @@ impl MaimonSession {
     /// evaluation error (which would indicate a schema-synthesis bug).
     pub fn quality(&self, epsilon: f64) -> Result<Arc<MaimonResult>, MaimonError> {
         self.check_epsilon(epsilon)?;
-        self.inner.result_cache.get_or_compute(eps_key(epsilon), || {
-            let mvds = self.mvds(epsilon)?;
-            let schemas_raw = self.schemas(epsilon)?;
-            let mut schemas = Vec::with_capacity(schemas_raw.schemas.len());
-            for discovered in &schemas_raw.schemas {
-                let quality = evaluate_schema(&self.inner.relation, &discovered.schema)?;
-                schemas.push(RankedSchema { discovered: discovered.clone(), quality });
-            }
-            let points: Vec<(f64, f64)> = schemas
-                .iter()
-                .map(|s| (s.quality.storage_savings_pct, s.quality.spurious_tuples_pct))
-                .collect();
-            Ok(Arc::new(MaimonResult {
-                truncated: mvds.stats.truncated || schemas_raw.truncated,
-                mvds: (*mvds).clone(),
-                pareto: pareto_front(&points),
-                schemas,
-            }))
-        })
+        self.inner.result_cache.get_or_compute(
+            eps_key(epsilon),
+            &self.control(),
+            |result| result.truncated,
+            || {
+                let mvds = self.mvds(epsilon)?;
+                let schemas_raw = self.schemas(epsilon)?;
+                let mut schemas = Vec::with_capacity(schemas_raw.schemas.len());
+                for discovered in &schemas_raw.schemas {
+                    let quality = evaluate_schema(&self.inner.relation, &discovered.schema)?;
+                    schemas.push(RankedSchema { discovered: discovered.clone(), quality });
+                }
+                let points: Vec<(f64, f64)> = schemas
+                    .iter()
+                    .map(|s| (s.quality.storage_savings_pct, s.quality.spurious_tuples_pct))
+                    .collect();
+                Ok(Arc::new(MaimonResult {
+                    truncated: mvds.stats.truncated || schemas_raw.truncated,
+                    mvds: (*mvds).clone(),
+                    pareto: pareto_front(&points),
+                    schemas,
+                }))
+            },
+        )
     }
 
     /// Mines many thresholds over the *same* oracle, amortizing the PLI
@@ -597,6 +727,77 @@ mod tests {
         let result = session.quality(0.1).unwrap();
         assert!(result.truncated);
         assert!(result.mvds.mvds.is_empty());
+        // The partial stayed private: nothing was latched into the cache.
+        assert!(session.cached_epsilons().is_empty());
+    }
+
+    #[test]
+    fn truncated_partials_never_enter_the_shared_cache() {
+        let rel = running_example(true);
+        let session = MaimonSession::new(&rel, MaimonConfig::default()).unwrap();
+        // A request clone with an already-expired deadline gets a truncated
+        // partial…
+        let expired = session.clone().with_deadline(Instant::now());
+        let partial = expired.quality(0.1).unwrap();
+        assert!(partial.truncated);
+        // …which must not poison the shared cache: the next request (no
+        // deadline) computes and caches the complete artifact.
+        assert!(session.cached_epsilons().is_empty(), "partial was cached");
+        let full = session.quality(0.1).unwrap();
+        assert!(!full.truncated);
+        assert!(!full.mvds.mvds.is_empty());
+        assert_eq!(session.cached_epsilons(), vec![0.1]);
+        // Once a complete artifact is cached, even short-deadline clones are
+        // served it — a cache hit costs nothing.
+        let hit = session.clone().with_deadline(Instant::now()).quality(0.1).unwrap();
+        assert!(Arc::ptr_eq(&full, &hit));
+    }
+
+    #[test]
+    fn expired_waiters_mine_their_own_partial_instead_of_blocking() {
+        // An ArtifactCache-level regression for the serve path: a request
+        // whose deadline fires while another request computes the same
+        // threshold must not block for the other request's full run.
+        let cache = ArtifactCache::<u32>::new();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|scope| {
+            let cache = &cache;
+            let owner = scope.spawn(move || {
+                cache.get_or_compute(
+                    0,
+                    &RunControl::NONE,
+                    |_| false,
+                    || {
+                        release_rx.recv().unwrap();
+                        Ok(Arc::new(1))
+                    },
+                )
+            });
+            // Wait until the owner holds the in-flight slot.
+            loop {
+                let slots = cache.slots.lock().unwrap();
+                if matches!(slots.get(&0), Some(ArtifactSlot::InFlight)) {
+                    break;
+                }
+                drop(slots);
+                std::thread::yield_now();
+            }
+            let expired = RunControl::new().with_deadline(Instant::now());
+            let private = cache.get_or_compute(0, &expired, |_| false, || Ok(Arc::new(2))).unwrap();
+            assert_eq!(*private, 2, "the expired waiter computes its own partial");
+            release_tx.send(()).unwrap();
+            assert_eq!(*owner.join().unwrap().unwrap(), 1);
+        });
+        // The owner's complete result was cached for everyone else.
+        let cached = cache
+            .get_or_compute(0, &RunControl::NONE, |_| false, || unreachable!("cached"))
+            .unwrap();
+        assert_eq!(*cached, 1);
+        // Truncated computations vacate their slot instead of caching.
+        let truncated =
+            cache.get_or_compute(7, &RunControl::NONE, |_| true, || Ok(Arc::new(9))).unwrap();
+        assert_eq!(*truncated, 9);
+        assert_eq!(cache.ready_keys(), vec![0]);
     }
 
     /// A relation where decomposing by `A ↠ B | rest` genuinely saves

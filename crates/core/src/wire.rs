@@ -113,9 +113,16 @@ fn u128_field(json: &Json, key: &str) -> Result<u128, MaimonError> {
 }
 
 fn f64_field(json: &Json, key: &str) -> Result<f64, MaimonError> {
-    field(json, key)?
-        .as_f64()
-        .ok_or_else(|| MaimonError::Wire(format!("field {key:?} is not a number")))
+    let value = field(json, key)?;
+    // Compatibility window: earlier FORMAT_VERSION 1 writers encoded
+    // non-finite floats as `null` (today they write the "NaN"/"Infinity"
+    // string forms that `as_f64` decodes). An explicit null in a *required*
+    // float field can only be such a legacy NaN, so keep reading it as one —
+    // absent fields still error through `field` above.
+    if value.is_null() {
+        return Ok(f64::NAN);
+    }
+    value.as_f64().ok_or_else(|| MaimonError::Wire(format!("field {key:?} is not a number")))
 }
 
 fn bool_field(json: &Json, key: &str) -> Result<bool, MaimonError> {
@@ -550,6 +557,24 @@ mod tests {
         };
         let back = SchemaQuality::from_json_str(&quality.to_json_string()).unwrap();
         assert_eq!(back, quality);
+    }
+
+    #[test]
+    fn legacy_null_floats_still_parse_as_nan() {
+        // FORMAT_VERSION 1 writers used to serialize non-finite floats as
+        // `null`; envelopes persisted by them must keep parsing under the
+        // explicit "NaN"/"Infinity" string encoding introduced later.
+        let legacy = r#"{"n_relations":2,"width":2,"intersection_width":1,
+            "storage_savings_pct":null,"spurious_tuples_pct":1.5,
+            "original_cells":8,"decomposed_cells":8,"join_size":4}"#;
+        let quality = SchemaQuality::from_json_str(legacy).unwrap();
+        assert!(quality.storage_savings_pct.is_nan());
+        assert_eq!(quality.spurious_tuples_pct, 1.5);
+        // An absent float field is still an error, not a NaN.
+        let absent = r#"{"n_relations":2,"width":2,"intersection_width":1,
+            "spurious_tuples_pct":1.5,
+            "original_cells":8,"decomposed_cells":8,"join_size":4}"#;
+        assert!(matches!(SchemaQuality::from_json_str(absent), Err(MaimonError::Wire(_))));
     }
 
     #[test]

@@ -128,6 +128,18 @@ fn expired_deadline_yields_truncated_partial_not_error() {
     // The partial is a well-formed result document, not a stub.
     let result = MaimonResult::from_json(response.get("result").unwrap()).unwrap();
     assert!(result.truncated);
+
+    // Regression: the truncated partial stays private to the expired
+    // request. It must not be latched into the dataset's shared session
+    // cache, so a later request at the same threshold with no deadline is
+    // served the complete result, identical to a direct library call.
+    let full = roundtrip(addr, r#"{"op":"mine","dataset":"bridges","epsilon":0.1}"#);
+    assert_ok(&full, "mine");
+    assert_eq!(full.get("truncated").and_then(Json::as_bool), Some(false), "{full}");
+    let served = MaimonResult::from_json(full.get("result").unwrap()).unwrap();
+    let direct_session = MaimonSession::new(bridges(), MaimonConfig::default()).unwrap();
+    let direct = direct_session.quality(0.1).unwrap();
+    assert_same_mining(&served, &direct, "post-truncation epsilon 0.1");
     handle.shutdown();
 }
 
