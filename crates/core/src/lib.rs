@@ -101,7 +101,7 @@ pub use quality::{
     storage_savings_pct, SchemaQuality,
 };
 pub use schema::AcyclicSchema;
-pub use session::{MaimonSession, SweepPoint};
+pub use session::{DeltaRevalidation, DeltaSweepPoint, MaimonSession, SweepPoint};
 
 // Re-export the substrate crates so downstream users (examples, benches,
 // integration tests) only need to depend on `maimon`.

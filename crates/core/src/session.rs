@@ -38,6 +38,16 @@
 //! plumbing. That is what lets a long-lived service register one session per
 //! dataset and serve every request from clones of it.
 //!
+//! Sessions are also *incremental*: [`MaimonSession::append_rows`] installs a
+//! new relation version and a delta-refreshed oracle (see
+//! [`PliEntropyOracle::extend_to`]) without interrupting in-flight requests —
+//! each public call snapshots one `(relation, oracle, version)` state and
+//! works against it end-to-end. Every cached artifact is keyed by the
+//! `data_version` it was mined at, so a stale artifact is never served after
+//! an append; [`MaimonSession::delta_sweep`] additionally reports, per
+//! threshold, whether the previous version's `M_ε` survived the append
+//! (re-validated through the Theorem 5.1 J sandwich).
+//!
 //! ```
 //! use maimon::{MaimonConfig, MaimonSession};
 //! use maimon::relation::{Relation, Schema};
@@ -67,6 +77,7 @@ use crate::config::MaimonConfig;
 use crate::error::MaimonError;
 use crate::fd::{mine_fds, FdMiningResult};
 use crate::maimon::{MaimonResult, RankedSchema};
+use crate::measure::{j_mvd, within_epsilon};
 use crate::miner::{mine_mvds_with, MvdMiningResult};
 use crate::progress::{CancelToken, ProgressSink, RunControl};
 use crate::quality::{evaluate_schema, pareto_front};
@@ -74,9 +85,9 @@ use crate::schema::AcyclicSchema;
 use crate::wire::ToJson;
 use decompose::DecomposedInstance;
 use entropy::{EntropyOracle, OracleStats, PliEntropyOracle};
-use relation::{AttrSet, Relation};
+use relation::{AppendSummary, AttrSet, Relation};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// One threshold of an [`MaimonSession::epsilon_sweep`].
@@ -98,11 +109,76 @@ impl ToJson for SweepPoint {
     }
 }
 
+/// Outcome of re-checking one prior-version MVD set against the appended
+/// relation (Theorem 5.1's J sandwich: an MVD still holds at ε iff its J
+/// measure stays within ε on the *new* empirical distribution).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaRevalidation {
+    /// MVDs mined at this threshold for the previous data version.
+    pub prior_mvds: usize,
+    /// How many of them still satisfy `J ≤ ε` after the append.
+    pub still_holding: usize,
+    /// The largest J observed across the prior MVDs (0.0 when there were
+    /// none) — how close the old model came to breaking.
+    pub max_j: f64,
+}
+
+impl ToJson for DeltaRevalidation {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::object([
+            ("prior_mvds", crate::json::Json::from(self.prior_mvds)),
+            ("still_holding", crate::json::Json::from(self.still_holding)),
+            ("max_j", crate::json::Json::from(self.max_j)),
+        ])
+    }
+}
+
+/// One threshold of a [`MaimonSession::delta_sweep`]: the (exact, current-
+/// version) result plus how the previous version's artifact fared.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaSweepPoint {
+    /// The threshold mined.
+    pub epsilon: f64,
+    /// The full pipeline result at this threshold on the current version —
+    /// bit-identical to mining the appended relation from scratch.
+    pub result: Arc<MaimonResult>,
+    /// The data version the result was mined at.
+    pub data_version: u64,
+    /// The predecessor version compared against, when its artifact for this
+    /// threshold was still cached.
+    pub previous_version: Option<u64>,
+    /// Whether the previous version's `M_ε` is *identical* to the current
+    /// one (`None` when no prior artifact was available to compare).
+    pub survived: Option<bool>,
+    /// Per-MVD re-validation of the prior model on the appended data.
+    pub revalidation: Option<DeltaRevalidation>,
+}
+
+impl ToJson for DeltaSweepPoint {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::object([
+            ("epsilon", Json::from(self.epsilon)),
+            ("data_version", Json::from(self.data_version)),
+            ("previous_version", self.previous_version.map_or(Json::Null, Json::from)),
+            ("survived", self.survived.map_or(Json::Null, Json::from)),
+            ("revalidation", self.revalidation.as_ref().map_or(Json::Null, ToJson::to_json)),
+            ("result", self.result.to_json()),
+        ])
+    }
+}
+
 /// Canonical cache key for a threshold (normalizes `-0.0` to `0.0`; ε is
 /// validated finite and non-negative before keying).
 fn eps_key(epsilon: f64) -> u64 {
     (epsilon + 0.0).to_bits()
 }
+
+/// Artifact caches are keyed by `(data_version, eps_key)`: an artifact mined
+/// before an append can never be served after it, because post-append lookups
+/// carry the bumped version. The version leads so [`ArtifactCache::prune_below`]
+/// can drop whole superseded generations with a range scan.
+type ArtifactKey = (u64, u64);
 
 /// How long a caller waiting on another request's in-flight computation
 /// sleeps between re-checks of its *own* [`RunControl`]. Bounds how late a
@@ -141,7 +217,7 @@ enum ArtifactSlot<T> {
 ///   truncated partial the caller is owed instead of blocking the request
 ///   (and its worker thread and admission permit) on another client's run.
 struct ArtifactCache<T> {
-    slots: Mutex<BTreeMap<u64, ArtifactSlot<T>>>,
+    slots: Mutex<BTreeMap<ArtifactKey, ArtifactSlot<T>>>,
     changed: Condvar,
 }
 
@@ -149,7 +225,7 @@ struct ArtifactCache<T> {
 /// are not parked forever on a computation that no longer exists.
 struct InFlightGuard<'a, T> {
     cache: &'a ArtifactCache<T>,
-    key: u64,
+    key: ArtifactKey,
     armed: bool,
 }
 
@@ -174,7 +250,7 @@ impl<T> ArtifactCache<T> {
 
     fn get_or_compute<F>(
         &self,
-        key: u64,
+        key: ArtifactKey,
         control: &RunControl<'_>,
         is_truncated: impl Fn(&T) -> bool,
         compute: F,
@@ -233,13 +309,36 @@ impl<T> ArtifactCache<T> {
     }
 
     /// Keys whose computation has completed successfully.
-    fn ready_keys(&self) -> Vec<u64> {
+    fn ready_keys(&self) -> Vec<ArtifactKey> {
         let slots = self.slots.lock().expect("session cache poisoned");
         slots
             .iter()
             .filter(|(_, slot)| matches!(slot, ArtifactSlot::Ready(Ok(_))))
             .map(|(&key, _)| key)
             .collect()
+    }
+
+    /// A completed artifact, if one is cached — never waits on an in-flight
+    /// computation and never computes. Used by `delta_sweep` to consult the
+    /// previous version's artifact without resurrecting it.
+    fn peek(&self, key: ArtifactKey) -> Option<Arc<T>> {
+        let slots = self.slots.lock().expect("session cache poisoned");
+        match slots.get(&key) {
+            Some(ArtifactSlot::Ready(Ok(value))) => Some(Arc::clone(value)),
+            _ => None,
+        }
+    }
+
+    /// Drops completed artifacts of superseded data versions (everything
+    /// below `min_version`). `InFlight` slots are kept for the same reason as
+    /// in [`ArtifactCache::clear`]: their owner will transition them, and a
+    /// pre-append request finishing against its snapshot is still entitled to
+    /// publish its (version-stamped, so never misattributed) result.
+    fn prune_below(&self, min_version: u64) {
+        let mut slots = self.slots.lock().expect("session cache poisoned");
+        slots.retain(|&(version, _), slot| {
+            version >= min_version || matches!(slot, ArtifactSlot::InFlight)
+        });
     }
 
     /// Drops completed artifacts. `InFlight` slots are kept — each has
@@ -252,12 +351,30 @@ impl<T> ArtifactCache<T> {
     }
 }
 
-/// Everything a session shares between its cheap-clone handles: the owned
-/// relation, the one entropy oracle, and the per-threshold artifact caches.
-struct SessionInner {
+/// One immutable generation of the session's data: the relation at a given
+/// [`Relation::data_version`] and the oracle built over exactly that version.
+/// Appends install a *new* `Arc<VersionState>`; requests that already
+/// snapshotted the old one keep mining against it unharmed.
+struct VersionState {
     relation: Arc<Relation>,
-    config: MaimonConfig,
     oracle: PliEntropyOracle,
+    /// `relation.data_version()`, hoisted so cache keys and responses don't
+    /// chase the relation pointer.
+    version: u64,
+    /// The version this state was delta-extended from (`None` for the
+    /// session's initial state). Bounds what `delta_sweep` compares against
+    /// and what [`ArtifactCache::prune_below`] keeps.
+    previous_version: Option<u64>,
+}
+
+/// Everything a session shares between its cheap-clone handles: the current
+/// (relation, oracle) generation, and the version-stamped artifact caches.
+struct SessionInner {
+    config: MaimonConfig,
+    state: RwLock<Arc<VersionState>>,
+    /// Serializes appends (writers); readers snapshot `state` and never wait
+    /// on an append's relation-clone + oracle-extension work.
+    append_lock: Mutex<()>,
     construction_stats: OracleStats,
     mvd_cache: ArtifactCache<MvdMiningResult>,
     schema_cache: ArtifactCache<SchemaMiningResult>,
@@ -326,11 +443,13 @@ impl MaimonSession {
         Self::validate_inputs(&relation, &config)?;
         let oracle = PliEntropyOracle::new(Arc::clone(&relation), config.entropy);
         let construction_stats = oracle.stats();
+        let version = relation.data_version();
+        let state = VersionState { relation, oracle, version, previous_version: None };
         Ok(MaimonSession {
             inner: Arc::new(SessionInner {
-                relation,
                 config,
-                oracle,
+                state: RwLock::new(Arc::new(state)),
+                append_lock: Mutex::new(()),
                 construction_stats,
                 mvd_cache: ArtifactCache::new(),
                 schema_cache: ArtifactCache::new(),
@@ -340,6 +459,14 @@ impl MaimonSession {
             progress: None,
             deadline: None,
         })
+    }
+
+    /// Snapshots the current (relation, oracle, version) generation. Every
+    /// public entry point takes exactly one snapshot and threads it through
+    /// all the stages it implies, so a concurrent append can never tear one
+    /// request across two data versions.
+    fn state(&self) -> Arc<VersionState> {
+        Arc::clone(&self.inner.state.read().expect("session state poisoned"))
     }
 
     /// Attaches a cancellation token; every subsequent stage polls it and
@@ -362,15 +489,69 @@ impl MaimonSession {
         self
     }
 
-    /// The relation being profiled.
-    pub fn relation(&self) -> &Relation {
-        &self.inner.relation
+    /// The relation being profiled, at its current data version. Returns a
+    /// shared handle (not a borrow) because appends swap the session's
+    /// relation: the handle stays valid — and internally consistent — however
+    /// many appends land after it was taken.
+    pub fn relation(&self) -> Arc<Relation> {
+        Arc::clone(&self.state().relation)
     }
 
     /// Shared handle to the relation being profiled (the same storage the
-    /// session's oracle reads).
+    /// session's oracle reads). Alias of [`MaimonSession::relation`], kept
+    /// for call sites that predate the versioned session.
     pub fn relation_arc(&self) -> Arc<Relation> {
-        Arc::clone(&self.inner.relation)
+        self.relation()
+    }
+
+    /// The monotone data version of the relation currently being served.
+    /// Bumps by one per non-empty [`MaimonSession::append_rows`] batch.
+    pub fn data_version(&self) -> u64 {
+        self.state().version
+    }
+
+    /// Appends a batch of rows, atomically installing a new data version
+    /// whose oracle is *delta-extended* from the current one (cached
+    /// partitions and entropies are refreshed in place where the fold keys
+    /// still cover the grown dictionaries — see [`PliEntropyOracle::extend_to`]
+    /// — instead of being rebuilt from scratch).
+    ///
+    /// Concurrency: appends serialize against each other; readers are never
+    /// blocked — a request that snapshotted the pre-append state finishes
+    /// against it, and every artifact it caches stays keyed to the old
+    /// version. Artifacts older than the *predecessor* version are pruned
+    /// (the predecessor itself is kept so [`MaimonSession::delta_sweep`] can
+    /// report which thresholds survived).
+    ///
+    /// # Errors
+    /// Returns [`MaimonError::Relation`] if any row's arity mismatches; the
+    /// session state is untouched in that case.
+    pub fn append_rows<S: AsRef<str>>(
+        &self,
+        rows: &[Vec<S>],
+    ) -> Result<AppendSummary, MaimonError> {
+        let _appends = self.inner.append_lock.lock().expect("session append lock poisoned");
+        let state = self.state();
+        if rows.is_empty() {
+            return Ok(AppendSummary { rows_appended: 0, data_version: state.version });
+        }
+        let mut relation = (*state.relation).clone();
+        let summary = relation.append_rows(rows)?;
+        let relation = Arc::new(relation);
+        let oracle = state.oracle.extend_to(Arc::clone(&relation));
+        let next = VersionState {
+            relation,
+            oracle,
+            version: summary.data_version,
+            previous_version: Some(state.version),
+        };
+        *self.inner.state.write().expect("session state poisoned") = Arc::new(next);
+        // Keep the predecessor generation's artifacts for delta comparison;
+        // anything older can never be consulted again.
+        self.inner.mvd_cache.prune_below(state.version);
+        self.inner.schema_cache.prune_below(state.version);
+        self.inner.result_cache.prune_below(state.version);
+        Ok(summary)
     }
 
     /// The session configuration.
@@ -384,7 +565,7 @@ impl MaimonSession {
     /// intersections), which is what `tests/session_equivalence.rs` uses to
     /// prove the PLI cache is built once per sweep, not once per threshold.
     pub fn oracle_stats(&self) -> OracleStats {
-        self.inner.oracle.stats()
+        self.state().oracle.stats()
     }
 
     /// The oracle counters as they were at construction time (the cost of
@@ -393,10 +574,20 @@ impl MaimonSession {
         self.inner.construction_stats
     }
 
-    /// The thresholds with at least one cached artifact, ascending.
+    /// The thresholds with at least one cached artifact *for the current
+    /// data version*, ascending. Pre-append artifacts kept for delta
+    /// comparison are deliberately not reported — they are no longer
+    /// servable.
     pub fn cached_epsilons(&self) -> Vec<f64> {
-        let mut epsilons: Vec<f64> =
-            self.inner.mvd_cache.ready_keys().into_iter().map(f64::from_bits).collect();
+        let version = self.state().version;
+        let mut epsilons: Vec<f64> = self
+            .inner
+            .mvd_cache
+            .ready_keys()
+            .into_iter()
+            .filter(|&(v, _)| v == version)
+            .map(|(_, bits)| f64::from_bits(bits))
+            .collect();
         epsilons.sort_by(|a, b| a.partial_cmp(b).expect("cached thresholds are finite"));
         epsilons
     }
@@ -404,12 +595,12 @@ impl MaimonSession {
     /// Number of composite partitions currently held by the shared oracle's
     /// PLI cache (a serving-metrics counter; see `PliEntropyOracle`).
     pub fn cached_pli_count(&self) -> usize {
-        self.inner.oracle.cached_pli_count()
+        self.state().oracle.cached_pli_count()
     }
 
     /// Number of entropy values currently memoized by the shared oracle.
     pub fn cached_entropy_count(&self) -> usize {
-        self.inner.oracle.cached_entropy_count()
+        self.state().oracle.cached_entropy_count()
     }
 
     /// Drops every cached artifact (the oracle and its entropy cache are
@@ -423,7 +614,7 @@ impl MaimonSession {
     /// Entropy of an attribute set under the relation's empirical
     /// distribution, answered by the shared oracle.
     pub fn entropy(&self, attrs: AttrSet) -> f64 {
-        self.inner.oracle.entropy(attrs)
+        self.state().oracle.entropy(attrs)
     }
 
     fn check_epsilon(&self, epsilon: f64) -> Result<(), MaimonError> {
@@ -457,14 +648,22 @@ impl MaimonSession {
     /// # Errors
     /// Returns [`MaimonError::InvalidEpsilon`] for a negative or non-finite ε.
     pub fn mvds(&self, epsilon: f64) -> Result<Arc<MvdMiningResult>, MaimonError> {
+        self.mvds_at(&self.state(), epsilon)
+    }
+
+    fn mvds_at(
+        &self,
+        state: &Arc<VersionState>,
+        epsilon: f64,
+    ) -> Result<Arc<MvdMiningResult>, MaimonError> {
         self.check_epsilon(epsilon)?;
         self.inner.mvd_cache.get_or_compute(
-            eps_key(epsilon),
+            (state.version, eps_key(epsilon)),
             &self.control(),
             |result| result.stats.truncated,
             || {
                 Ok(Arc::new(mine_mvds_with(
-                    &self.inner.oracle,
+                    &state.oracle,
                     &self.config_at(epsilon),
                     &self.control(),
                 )))
@@ -478,16 +677,24 @@ impl MaimonSession {
     /// # Errors
     /// Returns [`MaimonError::InvalidEpsilon`] for a negative or non-finite ε.
     pub fn schemas(&self, epsilon: f64) -> Result<Arc<SchemaMiningResult>, MaimonError> {
+        self.schemas_at(&self.state(), epsilon)
+    }
+
+    fn schemas_at(
+        &self,
+        state: &Arc<VersionState>,
+        epsilon: f64,
+    ) -> Result<Arc<SchemaMiningResult>, MaimonError> {
         self.check_epsilon(epsilon)?;
         self.inner.schema_cache.get_or_compute(
-            eps_key(epsilon),
+            (state.version, eps_key(epsilon)),
             &self.control(),
             |result| result.truncated,
             || {
-                let mvds = self.mvds(epsilon)?;
+                let mvds = self.mvds_at(state, epsilon)?;
                 let mut schemas = mine_schemas_with(
-                    &self.inner.oracle,
-                    self.inner.relation.schema().all_attrs(),
+                    &state.oracle,
+                    state.relation.schema().all_attrs(),
                     &mvds.mvds,
                     &self.config_at(epsilon),
                     &self.control(),
@@ -510,17 +717,33 @@ impl MaimonSession {
     /// Returns [`MaimonError::InvalidEpsilon`] for an invalid ε, or a quality
     /// evaluation error (which would indicate a schema-synthesis bug).
     pub fn quality(&self, epsilon: f64) -> Result<Arc<MaimonResult>, MaimonError> {
+        self.quality_at(&self.state(), epsilon)
+    }
+
+    /// [`MaimonSession::quality`] plus the data version the result is valid
+    /// for — what a serving layer should echo so clients can correlate
+    /// results with appends.
+    pub fn quality_stamped(&self, epsilon: f64) -> Result<(u64, Arc<MaimonResult>), MaimonError> {
+        let state = self.state();
+        Ok((state.version, self.quality_at(&state, epsilon)?))
+    }
+
+    fn quality_at(
+        &self,
+        state: &Arc<VersionState>,
+        epsilon: f64,
+    ) -> Result<Arc<MaimonResult>, MaimonError> {
         self.check_epsilon(epsilon)?;
         self.inner.result_cache.get_or_compute(
-            eps_key(epsilon),
+            (state.version, eps_key(epsilon)),
             &self.control(),
             |result| result.truncated,
             || {
-                let mvds = self.mvds(epsilon)?;
-                let schemas_raw = self.schemas(epsilon)?;
+                let mvds = self.mvds_at(state, epsilon)?;
+                let schemas_raw = self.schemas_at(state, epsilon)?;
                 let mut schemas = Vec::with_capacity(schemas_raw.schemas.len());
                 for discovered in &schemas_raw.schemas {
-                    let quality = evaluate_schema(&self.inner.relation, &discovered.schema)?;
+                    let quality = evaluate_schema(&state.relation, &discovered.schema)?;
                     schemas.push(RankedSchema { discovered: discovered.clone(), quality });
                 }
                 let points: Vec<(f64, f64)> = schemas
@@ -548,9 +771,75 @@ impl MaimonSession {
     where
         I: IntoIterator<Item = f64>,
     {
+        // One snapshot for the whole sweep: all points are mined against the
+        // same data version even if appends land mid-sweep.
+        let state = self.state();
         thresholds
             .into_iter()
-            .map(|epsilon| Ok(SweepPoint { epsilon, result: self.quality(epsilon)? }))
+            .map(|epsilon| Ok(SweepPoint { epsilon, result: self.quality_at(&state, epsilon)? }))
+            .collect()
+    }
+
+    /// [`MaimonSession::epsilon_sweep`]'s post-append sibling: mines each
+    /// threshold on the current data version (exactly — the results are the
+    /// same bits a from-scratch session would produce) and reports, per
+    /// threshold, whether the *previous* version's model survived the append.
+    ///
+    /// `survived` compares the old and new `M_ε` sets for identity;
+    /// `revalidation` re-checks each prior MVD's J measure against the
+    /// appended relation through the Theorem 5.1 sandwich (an ε-MVD holds iff
+    /// `J ≤ ε` on the empirical distribution), so a caller can see not just
+    /// *whether* the model moved but how close it came to the threshold.
+    /// Both are `None` for thresholds the predecessor version never mined —
+    /// there is nothing to compare — and on a fresh (never-appended) session.
+    ///
+    /// # Errors
+    /// Fails on the first invalid threshold or evaluation error, like
+    /// [`MaimonSession::epsilon_sweep`].
+    pub fn delta_sweep<I>(&self, thresholds: I) -> Result<Vec<DeltaSweepPoint>, MaimonError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let state = self.state();
+        thresholds
+            .into_iter()
+            .map(|epsilon| {
+                let result = self.quality_at(&state, epsilon)?;
+                let prior = state
+                    .previous_version
+                    .and_then(|v| self.inner.result_cache.peek((v, eps_key(epsilon))));
+                let (previous_version, survived, revalidation) = match prior {
+                    Some(prior) => {
+                        let mut still_holding = 0usize;
+                        let mut max_j = 0.0f64;
+                        for mvd in &prior.mvds.mvds {
+                            let j = j_mvd(&state.oracle, mvd);
+                            if within_epsilon(j, epsilon) {
+                                still_holding += 1;
+                            }
+                            max_j = max_j.max(j);
+                        }
+                        (
+                            state.previous_version,
+                            Some(prior.mvds.mvds == result.mvds.mvds),
+                            Some(DeltaRevalidation {
+                                prior_mvds: prior.mvds.mvds.len(),
+                                still_holding,
+                                max_j,
+                            }),
+                        )
+                    }
+                    None => (None, None, None),
+                };
+                Ok(DeltaSweepPoint {
+                    epsilon,
+                    result,
+                    data_version: state.version,
+                    previous_version,
+                    survived,
+                    revalidation,
+                })
+            })
             .collect()
     }
 
@@ -565,7 +854,7 @@ impl MaimonSession {
         &self,
         schema: &AcyclicSchema,
     ) -> Result<DecomposedInstance, MaimonError> {
-        schema.decompose(&self.inner.relation)
+        schema.decompose(&self.state().relation)
     }
 
     /// Stage four, driven by the pipeline: mines at `epsilon`, picks the
@@ -581,7 +870,18 @@ impl MaimonSession {
         &self,
         epsilon: f64,
     ) -> Result<(AcyclicSchema, DecomposedInstance), MaimonError> {
-        let result = self.quality(epsilon)?;
+        let (_, schema, instance) = self.decompose_best_stamped(epsilon)?;
+        Ok((schema, instance))
+    }
+
+    /// [`MaimonSession::decompose_best`] plus the data version it was mined
+    /// and materialized against (one snapshot covers both).
+    pub fn decompose_best_stamped(
+        &self,
+        epsilon: f64,
+    ) -> Result<(u64, AcyclicSchema, DecomposedInstance), MaimonError> {
+        let state = self.state();
+        let result = self.quality_at(&state, epsilon)?;
         let schema = result
             .schemas
             .iter()
@@ -593,15 +893,15 @@ impl MaimonSession {
                     .expect("savings are finite")
             })
             .map(|ranked| ranked.discovered.schema.clone())
-            .map_or_else(|| AcyclicSchema::trivial(self.inner.relation.schema().all_attrs()), Ok)?;
-        let instance = self.decompose_schema(&schema)?;
-        Ok((schema, instance))
+            .map_or_else(|| AcyclicSchema::trivial(state.relation.schema().all_attrs()), Ok)?;
+        let instance = schema.decompose(&state.relation)?;
+        Ok((state.version, schema, instance))
     }
 
     /// Mines approximate functional dependencies with the shared oracle at
     /// the session's default ε (extension; see [`crate::mine_fds`]).
     pub fn mine_fds(&self, max_lhs_size: usize) -> FdMiningResult {
-        mine_fds(&self.inner.oracle, self.inner.config.epsilon, max_lhs_size)
+        mine_fds(&self.state().oracle, self.inner.config.epsilon, max_lhs_size)
     }
 }
 
@@ -764,7 +1064,7 @@ mod tests {
             let cache = &cache;
             let owner = scope.spawn(move || {
                 cache.get_or_compute(
-                    0,
+                    (0, 0),
                     &RunControl::NONE,
                     |_| false,
                     || {
@@ -776,28 +1076,49 @@ mod tests {
             // Wait until the owner holds the in-flight slot.
             loop {
                 let slots = cache.slots.lock().unwrap();
-                if matches!(slots.get(&0), Some(ArtifactSlot::InFlight)) {
+                if matches!(slots.get(&(0, 0)), Some(ArtifactSlot::InFlight)) {
                     break;
                 }
                 drop(slots);
                 std::thread::yield_now();
             }
             let expired = RunControl::new().with_deadline(Instant::now());
-            let private = cache.get_or_compute(0, &expired, |_| false, || Ok(Arc::new(2))).unwrap();
+            let private =
+                cache.get_or_compute((0, 0), &expired, |_| false, || Ok(Arc::new(2))).unwrap();
             assert_eq!(*private, 2, "the expired waiter computes its own partial");
             release_tx.send(()).unwrap();
             assert_eq!(*owner.join().unwrap().unwrap(), 1);
         });
         // The owner's complete result was cached for everyone else.
         let cached = cache
-            .get_or_compute(0, &RunControl::NONE, |_| false, || unreachable!("cached"))
+            .get_or_compute((0, 0), &RunControl::NONE, |_| false, || unreachable!("cached"))
             .unwrap();
         assert_eq!(*cached, 1);
         // Truncated computations vacate their slot instead of caching.
         let truncated =
-            cache.get_or_compute(7, &RunControl::NONE, |_| true, || Ok(Arc::new(9))).unwrap();
+            cache.get_or_compute((0, 7), &RunControl::NONE, |_| true, || Ok(Arc::new(9))).unwrap();
         assert_eq!(*truncated, 9);
-        assert_eq!(cache.ready_keys(), vec![0]);
+        assert_eq!(cache.ready_keys(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn artifact_cache_peek_and_prune_respect_versions() {
+        let cache = ArtifactCache::<u32>::new();
+        for version in 0..4u64 {
+            cache
+                .get_or_compute(
+                    (version, 0),
+                    &RunControl::NONE,
+                    |_| false,
+                    || Ok(Arc::new(version as u32)),
+                )
+                .unwrap();
+        }
+        assert_eq!(cache.peek((2, 0)).as_deref(), Some(&2));
+        assert_eq!(cache.peek((2, 1)), None, "peek never computes");
+        cache.prune_below(2);
+        assert_eq!(cache.ready_keys(), vec![(2, 0), (3, 0)]);
+        assert_eq!(cache.peek((1, 0)), None, "superseded generations are gone");
     }
 
     /// A relation where decomposing by `A ↠ B | rest` genuinely saves
@@ -845,6 +1166,93 @@ mod tests {
         let (schema, instance) = session.decompose_best(0.2).unwrap();
         assert_eq!(schema.n_relations(), 1);
         assert_eq!(instance.total_cells(), instance.original_cells());
+    }
+
+    #[test]
+    fn appends_stamp_versions_and_match_from_scratch_mining() {
+        // Base: Fig. 1 without the red tuple. Appending the red tuple must
+        // reproduce — bit for bit — what a fresh session over the full
+        // relation mines, at every threshold, via the delta-extended oracle.
+        let session = MaimonSession::new(running_example(false), MaimonConfig::default()).unwrap();
+        let v0 = session.data_version();
+        let before = session.quality(0.2).unwrap();
+        assert_eq!(session.cached_epsilons(), vec![0.2]);
+
+        let summary = session.append_rows(&[vec!["a1", "b2", "c1", "d2", "e2", "f1"]]).unwrap();
+        assert_eq!(summary.rows_appended, 1);
+        assert_eq!(summary.data_version, v0 + 1);
+        assert_eq!(session.data_version(), v0 + 1);
+        assert_eq!(session.relation().n_rows(), 5);
+        // The pre-append artifact is stale: not servable, not listed.
+        assert!(session.cached_epsilons().is_empty());
+
+        let fresh = MaimonSession::new(running_example(true), MaimonConfig::default()).unwrap();
+        for eps in [0.0, 0.1, 0.2] {
+            let appended = session.quality(eps).unwrap();
+            let scratch = fresh.quality(eps).unwrap();
+            // Mined artifacts must agree bit for bit; the mining *stats*
+            // legitimately differ (the delta path answers from carried
+            // caches), so compare the model, not the counters.
+            assert_eq!(appended.mvds.mvds, scratch.mvds.mvds, "ε = {eps}");
+            assert_eq!(appended.mvds.separators, scratch.mvds.separators, "ε = {eps}");
+            assert_eq!(appended.schemas, scratch.schemas, "ε = {eps}");
+            assert_eq!(appended.pareto, scratch.pareto, "ε = {eps}");
+        }
+        assert!(!Arc::ptr_eq(&before, &session.quality(0.2).unwrap()));
+        // The refresh went through the delta path, not a rebuild.
+        let stats = session.oracle_stats();
+        assert!(stats.delta_refreshes > 0);
+        assert_eq!(stats.full_rebuilds, 0);
+
+        // Error atomicity: a bad batch leaves the session untouched.
+        assert!(session.append_rows(&[vec!["too", "short"]]).is_err());
+        assert_eq!(session.data_version(), v0 + 1);
+        // Empty batches are version-preserving no-ops.
+        let noop = session.append_rows::<&str>(&[]).unwrap();
+        assert_eq!(noop, AppendSummary { rows_appended: 0, data_version: v0 + 1 });
+    }
+
+    #[test]
+    fn delta_sweep_reports_survival_against_the_previous_version() {
+        let session = MaimonSession::new(running_example(false), MaimonConfig::default()).unwrap();
+        // Mine two thresholds pre-append; leave 0.3 unmined so its delta
+        // point has nothing to compare against.
+        session.epsilon_sweep([0.0, 0.2]).unwrap();
+        let prior = session.quality(0.2).unwrap();
+        let v0 = session.data_version();
+        session.append_rows(&[vec!["a1", "b2", "c1", "d2", "e2", "f1"]]).unwrap();
+
+        let sweep = session.delta_sweep([0.0, 0.2, 0.3]).unwrap();
+        assert_eq!(sweep.len(), 3);
+        for point in &sweep[..2] {
+            assert_eq!(point.data_version, v0 + 1);
+            assert_eq!(point.previous_version, Some(v0));
+            let reval = point.revalidation.as_ref().expect("prior artifact was cached");
+            assert!(reval.still_holding <= reval.prior_mvds);
+            assert!(reval.max_j >= 0.0);
+            // `survived` must agree with an actual artifact comparison.
+            if point.epsilon == 0.2 {
+                assert_eq!(point.survived, Some(prior.mvds.mvds == point.result.mvds.mvds));
+            } else {
+                assert!(point.survived.is_some());
+            }
+            // Identical M_ε means every prior MVD still holds.
+            if point.survived == Some(true) {
+                assert_eq!(reval.still_holding, reval.prior_mvds);
+            }
+        }
+        let unmined = &sweep[2];
+        assert_eq!(unmined.previous_version, None);
+        assert_eq!(unmined.survived, None);
+        assert!(unmined.revalidation.is_none());
+        // And the sweep's results are exactly the current-version artifacts.
+        assert!(Arc::ptr_eq(&sweep[1].result, &session.quality(0.2).unwrap()));
+
+        // A fresh session has no predecessor at all.
+        let fresh = MaimonSession::new(running_example(true), MaimonConfig::default()).unwrap();
+        let first = fresh.delta_sweep([0.1]).unwrap();
+        assert_eq!(first[0].previous_version, None);
+        assert_eq!(first[0].survived, None);
     }
 
     #[test]

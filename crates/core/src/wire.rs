@@ -198,6 +198,8 @@ impl ToJson for OracleStats {
             ("intersections", Json::from(self.intersections)),
             ("count_only_intersections", Json::from(self.count_only_intersections)),
             ("full_scans", Json::from(self.full_scans)),
+            ("delta_refreshes", Json::from(self.delta_refreshes)),
+            ("full_rebuilds", Json::from(self.full_rebuilds)),
         ])
     }
 }
@@ -216,6 +218,16 @@ impl FromJson for OracleStats {
                 None => 0,
             },
             full_scans: u64_field(json, "full_scans")?,
+            // Additive fields (incremental-mining PR): absent in payloads
+            // written before appends existed; default to 0 like the above.
+            delta_refreshes: match json.get("delta_refreshes") {
+                Some(_) => u64_field(json, "delta_refreshes")?,
+                None => 0,
+            },
+            full_rebuilds: match json.get("full_rebuilds") {
+                Some(_) => u64_field(json, "full_rebuilds")?,
+                None => 0,
+            },
         })
     }
 }
@@ -532,15 +544,25 @@ mod tests {
             intersections: 3,
             count_only_intersections: 2,
             full_scans: 1,
+            delta_refreshes: 4,
+            full_rebuilds: 1,
         };
         assert_eq!(OracleStats::from_json_str(&stats.to_json_string()).unwrap(), stats);
-        // Pre-count-only documents (no `count_only_intersections` key) still
-        // parse; the counter defaults to zero.
+        // Pre-count-only documents (no `count_only_intersections` key, no
+        // delta counters) still parse; the counters default to zero.
         let legacy = OracleStats::from_json_str(
             r#"{"calls":10,"cache_hits":7,"intersections":3,"full_scans":1}"#,
         )
         .unwrap();
-        assert_eq!(legacy, OracleStats { count_only_intersections: 0, ..stats });
+        assert_eq!(
+            legacy,
+            OracleStats {
+                count_only_intersections: 0,
+                delta_refreshes: 0,
+                full_rebuilds: 0,
+                ..stats
+            }
+        );
     }
 
     #[test]

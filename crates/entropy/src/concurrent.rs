@@ -128,6 +128,18 @@ impl<V: Clone> ShardedCache<V> {
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
     }
+
+    /// Snapshots every cached entry (shard by shard, so the result is not an
+    /// atomic view across shards — fine for the delta-refresh path, which
+    /// only runs while the successor oracle is being built single-threaded).
+    pub fn entries(&self) -> Vec<(AttrSet, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            out.extend(shard.iter().map(|(&k, v)| (k, v.clone())));
+        }
+        out
+    }
 }
 
 /// Lock-free counters backing [`OracleStats`] for shared (`&self`) oracles.
@@ -149,9 +161,27 @@ pub struct AtomicOracleStats {
     intersections: AtomicU64,
     count_only: AtomicU64,
     full_scans: AtomicU64,
+    delta_refreshes: AtomicU64,
+    full_rebuilds: AtomicU64,
 }
 
 impl AtomicOracleStats {
+    /// Creates counters pre-loaded from a snapshot, so a successor oracle
+    /// (built by the append/delta path) reports *cumulative* work across its
+    /// lineage. Hits are derived (`calls − trivial − misses`), so the seed
+    /// folds the snapshot's trivial calls into `calls`/`misses` in a way
+    /// that preserves the derived hit count.
+    pub fn seeded(stats: OracleStats) -> Self {
+        let seeded = AtomicOracleStats::default();
+        seeded.calls.store(stats.calls, Ordering::Relaxed);
+        seeded.misses.store(stats.calls.saturating_sub(stats.cache_hits), Ordering::Relaxed);
+        seeded.intersections.store(stats.intersections, Ordering::Relaxed);
+        seeded.count_only.store(stats.count_only_intersections, Ordering::Relaxed);
+        seeded.full_scans.store(stats.full_scans, Ordering::Relaxed);
+        seeded.delta_refreshes.store(stats.delta_refreshes, Ordering::Relaxed);
+        seeded.full_rebuilds.store(stats.full_rebuilds, Ordering::Relaxed);
+        seeded
+    }
     /// Counts one `entropy()` call.
     #[inline]
     pub fn record_call(&self) {
@@ -193,6 +223,19 @@ impl AtomicOracleStats {
         self.full_scans.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one cached partition carried across an append by the delta
+    /// path (`Pli::extended`).
+    #[inline]
+    pub fn record_delta_refresh(&self) {
+        self.delta_refreshes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one cached partition an append forced through a full rebuild.
+    #[inline]
+    pub fn record_full_rebuild(&self) {
+        self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters. Exact once the workers touching
     /// the oracle have been joined; a snapshot taken *while* other threads
     /// are mid-call may catch a call before its miss was recorded.
@@ -206,6 +249,8 @@ impl AtomicOracleStats {
             intersections: self.intersections.load(Ordering::Relaxed),
             count_only_intersections: self.count_only.load(Ordering::Relaxed),
             full_scans: self.full_scans.load(Ordering::Relaxed),
+            delta_refreshes: self.delta_refreshes.load(Ordering::Relaxed),
+            full_rebuilds: self.full_rebuilds.load(Ordering::Relaxed),
         }
     }
 }

@@ -43,6 +43,12 @@ pub struct OracleStats {
     pub count_only_intersections: u64,
     /// Full group-by scans over the relation (naive oracle, or PLI fallback).
     pub full_scans: u64,
+    /// Cached partitions carried across an append by the delta path
+    /// (`Pli::extended`) instead of being regrouped from scratch.
+    pub delta_refreshes: u64,
+    /// Cached partitions that an append forced back through a full rebuild
+    /// (`u64` fold overflow on the grown relation).
+    pub full_rebuilds: u64,
 }
 
 /// Oracle for the empirical entropy `H(X)` (in bits) of attribute sets of a

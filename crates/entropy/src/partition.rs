@@ -163,6 +163,156 @@ impl Pli {
         Pli { rows, offsets, n_rows: n }
     }
 
+    /// Delta-maintains this partition across an append: given that `new` is
+    /// `old` plus a batch of appended rows (and `self` is the partition of
+    /// `attrs` over `old`), builds the partition of `attrs` over `new`
+    /// without regrouping the old rows. Batch rows are scattered into the
+    /// existing CSR clusters they extend, promote old singletons into fresh
+    /// clusters when they match one, or open batch-only clusters.
+    ///
+    /// Returns `None` when the cardinality product of `attrs` on `new`
+    /// overflows the `u64` fold ([`Relation::key_fold`]) — the only case
+    /// where the delta path cannot key rows exactly; callers then rebuild
+    /// from scratch with [`Pli::from_attrs`]. The result is **bit-identical**
+    /// to `Pli::from_attrs(new, attrs)`: appends never renumber existing
+    /// dictionary codes, so the new fold is exact on old rows too, and the
+    /// merge below emits clusters in the same canonical ascending-first-row
+    /// order with ascending interiors.
+    ///
+    /// # Panics
+    /// Panics if `self` is not a partition over `old` (row-count mismatch)
+    /// or `new` has fewer rows than `old`.
+    pub fn extended(&self, old: &Relation, new: &Relation, attrs: AttrSet) -> Option<Pli> {
+        let old_n = old.n_rows();
+        let new_n = new.n_rows();
+        assert_eq!(self.n_rows, old_n, "partition must belong to the pre-append relation");
+        assert!(new_n >= old_n, "extended() only handles appends");
+        if new_n == old_n {
+            return Some(self.clone());
+        }
+        let fold = new.key_fold(attrs)?;
+        // Key every existing cluster by its first row under the *new* fold;
+        // distinct clusters disagree on some attribute, so keys are unique.
+        let mut by_key: FoldKeyMap<u32> =
+            FoldKeyMap::with_capacity_and_hasher(self.cluster_count(), Default::default());
+        for (ci, cluster) in self.clusters().enumerate() {
+            by_key.insert(new.fold_key(cluster[0] as usize, &fold), ci as u32);
+        }
+        // Group the batch rows by key, remembering which existing cluster
+        // (if any) each group extends.
+        struct BatchGroup {
+            /// Existing cluster this key extends, if any.
+            cluster: Option<u32>,
+            /// Batch rows with this key, ascending.
+            rows: Vec<u32>,
+            /// Uncovered old row promoted into this group, if one matches.
+            old_singleton: Option<u32>,
+            /// Whether an old singleton could match: every code pre-exists.
+            maybe_old: bool,
+        }
+        let mut index: FoldKeyMap<u32> =
+            FoldKeyMap::with_capacity_and_hasher(new_n - old_n, Default::default());
+        let mut groups: Vec<BatchGroup> = Vec::new();
+        let mut scan_singletons = false;
+        for r in old_n..new_n {
+            let key = new.fold_key(r, &fold);
+            let gi = match index.get(&key) {
+                Some(&gi) => gi,
+                None => {
+                    let cluster = by_key.get(&key).copied();
+                    // A batch row carrying a brand-new dictionary code on any
+                    // attribute cannot equal any old row, so only groups whose
+                    // codes all pre-date the append can absorb an old singleton.
+                    let maybe_old = cluster.is_none()
+                        && attrs
+                            .iter()
+                            .all(|c| (new.code(r, c) as usize) < old.column_cardinality(c));
+                    scan_singletons |= maybe_old;
+                    let gi = groups.len() as u32;
+                    groups.push(BatchGroup {
+                        cluster,
+                        rows: Vec::new(),
+                        old_singleton: None,
+                        maybe_old,
+                    });
+                    index.insert(key, gi);
+                    gi
+                }
+            };
+            groups[gi as usize].rows.push(r as u32);
+        }
+        if scan_singletons {
+            // Old rows absent from the arena are singletons in `self`. At most
+            // one of them can share a key with a batch group (two uncovered
+            // rows sharing a key would have formed a cluster already), and an
+            // uncovered row can never key into an existing cluster.
+            let mut covered = vec![false; old_n];
+            for &row in &self.rows {
+                covered[row as usize] = true;
+            }
+            for r in 0..old_n {
+                if covered[r] {
+                    continue;
+                }
+                if let Some(&gi) = index.get(&new.fold_key(r, &fold)) {
+                    let g = &mut groups[gi as usize];
+                    if g.maybe_old {
+                        g.old_singleton = Some(r as u32);
+                    }
+                }
+            }
+        }
+        // Split the groups into per-existing-cluster extensions and fresh
+        // clusters (old-singleton promotions and batch-only groups of ≥ 2).
+        let mut appended: Vec<Vec<u32>> = vec![Vec::new(); self.cluster_count()];
+        let mut fresh: Vec<(u32, Vec<u32>)> = Vec::new();
+        let mut total = self.rows.len();
+        for g in groups {
+            match g.cluster {
+                Some(ci) => {
+                    total += g.rows.len();
+                    appended[ci as usize] = g.rows;
+                }
+                None => {
+                    let size = g.rows.len() + usize::from(g.old_singleton.is_some());
+                    if size >= 2 {
+                        total += size;
+                        let mut rows = Vec::with_capacity(size);
+                        // The promoted singleton (an old row id) precedes every
+                        // batch row, keeping the interior ascending.
+                        rows.extend(g.old_singleton);
+                        rows.extend(g.rows);
+                        fresh.push((rows[0], rows));
+                    }
+                }
+            }
+        }
+        fresh.sort_unstable_by_key(|&(first, _)| first);
+        // Canonical merge: existing clusters keep their order (their first
+        // rows are unchanged — batch ids only ever land at the end), fresh
+        // clusters slot in by first row.
+        let mut rows = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(1 + self.cluster_count() + fresh.len());
+        offsets.push(0u32);
+        let mut fi = 0;
+        for ci in 0..self.cluster_count() {
+            let cluster = self.cluster(ci);
+            while fi < fresh.len() && fresh[fi].0 < cluster[0] {
+                rows.extend_from_slice(&fresh[fi].1);
+                offsets.push(rows.len() as u32);
+                fi += 1;
+            }
+            rows.extend_from_slice(cluster);
+            rows.extend_from_slice(&appended[ci]);
+            offsets.push(rows.len() as u32);
+        }
+        for (_, fresh_rows) in &fresh[fi..] {
+            rows.extend_from_slice(fresh_rows);
+            offsets.push(rows.len() as u32);
+        }
+        Some(Pli { rows, offsets, n_rows: new_n })
+    }
+
     /// The trivial partition of the empty attribute set: one cluster holding
     /// every row (or none if the relation is smaller than two rows).
     pub fn trivial(n_rows: usize) -> Pli {
@@ -694,6 +844,57 @@ mod tests {
         let rel = sample();
         let a = Pli::from_column(&rel, 0);
         assert_eq!(a.size(), 4);
+    }
+
+    #[test]
+    fn extended_matches_from_scratch_on_every_attr_subset() {
+        // The batch exercises every delta case at once: rows extending an
+        // existing cluster ("a2"/"a3"), an old singleton promoted into a new
+        // cluster (row t0's "a1"/"b2"/"c3" values recur), brand-new values
+        // opening batch-only clusters ("a9"), and batch-only duplicates.
+        let old = sample();
+        let batch: Vec<Vec<&str>> = vec![
+            vec!["a2", "b2", "c2"],
+            vec!["a1", "b2", "c3"],
+            vec!["a9", "b9", "c9"],
+            vec!["a9", "b9", "c9"],
+            vec!["a3", "b1", "c4"],
+        ];
+        let mut new = old.clone();
+        new.append_rows(&batch).unwrap();
+        for bits in 1u32..8 {
+            let attrs: AttrSet = (0..3usize).filter(|c| bits & (1 << c) != 0).collect();
+            let before = Pli::from_attrs(&old, attrs);
+            let delta = before.extended(&old, &new, attrs).expect("tiny cardinalities fold");
+            let scratch_build = Pli::from_attrs(&new, attrs);
+            assert_eq!(delta, scratch_build, "attrs {attrs:?}");
+            assert_eq!(delta.entropy().to_bits(), scratch_build.entropy().to_bits());
+        }
+    }
+
+    #[test]
+    fn extended_empty_batch_is_identity() {
+        let rel = sample();
+        let p = Pli::from_column(&rel, 0);
+        let same = p.extended(&rel, &rel, AttrSet::singleton(0)).unwrap();
+        assert_eq!(same, p);
+    }
+
+    #[test]
+    fn extended_none_on_fold_overflow() {
+        // 12 columns of cardinality 64 overflow the u64 fold (see the
+        // fallback test above); the delta path must decline, not mis-key.
+        let cols = 12usize;
+        let schema = Schema::with_arity(cols).unwrap();
+        let columns: Vec<Vec<u32>> = (0..cols)
+            .map(|c| (0..128u32).map(|r| (r * 7 + c as u32 * 13) % 64).collect())
+            .collect();
+        let rel = Relation::from_code_columns(schema, columns).unwrap();
+        let full = AttrSet::full(cols);
+        let p = Pli::from_attrs(&rel, full);
+        let mut grown = rel.clone();
+        grown.append_rows(&[rel.row(0)]).unwrap();
+        assert!(p.extended(&rel, &grown, full).is_none());
     }
 
     #[test]

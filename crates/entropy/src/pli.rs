@@ -136,6 +136,74 @@ impl PliEntropyOracle {
         Self::new(rel, EntropyConfig::default())
     }
 
+    /// Builds the successor oracle after an append. `new_rel` must be this
+    /// oracle's relation plus a batch of appended rows (same schema, same
+    /// row prefix — the contract [`Relation::append_rows`] guarantees).
+    ///
+    /// Every cached partition — the single-attribute partitions and every
+    /// composite in the partition cache — is carried across the append by
+    /// the delta path ([`Pli::extended`], counted as a `delta_refresh`),
+    /// falling back to a from-scratch regroup only when the grown relation's
+    /// cardinality product overflows the `u64` fold (`full_rebuild`). Cached
+    /// *entropies* are re-derived from the refreshed partitions, never
+    /// copied: an entropy memoized for the old relation is stale for the new
+    /// one, so only attribute sets whose partitions are held come across —
+    /// everything else recomputes lazily on first request, exactly as a
+    /// fresh oracle would.
+    ///
+    /// Work counters are seeded from this oracle's
+    /// ([`AtomicOracleStats::seeded`]), so `stats()` stays cumulative across
+    /// the lineage — which is what makes the `delta_refreshes` /
+    /// `full_rebuilds` split observable over a session's lifetime.
+    ///
+    /// # Panics
+    /// Panics if `new_rel` has a different arity or fewer rows.
+    pub fn extend_to(&self, new_rel: impl Into<Arc<Relation>>) -> PliEntropyOracle {
+        let new_rel = new_rel.into();
+        assert_eq!(new_rel.arity(), self.rel.arity(), "append cannot change the schema");
+        assert!(new_rel.n_rows() >= self.rel.n_rows(), "extend_to() only handles appends");
+        let stats = AtomicOracleStats::seeded(self.stats.snapshot());
+        let singles: Vec<Arc<Pli>> = (0..new_rel.arity())
+            .map(|a| match self.singles[a].extended(&self.rel, &new_rel, AttrSet::singleton(a)) {
+                Some(p) => {
+                    stats.record_delta_refresh();
+                    Arc::new(p)
+                }
+                None => {
+                    stats.record_full_rebuild();
+                    Arc::new(Pli::from_column(&new_rel, a))
+                }
+            })
+            .collect();
+        let pli_cache = ShardedCache::new();
+        let pli_count = AtomicUsize::new(0);
+        let entropy_cache = ShardedCache::new();
+        for (attrs, pli) in self.pli_cache.entries() {
+            let refreshed = match pli.extended(&self.rel, &new_rel, attrs) {
+                Some(p) => {
+                    stats.record_delta_refresh();
+                    Arc::new(p)
+                }
+                None => {
+                    stats.record_full_rebuild();
+                    Arc::new(Pli::from_attrs(&new_rel, attrs))
+                }
+            };
+            entropy_cache.insert(attrs, refreshed.entropy());
+            pli_cache.insert_bounded(attrs, refreshed, &pli_count, self.config.max_cached_plis);
+        }
+        PliEntropyOracle {
+            rel: new_rel,
+            singles,
+            pli_cache,
+            pli_count,
+            entropy_cache,
+            scratches: Mutex::new(Vec::new()),
+            config: self.config,
+            stats,
+        }
+    }
+
     /// The underlying relation.
     pub fn relation(&self) -> &Relation {
         &self.rel
@@ -524,6 +592,66 @@ mod tests {
         assert_eq!(cached.stats().intersections, 6);
         assert_eq!(cached.stats().count_only_intersections, 1);
         assert_eq!(cached.cached_pli_count(), 5);
+    }
+
+    #[test]
+    fn extend_to_matches_fresh_oracle_bit_for_bit() {
+        let base = random_uniform_relation(240, &[4, 3, 5, 2, 6, 3], 17).unwrap();
+        let batch: Vec<Vec<String>> = (0..12)
+            .map(|r| (0..base.arity()).map(|c| base.value(r * 3, c).to_string()).collect())
+            .collect();
+        let mut grown = base.clone();
+        grown.append_rows(&batch).unwrap();
+
+        let oracle = PliEntropyOracle::with_defaults(&base);
+        // Warm the caches with a mining-shaped workload before the append.
+        for attrs in AttrSet::full(6).subsets().filter(|s| s.len() >= 2 && s.len() <= 4) {
+            oracle.entropy(attrs);
+        }
+        let successor = oracle.extend_to(&grown);
+        let fresh = PliEntropyOracle::with_defaults(&grown);
+        for attrs in AttrSet::full(6).subsets() {
+            assert_eq!(
+                successor.entropy(attrs).to_bits(),
+                fresh.entropy(attrs).to_bits(),
+                "H({attrs:?}) must be bit-identical across the delta refresh"
+            );
+        }
+        let stats = successor.stats();
+        // 6 singles + every cached composite came across on the delta path;
+        // nothing on this small relation overflows the fold.
+        assert_eq!(stats.delta_refreshes, 6 + oracle.cached_pli_count() as u64, "got {stats:?}");
+        assert!(oracle.cached_pli_count() >= 26, "precompute should have filled the cache");
+        assert_eq!(stats.full_rebuilds, 0);
+        // Counters are cumulative across the lineage.
+        assert!(stats.calls >= oracle.stats().calls);
+        assert_eq!(oracle.stats().delta_refreshes, 0);
+    }
+
+    #[test]
+    fn extend_to_falls_back_to_full_rebuild_on_fold_overflow() {
+        // 12 columns of cardinality 64: every composite of all 12 columns
+        // overflows the u64 fold, but singles always fold, so the successor
+        // splits its refresh counters.
+        let cols = 12usize;
+        let schema = Schema::with_arity(cols).unwrap();
+        let columns: Vec<Vec<u32>> = (0..cols)
+            .map(|c| (0..128u32).map(|r| (r * 7 + c as u32 * 13) % 64).collect())
+            .collect();
+        let rel = Relation::from_code_columns(schema, columns).unwrap();
+        let full = AttrSet::full(cols);
+        let oracle =
+            PliEntropyOracle::new(&rel, EntropyConfig { block_size: None, max_cached_plis: 100 });
+        oracle.entropy(full); // caches composite prefixes, incl. unfoldable ones
+        let mut grown = rel.clone();
+        grown.append_rows(&[rel.row(0)]).unwrap();
+        let successor = oracle.extend_to(&grown);
+        let stats = successor.stats();
+        assert_eq!(stats.delta_refreshes + stats.full_rebuilds, 12 + 10);
+        assert!(stats.full_rebuilds >= 1, "the widest prefixes cannot fold: {stats:?}");
+        let fresh =
+            PliEntropyOracle::new(&grown, EntropyConfig { block_size: None, max_cached_plis: 100 });
+        assert_eq!(successor.entropy(full).to_bits(), fresh.entropy(full).to_bits());
     }
 
     #[test]

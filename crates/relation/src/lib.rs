@@ -39,5 +39,5 @@ pub use generator::{
     cartesian_product_relation, random_fd_chain_relation, random_uniform_relation,
 };
 pub use join::{natural_join, natural_join_all};
-pub use relation::{FoldKeyHasher, FoldKeyMap, KeyFold, Relation, RelationBuilder};
+pub use relation::{AppendSummary, FoldKeyHasher, FoldKeyMap, KeyFold, Relation, RelationBuilder};
 pub use schema::Schema;

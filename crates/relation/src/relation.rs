@@ -17,6 +17,9 @@ use std::fmt;
 pub(crate) struct Column {
     /// Distinct values; `codes[r]` indexes into this.
     pub(crate) dict: Vec<String>,
+    /// Hash index over `dict` (value → code), kept in sync with `dict` so
+    /// appends intern in O(1) amortized instead of scanning the dictionary.
+    pub(crate) index: HashMap<String, u32>,
     /// Per-row dictionary codes.
     pub(crate) codes: Vec<u32>,
 }
@@ -24,6 +27,27 @@ pub(crate) struct Column {
 impl Column {
     fn distinct_count(&self) -> usize {
         self.dict.len()
+    }
+
+    /// Builds a column from a dictionary of distinct values and its codes,
+    /// deriving the hash index.
+    fn with_dict(dict: Vec<String>, codes: Vec<u32>) -> Self {
+        let index = dict.iter().enumerate().map(|(i, v)| (v.clone(), i as u32)).collect();
+        Column { dict, index, codes }
+    }
+
+    /// Returns the code for `value`, extending the dictionary (and its hash
+    /// index) if the value is unseen.
+    fn intern(&mut self, value: &str) -> u32 {
+        match self.index.get(value) {
+            Some(&code) => code,
+            None => {
+                let code = self.dict.len() as u32;
+                self.dict.push(value.to_string());
+                self.index.insert(value.to_string(), code);
+                code
+            }
+        }
     }
 }
 
@@ -37,13 +61,17 @@ pub struct Relation {
     schema: Schema,
     columns: Vec<Column>,
     n_rows: usize,
+    /// Monotone version counter, bumped by every successful mutation
+    /// ([`Relation::push_row`], [`Relation::append_rows`]). Freshly
+    /// constructed (and derived) relations start at version 0.
+    data_version: u64,
 }
 
 impl Relation {
     /// Creates an empty relation over `schema`.
     pub fn empty(schema: Schema) -> Self {
         let arity = schema.arity();
-        Relation { schema, columns: vec![Column::default(); arity], n_rows: 0 }
+        Relation { schema, columns: vec![Column::default(); arity], n_rows: 0, data_version: 0 }
     }
 
     /// Builds a relation from string rows.
@@ -98,9 +126,20 @@ impl Relation {
                 });
                 codes.push(code);
             }
-            cols.push(Column { dict, codes });
+            cols.push(Column::with_dict(dict, codes));
         }
-        Ok(Relation { schema, columns: cols, n_rows })
+        Ok(Relation { schema, columns: cols, n_rows, data_version: 0 })
+    }
+
+    /// The relation's monotone data version: 0 at construction, bumped by
+    /// every successful [`Relation::push_row`] and every successful
+    /// non-empty [`Relation::append_rows`] batch. Derived relations
+    /// ([`Relation::project`], [`Relation::select_rows`], …) restart at 0 —
+    /// the version describes a relation instance's mutation history, not its
+    /// provenance.
+    #[inline]
+    pub fn data_version(&self) -> u64 {
+        self.data_version
     }
 
     /// The relation's schema.
@@ -264,7 +303,7 @@ impl Relation {
         self.validate_attrs(attrs)?;
         let schema = self.schema.project(attrs)?;
         let columns: Vec<Column> = attrs.iter().map(|c| self.columns[c].clone()).collect();
-        Ok(Relation { schema, columns, n_rows: self.n_rows })
+        Ok(Relation { schema, columns, n_rows: self.n_rows, data_version: 0 })
     }
 
     /// Projects onto `attrs` and removes duplicate rows; this is the paper's
@@ -303,9 +342,9 @@ impl Relation {
                 });
                 codes.push(code);
             }
-            columns.push(Column { dict, codes });
+            columns.push(Column::with_dict(dict, codes));
         }
-        Relation { schema: self.schema.clone(), columns, n_rows: rows.len() }
+        Relation { schema: self.schema.clone(), columns, n_rows: rows.len(), data_version: 0 }
     }
 
     /// Returns a copy with only the first `n` rows (or all rows if `n`
@@ -348,7 +387,10 @@ impl Relation {
         to_set(self) == to_set(other)
     }
 
-    /// Appends a row of string values.
+    /// Appends a row of string values, bumping [`Relation::data_version`].
+    ///
+    /// Dictionary lookups go through the per-column hash index, so appends
+    /// are O(arity) amortized regardless of column cardinality.
     ///
     /// # Errors
     /// Returns an error if the row arity differs from the schema's.
@@ -356,23 +398,57 @@ impl Relation {
         &mut self,
         row: I,
     ) -> Result<(), RelationError> {
-        let values: Vec<String> = row.into_iter().map(|s| s.as_ref().to_string()).collect();
+        let values: Vec<S> = row.into_iter().collect();
         if values.len() != self.arity() {
             return Err(RelationError::ArityMismatch { expected: self.arity(), got: values.len() });
         }
-        for (c, v) in values.into_iter().enumerate() {
-            let col = &mut self.columns[c];
-            let code = match col.dict.iter().position(|d| *d == v) {
-                Some(i) => i as u32,
-                None => {
-                    col.dict.push(v);
-                    (col.dict.len() - 1) as u32
-                }
-            };
-            col.codes.push(code);
+        for (c, v) in values.iter().enumerate() {
+            let code = self.columns[c].intern(v.as_ref());
+            self.columns[c].codes.push(code);
         }
         self.n_rows += 1;
+        self.data_version += 1;
         Ok(())
+    }
+
+    /// Appends a batch of rows atomically, extending the per-column
+    /// dictionaries and code columns in place and bumping
+    /// [`Relation::data_version`] once for the whole batch.
+    ///
+    /// The batch is validated up front: if any row's arity differs from the
+    /// schema's, **no** row is appended and the version is unchanged. An
+    /// empty batch is a no-op (same version).
+    ///
+    /// Existing dictionary codes are never renumbered by an append, so any
+    /// [`KeyFold`] built before the append still folds *old* rows exactly;
+    /// it only needs re-derivation when the batch introduced new distinct
+    /// values on a covered column (check with [`KeyFold::covers`]).
+    ///
+    /// # Errors
+    /// Returns an error if any row's arity differs from the schema's.
+    pub fn append_rows<S: AsRef<str>>(
+        &mut self,
+        rows: &[Vec<S>],
+    ) -> Result<AppendSummary, RelationError> {
+        for row in rows {
+            if row.len() != self.arity() {
+                return Err(RelationError::ArityMismatch {
+                    expected: self.arity(),
+                    got: row.len(),
+                });
+            }
+        }
+        for row in rows {
+            for (c, v) in row.iter().enumerate() {
+                let code = self.columns[c].intern(v.as_ref());
+                self.columns[c].codes.push(code);
+            }
+        }
+        self.n_rows += rows.len();
+        if !rows.is_empty() {
+            self.data_version += 1;
+        }
+        Ok(AppendSummary { rows_appended: rows.len(), data_version: self.data_version })
     }
 
     fn validate_attrs(&self, attrs: AttrSet) -> Result<(), RelationError> {
@@ -395,6 +471,15 @@ impl From<&Relation> for std::sync::Arc<Relation> {
     fn from(rel: &Relation) -> std::sync::Arc<Relation> {
         std::sync::Arc::new(rel.clone())
     }
+}
+
+/// What a successful [`Relation::append_rows`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppendSummary {
+    /// Number of rows the batch appended.
+    pub rows_appended: usize,
+    /// The relation's [`Relation::data_version`] after the append.
+    pub data_version: u64,
 }
 
 /// One column's place in a mixed-radix fold.
@@ -422,6 +507,15 @@ impl KeyFold {
     /// The attribute indices covered by this fold, ascending.
     pub fn attrs(&self) -> impl Iterator<Item = usize> + '_ {
         self.factors.iter().map(|f| f.attr)
+    }
+
+    /// `true` if this fold is still exact for `rel`: every factor's radix
+    /// covers the column's current cardinality. Appends never renumber
+    /// existing codes, so a fold built before an append stays valid as long
+    /// as the batch introduced no new distinct values on covered columns;
+    /// on overflow, re-derive with [`Relation::key_fold`].
+    pub fn covers(&self, rel: &Relation) -> bool {
+        self.factors.iter().all(|f| rel.column_cardinality(f.attr) as u64 <= f.cardinality)
     }
 
     /// Recovers the dictionary code of `attr` from a folded key, or `None`
@@ -505,12 +599,12 @@ impl fmt::Debug for Relation {
     }
 }
 
-/// Incremental builder for [`Relation`], with hash-based dictionary encoding
-/// (the `push_row` method on `Relation` itself does a linear dictionary scan
-/// and is only meant for tiny hand-written relations).
+/// Incremental builder for [`Relation`]. Since the relation itself now
+/// carries a hash-backed dictionary index, the builder is a thin wrapper
+/// that shares the column interning path with `Relation`'s own appends; it
+/// remains the idiomatic way to construct a relation row by row.
 pub struct RelationBuilder {
     schema: Schema,
-    dict_maps: Vec<HashMap<String, u32>>,
     columns: Vec<Column>,
     n_rows: usize,
 }
@@ -519,12 +613,7 @@ impl RelationBuilder {
     /// Creates a builder for the given schema.
     pub fn new(schema: Schema) -> Self {
         let arity = schema.arity();
-        RelationBuilder {
-            schema,
-            dict_maps: vec![HashMap::new(); arity],
-            columns: vec![Column::default(); arity],
-            n_rows: 0,
-        }
+        RelationBuilder { schema, columns: vec![Column::default(); arity], n_rows: 0 }
     }
 
     /// Appends one row of string values.
@@ -535,26 +624,16 @@ impl RelationBuilder {
         &mut self,
         row: I,
     ) -> Result<(), RelationError> {
-        let values: Vec<String> = row.into_iter().map(|s| s.as_ref().to_string()).collect();
+        let values: Vec<S> = row.into_iter().collect();
         if values.len() != self.schema.arity() {
             return Err(RelationError::ArityMismatch {
                 expected: self.schema.arity(),
                 got: values.len(),
             });
         }
-        for (c, v) in values.into_iter().enumerate() {
-            let col = &mut self.columns[c];
-            let dict = &mut self.dict_maps[c];
-            let code = match dict.get(&v) {
-                Some(&code) => code,
-                None => {
-                    let code = col.dict.len() as u32;
-                    col.dict.push(v.clone());
-                    dict.insert(v, code);
-                    code
-                }
-            };
-            col.codes.push(code);
+        for (c, v) in values.iter().enumerate() {
+            let code = self.columns[c].intern(v.as_ref());
+            self.columns[c].codes.push(code);
         }
         self.n_rows += 1;
         Ok(())
@@ -570,9 +649,14 @@ impl RelationBuilder {
         &self.schema
     }
 
-    /// Finalizes the relation.
+    /// Finalizes the relation (at data version 0).
     pub fn finish(self) -> Relation {
-        Relation { schema: self.schema, columns: self.columns, n_rows: self.n_rows }
+        Relation {
+            schema: self.schema,
+            columns: self.columns,
+            n_rows: self.n_rows,
+            data_version: 0,
+        }
     }
 }
 
@@ -743,6 +827,71 @@ mod tests {
         assert_eq!(r.n_rows(), 2);
         assert_eq!(r.column_cardinality(0), 1);
         assert!(r.push_row(["only-one"]).is_err());
+    }
+
+    #[test]
+    fn append_rows_matches_from_rows_on_concatenation() {
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let base: Vec<Vec<&str>> = vec![vec!["a1", "b1", "c1"], vec!["a1", "b2", "c1"]];
+        let batch: Vec<Vec<&str>> =
+            vec![vec!["a2", "b1", "c2"], vec!["a2", "b1", "c2"], vec!["a3", "b2", "c1"]];
+        let mut appended = Relation::from_rows(schema.clone(), &base).unwrap();
+        let summary = appended.append_rows(&batch).unwrap();
+        assert_eq!(summary, AppendSummary { rows_appended: 3, data_version: 1 });
+        let mut full = base.clone();
+        full.extend(batch);
+        let scratch = Relation::from_rows(schema, &full).unwrap();
+        assert_eq!(appended.n_rows(), scratch.n_rows());
+        // Both paths intern values in first-occurrence order, so even the
+        // dictionary codes agree, not just the string values.
+        for c in 0..appended.arity() {
+            assert_eq!(appended.column_codes(c), scratch.column_codes(c));
+            assert_eq!(appended.column_values(c), scratch.column_values(c));
+        }
+    }
+
+    #[test]
+    fn append_rows_versioning_and_atomicity() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let mut r = Relation::from_rows(schema, &[vec!["x", "1"]]).unwrap();
+        assert_eq!(r.data_version(), 0);
+        // Empty batch: no-op, same version.
+        let s = r.append_rows::<&str>(&[]).unwrap();
+        assert_eq!(s, AppendSummary { rows_appended: 0, data_version: 0 });
+        // Non-empty batch bumps the version exactly once.
+        r.append_rows(&[vec!["y", "2"], vec!["y", "3"]]).unwrap();
+        assert_eq!(r.data_version(), 1);
+        assert_eq!(r.n_rows(), 3);
+        // A bad row anywhere in the batch leaves the relation untouched.
+        let err = r.append_rows(&[vec!["z", "4"], vec!["just-one"]]);
+        assert!(matches!(err, Err(RelationError::ArityMismatch { expected: 2, got: 1 })));
+        assert_eq!(r.n_rows(), 3);
+        assert_eq!(r.data_version(), 1);
+        assert_eq!(r.column_cardinality(0), 2); // "z" was not interned
+                                                // push_row also bumps the version.
+        r.push_row(["x", "9"]).unwrap();
+        assert_eq!(r.data_version(), 2);
+    }
+
+    #[test]
+    fn key_fold_covers_tracks_cardinality_overflow() {
+        let r = abc_relation();
+        let ab = AttrSet::from_iter([0usize, 1]);
+        let fold = r.key_fold(ab).unwrap();
+        let mut grown = r.clone();
+        // Repeating known values keeps every covered cardinality unchanged.
+        grown.append_rows(&[vec!["a1", "b1", "c1"]]).unwrap();
+        assert!(fold.covers(&grown));
+        // Old rows still fold to the same keys under the old fold.
+        for row in 0..r.n_rows() {
+            assert_eq!(r.fold_key(row, &fold), grown.fold_key(row, &fold));
+        }
+        // A new value on an uncovered column (C) does not invalidate it…
+        grown.append_rows(&[vec!["a1", "b1", "c99"]]).unwrap();
+        assert!(fold.covers(&grown));
+        // …but a new value on a covered column does.
+        grown.append_rows(&[vec!["a99", "b1", "c1"]]).unwrap();
+        assert!(!fold.covers(&grown));
     }
 
     #[test]

@@ -15,9 +15,15 @@
 //! {"op":"stats"}
 //! {"op":"mine","dataset":"nursery","epsilon":0.1,"timeout_ms":500,"tenant":"alice"}
 //! {"op":"decompose","dataset":"nursery","epsilon":0.1,"tenant":"alice"}
+//! {"op":"append","dataset":"nursery","rows":[["usual","proper","complete"]],"tenant":"alice"}
 //! ```
 //!
-//! `timeout_ms` and `tenant` are optional everywhere they appear. Responses
+//! `timeout_ms` and `tenant` are optional everywhere they appear; `epsilon`
+//! must be finite and non-negative (the library contract, enforced at parse
+//! time so an invalid threshold is a `bad_request`, not an `internal`).
+//! `append` rows are arrays of strings, one per attribute of the registered
+//! dataset, and bump the dataset's `data_version` — which every `mine`,
+//! `decompose` and `stats` response echoes. Responses
 //! are `{"format_version":1,"ok":true,...}` on success and
 //! `{"format_version":1,"ok":false,"kind":...,"error":...}` on failure,
 //! where `kind` is one of the [`ErrorKind`] labels. A deadline that expires
@@ -61,7 +67,20 @@ pub enum Request {
         /// Admission-control tenant label (defaults to the empty tenant).
         tenant: Option<String>,
     },
+    /// Append rows to a registered dataset, installing a new data version
+    /// with a delta-refreshed oracle (see `MaimonSession::append_rows`).
+    Append {
+        /// Registered dataset name.
+        dataset: String,
+        /// Rows to append; each row has one string per attribute.
+        rows: Vec<Vec<String>>,
+        /// Admission-control tenant label (defaults to the empty tenant).
+        tenant: Option<String>,
+    },
 }
+
+/// Parsed `append` request fields: `(dataset, rows, tenant)`.
+type AppendFields = (String, Vec<Vec<String>>, Option<String>);
 
 /// Failure classes a response can carry, so clients can branch without
 /// parsing error prose.
@@ -98,12 +117,31 @@ impl Request {
             .ok_or_else(|| MaimonError::Wire(format!("missing or non-string field {key:?}")))
     }
 
+    fn tenant_field(json: &Json) -> Result<Option<String>, MaimonError> {
+        match json.get("tenant") {
+            None => Ok(None),
+            Some(j) if j.is_null() => Ok(None),
+            Some(j) => j
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or_else(|| MaimonError::Wire("field \"tenant\" is not a string".into())),
+        }
+    }
+
     fn mine_fields(json: &Json) -> Result<(String, f64, Option<u64>, Option<String>), MaimonError> {
         let dataset = Self::str_field(json, "dataset")?;
         let epsilon = json
             .get("epsilon")
             .and_then(Json::as_f64)
             .ok_or_else(|| MaimonError::Wire("missing or non-numeric field \"epsilon\"".into()))?;
+        // The library rejects these thresholds too (`InvalidEpsilon`), but
+        // catching them at parse time classifies the failure correctly: a
+        // nonsensical request is `bad_request`, not `internal`.
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(MaimonError::Wire(format!(
+                "field \"epsilon\" must be finite and non-negative, got {epsilon}"
+            )));
+        }
         let timeout_ms = match json.get("timeout_ms") {
             None => None,
             Some(j) if j.is_null() => None,
@@ -113,16 +151,33 @@ impl Request {
                     .ok_or_else(|| MaimonError::Wire("field \"timeout_ms\" is not a u64".into()))?,
             ),
         };
-        let tenant = match json.get("tenant") {
-            None => None,
-            Some(j) if j.is_null() => None,
-            Some(j) => Some(
-                j.as_str()
-                    .map(str::to_string)
-                    .ok_or_else(|| MaimonError::Wire("field \"tenant\" is not a string".into()))?,
-            ),
-        };
+        let tenant = Self::tenant_field(json)?;
         Ok((dataset, epsilon, timeout_ms, tenant))
+    }
+
+    fn append_fields(json: &Json) -> Result<AppendFields, MaimonError> {
+        let dataset = Self::str_field(json, "dataset")?;
+        let rows_json = json
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or_else(|| MaimonError::Wire("missing or non-array field \"rows\"".into()))?;
+        let mut rows = Vec::with_capacity(rows_json.len());
+        for row in rows_json {
+            let cells = row
+                .as_array()
+                .ok_or_else(|| MaimonError::Wire("each appended row must be an array".into()))?;
+            let mut values = Vec::with_capacity(cells.len());
+            for cell in cells {
+                values.push(
+                    cell.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| MaimonError::Wire("row cells must be strings".into()))?,
+                );
+            }
+            rows.push(values);
+        }
+        let tenant = Self::tenant_field(json)?;
+        Ok((dataset, rows, tenant))
     }
 }
 
@@ -140,6 +195,10 @@ impl FromJson for Request {
             "decompose" => {
                 let (dataset, epsilon, timeout_ms, tenant) = Self::mine_fields(json)?;
                 Ok(Request::Decompose { dataset, epsilon, timeout_ms, tenant })
+            }
+            "append" => {
+                let (dataset, rows, tenant) = Self::append_fields(json)?;
+                Ok(Request::Append { dataset, rows, tenant })
             }
             other => Err(MaimonError::Wire(format!("unknown op {other:?}"))),
         }
@@ -174,6 +233,19 @@ impl ToJson for Request {
                 ("timeout_ms", opt_u64(timeout_ms)),
                 ("tenant", opt_str(tenant)),
             ]),
+            Request::Append { dataset, rows, tenant } => {
+                Json::object([
+                    ("op", Json::from("append")),
+                    ("dataset", Json::from(dataset.as_str())),
+                    (
+                        "rows",
+                        Json::array(rows.iter().map(|row| {
+                            Json::array(row.iter().map(|cell| Json::from(cell.as_str())))
+                        })),
+                    ),
+                    ("tenant", opt_str(tenant)),
+                ])
+            }
         }
     }
 }
@@ -223,6 +295,15 @@ mod tests {
                 timeout_ms: None,
                 tenant: None,
             },
+            Request::Append {
+                dataset: "nursery".into(),
+                rows: vec![
+                    vec!["usual".into(), "proper".into()],
+                    vec!["pretentious".into(), "improper".into()],
+                ],
+                tenant: Some("alice".into()),
+            },
+            Request::Append { dataset: "bridges".into(), rows: vec![], tenant: None },
         ] {
             let text = request.to_json_string();
             assert_eq!(Request::from_json_str(&text).unwrap(), request, "via {text}");
@@ -238,10 +319,21 @@ mod tests {
             r#"{"op":"mine","dataset":"x"}"#,
             r#"{"op":"mine","dataset":"x","epsilon":"much"}"#,
             r#"{"op":"mine","dataset":"x","epsilon":0.1,"timeout_ms":-1}"#,
+            // Thresholds the library would reject are bad requests up front.
+            r#"{"op":"mine","dataset":"x","epsilon":-0.1}"#,
+            r#"{"op":"mine","dataset":"x","epsilon":1e999}"#,
+            r#"{"op":"decompose","dataset":"x","epsilon":-2}"#,
+            // Appends must carry well-formed rows-of-strings.
+            r#"{"op":"append","dataset":"x"}"#,
+            r#"{"op":"append","dataset":"x","rows":"y"}"#,
+            r#"{"op":"append","dataset":"x","rows":["y"]}"#,
+            r#"{"op":"append","dataset":"x","rows":[[1,2]]}"#,
             "not json",
         ] {
             assert!(Request::from_json_str(bad).is_err(), "accepted {bad:?}");
         }
+        // But ε = 0 (exact mining) is valid.
+        assert!(Request::from_json_str(r#"{"op":"mine","dataset":"x","epsilon":0}"#).is_ok());
     }
 
     #[test]

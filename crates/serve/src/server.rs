@@ -59,6 +59,8 @@ struct ServeCounters {
     stats: AtomicU64,
     mine: AtomicU64,
     decompose: AtomicU64,
+    append: AtomicU64,
+    rows_appended: AtomicU64,
     truncated: AtomicU64,
     errors: AtomicU64,
     reducer_semijoins: AtomicU64,
@@ -309,6 +311,10 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Json {
             shared.counters.decompose.fetch_add(1, Ordering::Relaxed);
             handle_decompose(shared, &dataset, epsilon, timeout_ms, tenant.as_deref())
         }
+        Request::Append { dataset, rows, tenant } => {
+            shared.counters.append.fetch_add(1, Ordering::Relaxed);
+            handle_append(shared, &dataset, &rows, tenant.as_deref())
+        }
     }
 }
 
@@ -344,8 +350,8 @@ fn handle_mine(
             format!("tenant {:?} is at its in-flight cap", tenant.unwrap_or_default()),
         );
     };
-    match session.quality(epsilon) {
-        Ok(result) => {
+    match session.quality_stamped(epsilon) {
+        Ok((data_version, result)) => {
             if result.truncated {
                 shared.counters.truncated.fetch_add(1, Ordering::Relaxed);
             }
@@ -354,10 +360,58 @@ fn handle_mine(
                 [
                     ("dataset", Json::from(dataset)),
                     ("epsilon", Json::from(epsilon)),
+                    ("data_version", Json::from(data_version)),
                     ("truncated", Json::from(result.truncated)),
                     ("result", result.to_json()),
                 ],
             )
+        }
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(ErrorKind::Internal, e.to_string())
+        }
+    }
+}
+
+/// Appends rows to a registered dataset's session. Appends go through the
+/// same per-tenant admission as mining: an oracle delta-refresh is real work,
+/// and a tenant should not dodge its in-flight cap by reshaping writes.
+fn handle_append(
+    shared: &Arc<Shared>,
+    dataset: &str,
+    rows: &[Vec<String>],
+    tenant: Option<&str>,
+) -> Json {
+    let Some(session) = shared.registry.get(dataset) else {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        return error_response(ErrorKind::NotFound, format!("unknown dataset {dataset:?}"));
+    };
+    let Some(_permit) = shared.admission.try_admit(tenant.unwrap_or_default()) else {
+        return error_response(
+            ErrorKind::Overloaded,
+            format!("tenant {:?} is at its in-flight cap", tenant.unwrap_or_default()),
+        );
+    };
+    match session.append_rows(rows) {
+        Ok(summary) => {
+            shared
+                .counters
+                .rows_appended
+                .fetch_add(summary.rows_appended as u64, Ordering::Relaxed);
+            ok_response(
+                "append",
+                [
+                    ("dataset", Json::from(dataset)),
+                    ("appended", Json::from(summary.rows_appended)),
+                    ("rows", Json::from(session.relation().n_rows())),
+                    ("data_version", Json::from(summary.data_version)),
+                ],
+            )
+        }
+        Err(e @ maimon::MaimonError::Relation(_)) => {
+            // Malformed rows (arity mismatch) are the client's fault.
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(ErrorKind::BadRequest, e.to_string())
         }
         Err(e) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -383,8 +437,8 @@ fn handle_decompose(
             format!("tenant {:?} is at its in-flight cap", tenant.unwrap_or_default()),
         );
     };
-    match session.decompose_best(epsilon) {
-        Ok((schema, instance)) => {
+    match session.decompose_best_stamped(epsilon) {
+        Ok((data_version, schema, instance)) => {
             let (_reduced, reducer) = instance.full_reduce();
             let c = &shared.counters;
             c.reducer_semijoins.fetch_add(reducer.semijoins as u64, Ordering::Relaxed);
@@ -395,6 +449,7 @@ fn handle_decompose(
                 [
                     ("dataset", Json::from(dataset)),
                     ("epsilon", Json::from(epsilon)),
+                    ("data_version", Json::from(data_version)),
                     ("bags", Json::from(schema.n_relations())),
                     ("schema", schema.to_json()),
                     ("reducer", reducer.to_json()),
@@ -450,6 +505,7 @@ fn handle_stats(shared: &Arc<Shared>) -> Json {
             let session = shared.registry.get(&name)?;
             Some(Json::object([
                 ("name", Json::from(name.as_str())),
+                ("data_version", Json::from(session.data_version())),
                 ("oracle", session.oracle_stats().to_json()),
                 ("cached_plis", Json::from(session.cached_pli_count())),
                 ("cached_entropies", Json::from(session.cached_entropy_count())),
@@ -480,6 +536,8 @@ fn handle_stats(shared: &Arc<Shared>) -> Json {
                     ("stats", Json::from(c.stats.load(Ordering::Relaxed))),
                     ("mine", Json::from(c.mine.load(Ordering::Relaxed))),
                     ("decompose", Json::from(c.decompose.load(Ordering::Relaxed))),
+                    ("append", Json::from(c.append.load(Ordering::Relaxed))),
+                    ("rows_appended", Json::from(c.rows_appended.load(Ordering::Relaxed))),
                     ("truncated", Json::from(c.truncated.load(Ordering::Relaxed))),
                     ("errors", Json::from(c.errors.load(Ordering::Relaxed))),
                 ]),

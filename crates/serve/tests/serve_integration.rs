@@ -7,7 +7,7 @@ use maimon::json::Json;
 use maimon::relation::Relation;
 use maimon::wire::FromJson;
 use maimon::{decompose::ReducerStats, MaimonConfig, MaimonResult, MaimonSession};
-use maimon_datasets::{dataset_by_name, running_example};
+use maimon_datasets::{dataset_by_name, running_example, running_example_with_red_tuple};
 use serve::{serve, AdmissionConfig, DatasetRegistry, ServerConfig, ServerHandle};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -232,6 +232,66 @@ fn stats_counters_add_up() {
     assert!(oracle.get("calls").and_then(Json::as_i128).unwrap() > 0);
     let cached = datasets[0].get("cached_epsilons").and_then(Json::as_array).unwrap();
     assert_eq!(cached.len(), 2, "two thresholds were mined: {stats}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn append_then_mine_matches_direct_library_and_never_serves_stale() {
+    let handle = start_server(AdmissionConfig::default(), &[("running", running_example())]);
+    let addr = handle.local_addr();
+    let version = |json: &Json| json.get("data_version").and_then(Json::as_i128).unwrap();
+
+    // Mine pre-append and remember the version the result was stamped with.
+    let before = roundtrip(addr, r#"{"op":"mine","dataset":"running","epsilon":0.2}"#);
+    assert_ok(&before, "mine");
+    let v0 = version(&before);
+
+    // Append the §2 red tuple; the dataset's version bumps.
+    let append = roundtrip(
+        addr,
+        r#"{"op":"append","dataset":"running","rows":[["a1","b2","c1","d2","e2","f1"]],"tenant":"writer"}"#,
+    );
+    assert_ok(&append, "append");
+    assert_eq!(append.get("appended").and_then(Json::as_i128), Some(1), "{append}");
+    assert_eq!(append.get("rows").and_then(Json::as_i128), Some(5), "{append}");
+    assert_eq!(version(&append), v0 + 1);
+
+    // Post-append mining is stamped with the new version and bit-identical
+    // to a direct library session over the full 5-tuple relation — the
+    // pre-append artifact is never served.
+    let after = roundtrip(addr, r#"{"op":"mine","dataset":"running","epsilon":0.2}"#);
+    assert_ok(&after, "mine");
+    assert_eq!(version(&after), v0 + 1, "stale-version artifact served: {after}");
+    let served = MaimonResult::from_json(after.get("result").unwrap()).unwrap();
+    let direct =
+        MaimonSession::new(running_example_with_red_tuple(), MaimonConfig::default()).unwrap();
+    assert_same_mining(&served, &direct.quality(0.2).unwrap(), "post-append epsilon 0.2");
+
+    // Decompose is stamped too.
+    let decomposed = roundtrip(addr, r#"{"op":"decompose","dataset":"running","epsilon":0.2}"#);
+    assert_ok(&decomposed, "decompose");
+    assert_eq!(version(&decomposed), v0 + 1);
+
+    // Malformed rows are the client's fault and change nothing.
+    let bad = roundtrip(addr, r#"{"op":"append","dataset":"running","rows":[["just","two"]]}"#);
+    assert_eq!(bad.get("kind").and_then(Json::as_str), Some("bad_request"), "{bad}");
+    let missing = roundtrip(addr, r#"{"op":"append","dataset":"absent","rows":[]}"#);
+    assert_eq!(missing.get("kind").and_then(Json::as_str), Some("not_found"), "{missing}");
+
+    // Stats export the append counters, the delta counters and the version.
+    let stats = roundtrip(addr, r#"{"op":"stats"}"#);
+    assert_ok(&stats, "stats");
+    let requests = stats.get("requests").unwrap();
+    assert_eq!(requests.get("append").and_then(Json::as_i128), Some(3), "{stats}");
+    assert_eq!(requests.get("rows_appended").and_then(Json::as_i128), Some(1), "{stats}");
+    let datasets = stats.get("datasets").and_then(Json::as_array).unwrap();
+    assert_eq!(version(&datasets[0]), v0 + 1);
+    let oracle = datasets[0].get("oracle").unwrap();
+    assert!(
+        oracle.get("delta_refreshes").and_then(Json::as_i128).unwrap() > 0,
+        "the append must refresh through the delta path: {stats}"
+    );
 
     handle.shutdown();
 }

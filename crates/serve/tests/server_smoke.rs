@@ -56,12 +56,26 @@ fn served_binary_boots_serves_and_stops_on_sigterm() {
     let mined = roundtrip(&addr, r#"{"op":"mine","dataset":"running","epsilon":0.0}"#);
     assert_eq!(mined.get("ok").and_then(Json::as_bool), Some(true), "{mined}");
     assert_eq!(mined.get("truncated").and_then(Json::as_bool), Some(false));
+    let v0 = mined.get("data_version").and_then(Json::as_i128).unwrap();
+
+    // Append over the live socket: version bumps and the next mine sees it.
+    let appended = roundtrip(
+        &addr,
+        r#"{"op":"append","dataset":"running","rows":[["a1","b2","c1","d2","e2","f1"]]}"#,
+    );
+    assert_eq!(appended.get("ok").and_then(Json::as_bool), Some(true), "{appended}");
+    assert_eq!(appended.get("data_version").and_then(Json::as_i128), Some(v0 + 1));
+    let remined = roundtrip(&addr, r#"{"op":"mine","dataset":"running","epsilon":0.0}"#);
+    assert_eq!(remined.get("ok").and_then(Json::as_bool), Some(true), "{remined}");
+    assert_eq!(remined.get("data_version").and_then(Json::as_i128), Some(v0 + 1));
 
     let stats = roundtrip(&addr, r#"{"op":"stats"}"#);
     assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
     let requests = stats.get("requests").unwrap();
-    assert_eq!(requests.get("mine").and_then(Json::as_i128), Some(1));
+    assert_eq!(requests.get("mine").and_then(Json::as_i128), Some(2));
     assert_eq!(requests.get("ping").and_then(Json::as_i128), Some(1));
+    assert_eq!(requests.get("append").and_then(Json::as_i128), Some(1));
+    assert_eq!(requests.get("rows_appended").and_then(Json::as_i128), Some(1));
     let registry = stats.get("registry").unwrap();
     assert_eq!(registry.get("datasets").and_then(Json::as_i128), Some(2), "--demo registers two");
 

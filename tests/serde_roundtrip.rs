@@ -130,18 +130,28 @@ fn golden_serializations_are_byte_stable() {
         intersections: 27,
         count_only_intersections: 9,
         full_scans: 0,
+        delta_refreshes: 12,
+        full_rebuilds: 2,
     };
     assert_eq!(
         stats.to_json_string(),
-        r#"{"calls":335000,"cache_hits":334000,"intersections":27,"count_only_intersections":9,"full_scans":0}"#
+        r#"{"calls":335000,"cache_hits":334000,"intersections":27,"count_only_intersections":9,"full_scans":0,"delta_refreshes":12,"full_rebuilds":2}"#
     );
-    // The count-only counter is an *additive* v1 extension: documents written
-    // before it existed parse with the counter defaulted to zero.
+    // The count-only and delta counters are *additive* v1 extensions:
+    // documents written before they existed parse with the counters zeroed.
     let legacy = maimon::entropy::OracleStats::from_json_str(
         r#"{"calls":335000,"cache_hits":334000,"intersections":27,"full_scans":0}"#,
     )
     .unwrap();
-    assert_eq!(legacy, maimon::entropy::OracleStats { count_only_intersections: 0, ..stats });
+    assert_eq!(
+        legacy,
+        maimon::entropy::OracleStats {
+            count_only_intersections: 0,
+            delta_refreshes: 0,
+            full_rebuilds: 0,
+            ..stats
+        }
+    );
 }
 
 #[test]
