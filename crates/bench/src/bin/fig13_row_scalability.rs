@@ -6,13 +6,16 @@
 //!
 //! Run with: `cargo run -p maimon-bench --release --bin fig13_row_scalability`
 
-use bench_support::{harness_options, mining_config, secs, sweep_min_seps};
+use bench_support::{emit_json, harness_options, mining_config, secs, sweep_min_seps};
 use maimon::entropy::PliEntropyOracle;
+use maimon::json::Json;
+use maimon::wire::ToJson;
 use maimon::Maimon;
 use std::time::Instant;
 
 fn main() {
     let options = harness_options();
+    let mut json_rows = Vec::new();
     println!("# Figure 13 — minimal-separator mining time vs #rows");
     println!(
         "# scale = {} of the original row counts, budget = {:?}, column cap = {}, threads = {}",
@@ -49,6 +52,15 @@ fn main() {
                     secs(started.elapsed()),
                     sweep.truncated
                 );
+                json_rows.push(Json::object([
+                    ("dataset", Json::from(name)),
+                    ("rows", Json::from(rel.n_rows())),
+                    ("epsilon", Json::from(epsilon)),
+                    ("seps", Json::from(sweep.distinct().len())),
+                    ("secs", Json::from(started.elapsed().as_secs_f64())),
+                    ("truncated", Json::from(sweep.truncated)),
+                    ("stages", sweep.stages.to_json()),
+                ]));
                 // Keep the facade exercised too (smoke check that end-to-end
                 // mining works on the smallest fraction without panicking).
                 if fraction <= 0.1 && epsilon == 0.0 {
@@ -60,4 +72,5 @@ fn main() {
     println!(
         "# Expected shape: time grows roughly linearly with rows; separator counts stay flat."
     );
+    emit_json("fig13_row_scalability", Json::array(json_rows));
 }

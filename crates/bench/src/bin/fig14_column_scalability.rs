@@ -6,12 +6,15 @@
 //!
 //! Run with: `cargo run -p maimon-bench --release --bin fig14_column_scalability`
 
-use bench_support::{harness_options, mining_config, secs, sweep_min_seps};
+use bench_support::{emit_json, harness_options, mining_config, secs, sweep_min_seps};
 use maimon::entropy::PliEntropyOracle;
+use maimon::json::Json;
+use maimon::wire::ToJson;
 use std::time::Instant;
 
 fn main() {
     let options = harness_options();
+    let mut json_rows = Vec::new();
     println!("# Figure 14 — minimal separators and runtime vs #columns");
     println!(
         "# scale = {}, per-configuration budget = {:?} (paper: 5 h), column cap = {}, threads = {}",
@@ -55,9 +58,19 @@ fn main() {
                     secs(started.elapsed()),
                     sweep.truncated
                 );
+                json_rows.push(Json::object([
+                    ("dataset", Json::from(name)),
+                    ("cols", Json::from(cols)),
+                    ("epsilon", Json::from(epsilon)),
+                    ("seps", Json::from(sweep.distinct().len())),
+                    ("secs", Json::from(started.elapsed().as_secs_f64())),
+                    ("truncated", Json::from(sweep.truncated)),
+                    ("stages", sweep.stages.to_json()),
+                ]));
             }
         }
     }
     println!("# Expected shape: runtime rises sharply with the column count (and with the number");
     println!("# of separators); wide configurations hit the time limit, as in the paper.");
+    emit_json("fig14_column_scalability", Json::array(json_rows));
 }

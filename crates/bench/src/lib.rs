@@ -23,6 +23,7 @@
 use maimon::entropy::EntropyOracle;
 use maimon::relation::AttrSet;
 use maimon::{fan_out_pairs, mine_min_seps, MaimonConfig, MiningLimits, RunControl};
+use maimon::{StageBreakdown, StageCollector};
 use std::time::Duration;
 
 /// Scaling knobs shared by all harness binaries.
@@ -97,6 +98,9 @@ pub struct MinSepSweep {
     pub truncated: bool,
     /// Worker threads used.
     pub threads: usize,
+    /// Busy time per pipeline stage across all workers (so with more than
+    /// one thread the total can exceed wall-clock time).
+    pub stages: StageBreakdown,
 }
 
 impl MinSepSweep {
@@ -119,13 +123,22 @@ pub fn sweep_min_seps<O: EntropyOracle + ?Sized>(
     let n = oracle.arity();
     let pair_count = n.saturating_sub(1) * n / 2;
     let threads = config.effective_threads().min(pair_count).max(1);
-    let (outcomes, budget_hit) =
-        fan_out_pairs(n, threads, Some(budget), &RunControl::NONE, |pair, _index| {
-            let result =
-                mine_min_seps(oracle, epsilon, pair, &config.limits, true, &RunControl::NONE);
-            (PairSeparators { pair, separators: result.separators }, result.truncated)
-        });
-    let mut sweep = MinSepSweep { threads, truncated: budget_hit, ..MinSepSweep::default() };
+    let collector = StageCollector::new();
+    let ctl = RunControl::NONE.with_stages(&collector);
+    let (outcomes, budget_hit) = fan_out_pairs(n, threads, Some(budget), &ctl, |pair, _index| {
+        // The outer span attributes whole-pair time to `mine_min_seps`;
+        // the transversal/reduce spans inside subtract their own share, so
+        // the breakdown separates enumeration from entropy-oracle work.
+        let _span = maimon::Span::enter(maimon::Stage::MineMinSeps, ctl.stages());
+        let result = mine_min_seps(oracle, epsilon, pair, &config.limits, true, &ctl);
+        (PairSeparators { pair, separators: result.separators }, result.truncated)
+    });
+    let mut sweep = MinSepSweep {
+        threads,
+        truncated: budget_hit,
+        stages: collector.breakdown(),
+        ..MinSepSweep::default()
+    };
     for (pair_seps, truncated) in outcomes {
         sweep.truncated |= truncated;
         if !pair_seps.separators.is_empty() {
@@ -238,6 +251,8 @@ mod tests {
             let oracle = PliEntropyOracle::new(&rel, config.entropy);
             let sweep = sweep_min_seps(&oracle, 0.1, &config, Duration::from_secs(60));
             assert!(!sweep.truncated);
+            assert!(!sweep.stages.is_zero(), "sweep must attribute stage time");
+            assert!(sweep.stages.get(maimon::Stage::MineMinSeps) > Duration::ZERO);
             let got: Vec<((usize, usize), Vec<AttrSet>)> =
                 sweep.per_pair.iter().map(|p| (p.pair, p.separators.clone())).collect();
             assert_eq!(got, expected, "threads={threads}");

@@ -20,6 +20,7 @@ use crate::progress::{ProgressEvent, RunControl};
 use crate::schema::AcyclicSchema;
 use entropy::EntropyOracle;
 use hypergraph::{for_each_maximal_independent_set, Control};
+use obs::{Span, Stage, StageBreakdown, StageCollector};
 use relation::AttrSet;
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -45,6 +46,10 @@ pub struct SchemaMiningResult {
     pub independent_sets_enumerated: usize,
     /// `true` if a limit stopped the enumeration early.
     pub truncated: bool,
+    /// Exclusive per-stage wall time of this phase: independent-set
+    /// enumeration plus schema synthesis under [`obs::Stage::Transversal`],
+    /// J-measure evaluation under [`obs::Stage::Measure`].
+    pub stages: StageBreakdown,
 }
 
 /// `BuildAcyclicSchema` (Fig. 9): synthesizes an acyclic schema over
@@ -121,13 +126,29 @@ pub fn mine_schemas_with<O: EntropyOracle + ?Sized>(
     ctl: &RunControl<'_>,
 ) -> SchemaMiningResult {
     let mut result = SchemaMiningResult::default();
+    // Per-run stage aggregation, mirroring `mine_mvds_with`: with a
+    // caller-attached collector, spans record into a local one and the
+    // breakdown is stamped on the result; without one, spans stay inert.
+    let collector = StageCollector::new();
+    let outer_stages = ctl.stages();
+    let ctl = &match outer_stages {
+        Some(_) => ctl.clone().with_stages(&collector),
+        None => ctl.clone(),
+    };
     ctl.emit(ProgressEvent::SchemaMiningStarted { mvds: mvds.len() });
     if mvds.is_empty() {
         // No MVDs: the only schema is the trivial one.
         if let Ok(schema) = AcyclicSchema::trivial(universe) {
-            let j = j_schema(oracle, &schema);
+            let j = {
+                let _span = Span::enter(Stage::Measure, ctl.stages());
+                j_schema(oracle, &schema)
+            };
             result.schemas.push(DiscoveredSchema { schema, mvds: Vec::new(), j });
             ctl.emit(ProgressEvent::SchemaFound { discovered: 1 });
+        }
+        if let Some(outer) = outer_stages {
+            result.stages = collector.breakdown();
+            outer.absorb(&result.stages);
         }
         ctl.emit(ProgressEvent::SchemaMiningFinished {
             schemas: result.schemas.len(),
@@ -136,6 +157,7 @@ pub fn mine_schemas_with<O: EntropyOracle + ?Sized>(
         return result;
     }
 
+    let enumeration_span = Span::enter(Stage::Transversal, ctl.stages());
     let graph = incompatibility_graph(mvds);
     let started = Instant::now();
     let mut seen: BTreeSet<AcyclicSchema> = BTreeSet::new();
@@ -147,7 +169,10 @@ pub fn mine_schemas_with<O: EntropyOracle + ?Sized>(
         let selected: Vec<Mvd> = independent.iter().map(|&i| mvds[i].clone()).collect();
         let schema = build_acyclic_schema(universe, &selected);
         if seen.insert(schema.clone()) {
-            let j = j_schema(oracle, &schema);
+            let j = {
+                let _span = Span::enter(Stage::Measure, ctl.stages());
+                j_schema(oracle, &schema)
+            };
             schemas.push(DiscoveredSchema { schema, mvds: selected, j });
             ctl.emit(ProgressEvent::SchemaFound { discovered: schemas.len() });
         }
@@ -169,9 +194,14 @@ pub fn mine_schemas_with<O: EntropyOracle + ?Sized>(
         }
         Control::Continue
     });
+    drop(enumeration_span);
     result.schemas = schemas;
     result.independent_sets_enumerated = enumerated;
     result.truncated = truncated;
+    if let Some(outer) = outer_stages {
+        result.stages = collector.breakdown();
+        outer.absorb(&result.stages);
+    }
     ctl.emit(ProgressEvent::SchemaMiningFinished {
         schemas: result.schemas.len(),
         truncated: result.truncated,

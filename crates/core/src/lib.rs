@@ -108,4 +108,10 @@ pub use session::{DeltaRevalidation, DeltaSweepPoint, MaimonSession, SweepPoint}
 pub use decompose;
 pub use entropy;
 pub use hypergraph;
+pub use obs;
 pub use relation;
+
+// The observability vocabulary travels on public API surfaces
+// (`MiningStats::stages`, `RunControl::with_stages`), so surface it at the
+// crate root too.
+pub use obs::{Span, Stage, StageBreakdown, StageCollector};

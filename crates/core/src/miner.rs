@@ -23,6 +23,7 @@ use crate::minsep::mine_min_seps;
 use crate::mvd::Mvd;
 use crate::progress::{ProgressEvent, RunControl};
 use entropy::{EntropyOracle, OracleStats};
+use obs::{Span, Stage, StageBreakdown, StageCollector};
 use relation::AttrSet;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -47,6 +48,10 @@ pub struct MiningStats {
     pub threads: usize,
     /// Entropy-oracle counters at the end of the run.
     pub oracle: OracleStats,
+    /// Exclusive per-stage wall time recorded by the span instrumentation
+    /// (busy time summed across workers when the fan-out is parallel).
+    /// Additive wire field: legacy documents deserialize to all-zero.
+    pub stages: StageBreakdown,
 }
 
 /// The result of the MVD-mining phase: the set `M_ε`, the minimal separators
@@ -97,7 +102,11 @@ fn mine_pair<O: EntropyOracle + ?Sized>(
     let epsilon = config.epsilon;
     let limits = config.limits;
     let use_opt = config.use_pairwise_consistency_optimization;
-    let seps = mine_min_seps(oracle, epsilon, pair, &limits, use_opt, ctl);
+    let seps = {
+        let _span = Span::enter(Stage::MineMinSeps, ctl.stages());
+        mine_min_seps(oracle, epsilon, pair, &limits, use_opt, ctl)
+    };
+    let _span = Span::enter(Stage::FullMvds, ctl.stages());
     let mut outcome = PairOutcome {
         pair,
         transversals_tested: seps.transversals_tested,
@@ -227,6 +236,18 @@ pub fn mine_mvds_with<O: EntropyOracle + ?Sized>(
     let threads = config.effective_threads().min(pair_count).max(1);
     result.stats.threads = threads;
 
+    // Per-run stage aggregation: when the caller attached a collector,
+    // spans below record into this local one and the run's breakdown is
+    // stamped onto the stats (and folded into the caller's collector, so
+    // sessions can aggregate across runs). Without one, spans stay inert
+    // and mining pays nothing for the instrumentation.
+    let collector = StageCollector::new();
+    let outer_stages = ctl.stages();
+    let ctl = &match outer_stages {
+        Some(_) => ctl.clone().with_stages(&collector),
+        None => ctl.clone(),
+    };
+
     ctl.emit(ProgressEvent::MvdMiningStarted { pairs: pair_count });
     let done = AtomicUsize::new(0);
     let (outcomes, budget_hit) =
@@ -262,6 +283,10 @@ pub fn mine_mvds_with<O: EntropyOracle + ?Sized>(
     result.mvds = seen.into_iter().collect();
     result.stats.elapsed = started.elapsed();
     result.stats.oracle = oracle.stats();
+    if let Some(outer) = outer_stages {
+        result.stats.stages = collector.breakdown();
+        outer.absorb(&result.stats.stages);
+    }
     ctl.emit(ProgressEvent::MvdMiningFinished {
         mvds: result.mvds.len(),
         truncated: result.stats.truncated,

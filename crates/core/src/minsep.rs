@@ -19,6 +19,7 @@ use crate::full_mvd::is_separator;
 use crate::progress::RunControl;
 use entropy::EntropyOracle;
 use hypergraph::minimal_transversals;
+use obs::{Span, Stage};
 use relation::AttrSet;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -46,6 +47,7 @@ pub fn reduce_min_sep<O: EntropyOracle + ?Sized>(
     use_optimization: bool,
     ctl: &RunControl<'_>,
 ) -> AttrSet {
+    let _span = Span::enter(Stage::Reduce, ctl.stages());
     let mut current = start;
     for attr in start.iter() {
         let candidate = current.without(attr);
@@ -121,8 +123,11 @@ pub fn mine_min_seps<O: EntropyOracle + ?Sized>(
         }
         // Enumerate the minimal transversals of the current separator family
         // and pick one we have not processed yet.
-        let edges: Vec<u64> = result.separators.iter().map(|s| s.bits()).collect();
-        let transversals = minimal_transversals(&edges, ground.bits());
+        let transversals = {
+            let _span = Span::enter(Stage::Transversal, ctl.stages());
+            let edges: Vec<u64> = result.separators.iter().map(|s| s.bits()).collect();
+            minimal_transversals(&edges, ground.bits())
+        };
         let next = transversals.into_iter().find(|t| !processed.contains(t));
         let transversal = match next {
             Some(t) => t,

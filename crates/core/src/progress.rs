@@ -29,6 +29,7 @@
 //! assert!(ctl.should_stop());
 //! ```
 
+use obs::{Stage, StageCollector};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -129,6 +130,26 @@ pub enum ProgressEvent {
     },
 }
 
+impl ProgressEvent {
+    /// The pipeline stage this event originates from, using the same
+    /// [`Stage`] vocabulary as the span instrumentation, so sinks can
+    /// aggregate events per stage without matching every variant.
+    ///
+    /// Phase-one events (`MvdMining*`, `PairMined`) are driven by minimal
+    /// separator mining; phase-two events (`SchemaMining*`, `SchemaFound`)
+    /// by the independent-set / transversal enumeration.
+    pub fn stage(&self) -> Stage {
+        match self {
+            ProgressEvent::MvdMiningStarted { .. }
+            | ProgressEvent::PairMined { .. }
+            | ProgressEvent::MvdMiningFinished { .. } => Stage::MineMinSeps,
+            ProgressEvent::SchemaMiningStarted { .. }
+            | ProgressEvent::SchemaFound { .. }
+            | ProgressEvent::SchemaMiningFinished { .. } => Stage::Transversal,
+        }
+    }
+}
+
 /// Observer of [`ProgressEvent`]s. Implementations must be `Sync`: events
 /// fire from the mining worker pool.
 ///
@@ -159,6 +180,7 @@ pub struct CountingSink {
     schemas: AtomicUsize,
     phases_started: AtomicUsize,
     phases_finished: AtomicUsize,
+    stages: [AtomicUsize; Stage::COUNT],
 }
 
 impl CountingSink {
@@ -186,10 +208,17 @@ impl CountingSink {
     pub fn phases_finished(&self) -> usize {
         self.phases_finished.load(Ordering::Relaxed)
     }
+
+    /// Events observed that originate from `stage` (see
+    /// [`ProgressEvent::stage`]).
+    pub fn stage_events(&self, stage: Stage) -> usize {
+        self.stages[stage.index()].load(Ordering::Relaxed)
+    }
 }
 
 impl ProgressSink for CountingSink {
     fn report(&self, event: ProgressEvent) {
+        self.stages[event.stage().index()].fetch_add(1, Ordering::Relaxed);
         match event {
             ProgressEvent::PairMined { .. } => {
                 self.pairs.fetch_add(1, Ordering::Relaxed);
@@ -250,6 +279,7 @@ pub struct RunControl<'a> {
     cancel: Option<CancelToken>,
     deadline: Option<DeadlineState>,
     progress: Option<&'a dyn ProgressSink>,
+    stages: Option<&'a StageCollector>,
 }
 
 impl std::fmt::Debug for dyn ProgressSink + '_ {
@@ -261,7 +291,7 @@ impl std::fmt::Debug for dyn ProgressSink + '_ {
 impl RunControl<'static> {
     /// The no-op control: never cancelled, no deadline, no progress sink.
     pub const NONE: RunControl<'static> =
-        RunControl { cancel: None, deadline: None, progress: None };
+        RunControl { cancel: None, deadline: None, progress: None, stages: None };
 
     /// Creates an empty control (same as [`RunControl::NONE`], but `self`-
     /// extensible with the `with_*` builders).
@@ -294,7 +324,34 @@ impl<'a> RunControl<'a> {
     where
         'a: 'b,
     {
-        RunControl { cancel: self.cancel, deadline: self.deadline, progress: Some(sink) }
+        RunControl {
+            cancel: self.cancel,
+            deadline: self.deadline,
+            progress: Some(sink),
+            stages: self.stages,
+        }
+    }
+
+    /// Attaches a per-run stage collector (borrowed for the duration of the
+    /// run). The span instrumentation in the mining loops records each
+    /// stage's exclusive self-time into it; drivers read it back as an
+    /// [`obs::StageBreakdown`] on `MiningStats::stages`.
+    pub fn with_stages<'b>(self, collector: &'b StageCollector) -> RunControl<'b>
+    where
+        'a: 'b,
+    {
+        RunControl {
+            cancel: self.cancel,
+            deadline: self.deadline,
+            progress: self.progress,
+            stages: Some(collector),
+        }
+    }
+
+    /// The attached stage collector, if any — passed to [`obs::Span::enter`]
+    /// by the instrumented mining loops.
+    pub fn stages(&self) -> Option<&'a StageCollector> {
+        self.stages
     }
 
     /// `true` once the attached token (if any) has fired.
@@ -460,6 +517,22 @@ mod tests {
         assert_eq!(sink.schemas_found(), 1);
         assert_eq!(sink.phases_started(), 1);
         assert_eq!(sink.phases_finished(), 1);
+        // Events are attributable to their originating stage (satellite of
+        // the telemetry PR): three phase-one events, one phase-two event.
+        assert_eq!(sink.stage_events(Stage::MineMinSeps), 3);
+        assert_eq!(sink.stage_events(Stage::Transversal), 1);
+        assert_eq!(sink.stage_events(Stage::Measure), 0);
+    }
+
+    #[test]
+    fn stage_collector_rides_the_control() {
+        let collector = StageCollector::new();
+        assert!(RunControl::NONE.stages().is_none());
+        let ctl = RunControl::new().with_stages(&collector);
+        let sink = CountingSink::new();
+        let ctl = ctl.with_progress(&sink);
+        ctl.stages().expect("with_progress preserves the collector").add(Stage::Reduce, 42);
+        assert_eq!(collector.breakdown().reduce.as_nanos(), 42);
     }
 
     #[test]

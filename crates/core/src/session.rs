@@ -85,6 +85,7 @@ use crate::schema::AcyclicSchema;
 use crate::wire::ToJson;
 use decompose::DecomposedInstance;
 use entropy::{EntropyOracle, OracleStats, PliEntropyOracle};
+use obs::{Span, Stage, StageCollector};
 use relation::{AppendSummary, AttrSet, Relation};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -399,6 +400,7 @@ pub struct MaimonSession {
     cancel: Option<CancelToken>,
     progress: Option<Arc<dyn ProgressSink + Send + Sync>>,
     deadline: Option<Instant>,
+    stages: Option<Arc<StageCollector>>,
 }
 
 impl MaimonSession {
@@ -458,6 +460,7 @@ impl MaimonSession {
             cancel: None,
             progress: None,
             deadline: None,
+            stages: None,
         })
     }
 
@@ -486,6 +489,15 @@ impl MaimonSession {
     /// the per-phase `MiningLimits::time_budget`).
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a [`StageCollector`] that accumulates per-stage wall time
+    /// across everything this handle subsequently computes. Cache hits cost
+    /// (and therefore record) nothing; the per-request breakdown of a cached
+    /// artifact still travels on `MiningStats::stages`.
+    pub fn with_stages(mut self, collector: Arc<StageCollector>) -> Self {
+        self.stages = Some(collector);
         self
     }
 
@@ -636,8 +648,12 @@ impl MaimonSession {
         if let Some(deadline) = self.deadline {
             ctl = ctl.with_deadline(deadline);
         }
-        match &self.progress {
+        let ctl = match &self.progress {
             Some(sink) => ctl.with_progress(sink.as_ref()),
+            None => ctl,
+        };
+        match &self.stages {
+            Some(collector) => ctl.with_stages(collector),
             None => ctl,
         }
     }
@@ -741,19 +757,36 @@ impl MaimonSession {
             || {
                 let mvds = self.mvds_at(state, epsilon)?;
                 let schemas_raw = self.schemas_at(state, epsilon)?;
+                // Only time the measurement pass when a collector is
+                // attached — un-instrumented sessions pay nothing.
+                let measure = StageCollector::new();
+                let measure_target = self.stages.as_ref().map(|_| &measure);
                 let mut schemas = Vec::with_capacity(schemas_raw.schemas.len());
-                for discovered in &schemas_raw.schemas {
-                    let quality = evaluate_schema(&state.relation, &discovered.schema)?;
-                    schemas.push(RankedSchema { discovered: discovered.clone(), quality });
+                let pareto = {
+                    let _span = Span::enter(Stage::Measure, measure_target);
+                    for discovered in &schemas_raw.schemas {
+                        let quality = evaluate_schema(&state.relation, &discovered.schema)?;
+                        schemas.push(RankedSchema { discovered: discovered.clone(), quality });
+                    }
+                    let points: Vec<(f64, f64)> = schemas
+                        .iter()
+                        .map(|s| (s.quality.storage_savings_pct, s.quality.spurious_tuples_pct))
+                        .collect();
+                    pareto_front(&points)
+                };
+                if let Some(outer) = &self.stages {
+                    outer.absorb(&measure.breakdown());
                 }
-                let points: Vec<(f64, f64)> = schemas
-                    .iter()
-                    .map(|s| (s.quality.storage_savings_pct, s.quality.spurious_tuples_pct))
-                    .collect();
+                // The complete artifact carries the *composed* breakdown —
+                // mining + enumeration + quality measurement — so a later
+                // cache hit still reports where the time originally went.
+                let mut mvds_with_stages = (*mvds).clone();
+                mvds_with_stages.stats.stages.absorb(&schemas_raw.stages);
+                mvds_with_stages.stats.stages.absorb(&measure.breakdown());
                 Ok(Arc::new(MaimonResult {
                     truncated: mvds.stats.truncated || schemas_raw.truncated,
-                    mvds: (*mvds).clone(),
-                    pareto: pareto_front(&points),
+                    mvds: mvds_with_stages,
+                    pareto,
                     schemas,
                 }))
             },
@@ -854,6 +887,7 @@ impl MaimonSession {
         &self,
         schema: &AcyclicSchema,
     ) -> Result<DecomposedInstance, MaimonError> {
+        let _span = Span::enter(Stage::Decompose, self.stages.as_deref());
         schema.decompose(&self.state().relation)
     }
 
@@ -894,7 +928,10 @@ impl MaimonSession {
             })
             .map(|ranked| ranked.discovered.schema.clone())
             .map_or_else(|| AcyclicSchema::trivial(state.relation.schema().all_attrs()), Ok)?;
-        let instance = schema.decompose(&state.relation)?;
+        let instance = {
+            let _span = Span::enter(Stage::Decompose, self.stages.as_deref());
+            schema.decompose(&state.relation)?
+        };
         Ok((state.version, schema, instance))
     }
 
@@ -1016,6 +1053,31 @@ mod tests {
         assert!(sink.schemas_found() >= 1);
         assert_eq!(sink.phases_started(), 2);
         assert_eq!(sink.phases_finished(), 2);
+    }
+
+    #[test]
+    fn stage_breakdown_accounts_for_the_quality_wall_time() {
+        let rel = running_example(true);
+        let config = MaimonConfig::with_epsilon_and_threads(0.1, 1);
+        let collector = Arc::new(StageCollector::new());
+        let session = MaimonSession::new(&rel, config).unwrap().with_stages(Arc::clone(&collector));
+        let wall = Instant::now();
+        let result = session.quality(0.1).unwrap();
+        let wall = wall.elapsed();
+        let collected = collector.breakdown();
+        assert!(!collected.is_zero(), "stages were recorded");
+        assert!(
+            collected.total() <= wall + Duration::from_millis(1),
+            "exclusive stage time ({:?}) cannot exceed the wall time ({wall:?})",
+            collected.total()
+        );
+        // The artifact carries the composed breakdown, so cache hits (which
+        // record nothing) still report where the original time went.
+        assert!(!result.mvds.stats.stages.is_zero());
+        let before = collector.breakdown();
+        let hit = session.quality(0.1).unwrap();
+        assert!(Arc::ptr_eq(&result, &hit));
+        assert_eq!(collector.breakdown(), before, "a cache hit records nothing");
     }
 
     #[test]

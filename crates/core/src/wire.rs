@@ -42,6 +42,7 @@ use crate::mvd::Mvd;
 use crate::quality::SchemaQuality;
 use crate::schema::AcyclicSchema;
 use entropy::OracleStats;
+use obs::{Stage, StageBreakdown};
 use relation::AttrSet;
 use std::time::Duration;
 
@@ -252,6 +253,26 @@ impl FromJson for decompose::ReducerStats {
     }
 }
 
+impl ToJson for StageBreakdown {
+    fn to_json(&self) -> Json {
+        Json::object(self.entries().into_iter().map(|(stage, d)| (stage.name(), d.to_json())))
+    }
+}
+
+impl FromJson for StageBreakdown {
+    fn from_json(json: &Json) -> Result<Self, MaimonError> {
+        // Each stage key is individually additive: a document written before
+        // a stage existed parses with that stage at zero.
+        let mut breakdown = StageBreakdown::default();
+        for stage in Stage::ALL {
+            if let Some(value) = json.get(stage.name()) {
+                breakdown.set(stage, Duration::from_json(value)?);
+            }
+        }
+        Ok(breakdown)
+    }
+}
+
 impl ToJson for MiningStats {
     fn to_json(&self) -> Json {
         Json::object([
@@ -263,6 +284,7 @@ impl ToJson for MiningStats {
             ("truncated", Json::from(self.truncated)),
             ("threads", Json::from(self.threads)),
             ("oracle", self.oracle.to_json()),
+            ("stages", self.stages.to_json()),
         ])
     }
 }
@@ -278,6 +300,12 @@ impl FromJson for MiningStats {
             truncated: bool_field(json, "truncated")?,
             threads: usize_field(json, "threads")?,
             oracle: OracleStats::from_json(field(json, "oracle")?)?,
+            // Additive field (telemetry PR): absent in payloads written
+            // before span instrumentation existed; an all-zero breakdown.
+            stages: match json.get("stages") {
+                Some(value) => StageBreakdown::from_json(value)?,
+                None => StageBreakdown::default(),
+            },
         })
     }
 }
@@ -385,6 +413,7 @@ impl ToJson for SchemaMiningResult {
             ("schemas", Json::array(self.schemas.iter().map(ToJson::to_json))),
             ("independent_sets_enumerated", Json::from(self.independent_sets_enumerated)),
             ("truncated", Json::from(self.truncated)),
+            ("stages", self.stages.to_json()),
         ])
     }
 }
@@ -395,6 +424,10 @@ impl FromJson for SchemaMiningResult {
             schemas: vec_field(json, "schemas")?,
             independent_sets_enumerated: usize_field(json, "independent_sets_enumerated")?,
             truncated: bool_field(json, "truncated")?,
+            stages: match json.get("stages") {
+                Some(value) => StageBreakdown::from_json(value)?,
+                None => StageBreakdown::default(),
+            },
         })
     }
 }
@@ -563,6 +596,22 @@ mod tests {
                 ..stats
             }
         );
+    }
+
+    #[test]
+    fn stage_breakdown_round_trips_and_defaults_additively() {
+        let mut breakdown = StageBreakdown::default();
+        breakdown.set(Stage::MineMinSeps, Duration::new(1, 500));
+        breakdown.set(Stage::Measure, Duration::from_nanos(7));
+        let text = breakdown.to_json_string();
+        assert_eq!(StageBreakdown::from_json_str(&text).unwrap(), breakdown);
+        // Every stage key is independently optional: documents written
+        // before a stage existed parse with it at zero.
+        let partial =
+            StageBreakdown::from_json_str(r#"{"transversal":{"secs":0,"nanos":42}}"#).unwrap();
+        assert_eq!(partial.transversal, Duration::from_nanos(42));
+        assert_eq!(partial.mine_min_seps, Duration::ZERO);
+        assert_eq!(StageBreakdown::from_json_str("{}").unwrap(), StageBreakdown::default());
     }
 
     #[test]

@@ -166,6 +166,15 @@ impl DecomposedInstance {
                 dicts[attr].iter().enumerate().map(|(i, v)| (v.clone(), i as u32)).collect();
         }
         let original_rows = if rel.is_empty() { 0 } else { rel.distinct_count(all)? };
+        // Build-time telemetry; the query/reconstruction paths are untouched.
+        let registry = obs::global();
+        registry.describe("maimon_decompositions_built_total", "Decomposed instances materialized");
+        registry.counter("maimon_decompositions_built_total", &[]).inc();
+        registry.describe(
+            "maimon_decomposition_bags_total",
+            "Bag projections materialized across all decompositions",
+        );
+        registry.counter("maimon_decomposition_bags_total", &[]).add(bags.len() as u64);
         Ok(DecomposedInstance {
             schema: rel.schema().clone(),
             dicts: Arc::new(dicts),

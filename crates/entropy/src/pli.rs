@@ -128,6 +128,18 @@ impl PliEntropyOracle {
         if let Some(block) = config.block_size {
             oracle.precompute_blocks(block.max(1));
         }
+        // Construction-time telemetry only: the query path (and especially
+        // the cached-hit path, which must stay allocation-free) is untouched.
+        let registry = obs::global();
+        registry.describe("maimon_oracles_built_total", "PLI entropy oracles constructed");
+        registry.counter("maimon_oracles_built_total", &[("kind", "pli")]).inc();
+        registry.describe(
+            "maimon_oracle_relation_rows",
+            "Row count of the most recently constructed PLI oracle's relation",
+        );
+        registry
+            .gauge("maimon_oracle_relation_rows", &[])
+            .set(i64::try_from(oracle.rel.n_rows()).unwrap_or(i64::MAX));
         oracle
     }
 

@@ -1,0 +1,168 @@
+//! Prometheus text-exposition (version 0.0.4) rendering of a registry.
+
+use crate::metrics::{Histogram, MetricSnapshot, MetricValue, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline.
+fn escape_label(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Escapes `# HELP` text: backslash and newline (quotes are legal there).
+fn escape_help(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Writes `{k="v",…}` — with `extra` appended last — or nothing when empty.
+fn write_labels(labels: &[(&'static str, String)], extra: Option<(&str, &str)>, out: &mut String) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (key, value) in labels.iter().map(|(k, v)| (*k, v.as_str())).chain(extra) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(key);
+        out.push_str("=\"");
+        escape_label(value, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn write_header(snapshot: &MetricSnapshot, out: &mut String) {
+    if !snapshot.help.is_empty() {
+        out.push_str("# HELP ");
+        out.push_str(snapshot.name);
+        out.push(' ');
+        escape_help(snapshot.help, out);
+        out.push('\n');
+    }
+    out.push_str("# TYPE ");
+    out.push_str(snapshot.name);
+    out.push(' ');
+    out.push_str(snapshot.kind.as_str());
+    out.push('\n');
+}
+
+/// Renders every metric in `registry` in the Prometheus text exposition
+/// format: one `# HELP`/`# TYPE` header per metric name, samples sorted by
+/// name then labels, histograms expanded into cumulative `_bucket` series
+/// plus `_sum` and `_count`.
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for snapshot in registry.snapshot() {
+        if snapshot.name != last_name {
+            write_header(&snapshot, &mut out);
+            last_name = snapshot.name;
+        }
+        match &snapshot.value {
+            MetricValue::Counter(v) => {
+                out.push_str(snapshot.name);
+                write_labels(&snapshot.labels, None, &mut out);
+                let _ = writeln!(out, " {v}");
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(snapshot.name);
+                write_labels(&snapshot.labels, None, &mut out);
+                let _ = writeln!(out, " {v}");
+            }
+            MetricValue::Histogram { buckets, sum, count } => {
+                let mut cumulative = 0u64;
+                for (i, bucket) in buckets.iter().enumerate() {
+                    cumulative += bucket;
+                    let mut le = String::new();
+                    match Histogram::bucket_upper_bound(i) {
+                        Some(bound) => {
+                            let _ = write!(le, "{bound}");
+                        }
+                        None => le.push_str("+Inf"),
+                    }
+                    out.push_str(snapshot.name);
+                    out.push_str("_bucket");
+                    write_labels(&snapshot.labels, Some(("le", &le)), &mut out);
+                    let _ = writeln!(out, " {cumulative}");
+                }
+                out.push_str(snapshot.name);
+                out.push_str("_sum");
+                write_labels(&snapshot.labels, None, &mut out);
+                let _ = writeln!(out, " {sum}");
+                out.push_str(snapshot.name);
+                out.push_str("_count");
+                write_labels(&snapshot.labels, None, &mut out);
+                let _ = writeln!(out, " {count}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_exposition_output() {
+        let registry = MetricsRegistry::new();
+        registry.describe("maimon_requests_total", "Requests served, by op");
+        registry.counter("maimon_requests_total", &[("op", "mine")]).add(3);
+        registry.counter("maimon_requests_total", &[("op", "ping")]).add(1);
+        registry.describe("maimon_queue_depth", "Connections waiting");
+        registry.gauge("maimon_queue_depth", &[]).set(2);
+        let h = registry.histogram("maimon_latency_ns", &[("op", "mine")]);
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(u64::MAX);
+
+        let text = render_prometheus(&registry);
+        let expected_prefix = "\
+# TYPE maimon_latency_ns histogram
+maimon_latency_ns_bucket{op=\"mine\",le=\"0\"} 1
+maimon_latency_ns_bucket{op=\"mine\",le=\"1\"} 2
+maimon_latency_ns_bucket{op=\"mine\",le=\"3\"} 3
+maimon_latency_ns_bucket{op=\"mine\",le=\"7\"} 3
+";
+        assert!(text.starts_with(expected_prefix), "got:\n{text}");
+        assert!(text.contains("maimon_latency_ns_bucket{op=\"mine\",le=\"+Inf\"} 4\n"));
+        assert!(text.contains("maimon_latency_ns_count{op=\"mine\"} 4\n"));
+        // Sum wrapped by the u64::MAX observation: 0+1+3+MAX ≡ 3 (mod 2^64).
+        assert!(text.contains("maimon_latency_ns_sum{op=\"mine\"} 3\n"));
+        let tail = "\
+# HELP maimon_queue_depth Connections waiting
+# TYPE maimon_queue_depth gauge
+maimon_queue_depth 2
+# HELP maimon_requests_total Requests served, by op
+# TYPE maimon_requests_total counter
+maimon_requests_total{op=\"mine\"} 3
+maimon_requests_total{op=\"ping\"} 1
+";
+        assert!(text.ends_with(tail), "got:\n{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = MetricsRegistry::new();
+        registry.counter("weird", &[("tenant", "a\"b\\c\nd")]).inc();
+        let text = render_prometheus(&registry);
+        assert!(text.contains("weird{tenant=\"a\\\"b\\\\c\\nd\"} 1\n"), "got:\n{text}");
+    }
+}

@@ -1,0 +1,132 @@
+//! RAII stage timers with exclusive-time attribution.
+//!
+//! A [`Span`] measures the monotonic wall time between `enter` and drop.
+//! Spans nest: each thread keeps a stack of frames accumulating the elapsed
+//! time of *child* spans, and on drop a span records `elapsed - children`
+//! (its exclusive self-time). That makes per-stage times tile the total
+//! wall clock instead of double-counting nested stages — e.g. the time
+//! `mine_min_seps` spends inside `reduce_min_sep` is attributed to
+//! [`Stage::Reduce`], not counted twice.
+//!
+//! A span with a collector also records its self-time into the
+//! process-wide per-stage histogram `maimon_stage_duration_ns{stage=…}`,
+//! so long-running servers (which attach a collector per request) expose
+//! stage latency distributions. A span entered with `None` is completely
+//! inert — no clock read, no thread-local traffic — so un-instrumented
+//! runs pay a single branch per call site and nothing else.
+
+use crate::stage::{Stage, StageCollector};
+use crate::{global, Histogram};
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+thread_local! {
+    /// Per-thread stack of child-time accumulators, one frame per live span.
+    static FRAMES: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pre-resolved handles to the global per-stage histograms, so span drops
+/// never take the registry lock.
+fn stage_histogram(stage: Stage) -> &'static Arc<Histogram> {
+    static HISTOGRAMS: OnceLock<[Arc<Histogram>; Stage::COUNT]> = OnceLock::new();
+    let all = HISTOGRAMS.get_or_init(|| {
+        let registry = global();
+        registry.describe(
+            "maimon_stage_duration_ns",
+            "Exclusive self-time of pipeline stage spans, in nanoseconds",
+        );
+        Stage::ALL.map(|s| registry.histogram("maimon_stage_duration_ns", &[("stage", s.name())]))
+    });
+    &all[stage.index()]
+}
+
+/// An RAII guard timing one pipeline stage.
+///
+/// Construct with [`Span::enter`]; the stage's exclusive self-time is
+/// recorded into the collector *and* the global per-stage histogram when
+/// the guard drops. `collector` is the per-run aggregation target (usually
+/// `RunControl::stages()` in the core crate); with `None` the guard is
+/// inert and records nothing, so spans can stay on moderately hot paths
+/// without taxing un-instrumented runs.
+#[must_use = "a span records its stage time when dropped"]
+pub struct Span<'a> {
+    stage: Stage,
+    /// `None` = inert guard: no frame was pushed, nothing records on drop.
+    active: Option<(&'a StageCollector, Instant)>,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing `stage` on the current thread; inert when `collector`
+    /// is `None`.
+    pub fn enter(stage: Stage, collector: Option<&'a StageCollector>) -> Self {
+        let active = collector.map(|collector| {
+            FRAMES.with(|frames| frames.borrow_mut().push(0));
+            (collector, Instant::now())
+        });
+        Span { stage, active }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some((collector, started)) = self.active else {
+            return;
+        };
+        let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let children = FRAMES.with(|frames| {
+            let mut frames = frames.borrow_mut();
+            let children = frames.pop().unwrap_or(0);
+            if let Some(parent) = frames.last_mut() {
+                *parent = parent.saturating_add(elapsed);
+            }
+            children
+        });
+        let self_time = elapsed.saturating_sub(children);
+        collector.add(self.stage, self_time);
+        stage_histogram(self.stage).record(self_time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn nested_spans_attribute_exclusive_time() {
+        let collector = StageCollector::new();
+        let started = Instant::now();
+        {
+            let _outer = Span::enter(Stage::MineMinSeps, Some(&collector));
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = Span::enter(Stage::Reduce, Some(&collector));
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        let wall = started.elapsed();
+        let breakdown = collector.breakdown();
+        assert!(breakdown.reduce >= Duration::from_millis(9), "{breakdown:?}");
+        assert!(breakdown.mine_min_seps >= Duration::from_millis(1), "{breakdown:?}");
+        // Exclusive attribution: the stage times tile the wall clock, so
+        // their sum must not exceed it (double-counting the inner 10 ms
+        // would push the total well past the wall time).
+        assert!(breakdown.total() <= wall, "{breakdown:?} vs wall {wall:?}");
+    }
+
+    #[test]
+    fn sibling_threads_keep_independent_frames() {
+        let collector = StageCollector::new();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let _span = Span::enter(Stage::FullMvds, Some(&collector));
+                    std::thread::sleep(Duration::from_millis(2));
+                });
+            }
+        });
+        // Busy-time semantics: two workers each contribute their own time.
+        assert!(collector.breakdown().full_mvds >= Duration::from_millis(3));
+    }
+}

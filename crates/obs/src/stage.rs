@@ -1,0 +1,209 @@
+//! Pipeline stages and the per-run breakdown spans aggregate into.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The stages of the mining pipeline, in pipeline order.
+///
+/// These mirror the runtime decomposition of the paper's §8: minimal
+/// separator mining (Fig. 5) with its reduction subroutine, the full-MVD
+/// lattice walk (Fig. 6 / Fig. 18), hypergraph transversal / independent-set
+/// enumeration, the J-measure computations, and schema decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Minimal-separator mining per attribute pair (`mine_min_seps`).
+    MineMinSeps,
+    /// Full-MVD lattice exploration per separator (`get_full_mvds`).
+    FullMvds,
+    /// Minimal transversal / maximal independent set enumeration.
+    Transversal,
+    /// Separator reduction (the greedy `reduce_min_sep` descent).
+    Reduce,
+    /// J-measure evaluation of candidate schemas.
+    Measure,
+    /// Building and reducing the decomposed store (Yannakakis).
+    Decompose,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::MineMinSeps,
+        Stage::FullMvds,
+        Stage::Transversal,
+        Stage::Reduce,
+        Stage::Measure,
+        Stage::Decompose,
+    ];
+
+    /// Number of stages.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The stable snake_case name used in wire fields and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::MineMinSeps => "mine_min_seps",
+            Stage::FullMvds => "full_mvds",
+            Stage::Transversal => "transversal",
+            Stage::Reduce => "reduce",
+            Stage::Measure => "measure",
+            Stage::Decompose => "decompose",
+        }
+    }
+
+    /// Dense index of this stage within [`Stage::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Stage::MineMinSeps => 0,
+            Stage::FullMvds => 1,
+            Stage::Transversal => 2,
+            Stage::Reduce => 3,
+            Stage::Measure => 4,
+            Stage::Decompose => 5,
+        }
+    }
+}
+
+/// Exclusive per-stage wall time for one run of the pipeline.
+///
+/// Spans record *self* time (elapsed minus nested child spans), so on a
+/// single-threaded run the six fields tile the pipeline's wall clock; with
+/// parallel pair fan-out they sum worker busy time instead.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Time in minimal-separator mining, excluding reduce/transversal calls.
+    pub mine_min_seps: Duration,
+    /// Time in the full-MVD lattice walk.
+    pub full_mvds: Duration,
+    /// Time enumerating transversals / maximal independent sets.
+    pub transversal: Duration,
+    /// Time in separator reduction.
+    pub reduce: Duration,
+    /// Time evaluating J-measures and schema quality.
+    pub measure: Duration,
+    /// Time building/reducing decomposed stores.
+    pub decompose: Duration,
+}
+
+impl StageBreakdown {
+    /// The recorded duration for `stage`.
+    pub fn get(&self, stage: Stage) -> Duration {
+        match stage {
+            Stage::MineMinSeps => self.mine_min_seps,
+            Stage::FullMvds => self.full_mvds,
+            Stage::Transversal => self.transversal,
+            Stage::Reduce => self.reduce,
+            Stage::Measure => self.measure,
+            Stage::Decompose => self.decompose,
+        }
+    }
+
+    /// Sets the duration for `stage`.
+    pub fn set(&mut self, stage: Stage, d: Duration) {
+        match stage {
+            Stage::MineMinSeps => self.mine_min_seps = d,
+            Stage::FullMvds => self.full_mvds = d,
+            Stage::Transversal => self.transversal = d,
+            Stage::Reduce => self.reduce = d,
+            Stage::Measure => self.measure = d,
+            Stage::Decompose => self.decompose = d,
+        }
+    }
+
+    /// `(stage, duration)` pairs in pipeline order.
+    pub fn entries(&self) -> [(Stage, Duration); Stage::COUNT] {
+        Stage::ALL.map(|s| (s, self.get(s)))
+    }
+
+    /// Sum over all stages (saturating).
+    pub fn total(&self) -> Duration {
+        self.entries().iter().fold(Duration::ZERO, |acc, (_, d)| acc.saturating_add(*d))
+    }
+
+    /// True when no stage recorded any time (e.g. a legacy wire document).
+    pub fn is_zero(&self) -> bool {
+        self.entries().iter().all(|(_, d)| d.is_zero())
+    }
+
+    /// Adds every stage of `other` into `self` (saturating).
+    pub fn absorb(&mut self, other: &StageBreakdown) {
+        for (stage, d) in other.entries() {
+            self.set(stage, self.get(stage).saturating_add(d));
+        }
+    }
+}
+
+/// A thread-safe accumulator of per-stage nanoseconds for one run.
+///
+/// Spans on any worker thread add their exclusive self-time here; the driver
+/// reads it out as a [`StageBreakdown`] when the run finishes.
+#[derive(Debug, Default)]
+pub struct StageCollector {
+    nanos: [AtomicU64; Stage::COUNT],
+}
+
+impl StageCollector {
+    /// Creates a collector with all stages at zero.
+    pub const fn new() -> Self {
+        StageCollector {
+            nanos: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+
+    /// Adds `nanos` of self-time to `stage`.
+    pub fn add(&self, stage: Stage, nanos: u64) {
+        self.nanos[stage.index()].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Adds a whole breakdown (used when composing cached phase results).
+    pub fn absorb(&self, breakdown: &StageBreakdown) {
+        for (stage, d) in breakdown.entries() {
+            self.add(stage, u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Reads the current totals as a [`StageBreakdown`].
+    pub fn breakdown(&self) -> StageBreakdown {
+        let mut out = StageBreakdown::default();
+        for stage in Stage::ALL {
+            out.set(stage, Duration::from_nanos(self.nanos[stage.index()].load(Ordering::Relaxed)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_round_trips_through_breakdown() {
+        let collector = StageCollector::new();
+        collector.add(Stage::MineMinSeps, 1_000);
+        collector.add(Stage::Measure, 2_500);
+        collector.add(Stage::Measure, 500);
+        let breakdown = collector.breakdown();
+        assert_eq!(breakdown.mine_min_seps, Duration::from_nanos(1_000));
+        assert_eq!(breakdown.measure, Duration::from_nanos(3_000));
+        assert_eq!(breakdown.total(), Duration::from_nanos(4_000));
+        assert!(!breakdown.is_zero());
+
+        let other = StageCollector::new();
+        other.absorb(&breakdown);
+        assert_eq!(other.breakdown(), breakdown);
+    }
+
+    #[test]
+    fn stage_indices_match_all_order() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Per-request trace IDs without a random-number dependency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static SEQUENCE: AtomicU64 = AtomicU64::new(0);
+static SEED: OnceLock<u64> = OnceLock::new();
+
+/// Returns a fresh 16-hex-digit trace ID.
+///
+/// IDs are unique within a process (a sequence number fed through a
+/// bijective mix) and seeded from the wall clock and PID so concurrent
+/// server processes do not collide in practice. Not cryptographic — these
+/// are correlation handles for log lines and response envelopes.
+pub fn next_trace_id() -> String {
+    let seed = *SEED.get_or_init(|| {
+        let now = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default();
+        ((now.as_nanos() as u64) ^ (u64::from(std::process::id()) << 32)) | 1
+    });
+    let n = SEQUENCE.fetch_add(1, Ordering::Relaxed);
+    // SplitMix64-style finalizer: a bijection of u64, so distinct sequence
+    // numbers always yield distinct IDs.
+    let mut z = n.wrapping_add(seed).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    format!("{z:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn trace_ids_are_distinct_and_well_formed() {
+        let ids: HashSet<String> = (0..1000).map(|_| next_trace_id()).collect();
+        assert_eq!(ids.len(), 1000);
+        for id in &ids {
+            assert_eq!(id.len(), 16);
+            assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+}

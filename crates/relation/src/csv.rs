@@ -130,7 +130,16 @@ pub fn relation_from_csv(text: &str, options: CsvOptions) -> Result<Relation, Re
         builder.push_row(record.iter().map(|s| s.as_str()))?;
     }
     let rel = builder.finish();
-    Ok(if options.dedup { rel.distinct() } else { rel })
+    let rel = if options.dedup { rel.distinct() } else { rel };
+    // One-shot ingestion telemetry; parsing itself stays uninstrumented.
+    let registry = obs::global();
+    registry.describe("maimon_relations_loaded_total", "Relations successfully parsed from CSV");
+    registry.counter("maimon_relations_loaded_total", &[("source", "csv")]).inc();
+    registry.describe("maimon_relation_rows_loaded_total", "Rows ingested across all CSV loads");
+    registry
+        .counter("maimon_relation_rows_loaded_total", &[("source", "csv")])
+        .add(rel.n_rows() as u64);
+    Ok(rel)
 }
 
 /// Serializes a relation to CSV text with a header row. Fields containing the

@@ -13,6 +13,7 @@
 //! Shed requests receive a well-formed `overloaded` response immediately;
 //! they are never silently dropped.
 
+use maimon::obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -44,11 +45,23 @@ pub struct AdmissionStats {
     pub shed_queue_full: u64,
 }
 
+/// Per-tenant slice of the admission counters, so `stats` can attribute
+/// sheds to the tenant that caused them instead of reporting only the
+/// server-wide total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantAdmissionStats {
+    /// Mining requests of this tenant admitted past the cap.
+    pub admitted: u64,
+    /// Mining requests of this tenant shed at its in-flight cap.
+    pub shed_tenant_cap: u64,
+}
+
 /// Tracks in-flight mining work per tenant and the shed counters.
 #[derive(Debug, Default)]
 pub struct AdmissionController {
     config: AdmissionConfig,
     in_flight: Mutex<HashMap<String, usize>>,
+    per_tenant: Mutex<HashMap<String, TenantAdmissionStats>>,
     admitted: AtomicU64,
     shed_tenant: AtomicU64,
     shed_queue: AtomicU64,
@@ -95,22 +108,57 @@ impl AdmissionController {
             if *slot >= self.config.max_in_flight_per_tenant {
                 drop(in_flight);
                 self.shed_tenant.fetch_add(1, Ordering::Relaxed);
+                self.tenant_entry(tenant, |t| t.shed_tenant_cap += 1);
+                let registry = obs::global();
+                registry.describe(
+                    "maimon_requests_shed_total",
+                    "Requests shed by admission control, by reason",
+                );
+                registry
+                    .counter(
+                        "maimon_requests_shed_total",
+                        &[("reason", "tenant_cap"), ("tenant", tenant)],
+                    )
+                    .inc();
                 return None;
             }
             *slot += 1;
         }
         self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.tenant_entry(tenant, |t| t.admitted += 1);
         Some(AdmissionPermit { controller: Arc::clone(self), tenant: tenant.to_string() })
     }
 
     /// Records a connection shed by the server's queue bound.
     pub fn note_queue_shed(&self) {
         self.shed_queue.fetch_add(1, Ordering::Relaxed);
+        let registry = obs::global();
+        registry.describe(
+            "maimon_requests_shed_total",
+            "Requests shed by admission control, by reason",
+        );
+        registry.counter("maimon_requests_shed_total", &[("reason", "queue_full")]).inc();
+    }
+
+    fn tenant_entry(&self, tenant: &str, update: impl FnOnce(&mut TenantAdmissionStats)) {
+        let mut per_tenant = self.per_tenant.lock().expect("admission lock poisoned");
+        update(per_tenant.entry(tenant.to_string()).or_default());
     }
 
     /// Current in-flight count for a tenant (0 when idle).
     pub fn in_flight(&self, tenant: &str) -> usize {
         self.in_flight.lock().expect("admission lock poisoned").get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Per-tenant admission/shed attribution, sorted by tenant label.
+    /// Covers every tenant that ever issued a mining request (in-flight maps
+    /// forget idle tenants; these counters do not).
+    pub fn tenant_stats(&self) -> Vec<(String, TenantAdmissionStats)> {
+        let per_tenant = self.per_tenant.lock().expect("admission lock poisoned");
+        let mut entries: Vec<(String, TenantAdmissionStats)> =
+            per_tenant.iter().map(|(name, stats)| (name.clone(), *stats)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
     }
 
     /// Current counters.
@@ -151,6 +199,17 @@ mod tests {
         assert_eq!(stats.admitted, 4);
         assert_eq!(stats.shed_tenant_cap, 1);
         assert_eq!(stats.shed_queue_full, 0);
+
+        // The shed is attributed to the tenant that caused it, not only to
+        // the server-wide total.
+        let tenants = ctl.tenant_stats();
+        assert_eq!(
+            tenants,
+            vec![
+                ("alice".to_string(), TenantAdmissionStats { admitted: 3, shed_tenant_cap: 1 }),
+                ("bob".to_string(), TenantAdmissionStats { admitted: 1, shed_tenant_cap: 0 }),
+            ]
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! maimon-served [--addr 127.0.0.1:7464] [--workers 4]
 //!               [--dataset name=path.csv]... [--demo]
 //!               [--max-in-flight N] [--queue-depth N] [--epsilon E]
+//!               [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! `--demo` registers the paper's running example plus the `Bridges`
@@ -15,13 +16,20 @@
 //! hand. On startup the bound address is printed as
 //! `maimon-served listening on ADDR` (stdout, flushed), which is what the
 //! smoke tests — and shell scripts — wait for.
+//!
+//! `--metrics-addr` additionally serves the process-wide metrics registry
+//! as Prometheus text exposition over plain HTTP GET (any path), announced
+//! as `maimon-served metrics on ADDR` before the main banner.
 
+use maimon::obs;
 use maimon::relation::{relation_from_csv, CsvOptions};
-use maimon::MaimonConfig;
+use maimon::{CancelToken, MaimonConfig};
 use serve::{serve, AdmissionConfig, DatasetRegistry, ServerConfig};
-use std::io::Write;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Set by the signal handler; polled by the main loop.
@@ -62,6 +70,7 @@ mod signals {
 
 struct Options {
     addr: String,
+    metrics_addr: Option<String>,
     workers: usize,
     datasets: Vec<(String, String)>,
     demo: bool,
@@ -74,7 +83,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: maimon-served [--addr HOST:PORT] [--workers N] \
          [--dataset name=path.csv]... [--demo] [--epsilon E] \
-         [--max-in-flight N] [--queue-depth N]"
+         [--max-in-flight N] [--queue-depth N] [--metrics-addr HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -82,6 +91,7 @@ fn usage() -> ! {
 fn parse_options() -> Options {
     let mut options = Options {
         addr: "127.0.0.1:7464".to_string(),
+        metrics_addr: None,
         workers: 4,
         datasets: Vec::new(),
         demo: false,
@@ -99,6 +109,7 @@ fn parse_options() -> Options {
         };
         match arg.as_str() {
             "--addr" => options.addr = value("--addr"),
+            "--metrics-addr" => options.metrics_addr = Some(value("--metrics-addr")),
             "--workers" => options.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--epsilon" => options.epsilon = value("--epsilon").parse().unwrap_or_else(|_| usage()),
             "--max-in-flight" => {
@@ -132,6 +143,59 @@ fn parse_options() -> Options {
         usage()
     }
     options
+}
+
+/// Serves Prometheus text exposition over plain HTTP GET on `addr` until
+/// `shutdown` fires. Hand-rolled HTTP/1.1: read the request head, answer
+/// `200 text/plain` with the rendered registry, close. Any path works —
+/// scrapers conventionally use `/metrics`.
+fn spawn_metrics_listener(
+    addr: &str,
+    shutdown: CancelToken,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let thread = std::thread::spawn(move || {
+        while !shutdown.is_cancelled() {
+            match listener.accept() {
+                Ok((stream, _peer)) => serve_metrics_request(stream),
+                // Non-blocking: nothing pending — nap and re-check shutdown.
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    });
+    Ok((local, thread))
+}
+
+fn serve_metrics_request(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    // Drain the request head; the response is the same whatever it says.
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = obs::render_prometheus(obs::global());
+    let response = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
 }
 
 fn main() {
@@ -181,6 +245,18 @@ fn main() {
         std::process::exit(1);
     });
 
+    let metrics_thread = options.metrics_addr.as_deref().map(|addr| {
+        let (local, thread) =
+            spawn_metrics_listener(addr, handle.shutdown_token()).unwrap_or_else(|e| {
+                eprintln!("cannot bind metrics listener: {e}");
+                std::process::exit(1);
+            });
+        // Announced before the main banner so scripts that wait for
+        // "listening on" can already read the resolved metrics address.
+        println!("maimon-served metrics on {local}");
+        thread
+    });
+
     // The smoke tests (and shell scripts) wait for this exact line.
     println!("maimon-served listening on {}", handle.local_addr());
     std::io::stdout().flush().expect("stdout is writable");
@@ -190,5 +266,8 @@ fn main() {
     }
     eprintln!("maimon-served shutting down");
     handle.shutdown();
+    if let Some(thread) = metrics_thread {
+        let _ = thread.join();
+    }
     println!("maimon-served stopped");
 }

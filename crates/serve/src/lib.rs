@@ -16,7 +16,7 @@
 //!   session share the oracle and artifact caches while carrying their own
 //!   per-request deadline/cancellation ([`registry`]).
 //! * [`protocol`] — the line-delimited request/response JSON shapes
-//!   (`ping`, `list`, `mine`, `decompose`, `stats`).
+//!   (`ping`, `list`, `mine`, `decompose`, `stats`, `metrics`).
 //! * [`AdmissionController`] — per-tenant in-flight caps and the connection
 //!   queue bound; shed requests get explicit `overloaded` responses
 //!   ([`admission`]).
@@ -45,7 +45,9 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats};
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats, TenantAdmissionStats,
+};
 pub use protocol::{error_response, ok_response, ErrorKind, Request};
 pub use registry::{DatasetRegistry, RegistryStats};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -13,6 +13,7 @@
 //! {"op":"ping"}
 //! {"op":"list"}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"mine","dataset":"nursery","epsilon":0.1,"timeout_ms":500,"tenant":"alice"}
 //! {"op":"decompose","dataset":"nursery","epsilon":0.1,"tenant":"alice"}
 //! {"op":"append","dataset":"nursery","rows":[["usual","proper","complete"]],"tenant":"alice"}
@@ -43,6 +44,10 @@ pub enum Request {
     List,
     /// Export server/oracle/reducer counters.
     Stats,
+    /// Export the process-wide metrics registry (counters, gauges and
+    /// histograms with their label sets) as a JSON document; the same data
+    /// the `--metrics-addr` Prometheus endpoint renders as text.
+    Metrics,
     /// Mine the full pipeline (`quality(ε)`) on a registered dataset.
     Mine {
         /// Registered dataset name.
@@ -188,6 +193,7 @@ impl FromJson for Request {
             "ping" => Ok(Request::Ping),
             "list" => Ok(Request::List),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "mine" => {
                 let (dataset, epsilon, timeout_ms, tenant) = Self::mine_fields(json)?;
                 Ok(Request::Mine { dataset, epsilon, timeout_ms, tenant })
@@ -219,6 +225,7 @@ impl ToJson for Request {
             Request::Ping => Json::object([("op", Json::from("ping"))]),
             Request::List => Json::object([("op", Json::from("list"))]),
             Request::Stats => Json::object([("op", Json::from("stats"))]),
+            Request::Metrics => Json::object([("op", Json::from("metrics"))]),
             Request::Mine { dataset, epsilon, timeout_ms, tenant } => Json::object([
                 ("op", Json::from("mine")),
                 ("dataset", Json::from(dataset.as_str())),
@@ -283,6 +290,7 @@ mod tests {
             Request::Ping,
             Request::List,
             Request::Stats,
+            Request::Metrics,
             Request::Mine {
                 dataset: "nursery".into(),
                 epsilon: 0.1,

@@ -15,13 +15,14 @@ use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats};
 use crate::protocol::{error_response, ok_response, ErrorKind, Request};
 use crate::registry::DatasetRegistry;
 use maimon::json::Json;
+use maimon::obs::{self, MetricValue, StageCollector};
 use maimon::wire::{FromJson, ToJson};
 use maimon::{CancelToken, MaimonSession};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -57,6 +58,7 @@ struct ServeCounters {
     ping: AtomicU64,
     list: AtomicU64,
     stats: AtomicU64,
+    metrics: AtomicU64,
     mine: AtomicU64,
     decompose: AtomicU64,
     append: AtomicU64,
@@ -281,16 +283,78 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     }
 }
 
+/// The slow-request log threshold, read once from `MAIMON_SLOW_MS` (absent
+/// or unparsable → slow logging off).
+fn slow_threshold() -> Option<Duration> {
+    static SLOW: OnceLock<Option<Duration>> = OnceLock::new();
+    *SLOW.get_or_init(|| {
+        std::env::var("MAIMON_SLOW_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+    })
+}
+
+/// Appends the request's trace ID to a response envelope.
+fn with_trace(mut response: Json, trace_id: &str) -> Json {
+    if let Json::Object(fields) = &mut response {
+        fields.push(("trace_id".to_string(), Json::from(trace_id)));
+    }
+    response
+}
+
 /// Parses and executes one request line, returning the response document.
+///
+/// Every response envelope carries a `trace_id`: the client's, echoed, when
+/// the request had a string `trace_id` field, or a server-generated one
+/// otherwise. Latency lands in the `maimon_request_duration_ns{op,tenant}`
+/// histogram; requests slower than `MAIMON_SLOW_MS` additionally emit one
+/// structured stderr line with the trace ID and the per-stage breakdown.
 fn dispatch(shared: &Arc<Shared>, line: &str) -> Json {
-    let request = match Request::from_json_str(line) {
-        Ok(request) => request,
-        Err(e) => {
+    let start = Instant::now();
+    let parsed = Json::parse(line).ok();
+    let trace_id = parsed
+        .as_ref()
+        .and_then(|json| json.get("trace_id"))
+        .and_then(Json::as_str)
+        .map_or_else(obs::next_trace_id, str::to_string);
+    let request = match parsed.as_ref().map(Request::from_json) {
+        Some(Ok(request)) => request,
+        Some(Err(e)) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            return error_response(ErrorKind::BadRequest, e.to_string());
+            note_error("bad_request");
+            return with_trace(error_response(ErrorKind::BadRequest, e.to_string()), &trace_id);
+        }
+        None => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            note_error("bad_request");
+            return with_trace(error_response(ErrorKind::BadRequest, "invalid JSON"), &trace_id);
         }
     };
-    match request {
+    let op = match &request {
+        Request::Ping => "ping",
+        Request::List => "list",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Mine { .. } => "mine",
+        Request::Decompose { .. } => "decompose",
+        Request::Append { .. } => "append",
+    };
+    let tenant_label = match &request {
+        Request::Mine { tenant, .. }
+        | Request::Decompose { tenant, .. }
+        | Request::Append { tenant, .. } => tenant.clone().unwrap_or_default(),
+        _ => String::new(),
+    };
+    let (dataset, epsilon) = match &request {
+        Request::Mine { dataset, epsilon, .. } | Request::Decompose { dataset, epsilon, .. } => {
+            (Some(dataset.clone()), Some(*epsilon))
+        }
+        Request::Append { dataset, .. } => (Some(dataset.clone()), None),
+        _ => (None, None),
+    };
+    let stages = Arc::new(StageCollector::new());
+    let response = match request {
         Request::Ping => {
             shared.counters.ping.fetch_add(1, Ordering::Relaxed);
             ok_response("ping", [])
@@ -303,19 +367,105 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Json {
             shared.counters.stats.fetch_add(1, Ordering::Relaxed);
             handle_stats(shared)
         }
+        Request::Metrics => {
+            shared.counters.metrics.fetch_add(1, Ordering::Relaxed);
+            handle_metrics()
+        }
         Request::Mine { dataset, epsilon, timeout_ms, tenant } => {
             shared.counters.mine.fetch_add(1, Ordering::Relaxed);
-            handle_mine(shared, &dataset, epsilon, timeout_ms, tenant.as_deref())
+            handle_mine(shared, &dataset, epsilon, timeout_ms, tenant.as_deref(), &stages)
         }
         Request::Decompose { dataset, epsilon, timeout_ms, tenant } => {
             shared.counters.decompose.fetch_add(1, Ordering::Relaxed);
-            handle_decompose(shared, &dataset, epsilon, timeout_ms, tenant.as_deref())
+            handle_decompose(shared, &dataset, epsilon, timeout_ms, tenant.as_deref(), &stages)
         }
         Request::Append { dataset, rows, tenant } => {
             shared.counters.append.fetch_add(1, Ordering::Relaxed);
             handle_append(shared, &dataset, &rows, tenant.as_deref())
         }
+    };
+    let elapsed = start.elapsed();
+    let registry = obs::global();
+    registry.describe(
+        "maimon_request_duration_ns",
+        "Served request latency in nanoseconds, by operation and tenant",
+    );
+    registry
+        .histogram("maimon_request_duration_ns", &[("op", op), ("tenant", &tenant_label)])
+        .record_duration(elapsed);
+    if response.get("ok").and_then(Json::as_bool) == Some(false) {
+        let kind = response.get("kind").and_then(Json::as_str).unwrap_or("internal");
+        // Overload sheds are already attributed (with tenant) by the
+        // admission controller; count only genuine failures here.
+        if kind != ErrorKind::Overloaded.label() {
+            note_error(kind);
+        }
     }
+    if response.get("truncated").and_then(Json::as_bool) == Some(true) {
+        registry.describe(
+            "maimon_responses_truncated_total",
+            "Responses whose mining result was truncated by a deadline or limit",
+        );
+        registry.counter("maimon_responses_truncated_total", &[("op", op)]).inc();
+    }
+    if let Some(threshold) = slow_threshold() {
+        if elapsed >= threshold {
+            let line = Json::object([
+                ("event", Json::from("slow_request")),
+                ("trace_id", Json::from(trace_id.as_str())),
+                ("op", Json::from(op)),
+                ("tenant", Json::from(tenant_label.as_str())),
+                ("dataset", dataset.map_or(Json::Null, |d| Json::from(d.as_str()))),
+                ("epsilon", epsilon.map_or(Json::Null, Json::from)),
+                ("elapsed_ms", Json::from(elapsed.as_millis() as u64)),
+                ("stages", stages.breakdown().to_json()),
+            ]);
+            eprintln!("{line}");
+        }
+    }
+    with_trace(response, &trace_id)
+}
+
+/// Bumps the registry's error counter for one failure class.
+fn note_error(kind: &str) {
+    let registry = obs::global();
+    registry.describe("maimon_request_errors_total", "Failed requests, by error kind");
+    registry.counter("maimon_request_errors_total", &[("kind", kind)]).inc();
+}
+
+/// The `metrics` operation: the process-wide registry as a JSON document
+/// (the same data `--metrics-addr` renders as Prometheus text).
+fn handle_metrics() -> Json {
+    let metrics: Vec<Json> = obs::global()
+        .snapshot()
+        .into_iter()
+        .map(|snapshot| {
+            let labels = Json::Object(
+                snapshot
+                    .labels
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), Json::from(v.as_str())))
+                    .collect(),
+            );
+            let value = match &snapshot.value {
+                MetricValue::Counter(v) => Json::from(*v),
+                MetricValue::Gauge(v) => Json::Int(i128::from(*v)),
+                MetricValue::Histogram { buckets, sum, count } => Json::object([
+                    ("buckets", Json::Array(buckets.iter().map(|&b| Json::from(b)).collect())),
+                    ("sum", Json::from(*sum)),
+                    ("count", Json::from(*count)),
+                ]),
+            };
+            Json::object([
+                ("name", Json::from(snapshot.name)),
+                ("kind", Json::from(snapshot.kind.as_str())),
+                ("help", Json::from(snapshot.help)),
+                ("labels", labels),
+                ("value", value),
+            ])
+        })
+        .collect();
+    ok_response("metrics", [("metrics", Json::Array(metrics))])
 }
 
 /// Builds the per-request session: the registry's shared handle with this
@@ -339,11 +489,13 @@ fn handle_mine(
     epsilon: f64,
     timeout_ms: Option<u64>,
     tenant: Option<&str>,
+    stages: &Arc<StageCollector>,
 ) -> Json {
     let Some(session) = request_session(shared, dataset, timeout_ms) else {
         shared.counters.errors.fetch_add(1, Ordering::Relaxed);
         return error_response(ErrorKind::NotFound, format!("unknown dataset {dataset:?}"));
     };
+    let session = session.with_stages(Arc::clone(stages));
     let Some(_permit) = shared.admission.try_admit(tenant.unwrap_or_default()) else {
         return error_response(
             ErrorKind::Overloaded,
@@ -426,11 +578,13 @@ fn handle_decompose(
     epsilon: f64,
     timeout_ms: Option<u64>,
     tenant: Option<&str>,
+    stages: &Arc<StageCollector>,
 ) -> Json {
     let Some(session) = request_session(shared, dataset, timeout_ms) else {
         shared.counters.errors.fetch_add(1, Ordering::Relaxed);
         return error_response(ErrorKind::NotFound, format!("unknown dataset {dataset:?}"));
     };
+    let session = session.with_stages(Arc::clone(stages));
     let Some(_permit) = shared.admission.try_admit(tenant.unwrap_or_default()) else {
         return error_response(
             ErrorKind::Overloaded,
@@ -481,11 +635,24 @@ fn handle_list(shared: &Arc<Shared>) -> Json {
     ok_response("list", [("datasets", Json::Array(datasets))])
 }
 
-fn admission_stats_json(stats: AdmissionStats) -> Json {
+fn admission_stats_json(admission: &AdmissionController) -> Json {
+    let stats: AdmissionStats = admission.stats();
+    let tenants: Vec<Json> = admission
+        .tenant_stats()
+        .into_iter()
+        .map(|(tenant, t)| {
+            Json::object([
+                ("tenant", Json::from(tenant.as_str())),
+                ("admitted", Json::from(t.admitted)),
+                ("shed_tenant_cap", Json::from(t.shed_tenant_cap)),
+            ])
+        })
+        .collect();
     Json::object([
         ("admitted", Json::from(stats.admitted)),
         ("shed_tenant_cap", Json::from(stats.shed_tenant_cap)),
         ("shed_queue_full", Json::from(stats.shed_queue_full)),
+        ("tenants", Json::Array(tenants)),
     ])
 }
 
@@ -527,13 +694,14 @@ fn handle_stats(shared: &Arc<Shared>) -> Json {
                     ("session_misses", Json::from(registry_stats.session_misses)),
                 ]),
             ),
-            ("admission", admission_stats_json(shared.admission.stats())),
+            ("admission", admission_stats_json(&shared.admission)),
             (
                 "requests",
                 Json::object([
                     ("ping", Json::from(c.ping.load(Ordering::Relaxed))),
                     ("list", Json::from(c.list.load(Ordering::Relaxed))),
                     ("stats", Json::from(c.stats.load(Ordering::Relaxed))),
+                    ("metrics", Json::from(c.metrics.load(Ordering::Relaxed))),
                     ("mine", Json::from(c.mine.load(Ordering::Relaxed))),
                     ("decompose", Json::from(c.decompose.load(Ordering::Relaxed))),
                     ("append", Json::from(c.append.load(Ordering::Relaxed))),

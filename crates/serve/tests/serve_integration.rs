@@ -164,6 +164,104 @@ fn tenant_in_flight_cap_sheds_with_overloaded() {
 }
 
 #[test]
+fn tenant_sheds_are_attributed_per_tenant() {
+    // Regression: `stats` used to report `overloaded` sheds only as a
+    // server-wide total; each shed must be attributed to the tenant whose
+    // cap caused it.
+    let admission = AdmissionConfig { max_in_flight_per_tenant: 0, max_queue_depth: 64 };
+    let handle = start_server(admission, &[("running", running_example())]);
+    let addr = handle.local_addr();
+
+    for tenant in ["alice", "alice", "bob"] {
+        let shed = roundtrip(
+            addr,
+            &format!(r#"{{"op":"mine","dataset":"running","epsilon":0.0,"tenant":"{tenant}"}}"#),
+        );
+        assert_eq!(shed.get("kind").and_then(Json::as_str), Some("overloaded"), "{shed}");
+    }
+
+    let stats = roundtrip(addr, r#"{"op":"stats"}"#);
+    let admission_stats = stats.get("admission").unwrap();
+    assert_eq!(admission_stats.get("shed_tenant_cap").and_then(Json::as_i128), Some(3));
+    let tenants = admission_stats.get("tenants").and_then(Json::as_array).unwrap();
+    let shed_of = |name: &str| {
+        tenants
+            .iter()
+            .find(|t| t.get("tenant").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("tenant {name} missing from {stats}"))
+            .get("shed_tenant_cap")
+            .and_then(Json::as_i128)
+            .unwrap()
+    };
+    assert_eq!(shed_of("alice"), 2, "{stats}");
+    assert_eq!(shed_of("bob"), 1, "{stats}");
+    handle.shutdown();
+}
+
+#[test]
+fn trace_ids_are_echoed_or_generated() {
+    let handle = start_server(AdmissionConfig::default(), &[("running", running_example())]);
+    let addr = handle.local_addr();
+
+    // A client-provided trace ID is echoed verbatim, on successes and
+    // failures alike.
+    let echoed = roundtrip(addr, r#"{"op":"ping","trace_id":"cafe-0042"}"#);
+    assert_ok(&echoed, "ping");
+    assert_eq!(echoed.get("trace_id").and_then(Json::as_str), Some("cafe-0042"), "{echoed}");
+    let failed = roundtrip(addr, r#"{"op":"warp","trace_id":"cafe-0043"}"#);
+    assert_eq!(failed.get("trace_id").and_then(Json::as_str), Some("cafe-0043"), "{failed}");
+
+    // Absent one, the server generates a 16-hex-digit ID, distinct per
+    // request.
+    let a = roundtrip(addr, r#"{"op":"ping"}"#);
+    let b = roundtrip(addr, r#"{"op":"ping"}"#);
+    let id_of = |json: &Json| json.get("trace_id").and_then(Json::as_str).unwrap().to_string();
+    let (id_a, id_b) = (id_of(&a), id_of(&b));
+    assert_eq!(id_a.len(), 16, "{a}");
+    assert!(id_a.chars().all(|c| c.is_ascii_hexdigit()), "{a}");
+    assert_ne!(id_a, id_b);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_op_exports_the_request_histograms() {
+    let handle = start_server(AdmissionConfig::default(), &[("running", running_example())]);
+    let addr = handle.local_addr();
+
+    let mined = roundtrip(addr, r#"{"op":"mine","dataset":"running","epsilon":0.0}"#);
+    assert_ok(&mined, "mine");
+
+    let response = roundtrip(addr, r#"{"op":"metrics"}"#);
+    assert_ok(&response, "metrics");
+    let metrics = response.get("metrics").and_then(Json::as_array).unwrap();
+    // The registry is process-wide (other tests in this binary contribute),
+    // so assert presence and shape, not exact counts.
+    let mine_latency = metrics
+        .iter()
+        .find(|m| {
+            m.get("name").and_then(Json::as_str) == Some("maimon_request_duration_ns")
+                && m.get("labels").and_then(|l| l.get("op")).and_then(Json::as_str) == Some("mine")
+        })
+        .unwrap_or_else(|| panic!("no mine-latency histogram in {response}"));
+    assert_eq!(mine_latency.get("kind").and_then(Json::as_str), Some("histogram"));
+    let value = mine_latency.get("value").unwrap();
+    assert!(value.get("count").and_then(Json::as_i128).unwrap() >= 1, "{response}");
+    assert!(value.get("sum").and_then(Json::as_i128).unwrap() > 0, "{response}");
+    let buckets = value.get("buckets").and_then(Json::as_array).unwrap();
+    assert!(!buckets.is_empty());
+
+    // The per-pipeline-stage histograms recorded by the span layer are
+    // exported too: the mine above must have timed at least one stage.
+    assert!(
+        metrics
+            .iter()
+            .any(|m| { m.get("name").and_then(Json::as_str) == Some("maimon_stage_duration_ns") }),
+        "no stage histograms in {response}"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn full_connection_queue_sheds_with_overloaded() {
     // A zero-depth queue sheds every connection deterministically at accept.
     let admission = AdmissionConfig { max_in_flight_per_tenant: 2, max_queue_depth: 0 };

@@ -1,10 +1,11 @@
 //! Smoke test of the `maimon-served` binary: boots on a loopback port,
-//! answers mine/stats requests over TCP, and shuts down cleanly (exit 0,
+//! answers mine/stats requests over TCP, serves Prometheus text over the
+//! `--metrics-addr` HTTP listener, and shuts down cleanly (exit 0,
 //! farewell line) on SIGTERM. Unix-only, like the signal plumbing it tests.
 #![cfg(unix)]
 
 use maimon::json::Json;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -30,17 +31,36 @@ fn wait_for_exit(child: &mut Child, budget: Duration) -> Option<std::process::Ex
     None
 }
 
+/// Plain HTTP/1.1 GET against the metrics listener; returns the full
+/// response (status line, headers, body) as one string.
+fn http_get(addr: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
 #[test]
 fn served_binary_boots_serves_and_stops_on_sigterm() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_maimon-served"))
-        .args(["--addr", "127.0.0.1:0", "--demo"])
+        .args(["--addr", "127.0.0.1:0", "--metrics-addr", "127.0.0.1:0", "--demo"])
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
         .expect("maimon-served spawns");
 
-    // The binary prints `maimon-served listening on ADDR` once bound.
+    // The binary prints `maimon-served metrics on ADDR` then
+    // `maimon-served listening on ADDR` once bound.
     let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut metrics_banner = String::new();
+    stdout.read_line(&mut metrics_banner).unwrap();
+    let metrics_addr = metrics_banner
+        .trim()
+        .strip_prefix("maimon-served metrics on ")
+        .unwrap_or_else(|| panic!("unexpected metrics banner {metrics_banner:?}"))
+        .to_string();
     let mut banner = String::new();
     stdout.read_line(&mut banner).unwrap();
     let addr = banner
@@ -78,6 +98,15 @@ fn served_binary_boots_serves_and_stops_on_sigterm() {
     assert_eq!(requests.get("rows_appended").and_then(Json::as_i128), Some(1));
     let registry = stats.get("registry").unwrap();
     assert_eq!(registry.get("datasets").and_then(Json::as_i128), Some(2), "--demo registers two");
+
+    // The metrics listener answers plain HTTP GET with Prometheus text
+    // exposition that reflects the requests served above.
+    let scrape = http_get(&metrics_addr);
+    assert!(scrape.starts_with("HTTP/1.1 200 OK"), "bad status: {scrape}");
+    assert!(scrape.contains("Content-Type: text/plain"), "bad content type: {scrape}");
+    assert!(scrape.contains("# TYPE maimon_request_duration_ns histogram"), "{scrape}");
+    assert!(scrape.contains("maimon_request_duration_ns_bucket"), "{scrape}");
+    assert!(scrape.contains(r#"op="mine""#), "{scrape}");
 
     // SIGTERM → clean shutdown: exit code 0 and the farewell line.
     let kill =

@@ -1,0 +1,117 @@
+//! End-to-end telemetry acceptance: the span layer's per-stage breakdown
+//! accounts for the pipeline's wall-clock time, travels on the wire format,
+//! and the metrics registry is exact under concurrent increments.
+
+use maimon::json::Json;
+use maimon::obs::{self, Histogram};
+use maimon::wire::{FromJson, ToJson};
+use maimon::{MaimonConfig, MaimonResult, MaimonSession, Stage, StageBreakdown, StageCollector};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// With one worker thread the stages are disjoint slices of the run, so
+/// their sum must land within 10 % of the measured wall time (the ISSUE's
+/// acceptance bound) — and never meaningfully above it.
+#[test]
+fn stage_sum_accounts_for_quality_wall_time_on_bridges_and_nursery() {
+    let bridges = maimon_datasets::dataset_by_name("Bridges")
+        .unwrap()
+        .generate(1.0)
+        .column_prefix(8)
+        .unwrap();
+    let nursery = maimon_datasets::nursery_with_rows(2_000);
+    for (name, rel) in [("bridges8", bridges), ("nursery", nursery)] {
+        let config = MaimonConfig::with_epsilon_and_threads(0.1, 1);
+        let collector = Arc::new(StageCollector::new());
+        // Session construction (PLI build) happens before the clock starts:
+        // the breakdown covers the mining pipeline, not data loading.
+        let session = MaimonSession::new(&rel, config).unwrap().with_stages(Arc::clone(&collector));
+        let started = Instant::now();
+        let result = session.quality(0.1).unwrap();
+        let wall = started.elapsed();
+        let breakdown = collector.breakdown();
+        let sum = breakdown.total();
+        assert!(!breakdown.is_zero(), "{name}: no stage time attributed");
+        assert!(
+            sum.as_secs_f64() >= wall.as_secs_f64() * 0.9,
+            "{name}: stages {sum:?} cover less than 90% of wall {wall:?}: {breakdown:?}"
+        );
+        assert!(
+            sum.as_secs_f64() <= wall.as_secs_f64() * 1.1,
+            "{name}: stages {sum:?} exceed wall {wall:?}: {breakdown:?}"
+        );
+
+        // The result carries the composed breakdown and exports it through
+        // the stable wire format.
+        let carried = &result.mvds.stats.stages;
+        assert!(!carried.is_zero(), "{name}: result carries no stage breakdown");
+        let json = Json::parse(&result.to_json_string()).unwrap();
+        let wired = json
+            .get("mvds")
+            .and_then(|m| m.get("stats"))
+            .and_then(|s| s.get("stages"))
+            .unwrap_or_else(|| panic!("{name}: no stages on the wire"));
+        assert_eq!(&StageBreakdown::from_json(wired).unwrap(), carried);
+        let back = MaimonResult::from_json_str(&result.to_json_string()).unwrap();
+        assert_eq!(&back.mvds.stats.stages, carried);
+    }
+}
+
+/// Histogram counts/sums are exact (saturating, never lossy) for the value
+/// ranges the pipeline records.
+#[test]
+fn histogram_buckets_are_cumulative_and_exact() {
+    let histogram = Histogram::default();
+    let values = [0u64, 1, 2, 3, 1_000, 1_000_000, u64::MAX];
+    for &v in &values {
+        histogram.record(v);
+    }
+    assert_eq!(histogram.count(), values.len() as u64);
+    let buckets = histogram.bucket_counts();
+    assert_eq!(buckets.iter().sum::<u64>(), values.len() as u64);
+}
+
+proptest! {
+    /// Counters and histograms registered through the global-style registry
+    /// lose no increments under concurrent writers.
+    #[test]
+    fn concurrent_increments_are_exact(threads in 1usize..6, per_thread in 1u64..400) {
+        let registry = obs::MetricsRegistry::new();
+        let counter = registry.counter("test_increments_total", &[("case", "proptest")]);
+        let histogram = registry.histogram("test_values", &[]);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let counter = Arc::clone(&counter);
+                let histogram = Arc::clone(&histogram);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        counter.inc();
+                        histogram.record(i);
+                    }
+                });
+            }
+        });
+        let expected = threads as u64 * per_thread;
+        prop_assert_eq!(counter.get(), expected);
+        prop_assert_eq!(histogram.count(), expected);
+        // The snapshot sees the same totals as the handles.
+        let snapshot = registry.snapshot();
+        let counter_snap = snapshot.iter().find(|m| m.name == "test_increments_total").unwrap();
+        match &counter_snap.value {
+            obs::MetricValue::Counter(v) => prop_assert_eq!(*v, expected),
+            other => prop_assert!(false, "unexpected snapshot value {:?}", other),
+        }
+    }
+}
+
+/// Stage names are stable identifiers: they feed metric labels and wire
+/// keys, so a rename is a breaking change.
+#[test]
+fn stage_names_are_locked() {
+    let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+    assert_eq!(
+        names,
+        ["mine_min_seps", "full_mvds", "transversal", "reduce", "measure", "decompose"]
+    );
+}

@@ -152,6 +152,29 @@ fn golden_serializations_are_byte_stable() {
             ..stats
         }
     );
+
+    // The per-stage breakdown (another additive v1 extension, carried on
+    // `MiningStats.stages`) serializes each stage as a {secs,nanos} duration
+    // in fixed pipeline order.
+    let mut stages = maimon::StageBreakdown::default();
+    stages.set(maimon::Stage::Transversal, std::time::Duration::new(1, 500_000_000));
+    stages.set(maimon::Stage::Measure, std::time::Duration::from_nanos(42));
+    assert_eq!(
+        stages.to_json_string(),
+        r#"{"mine_min_seps":{"secs":0,"nanos":0},"full_mvds":{"secs":0,"nanos":0},"transversal":{"secs":1,"nanos":500000000},"reduce":{"secs":0,"nanos":0},"measure":{"secs":0,"nanos":42},"decompose":{"secs":0,"nanos":0}}"#
+    );
+    assert_eq!(maimon::StageBreakdown::from_json_str(&stages.to_json_string()).unwrap(), stages);
+    // Documents written before the field existed — or carrying only some
+    // stages — parse with the missing stages zeroed.
+    let partial = maimon::StageBreakdown::from_json_str(
+        r#"{"transversal":{"secs":1,"nanos":500000000},"measure":{"secs":0,"nanos":42}}"#,
+    )
+    .unwrap();
+    assert_eq!(partial, stages);
+    assert_eq!(
+        maimon::StageBreakdown::from_json_str("{}").unwrap(),
+        maimon::StageBreakdown::default()
+    );
 }
 
 #[test]

@@ -182,7 +182,12 @@ fn staged_accessors_share_artifacts_with_the_sweep() {
         let quality = session.quality(point.epsilon).unwrap();
         assert!(Arc::ptr_eq(&quality, &point.result));
         let mvds = session.mvds(point.epsilon).unwrap();
-        assert_eq!(*mvds, point.result.mvds);
+        // The quality artifact's copy of the stats carries the *composed*
+        // stage breakdown (mining + enumeration + measurement), so compare
+        // the mined model and the deterministic counters, not the timings.
+        assert_eq!(mvds.mvds, point.result.mvds.mvds);
+        assert_eq!(mvds.separators, point.result.mvds.separators);
+        assert_eq!(mvds.stats.pairs_processed, point.result.mvds.stats.pairs_processed);
         let schemas = session.schemas(point.epsilon).unwrap();
         assert_eq!(
             schemas.schemas.len(),
