@@ -46,6 +46,16 @@ pub enum MaimonError {
     /// A serialized result could not be parsed or did not match the expected
     /// wire shape (see [`crate::wire`]).
     Wire(String),
+    /// The operation needs random row access to the in-memory relation
+    /// (quality evaluation, decomposition, appends), but the session was
+    /// mounted on an out-of-core storage backend. Entropies, `M_ε` and
+    /// schema enumeration remain available.
+    UnsupportedByBackend {
+        /// The operation that was requested.
+        operation: String,
+        /// The storage backend kind that cannot serve it.
+        backend: &'static str,
+    },
 }
 
 impl fmt::Display for MaimonError {
@@ -66,6 +76,14 @@ impl fmt::Display for MaimonError {
             }
             MaimonError::Store(msg) => write!(f, "decomposed store: {}", msg),
             MaimonError::Wire(msg) => write!(f, "wire format: {}", msg),
+            MaimonError::UnsupportedByBackend { operation, backend } => {
+                write!(
+                    f,
+                    "{} is not supported on the {:?} storage backend \
+                     (needs the in-memory relation)",
+                    operation, backend
+                )
+            }
         }
     }
 }

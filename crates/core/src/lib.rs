@@ -110,6 +110,7 @@ pub use entropy;
 pub use hypergraph;
 pub use obs;
 pub use relation;
+pub use storage;
 
 // The observability vocabulary travels on public API surfaces
 // (`MiningStats::stages`, `RunControl::with_stages`), so surface it at the

@@ -90,6 +90,7 @@ use relation::{AppendSummary, AttrSet, Relation};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
+use storage::RelationBackend;
 
 /// One threshold of an [`MaimonSession::epsilon_sweep`].
 #[derive(Clone, Debug, PartialEq)]
@@ -352,20 +353,38 @@ impl<T> ArtifactCache<T> {
     }
 }
 
-/// One immutable generation of the session's data: the relation at a given
-/// [`Relation::data_version`] and the oracle built over exactly that version.
+/// One immutable generation of the session's data: the storage backend at a
+/// given data version and the oracle built over exactly that version.
 /// Appends install a *new* `Arc<VersionState>`; requests that already
 /// snapshotted the old one keep mining against it unharmed.
 struct VersionState {
-    relation: Arc<Relation>,
+    /// The storage the oracle reads — the in-memory relation coerced to the
+    /// trait, or an out-of-core backend such as a paged column store.
+    backend: Arc<dyn RelationBackend>,
+    /// The in-memory twin when this session owns one; `None` for sessions
+    /// mounted on an out-of-core backend. Operations that need random row
+    /// access (quality evaluation, decomposition, appends) go through
+    /// [`VersionState::require_relation`].
+    relation: Option<Arc<Relation>>,
     oracle: PliEntropyOracle,
-    /// `relation.data_version()`, hoisted so cache keys and responses don't
-    /// chase the relation pointer.
+    /// The backend's data version, hoisted so cache keys and responses don't
+    /// chase the backend pointer.
     version: u64,
     /// The version this state was delta-extended from (`None` for the
     /// session's initial state). Bounds what `delta_sweep` compares against
     /// and what [`ArtifactCache::prune_below`] keeps.
     previous_version: Option<u64>,
+}
+
+impl VersionState {
+    /// The in-memory relation, or the typed error naming the operation that
+    /// needed it.
+    fn require_relation(&self, operation: &str) -> Result<&Arc<Relation>, MaimonError> {
+        self.relation.as_ref().ok_or_else(|| MaimonError::UnsupportedByBackend {
+            operation: operation.to_string(),
+            backend: self.backend.kind(),
+        })
+    }
 }
 
 /// Everything a session shares between its cheap-clone handles: the current
@@ -446,7 +465,60 @@ impl MaimonSession {
         let oracle = PliEntropyOracle::new(Arc::clone(&relation), config.entropy);
         let construction_stats = oracle.stats();
         let version = relation.data_version();
-        let state = VersionState { relation, oracle, version, previous_version: None };
+        let state = VersionState {
+            backend: Arc::clone(&relation) as Arc<dyn RelationBackend>,
+            relation: Some(relation),
+            oracle,
+            version,
+            previous_version: None,
+        };
+        Ok(MaimonSession {
+            inner: Arc::new(SessionInner {
+                config,
+                state: RwLock::new(Arc::new(state)),
+                append_lock: Mutex::new(()),
+                construction_stats,
+                mvd_cache: ArtifactCache::new(),
+                schema_cache: ArtifactCache::new(),
+                result_cache: ArtifactCache::new(),
+            }),
+            cancel: None,
+            progress: None,
+            deadline: None,
+            stages: None,
+        })
+    }
+
+    /// Creates a session over an arbitrary storage backend (e.g. a
+    /// [`storage::PagedColumnarRelation`] mounted by the serve layer's
+    /// `--paged-dataset` flag). Entropy queries, `M_ε` mining and schema
+    /// enumeration behave exactly as on an in-memory session — partitions
+    /// are built from chunked scans, bit-identically — while operations that
+    /// need random row access (quality evaluation, decomposition, appends)
+    /// return [`MaimonError::UnsupportedByBackend`].
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is invalid or the backend is
+    /// empty or has fewer than two attributes — the same contract as
+    /// [`MaimonSession::new`].
+    pub fn from_backend(
+        backend: Arc<dyn RelationBackend>,
+        config: MaimonConfig,
+    ) -> Result<Self, MaimonError> {
+        config.validate()?;
+        if backend.arity() < 2 {
+            return Err(MaimonError::InvalidConfig(
+                "schema mining needs at least two attributes".into(),
+            ));
+        }
+        if backend.n_rows() == 0 {
+            return Err(MaimonError::InvalidConfig("relation has no tuples".into()));
+        }
+        let oracle = PliEntropyOracle::from_backend(Arc::clone(&backend), config.entropy);
+        let construction_stats = oracle.stats();
+        let version = backend.data_version();
+        let state =
+            VersionState { backend, relation: None, oracle, version, previous_version: None };
         Ok(MaimonSession {
             inner: Arc::new(SessionInner {
                 config,
@@ -505,8 +577,19 @@ impl MaimonSession {
     /// shared handle (not a borrow) because appends swap the session's
     /// relation: the handle stays valid — and internally consistent — however
     /// many appends land after it was taken.
+    ///
+    /// # Panics
+    /// Panics for sessions mounted on an out-of-core backend
+    /// ([`MaimonSession::from_backend`]); use [`MaimonSession::try_relation`]
+    /// when the backend kind is not statically known.
     pub fn relation(&self) -> Arc<Relation> {
-        Arc::clone(&self.state().relation)
+        self.try_relation().expect("session was mounted on an out-of-core storage backend")
+    }
+
+    /// The in-memory relation being profiled, if this session owns one
+    /// (`None` for sessions mounted on an out-of-core backend).
+    pub fn try_relation(&self) -> Option<Arc<Relation>> {
+        self.state().relation.as_ref().map(Arc::clone)
     }
 
     /// Shared handle to the relation being profiled (the same storage the
@@ -514,6 +597,39 @@ impl MaimonSession {
     /// for call sites that predate the versioned session.
     pub fn relation_arc(&self) -> Arc<Relation> {
         self.relation()
+    }
+
+    /// The storage backend being profiled, at its current data version.
+    pub fn backend(&self) -> Arc<dyn RelationBackend> {
+        Arc::clone(&self.state().backend)
+    }
+
+    /// Number of rows of the current data version, whatever the backend.
+    pub fn n_rows(&self) -> usize {
+        self.state().backend.n_rows()
+    }
+
+    /// Number of attributes of the current data version.
+    pub fn arity(&self) -> usize {
+        self.state().backend.arity()
+    }
+
+    /// The storage backend kind serving this session (`"in_memory"`,
+    /// `"paged"`, …), surfaced by the serve layer's `list`/`stats` ops.
+    pub fn storage_kind(&self) -> &'static str {
+        self.state().backend.kind()
+    }
+
+    /// Approximate bytes of the backend resident in memory right now
+    /// (dictionaries plus cached/materialized code storage).
+    pub fn resident_bytes(&self) -> usize {
+        self.state().backend.resident_bytes()
+    }
+
+    /// Whether this session can run the full quality pipeline (stage three
+    /// and decomposition) — true exactly when it owns an in-memory relation.
+    pub fn supports_quality(&self) -> bool {
+        self.state().relation.is_some()
     }
 
     /// The monotone data version of the relation currently being served.
@@ -547,12 +663,13 @@ impl MaimonSession {
         if rows.is_empty() {
             return Ok(AppendSummary { rows_appended: 0, data_version: state.version });
         }
-        let mut relation = (*state.relation).clone();
+        let mut relation = (**state.require_relation("append")?).clone();
         let summary = relation.append_rows(rows)?;
         let relation = Arc::new(relation);
         let oracle = state.oracle.extend_to(Arc::clone(&relation));
         let next = VersionState {
-            relation,
+            backend: Arc::clone(&relation) as Arc<dyn RelationBackend>,
+            relation: Some(relation),
             oracle,
             version: summary.data_version,
             previous_version: Some(state.version),
@@ -696,6 +813,18 @@ impl MaimonSession {
         self.schemas_at(&self.state(), epsilon)
     }
 
+    /// [`MaimonSession::schemas`] plus the data version the result is valid
+    /// for. This is the deepest stage an out-of-core session can serve (the
+    /// quality pass needs the in-memory relation), so the serve layer's
+    /// `mine` op degrades to it on paged datasets.
+    pub fn schemas_stamped(
+        &self,
+        epsilon: f64,
+    ) -> Result<(u64, Arc<SchemaMiningResult>), MaimonError> {
+        let state = self.state();
+        Ok((state.version, self.schemas_at(&state, epsilon)?))
+    }
+
     fn schemas_at(
         &self,
         state: &Arc<VersionState>,
@@ -710,7 +839,7 @@ impl MaimonSession {
                 let mvds = self.mvds_at(state, epsilon)?;
                 let mut schemas = mine_schemas_with(
                     &state.oracle,
-                    state.relation.schema().all_attrs(),
+                    state.backend.schema().all_attrs(),
                     &mvds.mvds,
                     &self.config_at(epsilon),
                     &self.control(),
@@ -755,6 +884,7 @@ impl MaimonSession {
             &self.control(),
             |result| result.truncated,
             || {
+                let relation = state.require_relation("quality evaluation")?;
                 let mvds = self.mvds_at(state, epsilon)?;
                 let schemas_raw = self.schemas_at(state, epsilon)?;
                 // Only time the measurement pass when a collector is
@@ -765,7 +895,7 @@ impl MaimonSession {
                 let pareto = {
                     let _span = Span::enter(Stage::Measure, measure_target);
                     for discovered in &schemas_raw.schemas {
-                        let quality = evaluate_schema(&state.relation, &discovered.schema)?;
+                        let quality = evaluate_schema(relation, &discovered.schema)?;
                         schemas.push(RankedSchema { discovered: discovered.clone(), quality });
                     }
                     let points: Vec<(f64, f64)> = schemas
@@ -888,7 +1018,7 @@ impl MaimonSession {
         schema: &AcyclicSchema,
     ) -> Result<DecomposedInstance, MaimonError> {
         let _span = Span::enter(Stage::Decompose, self.stages.as_deref());
-        schema.decompose(&self.state().relation)
+        schema.decompose(self.state().require_relation("decomposition")?)
     }
 
     /// Stage four, driven by the pipeline: mines at `epsilon`, picks the
@@ -927,10 +1057,10 @@ impl MaimonSession {
                     .expect("savings are finite")
             })
             .map(|ranked| ranked.discovered.schema.clone())
-            .map_or_else(|| AcyclicSchema::trivial(state.relation.schema().all_attrs()), Ok)?;
+            .map_or_else(|| AcyclicSchema::trivial(state.backend.schema().all_attrs()), Ok)?;
         let instance = {
             let _span = Span::enter(Stage::Decompose, self.stages.as_deref());
-            schema.decompose(&state.relation)?
+            schema.decompose(state.require_relation("decomposition")?)?
         };
         Ok((state.version, schema, instance))
     }
@@ -1315,6 +1445,52 @@ mod tests {
         let first = fresh.delta_sweep([0.1]).unwrap();
         assert_eq!(first[0].previous_version, None);
         assert_eq!(first[0].survived, None);
+    }
+
+    #[test]
+    fn backend_sessions_serve_schemas_and_gate_relation_operations() {
+        use storage::{PagedColumnarRelation, PagedOptions};
+        let rel = Arc::new(running_example(true));
+        let store = PagedColumnarRelation::from_relation(
+            &rel,
+            PagedOptions { page_rows: 2, cache_pages: 2, dataset: "session-test".to_string() },
+        )
+        .unwrap();
+        let session =
+            MaimonSession::from_backend(Arc::new(store), MaimonConfig::default()).unwrap();
+        assert_eq!(session.storage_kind(), "paged");
+        assert!(!session.supports_quality());
+        assert!(session.try_relation().is_none());
+        assert_eq!(session.n_rows(), rel.n_rows());
+        assert_eq!(session.arity(), rel.arity());
+
+        // Stages 1–2 match an in-memory session over the same rows exactly.
+        let mem = MaimonSession::new(Arc::clone(&rel), MaimonConfig::default()).unwrap();
+        let m_paged = session.mvds(0.1).unwrap();
+        let m_mem = mem.mvds(0.1).unwrap();
+        assert_eq!(m_paged.mvds, m_mem.mvds);
+        assert_eq!(m_paged.separators, m_mem.separators);
+        let (version, schemas) = session.schemas_stamped(0.1).unwrap();
+        assert_eq!(version, session.data_version());
+        assert_eq!(schemas.schemas, mem.schemas(0.1).unwrap().schemas);
+
+        // Relation-dependent operations fail with the typed gate, not a panic.
+        let unsupported = |r: Result<(), MaimonError>, wanted: &str| match r {
+            Err(MaimonError::UnsupportedByBackend { operation, backend }) => {
+                assert_eq!(backend, "paged");
+                assert_eq!(operation, wanted);
+            }
+            other => panic!("expected UnsupportedByBackend({wanted}), got {other:?}"),
+        };
+        unsupported(session.quality(0.1).map(|_| ()), "quality evaluation");
+        unsupported(
+            session.append_rows(&[vec!["a1", "b2", "c1", "d2", "e2", "f1"]]).map(|_| ()),
+            "append",
+        );
+        let mined = schemas.schemas.first().expect("running example mines schemas");
+        unsupported(session.decompose_schema(&mined.schema).map(|_| ()), "decomposition");
+        // decompose_best goes through quality first, so it reports that gate.
+        unsupported(session.decompose_best(0.1).map(|_| ()), "quality evaluation");
     }
 
     #[test]

@@ -25,4 +25,4 @@ mod synthetic;
 pub use catalog::{dataset_by_name, metanome_catalog, DatasetSpec};
 pub use nursery::{nursery, nursery_with_rows, NURSERY_INPUT_DOMAINS, NURSERY_ROWS};
 pub use running_example::{running_example, running_example_with_red_tuple};
-pub use synthetic::{planted_acyclic_relation, SyntheticSpec};
+pub use synthetic::{planted_acyclic_relation, write_planted_csv, PlantedRowStream, SyntheticSpec};

@@ -47,8 +47,9 @@
 //! [`Pli::intersect`] remains as a convenience wrapper that allocates a
 //! fresh scratch per call.
 
-use relation::{AttrSet, FoldKeyMap, Relation};
+use relation::{AttrSet, FoldKeyMap, KeyFold, Relation};
 use std::collections::HashMap;
+use storage::RelationBackend;
 
 /// A stripped partition: clusters of row indices, each of size ≥ 2, grouping
 /// rows with equal values on some attribute set. Stored as a flat CSR arena
@@ -70,13 +71,20 @@ impl Pli {
     /// the column's cardinality (the previous representation allocated one
     /// bucket `Vec` per dictionary code, painful on high-cardinality columns
     /// where almost every value is a singleton).
-    pub fn from_column(rel: &Relation, attr: usize) -> Pli {
-        let codes = rel.column_codes(attr);
-        let cardinality = rel.column_cardinality(attr);
+    ///
+    /// Consumes the column as a chunk stream ([`RelationBackend::scan_column`])
+    /// so the same code serves the in-memory store (one whole-column chunk,
+    /// inner loops unchanged) and the paged store. Both passes accumulate
+    /// across chunk boundaries, so the result is chunk-size invariant —
+    /// bit-identical whatever the backend's page size.
+    pub fn from_column(source: &dyn RelationBackend, attr: usize) -> Pli {
+        let cardinality = source.column_cardinality(attr);
         let mut counts = vec![0u32; cardinality];
-        for &code in codes {
-            counts[code as usize] += 1;
-        }
+        source.scan_column(attr, &mut |_, codes| {
+            for &code in codes {
+                counts[code as usize] += 1;
+            }
+        });
         // Directory pass: reserve an arena range per non-singleton code, in
         // code order (= first-occurrence order, since dictionaries assign
         // codes by first appearance — so this is ascending-first-row order).
@@ -92,14 +100,16 @@ impl Pli {
             }
         }
         let mut rows = vec![0u32; total as usize];
-        for (row, &code) in codes.iter().enumerate() {
-            let cursor = starts[code as usize];
-            if cursor != u32::MAX {
-                rows[cursor as usize] = row as u32;
-                starts[code as usize] = cursor + 1;
+        source.scan_column(attr, &mut |start, codes| {
+            for (i, &code) in codes.iter().enumerate() {
+                let cursor = starts[code as usize];
+                if cursor != u32::MAX {
+                    rows[cursor as usize] = (start + i) as u32;
+                    starts[code as usize] = cursor + 1;
+                }
             }
-        }
-        Pli { rows, offsets, n_rows: rel.n_rows() }
+        });
+        Pli { rows, offsets, n_rows: source.n_rows() }
     }
 
     /// Builds the stripped partition of an arbitrary attribute set by
@@ -109,36 +119,49 @@ impl Pli {
     /// row instead of hashing (and allocating) a per-row `Vec<u32>`; wider
     /// sets fall back to vector keys. Used as the reference implementation
     /// and as a fallback when no cached partition is available.
-    pub fn from_attrs(rel: &Relation, attrs: AttrSet) -> Pli {
-        let n = rel.n_rows();
+    ///
+    /// Rows arrive through an aligned multi-column chunk stream
+    /// ([`RelationBackend::scan_columns`]); since chunks tile the row range
+    /// in ascending order, group ids still assign in first-occurrence order
+    /// and the result is chunk-size invariant.
+    pub fn from_attrs(source: &dyn RelationBackend, attrs: AttrSet) -> Pli {
+        let n = source.n_rows();
+        let cols: Vec<usize> = attrs.iter().collect();
         // Group ids are assigned in first-occurrence order over an ascending
         // row scan, so groups come out ordered by their smallest row — the
         // same canonical order every other constructor produces.
         let mut row_gids: Vec<u32> = Vec::with_capacity(n);
         let mut counts: Vec<u32> = Vec::new();
-        if let Some(fold) = rel.key_fold(attrs) {
+        if let Some(fold) = KeyFold::from_cardinalities(attrs, |c| source.column_cardinality(c)) {
             let mut gids: FoldKeyMap<u32> =
                 FoldKeyMap::with_capacity_and_hasher(n, Default::default());
-            for r in 0..n {
-                let next = counts.len() as u32;
-                let gid = *gids.entry(rel.fold_key(r, &fold)).or_insert(next);
-                if gid == next {
-                    counts.push(0);
+            source.scan_columns(&cols, &mut |_, slices| {
+                let len = slices.first().map_or(0, |s| s.len());
+                for i in 0..len {
+                    let next = counts.len() as u32;
+                    let gid = *gids.entry(fold.fold_slices(slices, i)).or_insert(next);
+                    if gid == next {
+                        counts.push(0);
+                    }
+                    counts[gid as usize] += 1;
+                    row_gids.push(gid);
                 }
-                counts[gid as usize] += 1;
-                row_gids.push(gid);
-            }
+            });
         } else {
             let mut gids: HashMap<Vec<u32>, u32> = HashMap::with_capacity(n);
-            for r in 0..n {
-                let next = counts.len() as u32;
-                let gid = *gids.entry(rel.key(r, attrs)).or_insert(next);
-                if gid == next {
-                    counts.push(0);
+            source.scan_columns(&cols, &mut |_, slices| {
+                let len = slices.first().map_or(0, |s| s.len());
+                for i in 0..len {
+                    let key: Vec<u32> = slices.iter().map(|s| s[i]).collect();
+                    let next = counts.len() as u32;
+                    let gid = *gids.entry(key).or_insert(next);
+                    if gid == next {
+                        counts.push(0);
+                    }
+                    counts[gid as usize] += 1;
+                    row_gids.push(gid);
                 }
-                counts[gid as usize] += 1;
-                row_gids.push(gid);
-            }
+            });
         }
         // CSR scatter of the non-singleton groups, in group-id order.
         let mut starts = vec![u32::MAX; counts.len()];

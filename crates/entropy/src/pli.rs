@@ -46,6 +46,7 @@ use crate::partition::{IntersectScratch, Pli};
 use relation::{AttrSet, Relation};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use storage::RelationBackend;
 
 /// Configuration for [`PliEntropyOracle`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -86,13 +87,23 @@ impl EntropyConfig {
 
 /// Entropy oracle backed by cached stripped partitions (the §6.3 engine).
 ///
-/// The oracle *owns* its relation as an `Arc<Relation>`, so it is `'static`
-/// and `Send + Sync`: a long-lived session (or server) can hold it after the
-/// binding that loaded the relation is gone. `&Relation` arguments still
-/// work — they deep-clone the data once at construction — while `Relation` /
-/// `Arc<Relation>` arguments move or share storage.
+/// The oracle *owns* its storage as an `Arc<dyn RelationBackend>`, so it is
+/// `'static` and `Send + Sync`: a long-lived session (or server) can hold it
+/// after the binding that loaded the relation is gone. [`PliEntropyOracle::new`]
+/// takes the in-memory store (`&Relation` arguments still work — they
+/// deep-clone the data once at construction — while `Relation` /
+/// `Arc<Relation>` arguments move or share storage);
+/// [`PliEntropyOracle::from_backend`] accepts any backend, e.g. a paged
+/// out-of-core column store. All partition construction goes through chunked
+/// scans, so entropies are bit-identical across backends; only the
+/// append-delta path ([`PliEntropyOracle::extend_to`]) needs the random row
+/// access of the in-memory store.
 pub struct PliEntropyOracle {
-    rel: Arc<Relation>,
+    source: Arc<dyn RelationBackend>,
+    /// The in-memory twin when the oracle was built from one — required by
+    /// [`PliEntropyOracle::extend_to`] and [`PliEntropyOracle::relation`],
+    /// `None` for out-of-core backends.
+    rel: Option<Arc<Relation>>,
     singles: Vec<Arc<Pli>>,
     pli_cache: ShardedCache<Arc<Pli>>,
     /// Number of entries in `pli_cache`, tracked atomically so the
@@ -109,13 +120,32 @@ pub struct PliEntropyOracle {
 }
 
 impl PliEntropyOracle {
-    /// Creates the oracle, building single-attribute partitions and (if
-    /// configured) the per-block subset precomputation.
+    /// Creates the oracle over the in-memory store, building single-attribute
+    /// partitions and (if configured) the per-block subset precomputation.
     pub fn new(rel: impl Into<Arc<Relation>>, config: EntropyConfig) -> Self {
         let rel = rel.into();
+        Self::build(Arc::clone(&rel) as Arc<dyn RelationBackend>, Some(rel), config)
+    }
+
+    /// Creates the oracle over an arbitrary storage backend (e.g. a
+    /// [`storage::PagedColumnarRelation`]). Identical to
+    /// [`PliEntropyOracle::new`] except that the append-delta path
+    /// ([`PliEntropyOracle::extend_to`]) and [`PliEntropyOracle::relation`]
+    /// are unavailable — they need random row access only the in-memory
+    /// store provides.
+    pub fn from_backend(source: Arc<dyn RelationBackend>, config: EntropyConfig) -> Self {
+        Self::build(source, None, config)
+    }
+
+    fn build(
+        source: Arc<dyn RelationBackend>,
+        rel: Option<Arc<Relation>>,
+        config: EntropyConfig,
+    ) -> Self {
         let singles: Vec<Arc<Pli>> =
-            (0..rel.arity()).map(|a| Arc::new(Pli::from_column(&rel, a))).collect();
+            (0..source.arity()).map(|a| Arc::new(Pli::from_column(&*source, a))).collect();
         let oracle = PliEntropyOracle {
+            source,
             rel,
             singles,
             pli_cache: ShardedCache::new(),
@@ -139,7 +169,7 @@ impl PliEntropyOracle {
         );
         registry
             .gauge("maimon_oracle_relation_rows", &[])
-            .set(i64::try_from(oracle.rel.n_rows()).unwrap_or(i64::MAX));
+            .set(i64::try_from(oracle.source.n_rows()).unwrap_or(i64::MAX));
         oracle
     }
 
@@ -169,21 +199,26 @@ impl PliEntropyOracle {
     /// `full_rebuilds` split observable over a session's lifetime.
     ///
     /// # Panics
-    /// Panics if `new_rel` has a different arity or fewer rows.
+    /// Panics if `new_rel` has a different arity or fewer rows, or if this
+    /// oracle was built over an out-of-core backend
+    /// ([`PliEntropyOracle::from_backend`]) — the delta path keys rows by
+    /// random access, which only the in-memory store supports.
     pub fn extend_to(&self, new_rel: impl Into<Arc<Relation>>) -> PliEntropyOracle {
+        let old =
+            self.rel.as_ref().expect("extend_to requires an oracle built over the in-memory store");
         let new_rel = new_rel.into();
-        assert_eq!(new_rel.arity(), self.rel.arity(), "append cannot change the schema");
-        assert!(new_rel.n_rows() >= self.rel.n_rows(), "extend_to() only handles appends");
+        assert_eq!(new_rel.arity(), old.arity(), "append cannot change the schema");
+        assert!(new_rel.n_rows() >= old.n_rows(), "extend_to() only handles appends");
         let stats = AtomicOracleStats::seeded(self.stats.snapshot());
         let singles: Vec<Arc<Pli>> = (0..new_rel.arity())
-            .map(|a| match self.singles[a].extended(&self.rel, &new_rel, AttrSet::singleton(a)) {
+            .map(|a| match self.singles[a].extended(old, &new_rel, AttrSet::singleton(a)) {
                 Some(p) => {
                     stats.record_delta_refresh();
                     Arc::new(p)
                 }
                 None => {
                     stats.record_full_rebuild();
-                    Arc::new(Pli::from_column(&new_rel, a))
+                    Arc::new(Pli::from_column(&*new_rel, a))
                 }
             })
             .collect();
@@ -191,21 +226,22 @@ impl PliEntropyOracle {
         let pli_count = AtomicUsize::new(0);
         let entropy_cache = ShardedCache::new();
         for (attrs, pli) in self.pli_cache.entries() {
-            let refreshed = match pli.extended(&self.rel, &new_rel, attrs) {
+            let refreshed = match pli.extended(old, &new_rel, attrs) {
                 Some(p) => {
                     stats.record_delta_refresh();
                     Arc::new(p)
                 }
                 None => {
                     stats.record_full_rebuild();
-                    Arc::new(Pli::from_attrs(&new_rel, attrs))
+                    Arc::new(Pli::from_attrs(&*new_rel, attrs))
                 }
             };
             entropy_cache.insert(attrs, refreshed.entropy());
             pli_cache.insert_bounded(attrs, refreshed, &pli_count, self.config.max_cached_plis);
         }
         PliEntropyOracle {
-            rel: new_rel,
+            source: Arc::clone(&new_rel) as Arc<dyn RelationBackend>,
+            rel: Some(new_rel),
             singles,
             pli_cache,
             pli_count,
@@ -216,14 +252,33 @@ impl PliEntropyOracle {
         }
     }
 
-    /// The underlying relation.
+    /// The underlying in-memory relation.
+    ///
+    /// # Panics
+    /// Panics for oracles built over an out-of-core backend; use
+    /// [`PliEntropyOracle::try_relation`] or [`PliEntropyOracle::source`]
+    /// when the backend kind is not statically known.
     pub fn relation(&self) -> &Relation {
-        &self.rel
+        self.rel.as_ref().expect("oracle was built over an out-of-core backend")
     }
 
-    /// Shared handle to the underlying relation.
+    /// Shared handle to the underlying in-memory relation, if the oracle was
+    /// built over one.
+    pub fn try_relation(&self) -> Option<&Arc<Relation>> {
+        self.rel.as_ref()
+    }
+
+    /// Shared handle to the underlying in-memory relation.
+    ///
+    /// # Panics
+    /// Panics for oracles built over an out-of-core backend.
     pub fn relation_arc(&self) -> Arc<Relation> {
-        Arc::clone(&self.rel)
+        Arc::clone(self.rel.as_ref().expect("oracle was built over an out-of-core backend"))
+    }
+
+    /// The storage backend this oracle reads from.
+    pub fn source(&self) -> &Arc<dyn RelationBackend> {
+        &self.source
     }
 
     /// Number of composite partitions currently cached (excluding the
@@ -247,7 +302,7 @@ impl PliEntropyOracle {
 
     fn precompute_blocks(&self, block: usize) {
         let mut scratch = self.take_scratch();
-        let n = self.rel.arity();
+        let n = self.source.arity();
         let mut start = 0;
         'blocks: while start < n {
             let end = (start + block).min(n);
@@ -268,7 +323,7 @@ impl PliEntropyOracle {
                 } else {
                     self.pli_cache
                         .get(rest)
-                        .unwrap_or_else(|| Arc::new(Pli::from_attrs(&self.rel, rest)))
+                        .unwrap_or_else(|| Arc::new(Pli::from_attrs(&*self.source, rest)))
                 };
                 let combined = rest_pli.intersect_with(&self.singles[last], &mut scratch);
                 self.stats.record_intersection();
@@ -298,7 +353,7 @@ impl PliEntropyOracle {
     /// when block precomputation is enabled, by single attribute otherwise.
     fn decompose(&self, attrs: AttrSet) -> Vec<AttrSet> {
         if let Some(block) = self.config.block_size {
-            let n = self.rel.arity();
+            let n = self.source.arity();
             let mut pieces = Vec::new();
             let mut start = 0;
             while start < n {
@@ -338,7 +393,7 @@ impl PliEntropyOracle {
                         // was truncated by the budget; fall back to a direct
                         // scan.
                         self.stats.record_full_scan();
-                        Arc::new(Pli::from_attrs(&self.rel, piece))
+                        Arc::new(Pli::from_attrs(&*self.source, piece))
                     }
                 };
                 (piece, pli)
@@ -404,11 +459,11 @@ impl EntropyOracle for PliEntropyOracle {
     }
 
     fn n_rows(&self) -> usize {
-        self.rel.n_rows()
+        self.source.n_rows()
     }
 
     fn arity(&self) -> usize {
-        self.rel.arity()
+        self.source.arity()
     }
 
     fn stats(&self) -> OracleStats {

@@ -29,24 +29,46 @@ impl Default for CsvOptions {
     }
 }
 
-/// Splits CSV text into records of fields.
-fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, RelationError> {
+/// One parsed record plus the source position it started at, so arity errors
+/// downstream can point at the offending line and byte.
+struct RawRecord {
+    fields: Vec<String>,
+    /// 1-based line the record starts on.
+    line: usize,
+    /// 0-based byte offset of the record's first character.
+    offset: usize,
+}
+
+/// Splits CSV text into records of fields, each stamped with its start
+/// position (line + byte offset).
+fn parse_records(text: &str, delimiter: char) -> Result<Vec<RawRecord>, RelationError> {
     let mut records = Vec::new();
     let mut field = String::new();
     let mut record: Vec<String> = Vec::new();
     let mut in_quotes = false;
+    // Position of the quote that opened the current quoted field, for the
+    // unterminated-quote diagnostic.
+    let mut quote_open = (1usize, 0usize);
     // A record consisting of one empty unquoted field is a blank line and is
     // skipped; a quoted empty field (`""`) is a real single-field record.
     let mut saw_quote = false;
     let mut line = 1usize;
+    // Byte offset of the *next* character to be consumed.
+    let mut pos = 0usize;
+    // Start position of the record currently being assembled.
+    let mut record_line = 1usize;
+    let mut record_offset = 0usize;
     let mut chars = text.chars().peekable();
 
     while let Some(c) = chars.next() {
+        let at = pos;
+        pos += c.len_utf8();
         if in_quotes {
             match c {
                 '"' => {
                     if chars.peek() == Some(&'"') {
                         chars.next();
+                        pos += 1;
                         field.push('"');
                     } else {
                         in_quotes = false;
@@ -64,10 +86,12 @@ fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, Relati
                     if !field.is_empty() {
                         return Err(RelationError::Csv {
                             line,
+                            offset: at,
                             message: "quote in the middle of an unquoted field".into(),
                         });
                     }
                     in_quotes = true;
+                    quote_open = (line, at);
                     saw_quote = true;
                 }
                 '\r' => {
@@ -80,10 +104,16 @@ fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, Relati
                     if blank {
                         record.clear();
                     } else {
-                        records.push(std::mem::take(&mut record));
+                        records.push(RawRecord {
+                            fields: std::mem::take(&mut record),
+                            line: record_line,
+                            offset: record_offset,
+                        });
                     }
                     saw_quote = false;
                     line += 1;
+                    record_line = line;
+                    record_offset = pos;
                 }
                 c if c == delimiter => {
                     record.push(std::mem::take(&mut field));
@@ -93,11 +123,15 @@ fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, Relati
         }
     }
     if in_quotes {
-        return Err(RelationError::Csv { line, message: "unterminated quoted field".into() });
+        return Err(RelationError::Csv {
+            line: quote_open.0,
+            offset: quote_open.1,
+            message: "unterminated quoted field".into(),
+        });
     }
     if !field.is_empty() || !record.is_empty() || saw_quote {
         record.push(field);
-        records.push(record);
+        records.push(RawRecord { fields: record, line: record_line, offset: record_offset });
     }
     Ok(records)
 }
@@ -110,24 +144,29 @@ fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, Relati
 pub fn relation_from_csv(text: &str, options: CsvOptions) -> Result<Relation, RelationError> {
     let records = parse_records(text, options.delimiter)?;
     if records.is_empty() {
-        return Err(RelationError::Csv { line: 1, message: "no records in input".into() });
+        return Err(RelationError::Csv {
+            line: 1,
+            offset: 0,
+            message: "no records in input".into(),
+        });
     }
     let (header, data_start) = if options.has_header {
-        (records[0].clone(), 1)
+        (records[0].fields.clone(), 1)
     } else {
-        ((0..records[0].len()).map(|i| format!("col{}", i)).collect(), 0)
+        ((0..records[0].fields.len()).map(|i| format!("col{}", i)).collect(), 0)
     };
     let schema = Schema::new(header)?;
     let mut builder = RelationBuilder::new(schema);
-    for (i, record) in records.iter().enumerate().skip(data_start) {
+    for record in records.iter().skip(data_start) {
         let arity = builder.schema().arity();
-        if record.len() != arity {
+        if record.fields.len() != arity {
             return Err(RelationError::Csv {
-                line: i + 1,
-                message: format!("record has {} fields, expected {}", record.len(), arity),
+                line: record.line,
+                offset: record.offset,
+                message: format!("record has {} fields, expected {}", record.fields.len(), arity),
             });
         }
-        builder.push_row(record.iter().map(|s| s.as_str()))?;
+        builder.push_row(record.fields.iter().map(|s| s.as_str()))?;
     }
     let rel = builder.finish();
     let rel = if options.dedup { rel.distinct() } else { rel };
@@ -241,6 +280,60 @@ mod tests {
             relation_from_csv(text, CsvOptions::default()),
             Err(RelationError::Csv { .. })
         ));
+    }
+
+    #[test]
+    fn arity_error_reports_line_and_byte_offset_mid_file() {
+        // The short record starts right after "A,B\n1,2\n" = 8 bytes.
+        let text = "A,B\n1,2\n1\n3,4\n";
+        match relation_from_csv(text, CsvOptions::default()).unwrap_err() {
+            RelationError::Csv { line, offset, .. } => {
+                assert_eq!(line, 3);
+                assert_eq!(offset, 8);
+                assert_eq!(&text[offset..offset + 1], "1");
+            }
+            other => panic!("unexpected error: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn arity_error_position_survives_blank_lines_and_embedded_newlines() {
+        // Record 2 spans lines 3-4 via a quoted newline; a blank line follows;
+        // the malformed record then starts on line 6.
+        let text = "A,B\n\n\"x\ny\",2\n\nbad\n";
+        match relation_from_csv(text, CsvOptions::default()).unwrap_err() {
+            RelationError::Csv { line, offset, .. } => {
+                assert_eq!(line, 6);
+                assert_eq!(&text[offset..offset + 3], "bad");
+            }
+            other => panic!("unexpected error: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn stray_quote_error_reports_its_byte_offset() {
+        let text = "A,B\nok,fine\nab\"cd,2\n";
+        match relation_from_csv(text, CsvOptions::default()).unwrap_err() {
+            RelationError::Csv { line, offset, message } => {
+                assert_eq!(line, 3);
+                assert_eq!(&text[offset..offset + 1], "\"");
+                assert!(message.contains("unquoted field"));
+            }
+            other => panic!("unexpected error: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_error_points_at_the_opening_quote() {
+        let text = "A\nfirst\n\"never closed\n";
+        match relation_from_csv(text, CsvOptions::default()).unwrap_err() {
+            RelationError::Csv { line, offset, message } => {
+                assert_eq!(line, 3);
+                assert_eq!(&text[offset..offset + 1], "\"");
+                assert!(message.contains("unterminated"));
+            }
+            other => panic!("unexpected error: {:?}", other),
+        }
     }
 
     #[test]

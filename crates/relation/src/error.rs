@@ -38,6 +38,10 @@ pub enum RelationError {
     Csv {
         /// 1-based line number of the problem.
         line: usize,
+        /// 0-based byte offset into the input where the problem starts
+        /// (0 when position information is unavailable, e.g. shape errors
+        /// raised before any input is read).
+        offset: usize,
         /// Human-readable description.
         message: String,
     },
@@ -69,8 +73,8 @@ impl fmt::Display for RelationError {
             RelationError::ArityMismatch { expected, got } => {
                 write!(f, "row has {} values but schema has {} attributes", got, expected)
             }
-            RelationError::Csv { line, message } => {
-                write!(f, "CSV error on line {}: {}", line, message)
+            RelationError::Csv { line, offset, message } => {
+                write!(f, "CSV error on line {} (byte {}): {}", line, offset, message)
             }
             RelationError::SchemaMismatch { left, right } => {
                 write!(f, "schema mismatch: {} vs {}", left, right)
@@ -93,8 +97,9 @@ mod tests {
         assert!(e.to_string().contains("3"));
         let e = RelationError::UnknownAttribute("foo".into());
         assert!(e.to_string().contains("foo"));
-        let e = RelationError::Csv { line: 7, message: "bad quote".into() };
+        let e = RelationError::Csv { line: 7, offset: 123, message: "bad quote".into() };
         assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("byte 123"));
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub fn random_uniform_relation(
     if domain_sizes.contains(&0) {
         return Err(RelationError::Csv {
             line: 0,
+            offset: 0,
             message: "domain sizes must be positive".into(),
         });
     }
@@ -53,11 +54,16 @@ pub fn random_fd_chain_relation(
     if columns < 2 {
         return Err(RelationError::Csv {
             line: 0,
+            offset: 0,
             message: "FD-chain generator needs at least two columns".into(),
         });
     }
     if domain == 0 {
-        return Err(RelationError::Csv { line: 0, message: "domain must be positive".into() });
+        return Err(RelationError::Csv {
+            line: 0,
+            offset: 0,
+            message: "domain must be positive".into(),
+        });
     }
     let schema = Schema::with_arity(columns)?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -92,6 +98,7 @@ pub fn cartesian_product_relation(
     if domain_sizes.is_empty() || domain_sizes.contains(&0) {
         return Err(RelationError::Csv {
             line: 0,
+            offset: 0,
             message: "domain sizes must be non-empty and positive".into(),
         });
     }
@@ -99,6 +106,7 @@ pub fn cartesian_product_relation(
     if total > max_rows {
         return Err(RelationError::Csv {
             line: 0,
+            offset: 0,
             message: format!(
                 "Cartesian product has {} rows, exceeding the cap of {}",
                 total, max_rows

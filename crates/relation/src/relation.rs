@@ -227,14 +227,7 @@ impl Relation {
     /// `attrs`. Returns `None` when the cardinality product overflows `u64`,
     /// in which case callers fall back to vector keys.
     pub fn key_fold(&self, attrs: AttrSet) -> Option<KeyFold> {
-        let mut factors = Vec::with_capacity(attrs.len());
-        let mut multiplier: u64 = 1;
-        for c in attrs.iter() {
-            let cardinality = self.column_cardinality(c).max(1) as u64;
-            factors.push(FoldFactor { attr: c, multiplier, cardinality });
-            multiplier = multiplier.checked_mul(cardinality)?;
-        }
-        Some(KeyFold { factors })
+        KeyFold::from_cardinalities(attrs, |c| self.column_cardinality(c))
     }
 
     /// The folded `u64` grouping key of row `r` under a [`KeyFold`] built by
@@ -504,9 +497,40 @@ pub struct KeyFold {
 }
 
 impl KeyFold {
+    /// Builds a fold over `attrs` from a per-column cardinality lookup —
+    /// the backend-agnostic core of [`Relation::key_fold`], usable by any
+    /// columnar store that knows its dictionaries. Returns `None` when the
+    /// cardinality product overflows `u64`.
+    pub fn from_cardinalities(
+        attrs: AttrSet,
+        mut cardinality: impl FnMut(usize) -> usize,
+    ) -> Option<KeyFold> {
+        let mut factors = Vec::with_capacity(attrs.len());
+        let mut multiplier: u64 = 1;
+        for c in attrs.iter() {
+            let cardinality = cardinality(c).max(1) as u64;
+            factors.push(FoldFactor { attr: c, multiplier, cardinality });
+            multiplier = multiplier.checked_mul(cardinality)?;
+        }
+        Some(KeyFold { factors })
+    }
+
     /// The attribute indices covered by this fold, ascending.
     pub fn attrs(&self) -> impl Iterator<Item = usize> + '_ {
         self.factors.iter().map(|f| f.attr)
+    }
+
+    /// Folds position `i` of `cols` — one aligned code slice per factor, in
+    /// this fold's (ascending-attribute) order. The chunk-stream counterpart
+    /// of [`Relation::fold_key`]: callers scanning per-column pages fold a
+    /// row from the page slices without random row access.
+    ///
+    /// # Panics
+    /// Panics if `cols` is shorter than the factor list or `i` is out of
+    /// range for any slice.
+    #[inline]
+    pub fn fold_slices(&self, cols: &[&[u32]], i: usize) -> u64 {
+        self.factors.iter().zip(cols).map(|(f, codes)| codes[i] as u64 * f.multiplier).sum()
     }
 
     /// `true` if this fold is still exact for `rel`: every factor's radix

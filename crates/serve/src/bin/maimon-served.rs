@@ -7,9 +7,17 @@
 //! ```text
 //! maimon-served [--addr 127.0.0.1:7464] [--workers 4]
 //!               [--dataset name=path.csv]... [--demo]
+//!               [--paged-dataset name=path.csv]...
+//!               [--page-rows N] [--cache-pages N]
 //!               [--max-in-flight N] [--queue-depth N] [--epsilon E]
 //!               [--metrics-addr HOST:PORT]
 //! ```
+//!
+//! `--paged-dataset` mounts a CSV through the out-of-core paged columnar
+//! backend: the file is streamed (never fully resident) into per-column code
+//! pages spilled to a temp file, and mining reads them back through a small
+//! LRU page cache sized by `--page-rows` × `--cache-pages`. Such datasets
+//! serve `entropy`/`mine` (schemas-only) but reject `append`/`decompose`.
 //!
 //! `--demo` registers the paper's running example plus the `Bridges`
 //! synthetic catalog dataset, so the server is probe-able with no files at
@@ -23,6 +31,7 @@
 
 use maimon::obs;
 use maimon::relation::{relation_from_csv, CsvOptions};
+use maimon::storage::{ingest_csv_file, IngestOptions, PagedOptions, RelationBackend};
 use maimon::{CancelToken, MaimonConfig};
 use serve::{serve, AdmissionConfig, DatasetRegistry, ServerConfig};
 use std::io::{Read, Write};
@@ -73,6 +82,9 @@ struct Options {
     metrics_addr: Option<String>,
     workers: usize,
     datasets: Vec<(String, String)>,
+    paged_datasets: Vec<(String, String)>,
+    page_rows: usize,
+    cache_pages: usize,
     demo: bool,
     epsilon: f64,
     max_in_flight: usize,
@@ -82,7 +94,9 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: maimon-served [--addr HOST:PORT] [--workers N] \
-         [--dataset name=path.csv]... [--demo] [--epsilon E] \
+         [--dataset name=path.csv]... [--demo] \
+         [--paged-dataset name=path.csv]... [--page-rows N] [--cache-pages N] \
+         [--epsilon E] \
          [--max-in-flight N] [--queue-depth N] [--metrics-addr HOST:PORT]"
     );
     std::process::exit(2);
@@ -94,6 +108,9 @@ fn parse_options() -> Options {
         metrics_addr: None,
         workers: 4,
         datasets: Vec::new(),
+        paged_datasets: Vec::new(),
+        page_rows: PagedOptions::default().page_rows,
+        cache_pages: PagedOptions::default().cache_pages,
         demo: false,
         epsilon: 0.05,
         max_in_flight: AdmissionConfig::default().max_in_flight_per_tenant,
@@ -130,6 +147,32 @@ fn parse_options() -> Options {
                     }
                 }
             }
+            "--paged-dataset" => {
+                let spec = value("--paged-dataset");
+                match spec.split_once('=') {
+                    Some((name, path)) => {
+                        options.paged_datasets.push((name.to_string(), path.to_string()))
+                    }
+                    None => {
+                        eprintln!("--paged-dataset expects name=path.csv, got {spec:?}");
+                        usage()
+                    }
+                }
+            }
+            "--page-rows" => {
+                options.page_rows = value("--page-rows").parse().unwrap_or_else(|_| usage());
+                if options.page_rows == 0 {
+                    eprintln!("--page-rows must be at least 1");
+                    usage()
+                }
+            }
+            "--cache-pages" => {
+                options.cache_pages = value("--cache-pages").parse().unwrap_or_else(|_| usage());
+                if options.cache_pages == 0 {
+                    eprintln!("--cache-pages must be at least 1");
+                    usage()
+                }
+            }
             "--demo" => options.demo = true,
             "--help" | "-h" => usage(),
             other => {
@@ -138,8 +181,8 @@ fn parse_options() -> Options {
             }
         }
     }
-    if options.datasets.is_empty() && !options.demo {
-        eprintln!("no datasets: pass --dataset name=path.csv or --demo");
+    if options.datasets.is_empty() && options.paged_datasets.is_empty() && !options.demo {
+        eprintln!("no datasets: pass --dataset name=path.csv, --paged-dataset, or --demo");
         usage()
     }
     options
@@ -229,6 +272,30 @@ fn main() {
             std::process::exit(1);
         });
         eprintln!("registered {name}: {rows} rows x {attrs} attrs from {path}");
+    }
+    for (name, path) in &options.paged_datasets {
+        let ingest = IngestOptions {
+            paged: PagedOptions {
+                page_rows: options.page_rows,
+                cache_pages: options.cache_pages,
+                dataset: name.clone(),
+            },
+            ..IngestOptions::default()
+        };
+        let store = ingest_csv_file(path, &ingest).unwrap_or_else(|e| {
+            eprintln!("cannot ingest {path}: {e}");
+            std::process::exit(1);
+        });
+        let (rows, attrs) = (store.n_rows(), store.arity());
+        registry.register_backend(name.clone(), Arc::new(store), config).unwrap_or_else(|e| {
+            eprintln!("cannot serve {name}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "registered {name} (paged): {rows} rows x {attrs} attrs from {path}, \
+             {} x {}-row pages cached",
+            options.cache_pages, options.page_rows
+        );
     }
 
     let server_config = ServerConfig {

@@ -10,6 +10,7 @@
 //! deadline never bleeds into another request.
 
 use maimon::relation::Relation;
+use maimon::storage::RelationBackend;
 use maimon::{MaimonConfig, MaimonError, MaimonSession};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +60,26 @@ impl DatasetRegistry {
         config: MaimonConfig,
     ) -> Result<(), MaimonError> {
         let session = MaimonSession::new(relation, config)?;
+        self.sessions.write().expect("registry lock poisoned").insert(name.into(), session);
+        Ok(())
+    }
+
+    /// Registers an out-of-core storage backend under `name` (e.g. a
+    /// [`maimon::storage::PagedColumnarRelation`] mounted from a large CSV).
+    /// The session serves entropies, `M_ε` and schema enumeration exactly
+    /// like an in-memory dataset; quality evaluation, decomposition and
+    /// appends report [`MaimonError::UnsupportedByBackend`].
+    ///
+    /// # Errors
+    /// Returns the session constructor's error for an invalid configuration
+    /// or a backend that cannot be profiled (empty, arity < 2).
+    pub fn register_backend(
+        &self,
+        name: impl Into<String>,
+        backend: Arc<dyn RelationBackend>,
+        config: MaimonConfig,
+    ) -> Result<(), MaimonError> {
+        let session = MaimonSession::from_backend(backend, config)?;
         self.sessions.write().expect("registry lock poisoned").insert(name.into(), session);
         Ok(())
     }

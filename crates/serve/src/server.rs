@@ -502,6 +502,33 @@ fn handle_mine(
             format!("tenant {:?} is at its in-flight cap", tenant.unwrap_or_default()),
         );
     };
+    if !session.supports_quality() {
+        // Out-of-core datasets stop after schema enumeration: the quality
+        // pass needs random row access only the in-memory store provides.
+        // Still a complete, version-stamped mining result — just schemas-only.
+        return match session.schemas_stamped(epsilon) {
+            Ok((data_version, result)) => {
+                if result.truncated {
+                    shared.counters.truncated.fetch_add(1, Ordering::Relaxed);
+                }
+                ok_response(
+                    "mine",
+                    [
+                        ("dataset", Json::from(dataset)),
+                        ("epsilon", Json::from(epsilon)),
+                        ("data_version", Json::from(data_version)),
+                        ("truncated", Json::from(result.truncated)),
+                        ("stage", Json::from("schemas")),
+                        ("result", result.to_json()),
+                    ],
+                )
+            }
+            Err(e) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                error_response(ErrorKind::Internal, e.to_string())
+            }
+        };
+    }
     match session.quality_stamped(epsilon) {
         Ok((data_version, result)) => {
             if result.truncated {
@@ -555,13 +582,17 @@ fn handle_append(
                 [
                     ("dataset", Json::from(dataset)),
                     ("appended", Json::from(summary.rows_appended)),
-                    ("rows", Json::from(session.relation().n_rows())),
+                    ("rows", Json::from(session.n_rows())),
                     ("data_version", Json::from(summary.data_version)),
                 ],
             )
         }
-        Err(e @ maimon::MaimonError::Relation(_)) => {
-            // Malformed rows (arity mismatch) are the client's fault.
+        Err(
+            e @ (maimon::MaimonError::Relation(_)
+            | maimon::MaimonError::UnsupportedByBackend { .. }),
+        ) => {
+            // Malformed rows (arity mismatch) and writes against a read-only
+            // out-of-core dataset are the client's fault.
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
             error_response(ErrorKind::BadRequest, e.to_string())
         }
@@ -626,8 +657,9 @@ fn handle_list(shared: &Arc<Shared>) -> Json {
             let session = shared.registry.get(&name)?;
             Some(Json::object([
                 ("name", Json::from(name.as_str())),
-                ("rows", Json::from(session.relation().n_rows())),
-                ("attrs", Json::from(session.relation().arity())),
+                ("rows", Json::from(session.n_rows())),
+                ("attrs", Json::from(session.arity())),
+                ("storage", Json::from(session.storage_kind())),
                 ("default_epsilon", Json::from(session.config().epsilon)),
             ]))
         })
@@ -673,6 +705,8 @@ fn handle_stats(shared: &Arc<Shared>) -> Json {
             Some(Json::object([
                 ("name", Json::from(name.as_str())),
                 ("data_version", Json::from(session.data_version())),
+                ("storage", Json::from(session.storage_kind())),
+                ("resident_bytes", Json::from(session.resident_bytes())),
                 ("oracle", session.oracle_stats().to_json()),
                 ("cached_plis", Json::from(session.cached_pli_count())),
                 ("cached_entropies", Json::from(session.cached_entropy_count())),

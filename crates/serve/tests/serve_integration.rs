@@ -415,3 +415,102 @@ fn requests_pipeline_on_one_connection_and_shutdown_converges() {
     let eof = reader.read_line(&mut line).map(|n| n == 0).unwrap_or(true);
     assert!(eof, "open connection must be closed by shutdown, got {line:?}");
 }
+
+#[test]
+fn paged_backend_serves_schemas_only_and_rejects_mutation() {
+    use maimon::storage::{PagedColumnarRelation, PagedOptions};
+    use maimon::SchemaMiningResult;
+
+    let rel = bridges();
+    let store = PagedColumnarRelation::from_relation(
+        &rel,
+        PagedOptions { page_rows: 64, cache_pages: 2, dataset: "bridges-paged".to_string() },
+    )
+    .unwrap();
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.register_backend("bridges-paged", Arc::new(store), MaimonConfig::default()).unwrap();
+    registry.register("bridges", rel.clone(), MaimonConfig::default()).unwrap();
+    let handle = serve(registry, ServerConfig { workers: 2, ..ServerConfig::default() }).unwrap();
+    let addr = handle.local_addr();
+
+    // `list` names the storage backend of every dataset.
+    let list = roundtrip(addr, r#"{"op":"list"}"#);
+    assert_ok(&list, "list");
+    let datasets = list.get("datasets").and_then(Json::as_array).unwrap();
+    let storage_of = |name: &str| {
+        datasets
+            .iter()
+            .find(|d| d.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|d| d.get("storage"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+    assert_eq!(storage_of("bridges"), Some("in_memory".to_string()), "{list}");
+    assert_eq!(storage_of("bridges-paged"), Some("paged".to_string()), "{list}");
+
+    // `mine` degrades to the schema stage and matches a direct in-memory
+    // session's schema enumeration bit-for-bit.
+    let mine = roundtrip(addr, r#"{"op":"mine","dataset":"bridges-paged","epsilon":0.0}"#);
+    assert_ok(&mine, "mine");
+    assert_eq!(mine.get("stage").and_then(Json::as_str), Some("schemas"), "{mine}");
+    let served = SchemaMiningResult::from_json(mine.get("result").unwrap()).unwrap();
+    let direct = MaimonSession::new(rel, MaimonConfig::default()).unwrap().schemas(0.0).unwrap();
+    assert_eq!(served.schemas, direct.schemas, "paged schemas differ from in-memory");
+
+    // Mutating / relation-dependent operations are explicit bad requests.
+    let append = roundtrip(
+        addr,
+        r#"{"op":"append","dataset":"bridges-paged","rows":[["a","b","c","d","e","f","g","h"]]}"#,
+    );
+    assert_eq!(append.get("ok").and_then(Json::as_bool), Some(false), "{append}");
+    assert_eq!(append.get("kind").and_then(Json::as_str), Some("bad_request"), "{append}");
+    let message = append.get("error").and_then(Json::as_str).unwrap_or_default();
+    assert!(message.contains("paged"), "error should name the backend: {append}");
+
+    // The storage gauges/counters flow through the shared registry: visible
+    // in the `metrics` op and in the Prometheus text exposition.
+    let metrics = roundtrip(addr, r#"{"op":"metrics"}"#);
+    assert_ok(&metrics, "metrics");
+    let entries = metrics.get("metrics").and_then(Json::as_array).unwrap();
+    let storage_metric = |name: &str| {
+        entries.iter().find(|m| {
+            m.get("name").and_then(Json::as_str) == Some(name)
+                && m.get("labels").and_then(|l| l.get("dataset")).and_then(Json::as_str)
+                    == Some("bridges-paged")
+        })
+    };
+    let resident = storage_metric("maimon_dataset_resident_bytes")
+        .unwrap_or_else(|| panic!("no resident-bytes gauge in {metrics}"));
+    assert!(resident.get("value").and_then(Json::as_i128).unwrap() > 0, "{metrics}");
+    let hits = storage_metric("maimon_page_cache_hits_total")
+        .unwrap_or_else(|| panic!("no page-cache hit counter in {metrics}"));
+    let misses = storage_metric("maimon_page_cache_misses_total")
+        .unwrap_or_else(|| panic!("no page-cache miss counter in {metrics}"));
+    let total = hits.get("value").and_then(Json::as_i128).unwrap()
+        + misses.get("value").and_then(Json::as_i128).unwrap();
+    assert!(total > 0, "mining must have touched the page cache: {metrics}");
+    let exposition = maimon::obs::render_prometheus(maimon::obs::global());
+    for needle in [
+        "maimon_dataset_resident_bytes{dataset=\"bridges-paged\"}",
+        "maimon_page_cache_hits_total{dataset=\"bridges-paged\"}",
+        "maimon_page_cache_misses_total{dataset=\"bridges-paged\"}",
+    ] {
+        assert!(exposition.contains(needle), "missing {needle} in exposition");
+    }
+
+    // `stats` reports the backend kind and its resident footprint.
+    let stats = roundtrip(addr, r#"{"op":"stats"}"#);
+    assert_ok(&stats, "stats");
+    let stat_sets = stats.get("datasets").and_then(Json::as_array).unwrap();
+    let paged_stats = stat_sets
+        .iter()
+        .find(|d| d.get("name").and_then(Json::as_str) == Some("bridges-paged"))
+        .unwrap();
+    assert_eq!(paged_stats.get("storage").and_then(Json::as_str), Some("paged"), "{stats}");
+    assert!(
+        paged_stats.get("resident_bytes").and_then(Json::as_i128).unwrap_or(-1) >= 0,
+        "{stats}"
+    );
+
+    handle.shutdown();
+}

@@ -1,0 +1,473 @@
+//! Streaming CSV → [`PagedColumnarRelation`] ingest.
+//!
+//! Reads any `BufRead` incrementally through the same RFC-4180-ish state
+//! machine as `relation::relation_from_csv` (quoted fields, doubled quotes,
+//! embedded separators/newlines, CRLF, blank-line skipping, trailing record
+//! without a final newline), but never materializes the input: each parsed
+//! value is dictionary-interned on the spot and its code lands in the
+//! current page buffer, which spills to the page file when full. Peak
+//! memory during ingest is one page per column plus the dictionaries.
+//!
+//! Unlike the in-memory loader there is no `dedup` option — set semantics
+//! over out-of-core data would need resident per-row state. Compare against
+//! `CsvOptions { dedup: false, .. }` for equivalence.
+//!
+//! Parse errors carry the 1-based line *and* 0-based byte offset of the
+//! offending position (the arity check points at the record start).
+
+use crate::paged::{PagedBuilder, PagedColumnarRelation, PagedOptions};
+use crate::{RelationBackend, StorageError};
+use relation::{RelationError, Schema};
+use std::io::BufRead;
+use std::path::Path;
+
+/// Options for [`ingest_csv`].
+#[derive(Clone, Debug)]
+pub struct IngestOptions {
+    /// Field separator; must be ASCII (`,` by default, the Metanome files
+    /// also use `;`).
+    pub delimiter: char,
+    /// If `true`, the first record provides the attribute names; otherwise
+    /// attributes are named `col0`, `col1`, ….
+    pub has_header: bool,
+    /// Page shape, cache size and metrics label of the resulting store.
+    pub paged: PagedOptions,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions { delimiter: ',', has_header: true, paged: PagedOptions::default() }
+    }
+}
+
+/// Byte-level parser state shared across `fill_buf` chunks.
+struct StreamState {
+    field: Vec<u8>,
+    record: Vec<String>,
+    in_quotes: bool,
+    /// Set between a quote seen inside a quoted field and the byte after it
+    /// (doubled-quote lookahead without buffering the input).
+    quote_pending: bool,
+    saw_quote: bool,
+    line: usize,
+    pos: usize,
+    record_line: usize,
+    record_offset: usize,
+    quote_open: (usize, usize),
+}
+
+impl StreamState {
+    fn new() -> Self {
+        StreamState {
+            field: Vec::new(),
+            record: Vec::new(),
+            in_quotes: false,
+            quote_pending: false,
+            saw_quote: false,
+            line: 1,
+            pos: 0,
+            record_line: 1,
+            record_offset: 0,
+            quote_open: (1, 0),
+        }
+    }
+
+    fn take_field(&mut self) {
+        let raw = std::mem::take(&mut self.field);
+        self.record.push(String::from_utf8_lossy(&raw).into_owned());
+    }
+}
+
+/// What to do with one completed record.
+enum Sink<'a> {
+    /// Still waiting for the header (or, without a header, the first record).
+    Pending(&'a mut Option<(Vec<String>, usize, usize)>),
+    /// Schema fixed; stream codes into the paged builder.
+    Build { builder: &'a mut PagedBuilder, arity: usize },
+}
+
+fn emit_record(state: &mut StreamState, sink: &mut Sink<'_>) -> Result<(), StorageError> {
+    let fields = std::mem::take(&mut state.record);
+    match sink {
+        Sink::Pending(slot) => {
+            **slot = Some((fields, state.record_line, state.record_offset));
+        }
+        Sink::Build { builder, arity } => {
+            if fields.len() != *arity {
+                return Err(StorageError::Relation(RelationError::Csv {
+                    line: state.record_line,
+                    offset: state.record_offset,
+                    message: format!("record has {} fields, expected {}", fields.len(), arity),
+                }));
+            }
+            for (c, value) in fields.iter().enumerate() {
+                builder.push_value(c, value)?;
+            }
+            builder.n_rows += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Feeds one byte through the state machine. Returns `Ok(true)` when a
+/// record was completed (already handed to `sink`).
+fn step(
+    state: &mut StreamState,
+    b: u8,
+    delimiter: u8,
+    sink: &mut Sink<'_>,
+) -> Result<bool, StorageError> {
+    let at = state.pos;
+    state.pos += 1;
+    if state.quote_pending {
+        state.quote_pending = false;
+        if b == b'"' {
+            state.field.push(b'"');
+            return Ok(false);
+        }
+        state.in_quotes = false;
+        // Fall through: reprocess `b` in unquoted mode.
+    } else if state.in_quotes {
+        match b {
+            b'"' => state.quote_pending = true,
+            b'\n' => {
+                state.line += 1;
+                state.field.push(b);
+            }
+            _ => state.field.push(b),
+        }
+        return Ok(false);
+    }
+    match b {
+        b'"' => {
+            if !state.field.is_empty() {
+                return Err(StorageError::Relation(RelationError::Csv {
+                    line: state.line,
+                    offset: at,
+                    message: "quote in the middle of an unquoted field".into(),
+                }));
+            }
+            state.in_quotes = true;
+            state.quote_open = (state.line, at);
+            state.saw_quote = true;
+            Ok(false)
+        }
+        b'\r' => Ok(false), // swallow the CR of a CRLF pair (lone CRs too)
+        b'\n' => {
+            state.take_field();
+            let blank = state.record.len() == 1 && state.record[0].is_empty() && !state.saw_quote;
+            let emitted = if blank {
+                state.record.clear();
+                false
+            } else {
+                emit_record(state, sink)?;
+                true
+            };
+            state.saw_quote = false;
+            state.line += 1;
+            state.record_line = state.line;
+            state.record_offset = state.pos;
+            Ok(emitted)
+        }
+        b if b == delimiter => {
+            state.take_field();
+            Ok(false)
+        }
+        _ => {
+            state.field.push(b);
+            Ok(false)
+        }
+    }
+}
+
+/// Streams CSV from `reader` into a [`PagedColumnarRelation`] without ever
+/// holding the whole input (or the whole code array) in memory.
+///
+/// # Errors
+/// Returns an error on I/O failure, malformed quoting, inconsistent record
+/// arity (with the offending line + byte offset), an empty input, or a
+/// non-ASCII delimiter.
+pub fn ingest_csv<R: BufRead>(
+    mut reader: R,
+    options: &IngestOptions,
+) -> Result<PagedColumnarRelation, StorageError> {
+    if !options.delimiter.is_ascii() {
+        return Err(StorageError::Relation(RelationError::Csv {
+            line: 1,
+            offset: 0,
+            message: format!("delimiter {:?} is not ASCII", options.delimiter),
+        }));
+    }
+    let delimiter = options.delimiter as u8;
+    let mut state = StreamState::new();
+    // The first record fixes the schema; it is buffered (header or first
+    // data row), everything after streams straight into the builder.
+    let mut first: Option<(Vec<String>, usize, usize)> = None;
+    let mut schema: Option<Schema> = None;
+    let mut builder: Option<PagedBuilder> = None;
+
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            break;
+        }
+        let chunk = buf.to_vec();
+        reader.consume(chunk.len());
+        for &b in &chunk {
+            let emitted = match builder.as_mut() {
+                Some(builder) => {
+                    let arity = schema.as_ref().expect("schema fixed with builder").arity();
+                    step(&mut state, b, delimiter, &mut Sink::Build { builder, arity })?
+                }
+                None => step(&mut state, b, delimiter, &mut Sink::Pending(&mut first))?,
+            };
+            if emitted && builder.is_none() {
+                let (fields, line, offset) = first.take().expect("pending record was emitted");
+                let (resolved, replay) = if options.has_header {
+                    (Schema::new(fields)?, None)
+                } else {
+                    let names: Vec<String> =
+                        (0..fields.len()).map(|i| format!("col{}", i)).collect();
+                    (Schema::new(names)?, Some((fields, line, offset)))
+                };
+                let mut b = PagedBuilder::new(resolved.arity(), &options.paged)?;
+                if let Some((fields, line, offset)) = replay {
+                    // The first record was data, not a header: replay it.
+                    if fields.len() != resolved.arity() {
+                        return Err(StorageError::Relation(RelationError::Csv {
+                            line,
+                            offset,
+                            message: format!(
+                                "record has {} fields, expected {}",
+                                fields.len(),
+                                resolved.arity()
+                            ),
+                        }));
+                    }
+                    for (c, value) in fields.iter().enumerate() {
+                        b.push_value(c, value)?;
+                    }
+                    b.n_rows += 1;
+                }
+                schema = Some(resolved);
+                builder = Some(b);
+            }
+        }
+    }
+    if state.in_quotes && !state.quote_pending {
+        return Err(StorageError::Relation(RelationError::Csv {
+            line: state.quote_open.0,
+            offset: state.quote_open.1,
+            message: "unterminated quoted field".into(),
+        }));
+    }
+    // quote_pending at EOF means the last quote closed the field.
+    state.in_quotes = false;
+    if !state.field.is_empty() || !state.record.is_empty() || state.saw_quote {
+        state.take_field();
+        match builder.as_mut() {
+            Some(builder) => {
+                let arity = schema.as_ref().expect("schema fixed with builder").arity();
+                emit_record(&mut state, &mut Sink::Build { builder, arity })?;
+            }
+            None => {
+                // The entire input was one header-less record (or a header
+                // with no data): treat it like the in-loop first record.
+                emit_record(&mut state, &mut Sink::Pending(&mut first))?;
+                let (fields, line, offset) = first.take().expect("pending record was emitted");
+                let (resolved, data) = if options.has_header {
+                    (Schema::new(fields)?, None)
+                } else {
+                    let names: Vec<String> =
+                        (0..fields.len()).map(|i| format!("col{}", i)).collect();
+                    (Schema::new(names)?, Some((fields, line, offset)))
+                };
+                let mut b = PagedBuilder::new(resolved.arity(), &options.paged)?;
+                if let Some((fields, _, _)) = data {
+                    for (c, value) in fields.iter().enumerate() {
+                        b.push_value(c, value)?;
+                    }
+                    b.n_rows += 1;
+                }
+                schema = Some(resolved);
+                builder = Some(b);
+            }
+        }
+    }
+    let (Some(schema), Some(builder)) = (schema, builder) else {
+        return Err(StorageError::Relation(RelationError::Csv {
+            line: 1,
+            offset: 0,
+            message: "no records in input".into(),
+        }));
+    };
+    let store = builder.finish(schema, options.paged.clone())?;
+    let registry = obs::global();
+    registry.describe("maimon_relations_loaded_total", "Relations successfully parsed from CSV");
+    registry.counter("maimon_relations_loaded_total", &[("source", "paged_csv")]).inc();
+    registry.describe("maimon_relation_rows_loaded_total", "Rows ingested across all CSV loads");
+    registry
+        .counter("maimon_relation_rows_loaded_total", &[("source", "paged_csv")])
+        .add(store.n_rows() as u64);
+    Ok(store)
+}
+
+/// Opens `path` with a buffered reader and streams it through
+/// [`ingest_csv`].
+///
+/// # Errors
+/// Propagates [`ingest_csv`] errors plus the initial open failure.
+pub fn ingest_csv_file(
+    path: impl AsRef<Path>,
+    options: &IngestOptions,
+) -> Result<PagedColumnarRelation, StorageError> {
+    let file = std::fs::File::open(path)?;
+    ingest_csv(std::io::BufReader::new(file), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RelationBackend;
+    use relation::{relation_from_csv, CsvOptions, Relation};
+
+    fn ingest(text: &str, page_rows: usize) -> Result<PagedColumnarRelation, StorageError> {
+        ingest_csv(
+            text.as_bytes(),
+            &IngestOptions {
+                paged: PagedOptions {
+                    page_rows,
+                    cache_pages: 2,
+                    dataset: "ingest-test".to_string(),
+                },
+                ..IngestOptions::default()
+            },
+        )
+    }
+
+    /// The streamed store must agree with the in-memory loader (dedup off —
+    /// the paged path keeps duplicates) on shape, codes and dictionaries.
+    fn assert_matches_in_memory(text: &str, page_rows: usize) {
+        let rel = relation_from_csv(text, CsvOptions { dedup: false, ..CsvOptions::default() })
+            .expect("in-memory parse");
+        let store = ingest(text, page_rows).expect("streaming ingest");
+        assert_eq!(store.n_rows(), rel.n_rows());
+        assert_eq!(store.schema().names(), rel.schema().names());
+        for c in 0..rel.arity() {
+            assert_eq!(store.column_cardinality(c), rel.column_cardinality(c));
+            let mut streamed = Vec::new();
+            store.scan_column(c, &mut |_, codes| streamed.extend_from_slice(codes));
+            assert_eq!(streamed, rel.column_codes(c), "column {c} at page_rows {page_rows}");
+            for code in 0..rel.column_cardinality(c) as u32 {
+                assert_eq!(store.dict_value(c, code), RelationBackend::dict_value(&rel, c, code));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_loader_on_plain_input() {
+        let text = "A,B,C\n1,2,3\n4,5,6\n1,2,3\n7,8,9\n";
+        for page_rows in [1, 2, 3, 100] {
+            assert_matches_in_memory(text, page_rows);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_loader_on_quoting_edge_cases() {
+        let text =
+            "A,B\n\"hello, world\",\"say \"\"hi\"\"\"\nplain,value\n\"multi\nline\",x\n\"\",y\n";
+        for page_rows in [1, 2, 4096] {
+            assert_matches_in_memory(text, page_rows);
+        }
+    }
+
+    #[test]
+    fn streaming_handles_crlf_blank_lines_and_missing_final_newline() {
+        assert_matches_in_memory("A;B\r\nx;y\r\n\r\nz;w", 2);
+    }
+
+    #[test]
+    fn streaming_without_header_names_columns() {
+        let store = ingest_csv(
+            "1,2\n3,4\n".as_bytes(),
+            &IngestOptions { has_header: false, ..IngestOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(store.schema().names(), &["col0".to_string(), "col1".into()]);
+        assert_eq!(store.n_rows(), 2);
+    }
+
+    #[test]
+    fn mid_file_arity_error_reports_line_and_byte_offset() {
+        // "A,B\n1,2\n" is 8 bytes; the malformed record starts there.
+        let err = ingest("A,B\n1,2\nonly-one\n3,4\n", 4).unwrap_err();
+        match err {
+            StorageError::Relation(RelationError::Csv { line, offset, message }) => {
+                assert_eq!(line, 3);
+                assert_eq!(offset, 8);
+                assert!(message.contains("1 fields"));
+            }
+            other => panic!("unexpected error: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn malformed_row_error_position_is_chunking_invariant() {
+        // tiny pages force page flushes before the error is hit.
+        let text = "A,B\n1,2\n3,4\n5,6\n7,8\nbroken\n";
+        let expected_offset = text.find("broken").unwrap();
+        for page_rows in [1, 2, 100] {
+            match ingest(text, page_rows).unwrap_err() {
+                StorageError::Relation(RelationError::Csv { line, offset, .. }) => {
+                    assert_eq!(line, 6);
+                    assert_eq!(offset, expected_offset);
+                }
+                other => panic!("unexpected error: {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn stray_and_unterminated_quotes_report_positions() {
+        match ingest("A\nok\nab\"cd\n", 4).unwrap_err() {
+            StorageError::Relation(RelationError::Csv { line, offset, .. }) => {
+                assert_eq!(line, 3);
+                assert_eq!(offset, 7);
+            }
+            other => panic!("unexpected error: {:?}", other),
+        }
+        match ingest("A\nfirst\n\"never closed\n", 4).unwrap_err() {
+            StorageError::Relation(RelationError::Csv { line, offset, message }) => {
+                assert_eq!(line, 3);
+                assert_eq!(offset, 8);
+                assert!(message.contains("unterminated"));
+            }
+            other => panic!("unexpected error: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(ingest("", 4).is_err());
+        assert!(ingest("\n\n", 4).is_err());
+    }
+
+    #[test]
+    fn header_only_input_builds_an_empty_store() {
+        let store = ingest("A,B\n", 4).unwrap();
+        assert_eq!(store.n_rows(), 0);
+        assert_eq!(store.arity(), 2);
+    }
+
+    #[test]
+    fn round_trip_from_relation_csv_matches_paged_twin() {
+        let schema = relation::Schema::new(["A", "B"]).unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            &[vec!["with,comma", "say \"hi\""], vec!["", "line\nbreak"], vec!["x", "y"]],
+        )
+        .unwrap();
+        let text = relation::relation_to_csv(&rel, ',');
+        assert_matches_in_memory(&text, 2);
+    }
+}

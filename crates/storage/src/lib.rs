@@ -1,0 +1,67 @@
+//! # maimon-storage — pluggable columnar storage backends
+//!
+//! The mining engine (PLI construction, entropy grouping) consumes
+//! relations through a deliberately narrow interface: per-column dictionary
+//! code streams, per-column cardinalities and dictionaries, row count and a
+//! data version. [`RelationBackend`] captures exactly that surface, so the
+//! same oracle runs over
+//!
+//! * the existing in-memory [`Relation`](relation::Relation) (zero behavior
+//!   change — one whole-column chunk per scan), and
+//! * [`PagedColumnarRelation`] — each column stored as fixed-size code pages
+//!   spilled to a temp file behind a small LRU page cache, fed by a
+//!   streaming `BufRead` CSV ingester ([`ingest_csv`]) that
+//!   dictionary-encodes incrementally and never materializes the whole
+//!   file. This is what lets the paper's §9 row-scalability experiments
+//!   (Figs. 13–14) reach 10M-row inputs with RSS bounded by the page cache
+//!   plus the dictionaries.
+//!
+//! Chunked scans visit pages in ascending row order, so grouping built on
+//! top of them (first-occurrence group ids, ascending-first-row clusters) is
+//! bit-identical across backends and page sizes.
+
+#![warn(missing_docs)]
+
+mod backend;
+mod ingest;
+mod paged;
+
+pub use backend::RelationBackend;
+pub use ingest::{ingest_csv, ingest_csv_file, IngestOptions};
+pub use paged::{PageCacheStats, PagedColumnarRelation, PagedOptions};
+
+use std::fmt;
+
+/// Errors produced by the paged backend and the streaming ingester.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A malformed CSV stream or an invalid shape, with source position
+    /// (the [`relation::RelationError::Csv`] variant carries line + byte
+    /// offset).
+    Relation(relation::RelationError),
+    /// An I/O failure on the input stream or the spill file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Relation(e) => write!(f, "{}", e),
+            StorageError::Io(e) => write!(f, "storage I/O error: {}", e),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<relation::RelationError> for StorageError {
+    fn from(e: relation::RelationError) -> Self {
+        StorageError::Relation(e)
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
