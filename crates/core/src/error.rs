@@ -46,6 +46,11 @@ pub enum MaimonError {
     /// A serialized result could not be parsed or did not match the expected
     /// wire shape (see [`crate::wire`]).
     Wire(String),
+    /// The storage backend failed while producing data the operation needed
+    /// (a page read error, a checksum mismatch, a WAL write failure). The
+    /// message carries the underlying [`storage::StorageError`] rendering;
+    /// the string keeps this enum `Clone + PartialEq`.
+    Storage(String),
     /// The operation needs random row access to the in-memory relation
     /// (quality evaluation, decomposition, appends), but the session was
     /// mounted on an out-of-core storage backend. Entropies, `M_ε` and
@@ -76,6 +81,7 @@ impl fmt::Display for MaimonError {
             }
             MaimonError::Store(msg) => write!(f, "decomposed store: {}", msg),
             MaimonError::Wire(msg) => write!(f, "wire format: {}", msg),
+            MaimonError::Storage(msg) => write!(f, "storage backend error: {}", msg),
             MaimonError::UnsupportedByBackend { operation, backend } => {
                 write!(
                     f,
@@ -100,6 +106,12 @@ impl std::error::Error for MaimonError {
 impl From<RelationError> for MaimonError {
     fn from(e: RelationError) -> Self {
         MaimonError::Relation(e)
+    }
+}
+
+impl From<storage::StorageError> for MaimonError {
+    fn from(e: storage::StorageError) -> Self {
+        MaimonError::Storage(e.to_string())
     }
 }
 

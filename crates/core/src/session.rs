@@ -261,7 +261,7 @@ impl<T> ArtifactCache<T> {
         F: FnOnce() -> Result<Arc<T>, MaimonError>,
     {
         {
-            let mut slots = self.slots.lock().expect("session cache poisoned");
+            let mut slots = self.slots.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
             loop {
                 match slots.get(&key) {
                     Some(ArtifactSlot::Ready(result)) => return result.clone(),
@@ -276,7 +276,7 @@ impl<T> ArtifactCache<T> {
                         slots = self
                             .changed
                             .wait_timeout(slots, WAITER_POLL_INTERVAL)
-                            .expect("session cache poisoned")
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
                             .0;
                     }
                     None => {
@@ -298,7 +298,7 @@ impl<T> ArtifactCache<T> {
             Err(_) => true,
         };
         {
-            let mut slots = self.slots.lock().expect("session cache poisoned");
+            let mut slots = self.slots.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
             if cache_it {
                 slots.insert(key, ArtifactSlot::Ready(result.clone()));
             } else {
@@ -312,7 +312,7 @@ impl<T> ArtifactCache<T> {
 
     /// Keys whose computation has completed successfully.
     fn ready_keys(&self) -> Vec<ArtifactKey> {
-        let slots = self.slots.lock().expect("session cache poisoned");
+        let slots = self.slots.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         slots
             .iter()
             .filter(|(_, slot)| matches!(slot, ArtifactSlot::Ready(Ok(_))))
@@ -324,7 +324,7 @@ impl<T> ArtifactCache<T> {
     /// computation and never computes. Used by `delta_sweep` to consult the
     /// previous version's artifact without resurrecting it.
     fn peek(&self, key: ArtifactKey) -> Option<Arc<T>> {
-        let slots = self.slots.lock().expect("session cache poisoned");
+        let slots = self.slots.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         match slots.get(&key) {
             Some(ArtifactSlot::Ready(Ok(value))) => Some(Arc::clone(value)),
             _ => None,
@@ -337,7 +337,7 @@ impl<T> ArtifactCache<T> {
     /// pre-append request finishing against its snapshot is still entitled to
     /// publish its (version-stamped, so never misattributed) result.
     fn prune_below(&self, min_version: u64) {
-        let mut slots = self.slots.lock().expect("session cache poisoned");
+        let mut slots = self.slots.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         slots.retain(|&(version, _), slot| {
             version >= min_version || matches!(slot, ArtifactSlot::InFlight)
         });
@@ -348,7 +348,7 @@ impl<T> ArtifactCache<T> {
     /// computation finishes (that invariant is what makes the finish path's
     /// insert/remove sound).
     fn clear(&self) {
-        let mut slots = self.slots.lock().expect("session cache poisoned");
+        let mut slots = self.slots.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         slots.retain(|_, slot| matches!(slot, ArtifactSlot::InFlight));
     }
 }
@@ -384,6 +384,18 @@ impl VersionState {
             operation: operation.to_string(),
             backend: self.backend.kind(),
         })
+    }
+
+    /// Refuses to serve results derived from a faulted oracle. The oracle's
+    /// query API is infallible (a failed scan latches the error and
+    /// substitutes trivial partitions), so every mining stage checks this
+    /// latch on entry *and* after mining — a fault that trips mid-mine still
+    /// turns into a typed error, never into silently wrong entropies.
+    fn check_storage(&self) -> Result<(), MaimonError> {
+        match self.oracle.storage_fault() {
+            Some(e) => Err(MaimonError::Storage(e.to_string())),
+            None => Ok(()),
+        }
     }
 }
 
@@ -515,6 +527,12 @@ impl MaimonSession {
             return Err(MaimonError::InvalidConfig("relation has no tuples".into()));
         }
         let oracle = PliEntropyOracle::from_backend(Arc::clone(&backend), config.entropy);
+        if let Some(e) = oracle.storage_fault() {
+            // A scan already failed while building the single-attribute
+            // partitions: the session would serve garbage, so refuse to
+            // mount it at all.
+            return Err(MaimonError::Storage(e.to_string()));
+        }
         let construction_stats = oracle.stats();
         let version = backend.data_version();
         let state =
@@ -541,7 +559,7 @@ impl MaimonSession {
     /// all the stages it implies, so a concurrent append can never tear one
     /// request across two data versions.
     fn state(&self) -> Arc<VersionState> {
-        Arc::clone(&self.inner.state.read().expect("session state poisoned"))
+        Arc::clone(&self.inner.state.read().unwrap_or_else(|poisoned| poisoned.into_inner()))
     }
 
     /// Attaches a cancellation token; every subsequent stage polls it and
@@ -658,7 +676,8 @@ impl MaimonSession {
         &self,
         rows: &[Vec<S>],
     ) -> Result<AppendSummary, MaimonError> {
-        let _appends = self.inner.append_lock.lock().expect("session append lock poisoned");
+        let _appends =
+            self.inner.append_lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         let state = self.state();
         if rows.is_empty() {
             return Ok(AppendSummary { rows_appended: 0, data_version: state.version });
@@ -674,7 +693,7 @@ impl MaimonSession {
             version: summary.data_version,
             previous_version: Some(state.version),
         };
-        *self.inner.state.write().expect("session state poisoned") = Arc::new(next);
+        *self.inner.state.write().unwrap_or_else(|poisoned| poisoned.into_inner()) = Arc::new(next);
         // Keep the predecessor generation's artifacts for delta comparison;
         // anything older can never be consulted again.
         self.inner.mvd_cache.prune_below(state.version);
@@ -795,11 +814,14 @@ impl MaimonSession {
             &self.control(),
             |result| result.stats.truncated,
             || {
-                Ok(Arc::new(mine_mvds_with(
+                state.check_storage()?;
+                let result = Arc::new(mine_mvds_with(
                     &state.oracle,
                     &self.config_at(epsilon),
                     &self.control(),
-                )))
+                ));
+                state.check_storage()?;
+                Ok(result)
             },
         )
     }
@@ -849,6 +871,7 @@ impl MaimonSession {
                 // yielded more schemas): flag it so it stays out of the
                 // shared cache and `quality` keeps reporting the truncation.
                 schemas.truncated |= mvds.stats.truncated;
+                state.check_storage()?;
                 Ok(Arc::new(schemas))
             },
         )
@@ -913,6 +936,7 @@ impl MaimonSession {
                 let mut mvds_with_stages = (*mvds).clone();
                 mvds_with_stages.stats.stages.absorb(&schemas_raw.stages);
                 mvds_with_stages.stats.stages.absorb(&measure.breakdown());
+                state.check_storage()?;
                 Ok(Arc::new(MaimonResult {
                     truncated: mvds.stats.truncated || schemas_raw.truncated,
                     mvds: mvds_with_stages,

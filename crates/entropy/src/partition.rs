@@ -49,7 +49,7 @@
 
 use relation::{AttrSet, FoldKeyMap, KeyFold, Relation};
 use std::collections::HashMap;
-use storage::RelationBackend;
+use storage::{RelationBackend, StorageError};
 
 /// A stripped partition: clusters of row indices, each of size ≥ 2, grouping
 /// rows with equal values on some attribute set. Stored as a flat CSR arena
@@ -77,14 +77,18 @@ impl Pli {
     /// inner loops unchanged) and the paged store. Both passes accumulate
     /// across chunk boundaries, so the result is chunk-size invariant —
     /// bit-identical whatever the backend's page size.
-    pub fn from_column(source: &dyn RelationBackend, attr: usize) -> Pli {
+    ///
+    /// # Errors
+    /// Propagates the backend's [`StorageError`] when a scan chunk cannot be
+    /// produced (failed page read, checksum mismatch).
+    pub fn from_column(source: &dyn RelationBackend, attr: usize) -> Result<Pli, StorageError> {
         let cardinality = source.column_cardinality(attr);
         let mut counts = vec![0u32; cardinality];
         source.scan_column(attr, &mut |_, codes| {
             for &code in codes {
                 counts[code as usize] += 1;
             }
-        });
+        })?;
         // Directory pass: reserve an arena range per non-singleton code, in
         // code order (= first-occurrence order, since dictionaries assign
         // codes by first appearance — so this is ascending-first-row order).
@@ -108,8 +112,8 @@ impl Pli {
                     starts[code as usize] = cursor + 1;
                 }
             }
-        });
-        Pli { rows, offsets, n_rows: source.n_rows() }
+        })?;
+        Ok(Pli { rows, offsets, n_rows: source.n_rows() })
     }
 
     /// Builds the stripped partition of an arbitrary attribute set by
@@ -124,7 +128,11 @@ impl Pli {
     /// ([`RelationBackend::scan_columns`]); since chunks tile the row range
     /// in ascending order, group ids still assign in first-occurrence order
     /// and the result is chunk-size invariant.
-    pub fn from_attrs(source: &dyn RelationBackend, attrs: AttrSet) -> Pli {
+    ///
+    /// # Errors
+    /// Propagates the backend's [`StorageError`] when a scan chunk cannot be
+    /// produced (failed page read, checksum mismatch).
+    pub fn from_attrs(source: &dyn RelationBackend, attrs: AttrSet) -> Result<Pli, StorageError> {
         let n = source.n_rows();
         let cols: Vec<usize> = attrs.iter().collect();
         // Group ids are assigned in first-occurrence order over an ascending
@@ -146,7 +154,7 @@ impl Pli {
                     counts[gid as usize] += 1;
                     row_gids.push(gid);
                 }
-            });
+            })?;
         } else {
             let mut gids: HashMap<Vec<u32>, u32> = HashMap::with_capacity(n);
             source.scan_columns(&cols, &mut |_, slices| {
@@ -161,7 +169,7 @@ impl Pli {
                     counts[gid as usize] += 1;
                     row_gids.push(gid);
                 }
-            });
+            })?;
         }
         // CSR scatter of the non-singleton groups, in group-id order.
         let mut starts = vec![u32::MAX; counts.len()];
@@ -183,7 +191,7 @@ impl Pli {
                 starts[gid as usize] = cursor + 1;
             }
         }
-        Pli { rows, offsets, n_rows: n }
+        Ok(Pli { rows, offsets, n_rows: n })
     }
 
     /// Delta-maintains this partition across an append: given that `new` is
@@ -687,14 +695,14 @@ mod tests {
     #[test]
     fn single_column_partitions_match_figure_7() {
         let rel = sample();
-        let a = Pli::from_column(&rel, 0);
+        let a = Pli::from_column(&rel, 0).unwrap();
         // A: a2 -> {t2,t3}, a3 -> {t4,t5}; a1 is a singleton.
         assert_eq!(a.cluster_count(), 2);
         assert_eq!(a.covered_rows(), 4);
         assert_eq!(a.distinct_values(), 3);
         assert_eq!(a.cluster(0), &[1, 2]);
         assert_eq!(a.cluster(1), &[3, 4]);
-        let c = Pli::from_column(&rel, 2);
+        let c = Pli::from_column(&rel, 2).unwrap();
         // C: c3 -> {t1,t4}; the rest are singletons.
         assert_eq!(c.cluster_count(), 1);
         assert_eq!(c.distinct_values(), 4);
@@ -704,8 +712,8 @@ mod tests {
     fn from_attrs_matches_from_column_for_singletons() {
         let rel = sample();
         for attr in 0..3 {
-            let a = Pli::from_column(&rel, attr);
-            let b = Pli::from_attrs(&rel, AttrSet::singleton(attr));
+            let a = Pli::from_column(&rel, attr).unwrap();
+            let b = Pli::from_attrs(&rel, AttrSet::singleton(attr)).unwrap();
             assert_eq!(a, b, "CSR partitions must agree exactly, attr {attr}");
             assert_eq!(a.entropy(), b.entropy());
         }
@@ -721,21 +729,21 @@ mod tests {
             (0..1000).map(|i| vec![format!("k{i}"), format!("v{}", i % 3)]).collect();
         let rel = Relation::from_rows(schema, &rows).unwrap();
         assert_eq!(rel.column_cardinality(0), 1000);
-        let p = Pli::from_column(&rel, 0);
+        let p = Pli::from_column(&rel, 0).unwrap();
         assert_eq!(p.cluster_count(), 0);
         assert_eq!(p.covered_rows(), 0);
         assert_eq!(p.distinct_values(), 1000);
         assert!((p.entropy() - 1000f64.log2()).abs() < 1e-12);
-        assert_eq!(p, Pli::from_attrs(&rel, AttrSet::singleton(0)));
+        assert_eq!(p, Pli::from_attrs(&rel, AttrSet::singleton(0)).unwrap());
     }
 
     #[test]
     fn intersection_matches_direct_computation() {
         let rel = sample();
-        let a = Pli::from_column(&rel, 0);
-        let b = Pli::from_column(&rel, 1);
+        let a = Pli::from_column(&rel, 0).unwrap();
+        let b = Pli::from_column(&rel, 1).unwrap();
         let ab = a.intersect(&b);
-        let direct = Pli::from_attrs(&rel, [0usize, 1].into_iter().collect());
+        let direct = Pli::from_attrs(&rel, [0usize, 1].into_iter().collect()).unwrap();
         assert_eq!(ab, direct, "intersection and direct build agree exactly");
         assert_eq!(ab.entropy(), direct.entropy());
         // Figure 7: AB has a single non-singleton cluster {t4, t5}.
@@ -746,8 +754,8 @@ mod tests {
     #[test]
     fn intersection_is_commutative() {
         let rel = sample();
-        let a = Pli::from_column(&rel, 0);
-        let c = Pli::from_column(&rel, 2);
+        let a = Pli::from_column(&rel, 0).unwrap();
+        let c = Pli::from_column(&rel, 2).unwrap();
         let ac = a.intersect(&c);
         let ca = c.intersect(&a);
         assert_eq!(ac, ca, "canonical cluster order makes intersection commutative");
@@ -759,8 +767,8 @@ mod tests {
         let rel = sample();
         let mut scratch = IntersectScratch::new();
         for (x, y) in [(0usize, 1usize), (0, 2), (1, 2)] {
-            let a = Pli::from_column(&rel, x);
-            let b = Pli::from_column(&rel, y);
+            let a = Pli::from_column(&rel, x).unwrap();
+            let b = Pli::from_column(&rel, y).unwrap();
             let materialized = a.intersect_with(&b, &mut scratch);
             let expected_sizes: Vec<u32> =
                 materialized.clusters().map(|c| c.len() as u32).collect();
@@ -789,8 +797,8 @@ mod tests {
             for (r, n_cols) in [(&rel, 3usize), (&other_rel, 2usize)] {
                 for x in 0..n_cols {
                     for y in 0..n_cols {
-                        let a = Pli::from_column(r, x);
-                        let b = Pli::from_column(r, y);
+                        let a = Pli::from_column(r, x).unwrap();
+                        let b = Pli::from_column(r, y).unwrap();
                         assert_eq!(a.intersect_with(&b, &mut scratch), a.intersect(&b));
                     }
                 }
@@ -801,8 +809,8 @@ mod tests {
     #[test]
     fn scratch_epoch_wrap_resets_cleanly() {
         let rel = sample();
-        let a = Pli::from_column(&rel, 0);
-        let b = Pli::from_column(&rel, 1);
+        let a = Pli::from_column(&rel, 0).unwrap();
+        let b = Pli::from_column(&rel, 1).unwrap();
         let mut scratch = IntersectScratch::new();
         let expected = a.intersect(&b);
         // Poison the scratch with a near-overflow epoch; prepare() must reset
@@ -829,7 +837,7 @@ mod tests {
     fn entropy_of_key_attribute_set_is_log_n() {
         let rel = sample();
         // ABC together identify every tuple: entropy = log2(5).
-        let p = Pli::from_attrs(&rel, AttrSet::full(3));
+        let p = Pli::from_attrs(&rel, AttrSet::full(3)).unwrap();
         assert!((p.entropy() - (5f64).log2()).abs() < 1e-12);
         assert_eq!(p.cluster_count(), 0);
     }
@@ -839,14 +847,14 @@ mod tests {
         let schema = Schema::new(["X"]).unwrap();
         let rel =
             Relation::from_rows(schema, &[vec!["0"], vec!["0"], vec!["1"], vec!["1"]]).unwrap();
-        let p = Pli::from_column(&rel, 0);
+        let p = Pli::from_column(&rel, 0).unwrap();
         assert!((p.entropy() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn intersect_with_trivial_is_identity_on_entropy() {
         let rel = sample();
-        let a = Pli::from_column(&rel, 0);
+        let a = Pli::from_column(&rel, 0).unwrap();
         let t = Pli::trivial(rel.n_rows());
         let both = a.intersect(&t);
         assert_eq!(both.entropy(), a.entropy());
@@ -865,7 +873,7 @@ mod tests {
     #[test]
     fn size_reports_covered_rows() {
         let rel = sample();
-        let a = Pli::from_column(&rel, 0);
+        let a = Pli::from_column(&rel, 0).unwrap();
         assert_eq!(a.size(), 4);
     }
 
@@ -887,9 +895,9 @@ mod tests {
         new.append_rows(&batch).unwrap();
         for bits in 1u32..8 {
             let attrs: AttrSet = (0..3usize).filter(|c| bits & (1 << c) != 0).collect();
-            let before = Pli::from_attrs(&old, attrs);
+            let before = Pli::from_attrs(&old, attrs).unwrap();
             let delta = before.extended(&old, &new, attrs).expect("tiny cardinalities fold");
-            let scratch_build = Pli::from_attrs(&new, attrs);
+            let scratch_build = Pli::from_attrs(&new, attrs).unwrap();
             assert_eq!(delta, scratch_build, "attrs {attrs:?}");
             assert_eq!(delta.entropy().to_bits(), scratch_build.entropy().to_bits());
         }
@@ -898,7 +906,7 @@ mod tests {
     #[test]
     fn extended_empty_batch_is_identity() {
         let rel = sample();
-        let p = Pli::from_column(&rel, 0);
+        let p = Pli::from_column(&rel, 0).unwrap();
         let same = p.extended(&rel, &rel, AttrSet::singleton(0)).unwrap();
         assert_eq!(same, p);
     }
@@ -914,7 +922,7 @@ mod tests {
             .collect();
         let rel = Relation::from_code_columns(schema, columns).unwrap();
         let full = AttrSet::full(cols);
-        let p = Pli::from_attrs(&rel, full);
+        let p = Pli::from_attrs(&rel, full).unwrap();
         let mut grown = rel.clone();
         grown.append_rows(&[rel.row(0)]).unwrap();
         assert!(p.extended(&rel, &grown, full).is_none());
@@ -935,7 +943,7 @@ mod tests {
         let full = AttrSet::full(cols);
         assert!(rel.key_fold(full).is_none(), "the fold must overflow for this test to bite");
 
-        let pli = Pli::from_attrs(&rel, full);
+        let pli = Pli::from_attrs(&rel, full).unwrap();
         // Reference grouping: the legacy hash-map-and-sort algorithm.
         let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
         for r in 0..rel.n_rows() {
@@ -951,7 +959,7 @@ mod tests {
         // path; both paths must agree where they overlap.
         let narrow: AttrSet = [0usize, 1].into_iter().collect();
         assert!(rel.key_fold(narrow).is_some());
-        let fold_path = Pli::from_attrs(&rel, narrow);
+        let fold_path = Pli::from_attrs(&rel, narrow).unwrap();
         let mut narrow_groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
         for r in 0..rel.n_rows() {
             narrow_groups.entry(rel.key(r, narrow)).or_default().push(r as u32);

@@ -45,8 +45,8 @@ use crate::oracle::{EntropyOracle, OracleStats};
 use crate::partition::{IntersectScratch, Pli};
 use relation::{AttrSet, Relation};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use storage::RelationBackend;
+use std::sync::{Arc, Mutex, OnceLock};
+use storage::{RelationBackend, StorageError};
 
 /// Configuration for [`PliEntropyOracle`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,6 +117,29 @@ pub struct PliEntropyOracle {
     scratches: Mutex<Vec<IntersectScratch>>,
     config: EntropyConfig,
     stats: AtomicOracleStats,
+    /// The first [`StorageError`] a partition build hit, if any. The oracle's
+    /// query API is infallible by design (entropies are plain `f64`s on hot
+    /// paths), so a failed scan latches here and the build substitutes a
+    /// trivial partition to stay structurally sound; callers that need
+    /// correctness (the session layer) check [`PliEntropyOracle::storage_fault`]
+    /// and refuse to serve results derived from a faulted oracle.
+    storage_fault: OnceLock<Arc<StorageError>>,
+}
+
+/// Unwraps a partition build, latching the first error into `fault` and
+/// degrading to the trivial partition so construction can continue.
+fn unwrap_or_trivial(
+    fault: &OnceLock<Arc<StorageError>>,
+    n_rows: usize,
+    result: Result<Pli, StorageError>,
+) -> Pli {
+    match result {
+        Ok(pli) => pli,
+        Err(e) => {
+            let _ = fault.set(Arc::new(e));
+            Pli::trivial(n_rows)
+        }
+    }
 }
 
 impl PliEntropyOracle {
@@ -142,8 +165,13 @@ impl PliEntropyOracle {
         rel: Option<Arc<Relation>>,
         config: EntropyConfig,
     ) -> Self {
-        let singles: Vec<Arc<Pli>> =
-            (0..source.arity()).map(|a| Arc::new(Pli::from_column(&*source, a))).collect();
+        let storage_fault: OnceLock<Arc<StorageError>> = OnceLock::new();
+        let n_rows = source.n_rows();
+        let singles: Vec<Arc<Pli>> = (0..source.arity())
+            .map(|a| {
+                Arc::new(unwrap_or_trivial(&storage_fault, n_rows, Pli::from_column(&*source, a)))
+            })
+            .collect();
         let oracle = PliEntropyOracle {
             source,
             rel,
@@ -154,6 +182,7 @@ impl PliEntropyOracle {
             scratches: Mutex::new(Vec::new()),
             config,
             stats: AtomicOracleStats::default(),
+            storage_fault,
         };
         if let Some(block) = config.block_size {
             oracle.precompute_blocks(block.max(1));
@@ -210,6 +239,9 @@ impl PliEntropyOracle {
         assert_eq!(new_rel.arity(), old.arity(), "append cannot change the schema");
         assert!(new_rel.n_rows() >= old.n_rows(), "extend_to() only handles appends");
         let stats = AtomicOracleStats::seeded(self.stats.snapshot());
+        // The successor inherits any latched fault: results derived from a
+        // faulted lineage stay refusable at the session layer.
+        let storage_fault = self.storage_fault.clone();
         let singles: Vec<Arc<Pli>> = (0..new_rel.arity())
             .map(|a| match self.singles[a].extended(old, &new_rel, AttrSet::singleton(a)) {
                 Some(p) => {
@@ -218,7 +250,11 @@ impl PliEntropyOracle {
                 }
                 None => {
                     stats.record_full_rebuild();
-                    Arc::new(Pli::from_column(&*new_rel, a))
+                    Arc::new(unwrap_or_trivial(
+                        &storage_fault,
+                        new_rel.n_rows(),
+                        Pli::from_column(&*new_rel, a),
+                    ))
                 }
             })
             .collect();
@@ -233,7 +269,11 @@ impl PliEntropyOracle {
                 }
                 None => {
                     stats.record_full_rebuild();
-                    Arc::new(Pli::from_attrs(&*new_rel, attrs))
+                    Arc::new(unwrap_or_trivial(
+                        &storage_fault,
+                        new_rel.n_rows(),
+                        Pli::from_attrs(&*new_rel, attrs),
+                    ))
                 }
             };
             entropy_cache.insert(attrs, refreshed.entropy());
@@ -249,7 +289,17 @@ impl PliEntropyOracle {
             scratches: Mutex::new(Vec::new()),
             config: self.config,
             stats,
+            storage_fault,
         }
+    }
+
+    /// The first storage error any partition build hit, if one did. A
+    /// non-`None` return means entropies served by this oracle may be
+    /// derived from substituted trivial partitions and must not be trusted;
+    /// the session layer surfaces this as a typed error instead of serving
+    /// garbage.
+    pub fn storage_fault(&self) -> Option<Arc<StorageError>> {
+        self.storage_fault.get().cloned()
     }
 
     /// The underlying in-memory relation.
@@ -293,11 +343,17 @@ impl PliEntropyOracle {
     }
 
     fn take_scratch(&self) -> IntersectScratch {
-        self.scratches.lock().expect("scratch pool poisoned").pop().unwrap_or_default()
+        // Scratches carry no cross-call invariants (they are epoch-stamped),
+        // so a pool poisoned by a panicking thread is safe to keep using.
+        self.scratches
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .pop()
+            .unwrap_or_default()
     }
 
     fn return_scratch(&self, scratch: IntersectScratch) {
-        self.scratches.lock().expect("scratch pool poisoned").push(scratch);
+        self.scratches.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).push(scratch);
     }
 
     fn precompute_blocks(&self, block: usize) {
@@ -321,9 +377,13 @@ impl PliEntropyOracle {
                 let rest_pli = if rest.len() == 1 {
                     Arc::clone(&self.singles[rest.min_attr().unwrap()])
                 } else {
-                    self.pli_cache
-                        .get(rest)
-                        .unwrap_or_else(|| Arc::new(Pli::from_attrs(&*self.source, rest)))
+                    self.pli_cache.get(rest).unwrap_or_else(|| {
+                        Arc::new(unwrap_or_trivial(
+                            &self.storage_fault,
+                            self.source.n_rows(),
+                            Pli::from_attrs(&*self.source, rest),
+                        ))
+                    })
                 };
                 let combined = rest_pli.intersect_with(&self.singles[last], &mut scratch);
                 self.stats.record_intersection();
@@ -393,7 +453,11 @@ impl PliEntropyOracle {
                         // was truncated by the budget; fall back to a direct
                         // scan.
                         self.stats.record_full_scan();
-                        Arc::new(Pli::from_attrs(&*self.source, piece))
+                        Arc::new(unwrap_or_trivial(
+                            &self.storage_fault,
+                            self.source.n_rows(),
+                            Pli::from_attrs(&*self.source, piece),
+                        ))
                     }
                 };
                 (piece, pli)

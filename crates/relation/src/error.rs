@@ -54,6 +54,11 @@ pub enum RelationError {
     },
     /// A join-tree specification was not a tree or did not cover the schema.
     InvalidJoinTree(String),
+    /// Pre-encoded columns (dictionaries + codes) failed validation — a
+    /// duplicate dictionary value, a code outside its dictionary, or ragged
+    /// column lengths. Raised by [`crate::Relation::from_encoded_parts`]
+    /// when loading untrusted encoded data (e.g. a durable snapshot).
+    InvalidEncoding(String),
 }
 
 impl fmt::Display for RelationError {
@@ -80,6 +85,9 @@ impl fmt::Display for RelationError {
                 write!(f, "schema mismatch: {} vs {}", left, right)
             }
             RelationError::InvalidJoinTree(msg) => write!(f, "invalid join tree: {}", msg),
+            RelationError::InvalidEncoding(msg) => {
+                write!(f, "invalid encoded relation: {}", msg)
+            }
         }
     }
 }

@@ -131,6 +131,63 @@ impl Relation {
         Ok(Relation { schema, columns: cols, n_rows, data_version: 0 })
     }
 
+    /// Rebuilds a relation from already-encoded parts — per-column
+    /// dictionaries plus per-row codes — preserving `data_version`. This is
+    /// the deserialization path used by the durable snapshot loader, so
+    /// unlike [`Relation::from_code_columns`] it neither re-encodes nor
+    /// resets the version: the result is bit-identical (same dictionaries,
+    /// same codes, same version) to the relation that was serialized.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::InvalidEncoding`] if the shapes are ragged
+    /// (wrong column count, unequal column lengths), a dictionary contains a
+    /// duplicate value, or any code is outside its dictionary.
+    pub fn from_encoded_parts(
+        schema: Schema,
+        dicts: Vec<Vec<String>>,
+        codes: Vec<Vec<u32>>,
+        data_version: u64,
+    ) -> Result<Self, RelationError> {
+        let arity = schema.arity();
+        if dicts.len() != arity || codes.len() != arity {
+            return Err(RelationError::InvalidEncoding(format!(
+                "schema has arity {} but got {} dictionaries and {} code columns",
+                arity,
+                dicts.len(),
+                codes.len()
+            )));
+        }
+        let n_rows = codes.first().map(|c| c.len()).unwrap_or(0);
+        let mut columns = Vec::with_capacity(arity);
+        for (c, (dict, col)) in dicts.into_iter().zip(codes).enumerate() {
+            if col.len() != n_rows {
+                return Err(RelationError::InvalidEncoding(format!(
+                    "column {} has {} codes but column 0 has {}",
+                    c,
+                    col.len(),
+                    n_rows
+                )));
+            }
+            if let Some(&bad) = col.iter().find(|&&code| code as usize >= dict.len()) {
+                return Err(RelationError::InvalidEncoding(format!(
+                    "column {} contains code {} but its dictionary has only {} values",
+                    c,
+                    bad,
+                    dict.len()
+                )));
+            }
+            let column = Column::with_dict(dict, col);
+            if column.index.len() != column.dict.len() {
+                return Err(RelationError::InvalidEncoding(format!(
+                    "column {} dictionary contains duplicate values",
+                    c
+                )));
+            }
+            columns.push(column);
+        }
+        Ok(Relation { schema, columns, n_rows, data_version })
+    }
+
     /// The relation's monotone data version: 0 at construction, bumped by
     /// every successful [`Relation::push_row`] and every successful
     /// non-empty [`Relation::append_rows`] batch. Derived relations
@@ -758,6 +815,58 @@ mod tests {
         let schema = Schema::new(["X", "Y"]).unwrap();
         assert!(Relation::from_code_columns(schema.clone(), vec![vec![1, 2]]).is_err());
         assert!(Relation::from_code_columns(schema, vec![vec![1, 2], vec![1]]).is_err());
+    }
+
+    #[test]
+    fn from_encoded_parts_round_trips_and_preserves_version() {
+        let mut r = abc_relation();
+        r.append_rows(&[vec!["a9", "b9", "c9"]]).unwrap();
+        assert_eq!(r.data_version(), 1);
+        let dicts: Vec<Vec<String>> = (0..r.arity()).map(|c| r.column_values(c).to_vec()).collect();
+        let codes: Vec<Vec<u32>> = (0..r.arity()).map(|c| r.column_codes(c).to_vec()).collect();
+        let rebuilt =
+            Relation::from_encoded_parts(r.schema().clone(), dicts, codes, r.data_version())
+                .unwrap();
+        assert_eq!(rebuilt.data_version(), 1);
+        assert_eq!(rebuilt.n_rows(), r.n_rows());
+        for c in 0..r.arity() {
+            assert_eq!(rebuilt.column_codes(c), r.column_codes(c));
+            assert_eq!(rebuilt.column_values(c), r.column_values(c));
+        }
+    }
+
+    #[test]
+    fn from_encoded_parts_rejects_bad_shapes() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let dict = |values: &[&str]| values.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Wrong column count.
+        let err =
+            Relation::from_encoded_parts(schema.clone(), vec![dict(&["x"])], vec![vec![0]], 0);
+        assert!(matches!(err, Err(RelationError::InvalidEncoding(_))));
+        // Ragged column lengths.
+        let err = Relation::from_encoded_parts(
+            schema.clone(),
+            vec![dict(&["x"]), dict(&["y"])],
+            vec![vec![0, 0], vec![0]],
+            0,
+        );
+        assert!(matches!(err, Err(RelationError::InvalidEncoding(_))));
+        // Code outside its dictionary.
+        let err = Relation::from_encoded_parts(
+            schema.clone(),
+            vec![dict(&["x"]), dict(&["y"])],
+            vec![vec![0], vec![7]],
+            0,
+        );
+        assert!(matches!(err, Err(RelationError::InvalidEncoding(_))));
+        // Duplicate dictionary value.
+        let err = Relation::from_encoded_parts(
+            schema,
+            vec![dict(&["x", "x"]), dict(&["y"])],
+            vec![vec![0], vec![0]],
+            0,
+        );
+        assert!(matches!(err, Err(RelationError::InvalidEncoding(_))));
     }
 
     #[test]

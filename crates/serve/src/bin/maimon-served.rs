@@ -9,6 +9,7 @@
 //!               [--dataset name=path.csv]... [--demo]
 //!               [--paged-dataset name=path.csv]...
 //!               [--page-rows N] [--cache-pages N]
+//!               [--data-dir DIR]
 //!               [--max-in-flight N] [--queue-depth N] [--epsilon E]
 //!               [--metrics-addr HOST:PORT]
 //! ```
@@ -24,6 +25,14 @@
 //! hand. On startup the bound address is printed as
 //! `maimon-served listening on ADDR` (stdout, flushed), which is what the
 //! smoke tests — and shell scripts — wait for.
+//!
+//! `--data-dir` makes in-memory datasets durable. On boot every
+//! `DIR/<name>/` holding a snapshot + WAL pair is recovered to its exact
+//! pre-crash data version (WAL replay, torn tails truncated); datasets named
+//! by `--dataset`/`--demo` that have *no* durable state yet are seeded with
+//! an initial snapshot. Every acknowledged `append` is then fsync'd to the
+//! WAL before the response goes out, so a kill -9 loses at most unacked
+//! batches. Paged datasets are read-only and stay non-durable.
 //!
 //! `--metrics-addr` additionally serves the process-wide metrics registry
 //! as Prometheus text exposition over plain HTTP GET (any path), announced
@@ -85,6 +94,7 @@ struct Options {
     paged_datasets: Vec<(String, String)>,
     page_rows: usize,
     cache_pages: usize,
+    data_dir: Option<String>,
     demo: bool,
     epsilon: f64,
     max_in_flight: usize,
@@ -96,7 +106,7 @@ fn usage() -> ! {
         "usage: maimon-served [--addr HOST:PORT] [--workers N] \
          [--dataset name=path.csv]... [--demo] \
          [--paged-dataset name=path.csv]... [--page-rows N] [--cache-pages N] \
-         [--epsilon E] \
+         [--data-dir DIR] [--epsilon E] \
          [--max-in-flight N] [--queue-depth N] [--metrics-addr HOST:PORT]"
     );
     std::process::exit(2);
@@ -111,6 +121,7 @@ fn parse_options() -> Options {
         paged_datasets: Vec::new(),
         page_rows: PagedOptions::default().page_rows,
         cache_pages: PagedOptions::default().cache_pages,
+        data_dir: None,
         demo: false,
         epsilon: 0.05,
         max_in_flight: AdmissionConfig::default().max_in_flight_per_tenant,
@@ -173,6 +184,7 @@ fn parse_options() -> Options {
                     usage()
                 }
             }
+            "--data-dir" => options.data_dir = Some(value("--data-dir")),
             "--demo" => options.demo = true,
             "--help" | "-h" => usage(),
             other => {
@@ -181,8 +193,14 @@ fn parse_options() -> Options {
             }
         }
     }
-    if options.datasets.is_empty() && options.paged_datasets.is_empty() && !options.demo {
-        eprintln!("no datasets: pass --dataset name=path.csv, --paged-dataset, or --demo");
+    if options.datasets.is_empty()
+        && options.paged_datasets.is_empty()
+        && !options.demo
+        && options.data_dir.is_none()
+    {
+        eprintln!(
+            "no datasets: pass --dataset name=path.csv, --paged-dataset, --data-dir, or --demo"
+        );
         usage()
     }
     options
@@ -241,23 +259,99 @@ fn serve_metrics_request(mut stream: TcpStream) {
     let _ = stream.flush();
 }
 
+/// Seeds `relation` under `name`: durably (initial snapshot + empty WAL under
+/// `data_dir/<name>`) when a data dir is configured, in-memory otherwise.
+/// Skipped — with a note — when the dataset was already recovered from its
+/// durable state, which is newer than any seed.
+fn seed_dataset(
+    registry: &DatasetRegistry,
+    name: &str,
+    relation: maimon::relation::Relation,
+    config: MaimonConfig,
+    data_dir: Option<&std::path::Path>,
+    recovered: &std::collections::HashSet<String>,
+) -> bool {
+    if recovered.contains(name) {
+        eprintln!("skipping seed for {name}: recovered durable copy wins");
+        return false;
+    }
+    let result = match data_dir {
+        Some(dir) => registry.register_durable(name.to_string(), relation, config, dir),
+        None => registry.register(name.to_string(), relation, config),
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("cannot serve {name}: {e}");
+        std::process::exit(1);
+    });
+    true
+}
+
 fn main() {
     let options = parse_options();
     signals::install();
 
     let config = MaimonConfig::with_epsilon(options.epsilon);
     let registry = Arc::new(DatasetRegistry::new());
+
+    // Recover durable datasets before seeding anything: a dataset that
+    // already has a snapshot + WAL pair under the data dir comes back at its
+    // exact pre-crash data version and wins over any same-named seed.
+    let data_dir = options.data_dir.as_ref().map(std::path::PathBuf::from);
+    let mut recovered_names = std::collections::HashSet::new();
+    if let Some(dir) = &data_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("cannot create data dir {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        let recovered = registry.open_durable(dir, config).unwrap_or_else(|e| {
+            eprintln!("cannot recover data dir {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        for (name, info) in &recovered {
+            eprintln!(
+                "recovered {name}: data_version {}, {} WAL records replayed{}",
+                info.data_version,
+                info.replayed_records,
+                if info.truncated_tail { ", torn WAL tail truncated" } else { "" }
+            );
+            recovered_names.insert(name.clone());
+        }
+    }
+
     if options.demo {
-        registry
-            .register("running", maimon_datasets::running_example(), config)
-            .expect("the running example is servable");
+        let mut seeded = Vec::new();
+        if seed_dataset(
+            &registry,
+            "running",
+            maimon_datasets::running_example(),
+            config,
+            data_dir.as_deref(),
+            &recovered_names,
+        ) {
+            seeded.push("running");
+        }
         let bridges = maimon_datasets::dataset_by_name("Bridges")
             .expect("Bridges is in the catalog")
             .generate(1.0);
-        registry.register("bridges", bridges, config).expect("Bridges is servable");
-        eprintln!("registered demo datasets: running, bridges");
+        if seed_dataset(
+            &registry,
+            "bridges",
+            bridges,
+            config,
+            data_dir.as_deref(),
+            &recovered_names,
+        ) {
+            seeded.push("bridges");
+        }
+        if !seeded.is_empty() {
+            eprintln!("registered demo datasets: {}", seeded.join(", "));
+        }
     }
     for (name, path) in &options.datasets {
+        if recovered_names.contains(name) {
+            eprintln!("skipping seed for {name}: recovered durable copy wins");
+            continue;
+        }
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
             std::process::exit(1);
@@ -267,10 +361,7 @@ fn main() {
             std::process::exit(1);
         });
         let (rows, attrs) = (relation.n_rows(), relation.arity());
-        registry.register(name.clone(), relation, config).unwrap_or_else(|e| {
-            eprintln!("cannot serve {name}: {e}");
-            std::process::exit(1);
-        });
+        seed_dataset(&registry, name, relation, config, data_dir.as_deref(), &recovered_names);
         eprintln!("registered {name}: {rows} rows x {attrs} attrs from {path}");
     }
     for (name, path) in &options.paged_datasets {

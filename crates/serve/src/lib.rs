@@ -25,6 +25,18 @@
 //!   well-formed partial flagged `truncated`, never an error
 //!   ([`server`]).
 //!
+//! The layer is built to degrade, not abort: request handling runs under
+//! `catch_unwind` (a panicking handler yields a well-formed `internal`
+//! envelope that keeps its `trace_id`, counted by
+//! `maimon_requests_panicked_total{op}`), storage faults surface as typed
+//! `internal` errors scoped to their dataset, and datasets registered
+//! through [`DatasetRegistry::register_durable`] /
+//! [`DatasetRegistry::open_durable`] (the `maimon-served --data-dir` path)
+//! fsync every acknowledged append to a write-ahead log so a crashed server
+//! restarts at its exact pre-crash `data_version`. The fault-injection
+//! suite (`tests/chaos.rs`, `tests/crash_recovery.rs`) pins each of these
+//! contracts.
+//!
 //! ```no_run
 //! use serve::{serve, DatasetRegistry, ServerConfig};
 //! use maimon::MaimonConfig;

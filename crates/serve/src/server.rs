@@ -172,7 +172,8 @@ fn accept_loop(
     while !shared.shutdown.is_cancelled() {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let mut pending = queue.pending.lock().expect("queue lock poisoned");
+                let mut pending =
+                    queue.pending.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
                 if pending.len() >= max_queue_depth {
                     drop(pending);
                     shared.admission.note_queue_shed();
@@ -220,7 +221,7 @@ fn shed_connection(mut stream: TcpStream) {
 fn worker_loop(shared: &Arc<Shared>, queue: &Arc<ConnQueue>) {
     loop {
         let stream = {
-            let mut pending = queue.pending.lock().expect("queue lock poisoned");
+            let mut pending = queue.pending.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
             loop {
                 if let Some(stream) = pending.pop_front() {
                     break Some(stream);
@@ -231,12 +232,21 @@ fn worker_loop(shared: &Arc<Shared>, queue: &Arc<ConnQueue>) {
                 let (guard, _timeout) = queue
                     .ready
                     .wait_timeout(pending, Duration::from_millis(100))
-                    .expect("queue lock poisoned");
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
                 pending = guard;
             }
         };
         match stream {
-            Some(stream) => handle_connection(shared, stream),
+            Some(stream) => {
+                // A panic escaping one connection must not take the worker
+                // thread (and its share of serving capacity) with it.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(shared, stream);
+                }));
+                if result.is_err() {
+                    note_panic("connection");
+                }
+            }
             None => return,
         }
     }
@@ -260,6 +270,11 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 continue;
             }
             let response = dispatch(shared, text.trim());
+            if maimon::storage::fault::global().should_fail("conn_drop", "connection") {
+                // Chaos failpoint: hang up before the response line is
+                // written, as a crashed peer or a cut network would.
+                return;
+            }
             if writeln!(stream, "{}", response).and_then(|()| stream.flush()).is_err() {
                 return;
             }
@@ -354,34 +369,57 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Json {
         _ => (None, None),
     };
     let stages = Arc::new(StageCollector::new());
-    let response = match request {
-        Request::Ping => {
-            shared.counters.ping.fetch_add(1, Ordering::Relaxed);
-            ok_response("ping", [])
+    // No-abort serving: a panic anywhere in a handler (a bug, a poisoned
+    // invariant, the `request_panic` chaos failpoint) is contained here and
+    // answered as a well-formed `internal` envelope that still carries the
+    // request's trace_id — the connection, the worker and every other
+    // dataset keep serving. The shared state is sound across the unwind:
+    // registry and artifact-cache locks recover from poisoning, and counters
+    // are atomics.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if maimon::storage::fault::global().should_fail("request_panic", op) {
+            panic!("injected failpoint panic ({op})");
         }
-        Request::List => {
-            shared.counters.list.fetch_add(1, Ordering::Relaxed);
-            handle_list(shared)
+        match request {
+            Request::Ping => {
+                shared.counters.ping.fetch_add(1, Ordering::Relaxed);
+                ok_response("ping", [])
+            }
+            Request::List => {
+                shared.counters.list.fetch_add(1, Ordering::Relaxed);
+                handle_list(shared)
+            }
+            Request::Stats => {
+                shared.counters.stats.fetch_add(1, Ordering::Relaxed);
+                handle_stats(shared)
+            }
+            Request::Metrics => {
+                shared.counters.metrics.fetch_add(1, Ordering::Relaxed);
+                handle_metrics()
+            }
+            Request::Mine { dataset, epsilon, timeout_ms, tenant } => {
+                shared.counters.mine.fetch_add(1, Ordering::Relaxed);
+                handle_mine(shared, &dataset, epsilon, timeout_ms, tenant.as_deref(), &stages)
+            }
+            Request::Decompose { dataset, epsilon, timeout_ms, tenant } => {
+                shared.counters.decompose.fetch_add(1, Ordering::Relaxed);
+                handle_decompose(shared, &dataset, epsilon, timeout_ms, tenant.as_deref(), &stages)
+            }
+            Request::Append { dataset, rows, tenant } => {
+                shared.counters.append.fetch_add(1, Ordering::Relaxed);
+                handle_append(shared, &dataset, &rows, tenant.as_deref())
+            }
         }
-        Request::Stats => {
-            shared.counters.stats.fetch_add(1, Ordering::Relaxed);
-            handle_stats(shared)
-        }
-        Request::Metrics => {
-            shared.counters.metrics.fetch_add(1, Ordering::Relaxed);
-            handle_metrics()
-        }
-        Request::Mine { dataset, epsilon, timeout_ms, tenant } => {
-            shared.counters.mine.fetch_add(1, Ordering::Relaxed);
-            handle_mine(shared, &dataset, epsilon, timeout_ms, tenant.as_deref(), &stages)
-        }
-        Request::Decompose { dataset, epsilon, timeout_ms, tenant } => {
-            shared.counters.decompose.fetch_add(1, Ordering::Relaxed);
-            handle_decompose(shared, &dataset, epsilon, timeout_ms, tenant.as_deref(), &stages)
-        }
-        Request::Append { dataset, rows, tenant } => {
-            shared.counters.append.fetch_add(1, Ordering::Relaxed);
-            handle_append(shared, &dataset, &rows, tenant.as_deref())
+    }));
+    let response = match outcome {
+        Ok(response) => response,
+        Err(panic) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            note_panic(op);
+            error_response(
+                ErrorKind::Internal,
+                format!("request handler panicked: {}", panic_message(&panic)),
+            )
         }
     };
     let elapsed = start.elapsed();
@@ -424,6 +462,28 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Json {
         }
     }
     with_trace(response, &trace_id)
+}
+
+/// Counts one contained handler panic, labeled by the operation (or
+/// `"connection"` when the panic escaped the per-request guard).
+fn note_panic(op: &str) {
+    let registry = obs::global();
+    registry.describe(
+        "maimon_requests_panicked_total",
+        "Requests whose handler panicked; the panic was contained and served as an internal error",
+    );
+    registry.counter("maimon_requests_panicked_total", &[("op", op)]).inc();
+}
+
+/// Best-effort rendering of a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    }
 }
 
 /// Bumps the registry's error counter for one failure class.
@@ -571,8 +631,30 @@ fn handle_append(
             format!("tenant {:?} is at its in-flight cap", tenant.unwrap_or_default()),
         );
     };
+    // Durable datasets: hold the ordering guard across apply + WAL append so
+    // concurrent appends reach the log in the order their versions were
+    // assigned. The in-memory apply runs first — it validates the batch, so
+    // a bad_request append writes *nothing* to the WAL — and the record is
+    // fsync'd before the acknowledgment below is ever built.
+    let durable = shared.registry.durable(dataset);
+    let _order = durable.as_ref().map(|d| d.append_guard());
     match session.append_rows(rows) {
         Ok(summary) => {
+            if summary.rows_appended > 0 {
+                if let Some(durable) = &durable {
+                    if let Err(e) = durable.append(summary.data_version, rows) {
+                        // Applied in memory but not durable: never ack. The
+                        // WAL is now fail-stop for this dataset (restart
+                        // recovers to the last acknowledged state); every
+                        // other dataset keeps serving.
+                        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        return error_response(
+                            ErrorKind::Internal,
+                            format!("append could not be made durable: {e}"),
+                        );
+                    }
+                }
+            }
             shared
                 .counters
                 .rows_appended

@@ -1,5 +1,6 @@
 //! The [`RelationBackend`] trait and its in-memory implementation.
 
+use crate::StorageError;
 use relation::{Relation, Schema};
 
 /// What the mining engine needs from a stored relation — nothing more.
@@ -49,12 +50,29 @@ pub trait RelationBackend: Send + Sync {
     /// Streams column `c` as consecutive code chunks in ascending row
     /// order. The visitor receives `(chunk_start_row, codes)`; chunk starts
     /// tile `0..n_rows` without gaps or overlaps.
-    fn scan_column(&self, c: usize, visit: &mut dyn FnMut(usize, &[u32]));
+    ///
+    /// # Errors
+    /// Returns a [`StorageError`] when a chunk cannot be produced (a spill
+    /// file read failed, or a page failed its checksum). The scan stops at
+    /// the failing chunk; chunks already visited were valid.
+    fn scan_column(
+        &self,
+        c: usize,
+        visit: &mut dyn FnMut(usize, &[u32]),
+    ) -> Result<(), StorageError>;
 
     /// Streams several columns *aligned*: each visit delivers one slice per
     /// entry of `cols` (in the caller's order), all covering the same row
     /// range `chunk_start..chunk_start + len`.
-    fn scan_columns(&self, cols: &[usize], visit: &mut dyn FnMut(usize, &[&[u32]]));
+    ///
+    /// # Errors
+    /// Returns a [`StorageError`] when a chunk cannot be produced, exactly as
+    /// [`RelationBackend::scan_column`].
+    fn scan_columns(
+        &self,
+        cols: &[usize],
+        visit: &mut dyn FnMut(usize, &[&[u32]]),
+    ) -> Result<(), StorageError>;
 
     /// Approximate bytes of this backend resident in memory right now
     /// (dictionaries plus cached/materialized code storage). Feeds the
@@ -98,17 +116,27 @@ impl RelationBackend for Relation {
         Relation::n_rows(self).max(1)
     }
 
-    fn scan_column(&self, c: usize, visit: &mut dyn FnMut(usize, &[u32])) {
+    fn scan_column(
+        &self,
+        c: usize,
+        visit: &mut dyn FnMut(usize, &[u32]),
+    ) -> Result<(), StorageError> {
         if Relation::n_rows(self) > 0 {
             visit(0, self.column_codes(c));
         }
+        Ok(())
     }
 
-    fn scan_columns(&self, cols: &[usize], visit: &mut dyn FnMut(usize, &[&[u32]])) {
+    fn scan_columns(
+        &self,
+        cols: &[usize],
+        visit: &mut dyn FnMut(usize, &[&[u32]]),
+    ) -> Result<(), StorageError> {
         if Relation::n_rows(self) > 0 {
             let slices: Vec<&[u32]> = cols.iter().map(|&c| self.column_codes(c)).collect();
             visit(0, &slices);
         }
+        Ok(())
     }
 
     fn resident_bytes(&self) -> usize {
@@ -143,7 +171,7 @@ mod tests {
         let rel = sample();
         let backend: &dyn RelationBackend = &rel;
         let mut chunks = Vec::new();
-        backend.scan_column(0, &mut |start, codes| chunks.push((start, codes.to_vec())));
+        backend.scan_column(0, &mut |start, codes| chunks.push((start, codes.to_vec()))).unwrap();
         assert_eq!(chunks.len(), 1);
         assert_eq!(chunks[0].0, 0);
         assert_eq!(chunks[0].1, rel.column_codes(0));
@@ -155,13 +183,15 @@ mod tests {
         let rel = sample();
         let backend: &dyn RelationBackend = &rel;
         let mut seen = 0;
-        backend.scan_columns(&[1, 0], &mut |start, slices| {
-            assert_eq!(start, 0);
-            assert_eq!(slices.len(), 2);
-            assert_eq!(slices[0], rel.column_codes(1));
-            assert_eq!(slices[1], rel.column_codes(0));
-            seen += 1;
-        });
+        backend
+            .scan_columns(&[1, 0], &mut |start, slices| {
+                assert_eq!(start, 0);
+                assert_eq!(slices.len(), 2);
+                assert_eq!(slices[0], rel.column_codes(1));
+                assert_eq!(slices[1], rel.column_codes(0));
+                seen += 1;
+            })
+            .unwrap();
         assert_eq!(seen, 1);
     }
 
@@ -182,7 +212,7 @@ mod tests {
     fn empty_relation_scans_deliver_no_chunks() {
         let rel = Relation::empty(Schema::new(["A", "B"]).unwrap());
         let backend: &dyn RelationBackend = &rel;
-        backend.scan_column(0, &mut |_, _| panic!("no chunks expected"));
-        backend.scan_columns(&[0, 1], &mut |_, _| panic!("no chunks expected"));
+        backend.scan_column(0, &mut |_, _| panic!("no chunks expected")).unwrap();
+        backend.scan_columns(&[0, 1], &mut |_, _| panic!("no chunks expected")).unwrap();
     }
 }

@@ -356,7 +356,7 @@ mod tests {
         for c in 0..rel.arity() {
             assert_eq!(store.column_cardinality(c), rel.column_cardinality(c));
             let mut streamed = Vec::new();
-            store.scan_column(c, &mut |_, codes| streamed.extend_from_slice(codes));
+            store.scan_column(c, &mut |_, codes| streamed.extend_from_slice(codes)).unwrap();
             assert_eq!(streamed, rel.column_codes(c), "column {c} at page_rows {page_rows}");
             for code in 0..rel.column_cardinality(c) as u32 {
                 assert_eq!(store.dict_value(c, code), RelationBackend::dict_value(&rel, c, code));

@@ -19,14 +19,29 @@
 //! Chunked scans visit pages in ascending row order, so grouping built on
 //! top of them (first-occurrence group ids, ascending-first-row clusters) is
 //! bit-identical across backends and page sizes.
+//!
+//! The crate also carries the durability and fault-tolerance substrate:
+//!
+//! * [`durable`] — checksummed [`Relation`](relation::Relation) snapshots
+//!   plus a length-prefixed, fsync'd append WAL ([`DurableDataset`]), the
+//!   storage behind `maimon-served --data-dir` crash recovery;
+//! * [`fault`] — named failpoints ([`FaultInjector`]) that the chaos test
+//!   suite uses to inject page-read errors, WAL short writes, fsync failures
+//!   and connection drops, proving every failure surfaces as a typed
+//!   [`StorageError`] instead of a process abort.
 
 #![warn(missing_docs)]
 
 mod backend;
+mod crc;
+pub mod durable;
+pub mod fault;
 mod ingest;
 mod paged;
 
 pub use backend::RelationBackend;
+pub use durable::{DurableDataset, RecoveryInfo};
+pub use fault::FaultInjector;
 pub use ingest::{ingest_csv, ingest_csv_file, IngestOptions};
 pub use paged::{PageCacheStats, PagedColumnarRelation, PagedOptions};
 
@@ -39,8 +54,13 @@ pub enum StorageError {
     /// (the [`relation::RelationError::Csv`] variant carries line + byte
     /// offset).
     Relation(relation::RelationError),
-    /// An I/O failure on the input stream or the spill file.
+    /// An I/O failure on the input stream, the spill file, or the durable
+    /// snapshot/WAL files.
     Io(std::io::Error),
+    /// Stored bytes failed validation (checksum mismatch, bad magic, a
+    /// truncated structure, or codes outside their dictionary) — the data
+    /// on disk cannot be trusted, and the error says why.
+    Corrupt(String),
 }
 
 impl fmt::Display for StorageError {
@@ -48,6 +68,7 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Relation(e) => write!(f, "{}", e),
             StorageError::Io(e) => write!(f, "storage I/O error: {}", e),
+            StorageError::Corrupt(msg) => write!(f, "storage corruption detected: {}", msg),
         }
     }
 }

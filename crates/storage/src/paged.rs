@@ -8,6 +8,8 @@
 //! row count — which is what bounds RSS on the 10M-row scalability runs.
 
 use crate::backend::RelationBackend;
+use crate::crc::crc32;
+use crate::fault;
 use crate::StorageError;
 use relation::{Relation, Schema};
 use std::collections::HashMap;
@@ -59,6 +61,10 @@ struct PageLoc {
     offset: u64,
     /// Number of `u32` codes in the page (short only for the final page).
     len: u32,
+    /// CRC-32 of the page's little-endian byte image, recorded at build time
+    /// and re-checked on every fault-in, so bit rot in the spill file is a
+    /// typed [`StorageError::Corrupt`] instead of garbage codes.
+    crc: u32,
 }
 
 /// One cached page.
@@ -124,6 +130,9 @@ pub struct PagedColumnarRelation {
     n_rows: usize,
     page_rows: usize,
     cache_pages: usize,
+    /// Dataset label, used for metrics and as the failpoint scope of the
+    /// `paged_read` fault-injection point.
+    dataset: String,
     dicts: Vec<Vec<String>>,
     dict_bytes: usize,
     /// `pages[col][page]` locates that page in the spill file.
@@ -154,9 +163,17 @@ impl PagedColumnarRelation {
         builder.finish(rel.schema().clone(), options)
     }
 
+    /// Locks the page store, recovering from a poisoned lock: the critical
+    /// section only mutates the LRU bookkeeping (and the seek position,
+    /// which every fault-in resets), so the state is usable after a panic
+    /// elsewhere unwound through it.
+    fn lock_store(&self) -> std::sync::MutexGuard<'_, PageStore> {
+        self.store.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// This backend's cache statistics (also mirrored to `obs::global()`).
     pub fn cache_stats(&self) -> PageCacheStats {
-        let store = self.store.lock().expect("page store lock");
+        let store = self.lock_store();
         let cached_bytes: usize =
             store.cache.iter().map(|e| e.data.len() * std::mem::size_of::<u32>()).sum();
         PageCacheStats {
@@ -181,8 +198,16 @@ impl PagedColumnarRelation {
     }
 
     /// Returns page `page` of column `col`, from cache or the spill file.
-    fn fetch(&self, col: usize, page: usize) -> Arc<Vec<u32>> {
-        let mut store = self.store.lock().expect("page store lock");
+    ///
+    /// # Errors
+    /// Returns [`StorageError::Io`] when the spill file cannot be read (the
+    /// disk/tmpfs under it went away, or the `paged_read` failpoint fired)
+    /// and [`StorageError::Corrupt`] when the page's checksum does not match
+    /// the one recorded at build time. Neither aborts the process: the error
+    /// propagates through the scan to the caller, and pages of *other*
+    /// datasets keep serving.
+    fn fetch(&self, col: usize, page: usize) -> Result<Arc<Vec<u32>>, StorageError> {
+        let mut store = self.lock_store();
         store.tick += 1;
         let tick = store.tick;
         if let Some(entry) =
@@ -192,15 +217,25 @@ impl PagedColumnarRelation {
             let data = Arc::clone(&entry.data);
             self.metrics.hits.inc();
             self.metrics.local_hits.fetch_add(1, Ordering::Relaxed);
-            return data;
+            return Ok(data);
         }
         // Fault the page in. The spill file is process-private and written
-        // once at build time, so a read failure is an unrecoverable
-        // environment problem (disk/tmpfs gone), not a caller error.
+        // once at build time, so a failure here is an environment problem
+        // (disk/tmpfs gone, bit rot) — reported as a typed error, never a
+        // panic.
+        fault::check_io("paged_read", &self.dataset)?;
         let loc = self.pages[col][page];
         let mut bytes = vec![0u8; loc.len as usize * 4];
-        store.file.seek(SeekFrom::Start(loc.offset)).expect("seek in spill file");
-        store.file.read_exact(&mut bytes).expect("read page from spill file");
+        store.file.seek(SeekFrom::Start(loc.offset))?;
+        store.file.read_exact(&mut bytes)?;
+        let checksum = crc32(&bytes);
+        if checksum != loc.crc {
+            return Err(StorageError::Corrupt(format!(
+                "dataset {:?}: page {} of column {} failed its checksum \
+                 (stored {:#010x}, computed {:#010x})",
+                self.dataset, page, col, loc.crc, checksum
+            )));
+        }
         let data: Arc<Vec<u32>> = Arc::new(
             bytes.chunks_exact(4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]])).collect(),
         );
@@ -225,7 +260,7 @@ impl PagedColumnarRelation {
         let cached_bytes: usize =
             store.cache.iter().map(|e| e.data.len() * std::mem::size_of::<u32>()).sum();
         self.metrics.resident.set((self.dict_bytes + cached_bytes) as i64);
-        data
+        Ok(data)
     }
 }
 
@@ -254,19 +289,30 @@ impl RelationBackend for PagedColumnarRelation {
         self.page_rows
     }
 
-    fn scan_column(&self, c: usize, visit: &mut dyn FnMut(usize, &[u32])) {
+    fn scan_column(
+        &self,
+        c: usize,
+        visit: &mut dyn FnMut(usize, &[u32]),
+    ) -> Result<(), StorageError> {
         for page in 0..self.n_pages() {
-            let data = self.fetch(c, page);
+            let data = self.fetch(c, page)?;
             visit(page * self.page_rows, &data);
         }
+        Ok(())
     }
 
-    fn scan_columns(&self, cols: &[usize], visit: &mut dyn FnMut(usize, &[&[u32]])) {
+    fn scan_columns(
+        &self,
+        cols: &[usize],
+        visit: &mut dyn FnMut(usize, &[&[u32]]),
+    ) -> Result<(), StorageError> {
         for page in 0..self.n_pages() {
-            let pages: Vec<Arc<Vec<u32>>> = cols.iter().map(|&c| self.fetch(c, page)).collect();
+            let pages: Vec<Arc<Vec<u32>>> =
+                cols.iter().map(|&c| self.fetch(c, page)).collect::<Result<_, StorageError>>()?;
             let slices: Vec<&[u32]> = pages.iter().map(|p| p.as_slice()).collect();
             visit(page * self.page_rows, &slices);
         }
+        Ok(())
     }
 
     fn resident_bytes(&self) -> usize {
@@ -364,10 +410,12 @@ impl PagedBuilder {
         if col.buf.is_empty() {
             return Ok(());
         }
-        let loc = PageLoc { offset: self.pos, len: col.buf.len() as u32 };
+        let mut bytes = Vec::with_capacity(col.buf.len() * 4);
         for &code in &col.buf {
-            self.writer.write_all(&code.to_le_bytes())?;
+            bytes.extend_from_slice(&code.to_le_bytes());
         }
+        let loc = PageLoc { offset: self.pos, len: col.buf.len() as u32, crc: crc32(&bytes) };
+        self.writer.write_all(&bytes)?;
         self.pos += col.buf.len() as u64 * 4;
         col.buf.clear();
         col.pages.push(loc);
@@ -394,6 +442,7 @@ impl PagedBuilder {
             n_rows: self.n_rows,
             page_rows: self.page_rows,
             cache_pages: options.cache_pages.max(1),
+            dataset: options.dataset.clone(),
             dicts,
             dict_bytes,
             pages,
@@ -456,10 +505,12 @@ mod tests {
     /// Reassembles a column through the chunk API.
     fn collect_column(backend: &dyn RelationBackend, c: usize) -> Vec<u32> {
         let mut out = Vec::new();
-        backend.scan_column(c, &mut |start, codes| {
-            assert_eq!(start, out.len(), "chunks must tile in ascending row order");
-            out.extend_from_slice(codes);
-        });
+        backend
+            .scan_column(c, &mut |start, codes| {
+                assert_eq!(start, out.len(), "chunks must tile in ascending row order");
+                out.extend_from_slice(codes);
+            })
+            .unwrap();
         out
     }
 
@@ -481,13 +532,15 @@ mod tests {
         let rel = sample(130);
         let store = paged(&rel, 32, 2);
         let mut rows_seen = 0;
-        store.scan_columns(&[2, 0], &mut |start, slices| {
-            assert_eq!(start, rows_seen);
-            assert_eq!(slices.len(), 2);
-            assert_eq!(slices[0], &rel.column_codes(2)[start..start + slices[0].len()]);
-            assert_eq!(slices[1], &rel.column_codes(0)[start..start + slices[1].len()]);
-            rows_seen += slices[0].len();
-        });
+        store
+            .scan_columns(&[2, 0], &mut |start, slices| {
+                assert_eq!(start, rows_seen);
+                assert_eq!(slices.len(), 2);
+                assert_eq!(slices[0], &rel.column_codes(2)[start..start + slices[0].len()]);
+                assert_eq!(slices[1], &rel.column_codes(0)[start..start + slices[1].len()]);
+                rows_seen += slices[0].len();
+            })
+            .unwrap();
         assert_eq!(rows_seen, rel.n_rows());
     }
 
@@ -546,6 +599,52 @@ mod tests {
         let rel = Relation::empty(Schema::new(["A"]).unwrap());
         let store = paged(&rel, 16, 2);
         assert_eq!(store.n_rows(), 0);
-        store.scan_column(0, &mut |_, _| panic!("no chunks expected"));
+        store.scan_column(0, &mut |_, _| panic!("no chunks expected")).unwrap();
+    }
+
+    #[test]
+    fn injected_page_read_fault_is_a_typed_error_not_a_panic() {
+        let rel = sample(128);
+        let scope = "fault-injection-unit";
+        let store = PagedColumnarRelation::from_relation(
+            &rel,
+            PagedOptions { page_rows: 32, cache_pages: 2, dataset: scope.to_string() },
+        )
+        .unwrap(); // 4 pages per column
+        fault::global().arm(&format!("paged_read@{scope}"), 2, u64::MAX);
+        let mut rows = 0usize;
+        let err = store
+            .scan_column(0, &mut |_, codes| rows += codes.len())
+            .expect_err("the third page fault-in must fail");
+        fault::global().disarm(&format!("paged_read@{scope}"));
+        assert!(matches!(err, StorageError::Io(_)), "got {err:?}");
+        assert!(err.to_string().contains("injected fault"), "got {err}");
+        assert_eq!(rows, 64, "the two pages before the fault were delivered");
+        // The fault was transient (disarmed): the store keeps serving.
+        assert_eq!(collect_column(&store, 0), rel.column_codes(0));
+    }
+
+    #[test]
+    fn corrupted_page_fails_its_checksum_as_a_typed_error() {
+        let rel = sample(96);
+        let store = paged(&rel, 32, 1);
+        // Warm nothing; flip one byte of column 1's second page on disk.
+        let loc = store.pages[1][1];
+        {
+            let mut guard = store.lock_store();
+            guard.file.seek(SeekFrom::Start(loc.offset + 5)).unwrap();
+            let mut byte = [0u8; 1];
+            guard.file.read_exact(&mut byte).unwrap();
+            byte[0] ^= 0x40;
+            guard.file.seek(SeekFrom::Start(loc.offset + 5)).unwrap();
+            guard.file.write_all(&byte).unwrap();
+        }
+        let err = store
+            .scan_column(1, &mut |_, _| {})
+            .expect_err("the corrupted page must fail validation");
+        assert!(matches!(err, StorageError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("checksum"), "got {err}");
+        // Undamaged columns are unaffected.
+        assert_eq!(collect_column(&store, 0), rel.column_codes(0));
     }
 }
